@@ -1,0 +1,63 @@
+// Figure 6: latency (ms) as a function of the number of processes.
+// Paper setup (§5.2): n-to-n configuration, 100 KB messages, latency
+// measured contention-free — one sender, one message — averaged over every
+// sender position. The paper's graph is linear in n (~25 ms per process,
+// peaking around 230 ms at n = 10).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/stats.h"
+
+namespace {
+
+using namespace fsr;
+using namespace fsr::bench;
+
+double avg_latency_ms(std::size_t n) {
+  Accumulator acc;
+  for (std::size_t sender = 0; sender < n; ++sender) {
+    WorkloadSpec spec;
+    spec.cluster = paper_cluster(n);
+    spec.n = n;
+    spec.senders = 1;
+    spec.messages_per_sender = 1;
+    spec.message_size = 100 * 1024;
+    // Shift which node broadcasts by running the single message from each
+    // position: run_workload uses nodes [0, senders); emulate position by
+    // building the cluster manually instead.
+    SimCluster c(spec.cluster);
+    c.broadcast(static_cast<NodeId>(sender), test_payload(static_cast<NodeId>(sender), 1, spec.message_size));
+    c.sim().run();
+    Time done = c.completion_time(static_cast<NodeId>(sender), 1);
+    if (done >= 0) acc.add(static_cast<double>(done) / 1e6);
+  }
+  return acc.mean();
+}
+
+void BM_Fig6(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  double ms = 0;
+  for (auto _ : state) ms = avg_latency_ms(n);
+  state.counters["latency_ms"] = ms;
+}
+BENCHMARK(BM_Fig6)->DenseRange(2, 10)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  print_header(
+      "Figure 6: latency vs number of processes (100 KB, contention-free; "
+      "paper: linear, ~230 ms at n=10)",
+      {"processes", "latency (ms)"});
+  double prev = 0;
+  for (std::size_t n = 2; n <= 10; ++n) {
+    double ms = avg_latency_ms(n);
+    std::string note = prev > 0 ? ("  (+" + fmt(ms - prev, 1) + ")") : "";
+    print_row({std::to_string(n), fmt(ms, 1) + note});
+    prev = ms;
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 7: latency (ms) as a function of throughput. Paper setup (§5.2):
+// n-to-n TO-broadcasts of 100 KB messages among 5 processes, senders
+// throttled to a given rate; latency stays almost flat until the maximum
+// throughput is reached, then queueing blows it up.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace fsr;
+using namespace fsr::bench;
+
+struct Point {
+  double offered_mbps;
+  double achieved_mbps;
+  double latency_ms;
+};
+
+Point run_point(double aggregate_offered_mbps) {
+  constexpr std::size_t kN = 5;
+  constexpr std::size_t kMsg = 100 * 1024;
+  WorkloadSpec spec;
+  spec.cluster = paper_cluster(kN);
+  spec.n = kN;
+  spec.senders = kN;
+  spec.message_size = kMsg;
+  // Per-sender broadcast rate (msgs/s) to hit the aggregate offered load.
+  double per_sender_bps = aggregate_offered_mbps * 1e6 / kN;
+  spec.rate_per_sender = per_sender_bps / (8.0 * static_cast<double>(kMsg));
+  // Enough messages for ~4 virtual seconds of offered load.
+  spec.messages_per_sender =
+      std::max(6, static_cast<int>(spec.rate_per_sender * 4.0));
+  WorkloadResult r = run_workload(spec);
+  return Point{aggregate_offered_mbps, r.goodput_mbps, r.mean_latency_ms};
+}
+
+const double kOffered[] = {10, 20, 30, 40, 50, 60, 70, 75, 80, 85, 90};
+
+void BM_Fig7(benchmark::State& state) {
+  double offered = kOffered[state.range(0)];
+  Point p{};
+  for (auto _ : state) p = run_point(offered);
+  state.counters["offered_Mbps"] = p.offered_mbps;
+  state.counters["achieved_Mbps"] = p.achieved_mbps;
+  state.counters["latency_ms"] = p.latency_ms;
+}
+BENCHMARK(BM_Fig7)->DenseRange(0, 10)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  print_header(
+      "Figure 7: latency vs throughput (5 procs, 100 KB, throttled senders; "
+      "paper: flat until ~79 Mb/s, then a queueing blow-up)",
+      {"offered Mb/s", "achieved Mb/s", "latency (ms)"});
+  for (double offered : kOffered) {
+    Point p = run_point(offered);
+    print_row({fmt(p.offered_mbps, 0), fmt(p.achieved_mbps, 1), fmt(p.latency_ms, 1)});
+  }
+  return 0;
+}

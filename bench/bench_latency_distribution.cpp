@@ -1,0 +1,93 @@
+// Latency *distribution* under load — an extension of Figure 7: the paper
+// reports means; queueing theory says the tail degrades first. Reported:
+// p50 / p95 / p99 of per-message completion latency (submit -> delivered by
+// every process) at increasing offered load, 5 processes, 100 KB messages.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/stats.h"
+
+namespace {
+
+using namespace fsr;
+using namespace fsr::bench;
+
+struct Dist {
+  double p50 = 0, p95 = 0, p99 = 0;
+  double achieved = 0;
+};
+
+Dist run_point(double offered_mbps) {
+  constexpr std::size_t kN = 5;
+  constexpr std::size_t kMsg = 100 * 1024;
+  ClusterConfig cfg = paper_cluster(kN);
+  SimCluster c(cfg);
+
+  double per_sender_bps = offered_mbps * 1e6 / kN;
+  double rate = per_sender_bps / (8.0 * static_cast<double>(kMsg));
+  int msgs = std::max(10, static_cast<int>(rate * 5.0));
+  for (std::size_t s = 0; s < kN; ++s) {
+    for (int i = 0; i < msgs; ++i) {
+      auto at = static_cast<Time>(static_cast<double>(i) / rate * 1e9);
+      auto sender = static_cast<NodeId>(s);
+      auto app = static_cast<std::uint64_t>(i + 1);
+      c.sim().schedule_at(at, [&c, sender, app] {
+        c.broadcast(sender, test_payload(sender, app, kMsg));
+      });
+    }
+  }
+  c.sim().run();
+
+  Samples lat;
+  Time last = 0;
+  for (std::size_t s = 0; s < kN; ++s) {
+    for (int i = 0; i < msgs; ++i) {
+      Time submit = c.submit_time(static_cast<NodeId>(s), static_cast<std::uint64_t>(i + 1));
+      Time done = c.completion_time(static_cast<NodeId>(s), static_cast<std::uint64_t>(i + 1));
+      if (submit >= 0 && done >= submit) {
+        lat.add(static_cast<double>(done - submit) / 1e6);
+        last = std::max(last, done);
+      }
+    }
+  }
+  Dist d;
+  d.p50 = lat.percentile(50);
+  d.p95 = lat.percentile(95);
+  d.p99 = lat.percentile(99);
+  if (last > 0) {
+    d.achieved = static_cast<double>(kN) * msgs * kMsg * 8.0 /
+                 static_cast<double>(last) * 1000.0;
+  }
+  return d;
+}
+
+const double kLoads[] = {20, 40, 60, 75, 85};
+
+void BM_LatencyDistribution(benchmark::State& state) {
+  double load = kLoads[state.range(0)];
+  Dist d{};
+  for (auto _ : state) d = run_point(load);
+  state.counters["p50_ms"] = d.p50;
+  state.counters["p95_ms"] = d.p95;
+  state.counters["p99_ms"] = d.p99;
+}
+BENCHMARK(BM_LatencyDistribution)->DenseRange(0, 4)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  fsr::bench::print_header(
+      "Latency distribution vs load (5 procs, 100 KB; extends Fig. 7 with "
+      "tail percentiles)",
+      {"offered Mb/s", "achieved", "p50 (ms)", "p95 (ms)", "p99 (ms)"});
+  for (double load : kLoads) {
+    Dist d = run_point(load);
+    fsr::bench::print_row({fsr::bench::fmt(load, 0), fsr::bench::fmt(d.achieved, 1),
+                           fsr::bench::fmt(d.p50, 1), fsr::bench::fmt(d.p95, 1),
+                           fsr::bench::fmt(d.p99, 1)});
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Beyond the paper's n <= 10: the paper argues FSR "should also be
+// efficient in arbitrarily large clusters" even though it is optimized for
+// small ones (§1). This bench extends Figure 8 (throughput, n-to-n) and
+// Figure 6 (contention-free latency) to rings of up to 30 processes:
+// throughput should stay at the plateau (every message still crosses each
+// node's CPU exactly once) while latency keeps growing linearly.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/stats.h"
+
+namespace {
+
+using namespace fsr;
+using namespace fsr::bench;
+
+WorkloadResult throughput_point(std::size_t n) {
+  WorkloadSpec spec;
+  spec.cluster = paper_cluster(n);
+  spec.n = n;
+  spec.senders = n;
+  spec.messages_per_sender = static_cast<int>(600 / n) + 10;
+  spec.message_size = 100 * 1024;
+  return run_workload(spec);
+}
+
+double latency_point(std::size_t n) {
+  Accumulator acc;
+  // Sample a few sender positions (full sweep is O(n^2) runs).
+  for (std::size_t sender : {std::size_t{2}, n / 2, n - 1}) {
+    SimCluster c(paper_cluster(n));
+    c.broadcast(static_cast<NodeId>(sender),
+                test_payload(static_cast<NodeId>(sender), 1, 100 * 1024));
+    c.sim().run();
+    Time done = c.completion_time(static_cast<NodeId>(sender), 1);
+    if (done >= 0) acc.add(static_cast<double>(done) / 1e6);
+  }
+  return acc.mean();
+}
+
+void BM_Scalability(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  WorkloadResult r;
+  double lat = 0;
+  for (auto _ : state) {
+    r = throughput_point(n);
+    lat = latency_point(n);
+  }
+  state.counters["Mbps"] = r.goodput_mbps;
+  state.counters["latency_ms"] = lat;
+}
+BENCHMARK(BM_Scalability)->Arg(5)->Arg(10)->Arg(15)->Arg(20)->Arg(30)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  fsr::bench::print_header(
+      "Scalability beyond the paper's range (n-to-n, 100 KB; expectation: "
+      "flat throughput, linear latency)",
+      {"processes", "Mb/s", "fairness", "latency (ms)"});
+  for (std::size_t n : {std::size_t{5}, std::size_t{10}, std::size_t{15},
+                        std::size_t{20}, std::size_t{30}}) {
+    WorkloadResult r = throughput_point(n);
+    fsr::bench::print_row({std::to_string(n), fsr::bench::fmt(r.goodput_mbps, 1),
+                           fsr::bench::fmt(r.fairness, 3),
+                           fsr::bench::fmt(latency_point(n), 1)});
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Real-socket sanity benchmark: FSR over localhost TCP, n-to-n bursts.
+// Unlike the simulator figures this measures the host machine, not the
+// paper's testbed — loopback bandwidth is orders of magnitude above
+// 100 Mb/s Fast Ethernet — so the value here is (a) the protocol stack
+// works end-to-end on real sockets at speed, and (b) a rough sense of the
+// per-message processing cost of this implementation.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_common.h"
+#include "harness/tcp_cluster.h"
+
+namespace {
+
+using namespace fsr;
+
+struct TcpResult {
+  double mbps = 0;
+  double msgs_per_sec = 0;
+  bool ok = false;
+};
+
+TcpResult run_tcp(std::size_t n, std::size_t msg_size, int msgs_per_sender) {
+  GroupConfig group;
+  group.engine.t = 1;
+  group.engine.segment_size = 16 * 1024;
+  group.engine.window = 64;
+  TcpCluster cluster(n, group);
+
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < msgs_per_sender; ++i) {
+    for (std::size_t s = 0; s < n; ++s) {
+      cluster.broadcast(static_cast<NodeId>(s),
+                        test_payload(static_cast<NodeId>(s),
+                                     static_cast<std::uint64_t>(i + 1), msg_size));
+    }
+  }
+  std::size_t total = n * static_cast<std::size_t>(msgs_per_sender);
+  TcpResult r;
+  r.ok = cluster.wait_deliveries(total, 60 * kSecond);
+  auto end = std::chrono::steady_clock::now();
+  double secs = std::chrono::duration<double>(end - start).count();
+  if (r.ok && secs > 0) {
+    r.mbps = static_cast<double>(total) * static_cast<double>(msg_size) * 8.0 / secs / 1e6;
+    r.msgs_per_sec = static_cast<double>(total) / secs;
+  }
+  return r;
+}
+
+void BM_TcpRing(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto size = static_cast<std::size_t>(state.range(1));
+  TcpResult r;
+  for (auto _ : state) r = run_tcp(n, size, 50);
+  state.counters["Mbps"] = r.mbps;
+  state.counters["msgs_per_s"] = r.msgs_per_sec;
+  state.counters["ok"] = r.ok ? 1 : 0;
+}
+BENCHMARK(BM_TcpRing)
+    ->ArgsProduct({{2, 3, 4}, {4096, 65536}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  fsr::bench::print_header(
+      "FSR over real localhost TCP (host-dependent; protocol smoke + cost)",
+      {"nodes", "msg size", "Mb/s", "msgs/s"});
+  for (std::size_t n : {std::size_t{2}, std::size_t{3}, std::size_t{4}}) {
+    for (std::size_t size : {std::size_t{4096}, std::size_t{65536}}) {
+      TcpResult r = run_tcp(n, size, 50);
+      fsr::bench::print_row({std::to_string(n), std::to_string(size),
+                             r.ok ? fsr::bench::fmt(r.mbps, 1) : "TIMEOUT",
+                             r.ok ? fsr::bench::fmt(r.msgs_per_sec, 0) : "-"});
+    }
+  }
+  return 0;
+}

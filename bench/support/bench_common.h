@@ -1,0 +1,51 @@
+// Shared benchmark support: the paper's §5.1 measurement methodology on the
+// simulated cluster (barrier start, per-sender streams, throughput measured
+// at each receiver), plus table/figure printing helpers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/sim_cluster.h"
+
+namespace fsr::bench {
+
+/// k-to-n saturation experiment per §5.1: the first `senders` nodes each
+/// TO-broadcast `messages_per_sender` messages of `message_size` bytes,
+/// starting simultaneously (barrier); completion is when every node
+/// delivered everything.
+struct WorkloadResult {
+  double duration_s = 0;             // virtual time, barrier to last delivery
+  double goodput_mbps = 0;           // app payload TO-delivered per process
+  double mean_latency_ms = 0;        // submit -> last process delivered
+  std::vector<double> per_sender_mbps;
+  double fairness = 1.0;             // Jain index over per-sender deliveries
+  bool completed = false;
+};
+
+struct WorkloadSpec {
+  std::size_t n = 5;
+  std::size_t senders = 5;
+  int messages_per_sender = 40;
+  std::size_t message_size = 100 * 1024;
+  ClusterConfig cluster;  // n is overwritten from this spec
+
+  /// If > 0, throttle each sender to this many broadcasts per second
+  /// (Fig. 7's rate sweep). 0 = saturation (send next when window frees).
+  double rate_per_sender = 0;
+};
+
+WorkloadResult run_workload(const WorkloadSpec& spec);
+
+/// Paper-default cluster config for the figure benches (100 Mb/s switched
+/// Ethernet, middleware-grade CPU costs, 100 KB messages segmented).
+ClusterConfig paper_cluster(std::size_t n);
+
+// --- printing ---
+
+void print_header(const std::string& title, const std::vector<std::string>& cols);
+void print_row(const std::vector<std::string>& cells);
+std::string fmt(double v, int decimals = 1);
+
+}  // namespace fsr::bench

@@ -1,0 +1,124 @@
+// A deployable FSR node: one OS process per cluster member, speaking real
+// TCP. Lines read from stdin are TO-broadcast; every delivery is printed.
+// Run each member in its own terminal (or machine — use host:port):
+//
+//   $ ./example_fsr_node 0 127.0.0.1:7000 127.0.0.1:7001 127.0.0.1:7002
+//   $ ./example_fsr_node 1 127.0.0.1:7000 127.0.0.1:7001 127.0.0.1:7002
+//   $ ./example_fsr_node 2 127.0.0.1:7000 127.0.0.1:7001 127.0.0.1:7002
+//
+// argv[1] is this process's index into the address list; the list defines
+// the initial view (and ring order). Type a line in any node: all nodes
+// print it at the same sequence number. Ctrl-D leaves the group cleanly.
+//
+//   --demo    instead of reading stdin, broadcast a few messages and exit
+//             (used by the test suite to smoke-test the binary).
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "transport/tcp_transport.h"
+#include "vsc/group.h"
+
+using namespace fsr;
+
+namespace {
+
+bool parse_addr(const std::string& s, std::string& host, std::uint16_t& port) {
+  auto colon = s.rfind(':');
+  if (colon == std::string::npos) return false;
+  host = s.substr(0, colon);
+  port = static_cast<std::uint16_t>(std::stoi(s.substr(colon + 1)));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool demo = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.size() < 3) {
+    std::fprintf(stderr,
+                 "usage: %s [--demo] <self-index> <host:port> <host:port> ...\n"
+                 "       the address list defines the ring; self-index picks ours\n",
+                 argv[0]);
+    return 2;
+  }
+
+  auto self = static_cast<NodeId>(std::stoul(args[0]));
+  TcpConfig tcp;
+  tcp.self = self;
+  View initial;
+  initial.id = 1;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    TcpPeer peer;
+    peer.id = static_cast<NodeId>(i - 1);
+    if (!parse_addr(args[i], peer.host, peer.port)) {
+      std::fprintf(stderr, "bad address: %s\n", args[i].c_str());
+      return 2;
+    }
+    tcp.peers.push_back(peer);
+    initial.members.push_back(peer.id);
+  }
+  if (self >= initial.members.size()) {
+    std::fprintf(stderr, "self-index %u out of range\n", self);
+    return 2;
+  }
+
+  set_log_level(LogLevel::kInfo);
+  TcpTransport transport(tcp);
+
+  GroupConfig group;
+  group.engine.t = 1;
+  group.heartbeat_interval = 200 * kMillisecond;
+  group.heartbeat_timeout = 2 * kSecond;
+
+  GroupMember member(
+      transport, group, initial,
+      [](const Delivery& d) {
+        std::string text(d.payload.begin(), d.payload.end());
+        std::printf("[seq %llu] node %u: %s\n",
+                    static_cast<unsigned long long>(d.seq), d.origin, text.c_str());
+        std::fflush(stdout);
+      },
+      [](const View& v) {
+        std::printf("-- new %s --\n", to_string(v).c_str());
+        std::fflush(stdout);
+      });
+
+  transport.start();
+  std::printf("node %u up at %s; ring of %zu. Type to broadcast, Ctrl-D to leave.\n",
+              self, args[self + 1].c_str(), initial.members.size());
+
+  if (demo) {
+    for (int i = 0; i < 3; ++i) {
+      std::string text = "demo message " + std::to_string(i) + " from node " +
+                         std::to_string(self);
+      transport.post_wait([&] { member.broadcast(Bytes(text.begin(), text.end())); });
+    }
+    // Give the ring a moment to circulate everything, then leave.
+    std::this_thread::sleep_for(std::chrono::seconds(2));
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      transport.post_wait([&] { member.broadcast(Bytes(line.begin(), line.end())); });
+    }
+  }
+
+  transport.post_wait([&] { member.request_leave(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  transport.stop();
+  return 0;
+}

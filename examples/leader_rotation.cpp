@@ -1,0 +1,63 @@
+// Leader rotation (paper §4.3.1): FSR's latency depends on a sender's ring
+// position relative to the leader — L(i) = 2n + t - i - 1 — so the paper
+// suggests periodically moving the leader role around the ring to even out
+// per-sender latency. This example measures one process's broadcast latency
+// at every leader position, showing the spread the rotation equalizes, and
+// exercises the rotate_leader() view change.
+//
+//   $ ./example_leader_rotation
+#include <cstdio>
+
+#include "harness/sim_cluster.h"
+
+using namespace fsr;
+
+int main() {
+  ClusterConfig cfg;
+  cfg.n = 6;
+  cfg.group.engine.t = 1;
+  SimCluster cluster(cfg);
+
+  const NodeId observer = 3;  // this process's latency is what we track
+  std::uint64_t app = 0;
+
+  std::printf("ring of 6, t = 1; measuring node %u's broadcast latency while\n"
+              "the leader role rotates around the ring (paper §4.3.1)\n\n",
+              observer);
+  std::printf("%10s %16s %12s %14s %22s\n", "leader", "ring order", "position i",
+              "L(i) rounds", "node-3 latency (ms)");
+
+  double total = 0;
+  for (int rotation = 0; rotation < 6; ++rotation) {
+    // Measure a contention-free broadcast from the observer.
+    cluster.broadcast(observer, test_payload(observer, ++app, 100 * 1024));
+    cluster.sim().run();
+    Time submit = cluster.submit_time(observer, app);
+    Time done = cluster.completion_time(observer, app);
+    double ms = static_cast<double>(done - submit) / 1e6;
+    total += ms;
+
+    const View& v = cluster.node(observer).view();
+    std::string order;
+    for (NodeId m : v.members) order += std::to_string(m);
+    Position pos = *v.position_of(observer);
+    const auto& topo = cluster.node(observer).engine().topology();
+    std::printf("%10u %16s %12u %14u %22.1f\n", v.leader(), order.c_str(), pos,
+                topo.analytic_latency(pos), ms);
+
+    // Rotate: the coordinator hands the leader role to its successor.
+    cluster.node(v.leader()).rotate_leader();
+    cluster.sim().run();
+  }
+
+  std::printf(
+      "\nmean latency over a full rotation: %.1f ms.\n"
+      "L(i) (in rounds) varies with the observer's position, and rotation\n"
+      "evens it out across processes. In wall-clock terms the spread is\n"
+      "small here because the payload crosses n-1 links regardless of\n"
+      "position; only the cheap ack hops differ.\n",
+      total / 6.0);
+  std::string err = cluster.check_all();
+  std::printf("invariants: %s\n", err.empty() ? "OK" : err.c_str());
+  return err.empty() ? 0 : 1;
+}

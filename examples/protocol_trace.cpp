@@ -1,0 +1,71 @@
+// Hop-by-hop trace of the FSR message flow — Figure 4 of the paper, live.
+// A 5-node ring (leader p0, backup p1) runs two single broadcasts: one from
+// a standard process (case 1 in §4.1) and one from a backup (case 2, with
+// the pending-ack conversion at p_t). Every frame on the wire is printed.
+//
+//   $ ./example_protocol_trace
+#include <cstdio>
+#include <string>
+
+#include "harness/sim_cluster.h"
+#include "proto/codec.h"
+
+using namespace fsr;
+
+namespace {
+
+std::string describe(const WireMsg& msg) {
+  if (const auto* d = std::get_if<DataMsg>(&msg)) {
+    return "DATA " + to_string(d->id);
+  }
+  if (const auto* s = std::get_if<SeqMsg>(&msg)) {
+    return "SEQ  " + to_string(s->id) + " seq=" + std::to_string(s->seq);
+  }
+  if (const auto* a = std::get_if<AckMsg>(&msg)) {
+    return std::string(a->stable ? "ACK  " : "PACK ") + to_string(a->id) +
+           " seq=" + std::to_string(a->seq);
+  }
+  return wire_msg_name(msg);
+}
+
+void run_case(const char* title, NodeId sender) {
+  ClusterConfig cfg;
+  cfg.n = 5;
+  cfg.group.engine.t = 1;  // p0 leader, p1 backup
+
+  SimCluster cluster(cfg);
+  std::printf("\n=== %s (ring of 5, leader p0, backup p1) ===\n", title);
+  std::printf("%10s  %-7s %s\n", "time (us)", "link", "messages");
+
+  cluster.world().net().set_frame_tap([&](const Frame& f) {
+    std::string msgs;
+    for (const auto& m : f.msgs) {
+      if (!msgs.empty()) msgs += " + ";
+      msgs += describe(m);
+    }
+    std::printf("%10lld  p%u -> p%u  %s\n",
+                static_cast<long long>(cluster.sim().now() / kMicrosecond), f.from,
+                f.to, msgs.c_str());
+  });
+
+  cluster.broadcast(sender, test_payload(sender, 1, 2000));
+  cluster.sim().run();
+  std::printf("  -> delivered by all %zu processes (check: %s)\n", cluster.size(),
+              cluster.check_all().empty() ? "OK" : cluster.check_all().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "FSR passes (paper Fig. 4):\n"
+      "  DATA: payload travels from the sender to the leader p0\n"
+      "  SEQ : leader assigns the sequence number; pair travels to the\n"
+      "        sender's predecessor (processes at positions >= t deliver)\n"
+      "  ACK : certifies the pair is stored by leader + backups; receivers\n"
+      "        deliver (PACK = pending ack, converted to ACK at backup p_t)\n");
+
+  run_case("case 1: standard process p3 broadcasts", 3);
+  run_case("case 2: backup p1 broadcasts (pending-ack path)", 1);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Quickstart: a 4-process simulated cluster TO-broadcasting a handful of
+// messages. Every process observes the exact same delivery order — the
+// total order property that makes state-machine replication work.
+//
+//   $ ./example_quickstart
+#include <cstdio>
+#include <string>
+
+#include "harness/sim_cluster.h"
+
+using namespace fsr;
+
+int main() {
+  ClusterConfig cfg;
+  cfg.n = 4;                    // ring: p0 (leader), p1 (backup), p2, p3
+  cfg.group.engine.t = 1;       // tolerate one crash
+
+  SimCluster cluster(cfg);
+
+  // Three processes broadcast concurrently.
+  auto say = [&](NodeId who, const std::string& text) {
+    cluster.broadcast(who, Bytes(text.begin(), text.end()));
+  };
+  say(2, "hello from p2");
+  say(0, "leader says hi");
+  say(3, "p3 checking in");
+  say(2, "p2 again");
+
+  cluster.sim().run();  // run the simulated cluster to quiescence
+
+  for (NodeId n = 0; n < 4; ++n) {
+    std::printf("process %u delivered, in order:\n", n);
+    for (const auto& e : cluster.log(n)) {
+      std::printf("  seq=%llu  from p%u (its message #%llu, %zu bytes)\n",
+                  static_cast<unsigned long long>(e.seq), e.origin,
+                  static_cast<unsigned long long>(e.app_msg), e.bytes);
+    }
+  }
+
+  std::string err = cluster.check_all();
+  std::printf("\ninvariants (total order, agreement, integrity): %s\n",
+              err.empty() ? "OK" : err.c_str());
+  return err.empty() ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// A replicated key-value store on FSR (state-machine replication, the
+// application class the paper motivates): five replicas, clients writing
+// through different replicas, concurrent compare-and-swap races, and a
+// leader crash in the middle — the survivors stay bit-for-bit identical.
+//
+//   $ ./example_replicated_kv
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "app/kv_store.h"
+#include "harness/sim_cluster.h"
+
+using namespace fsr;
+
+int main() {
+  ClusterConfig cfg;
+  cfg.n = 5;
+  cfg.group.engine.t = 2;  // survive two crashes
+
+  SimCluster cluster(cfg);
+  std::vector<KvStore> replicas(cfg.n);
+  cluster.set_delivery_tap([&](NodeId node, const Delivery& d) {
+    replicas[node].apply(d.origin, d.payload);
+  });
+
+  std::printf("== phase 1: writes through different replicas ==\n");
+  cluster.broadcast(1, KvStore::encode_put("user:42", "alice"));
+  cluster.broadcast(3, KvStore::encode_put("user:43", "bob"));
+  cluster.broadcast(4, KvStore::encode_put("config", "v1"));
+  cluster.sim().run();
+
+  std::printf("== phase 2: five replicas race a CAS on the same key ==\n");
+  cluster.broadcast(0, KvStore::encode_put("lease", "free"));
+  cluster.sim().run();
+  for (NodeId n = 0; n < 5; ++n) {
+    cluster.broadcast(n, KvStore::encode_cas("lease", "free", "held-by-" + std::to_string(n)));
+  }
+  cluster.sim().run();
+  std::printf("   lease winner (agreed by all): %s\n",
+              replicas[0].get("lease")->c_str());
+
+  std::printf("== phase 3: crash the leader mid-stream ==\n");
+  for (int i = 0; i < 20; ++i) {
+    cluster.broadcast(2, KvStore::encode_put("bulk:" + std::to_string(i), "x"));
+  }
+  cluster.sim().schedule(5 * kMillisecond, [&] {
+    std::printf("   !! crashing node 0 (the sequencer)\n");
+    cluster.crash(0);
+  });
+  cluster.sim().run();
+  cluster.broadcast(1, KvStore::encode_put("after-crash", "still-working"));
+  cluster.sim().run();
+
+  std::printf("\nreplica fingerprints (survivors):\n");
+  for (NodeId n = 1; n < 5; ++n) {
+    std::printf("  replica %u: %016llx  (%zu keys, %llu commands)\n", n,
+                static_cast<unsigned long long>(replicas[n].fingerprint()),
+                replicas[n].size(),
+                static_cast<unsigned long long>(replicas[n].applied_commands()));
+  }
+  bool identical = true;
+  for (NodeId n = 2; n < 5; ++n) {
+    identical = identical && replicas[n].fingerprint() == replicas[1].fingerprint();
+  }
+  std::string err = cluster.check_all();
+  std::printf("\nreplicas identical: %s | protocol invariants: %s\n",
+              identical ? "YES" : "NO", err.empty() ? "OK" : err.c_str());
+  return (identical && err.empty()) ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+#include "app/bank.h"
+
+#include "common/bytes.h"
+#include "common/log.h"
+
+namespace fsr {
+
+Bytes Bank::encode_deposit(std::string_view account, std::int64_t amount) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kDeposit));
+  w.str(account);
+  w.u64(static_cast<std::uint64_t>(amount));
+  return w.take();
+}
+
+Bytes Bank::encode_withdraw(std::string_view account, std::int64_t amount) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kWithdraw));
+  w.str(account);
+  w.u64(static_cast<std::uint64_t>(amount));
+  return w.take();
+}
+
+Bytes Bank::encode_transfer(std::string_view from, std::string_view to,
+                            std::int64_t amount) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kTransfer));
+  w.str(from);
+  w.str(to);
+  w.u64(static_cast<std::uint64_t>(amount));
+  return w.take();
+}
+
+void Bank::apply(NodeId, const Bytes& command) {
+  try {
+    ByteReader r(command);
+    auto op = static_cast<Op>(r.u8());
+    switch (op) {
+      case Op::kDeposit: {
+        std::string account = r.str();
+        auto amount = static_cast<std::int64_t>(r.u64());
+        accounts_[account] += amount;
+        break;
+      }
+      case Op::kWithdraw: {
+        std::string account = r.str();
+        auto amount = static_cast<std::int64_t>(r.u64());
+        auto it = accounts_.find(account);
+        if (it == accounts_.end() || it->second < amount) {
+          ++rejected_;
+        } else {
+          it->second -= amount;
+        }
+        break;
+      }
+      case Op::kTransfer: {
+        std::string from = r.str();
+        std::string to = r.str();
+        auto amount = static_cast<std::int64_t>(r.u64());
+        auto it = accounts_.find(from);
+        if (it == accounts_.end() || it->second < amount) {
+          ++rejected_;
+        } else {
+          it->second -= amount;
+          accounts_[to] += amount;
+        }
+        break;
+      }
+      default:
+        FSR_WARN("bank: unknown opcode ignored");
+        return;
+    }
+    ++applied_;
+  } catch (const CodecError& e) {
+    FSR_WARN("bank: malformed command ignored: %s", e.what());
+  }
+}
+
+std::uint64_t Bank::fingerprint() const {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix_str = [&h](std::string_view s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xff;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& [name, bal] : accounts_) {
+    mix_str(name);
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<std::uint8_t>(static_cast<std::uint64_t>(bal) >> (8 * i));
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+std::int64_t Bank::balance(const std::string& account) const {
+  auto it = accounts_.find(account);
+  return it == accounts_.end() ? 0 : it->second;
+}
+
+std::int64_t Bank::total() const {
+  std::int64_t sum = 0;
+  for (const auto& [name, bal] : accounts_) sum += bal;
+  return sum;
+}
+
+}  // namespace fsr

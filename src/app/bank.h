@@ -1,0 +1,39 @@
+// A replicated bank ledger: deposits, withdrawals and transfers. Whether a
+// withdrawal succeeds depends on every previous command — any divergence in
+// delivery order between replicas shows up instantly as different balances.
+// The conserved total (deposits minus withdrawals) gives a cheap global
+// invariant for stress tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "app/state_machine.h"
+
+namespace fsr {
+
+class Bank final : public StateMachine {
+ public:
+  enum class Op : std::uint8_t { kDeposit = 1, kWithdraw = 2, kTransfer = 3 };
+
+  static Bytes encode_deposit(std::string_view account, std::int64_t amount);
+  static Bytes encode_withdraw(std::string_view account, std::int64_t amount);
+  static Bytes encode_transfer(std::string_view from, std::string_view to,
+                               std::int64_t amount);
+
+  void apply(NodeId origin, const Bytes& command) override;
+  std::uint64_t fingerprint() const override;
+
+  std::int64_t balance(const std::string& account) const;
+  std::int64_t total() const;  // sum of all balances
+  std::uint64_t rejected() const { return rejected_; }
+  std::uint64_t applied() const { return applied_; }
+
+ private:
+  std::map<std::string, std::int64_t> accounts_;
+  std::uint64_t applied_ = 0;
+  std::uint64_t rejected_ = 0;  // insufficient funds
+};
+
+}  // namespace fsr

@@ -1,0 +1,91 @@
+#include "app/kv_store.h"
+
+#include "common/bytes.h"
+#include "common/log.h"
+
+namespace fsr {
+
+namespace {
+
+Bytes encode(KvStore::Op op, std::initializer_list<std::string_view> fields) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(op));
+  for (auto f : fields) w.str(f);
+  return w.take();
+}
+
+}  // namespace
+
+Bytes KvStore::encode_put(std::string_view key, std::string_view value) {
+  return encode(Op::kPut, {key, value});
+}
+
+Bytes KvStore::encode_del(std::string_view key) { return encode(Op::kDel, {key}); }
+
+Bytes KvStore::encode_cas(std::string_view key, std::string_view expected,
+                          std::string_view value) {
+  return encode(Op::kCas, {key, expected, value});
+}
+
+void KvStore::apply(NodeId, const Bytes& command) {
+  try {
+    ByteReader r(command);
+    auto op = static_cast<Op>(r.u8());
+    switch (op) {
+      case Op::kPut: {
+        std::string key = r.str();
+        std::string value = r.str();
+        data_[key] = std::move(value);
+        break;
+      }
+      case Op::kDel: {
+        data_.erase(r.str());
+        break;
+      }
+      case Op::kCas: {
+        std::string key = r.str();
+        std::string expected = r.str();
+        std::string value = r.str();
+        auto it = data_.find(key);
+        if (it != data_.end() && it->second == expected) {
+          it->second = std::move(value);
+        } else {
+          ++failed_cas_;
+        }
+        break;
+      }
+      default:
+        FSR_WARN("kv: unknown opcode %u ignored", static_cast<unsigned>(op));
+        return;
+    }
+    ++applied_;
+  } catch (const CodecError& e) {
+    FSR_WARN("kv: malformed command ignored: %s", e.what());
+  }
+}
+
+std::uint64_t KvStore::fingerprint() const {
+  // FNV-1a over sorted (key, value) pairs; std::map iterates sorted.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::string_view s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xff;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& [k, v] : data_) {
+    mix(k);
+    mix(v);
+  }
+  return h;
+}
+
+std::optional<std::string> KvStore::get(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace fsr

@@ -1,0 +1,42 @@
+// A replicated key-value store: the canonical state machine for testing and
+// demonstrating total order broadcast. Commands are PUT / DEL / CAS
+// (compare-and-swap); CAS is where ordering visibly matters — replicas that
+// disagreed on command order would diverge immediately.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "app/state_machine.h"
+
+namespace fsr {
+
+class KvStore final : public StateMachine {
+ public:
+  enum class Op : std::uint8_t { kPut = 1, kDel = 2, kCas = 3 };
+
+  // --- command encoding (what gets TO-broadcast) ---
+  static Bytes encode_put(std::string_view key, std::string_view value);
+  static Bytes encode_del(std::string_view key);
+  static Bytes encode_cas(std::string_view key, std::string_view expected,
+                          std::string_view value);
+
+  // --- StateMachine ---
+  void apply(NodeId origin, const Bytes& command) override;
+  std::uint64_t fingerprint() const override;
+
+  // --- local (read-only) queries ---
+  std::optional<std::string> get(const std::string& key) const;
+  std::size_t size() const { return data_.size(); }
+  const std::map<std::string, std::string>& contents() const { return data_; }
+  std::uint64_t applied_commands() const { return applied_; }
+  std::uint64_t failed_cas() const { return failed_cas_; }
+
+ private:
+  std::map<std::string, std::string> data_;
+  std::uint64_t applied_ = 0;
+  std::uint64_t failed_cas_ = 0;
+};
+
+}  // namespace fsr

@@ -1,0 +1,60 @@
+// State-machine replication on top of TO-broadcast — the application the
+// paper motivates (§1): every replica applies the same commands in the same
+// order, so replica state stays identical despite crashes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "vsc/group.h"
+
+namespace fsr {
+
+/// A deterministic state machine: applies commands, answers queries, and
+/// can fingerprint its state (for replica-consistency checks).
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  /// Apply a command delivered by TO-broadcast. Must be deterministic.
+  virtual void apply(NodeId origin, const Bytes& command) = 0;
+
+  /// A digest of the full state; equal digests <=> equal replicas.
+  virtual std::uint64_t fingerprint() const = 0;
+};
+
+/// Binds a StateMachine to a GroupMember: commands submitted on any replica
+/// are TO-broadcast and applied everywhere in the identical total order.
+/// Read-only queries go straight to the local state machine (the paper's
+/// footnote 1: reads need not be broadcast).
+class Replica {
+ public:
+  Replica(GroupMember& member, StateMachine& machine)
+      : member_(member), machine_(machine) {}
+
+  /// Submit a command for replicated execution.
+  void submit(Bytes command) { member_.broadcast(std::move(command)); }
+
+  /// Wire this replica's apply loop into the group's delivery callback.
+  /// (Use when constructing the GroupMember.)
+  static Engine::DeliverFn apply_fn(StateMachine& machine,
+                                    std::function<void(const Delivery&)> tap = {}) {
+    return [&machine, tap = std::move(tap)](const Delivery& d) {
+      machine.apply(d.origin, d.payload);
+      if (tap) tap(d);
+    };
+  }
+
+  GroupMember& member() { return member_; }
+  StateMachine& machine() { return machine_; }
+  std::uint64_t fingerprint() const { return machine_.fingerprint(); }
+
+ private:
+  GroupMember& member_;
+  StateMachine& machine_;
+};
+
+}  // namespace fsr

@@ -1,0 +1,214 @@
+#include "baselines/fixed_seq_engine.h"
+
+#include <cassert>
+
+namespace fsr::baselines {
+
+namespace {
+
+std::vector<Bytes> split_payload(const Bytes& payload, std::size_t segment_size) {
+  std::vector<Bytes> out;
+  if (payload.empty()) {
+    out.emplace_back();
+    return out;
+  }
+  for (std::size_t off = 0; off < payload.size(); off += segment_size) {
+    std::size_t len = std::min(segment_size, payload.size() - off);
+    out.emplace_back(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                     payload.begin() + static_cast<std::ptrdiff_t>(off + len));
+  }
+  return out;
+}
+
+}  // namespace
+
+FixedSeqEngine::FixedSeqEngine(Transport& transport, FixedSeqConfig config,
+                               View view, DeliverFn deliver)
+    : transport_(transport),
+      cfg_(config),
+      deliver_(std::move(deliver)),
+      view_(std::move(view)) {
+  assert(view_.contains(transport_.self()));
+  if (is_sequencer()) {
+    for (NodeId m : view_.members) acked_by_[m] = 0;
+  }
+}
+
+void FixedSeqEngine::broadcast(Bytes payload) {
+  std::uint64_t app = next_app_id_++;
+  auto segments = split_payload(payload, cfg_.segment_size);
+  auto count = static_cast<std::uint32_t>(segments.size());
+  for (std::uint32_t i = 0; i < count; ++i) {
+    DataMsg m;
+    m.id = MsgId{transport_.self(), next_lsn_++};
+    m.view = view_.id;
+    m.frag = FragInfo{app, i, count};
+    m.payload = make_payload(std::move(segments[i]));
+    own_queue_.push_back(std::move(m));
+  }
+  pump();
+}
+
+void FixedSeqEngine::on_frame(const Frame& frame) {
+  for (const auto& msg : frame.msgs) {
+    if (const auto* d = std::get_if<DataMsg>(&msg)) {
+      handle_data(*d);
+    } else if (const auto* s = std::get_if<SeqMsg>(&msg)) {
+      handle_seq(*s);
+    } else if (const auto* a = std::get_if<AckMsg>(&msg)) {
+      handle_ack(*a);
+    } else if (const auto* g = std::get_if<GcMsg>(&msg)) {
+      handle_stable(g->all_delivered);
+    }
+  }
+  pump();
+}
+
+void FixedSeqEngine::on_tx_ready() { pump(); }
+
+void FixedSeqEngine::handle_data(const DataMsg& m) {
+  assert(is_sequencer());
+  sequence(m.id, m.frag, m.payload);
+}
+
+void FixedSeqEngine::sequence(const MsgId& id, const FragInfo& frag, Payload payload) {
+  GlobalSeq s = next_seq_++;
+  records_[s] = Record{id, frag, payload};
+  received_contig_ = s;  // the sequencer holds everything it assigned
+  acked_by_[transport_.self()] = s;
+  SeqMsg out;
+  out.id = id;
+  out.seq = s;
+  out.view = view_.id;
+  out.frag = frag;
+  out.payload = std::move(payload);
+  for (NodeId m : view_.members) {
+    if (m != transport_.self()) bcast_queue_.push_back({m, out});
+  }
+  recompute_stable();
+}
+
+void FixedSeqEngine::handle_seq(const SeqMsg& m) {
+  records_.emplace(m.seq, Record{m.id, m.frag, m.payload});
+  while (records_.count(received_contig_ + 1) > 0) ++received_contig_;
+  try_deliver();
+}
+
+void FixedSeqEngine::handle_ack(const AckMsg& a) {
+  assert(is_sequencer());
+  auto& w = acked_by_[a.id.origin];
+  w = std::max(w, a.seq);
+  recompute_stable();
+}
+
+void FixedSeqEngine::handle_stable(GlobalSeq w) {
+  stable_seen_ = std::max(stable_seen_, w);
+  try_deliver();
+}
+
+void FixedSeqEngine::recompute_stable() {
+  GlobalSeq s = next_seq_;
+  for (const auto& [node, w] : acked_by_) s = std::min(s, w);
+  stable_ = std::max(stable_, s);
+  stable_seen_ = std::max(stable_seen_, stable_);
+  try_deliver();
+}
+
+void FixedSeqEngine::try_deliver() {
+  for (;;) {
+    if (next_deliver_ > stable_seen_) break;
+    auto it = records_.find(next_deliver_);
+    if (it == records_.end()) break;
+    Record rec = std::move(it->second);
+    records_.erase(it);
+    ++next_deliver_;
+
+    NodeId origin = rec.id.origin;
+    if (origin == transport_.self() && own_in_flight_ > 0) --own_in_flight_;
+    auto& r = reasm_[origin];
+    if (rec.frag.index == 0) r = Reassembly{rec.frag.app_msg, 0, {}};
+    if (rec.payload) r.data.insert(r.data.end(), rec.payload->begin(), rec.payload->end());
+    ++r.next_index;
+    if (r.next_index == rec.frag.count) {
+      Delivery d;
+      d.origin = origin;
+      d.app_msg = rec.frag.app_msg;
+      d.seq = next_deliver_ - 1;
+      d.view = view_.id;
+      d.payload = std::move(r.data);
+      r = Reassembly{};
+      if (deliver_) deliver_(d);
+    }
+  }
+}
+
+void FixedSeqEngine::pump() {
+  if (in_pump_) return;
+  in_pump_ = true;
+  while (transport_.tx_idle()) {
+    if (is_sequencer()) {
+      // Inject own segments into the sequencing stream.
+      if (bcast_queue_.empty() && !own_queue_.empty() && own_in_flight_ < cfg_.window) {
+        DataMsg m = std::move(own_queue_.front());
+        own_queue_.pop_front();
+        ++own_in_flight_;
+        sequence(m.id, m.frag, std::move(m.payload));
+      }
+      if (!bcast_queue_.empty()) {
+        auto [dest, msg] = std::move(bcast_queue_.front());
+        bcast_queue_.pop_front();
+        Frame f;
+        f.from = transport_.self();
+        f.to = dest;
+        f.msgs.push_back(std::move(msg));
+        // Piggyback the latest stability watermark on every fan-out frame.
+        if (stable_ > 0) f.msgs.push_back(GcMsg{stable_, view_.id, 1});
+        announced_stable_ = std::max(announced_stable_, stable_);
+        transport_.send(std::move(f));
+        continue;
+      }
+      if (stable_ > announced_stable_) {
+        // Idle stability announcement: one frame per member.
+        announced_stable_ = stable_;
+        for (NodeId m : view_.members) {
+          if (m == transport_.self()) continue;
+          Frame f;
+          f.from = transport_.self();
+          f.to = m;
+          f.msgs.push_back(GcMsg{stable_, view_.id, 1});
+          transport_.send(std::move(f));
+        }
+        continue;
+      }
+      break;
+    }
+
+    // Non-sequencer: DATA (with a piggybacked cumulative ack) or a
+    // standalone ack.
+    bool own_ok = !own_queue_.empty() && own_in_flight_ < cfg_.window;
+    bool ack_due = received_contig_ > acked_;
+    if (!own_ok && !ack_due) break;
+    Frame f;
+    f.from = transport_.self();
+    f.to = view_.leader();
+    if (own_ok) {
+      DataMsg m = std::move(own_queue_.front());
+      own_queue_.pop_front();
+      ++own_in_flight_;
+      f.msgs.push_back(std::move(m));
+    }
+    if (ack_due) {
+      AckMsg a;
+      a.id = MsgId{transport_.self(), 0};
+      a.seq = received_contig_;
+      a.view = view_.id;
+      a.stable = false;
+      acked_ = received_contig_;
+      f.msgs.push_back(a);
+    }
+    transport_.send(std::move(f));
+  }
+  in_pump_ = false;
+}
+
+}  // namespace fsr::baselines

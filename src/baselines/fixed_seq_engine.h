@@ -1,0 +1,105 @@
+// A packet-level uniform fixed-sequencer TO-broadcast engine (paper §2.1,
+// Fig. 1) running over the same Transport/cluster model as FSR, so the two
+// can be compared in Mb/s on the identical simulated testbed.
+//
+// Protocol: senders unicast DATA to the sequencer; the sequencer assigns
+// sequence numbers and *broadcasts* each (m, seq) — which on a unicast
+// network means n-1 physical sends through its single NIC; receivers return
+// cumulative acks (piggybacked on their own DATA when they are senders);
+// once every process acked seq s, the sequencer announces the stability
+// watermark (piggybacked on the next SEQ broadcast) and everyone delivers
+// in order.
+//
+// The broadcast fan-out is the point: the sequencer's NIC must carry
+// (n-1) copies of every payload, so its TX serializer caps goodput near
+// wire/(n-1) — the bottleneck FSR's ring dissemination removes.
+//
+// Failure-free only (benchmark baseline; no view changes).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "fsr/engine.h"  // Delivery, EngineConfig field types
+#include "fsr/view.h"
+#include "transport/transport.h"
+
+namespace fsr::baselines {
+
+struct FixedSeqConfig {
+  std::size_t segment_size = 100 * 1024;
+  std::size_t window = 16;  // own segments in flight per sender
+};
+
+class FixedSeqEngine {
+ public:
+  using DeliverFn = std::function<void(const Delivery&)>;
+
+  FixedSeqEngine(Transport& transport, FixedSeqConfig config, View view,
+                 DeliverFn deliver);
+
+  FixedSeqEngine(const FixedSeqEngine&) = delete;
+  FixedSeqEngine& operator=(const FixedSeqEngine&) = delete;
+
+  void broadcast(Bytes payload);
+  void on_frame(const Frame& frame);
+  void on_tx_ready();
+
+  bool is_sequencer() const { return transport_.self() == view_.leader(); }
+  GlobalSeq delivered_watermark() const { return next_deliver_ - 1; }
+
+ private:
+  struct Record {
+    MsgId id;
+    FragInfo frag;
+    Payload payload;
+  };
+
+  struct Reassembly {
+    std::uint64_t app_msg = 0;
+    std::uint32_t next_index = 0;
+    Bytes data;
+  };
+
+  void handle_data(const DataMsg& m);
+  void handle_seq(const SeqMsg& m);
+  void handle_ack(const AckMsg& a);
+  void handle_stable(GlobalSeq w);
+  void sequence(const MsgId& id, const FragInfo& frag, Payload payload);
+  void recompute_stable();
+  void try_deliver();
+  void pump();
+
+  Transport& transport_;
+  FixedSeqConfig cfg_;
+  DeliverFn deliver_;
+  View view_;
+
+  bool in_pump_ = false;
+
+  // Sender side.
+  LocalSeq next_lsn_ = 1;
+  std::uint64_t next_app_id_ = 1;
+  std::deque<DataMsg> own_queue_;
+  std::size_t own_in_flight_ = 0;
+  GlobalSeq acked_ = 0;  // cumulative ack already sent to the sequencer
+
+  // Sequencer side.
+  GlobalSeq next_seq_ = 1;
+  std::deque<std::pair<NodeId, SeqMsg>> bcast_queue_;  // fan-out sends
+  std::unordered_map<NodeId, GlobalSeq> acked_by_;
+  GlobalSeq stable_ = 0;
+  GlobalSeq announced_stable_ = 0;
+
+  // Delivery side (all nodes).
+  GlobalSeq received_contig_ = 0;  // highest contiguous SEQ received
+  GlobalSeq stable_seen_ = 0;      // stability watermark learned
+  GlobalSeq next_deliver_ = 1;
+  std::map<GlobalSeq, Record> records_;
+  std::unordered_map<NodeId, Reassembly> reasm_;
+};
+
+}  // namespace fsr::baselines

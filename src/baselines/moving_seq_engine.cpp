@@ -1,0 +1,303 @@
+#include "baselines/moving_seq_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fsr::baselines {
+
+namespace {
+
+std::vector<Bytes> split_payload(const Bytes& payload, std::size_t segment_size) {
+  std::vector<Bytes> out;
+  if (payload.empty()) {
+    out.emplace_back();
+    return out;
+  }
+  for (std::size_t off = 0; off < payload.size(); off += segment_size) {
+    std::size_t len = std::min(segment_size, payload.size() - off);
+    out.emplace_back(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                     payload.begin() + static_cast<std::ptrdiff_t>(off + len));
+  }
+  return out;
+}
+
+}  // namespace
+
+MovingSeqEngine::MovingSeqEngine(Transport& transport, MovingSeqConfig config,
+                                 View view, DeliverFn deliver)
+    : transport_(transport),
+      cfg_(config),
+      deliver_(std::move(deliver)),
+      view_(std::move(view)) {
+  assert(view_.contains(transport_.self()));
+  if (my_pos() == 0) {
+    holder_ = true;
+    token_.next_seq = 1;
+    token_.view = view_.id;
+    token_.acked.assign(view_.size(), 0);
+  }
+}
+
+void MovingSeqEngine::broadcast(Bytes payload) {
+  std::uint64_t app = next_app_id_++;
+  auto segments = split_payload(payload, cfg_.segment_size);
+  auto count = static_cast<std::uint32_t>(segments.size());
+  for (std::uint32_t i = 0; i < count; ++i) {
+    DataMsg m;
+    m.id = MsgId{transport_.self(), next_lsn_++};
+    m.view = view_.id;
+    m.frag = FragInfo{app, i, count};
+    m.payload = make_payload(std::move(segments[i]));
+    own_queue_.push_back(std::move(m));
+  }
+  pump();
+}
+
+void MovingSeqEngine::on_frame(const Frame& frame) {
+  for (const auto& msg : frame.msgs) {
+    if (const auto* d = std::get_if<DataMsg>(&msg)) {
+      handle_data(*d);
+    } else if (const auto* s = std::get_if<SeqMsg>(&msg)) {
+      handle_assign(*s);
+    } else if (const auto* t = std::get_if<TokenMsg>(&msg)) {
+      handle_token(*t);
+    } else if (const auto* g = std::get_if<GcMsg>(&msg)) {
+      handle_stable(g->all_delivered);
+    } else if (std::holds_alternative<Heartbeat>(msg)) {
+      // Someone wants sequencing service: unpark the token.
+      if (holder_ && parked_) {
+        parked_ = false;
+        token_.idle_laps = 0;
+      }
+    }
+  }
+  pump();
+}
+
+void MovingSeqEngine::on_tx_ready() { pump(); }
+
+void MovingSeqEngine::note_unsequenced(const MsgId& id) {
+  if (first_seq_.count(id) == 0) unsequenced_.push_back(id);
+}
+
+void MovingSeqEngine::record_assignment(GlobalSeq seq, const MsgId& id) {
+  assignments_.emplace(seq, id);
+  auto [it, inserted] = first_seq_.emplace(id, seq);
+  if (!inserted && seq < it->second) it->second = seq;
+}
+
+bool MovingSeqEngine::slot_valid(GlobalSeq seq) const {
+  auto it = assignments_.find(seq);
+  if (it == assignments_.end()) return false;
+  auto fit = first_seq_.find(it->second);
+  return fit != first_seq_.end() && fit->second == seq;
+}
+
+void MovingSeqEngine::advance_contig() {
+  for (;;) {
+    GlobalSeq next = received_contig_ + 1;
+    auto it = assignments_.find(next);
+    if (it == assignments_.end()) break;
+    // A valid (deliverable) slot counts once its payload is here; a null
+    // slot (duplicate assignment, lower seq won) counts unconditionally.
+    if (slot_valid(next) && store_.count(it->second) == 0) break;
+    ++received_contig_;
+  }
+}
+
+void MovingSeqEngine::handle_data(const DataMsg& m) {
+  if (store_.emplace(m.id, Stored{m.frag, m.payload}).second) {
+    note_unsequenced(m.id);
+  }
+  advance_contig();
+  try_deliver();
+}
+
+void MovingSeqEngine::handle_assign(const SeqMsg& m) {
+  record_assignment(m.seq, m.id);
+  advance_contig();
+  try_deliver();
+}
+
+void MovingSeqEngine::handle_token(const TokenMsg& t) {
+  holder_ = true;
+  parked_ = false;
+  request_sent_ = false;
+  token_ = t;
+  if (token_.acked.size() != view_.size()) token_.acked.assign(view_.size(), 0);
+  assigned_in_visit_ = 0;
+  try_deliver();
+}
+
+void MovingSeqEngine::handle_stable(GlobalSeq w) {
+  stable_seen_ = std::max(stable_seen_, w);
+  try_deliver();
+}
+
+void MovingSeqEngine::try_deliver() {
+  for (;;) {
+    if (next_deliver_ > stable_seen_) break;
+    auto it = assignments_.find(next_deliver_);
+    if (it == assignments_.end()) break;
+    if (!slot_valid(next_deliver_)) {
+      // Null slot: the id was delivered under a lower sequence number.
+      assignments_.erase(it);
+      ++next_deliver_;
+      continue;
+    }
+    auto sit = store_.find(it->second);
+    if (sit == store_.end()) break;
+    MsgId id = it->second;
+    Stored st = std::move(sit->second);
+    store_.erase(sit);
+    assignments_.erase(it);
+    ++next_deliver_;
+
+    auto& r = reasm_[id.origin];
+    if (st.frag.index == 0) r = Reassembly{st.frag.app_msg, 0, {}};
+    if (st.payload) r.data.insert(r.data.end(), st.payload->begin(), st.payload->end());
+    ++r.next_index;
+    if (r.next_index == st.frag.count) {
+      Delivery d;
+      d.origin = id.origin;
+      d.app_msg = st.frag.app_msg;
+      d.seq = next_deliver_ - 1;
+      d.view = view_.id;
+      d.payload = std::move(r.data);
+      r = Reassembly{};
+      if (deliver_) deliver_(d);
+    }
+  }
+}
+
+void MovingSeqEngine::pump() {
+  if (in_pump_) return;
+  in_pump_ = true;
+  if (view_.size() <= 1) {
+    while (!own_queue_.empty()) {
+      DataMsg m = std::move(own_queue_.front());
+      own_queue_.pop_front();
+      GlobalSeq s = token_.next_seq++;
+      store_.emplace(m.id, Stored{m.frag, m.payload});
+      record_assignment(s, m.id);
+      stable_seen_ = std::max(stable_seen_, s);
+    }
+    try_deliver();
+    in_pump_ = false;
+    return;
+  }
+
+  while (transport_.tx_idle()) {
+    // 1. Disseminate own payloads (independent of the token).
+    if (!own_queue_.empty() && data_fanout_.empty()) {
+      DataMsg m = std::move(own_queue_.front());
+      own_queue_.pop_front();
+      store_.emplace(m.id, Stored{m.frag, m.payload});
+      note_unsequenced(m.id);
+      for (NodeId member : view_.members) {
+        if (member != transport_.self()) data_fanout_.push_back({member, m});
+      }
+    }
+    if (!data_fanout_.empty()) {
+      auto [dest, msg] = std::move(data_fanout_.front());
+      data_fanout_.pop_front();
+      Frame f;
+      f.from = transport_.self();
+      f.to = dest;
+      f.msgs.push_back(std::move(msg));
+      if (stable_seen_ > 0) f.msgs.push_back(GcMsg{stable_seen_, view_.id, 1});
+      transport_.send(std::move(f));
+      continue;
+    }
+
+    if (!holder_) {
+      // Unsequenced backlog but no token in sight: nudge the holder.
+      if (!unsequenced_.empty() && !request_sent_) {
+        request_sent_ = true;
+        for (NodeId member : view_.members) {
+          if (member == transport_.self()) continue;
+          Frame f;
+          f.from = transport_.self();
+          f.to = member;
+          f.msgs.push_back(Heartbeat{view_.id});
+          transport_.send(std::move(f));
+        }
+        continue;
+      }
+      break;
+    }
+    if (parked_) {
+      if (unsequenced_.empty()) break;
+      parked_ = false;
+      token_.idle_laps = 0;
+      assigned_in_visit_ = 0;
+    }
+
+    // 2. Drain assignment fan-out (tiny control frames).
+    if (!assign_fanout_.empty()) {
+      auto [dest, msg] = std::move(assign_fanout_.front());
+      assign_fanout_.pop_front();
+      Frame f;
+      f.from = transport_.self();
+      f.to = dest;
+      f.msgs.push_back(std::move(msg));
+      if (stable_seen_ > 0) f.msgs.push_back(GcMsg{stable_seen_, view_.id, 1});
+      transport_.send(std::move(f));
+      continue;
+    }
+
+    // 3. Pass the token once the fan-out drained.
+    if (pass_pending_) {
+      pass_pending_ = false;
+      holder_ = false;
+      Frame f;
+      f.from = transport_.self();
+      f.to = view_.at(my_pos() + 1);
+      f.msgs.push_back(token_);
+      if (stable_seen_ > 0) f.msgs.push_back(GcMsg{stable_seen_, view_.id, 1});
+      transport_.send(std::move(f));
+      continue;
+    }
+
+    // 4. Assign sequence numbers to pending messages.
+    while (!unsequenced_.empty() && first_seq_.count(unsequenced_.front()) > 0) {
+      unsequenced_.pop_front();  // another holder beat us to it
+    }
+    if (!unsequenced_.empty() && assigned_in_visit_ < cfg_.batch) {
+      MsgId id = unsequenced_.front();
+      unsequenced_.pop_front();
+      ++assigned_in_visit_;
+      GlobalSeq s = token_.next_seq++;
+      record_assignment(s, id);
+      advance_contig();
+      SeqMsg out;
+      out.id = id;
+      out.seq = s;
+      out.view = view_.id;
+      // No payload: receivers already hold it from the sender's fan-out.
+      for (NodeId member : view_.members) {
+        if (member != transport_.self()) assign_fanout_.push_back({member, out});
+      }
+      continue;
+    }
+
+    // 5. Nothing to assign: update the token entry and pass (or park after
+    //    enough idle rotations for stability to converge and spread).
+    token_.acked[my_pos()] = received_contig_;
+    GlobalSeq stable = *std::min_element(token_.acked.begin(), token_.acked.end());
+    stable_seen_ = std::max(stable_seen_, stable);
+    try_deliver();
+    if (assigned_in_visit_ == 0) {
+      if (++token_.idle_laps > 3 * view_.size()) {
+        parked_ = true;
+        continue;
+      }
+    } else {
+      token_.idle_laps = 0;
+    }
+    pass_pending_ = true;
+  }
+  in_pump_ = false;
+}
+
+}  // namespace fsr::baselines

@@ -1,0 +1,122 @@
+// A packet-level moving-sequencer TO-broadcast engine (paper §2.2, Fig. 2,
+// Chang–Maxemchuk style) over the same Transport/cluster model as FSR.
+//
+// Senders disseminate their own payload directly (unicast fan-out to every
+// other member — the paper's setting is point-to-point TCP). A token
+// rotates; the holder assigns sequence numbers to the unsequenced messages
+// it has received so far and fans out *tiny* assignment messages (SeqMsg
+// without payload — receivers pair the sequence number with the payload
+// they already stored). Uniform stability: the token carries per-member
+// cumulative watermarks; their minimum is safe to deliver and is
+// disseminated piggybacked on payload and token frames.
+//
+// Compared with the fixed sequencer this removes the payload fan-out from
+// the sequencer's NIC (its §2.2 selling point) — but every *sender* still
+// fans out n-1 payload copies, so the class lands between the fixed
+// sequencer and FSR on throughput. Failure-free only (benchmark baseline).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "fsr/engine.h"  // Delivery
+#include "fsr/view.h"
+#include "transport/transport.h"
+
+namespace fsr::baselines {
+
+struct MovingSeqConfig {
+  std::size_t segment_size = 100 * 1024;
+  std::size_t batch = 8;  // assignments per token visit
+};
+
+class MovingSeqEngine {
+ public:
+  using DeliverFn = std::function<void(const Delivery&)>;
+
+  MovingSeqEngine(Transport& transport, MovingSeqConfig config, View view,
+                  DeliverFn deliver);
+
+  MovingSeqEngine(const MovingSeqEngine&) = delete;
+  MovingSeqEngine& operator=(const MovingSeqEngine&) = delete;
+
+  void broadcast(Bytes payload);
+  void on_frame(const Frame& frame);
+  void on_tx_ready();
+
+  GlobalSeq delivered_watermark() const { return next_deliver_ - 1; }
+
+  // Introspection (tests/diagnostics).
+  GlobalSeq received_contig() const { return received_contig_; }
+  GlobalSeq stable_seen() const { return stable_seen_; }
+  std::size_t unsequenced_count() const { return unsequenced_.size(); }
+  std::size_t store_size() const { return store_.size(); }
+
+ private:
+  struct Stored {
+    FragInfo frag;
+    Payload payload;
+  };
+
+  struct Reassembly {
+    std::uint64_t app_msg = 0;
+    std::uint32_t next_index = 0;
+    Bytes data;
+  };
+
+  void handle_data(const DataMsg& m);
+  void handle_assign(const SeqMsg& m);
+  void record_assignment(GlobalSeq seq, const MsgId& id);
+  bool slot_valid(GlobalSeq seq) const;
+  void advance_contig();
+  void handle_token(const TokenMsg& t);
+  void handle_stable(GlobalSeq w);
+  void note_unsequenced(const MsgId& id);
+  void try_deliver();
+  void pump();
+  Position my_pos() const { return *view_.position_of(transport_.self()); }
+
+  Transport& transport_;
+  MovingSeqConfig cfg_;
+  DeliverFn deliver_;
+  View view_;
+
+  bool in_pump_ = false;
+
+  // Sender side.
+  LocalSeq next_lsn_ = 1;
+  std::uint64_t next_app_id_ = 1;
+  std::deque<DataMsg> own_queue_;                      // not yet disseminated
+  std::deque<std::pair<NodeId, DataMsg>> data_fanout_; // payload copies to send
+
+  // Token / sequencing state.
+  bool holder_ = false;
+  bool parked_ = false;
+  bool request_sent_ = false;
+  TokenMsg token_;
+  std::size_t assigned_in_visit_ = 0;
+  bool pass_pending_ = false;
+  std::deque<std::pair<NodeId, SeqMsg>> assign_fanout_;  // tiny control sends
+  std::deque<MsgId> unsequenced_;                        // arrival order
+
+  // Duplicate-assignment resolution: two holders can assign the same id
+  // when a token overtakes an assignment fan-out on another link. The
+  // lowest sequence number wins deterministically; later slots for the same
+  // id become null (skipped by everyone — safe because a slot only becomes
+  // deliverable after every lower slot's assignment has been seen).
+  std::unordered_map<MsgId, GlobalSeq> first_seq_;
+
+  // Delivery side.
+  std::unordered_map<MsgId, Stored> store_;   // payloads by id
+  std::map<GlobalSeq, MsgId> assignments_;    // seq -> id
+  GlobalSeq received_contig_ = 0;  // contiguous assignments with payload
+  GlobalSeq stable_seen_ = 0;
+  GlobalSeq next_deliver_ = 1;
+  std::unordered_map<NodeId, Reassembly> reasm_;
+};
+
+}  // namespace fsr::baselines

@@ -1,0 +1,239 @@
+#include "baselines/privilege_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fsr::baselines {
+
+namespace {
+
+std::vector<Bytes> split_payload(const Bytes& payload, std::size_t segment_size) {
+  std::vector<Bytes> out;
+  if (payload.empty()) {
+    out.emplace_back();
+    return out;
+  }
+  for (std::size_t off = 0; off < payload.size(); off += segment_size) {
+    std::size_t len = std::min(segment_size, payload.size() - off);
+    out.emplace_back(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                     payload.begin() + static_cast<std::ptrdiff_t>(off + len));
+  }
+  return out;
+}
+
+}  // namespace
+
+PrivilegeEngine::PrivilegeEngine(Transport& transport, PrivilegeConfig config,
+                                 View view, DeliverFn deliver)
+    : transport_(transport),
+      cfg_(config),
+      deliver_(std::move(deliver)),
+      view_(std::move(view)) {
+  assert(view_.contains(transport_.self()));
+  if (my_pos() == 0) {
+    // The first member starts with the token.
+    holder_ = true;
+    token_.next_seq = 1;
+    token_.view = view_.id;
+    token_.acked.assign(view_.size(), 0);
+  }
+}
+
+void PrivilegeEngine::broadcast(Bytes payload) {
+  std::uint64_t app = next_app_id_++;
+  auto segments = split_payload(payload, cfg_.segment_size);
+  auto count = static_cast<std::uint32_t>(segments.size());
+  for (std::uint32_t i = 0; i < count; ++i) {
+    DataMsg m;
+    m.id = MsgId{transport_.self(), next_lsn_++};
+    m.view = view_.id;
+    m.frag = FragInfo{app, i, count};
+    m.payload = make_payload(std::move(segments[i]));
+    own_queue_.push_back(std::move(m));
+  }
+  pump();
+}
+
+void PrivilegeEngine::on_frame(const Frame& frame) {
+  for (const auto& msg : frame.msgs) {
+    if (const auto* s = std::get_if<SeqMsg>(&msg)) {
+      handle_seq(*s);
+    } else if (const auto* t = std::get_if<TokenMsg>(&msg)) {
+      handle_token(*t);
+    } else if (const auto* g = std::get_if<GcMsg>(&msg)) {
+      handle_stable(g->all_delivered);
+    } else if (std::holds_alternative<Heartbeat>(msg)) {
+      handle_request();
+    }
+  }
+  pump();
+}
+
+void PrivilegeEngine::handle_request() {
+  // Someone wants the privilege: a parked holder resumes rotation.
+  if (holder_ && parked_) {
+    parked_ = false;
+    token_.idle_laps = 0;
+  }
+}
+
+void PrivilegeEngine::on_tx_ready() { pump(); }
+
+void PrivilegeEngine::handle_seq(const SeqMsg& m) {
+  records_.emplace(m.seq, Record{m.id, m.frag, m.payload});
+  while (records_.count(received_contig_ + 1) > 0) ++received_contig_;
+  try_deliver();
+}
+
+void PrivilegeEngine::handle_token(const TokenMsg& t) {
+  holder_ = true;
+  parked_ = false;
+  request_sent_ = false;
+  token_ = t;
+  if (token_.acked.size() != view_.size()) token_.acked.assign(view_.size(), 0);
+  sent_in_visit_ = 0;
+  try_deliver();
+}
+
+void PrivilegeEngine::handle_stable(GlobalSeq w) {
+  stable_seen_ = std::max(stable_seen_, w);
+  try_deliver();
+}
+
+void PrivilegeEngine::try_deliver() {
+  for (;;) {
+    if (next_deliver_ > stable_seen_) break;
+    auto it = records_.find(next_deliver_);
+    if (it == records_.end()) break;
+    Record rec = std::move(it->second);
+    records_.erase(it);
+    ++next_deliver_;
+
+    NodeId origin = rec.id.origin;
+    auto& r = reasm_[origin];
+    if (rec.frag.index == 0) r = Reassembly{rec.frag.app_msg, 0, {}};
+    if (rec.payload) r.data.insert(r.data.end(), rec.payload->begin(), rec.payload->end());
+    ++r.next_index;
+    if (r.next_index == rec.frag.count) {
+      Delivery d;
+      d.origin = origin;
+      d.app_msg = rec.frag.app_msg;
+      d.seq = next_deliver_ - 1;
+      d.view = view_.id;
+      d.payload = std::move(r.data);
+      r = Reassembly{};
+      if (deliver_) deliver_(d);
+    }
+  }
+}
+
+void PrivilegeEngine::pump() {
+  if (in_pump_) return;
+  in_pump_ = true;
+  if (view_.size() <= 1) {
+    // Singleton: sequence and deliver locally.
+    while (!own_queue_.empty()) {
+      DataMsg m = std::move(own_queue_.front());
+      own_queue_.pop_front();
+      GlobalSeq s = token_.next_seq++;
+      records_.emplace(s, Record{m.id, m.frag, m.payload});
+      stable_seen_ = std::max(stable_seen_, s);
+    }
+    try_deliver();
+    in_pump_ = false;
+    return;
+  }
+  while (transport_.tx_idle()) {
+    if (!holder_) {
+      // A sender without the privilege nudges the (possibly parked) holder.
+      if (!own_queue_.empty() && !request_sent_) {
+        request_sent_ = true;
+        for (NodeId member : view_.members) {
+          if (member == transport_.self()) continue;
+          Frame f;
+          f.from = transport_.self();
+          f.to = member;
+          f.msgs.push_back(Heartbeat{view_.id});
+          transport_.send(std::move(f));
+        }
+        continue;
+      }
+      break;
+    }
+    if (parked_) {
+      if (own_queue_.empty()) break;  // stay parked until there is work
+      parked_ = false;
+      token_.idle_laps = 0;
+      sent_in_visit_ = 0;
+    }
+
+    // 1. Drain pending fan-out copies of already-sequenced segments.
+    if (!fanout_.empty()) {
+      auto [dest, msg] = std::move(fanout_.front());
+      fanout_.pop_front();
+      Frame f;
+      f.from = transport_.self();
+      f.to = dest;
+      f.msgs.push_back(std::move(msg));
+      if (stable_seen_ > 0) f.msgs.push_back(GcMsg{stable_seen_, view_.id, 1});
+      transport_.send(std::move(f));
+      continue;
+    }
+
+    // 2. Pass the token if we decided to (after the fan-out drained).
+    if (pass_pending_) {
+      pass_pending_ = false;
+      holder_ = false;
+      Frame f;
+      f.from = transport_.self();
+      f.to = view_.at(my_pos() + 1);
+      f.msgs.push_back(token_);
+      if (stable_seen_ > 0) f.msgs.push_back(GcMsg{stable_seen_, view_.id, 1});
+      transport_.send(std::move(f));
+      continue;
+    }
+
+    // 3. Sequence the next own segment, or decide to pass.
+    if (!own_queue_.empty() && sent_in_visit_ < cfg_.hold_max) {
+      DataMsg m = std::move(own_queue_.front());
+      own_queue_.pop_front();
+      ++sent_in_visit_;
+      SeqMsg out;
+      out.id = m.id;
+      out.seq = token_.next_seq++;
+      out.view = view_.id;
+      out.frag = m.frag;
+      out.payload = std::move(m.payload);
+      records_.emplace(out.seq, Record{out.id, out.frag, out.payload});
+      while (records_.count(received_contig_ + 1) > 0) ++received_contig_;
+      for (NodeId member : view_.members) {
+        if (member != transport_.self()) fanout_.push_back({member, out});
+      }
+      continue;
+    }
+
+    // Nothing (more) to send this visit: refresh our token entry and pass
+    // (or park the token after a full idle rotation, so an idle ring goes
+    // quiet; a Heartbeat request wakes it).
+    token_.acked[my_pos()] = received_contig_;
+    GlobalSeq stable = *std::min_element(token_.acked.begin(), token_.acked.end());
+    stable_seen_ = std::max(stable_seen_, stable);
+    try_deliver();
+    if (sent_in_visit_ == 0) {
+      // idle_laps counts idle *visits*; three full rotations guarantee the
+      // ack entries converged and the stability watermark reached everyone
+      // (a freshly sequenced payload can lag behind the token: the token is
+      // tiny and skips the marshal stage the payload still sits in).
+      if (++token_.idle_laps > 3 * view_.size()) {
+        parked_ = true;
+        continue;
+      }
+    } else {
+      token_.idle_laps = 0;
+    }
+    pass_pending_ = true;
+  }
+  in_pump_ = false;
+}
+
+}  // namespace fsr::baselines

@@ -1,0 +1,103 @@
+// A packet-level privilege-based (token ring) TO-broadcast engine (paper
+// §2.3, Fig. 3 — the class FSR is built to beat) over the same Transport
+// and cluster model as FSR, for Mb/s and fairness comparison on identical
+// hardware assumptions.
+//
+// Only the token holder may broadcast: it sequences up to `hold_max` of its
+// own segments per visit, disseminating each by unicast fan-out (the
+// paper's setting is point-to-point TCP — no IP multicast), updates its
+// cumulative-ack entry in the token and passes the token on. A sequence
+// number is uniformly stable once every member's token entry covers it
+// (i.e. after a full rotation); the current stability watermark is
+// piggybacked on every payload frame.
+//
+// The §2.3 trade-off is structural: small hold_max interleaves senders
+// fairly but pays a token rotation per few messages; large hold_max
+// approaches the NIC fan-out limit but serves senders in long bursts.
+// Failure-free only (benchmark baseline).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "fsr/engine.h"  // Delivery
+#include "fsr/view.h"
+#include "transport/transport.h"
+
+namespace fsr::baselines {
+
+struct PrivilegeConfig {
+  std::size_t segment_size = 100 * 1024;
+  std::size_t hold_max = 8;  // segments a holder may send per token visit
+};
+
+class PrivilegeEngine {
+ public:
+  using DeliverFn = std::function<void(const Delivery&)>;
+
+  PrivilegeEngine(Transport& transport, PrivilegeConfig config, View view,
+                  DeliverFn deliver);
+
+  PrivilegeEngine(const PrivilegeEngine&) = delete;
+  PrivilegeEngine& operator=(const PrivilegeEngine&) = delete;
+
+  void broadcast(Bytes payload);
+  void on_frame(const Frame& frame);
+  void on_tx_ready();
+
+  GlobalSeq delivered_watermark() const { return next_deliver_ - 1; }
+
+ private:
+  struct Record {
+    MsgId id;
+    FragInfo frag;
+    Payload payload;
+  };
+
+  struct Reassembly {
+    std::uint64_t app_msg = 0;
+    std::uint32_t next_index = 0;
+    Bytes data;
+  };
+
+  void handle_seq(const SeqMsg& m);
+  void handle_token(const TokenMsg& t);
+  void handle_request();
+  void handle_stable(GlobalSeq w);
+  void try_deliver();
+  void pump();
+  Position my_pos() const { return *view_.position_of(transport_.self()); }
+
+  Transport& transport_;
+  PrivilegeConfig cfg_;
+  DeliverFn deliver_;
+  View view_;
+
+  bool in_pump_ = false;
+
+  // Sender side.
+  LocalSeq next_lsn_ = 1;
+  std::uint64_t next_app_id_ = 1;
+  std::deque<DataMsg> own_queue_;  // segments awaiting the privilege
+
+  // Token state (valid while holding).
+  bool holder_ = false;
+  bool parked_ = false;  // idle token held quietly until someone needs it
+  TokenMsg token_;
+  std::size_t sent_in_visit_ = 0;
+  std::deque<std::pair<NodeId, SeqMsg>> fanout_;  // unicast copies to send
+  bool pass_pending_ = false;                     // token goes out after fanout
+  bool request_sent_ = false;                     // asked the parked holder once
+
+  // Delivery side.
+  GlobalSeq received_contig_ = 0;
+  GlobalSeq stable_seen_ = 0;
+  GlobalSeq next_deliver_ = 1;
+  std::map<GlobalSeq, Record> records_;
+  std::unordered_map<NodeId, Reassembly> reasm_;
+};
+
+}  // namespace fsr::baselines

@@ -1,0 +1,142 @@
+// Bounds-checked binary reader/writer used by the wire codec.
+// Little-endian fixed-width integers plus LEB128-style varints.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fsr {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Thrown on malformed input (truncated buffer, oversized length field, ...).
+/// Callers at trust boundaries (e.g. the TCP reader) catch this and drop the
+/// offending connection instead of crashing.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u16(std::uint16_t v) { fixed(v); }
+  void u32(std::uint32_t v) { fixed(v); }
+  void u64(std::uint64_t v) { fixed(v); }
+
+  /// Unsigned LEB128 varint (1..10 bytes).
+  void var(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void raw(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  /// Length-prefixed byte string.
+  void bytes(std::span<const std::uint8_t> data) {
+    var(data.size());
+    raw(data);
+  }
+
+  void str(std::string_view s) {
+    var(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& view() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void fixed(T v) {
+    std::uint8_t tmp[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      tmp[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    buf_.insert(buf_.end(), tmp, tmp + sizeof(T));
+  }
+
+  Bytes buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16() { return fixed<std::uint16_t>(); }
+  std::uint32_t u32() { return fixed<std::uint32_t>(); }
+  std::uint64_t u64() { return fixed<std::uint64_t>(); }
+
+  std::uint64_t var() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      if (shift >= 64) throw CodecError("varint too long");
+      std::uint8_t b = u8();
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  Bytes bytes() {
+    std::uint64_t len = var();
+    auto s = take(check_len(len));
+    return Bytes(s.begin(), s.end());
+  }
+
+  std::string str() {
+    std::uint64_t len = var();
+    auto s = take(check_len(len));
+    return std::string(s.begin(), s.end());
+  }
+
+  std::span<const std::uint8_t> raw(std::size_t len) { return take(len); }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+
+ private:
+  std::size_t check_len(std::uint64_t len) const {
+    if (len > remaining()) throw CodecError("length field exceeds buffer");
+    return static_cast<std::size_t>(len);
+  }
+
+  std::span<const std::uint8_t> take(std::size_t n) {
+    if (n > remaining()) throw CodecError("truncated buffer");
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+  T fixed() {
+    auto s = take(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<T>(s[i]) << (8 * i));
+    }
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fsr

@@ -1,0 +1,33 @@
+// Minimal leveled logger. Protocol code logs through this so tests can
+// silence it and examples can turn on tracing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace fsr {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_write(LogLevel level, const std::string& msg);
+
+namespace detail {
+std::string log_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+}  // namespace fsr
+
+#define FSR_LOG(level, ...)                                              \
+  do {                                                                   \
+    if (static_cast<int>(level) >= static_cast<int>(::fsr::log_level())) \
+      ::fsr::log_write(level, ::fsr::detail::log_format(__VA_ARGS__));   \
+  } while (0)
+
+#define FSR_TRACE(...) FSR_LOG(::fsr::LogLevel::kTrace, __VA_ARGS__)
+#define FSR_DEBUG(...) FSR_LOG(::fsr::LogLevel::kDebug, __VA_ARGS__)
+#define FSR_INFO(...) FSR_LOG(::fsr::LogLevel::kInfo, __VA_ARGS__)
+#define FSR_WARN(...) FSR_LOG(::fsr::LogLevel::kWarn, __VA_ARGS__)
+#define FSR_ERROR(...) FSR_LOG(::fsr::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,97 @@
+// Statistics helpers used by benchmarks and tests: running moments,
+// percentiles over full samples, and Jain's fairness index.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace fsr {
+
+/// Running count / mean / min / max / (population) stddev.
+class Accumulator {
+ public:
+  void add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double variance() const { return count_ ? m2_ / static_cast<double>(count_) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores every sample; answers percentile queries. Fine for bench scale
+/// (≤ a few million samples).
+class Samples {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return values_.size(); }
+
+  double mean() const {
+    if (values_.empty()) return 0.0;
+    double s = 0.0;
+    for (double v : values_) s += v;
+    return s / static_cast<double>(values_.size());
+  }
+
+  /// p in [0, 100].
+  double percentile(double p) {
+    if (values_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+    double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+    auto lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, values_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  }
+
+  double median() { return percentile(50.0); }
+  double max() { return percentile(100.0); }
+  double min() { return percentile(0.0); }
+
+ private:
+  std::vector<double> values_;
+  bool sorted_ = false;
+};
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2). 1.0 = perfectly fair,
+/// 1/n = one party gets everything. Used for the §4.2.3 fairness claims.
+inline double jain_fairness(const std::vector<double>& shares) {
+  if (shares.empty()) return 1.0;
+  double s = 0.0, s2 = 0.0;
+  for (double x : shares) {
+    s += x;
+    s2 += x * x;
+  }
+  if (s2 == 0.0) return 1.0;
+  return s * s / (static_cast<double>(shares.size()) * s2);
+}
+
+}  // namespace fsr

@@ -1,0 +1,9 @@
+#include "common/types.h"
+
+namespace fsr {
+
+std::string to_string(const MsgId& id) {
+  return "m(" + std::to_string(id.origin) + "," + std::to_string(id.lsn) + ")";
+}
+
+}  // namespace fsr

@@ -1,0 +1,60 @@
+// Fundamental identifier and time types shared by every module.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fsr {
+
+/// Stable identity of a process (survives view changes).
+using NodeId = std::uint32_t;
+
+/// Position of a process in the ring of the current view. Position 0 is the
+/// leader/sequencer; positions 1..t are the backups (paper, Fig. 4).
+using Position = std::uint32_t;
+
+/// Monotonically increasing view identifier (VSC layer).
+using ViewId = std::uint64_t;
+
+/// Global sequence number assigned by the leader (total order).
+using GlobalSeq = std::uint64_t;
+
+/// Per-sender local sequence number, used to build unique message ids.
+using LocalSeq = std::uint64_t;
+
+inline constexpr NodeId kNoNode = ~NodeId{0};
+
+/// Unique identifier of a TO-broadcast segment: origin process + its local
+/// sequence number. Stable across view changes (re-broadcasts reuse the id so
+/// duplicates can be suppressed).
+struct MsgId {
+  NodeId origin = kNoNode;
+  LocalSeq lsn = 0;
+
+  friend auto operator<=>(const MsgId&, const MsgId&) = default;
+};
+
+std::string to_string(const MsgId& id);
+
+/// Simulated / wall time in nanoseconds.
+using Time = std::int64_t;
+
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+
+}  // namespace fsr
+
+template <>
+struct std::hash<fsr::MsgId> {
+  std::size_t operator()(const fsr::MsgId& id) const noexcept {
+    // splitmix-style combine; ids are dense so this is plenty.
+    std::uint64_t x = (std::uint64_t{id.origin} << 40) ^ id.lsn;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    return static_cast<std::size_t>(x * 0x94d049bb133111ebULL);
+  }
+};

@@ -1,0 +1,702 @@
+#include "fsr/engine.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace fsr {
+
+namespace {
+
+/// Split an application payload into segments of at most `segment_size`
+/// bytes. An empty payload still yields one (empty) segment so the message
+/// exists on the wire.
+std::vector<Bytes> split_payload(const Bytes& payload, std::size_t segment_size) {
+  std::vector<Bytes> out;
+  if (payload.empty()) {
+    out.emplace_back();
+    return out;
+  }
+  for (std::size_t off = 0; off < payload.size(); off += segment_size) {
+    std::size_t len = std::min(segment_size, payload.size() - off);
+    out.emplace_back(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                     payload.begin() + static_cast<std::ptrdiff_t>(off + len));
+  }
+  return out;
+}
+
+}  // namespace
+
+Engine::Engine(Transport& transport, EngineConfig config, View initial_view,
+               DeliverFn deliver)
+    : transport_(transport),
+      cfg_(config),
+      deliver_(std::move(deliver)),
+      view_(std::move(initial_view)) {
+  assert(!view_.members.empty());
+  auto pos = view_.position_of(transport_.self());
+  assert(pos.has_value() && "this node must be a member of the initial view");
+  my_pos_ = *pos;
+  topo_ = ring::Topology{view_.size(), ring::effective_t(cfg_.t, view_.size())};
+}
+
+Position Engine::origin_position(NodeId origin) const {
+  auto pos = view_.position_of(origin);
+  assert(pos.has_value());
+  return *pos;
+}
+
+NodeId Engine::msg_origin(const WireMsg& m) {
+  if (const auto* d = std::get_if<DataMsg>(&m)) return d->id.origin;
+  if (const auto* s = std::get_if<SeqMsg>(&m)) return s->id.origin;
+  return kNoNode;
+}
+
+// --- application API ---
+
+void Engine::broadcast(Bytes payload) {
+  std::uint64_t app = next_app_id_++;
+  auto segments = split_payload(payload, cfg_.segment_size);
+  auto count = static_cast<std::uint32_t>(segments.size());
+  for (std::uint32_t i = 0; i < count; ++i) {
+    DataMsg m;
+    m.id = MsgId{transport_.self(), next_lsn_++};
+    m.frag = FragInfo{app, i, count};
+    m.payload = make_payload(std::move(segments[i]));
+    own_queue_.push_back(std::move(m));
+  }
+  ++pending_own_;
+  pump();
+}
+
+// --- receive path ---
+
+void Engine::on_msg(const WireMsg& msg) {
+  if (frozen_) {
+    // Flush in progress. A member that installed the new view before us may
+    // already be sending new-view traffic; it must not be lost. Old-view
+    // leftovers in the backlog are filtered by the view check on replay.
+    if (frozen_backlog_.size() < 100000) frozen_backlog_.push_back(msg);
+    return;
+  }
+  if (const auto* d = std::get_if<DataMsg>(&msg)) {
+    handle_data(*d);
+  } else if (const auto* s = std::get_if<SeqMsg>(&msg)) {
+    handle_seq(*s);
+  } else if (const auto* a = std::get_if<AckMsg>(&msg)) {
+    handle_ack(*a);
+  } else if (const auto* g = std::get_if<GcMsg>(&msg)) {
+    handle_gc(*g);
+  } else {
+    return;  // membership messages are the VSC layer's business
+  }
+  pump();
+}
+
+void Engine::on_tx_ready() { pump(); }
+
+void Engine::handle_data(const DataMsg& m) {
+  if (m.view != view_.id) return;
+  NodeId origin = m.id.origin;
+  if (origin == transport_.self()) return;  // cannot happen on a sane ring
+  if (!view_.contains(origin)) return;
+  if (auto it = delivered_lsn_.find(origin);
+      it != delivered_lsn_.end() && m.id.lsn <= it->second) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  if (is_leader()) {
+    // First come, first served sequencing (paper §4.2.3), with one fairness
+    // twist: if we already served this origin since our last own broadcast,
+    // one of our own segments may cut in ahead of it.
+    if (auto it = sequenced_lsn_.find(origin);
+        it != sequenced_lsn_.end() && m.id.lsn <= it->second) {
+      ++stats_.duplicates_dropped;
+      return;
+    }
+    if (own_send_allowed() && forward_list_.count(origin) > 0) {
+      sequence_own();
+    }
+    forward_list_.insert(origin);
+    sequence(m.id, m.frag, m.payload);
+    return;
+  }
+  if (seq_of_.count(m.id) > 0 || stash_.count(m.id) > 0) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  // Stash the payload: if the sequence number later arrives via an ack
+  // (origin "behind" us in the ring), this copy is what we deliver.
+  stash_[m.id] = Stash{m.frag, m.payload};
+  out_fifo_.push_back(m);
+}
+
+bool Engine::sequence_own() {
+  assert(is_leader());
+  if (!own_send_allowed()) return false;
+  DataMsg m = std::move(own_queue_.front());
+  own_queue_.pop_front();
+  m.view = view_.id;
+  stash_[m.id] = Stash{m.frag, m.payload};
+  ++own_in_flight_;
+  ++stats_.segments_sent;
+  forward_list_.clear();
+  sequence(m.id, m.frag, std::move(m.payload));
+  return true;
+}
+
+void Engine::sequence(const MsgId& id, const FragInfo& frag, Payload payload) {
+  assert(is_leader());
+  GlobalSeq s = next_seq_++;
+  sequenced_lsn_[id.origin] = id.lsn;
+  records_[s] = Record{id, frag, payload, s, false};
+  seq_of_[id] = s;
+
+  Position opos = origin_position(id.origin);
+  Position stop = topo_.seq_stop(opos);
+  if (stop != 0) {
+    out_fifo_.push_back(SeqMsg{id, s, view_.id, frag, std::move(payload)});
+  } else {
+    // Empty SEQ pass (origin at position 1, or singleton ring): the leader
+    // itself is the SEQ stop and emits the ack.
+    switch (topo_.ack_at_seq_stop(opos)) {
+      case ring::AckKind::kStable:
+        emit_ack(id, s, true);
+        break;
+      case ring::AckKind::kPending:
+        emit_ack(id, s, false);
+        break;
+      case ring::AckKind::kNone:
+        break;
+    }
+  }
+  if (topo_.leader_delivers_at_sequencing()) {
+    mark_stable(s);
+  }
+}
+
+void Engine::handle_seq(const SeqMsg& m) {
+  if (m.view != view_.id) return;
+  if (m.seq < next_deliver_) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  auto opos_opt = view_.position_of(m.id.origin);
+  if (!opos_opt) return;
+  Position opos = *opos_opt;
+
+  if (records_.count(m.seq) == 0) {
+    records_[m.seq] = Record{m.id, m.frag, m.payload, m.seq, false};
+    seq_of_[m.id] = m.seq;
+    stash_.erase(m.id);
+  }
+
+  if (my_pos_ != topo_.seq_stop(opos)) {
+    out_fifo_.push_back(m);
+  } else {
+    switch (topo_.ack_at_seq_stop(opos)) {
+      case ring::AckKind::kStable:
+        emit_ack(m.id, m.seq, true);
+        break;
+      case ring::AckKind::kPending:
+        emit_ack(m.id, m.seq, false);
+        break;
+      case ring::AckKind::kNone:
+        break;
+    }
+  }
+
+  if (topo_.deliver_on_seq(my_pos_)) {
+    // The pair has now been stored by the leader and all t backups.
+    mark_stable(m.seq);
+  }
+}
+
+void Engine::handle_ack(const AckMsg& a) {
+  if (a.view != view_.id) return;
+  if (a.seq < next_deliver_) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  if (records_.count(a.seq) == 0) {
+    // We hold the payload from the DATA pass (or it is our own message);
+    // the ack supplies the sequence number.
+    auto sit = stash_.find(a.id);
+    if (sit == stash_.end()) {
+      FSR_WARN("node %u: ack for unknown %s seq=%llu dropped", transport_.self(),
+               to_string(a.id).c_str(), static_cast<unsigned long long>(a.seq));
+      return;
+    }
+    records_[a.seq] = Record{a.id, sit->second.frag, sit->second.payload, a.seq, false};
+    seq_of_[a.id] = a.seq;
+    stash_.erase(sit);
+  }
+
+  if (a.stable) {
+    if (my_pos_ != topo_.stable_ack_stop()) pending_ctrl_.push_back(a);
+    mark_stable(a.seq);
+  } else {
+    // Pending acks circulate only among the backups (positions 1..t).
+    if (my_pos_ == topo_.pending_ack_stop()) {
+      // We are p_t: the pair is now stored by the leader and all backups.
+      AckMsg stable = a;
+      stable.stable = true;
+      if (my_pos_ != topo_.stable_ack_stop()) pending_ctrl_.push_back(stable);
+      mark_stable(a.seq);
+    } else {
+      assert(my_pos_ < topo_.pending_ack_stop());
+      pending_ctrl_.push_back(a);
+    }
+  }
+}
+
+void Engine::handle_gc(const GcMsg& g) {
+  if (g.view != view_.id) return;
+  if (g.all_delivered > all_delivered_) {
+    all_delivered_ = g.all_delivered;
+    retained_.erase(retained_.begin(), retained_.upper_bound(all_delivered_));
+  }
+  if (g.hops_left > 1) {
+    GcMsg fwd = g;
+    --fwd.hops_left;
+    pending_ctrl_.push_back(fwd);
+  }
+}
+
+void Engine::emit_ack(const MsgId& id, GlobalSeq seq, bool stable) {
+  pending_ctrl_.push_back(AckMsg{id, seq, view_.id, stable});
+  ++stats_.acks_emitted;
+}
+
+void Engine::mark_stable(GlobalSeq seq) {
+  auto it = records_.find(seq);
+  if (it == records_.end()) return;  // already delivered
+  it->second.stable = true;
+  try_deliver();
+}
+
+void Engine::try_deliver() {
+  bool delivered_any = false;
+  for (;;) {
+    auto it = records_.find(next_deliver_);
+    if (it == records_.end() || !it->second.stable) break;
+    Record rec = std::move(it->second);
+    records_.erase(it);
+    seq_of_.erase(rec.id);
+    ++next_deliver_;
+    delivered_any = true;
+    deliver_record(rec);
+  }
+  if (!delivered_any) return;
+
+  // If we are the last-delivering process (the stable-ack stop), our
+  // delivered watermark is the all-delivered watermark; circulate it so
+  // everyone can prune recovery retention (bounded memory).
+  if (my_pos_ == topo_.stable_ack_stop() && view_.size() > 1) {
+    GlobalSeq w = next_deliver_ - 1;
+    all_delivered_ = w;
+    retained_.erase(retained_.begin(), retained_.upper_bound(w));
+    if (w >= last_gc_emitted_ + cfg_.gc_interval) {
+      last_gc_emitted_ = w;
+      pending_ctrl_.push_back(GcMsg{w, view_.id, topo_.n - 1});
+    }
+  }
+}
+
+void Engine::deliver_record(const Record& rec) {
+  NodeId origin = rec.id.origin;
+  delivered_lsn_[origin] = rec.id.lsn;
+  stash_.erase(rec.id);
+  retained_[rec.seq] = rec;
+  if (origin == transport_.self() && own_in_flight_ > 0) --own_in_flight_;
+
+  ++stats_.segments_delivered;
+  stats_.bytes_delivered += payload_size(rec.payload);
+
+  // Reassembly: per-origin segments arrive in index order because the leader
+  // sequences each origin's stream FIFO. A process that joined mid-message
+  // may first see index > 0; it skips until the next message boundary.
+  auto& r = reasm_[origin];
+  if (rec.frag.index == 0) {
+    r = Reassembly{rec.frag.app_msg, 0, {}};
+  } else if (r.app_msg != rec.frag.app_msg || r.next_index != rec.frag.index) {
+    return;  // mid-message join; drop partial
+  }
+  if (rec.payload) r.data.insert(r.data.end(), rec.payload->begin(), rec.payload->end());
+  ++r.next_index;
+  if (r.next_index == rec.frag.count) {
+    Delivery d;
+    d.origin = origin;
+    d.app_msg = rec.frag.app_msg;
+    d.seq = rec.seq;
+    d.view = view_.id;
+    d.payload = std::move(r.data);
+    r = Reassembly{};
+    ++stats_.app_delivered;
+    if (origin == transport_.self() && pending_own_ > 0) --pending_own_;
+    if (deliver_) deliver_(d);
+  }
+}
+
+// --- send path ---
+
+std::optional<WireMsg> Engine::pick_next_payload() {
+  if (is_leader()) {
+    // The leader's outgoing payloads are all SEQ messages, already in fair
+    // sequencing order (fairness was applied when sequencing). If the SEQ
+    // pipeline is empty, inject an own segment. (A work-conserving leader
+    // keeps a modest sequencing advantage over ring senders at saturation;
+    // the paper's remedy is periodic leader rotation, §4.3.1.)
+    if (out_fifo_.empty() && own_send_allowed()) sequence_own();
+    if (out_fifo_.empty()) return std::nullopt;
+    WireMsg m = std::move(out_fifo_.front());
+    out_fifo_.pop_front();
+    return m;
+  }
+
+  // Already-sequenced traffic is forwarded unconditionally: delaying the
+  // SEQ pass only delays everyone's deliveries. The fairness mechanism
+  // (§4.2.3, Fig. 5) arbitrates the *incoming buffer* of DATA messages
+  // still traveling toward the sequencer against our own broadcasts.
+  for (auto it = out_fifo_.begin(); it != out_fifo_.end(); ++it) {
+    if (std::holds_alternative<SeqMsg>(*it)) {
+      WireMsg m = std::move(*it);
+      out_fifo_.erase(it);
+      return m;
+    }
+    break;  // head is DATA: fairness decides below
+  }
+
+  if (own_send_allowed()) {
+    // Fairness (§4.2.3): before sending an own segment, forward buffered
+    // DATA from every origin not yet in the forward list. Overtaking a
+    // forward-listed origin's message is safe: delivery is strictly by
+    // global sequence number, so forwarding order only affects fairness.
+    for (auto it = out_fifo_.begin(); it != out_fifo_.end(); ++it) {
+      NodeId origin = msg_origin(*it);
+      if (forward_list_.count(origin) > 0) continue;
+      WireMsg m = std::move(*it);
+      out_fifo_.erase(it);
+      forward_list_.insert(origin);
+      return m;
+    }
+    // Everyone buffered has been served since our last own send: our turn.
+    DataMsg m = std::move(own_queue_.front());
+    own_queue_.pop_front();
+    m.view = view_.id;
+    stash_[m.id] = Stash{m.frag, m.payload};
+    ++own_in_flight_;
+    ++stats_.segments_sent;
+    forward_list_.clear();
+    return WireMsg{std::move(m)};
+  }
+
+  if (!out_fifo_.empty()) {
+    WireMsg m = std::move(out_fifo_.front());
+    out_fifo_.pop_front();
+    forward_list_.insert(msg_origin(m));
+    return m;
+  }
+  return std::nullopt;
+}
+
+void Engine::pump() {
+  if (frozen_ || in_pump_) return;
+  if (view_.size() <= 1) {
+    // Singleton group: sequencing and delivery happen locally.
+    while (!own_queue_.empty()) {
+      DataMsg m = std::move(own_queue_.front());
+      own_queue_.pop_front();
+      m.view = view_.id;
+      stash_[m.id] = Stash{m.frag, m.payload};
+      ++stats_.segments_sent;
+      sequence(m.id, m.frag, std::move(m.payload));
+    }
+    pending_ctrl_.clear();
+    return;
+  }
+  // Fill the transport's accept window: assemble frames while it can take
+  // them (on_tx_ready resumes us when capacity frees up again).
+  in_pump_ = true;
+  while (!frozen_ && transport_.tx_idle()) {
+    Frame f;
+    f.from = transport_.self();
+    f.to = successor();
+
+    if (!cfg_.piggyback_acks) {
+      // Ablation: every ack/gc is its own frame (paper §4.2.2 argues
+      // piggybacking is what lets the payload circle the ring only once).
+      if (!pending_ctrl_.empty()) {
+        f.msgs.push_back(std::move(pending_ctrl_.front()));
+        pending_ctrl_.pop_front();
+        ++stats_.ack_only_frames;
+      } else if (auto m = pick_next_payload()) {
+        f.msgs.push_back(std::move(*m));
+      } else {
+        break;
+      }
+    } else {
+      auto m = pick_next_payload();
+      bool have_payload = m.has_value();
+      if (m) f.msgs.push_back(std::move(*m));
+      std::size_t k = std::min(pending_ctrl_.size(), cfg_.max_acks_per_frame);
+      for (std::size_t i = 0; i < k; ++i) {
+        f.msgs.push_back(std::move(pending_ctrl_.front()));
+        pending_ctrl_.pop_front();
+        if (have_payload) ++stats_.acks_piggybacked;
+      }
+      if (f.msgs.empty()) break;
+      if (!have_payload) ++stats_.ack_only_frames;
+    }
+
+    ++stats_.frames_sent;
+    transport_.send(std::move(f));
+  }
+  in_pump_ = false;
+}
+
+// --- VSC recovery (§4.2.1) ---
+
+Bytes Engine::collect_flush_state(bool include_snapshot) {
+  freeze();
+  ByteWriter w;
+  w.var(next_deliver_ - 1);  // delivered watermark
+
+  // Every sequenced pair we store: undelivered records plus the retained
+  // delivered ones not yet known delivered-by-all.
+  w.var(records_.size() + retained_.size());
+  auto put_record = [&w](const Record& r) {
+    w.u32(r.id.origin);
+    w.var(r.id.lsn);
+    w.var(r.seq);
+    w.var(r.frag.app_msg);
+    w.var(r.frag.index);
+    w.var(r.frag.count);
+    if (r.payload) {
+      w.bytes(*r.payload);
+    } else {
+      w.var(0);
+    }
+  };
+  for (const auto& [seq, rec] : retained_) put_record(rec);
+  for (const auto& [seq, rec] : records_) put_record(rec);
+  if (include_snapshot && snapshot_take_) {
+    w.u8(1);
+    w.bytes(snapshot_take_());
+  } else {
+    w.u8(0);
+  }
+  FSR_DEBUG("node %u flush state: view %llu watermark %llu, %zu retained [%llu..%llu], %zu records [%llu..%llu]",
+            transport_.self(), (unsigned long long)view_.id,
+            (unsigned long long)(next_deliver_ - 1), retained_.size(),
+            retained_.empty() ? 0ULL : (unsigned long long)retained_.begin()->first,
+            retained_.empty() ? 0ULL : (unsigned long long)retained_.rbegin()->first,
+            records_.size(),
+            records_.empty() ? 0ULL : (unsigned long long)records_.begin()->first,
+            records_.empty() ? 0ULL : (unsigned long long)records_.rbegin()->first);
+  return w.take();
+}
+
+void Engine::stage_recovery_states(const std::vector<Bytes>& states) {
+  for (const auto& blob : states) {
+    if (blob.empty()) continue;
+    try {
+      ByteReader r(blob);
+      (void)r.var();  // watermark
+      std::uint64_t count = r.var();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        Record rec;
+        rec.id.origin = r.u32();
+        rec.id.lsn = r.var();
+        rec.seq = r.var();
+        rec.frag.app_msg = r.var();
+        rec.frag.index = static_cast<std::uint32_t>(r.var());
+        rec.frag.count = static_cast<std::uint32_t>(r.var());
+        Bytes p = r.bytes();
+        rec.payload = p.empty() ? nullptr : make_payload(std::move(p));
+        rec.stable = false;  // staged, NOT deliverable yet
+        if (rec.seq >= next_deliver_ && records_.count(rec.seq) == 0) {
+          seq_of_[rec.id] = rec.seq;
+          records_.emplace(rec.seq, std::move(rec));
+        }
+      }
+    } catch (const CodecError& e) {
+      FSR_ERROR("node %u: corrupted staged state ignored: %s", transport_.self(),
+                e.what());
+    }
+  }
+}
+
+void Engine::install_view(const View& view, const std::vector<Bytes>& states) {
+  assert(view.id > view_.id);
+  auto my_new_pos = view.position_of(transport_.self());
+  assert(my_new_pos.has_value() && "cannot install a view we are not part of");
+
+  ++stats_.view_changes;
+  const bool was_member = view_.id != 0;
+
+  // 1. Merge all members' flush states.
+  GlobalSeq max_watermark = 0;
+  std::map<GlobalSeq, Record> merged;
+  Bytes snapshot;
+  bool have_snapshot = false;
+  GlobalSeq snapshot_watermark = 0;
+  for (const auto& blob : states) {
+    if (blob.empty()) continue;  // fresh joiner
+    try {
+      ByteReader r(blob);
+      GlobalSeq watermark = r.var();
+      max_watermark = std::max(max_watermark, watermark);
+      std::uint64_t count = r.var();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        Record rec;
+        rec.id.origin = r.u32();
+        rec.id.lsn = r.var();
+        rec.seq = r.var();
+        rec.frag.app_msg = r.var();
+        rec.frag.index = static_cast<std::uint32_t>(r.var());
+        rec.frag.count = static_cast<std::uint32_t>(r.var());
+        Bytes p = r.bytes();
+        rec.payload = p.empty() ? nullptr : make_payload(std::move(p));
+        rec.stable = true;  // agreed by the whole new view => stable
+        merged.emplace(rec.seq, std::move(rec));
+      }
+      if (!r.done() && r.u8() != 0) {
+        // Prefer the freshest snapshot (highest watermark).
+        Bytes snap = r.bytes();
+        if (!have_snapshot || watermark > snapshot_watermark) {
+          snapshot = std::move(snap);
+          snapshot_watermark = watermark;
+          have_snapshot = true;
+        }
+      }
+    } catch (const CodecError& e) {
+      // A truncated/corrupted blob must not take the process down; the
+      // records parsed before the error still contribute to the union.
+      FSR_ERROR("node %u: corrupted flush state ignored: %s", transport_.self(),
+                e.what());
+    }
+  }
+
+  GlobalSeq horizon =
+      std::max(max_watermark, merged.empty() ? 0 : merged.rbegin()->first);
+  FSR_DEBUG("node %u installing view %llu: merged %zu [%llu..%llu], max_watermark %llu, horizon %llu, my next_deliver %llu",
+            transport_.self(), (unsigned long long)view.id, merged.size(),
+            merged.empty() ? 0ULL : (unsigned long long)merged.begin()->first,
+            merged.empty() ? 0ULL : (unsigned long long)merged.rbegin()->first,
+            (unsigned long long)max_watermark, (unsigned long long)horizon,
+            (unsigned long long)next_deliver_);
+
+  if (!was_member && next_deliver_ == 1) {
+    if (have_snapshot && snapshot_install_) {
+      // State transfer: adopt a member's application state as of its
+      // delivered watermark, then replay the union from there.
+      snapshot_install_(snapshot);
+      next_deliver_ = snapshot_watermark + 1;
+    } else {
+      // No snapshot: the joiner starts at the group's current horizon
+      // rather than replaying from sequence 1.
+      next_deliver_ = max_watermark + 1;
+    }
+  }
+
+  // 2. Deliver every merged pair we have not yet delivered, in sequence
+  //    order. Any pair delivered by a crashed process was stored by the
+  //    leader + t backups, at least one of which survived and reported it,
+  //    so it appears here — this is what makes delivery uniform.
+  //
+  //    The union can have a hole: a message whose origin sat at ring
+  //    position 1 has an empty SEQ pass, so its (m, seq) pair lives only at
+  //    the leader until the pending ack propagates — if the leader crashes
+  //    in that window, the sequence number dies with it. Nothing at or
+  //    beyond a hole was delivered by anyone (holes only occur above every
+  //    watermark), so those sequence numbers are abandoned — consistently,
+  //    since all members process the same union — and each affected message
+  //    is re-broadcast by its origin in the new view.
+  std::map<LocalSeq, DataMsg> rebroadcast;
+  bool gapped = false;
+  for (auto& [seq, rec] : merged) {
+    if (seq < next_deliver_) continue;
+    if (!gapped && seq == next_deliver_) {
+      ++next_deliver_;
+      deliver_record(rec);
+      continue;
+    }
+    if (!gapped) {
+      gapped = true;
+      FSR_INFO("node %u: recovery union hole at seq %llu (expected %llu); "
+               "orphaned messages will be re-broadcast by their origins",
+               transport_.self(), static_cast<unsigned long long>(seq),
+               static_cast<unsigned long long>(next_deliver_));
+    }
+    if (rec.id.origin == transport_.self()) {
+      DataMsg m;
+      m.id = rec.id;
+      m.frag = rec.frag;
+      m.payload = rec.payload;
+      rebroadcast.emplace(rec.id.lsn, std::move(m));
+    }
+  }
+
+  // 3. Collect own messages broadcast but not delivered (paper: "All
+  //    processes TO-broadcast any message in view v_r+1 that they have
+  //    TO-broadcast in view v_r but not yet TO-delivered in v_r").
+  //    Sequenced-but-undelivered own messages were either delivered through
+  //    the union above or orphaned into `rebroadcast`; the stash holds the
+  //    ones whose sequence number we never learned.
+  LocalSeq own_delivered = 0;
+  if (auto it = delivered_lsn_.find(transport_.self()); it != delivered_lsn_.end()) {
+    own_delivered = it->second;
+  }
+  for (const auto& [id, st] : stash_) {
+    if (id.origin != transport_.self() || id.lsn <= own_delivered) continue;
+    DataMsg m;
+    m.id = id;
+    m.frag = st.frag;
+    m.payload = st.payload;
+    rebroadcast.emplace(id.lsn, std::move(m));
+  }
+
+  // 4. Reset per-view state.
+  view_ = view;
+  my_pos_ = *my_new_pos;
+  topo_ = ring::Topology{view_.size(), ring::effective_t(cfg_.t, view_.size())};
+  out_fifo_.clear();
+  forward_list_.clear();
+  pending_ctrl_.clear();
+  records_.clear();
+  seq_of_.clear();
+  stash_.clear();
+  retained_.clear();
+  all_delivered_ = 0;
+  last_gc_emitted_ = 0;
+  own_in_flight_ = 0;
+  next_deliver_ = std::max(next_deliver_, horizon + 1);
+  next_seq_ = next_deliver_;
+  sequenced_lsn_ = delivered_lsn_;
+  // Reassembly buffers of departed members can never complete.
+  for (auto it = reasm_.begin(); it != reasm_.end();) {
+    if (!view_.contains(it->first)) {
+      it = reasm_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // 5. Requeue own undelivered messages ahead of anything not yet sent.
+  for (auto rit = rebroadcast.rbegin(); rit != rebroadcast.rend(); ++rit) {
+    own_queue_.push_front(std::move(rit->second));
+  }
+
+  frozen_ = false;
+
+  // Replay traffic that arrived during the flush (new-view messages from
+  // members that resumed before us; stale ones are dropped by view checks).
+  std::deque<WireMsg> backlog;
+  backlog.swap(frozen_backlog_);
+  for (const auto& msg : backlog) on_msg(msg);
+
+  pump();
+}
+
+}  // namespace fsr

@@ -1,0 +1,272 @@
+// The FSR protocol engine (the paper's core contribution, §4).
+//
+// One Engine instance runs per process. It is a single-threaded, event-
+// driven state machine fed by:
+//   * on_msg()        — DATA / SEQ / ACK / GC messages from the predecessor,
+//   * on_tx_ready()   — the outbound link drained (send pacing),
+//   * broadcast()     — the application submits a payload,
+//   * collect_flush_state() / install_view() — VSC recovery hooks (§4.2.1).
+//
+// Responsibilities: sequencing (when leader), uniform ordered delivery,
+// fairness scheduling with the forward list (§4.2.3), ack piggybacking
+// (§4.2.2), segmentation/reassembly of large payloads (§4.1), own-broadcast
+// window flow control, and view-change recovery.
+//
+// Reentrancy: the delivery callback may call broadcast(). Engine methods
+// must not be called concurrently (single-threaded event loop per node).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "fsr/view.h"
+#include "proto/wire.h"
+#include "ring/rules.h"
+#include "transport/transport.h"
+
+namespace fsr {
+
+struct EngineConfig {
+  /// Number of backup processes / tolerated failures (clamped to view size
+  /// minus one per view).
+  std::uint32_t t = 1;
+
+  /// Application payloads are segmented into chunks of this many bytes so
+  /// large messages cannot stall small ones on the ring (paper §4.1).
+  std::size_t segment_size = 8192;
+
+  /// Maximum own segments in flight (sent, not yet delivered locally).
+  /// Backpressure beyond this queues in the engine (the "local queues"
+  /// whose growth explains the latency blow-up in Fig. 7).
+  std::size_t window = 32;
+
+  /// Piggyback acks on payload frames (§4.2.2). When false every ack is
+  /// sent as its own frame (ablation).
+  bool piggyback_acks = true;
+
+  /// Cap on acks attached to a single frame.
+  std::size_t max_acks_per_frame = 128;
+
+  /// The last-delivering process (position t-1) circulates its delivered
+  /// watermark every this-many sequence numbers so retained recovery records
+  /// can be pruned (a pair is only forgotten once delivered by all).
+  GlobalSeq gc_interval = 64;
+};
+
+/// A fully reassembled application message handed to the delivery callback.
+/// Deliveries happen in the same order at every process (total order).
+struct Delivery {
+  NodeId origin = kNoNode;
+  std::uint64_t app_msg = 0;  // per-origin application message counter
+  GlobalSeq seq = 0;          // global sequence of the final segment
+  ViewId view = 0;            // view in which delivery happened
+  Bytes payload;
+};
+
+class Engine {
+ public:
+  using DeliverFn = std::function<void(const Delivery&)>;
+
+  Engine(Transport& transport, EngineConfig config, View initial_view,
+         DeliverFn deliver);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- application API ---
+
+  /// TO-broadcast a payload to the group. Never blocks; segments are queued
+  /// under the flow-control window.
+  void broadcast(Bytes payload);
+
+  /// Own application messages accepted but not yet delivered locally.
+  std::size_t pending_own() const { return pending_own_; }
+
+  // --- transport wiring ---
+
+  /// Feed one received wire message (non-FSR message kinds are ignored).
+  void on_msg(const WireMsg& msg);
+
+  /// The outbound link drained; the engine may assemble the next frame.
+  void on_tx_ready();
+
+  // --- VSC recovery hooks (§4.2.1) ---
+
+  /// Stop all sending (flush started). Incoming FSR traffic is buffered by
+  /// on_msg() while frozen and replayed after the next install (traffic of
+  /// the *new* view can arrive before our install when a faster member
+  /// resumes first; old-view traffic is filtered by the view check on
+  /// replay).
+  void freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+  /// Serialize this process's recovery state: delivered watermark and every
+  /// sequenced (m, seq) pair it stores (undelivered + retained), plus — when
+  /// `include_snapshot` and a snapshot hook is installed — an application
+  /// snapshot for joiner state transfer. Implicitly freezes.
+  Bytes collect_flush_state(bool include_snapshot = false);
+
+  /// Application state-transfer hooks: `take` serializes the app state as
+  /// of the engine's delivered watermark (called while frozen), `install`
+  /// replaces a joiner's app state before recovery deliveries resume.
+  void set_snapshot_hooks(std::function<Bytes()> take,
+                          std::function<void(const Bytes&)> install) {
+    snapshot_take_ = std::move(take);
+    snapshot_install_ = std::move(install);
+  }
+
+  /// Stage the recovery union of a proposed install WITHOUT delivering:
+  /// absorb every sequenced pair into our store so that, should the install
+  /// round die with its coordinator, our next flush blob re-exports the
+  /// union (this is what keeps delivery-at-install uniform).
+  void stage_recovery_states(const std::vector<Bytes>& states);
+
+  /// Install the agreed new view. `states` are the flush blobs of all new-
+  /// view members; the union of their sequenced pairs is delivered (in
+  /// sequence order) before normal operation resumes, and own pending
+  /// messages are re-broadcast in the new view (§4.2.1).
+  void install_view(const View& view, const std::vector<Bytes>& states);
+
+  // --- introspection ---
+
+  const View& view() const { return view_; }
+  Position position() const { return my_pos_; }
+  bool is_leader() const { return my_pos_ == 0; }
+  const ring::Topology& topology() const { return topo_; }
+  GlobalSeq delivered_watermark() const { return next_deliver_ - 1; }
+  std::size_t stored_records() const { return records_.size() + retained_.size(); }
+  std::size_t out_fifo_size() const { return out_fifo_.size(); }
+  std::size_t own_in_flight() const { return own_in_flight_; }
+  std::size_t own_queue_size() const { return own_queue_.size(); }
+
+  struct Stats {
+    std::uint64_t segments_sent = 0;
+    std::uint64_t segments_delivered = 0;
+    std::uint64_t app_delivered = 0;
+    std::uint64_t bytes_delivered = 0;
+    std::uint64_t acks_emitted = 0;
+    std::uint64_t acks_piggybacked = 0;
+    std::uint64_t ack_only_frames = 0;
+    std::uint64_t frames_sent = 0;
+    std::uint64_t duplicates_dropped = 0;
+    std::uint64_t view_changes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Sequenced message record kept until locally delivered.
+  struct Record {
+    MsgId id;
+    FragInfo frag;
+    Payload payload;
+    GlobalSeq seq = 0;
+    bool stable = false;
+  };
+
+  /// Payload seen on the DATA pass (or own send), sequence not yet known.
+  struct Stash {
+    FragInfo frag;
+    Payload payload;
+  };
+
+  struct Reassembly {
+    std::uint64_t app_msg = 0;
+    std::uint32_t next_index = 0;
+    Bytes data;
+  };
+
+  void handle_data(const DataMsg& m);
+  void handle_seq(const SeqMsg& m);
+  void handle_ack(const AckMsg& m);
+  void handle_gc(const GcMsg& m);
+
+  /// Leader only: assign the next global sequence number and start the SEQ
+  /// pass (or emit the ack directly when the pass is empty).
+  void sequence(const MsgId& id, const FragInfo& frag, Payload payload);
+
+  /// Leader only: pop one own segment (if allowed) and sequence it.
+  bool sequence_own();
+
+  void emit_ack(const MsgId& id, GlobalSeq seq, bool stable);
+  void mark_stable(GlobalSeq seq);
+  void try_deliver();
+  void deliver_record(const Record& rec);
+
+  /// Fairness scheduler (§4.2.3): next payload message for the successor.
+  std::optional<WireMsg> pick_next_payload();
+
+  /// Assemble and send the next frame if the link is free. Only entry
+  /// points (broadcast / on_msg / on_tx_ready / install_view) call this.
+  void pump();
+
+  bool own_send_allowed() const {
+    return !own_queue_.empty() && own_in_flight_ < cfg_.window;
+  }
+
+  NodeId successor() const { return view_.at(topo_.succ(my_pos_)); }
+  Position origin_position(NodeId origin) const;
+  static NodeId msg_origin(const WireMsg& m);
+
+  Transport& transport_;
+  EngineConfig cfg_;
+  DeliverFn deliver_;
+
+  View view_;
+  ring::Topology topo_;
+  Position my_pos_ = 0;
+
+  bool frozen_ = false;
+  bool in_pump_ = false;  // guards against reentrant pumping
+
+  // Sender side.
+  LocalSeq next_lsn_ = 1;
+  std::uint64_t next_app_id_ = 1;
+  std::deque<DataMsg> own_queue_;   // own segments not yet sent
+  std::size_t own_in_flight_ = 0;   // own segments sent, not delivered
+  std::size_t pending_own_ = 0;     // own app messages not delivered
+
+  // Leader side.
+  GlobalSeq next_seq_ = 1;
+  std::unordered_map<NodeId, LocalSeq> sequenced_lsn_;  // dedupe at leader
+
+  // Forwarding & fairness. out_fifo_ holds DATA and SEQ messages to forward
+  // in arrival order; the fairness scan may let an own segment or a
+  // not-yet-served origin overtake it (safe: delivery is strictly by global
+  // sequence with gap buffering, so forwarding order never affects
+  // correctness, only fairness).
+  std::deque<WireMsg> out_fifo_;
+  std::set<NodeId> forward_list_;  // origins forwarded since last own send
+  std::deque<WireMsg> pending_ctrl_;  // acks + gc, piggybacked on frames
+
+  // Delivery side.
+  GlobalSeq next_deliver_ = 1;
+  std::map<GlobalSeq, Record> records_;
+  std::unordered_map<MsgId, GlobalSeq> seq_of_;  // sequenced undelivered ids
+  std::unordered_map<MsgId, Stash> stash_;
+  std::unordered_map<NodeId, LocalSeq> delivered_lsn_;
+  std::unordered_map<NodeId, Reassembly> reasm_;
+
+  // Messages received while frozen, replayed after the view installs.
+  std::deque<WireMsg> frozen_backlog_;
+
+  // Application state-transfer hooks (optional).
+  std::function<Bytes()> snapshot_take_;
+  std::function<void(const Bytes&)> snapshot_install_;
+
+  // Recovery retention: delivered records kept until known delivered by all
+  // (pruned by the circulating GC watermark).
+  std::map<GlobalSeq, Record> retained_;
+  GlobalSeq all_delivered_ = 0;
+  GlobalSeq last_gc_emitted_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace fsr

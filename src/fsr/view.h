@@ -1,0 +1,42 @@
+// A view: the agreed membership and ring order produced by the VSC layer
+// (paper §4.2). members[0] is the leader/sequencer; members[1..t] are the
+// backups.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fsr {
+
+struct View {
+  ViewId id = 0;
+  std::vector<NodeId> members;  // ring order
+
+  std::optional<Position> position_of(NodeId node) const {
+    auto it = std::find(members.begin(), members.end(), node);
+    if (it == members.end()) return std::nullopt;
+    return static_cast<Position>(it - members.begin());
+  }
+
+  NodeId at(Position p) const { return members[p % members.size()]; }
+  NodeId leader() const { return members.front(); }
+  std::uint32_t size() const { return static_cast<std::uint32_t>(members.size()); }
+  bool contains(NodeId node) const { return position_of(node).has_value(); }
+
+  friend bool operator==(const View&, const View&) = default;
+};
+
+inline std::string to_string(const View& v) {
+  std::string s = "view " + std::to_string(v.id) + " {";
+  for (std::size_t i = 0; i < v.members.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(v.members[i]);
+  }
+  return s + "}";
+}
+
+}  // namespace fsr

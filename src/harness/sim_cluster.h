@@ -1,0 +1,125 @@
+// Test/benchmark harness: a complete simulated FSR cluster — simulator,
+// network model, one GroupMember per node — with per-node delivery logs and
+// the correctness checkers used by property tests (total order, agreement,
+// integrity, uniformity under crashes).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/cluster_net.h"
+#include "transport/sim_transport.h"
+#include "vsc/group.h"
+
+namespace fsr {
+
+struct ClusterConfig {
+  std::size_t n = 4;
+  NetConfig net;
+  GroupConfig group;
+  Time fd_delay = 2 * kMillisecond;
+
+  /// If nonzero, only the first `initial_members` nodes form the initial
+  /// view; the rest start outside the group and may request_join() later.
+  std::size_t initial_members = 0;
+};
+
+class SimCluster {
+ public:
+  struct LogEntry {
+    NodeId origin = kNoNode;
+    std::uint64_t app_msg = 0;
+    GlobalSeq seq = 0;
+    ViewId view = 0;
+    std::size_t bytes = 0;
+    Time at = 0;
+    std::uint64_t payload_hash = 0;
+  };
+
+  explicit SimCluster(ClusterConfig config);
+
+  Simulator& sim() { return world_.sim(); }
+  SimWorld& world() { return world_; }
+  std::size_t size() const { return members_.size(); }
+  GroupMember& node(NodeId id) { return *members_[id]; }
+  const ClusterConfig& config() const { return cfg_; }
+
+  /// TO-broadcast from a node; records the submit time for latency queries.
+  void broadcast(NodeId from, Bytes payload);
+
+  /// Observe every delivery (in addition to the internal log) — e.g. to
+  /// feed replicated state machines in application tests.
+  void set_delivery_tap(std::function<void(NodeId, const Delivery&)> tap) {
+    tap_ = std::move(tap);
+  }
+
+  /// Install per-node application snapshot hooks (joiner state transfer).
+  void set_snapshot_hooks(std::function<Bytes(NodeId)> take,
+                          std::function<void(NodeId, const Bytes&)> install) {
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      auto id = static_cast<NodeId>(i);
+      members_[i]->set_snapshot_hooks([take, id] { return take(id); },
+                                      [install, id](const Bytes& b) { install(id, b); });
+    }
+  }
+
+  void crash(NodeId node);
+
+  /// Crash without perfect-FD notification (models a hang); only heartbeat
+  /// timeouts (GroupConfig::heartbeat_*) can detect it. NOTE: heartbeats
+  /// re-arm timers forever, so drive such clusters with sim().run_until().
+  void crash_silent(NodeId node);
+  bool alive(NodeId node) const { return world_.alive(node); }
+
+  const std::vector<LogEntry>& log(NodeId node) const { return logs_[node]; }
+
+  /// Submit time of (origin, app_msg), or -1 if unknown.
+  Time submit_time(NodeId origin, std::uint64_t app_msg) const;
+
+  /// Time at which every live node delivered (origin, app_msg); -1 if some
+  /// live node has not.
+  Time completion_time(NodeId origin, std::uint64_t app_msg) const;
+
+  // --- invariant checkers: empty string means the invariant holds ---
+
+  /// Total order: every pair of logs agrees on the order and identity of
+  /// common deliveries (each is a prefix-consistent subsequence).
+  std::string check_total_order() const;
+
+  /// Agreement: all nodes in `correct` have identical logs.
+  std::string check_agreement(const std::set<NodeId>& correct) const;
+
+  /// Integrity: no duplicates, every delivered message was broadcast, and
+  /// payload hashes match the broadcast payloads.
+  std::string check_integrity() const;
+
+  /// Uniformity: every crashed node's log is a prefix of every correct
+  /// node's log (whatever a failed process delivered, all deliver).
+  std::string check_uniformity(const std::set<NodeId>& crashed,
+                               const std::set<NodeId>& correct) const;
+
+  /// All invariants at once (crashed = nodes crashed via crash()).
+  std::string check_all() const;
+
+ private:
+  ClusterConfig cfg_;
+  SimWorld world_;
+  std::vector<std::unique_ptr<GroupMember>> members_;
+  std::vector<std::vector<LogEntry>> logs_;
+  std::map<NodeId, std::uint64_t> next_app_counter_;
+  std::map<std::pair<NodeId, std::uint64_t>, Time> submit_times_;
+  std::map<std::pair<NodeId, std::uint64_t>, std::uint64_t> submit_hashes_;
+  std::set<NodeId> crashed_;
+  std::function<void(NodeId, const Delivery&)> tap_;
+};
+
+/// FNV-1a, for payload integrity checking without storing payloads.
+std::uint64_t hash_bytes(const Bytes& b);
+
+/// Deterministic payload of `size` bytes derived from (origin, app_msg).
+Bytes test_payload(NodeId origin, std::uint64_t app_msg, std::size_t size);
+
+}  // namespace fsr

@@ -1,0 +1,129 @@
+#include "harness/tcp_cluster.h"
+
+#include <chrono>
+#include <thread>
+
+#include <cstdlib>
+
+#include "common/log.h"
+#include "harness/sim_cluster.h"  // hash_bytes
+
+namespace fsr {
+
+namespace {
+Time wall_now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+TcpCluster::TcpCluster(std::size_t n, GroupConfig group) {
+  if (const char* lvl = std::getenv("FSR_LOG")) {
+    if (std::string(lvl) == "debug") set_log_level(LogLevel::kDebug);
+    if (std::string(lvl) == "info") set_log_level(LogLevel::kInfo);
+  }
+  std::vector<TcpPeer> peers;
+  for (std::size_t i = 0; i < n; ++i) {
+    peers.push_back(TcpPeer{static_cast<NodeId>(i), "127.0.0.1", 0});
+  }
+
+  // Phase 1: bind every listener on an ephemeral port.
+  for (std::size_t i = 0; i < n; ++i) {
+    auto node = std::make_unique<Node>();
+    TcpConfig cfg;
+    cfg.self = static_cast<NodeId>(i);
+    cfg.peers = peers;
+    node->transport = std::make_unique<TcpTransport>(cfg);
+    node->transport->bind();
+    nodes_.push_back(std::move(node));
+  }
+  // Phase 2: distribute the real ports.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      nodes_[i]->transport->set_peer_port(static_cast<NodeId>(j),
+                                          nodes_[j]->transport->bound_port());
+    }
+  }
+  // Phase 3: members + I/O threads.
+  View initial;
+  initial.id = 1;
+  for (std::size_t i = 0; i < n; ++i) initial.members.push_back(static_cast<NodeId>(i));
+  for (std::size_t i = 0; i < n; ++i) {
+    Node* node = nodes_[i].get();
+    node->member = std::make_unique<GroupMember>(
+        *node->transport, group, initial, [node](const Delivery& d) {
+          std::lock_guard lock(node->mutex);
+          node->log.push_back(LogEntry{d.origin, d.app_msg, d.seq, d.payload.size(),
+                                       hash_bytes(d.payload)});
+        });
+  }
+  for (auto& node : nodes_) node->transport->start();
+}
+
+TcpCluster::~TcpCluster() {
+  for (auto& node : nodes_) node->transport->stop();
+}
+
+void TcpCluster::broadcast(NodeId from, Bytes payload) {
+  Node* node = nodes_[from].get();
+  if (node->crashed.load()) return;
+  node->transport->post([node, payload = std::move(payload)]() mutable {
+    node->member->broadcast(std::move(payload));
+  });
+}
+
+void TcpCluster::crash(NodeId node) {
+  nodes_[node]->crashed.store(true);
+  nodes_[node]->transport->stop();
+}
+
+std::vector<TcpCluster::LogEntry> TcpCluster::log(NodeId node) const {
+  std::lock_guard lock(nodes_[node]->mutex);
+  return nodes_[node]->log;
+}
+
+bool TcpCluster::wait_deliveries(std::size_t count, Time timeout) {
+  Time deadline = wall_now() + timeout;
+  for (;;) {
+    bool ok = true;
+    for (const auto& node : nodes_) {
+      if (node->crashed.load()) continue;
+      std::lock_guard lock(node->mutex);
+      if (node->log.size() < count) ok = false;
+    }
+    if (ok) return true;
+    if (wall_now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+bool TcpCluster::wait_view_size(std::uint32_t members, Time timeout) {
+  Time deadline = wall_now() + timeout;
+  for (;;) {
+    bool ok = true;
+    for (auto& node : nodes_) {
+      if (node->crashed.load()) continue;
+      std::uint32_t got = 0;
+      bool flushing = true;
+      bool in_group = true;
+      node->transport->post_wait([&] {
+        got = node->member->view().size();
+        flushing = node->member->flushing();
+        in_group = node->member->in_group();
+      });
+      if (!in_group) continue;  // left the group; not part of the view
+      if (got != members || flushing) ok = false;
+    }
+    if (ok) return true;
+    if (wall_now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void TcpCluster::with_member(NodeId node, const std::function<void(GroupMember&)>& fn) {
+  Node* n = nodes_[node].get();
+  n->transport->post_wait([&] { fn(*n->member); });
+}
+
+}  // namespace fsr

@@ -1,0 +1,68 @@
+// In-process cluster over real TCP sockets: n GroupMembers, each with its
+// own TcpTransport (I/O thread) on a localhost ephemeral port. Used by the
+// integration tests, the TCP example and the TCP benchmark. Thread-safe
+// observation of per-node delivery logs; crash() hard-stops a node's
+// transport so peers observe connection resets (crash-stop semantics).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "transport/tcp_transport.h"
+#include "vsc/group.h"
+
+namespace fsr {
+
+class TcpCluster {
+ public:
+  struct LogEntry {
+    NodeId origin = kNoNode;
+    std::uint64_t app_msg = 0;
+    GlobalSeq seq = 0;
+    std::size_t bytes = 0;
+    std::uint64_t payload_hash = 0;
+  };
+
+  TcpCluster(std::size_t n, GroupConfig group);
+  ~TcpCluster();
+
+  TcpCluster(const TcpCluster&) = delete;
+  TcpCluster& operator=(const TcpCluster&) = delete;
+
+  std::size_t size() const { return nodes_.size(); }
+
+  /// TO-broadcast from `from` (thread-safe; posts to the node's I/O thread).
+  void broadcast(NodeId from, Bytes payload);
+
+  /// Hard-stop a node (sockets die; peers detect the crash).
+  void crash(NodeId node);
+  bool alive(NodeId node) const { return !nodes_[node]->crashed.load(); }
+
+  /// Snapshot of a node's delivery log.
+  std::vector<LogEntry> log(NodeId node) const;
+
+  /// Wait (wall clock) until every live node delivered at least `count`
+  /// messages; false on timeout.
+  bool wait_deliveries(std::size_t count, Time timeout);
+
+  /// Wait until every live node is in a view of the given size.
+  bool wait_view_size(std::uint32_t members, Time timeout);
+
+  /// Run a function on a node's I/O thread and wait (e.g. leave requests).
+  void with_member(NodeId node, const std::function<void(GroupMember&)>& fn);
+
+ private:
+  struct Node {
+    std::unique_ptr<TcpTransport> transport;
+    std::unique_ptr<GroupMember> member;
+    mutable std::mutex mutex;
+    std::vector<LogEntry> log;
+    std::atomic<bool> crashed{false};
+  };
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace fsr

@@ -1,0 +1,174 @@
+#include "net/cluster_net.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "proto/codec.h"
+
+namespace fsr {
+
+namespace {
+
+/// Does this frame carry a payload that the sending node itself originated
+/// (first hop of an own message)? Such frames pay the marshalling CPU cost
+/// before transmission.
+bool own_payload_first_hop(const Frame& f) {
+  for (const auto& m : f.msgs) {
+    if (const auto* d = std::get_if<DataMsg>(&m)) {
+      if (d->id.origin == f.from) return true;
+    } else if (const auto* s = std::get_if<SeqMsg>(&m)) {
+      if (s->id.origin == f.from) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ClusterNet::ClusterNet(Simulator& sim, NetConfig config, std::size_t n_nodes)
+    : sim_(sim), config_(config), nodes_(n_nodes), jitter_rng_(config.seed) {}
+
+Time ClusterNet::wire_time(std::size_t bytes) const {
+  std::size_t packets = bytes == 0 ? 1 : (bytes + config_.mss - 1) / config_.mss;
+  std::size_t on_wire = bytes + packets * config_.per_packet_overhead;
+  double seconds = static_cast<double>(on_wire) * 8.0 / config_.bandwidth_bps;
+  return static_cast<Time>(std::llround(seconds * 1e9));
+}
+
+Time ClusterNet::cpu_time(std::size_t bytes) const {
+  return config_.cpu_fixed +
+         static_cast<Time>(std::llround(config_.cpu_per_byte_ns * static_cast<double>(bytes)));
+}
+
+void ClusterNet::send(Frame frame) {
+  assert(frame.from < nodes_.size() && frame.to < nodes_.size());
+  assert(frame.from != frame.to && "no self-loop links in the cluster");
+  NodeId from = frame.from;
+  Node& src = nodes_[from];
+  if (src.crashed) return;
+  if (frame_tap_) frame_tap_(frame);
+  std::size_t bytes = wire_size(frame);
+  src.stats.frames_sent++;
+  src.stats.payload_bytes_sent += bytes;
+  src.ready_announced = false;
+  bool marshal = own_payload_first_hop(frame);
+  PendingFrame pf{std::move(frame), bytes, /*outbound=*/true};
+  if (marshal) {
+    ++src.outbound_in_cpu;
+    src.cpu_queue.push_back(std::move(pf));
+    if (!src.cpu_busy) start_cpu(from);
+  } else {
+    enqueue_tx(from, std::move(pf));
+  }
+}
+
+void ClusterNet::enqueue_tx(NodeId node, PendingFrame pf) {
+  Node& n = nodes_[node];
+  n.tx_queue.push_back(std::move(pf));
+  if (!n.tx_busy) start_tx(node);
+}
+
+bool ClusterNet::tx_idle(NodeId node) const {
+  // "Can accept another frame": up to two frames may be pending (one
+  // marshalling and/or one queued behind the active wire serializer), so a
+  // forwarded frame can keep the link busy while an own frame marshals.
+  const Node& n = nodes_[node];
+  return !n.crashed && n.outbound_in_cpu + n.tx_queue.size() < 4;
+}
+
+void ClusterNet::crash(NodeId node) {
+  Node& n = nodes_[node];
+  n.crashed = true;
+  n.tx_queue.clear();
+  n.cpu_queue.clear();
+  n.outbound_in_cpu = 0;
+  // In-flight TX/CPU completions check `crashed` before acting.
+}
+
+void ClusterNet::start_tx(NodeId node) {
+  Node& n = nodes_[node];
+  assert(!n.tx_busy && !n.tx_queue.empty());
+  n.tx_busy = true;
+  PendingFrame pf = std::move(n.tx_queue.front());
+  n.tx_queue.pop_front();
+  Time t = wire_time(pf.bytes);
+  std::size_t packets = pf.bytes == 0 ? 1 : (pf.bytes + config_.mss - 1) / config_.mss;
+  n.stats.wire_bytes_sent += pf.bytes + packets * config_.per_packet_overhead;
+  n.stats.tx_busy += t;
+  sim_.schedule(t, [this, node, pf = std::move(pf)]() mutable {
+    finish_tx(node, std::move(pf));
+  });
+  maybe_tx_ready(node);
+}
+
+void ClusterNet::finish_tx(NodeId node, PendingFrame pf) {
+  Node& n = nodes_[node];
+  n.tx_busy = false;
+  if (n.crashed) return;
+  // Hand to the switch; arrives at the destination after the switch latency.
+  pf.outbound = false;
+  sim_.schedule(config_.switch_latency,
+                [this, pf = std::move(pf)]() mutable { arrive(std::move(pf)); });
+  if (!n.tx_queue.empty()) {
+    start_tx(node);
+  } else {
+    maybe_tx_ready(node);
+  }
+}
+
+void ClusterNet::maybe_tx_ready(NodeId node) {
+  Node& n = nodes_[node];
+  if (n.crashed || n.ready_announced || !tx_idle(node)) return;
+  n.ready_announced = true;
+  // Deferred so a send() from inside the callback cannot reenter mid-call.
+  sim_.schedule(0, [this, node] {
+    if (!nodes_[node].crashed && tx_ready_) tx_ready_(node);
+  });
+}
+
+void ClusterNet::arrive(PendingFrame pf) {
+  NodeId to = pf.frame.to;
+  Node& dst = nodes_[to];
+  if (dst.crashed) return;
+  dst.cpu_queue.push_back(std::move(pf));
+  if (!dst.cpu_busy) start_cpu(to);
+}
+
+void ClusterNet::start_cpu(NodeId node) {
+  Node& n = nodes_[node];
+  assert(!n.cpu_busy && !n.cpu_queue.empty());
+  n.cpu_busy = true;
+  PendingFrame pf = std::move(n.cpu_queue.front());
+  n.cpu_queue.pop_front();
+  Time t = cpu_time(pf.bytes);
+  if (config_.cpu_jitter > 0) {
+    double factor = 1.0 + config_.cpu_jitter * (2.0 * jitter_rng_.uniform() - 1.0);
+    t = static_cast<Time>(std::llround(static_cast<double>(t) * factor));
+  }
+  n.stats.cpu_busy += t;
+  sim_.schedule(t, [this, node, pf = std::move(pf)]() mutable {
+    Node& nd = nodes_[node];
+    if (nd.crashed) {
+      nd.cpu_busy = false;
+      return;
+    }
+    // cpu_busy stays set while the callbacks below run: they may reenter
+    // send(), which must queue behind us rather than start a second
+    // concurrent CPU job.
+    if (pf.outbound) {
+      // Marshalling of an own message finished: it may hit the wire now.
+      assert(nd.outbound_in_cpu > 0);
+      --nd.outbound_in_cpu;
+      enqueue_tx(node, std::move(pf));
+      maybe_tx_ready(node);
+    } else {
+      nd.stats.frames_received++;
+      if (deliver_) deliver_(pf.frame);
+    }
+    nd.cpu_busy = false;
+    if (!nd.crashed && !nd.cpu_queue.empty()) start_cpu(node);
+  });
+}
+
+}  // namespace fsr

@@ -1,0 +1,162 @@
+// Packet-level model of a small cluster on a fully switched, full-duplex
+// Ethernet LAN (the paper's testbed, §5.1). Substitutes for the physical
+// dual-Itanium / Fast Ethernet cluster:
+//
+//   * per-node TX serializer: one NIC per node; frames leave one at a time
+//     at the configured line rate, with per-MSS-packet Ethernet/IP/TCP
+//     overhead (this is what makes Netperf-style raw TCP top out at
+//     ~94 Mb/s on a 100 Mb/s wire — Table 1);
+//   * a switch with separate collision domains: traffic p1->p2 never
+//     interferes with p3->p4 (paper §3); modeled as a constant
+//     store-and-forward latency per frame;
+//   * per-node CPU: a single-server queue charging a fixed + per-byte
+//     processing cost (a) on every received frame before it reaches the
+//     protocol and (b) on every first-hop frame carrying a payload the
+//     sender itself originated (marshalling an own message through the
+//     middleware stack costs the same as receiving one). This models the
+//     paper's DREAM/Java layer; it pulls FSR goodput below the raw-wire
+//     ceiling (79 vs 94 Mb/s) and keeps it flat across n and k — every
+//     TO-broadcast passes through every node's CPU exactly once.
+//
+// Full duplex: TX and RX paths of a node are independent, so a node can
+// simultaneously send and receive (paper §3).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "proto/wire.h"
+#include "sim/simulator.h"
+
+namespace fsr {
+
+struct NetConfig {
+  /// Line rate of every NIC, bits per second (paper: 100 Mb/s Fast Ethernet).
+  double bandwidth_bps = 100e6;
+
+  /// Switch store-and-forward + propagation latency per frame.
+  Time switch_latency = 30 * kMicrosecond;
+
+  /// TCP payload bytes per on-wire packet (MSS).
+  std::uint32_t mss = 1448;
+
+  /// Ethernet + IP + TCP + preamble + inter-frame gap bytes charged per
+  /// on-wire packet. 1448/(1448+90) = 94.1% -> the Table 1 raw TCP number.
+  std::uint32_t per_packet_overhead = 90;
+
+  /// Per-frame fixed receive-processing cost (kernel + middleware entry).
+  Time cpu_fixed = 30 * kMicrosecond;
+
+  /// Per-byte receive-processing cost in ns (deserialize + copy through the
+  /// middleware stack). 100 ns/B reproduces the paper's ~79 Mb/s plateau on
+  /// its Java stack; the raw-network benchmark uses ~0 (kernel fast path).
+  double cpu_per_byte_ns = 100.0;
+
+  /// Relative uniform jitter applied to each CPU service time (0 = fully
+  /// deterministic). Real machines always have some: without it the
+  /// lock-step ring settles into periodic patterns whose efficiency
+  /// depends brittly on n and k (phase-locking artifacts).
+  double cpu_jitter = 0.0;
+
+  /// Seed for the jitter stream (runs remain reproducible).
+  std::uint64_t seed = 1;
+
+  static NetConfig raw_wire() {
+    NetConfig c;
+    c.cpu_fixed = 2 * kMicrosecond;
+    c.cpu_per_byte_ns = 2.0;
+    return c;
+  }
+};
+
+/// Simulated cluster network. NodeIds are 0..n-1.
+class ClusterNet {
+ public:
+  using DeliverFn = std::function<void(const Frame&)>;
+  using TxReadyFn = std::function<void(NodeId)>;
+
+  ClusterNet(Simulator& sim, NetConfig config, std::size_t n_nodes);
+
+  /// Protocol receive entry point (called after RX CPU processing).
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Invoked when a node's NIC TX queue drains (enables send pacing and
+  /// ack piggybacking decisions upstream).
+  void set_tx_ready(TxReadyFn fn) { tx_ready_ = std::move(fn); }
+
+  /// Observe every frame as it is submitted to the network (tracing).
+  void set_frame_tap(DeliverFn fn) { frame_tap_ = std::move(fn); }
+
+  /// Queue a frame on frame.from's NIC. Destination must differ from source.
+  void send(Frame frame);
+
+  /// True if the node's outbound path can accept another frame: nothing is
+  /// marshalling and nothing is queued behind the (possibly active) wire
+  /// serializer. This lets a sender overlap marshalling of the next frame
+  /// with transmission of the current one while keeping at most one frame
+  /// queued (so ack piggybacking still sees batched control traffic).
+  bool tx_idle(NodeId node) const;
+
+  /// Crash-stop: the node stops sending, receiving and processing. Frames
+  /// already on the wire to it are dropped on arrival.
+  void crash(NodeId node);
+  bool alive(NodeId node) const { return !nodes_[node].crashed; }
+
+  std::size_t size() const { return nodes_.size(); }
+  const NetConfig& config() const { return config_; }
+
+  /// Time a frame of `bytes` payload occupies the wire, including per-packet
+  /// protocol overhead.
+  Time wire_time(std::size_t bytes) const;
+
+  /// Receive-side CPU cost for a frame of `bytes`.
+  Time cpu_time(std::size_t bytes) const;
+
+  struct NodeStats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t payload_bytes_sent = 0;  // encoded frame bytes
+    std::uint64_t wire_bytes_sent = 0;     // including per-packet overhead
+    Time cpu_busy = 0;                     // total CPU service time
+    Time tx_busy = 0;                      // total wire serialization time
+  };
+  const NodeStats& stats(NodeId node) const { return nodes_[node].stats; }
+
+ private:
+  struct PendingFrame {
+    Frame frame;
+    std::size_t bytes;      // encoded size, computed once at send()
+    bool outbound = false;  // CPU stage feeds TX (true) or delivery (false)
+  };
+
+  struct Node {
+    std::deque<PendingFrame> tx_queue;
+    bool tx_busy = false;
+    std::deque<PendingFrame> cpu_queue;
+    bool cpu_busy = false;
+    std::size_t outbound_in_cpu = 0;  // frames still marshalling before TX
+    bool ready_announced = false;     // tx_ready fired since the last send
+    bool crashed = false;
+    NodeStats stats;
+  };
+
+  void enqueue_tx(NodeId node, PendingFrame pf);
+  void start_tx(NodeId node);
+  void finish_tx(NodeId node, PendingFrame pf);
+  void arrive(PendingFrame pf);
+  void start_cpu(NodeId node);
+  void maybe_tx_ready(NodeId node);
+
+  Simulator& sim_;
+  NetConfig config_;
+  std::vector<Node> nodes_;
+  DeliverFn deliver_;
+  TxReadyFn tx_ready_;
+  DeliverFn frame_tap_;
+  Rng jitter_rng_;
+};
+
+}  // namespace fsr

@@ -1,0 +1,207 @@
+#include "proto/codec.h"
+
+namespace fsr {
+
+using codec_detail::Tag;
+
+bool carries_payload(const WireMsg& msg) {
+  return std::holds_alternative<DataMsg>(msg) || std::holds_alternative<SeqMsg>(msg);
+}
+
+const char* wire_msg_name(const WireMsg& msg) {
+  struct Namer {
+    const char* operator()(const DataMsg&) { return "DATA"; }
+    const char* operator()(const SeqMsg&) { return "SEQ"; }
+    const char* operator()(const AckMsg&) { return "ACK"; }
+    const char* operator()(const GcMsg&) { return "GC"; }
+    const char* operator()(const TokenMsg&) { return "TOKEN"; }
+    const char* operator()(const Heartbeat&) { return "HEARTBEAT"; }
+    const char* operator()(const FlushReq&) { return "FLUSH_REQ"; }
+    const char* operator()(const FlushState&) { return "FLUSH_STATE"; }
+    const char* operator()(const ViewInstall&) { return "VIEW_INSTALL"; }
+    const char* operator()(const InstallAck&) { return "INSTALL_ACK"; }
+    const char* operator()(const CommitView&) { return "COMMIT_VIEW"; }
+    const char* operator()(const JoinReq&) { return "JOIN_REQ"; }
+    const char* operator()(const LeaveReq&) { return "LEAVE_REQ"; }
+    const char* operator()(const CrashReport&) { return "CRASH_REPORT"; }
+  };
+  return std::visit(Namer{}, msg);
+}
+
+std::size_t wire_size(const WireMsg& msg) {
+  CountingWriter w;
+  encode_msg(w, msg);
+  return w.size();
+}
+
+std::size_t wire_size(const Frame& frame) {
+  CountingWriter w;
+  encode_frame(w, frame);
+  return w.size();
+}
+
+Bytes encode_frame(const Frame& frame) {
+  ByteWriter w(wire_size(frame));
+  encode_frame(w, frame);
+  return w.take();
+}
+
+namespace {
+
+MsgId get_msg_id(ByteReader& r) {
+  MsgId id;
+  id.origin = r.u32();
+  id.lsn = r.var();
+  return id;
+}
+
+FragInfo get_frag(ByteReader& r) {
+  FragInfo f;
+  f.app_msg = r.var();
+  f.index = static_cast<std::uint32_t>(r.var());
+  f.count = static_cast<std::uint32_t>(r.var());
+  return f;
+}
+
+// GCC 12 emits a spurious -Wfree-nonheap-object here when it inlines the
+// moved-from vector's destructor (GCC PR 104475 family); the code is a
+// plain move of a heap-backed vector.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wfree-nonheap-object"
+Payload get_payload(ByteReader& r) {
+  Bytes b = r.bytes();
+  if (b.empty()) return nullptr;
+  return make_payload(std::move(b));
+}
+#pragma GCC diagnostic pop
+
+std::vector<NodeId> get_node_list(ByteReader& r) {
+  std::uint64_t n = r.var();
+  if (n > r.remaining() / 4) throw CodecError("node list too long");
+  std::vector<NodeId> nodes(static_cast<std::size_t>(n));
+  for (auto& node : nodes) node = r.u32();
+  return nodes;
+}
+
+}  // namespace
+
+WireMsg decode_msg(ByteReader& r) {
+  auto tag = static_cast<Tag>(r.u8());
+  switch (tag) {
+    case Tag::kData: {
+      DataMsg m;
+      m.id = get_msg_id(r);
+      m.view = r.var();
+      m.frag = get_frag(r);
+      m.payload = get_payload(r);
+      return m;
+    }
+    case Tag::kSeq: {
+      SeqMsg m;
+      m.id = get_msg_id(r);
+      m.seq = r.var();
+      m.view = r.var();
+      m.frag = get_frag(r);
+      m.payload = get_payload(r);
+      return m;
+    }
+    case Tag::kAck: {
+      AckMsg m;
+      m.id = get_msg_id(r);
+      m.seq = r.var();
+      m.view = r.var();
+      m.stable = r.u8() != 0;
+      return m;
+    }
+    case Tag::kGc: {
+      GcMsg m;
+      m.all_delivered = r.var();
+      m.view = r.var();
+      m.hops_left = static_cast<std::uint32_t>(r.var());
+      return m;
+    }
+    case Tag::kToken: {
+      TokenMsg m;
+      m.next_seq = r.var();
+      m.view = r.var();
+      m.idle_laps = static_cast<std::uint32_t>(r.var());
+      std::uint64_t n = r.var();
+      if (n > r.remaining()) throw CodecError("token ack list too long");
+      m.acked.resize(static_cast<std::size_t>(n));
+      for (auto& a : m.acked) a = r.var();
+      return m;
+    }
+    case Tag::kHeartbeat: {
+      Heartbeat m;
+      m.view = r.var();
+      return m;
+    }
+    case Tag::kFlushReq: {
+      FlushReq m;
+      m.proposed = r.var();
+      m.members = get_node_list(r);
+      m.want_snapshot = r.u8() != 0;
+      return m;
+    }
+    case Tag::kFlushState: {
+      FlushState m;
+      m.proposed = r.var();
+      m.from = r.u32();
+      m.state = r.bytes();
+      return m;
+    }
+    case Tag::kViewInstall: {
+      ViewInstall m;
+      m.view = r.var();
+      m.members = get_node_list(r);
+      m.state_owners = get_node_list(r);
+      std::uint64_t n = r.var();
+      if (n > r.remaining()) throw CodecError("state list too long");
+      m.states.resize(static_cast<std::size_t>(n));
+      for (auto& s : m.states) s = r.bytes();
+      return m;
+    }
+    case Tag::kInstallAck: {
+      InstallAck m;
+      m.view = r.var();
+      m.from = r.u32();
+      return m;
+    }
+    case Tag::kCommitView: {
+      CommitView m;
+      m.view = r.var();
+      return m;
+    }
+    case Tag::kJoinReq: {
+      JoinReq m;
+      m.node = r.u32();
+      return m;
+    }
+    case Tag::kLeaveReq: {
+      LeaveReq m;
+      m.node = r.u32();
+      return m;
+    }
+    case Tag::kCrashReport: {
+      CrashReport m;
+      m.node = r.u32();
+      return m;
+    }
+  }
+  throw CodecError("unknown message tag");
+}
+
+Frame decode_frame(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  Frame f;
+  f.from = r.u32();
+  f.to = r.u32();
+  std::uint64_t n = r.var();
+  if (n > r.remaining()) throw CodecError("message count too long");
+  f.msgs.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) f.msgs.push_back(decode_msg(r));
+  if (!r.done()) throw CodecError("trailing bytes after frame");
+  return f;
+}
+
+}  // namespace fsr

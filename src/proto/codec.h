@@ -1,0 +1,203 @@
+// Wire codec: Frame <-> bytes. encode() is templated over a Sink so the same
+// serialization logic drives both the real byte encoder (TCP transport) and
+// a counting sink (the simulator's frame-size model) — the two can never
+// drift apart, which a round-trip + size-agreement test also enforces.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "proto/wire.h"
+
+namespace fsr {
+
+/// Sink that only measures; mirrors the ByteWriter interface.
+class CountingWriter {
+ public:
+  void u8(std::uint8_t) { ++n_; }
+  void u16(std::uint16_t) { n_ += 2; }
+  void u32(std::uint32_t) { n_ += 4; }
+  void u64(std::uint64_t) { n_ += 8; }
+  void var(std::uint64_t v) {
+    ++n_;
+    while (v >= 0x80) {
+      ++n_;
+      v >>= 7;
+    }
+  }
+  void raw(std::span<const std::uint8_t> d) { n_ += d.size(); }
+  void bytes(std::span<const std::uint8_t> d) {
+    var(d.size());
+    n_ += d.size();
+  }
+  void str(std::string_view s) {
+    var(s.size());
+    n_ += s.size();
+  }
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+};
+
+namespace codec_detail {
+
+template <typename Sink>
+void put_msg_id(Sink& w, const MsgId& id) {
+  w.u32(id.origin);
+  w.var(id.lsn);
+}
+
+template <typename Sink>
+void put_frag(Sink& w, const FragInfo& f) {
+  w.var(f.app_msg);
+  w.var(f.index);
+  w.var(f.count);
+}
+
+template <typename Sink>
+void put_payload(Sink& w, const Payload& p) {
+  if (p) {
+    w.var(p->size());
+    w.raw(*p);
+  } else {
+    w.var(0);
+  }
+}
+
+template <typename Sink>
+void put_node_list(Sink& w, const std::vector<NodeId>& nodes) {
+  w.var(nodes.size());
+  for (NodeId n : nodes) w.u32(n);
+}
+
+enum class Tag : std::uint8_t {
+  kData = 1,
+  kSeq = 2,
+  kAck = 3,
+  kHeartbeat = 4,
+  kFlushReq = 5,
+  kFlushState = 6,
+  kViewInstall = 7,
+  kJoinReq = 8,
+  kLeaveReq = 9,
+  kGc = 10,
+  kCrashReport = 11,
+  kToken = 12,
+  kInstallAck = 13,
+  kCommitView = 14,
+};
+
+template <typename Sink>
+struct MsgEncoder {
+  Sink& w;
+
+  void operator()(const DataMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kData));
+    put_msg_id(w, m.id);
+    w.var(m.view);
+    put_frag(w, m.frag);
+    put_payload(w, m.payload);
+  }
+  void operator()(const SeqMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kSeq));
+    put_msg_id(w, m.id);
+    w.var(m.seq);
+    w.var(m.view);
+    put_frag(w, m.frag);
+    put_payload(w, m.payload);
+  }
+  void operator()(const AckMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kAck));
+    put_msg_id(w, m.id);
+    w.var(m.seq);
+    w.var(m.view);
+    w.u8(m.stable ? 1 : 0);
+  }
+  void operator()(const GcMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kGc));
+    w.var(m.all_delivered);
+    w.var(m.view);
+    w.var(m.hops_left);
+  }
+  void operator()(const TokenMsg& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kToken));
+    w.var(m.next_seq);
+    w.var(m.view);
+    w.var(m.idle_laps);
+    w.var(m.acked.size());
+    for (GlobalSeq a : m.acked) w.var(a);
+  }
+  void operator()(const Heartbeat& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kHeartbeat));
+    w.var(m.view);
+  }
+  void operator()(const FlushReq& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kFlushReq));
+    w.var(m.proposed);
+    put_node_list(w, m.members);
+    w.u8(m.want_snapshot ? 1 : 0);
+  }
+  void operator()(const FlushState& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kFlushState));
+    w.var(m.proposed);
+    w.u32(m.from);
+    w.bytes(m.state);
+  }
+  void operator()(const ViewInstall& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kViewInstall));
+    w.var(m.view);
+    put_node_list(w, m.members);
+    put_node_list(w, m.state_owners);
+    w.var(m.states.size());
+    for (const auto& s : m.states) w.bytes(s);
+  }
+  void operator()(const InstallAck& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kInstallAck));
+    w.var(m.view);
+    w.u32(m.from);
+  }
+  void operator()(const CommitView& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kCommitView));
+    w.var(m.view);
+  }
+  void operator()(const JoinReq& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kJoinReq));
+    w.u32(m.node);
+  }
+  void operator()(const LeaveReq& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kLeaveReq));
+    w.u32(m.node);
+  }
+  void operator()(const CrashReport& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kCrashReport));
+    w.u32(m.node);
+  }
+};
+
+}  // namespace codec_detail
+
+template <typename Sink>
+void encode_msg(Sink& w, const WireMsg& msg) {
+  std::visit(codec_detail::MsgEncoder<Sink>{w}, msg);
+}
+
+template <typename Sink>
+void encode_frame(Sink& w, const Frame& frame) {
+  w.u32(frame.from);
+  w.u32(frame.to);
+  w.var(frame.msgs.size());
+  for (const auto& m : frame.msgs) encode_msg(w, m);
+}
+
+/// Encoded size in bytes without materializing the encoding.
+std::size_t wire_size(const WireMsg& msg);
+std::size_t wire_size(const Frame& frame);
+
+Bytes encode_frame(const Frame& frame);
+
+/// Throws CodecError on malformed input.
+Frame decode_frame(std::span<const std::uint8_t> data);
+WireMsg decode_msg(ByteReader& r);
+
+}  // namespace fsr

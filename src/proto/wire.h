@@ -1,0 +1,180 @@
+// All protocol messages that cross the network, for both the FSR layer
+// (DATA / SEQ / ACK, paper §4) and the VSC membership layer (§4.2.1).
+// A Frame is the unit handed to a Transport: one or more messages for a
+// single destination. Piggybacking (§4.2.2) = appending AckMsg entries to a
+// frame that already carries a payload message.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+
+namespace fsr {
+
+/// Payloads are shared so that forwarding a 100 KB segment around the ring
+/// does not copy it at every hop (in the simulator; the TCP transport
+/// serializes real bytes).
+using Payload = std::shared_ptr<const Bytes>;
+
+inline Payload make_payload(Bytes b) {
+  return std::make_shared<const Bytes>(std::move(b));
+}
+
+inline std::size_t payload_size(const Payload& p) { return p ? p->size() : 0; }
+
+/// Segmentation header: which application message this segment belongs to
+/// (per-origin counter) and its position in it (paper §4.1: uniform message
+/// size via segmenting large messages).
+struct FragInfo {
+  std::uint64_t app_msg = 0;
+  std::uint32_t index = 0;
+  std::uint32_t count = 1;
+
+  friend bool operator==(const FragInfo&, const FragInfo&) = default;
+};
+
+/// Pre-sequencing payload segment, forwarded clockwise from its origin to
+/// the leader (message m1 in Fig. 4).
+struct DataMsg {
+  MsgId id;
+  ViewId view = 0;
+  FragInfo frag;
+  Payload payload;
+};
+
+/// Post-sequencing segment: (m, seq(m)), forwarded from the leader to the
+/// predecessor of the origin (messages m2/m3 in Fig. 4).
+struct SeqMsg {
+  MsgId id;
+  GlobalSeq seq = 0;
+  ViewId view = 0;
+  FragInfo frag;
+  Payload payload;
+};
+
+/// Acknowledgment (message m4 in Fig. 4). `stable == true` certifies the
+/// pair is stored by the leader and all t backups, so receivers may deliver;
+/// a pending ack (backup-sender case, §4.1 case 2) circulates only until
+/// backup p_t, which converts it to a stable ack.
+struct AckMsg {
+  MsgId id;
+  GlobalSeq seq = 0;
+  ViewId view = 0;
+  bool stable = true;
+
+  friend bool operator==(const AckMsg&, const AckMsg&) = default;
+};
+
+/// Garbage-collection watermark. The process at the stable-ack stop position
+/// (p_{t-1}) is always the *last* to deliver a message, so its delivered
+/// watermark equals the all-delivered watermark. It periodically circulates
+/// that watermark (piggybacked like an ack) so every process can prune
+/// records retained for view-change recovery. A pair may only be forgotten
+/// once it is known to be delivered by all (paper §4: backups keep copies of
+/// messages "that have not yet been delivered by all processes").
+struct GcMsg {
+  GlobalSeq all_delivered = 0;
+  ViewId view = 0;
+  std::uint32_t hops_left = 0;
+
+  friend bool operator==(const GcMsg&, const GcMsg&) = default;
+};
+
+/// Rotating token of the privilege-based baseline (paper §2.3, Fig. 3):
+/// carries the sequence counter and the per-member cumulative-ack
+/// watermarks whose minimum is the uniform-stability point.
+struct TokenMsg {
+  GlobalSeq next_seq = 1;
+  ViewId view = 0;
+  std::uint32_t idle_laps = 0;   // consecutive visits with nothing sent
+  std::vector<GlobalSeq> acked;  // parallel to the view's member list
+
+  friend bool operator==(const TokenMsg&, const TokenMsg&) = default;
+};
+
+// --- VSC membership messages (paper §4.2.1) ---
+
+struct Heartbeat {
+  ViewId view = 0;
+};
+
+/// Coordinator asks members of the proposed view to stop sending and report
+/// their recovery state.
+struct FlushReq {
+  ViewId proposed = 0;
+  std::vector<NodeId> members;
+  /// The proposed view admits a joiner: members should attach an
+  /// application snapshot to their flush state (state transfer).
+  bool want_snapshot = false;
+};
+
+/// A member's reply: an opaque recovery blob produced by the protocol layer
+/// (for FSR: delivered watermark, sequenced-undelivered pairs, own pending
+/// messages).
+struct FlushState {
+  ViewId proposed = 0;
+  NodeId from = kNoNode;
+  Bytes state;
+};
+
+/// Phase one of the two-phase install: the coordinator distributes the
+/// agreed view and every member's recovery blob. Receivers STAGE the union
+/// (absorb the records so any later flush re-exports them) and ack — they
+/// must not deliver yet: delivering before every participant stored the
+/// union would break uniformity if the coordinator and the early receiver
+/// both crash.
+struct ViewInstall {
+  ViewId view = 0;
+  std::vector<NodeId> members;
+  std::vector<NodeId> state_owners;
+  std::vector<Bytes> states;  // parallel to state_owners
+};
+
+/// A participant's acknowledgment that it staged the install.
+struct InstallAck {
+  ViewId view = 0;
+  NodeId from = kNoNode;
+};
+
+/// Phase two: every participant staged the union; deliver and switch views.
+struct CommitView {
+  ViewId view = 0;
+};
+
+struct JoinReq {
+  NodeId node = kNoNode;
+};
+
+/// Relays a locally detected crash to members without a direct connection
+/// to the dead process (on TCP only direct peers observe the reset; the
+/// simulator's perfect failure detector notifies everyone natively).
+struct CrashReport {
+  NodeId node = kNoNode;
+};
+
+struct LeaveReq {
+  NodeId node = kNoNode;
+};
+
+using WireMsg = std::variant<DataMsg, SeqMsg, AckMsg, GcMsg, TokenMsg, Heartbeat, FlushReq,
+                             FlushState, ViewInstall, InstallAck, CommitView, JoinReq,
+                             LeaveReq, CrashReport>;
+
+/// Unit of transmission between two directly connected processes.
+struct Frame {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::vector<WireMsg> msgs;
+};
+
+/// True if the message carries a (possibly large) payload; ack/control
+/// messages are the small ones eligible for piggybacking.
+bool carries_payload(const WireMsg& msg);
+
+const char* wire_msg_name(const WireMsg& msg);
+
+}  // namespace fsr

@@ -1,0 +1,93 @@
+// Pure FSR routing arithmetic (paper §4.1, Fig. 4). Positions are indices in
+// the current view's ring: 0 = leader/sequencer, 1..t = backups, the rest
+// are standard processes. All messages travel clockwise (to the successor).
+//
+// A broadcast originated at position i proceeds as:
+//   DATA pass : p_i -> p_{i+1} -> ... -> p_0          (omitted when i == 0)
+//   SEQ  pass : p_0 -> p_1 -> ... -> p_{i-1}          (payload + seq number)
+//   ACK  pass : emitted at the SEQ stop; "stable" acks certify the pair is
+//               stored by the leader and all t backups, "pending" acks (only
+//               when the origin is a backup) circulate until p_t which
+//               converts them to stable.
+//
+// Delivery (uniform total order):
+//   * a process at position j >= t delivers on receiving SEQ (at that point
+//     p_0..p_t all store the pair -> stable despite t crashes);
+//   * the leader delivers at sequencing time iff t == 0;
+//   * every other process delivers on receiving a stable ACK.
+//
+// These functions are pure so the exact hop-by-hop behaviour is verified by
+// exhaustive truth-table tests over all (n, t, i, j).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace fsr::ring {
+
+enum class AckKind : std::uint8_t {
+  kNone,     // no ack needed (everyone already delivered)
+  kStable,   // certifies stability; receivers deliver
+  kPending,  // backup-origin case: not yet stable, circulates to p_t
+};
+
+struct Topology {
+  std::uint32_t n = 1;  // ring size
+  std::uint32_t t = 0;  // number of backups (tolerated failures), t < n
+
+  constexpr Position succ(Position p) const { return (p + 1) % n; }
+  constexpr Position pred(Position p) const { return (p + n - 1) % n; }
+
+  constexpr bool is_leader(Position p) const { return p == 0; }
+  constexpr bool is_backup(Position p) const { return p >= 1 && p <= t; }
+  constexpr bool is_standard(Position p) const { return p > t; }
+
+  /// Last process of the SEQ pass: the predecessor of the origin.
+  constexpr Position seq_stop(Position origin) const { return pred(origin); }
+
+  /// Does the SEQ pass (p_1 .. p_{origin-1}) reach position j at all?
+  /// (j == 0 never: the leader sends the SEQ pass, it does not receive it.)
+  constexpr bool seq_pass_covers(Position origin, Position j) const {
+    if (j == 0) return false;
+    Position stop = seq_stop(origin);
+    if (stop == 0) return false;  // origin == 1: empty pass
+    return j <= stop && !(origin != 0 && j >= origin);
+  }
+
+  /// May position j deliver upon receiving the SEQ message?
+  constexpr bool deliver_on_seq(Position j) const { return j >= t; }
+
+  /// Does the leader deliver its own sequencing output immediately?
+  constexpr bool leader_delivers_at_sequencing() const { return t == 0; }
+
+  /// What kind of ack does the SEQ-stop process emit?
+  constexpr AckKind ack_at_seq_stop(Position origin) const {
+    Position stop = seq_stop(origin);
+    if (stop < t) return AckKind::kPending;  // origin is a backup (1..t)
+    if (stop == stable_ack_stop()) return AckKind::kNone;  // i==0 && t==0
+    return AckKind::kStable;
+  }
+
+  /// A pending ack circulates until p_t (which converts it to stable).
+  constexpr Position pending_ack_stop() const { return t; }
+
+  /// A stable ack circulates until p_{t-1} (p_{n-1} when t == 0).
+  constexpr Position stable_ack_stop() const { return (t + n - 1) % n; }
+
+  /// Number of rounds from the initial send until the last process delivers,
+  /// for a standard-origin broadcast in an idle system (paper §4.3.1):
+  /// L(i) = 2n + t - i - 1.
+  constexpr std::uint32_t analytic_latency(Position origin) const {
+    return 2 * n + t - origin - 1;
+  }
+};
+
+/// Effective number of backups for a view of size n: t cannot meet or exceed
+/// the ring size (t < n, paper §4).
+constexpr std::uint32_t effective_t(std::uint32_t configured_t, std::uint32_t n) {
+  return n == 0 ? 0 : (configured_t < n ? configured_t : n - 1);
+}
+
+}  // namespace fsr::ring

@@ -1,0 +1,80 @@
+#include "roundmodel/comm_history_round.h"
+
+#include <algorithm>
+
+namespace fsr::rounds {
+
+CommHistoryRound::CommHistoryRound(int n, int window)
+    : n_(n), window_(window < 0 ? 4 * n : window), procs_(static_cast<std::size_t>(n)) {
+  for (auto& p : procs_) p.heard.assign(static_cast<std::size_t>(n), -1);
+}
+
+std::optional<Send> CommHistoryRound::on_round(int p, long long) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  std::vector<int> dests;
+  for (int q = 0; q < n_; ++q) {
+    if (q != p) dests.push_back(q);
+  }
+
+  if (engine_->has_app_message(p) && me.outstanding < window_) {
+    long long bcast = engine_->take_app_message(p);
+    ++me.outstanding;
+    ++me.clock;
+    Msg m;
+    m.kind = Msg::Kind::kData;
+    m.origin = p;
+    m.bcast = bcast;
+    m.aux = me.clock;
+    me.heard[static_cast<std::size_t>(p)] = me.clock;
+    me.rounds_since_hb = 0;  // the data message carries our clock
+    me.pending.insert(PendingMsg{me.clock, p, bcast});
+    try_deliver(p);
+    return Send{std::move(dests), std::move(m)};
+  }
+
+  // Nothing to say: emit a clock heartbeat so others' messages can become
+  // stable. Heartbeats are rate-matched to the receive capacity (one every
+  // n-1 rounds) — any faster and the quadratic background traffic drowns
+  // the single receive slot entirely; even so, heartbeats consume the
+  // lion's share of every inbox, which is this class's downfall.
+  if (++me.rounds_since_hb < n_ - 1) {
+    try_deliver(p);
+    return std::nullopt;
+  }
+  me.rounds_since_hb = 0;
+  ++me.clock;
+  me.heard[static_cast<std::size_t>(p)] = me.clock;
+  Msg hb;
+  hb.kind = Msg::Kind::kToken;  // reused as "clock only"
+  hb.origin = p;
+  hb.aux = me.clock;
+  try_deliver(p);
+  return Send{std::move(dests), std::move(hb)};
+}
+
+void CommHistoryRound::on_receive(int p, const Msg& m, long long) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  me.clock = std::max(me.clock, m.aux);
+  auto& heard = me.heard[static_cast<std::size_t>(m.origin)];
+  heard = std::max(heard, m.aux);
+  if (m.kind == Msg::Kind::kData) {
+    me.pending.insert(PendingMsg{m.aux, m.origin, m.bcast});
+  }
+  try_deliver(p);
+}
+
+void CommHistoryRound::try_deliver(int p) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  // The earliest pending message is deliverable once every process's heard
+  // clock is beyond its timestamp: no earlier message can still arrive.
+  while (!me.pending.empty()) {
+    const PendingMsg& head = *me.pending.begin();
+    long long min_heard = *std::min_element(me.heard.begin(), me.heard.end());
+    if (min_heard < head.ts) break;
+    if (head.origin == p && me.outstanding > 0) --me.outstanding;
+    engine_->deliver(p, head.bcast);
+    me.pending.erase(me.pending.begin());
+  }
+}
+
+}  // namespace fsr::rounds

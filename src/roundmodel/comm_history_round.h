@@ -1,0 +1,57 @@
+// Communication-history TO-broadcast in the round model (paper §2.4,
+// Lamport-clock / Newtop style): senders may broadcast at any time; every
+// message carries a logical clock, and a message is delivered once the
+// receiver has heard a higher clock from *every* other process (so nothing
+// earlier can still arrive). Total order = (timestamp, origin).
+//
+// Silent processes must therefore emit clock heartbeats continuously, so
+// each broadcast costs a quadratic number of messages — with the §3 single-
+// receive-per-round rule the inboxes of all processes become the
+// bottleneck, which is exactly the paper's "poor throughput" argument for
+// this class.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "roundmodel/round_engine.h"
+
+namespace fsr::rounds {
+
+class CommHistoryRound final : public Protocol {
+ public:
+  explicit CommHistoryRound(int n, int window = -1);
+
+  std::optional<Send> on_round(int p, long long round) override;
+  void on_receive(int p, const Msg& m, long long round) override;
+  std::string name() const override { return "comm-history"; }
+
+ private:
+  struct PendingMsg {
+    long long ts = 0;
+    int origin = -1;
+    long long bcast = -1;
+
+    bool operator<(const PendingMsg& o) const {
+      if (ts != o.ts) return ts < o.ts;
+      return origin < o.origin;
+    }
+  };
+
+  struct Proc {
+    long long clock = 0;
+    std::vector<long long> heard;  // highest clock seen from each process
+    std::set<PendingMsg> pending;  // undelivered, ordered by (ts, origin)
+    int outstanding = 0;
+    int rounds_since_hb = 1 << 20;  // send a heartbeat immediately at start
+  };
+
+  void try_deliver(int p);
+
+  int n_;
+  int window_;
+  std::vector<Proc> procs_;
+};
+
+}  // namespace fsr::rounds

@@ -1,0 +1,129 @@
+#include "roundmodel/dest_agreement_round.h"
+
+#include <algorithm>
+
+namespace fsr::rounds {
+
+DestAgreementRound::DestAgreementRound(int n, int window)
+    : n_(n), window_(window < 0 ? 4 * n : window), procs_(static_cast<std::size_t>(n)) {
+  co_.acked_by.assign(static_cast<std::size_t>(n), -1);
+}
+
+std::optional<Send> DestAgreementRound::on_round(int p, long long) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  std::vector<int> others;
+  for (int q = 0; q < n_; ++q) {
+    if (q != p) others.push_back(q);
+  }
+
+  if (p == coord_) {
+    // Inject own app messages into the agreement queue.
+    if (engine_->has_app_message(p) && me.outstanding < window_) {
+      long long bcast = engine_->take_app_message(p);
+      ++me.outstanding;
+      co_.unordered.push_back({bcast, p});
+    }
+    // Propose the next unordered message.
+    if (!co_.unordered.empty()) {
+      auto [bcast, origin] = co_.unordered.front();
+      co_.unordered.pop_front();
+      Msg prop;
+      prop.kind = Msg::Kind::kSeq;
+      prop.origin = origin;
+      prop.bcast = bcast;
+      prop.seq = co_.next_seq++;
+      prop.aux = co_.decided;  // piggyback the decision watermark
+      me.proposals[prop.seq] = prop;
+      while (me.proposals.count(me.received_contig + 1) > 0) ++me.received_contig;
+      co_.acked_by[static_cast<std::size_t>(p)] = me.received_contig;
+      recompute_decided();
+      return Send{std::move(others), std::move(prop)};
+    }
+    // No proposal to make: announce new decisions if any.
+    if (co_.decided > co_.announced_decided) {
+      co_.announced_decided = co_.decided;
+      Msg dec;
+      dec.kind = Msg::Kind::kStable;
+      dec.aux = co_.decided;
+      return Send{std::move(others), std::move(dec)};
+    }
+    return std::nullopt;
+  }
+
+  // Non-coordinator: forward own app messages to the coordinator, with the
+  // cumulative proposal-ack piggybacked; otherwise send standalone acks.
+  if (engine_->has_app_message(p) && me.outstanding < window_) {
+    long long bcast = engine_->take_app_message(p);
+    ++me.outstanding;
+    Msg d;
+    d.kind = Msg::Kind::kData;
+    d.origin = p;
+    d.bcast = bcast;
+    if (me.received_contig > me.acked) {
+      Msg ack;
+      ack.kind = Msg::Kind::kAck;
+      ack.origin = p;
+      ack.aux = me.received_contig;
+      me.acked = me.received_contig;
+      d.piggy.push_back(std::move(ack));
+    }
+    return Send{{coord_}, std::move(d)};
+  }
+  if (me.received_contig > me.acked) {
+    Msg ack;
+    ack.kind = Msg::Kind::kAck;
+    ack.origin = p;
+    ack.aux = me.received_contig;
+    me.acked = me.received_contig;
+    return Send{{coord_}, std::move(ack)};
+  }
+  return std::nullopt;
+}
+
+void DestAgreementRound::on_receive(int p, const Msg& m, long long) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  auto handle_one = [&](const Msg& one) {
+    if (p == coord_) {
+      if (one.kind == Msg::Kind::kData) {
+        co_.unordered.push_back({one.bcast, one.origin});
+      } else if (one.kind == Msg::Kind::kAck) {
+        auto& w = co_.acked_by[static_cast<std::size_t>(one.origin)];
+        w = std::max(w, one.aux);
+        recompute_decided();
+      }
+    } else {
+      if (one.kind == Msg::Kind::kSeq) {
+        me.proposals[one.seq] = one;
+        while (me.proposals.count(me.received_contig + 1) > 0) ++me.received_contig;
+        me.decided = std::max(me.decided, one.aux);
+      } else if (one.kind == Msg::Kind::kStable) {
+        me.decided = std::max(me.decided, one.aux);
+      }
+    }
+  };
+  handle_one(m);
+  for (const auto& extra : m.piggy) handle_one(extra);
+  try_deliver(p);
+}
+
+void DestAgreementRound::recompute_decided() {
+  long long d = co_.next_seq;
+  for (long long w : co_.acked_by) d = std::min(d, w);
+  co_.decided = std::max(co_.decided, d);
+  procs_[static_cast<std::size_t>(coord_)].decided = co_.decided;
+  try_deliver(coord_);
+}
+
+void DestAgreementRound::try_deliver(int p) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  while (me.next_deliver <= me.decided) {
+    auto it = me.proposals.find(me.next_deliver);
+    if (it == me.proposals.end()) break;
+    if (it->second.origin == p && me.outstanding > 0) --me.outstanding;
+    engine_->deliver(p, it->second.bcast);
+    me.proposals.erase(it);
+    ++me.next_deliver;
+  }
+}
+
+}  // namespace fsr::rounds

@@ -1,0 +1,58 @@
+// Destination-agreement TO-broadcast in the round model (paper §2.5,
+// Chandra–Toueg style): the delivery order is decided by running an
+// agreement per message (batch): a coordinator proposes the next message's
+// sequence, every destination acknowledges the proposal, and the
+// coordinator broadcasts the decision; processes deliver on decision.
+//
+// This is deliberately the "modular but expensive" construction the paper
+// describes: each delivery costs a proposal broadcast, n-1 ack unicasts and
+// a decision broadcast, so the coordinator's receive slot and every
+// process's two-receives-per-delivery cap the throughput well below 1.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "roundmodel/round_engine.h"
+
+namespace fsr::rounds {
+
+class DestAgreementRound final : public Protocol {
+ public:
+  explicit DestAgreementRound(int n, int window = -1);
+
+  std::optional<Send> on_round(int p, long long round) override;
+  void on_receive(int p, const Msg& m, long long round) override;
+  std::string name() const override { return "dest-agreement"; }
+
+ private:
+  struct Proc {
+    std::map<long long, Msg> proposals;  // seq -> proposed message
+    long long decided = -1;              // decision watermark
+    long long acked = -1;                // proposal watermark acked so far
+    long long received_contig = -1;      // contiguous proposals received
+    long long next_deliver = 0;
+    int outstanding = 0;
+  };
+
+  struct Coordinator {
+    std::deque<std::pair<long long, int>> unordered;  // (bcast, origin)
+    long long next_seq = 0;
+    std::vector<long long> acked_by;
+    long long decided = -1;
+    long long announced_decided = -1;
+    bool proposal_outstanding = false;  // at most one unacked proposal wave
+  };
+
+  void try_deliver(int p);
+  void recompute_decided();
+
+  int n_;
+  int window_;
+  int coord_ = 0;
+  std::vector<Proc> procs_;
+  Coordinator co_;
+};
+
+}  // namespace fsr::rounds

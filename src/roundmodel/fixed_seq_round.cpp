@@ -1,0 +1,149 @@
+#include "roundmodel/fixed_seq_round.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fsr::rounds {
+
+FixedSeqRound::FixedSeqRound(int n, int window)
+    : n_(n), window_(window < 0 ? 4 * n : window), procs_(static_cast<std::size_t>(n)) {
+  seq_.acked_by.assign(static_cast<std::size_t>(n), -1);
+}
+
+std::optional<Send> FixedSeqRound::on_round(int p, long long) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+
+  if (p == seq_proc_) {
+    // Inject own app messages directly into the sequencing queue (the
+    // sequencer orders its own messages first come, first served with the
+    // arriving ones).
+    if (engine_->has_app_message(p) && me.outstanding < window_) {
+      long long bcast = engine_->take_app_message(p);
+      ++me.outstanding;
+      Msg m;
+      m.kind = Msg::Kind::kSeq;
+      m.origin = p;
+      m.bcast = bcast;
+      m.seq = seq_.next_seq++;
+      me.records[m.seq] = m;
+      seq_.seq_queue.push_back(m);
+      seq_.acked_by[static_cast<std::size_t>(p)] = seq_.next_seq - 1;
+      recompute_stable();
+    }
+    if (!seq_.seq_queue.empty()) {
+      Msg out = std::move(seq_.seq_queue.front());
+      seq_.seq_queue.pop_front();
+      out.aux = seq_.stable;  // piggyback the stability watermark
+      seq_.announced_stable = std::max(seq_.announced_stable, seq_.stable);
+      std::vector<int> dests;
+      for (int q = 0; q < n_; ++q) {
+        if (q != p) dests.push_back(q);
+      }
+      return Send{std::move(dests), std::move(out)};
+    }
+    if (seq_.stable > seq_.announced_stable) {
+      seq_.announced_stable = seq_.stable;
+      Msg out;
+      out.kind = Msg::Kind::kStable;
+      out.aux = seq_.stable;
+      std::vector<int> dests;
+      for (int q = 0; q < n_; ++q) {
+        if (q != p) dests.push_back(q);
+      }
+      return Send{std::move(dests), std::move(out)};
+    }
+    return std::nullopt;
+  }
+
+  // Non-sequencer: send own data (with a piggybacked cumulative ack) or a
+  // standalone ack.
+  if (engine_->has_app_message(p) && me.outstanding < window_) {
+    long long bcast = engine_->take_app_message(p);
+    ++me.outstanding;
+    Msg m;
+    m.kind = Msg::Kind::kData;
+    m.origin = p;
+    m.bcast = bcast;
+    if (me.received_contig > me.acked) {
+      Msg ack;
+      ack.kind = Msg::Kind::kAck;
+      ack.origin = p;
+      ack.aux = me.received_contig;
+      me.acked = me.received_contig;
+      m.piggy.push_back(std::move(ack));
+    }
+    return Send{{seq_proc_}, std::move(m)};
+  }
+  // Standalone acks are sent by pure receivers every round; a process that
+  // also broadcasts piggybacks its acks on its data (footnote 2 of the
+  // paper) and only falls back to a standalone ack when stability lags far
+  // behind (window stalled).
+  bool pure_receiver = !engine_->has_app_message(p);
+  bool stalled = me.received_contig - me.acked > static_cast<long long>(2 * window_);
+  if (me.received_contig > me.acked && (pure_receiver || stalled)) {
+    Msg ack;
+    ack.kind = Msg::Kind::kAck;
+    ack.origin = p;
+    ack.aux = me.received_contig;
+    me.acked = me.received_contig;
+    return Send{{seq_proc_}, std::move(ack)};
+  }
+  return std::nullopt;
+}
+
+void FixedSeqRound::on_receive(int p, const Msg& m, long long) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  auto handle_one = [&](const Msg& one) {
+    if (p == seq_proc_) {
+      if (one.kind == Msg::Kind::kData) {
+        Msg s;
+        s.kind = Msg::Kind::kSeq;
+        s.origin = one.origin;
+        s.bcast = one.bcast;
+        s.seq = seq_.next_seq++;
+        me.records[s.seq] = s;
+        seq_.seq_queue.push_back(s);
+        seq_.acked_by[static_cast<std::size_t>(p)] = seq_.next_seq - 1;
+        recompute_stable();
+      } else if (one.kind == Msg::Kind::kAck) {
+        auto& w = seq_.acked_by[static_cast<std::size_t>(one.origin)];
+        w = std::max(w, one.aux);
+        recompute_stable();
+      }
+    } else {
+      if (one.kind == Msg::Kind::kSeq) {
+        me.records[one.seq] = one;
+        while (me.records.count(me.received_contig + 1) > 0) ++me.received_contig;
+        me.stable = std::max(me.stable, one.aux);
+      } else if (one.kind == Msg::Kind::kStable) {
+        me.stable = std::max(me.stable, one.aux);
+      }
+    }
+  };
+  handle_one(m);
+  for (const auto& extra : m.piggy) handle_one(extra);
+  try_deliver(p);
+}
+
+void FixedSeqRound::recompute_stable() {
+  long long s = seq_.next_seq;  // upper bound
+  for (long long w : seq_.acked_by) s = std::min(s, w);
+  seq_.stable = std::max(seq_.stable, s);
+  Proc& me = procs_[static_cast<std::size_t>(seq_proc_)];
+  me.stable = seq_.stable;
+  try_deliver(seq_proc_);
+}
+
+void FixedSeqRound::try_deliver(int p) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  while (me.next_deliver <= me.stable) {
+    auto it = me.records.find(me.next_deliver);
+    if (it == me.records.end()) break;
+    if (it->second.origin == p && me.outstanding > 0) --me.outstanding;
+    engine_->deliver(p, it->second.bcast);
+    me.records.erase(it);
+    ++me.next_deliver;
+  }
+}
+
+}  // namespace fsr::rounds

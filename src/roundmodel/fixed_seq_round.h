@@ -1,0 +1,57 @@
+// Uniform fixed-sequencer TO-broadcast in the round model (paper §2.1,
+// Fig. 1): senders unicast to the sequencer, the sequencer broadcasts
+// (m, seq), receivers ack back to the sequencer (cumulative acks,
+// piggybacked on their own data when they are also senders), and the
+// sequencer broadcasts a stability watermark.
+//
+// The sequencer's single receive slot per round is the bottleneck: for
+// 1-to-n traffic it must absorb the sender's data AND n-1 ack streams,
+// capping throughput near 1/n. Only in n-to-n (acks piggybacked on data)
+// does it approach 1 (paper footnote 2).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "roundmodel/round_engine.h"
+
+namespace fsr::rounds {
+
+class FixedSeqRound final : public Protocol {
+ public:
+  explicit FixedSeqRound(int n, int window = -1);
+
+  std::optional<Send> on_round(int p, long long round) override;
+  void on_receive(int p, const Msg& m, long long round) override;
+  std::string name() const override { return "fixed-seq"; }
+
+ private:
+  struct Proc {
+    std::map<long long, Msg> records;        // seq -> sequenced message
+    long long received_contig = -1;          // highest contiguous seq received
+    long long acked = -1;                    // watermark already sent to sequencer
+    long long stable = -1;                   // stability watermark learned
+    long long next_deliver = 0;
+    int outstanding = 0;
+  };
+
+  struct Sequencer {
+    long long next_seq = 0;
+    std::deque<Msg> seq_queue;               // sequenced, waiting to broadcast
+    std::vector<long long> acked_by;         // per process
+    long long stable = -1;
+    long long announced_stable = -1;
+  };
+
+  void try_deliver(int p);
+  void recompute_stable();
+
+  int n_;
+  int window_;
+  int seq_proc_ = 0;
+  std::vector<Proc> procs_;
+  Sequencer seq_;
+};
+
+}  // namespace fsr::rounds

@@ -1,0 +1,250 @@
+#include "roundmodel/fsr_round.h"
+
+#include <cassert>
+
+namespace fsr::rounds {
+
+namespace {
+constexpr long long kStableFlag = 1;
+}
+
+FsrRound::FsrRound(int n, int t, int window)
+    : topo_{static_cast<std::uint32_t>(n),
+            ring::effective_t(static_cast<std::uint32_t>(t), static_cast<std::uint32_t>(n))},
+      window_(window < 0 ? 4 * n : window),
+      procs_(static_cast<std::size_t>(n)) {}
+
+std::optional<Send> FsrRound::on_round(int p, long long) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  auto payload = pick(p);
+
+  Msg out;
+  if (payload) {
+    out = *payload;
+  } else if (!me.ctrl.empty()) {
+    out = me.ctrl.front();
+    me.ctrl.erase(me.ctrl.begin());
+  } else {
+    return std::nullopt;
+  }
+  // Piggyback all remaining control messages for free (§4.2.2).
+  for (auto& c : me.ctrl) out.piggy.push_back(std::move(c));
+  me.ctrl.clear();
+
+  int succ = static_cast<int>(topo_.succ(static_cast<Position>(p)));
+  return Send{{succ}, std::move(out)};
+}
+
+std::optional<Msg> FsrRound::pick(int p) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  auto mypos = static_cast<Position>(p);
+  const bool own_ok = engine_->has_app_message(p) && me.outstanding < window_;
+
+  if (topo_.is_leader(mypos)) {
+    if (me.out_fifo.empty() && own_ok) {
+      long long bcast = engine_->take_app_message(p);
+      me.stash[bcast] = p;
+      ++me.outstanding;
+      sequence(me, p, bcast);
+      try_deliver(p);
+    }
+    if (me.out_fifo.empty()) return std::nullopt;
+    Msg m = std::move(me.out_fifo.front());
+    me.out_fifo.pop_front();
+    return m;
+  }
+
+  if (own_ok) {
+    for (auto it = me.out_fifo.begin(); it != me.out_fifo.end(); ++it) {
+      if (me.forward_list.count(it->origin) > 0) continue;
+      Msg m = std::move(*it);
+      me.out_fifo.erase(it);
+      me.forward_list.insert(m.origin);
+      return m;
+    }
+    long long bcast = engine_->take_app_message(p);
+    me.stash[bcast] = p;
+    ++me.outstanding;
+    me.forward_list.clear();
+    Msg m;
+    m.kind = Msg::Kind::kData;
+    m.origin = p;
+    m.bcast = bcast;
+    return m;
+  }
+
+  if (!me.out_fifo.empty()) {
+    Msg m = std::move(me.out_fifo.front());
+    me.out_fifo.pop_front();
+    me.forward_list.insert(m.origin);
+    return m;
+  }
+  return std::nullopt;
+}
+
+void FsrRound::sequence(Proc& leader, int origin, long long bcast) {
+  long long s = leader.next_seq++;
+  Msg rec;
+  rec.kind = Msg::Kind::kSeq;
+  rec.origin = origin;
+  rec.bcast = bcast;
+  rec.seq = s;
+  leader.records[s] = rec;
+  if (topo_.leader_delivers_at_sequencing()) leader.stable.insert(s);
+
+  auto opos = static_cast<Position>(origin);
+  Position stop = topo_.seq_stop(opos);
+  if (stop != 0) {
+    leader.out_fifo.push_back(rec);
+  } else {
+    switch (topo_.ack_at_seq_stop(opos)) {
+      case ring::AckKind::kStable: {
+        Msg a = rec;
+        a.kind = Msg::Kind::kAck;
+        leader.ctrl.push_back(a);
+        break;
+      }
+      case ring::AckKind::kPending: {
+        Msg a = rec;
+        a.kind = Msg::Kind::kPendingAck;
+        leader.ctrl.push_back(a);
+        break;
+      }
+      case ring::AckKind::kNone:
+        break;
+    }
+  }
+}
+
+void FsrRound::on_receive(int p, const Msg& m, long long) {
+  handle(p, m);
+  for (const auto& extra : m.piggy) handle(p, extra);
+  try_deliver(p);
+}
+
+void FsrRound::handle(int p, const Msg& m) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  switch (m.kind) {
+    case Msg::Kind::kData: {
+      if (topo_.is_leader(static_cast<Position>(p))) {
+        // Fairness at the sequencer: an own message may cut in ahead of an
+        // origin already served since the leader's last own broadcast.
+        if (engine_->has_app_message(p) && me.outstanding < window_ &&
+            me.forward_list.count(m.origin) > 0) {
+          long long own = engine_->take_app_message(p);
+          me.stash[own] = p;
+          ++me.outstanding;
+          me.forward_list.clear();
+          sequence(me, p, own);
+        }
+        me.forward_list.insert(m.origin);
+        sequence(me, m.origin, m.bcast);
+      } else {
+        me.stash[m.bcast] = m.origin;
+        me.out_fifo.push_back(m);
+      }
+      break;
+    }
+    case Msg::Kind::kSeq:
+      handle_seq_arrival(p, m);
+      break;
+    case Msg::Kind::kAck:
+      handle_ack_arrival(p, m, true);
+      break;
+    case Msg::Kind::kPendingAck:
+      handle_ack_arrival(p, m, false);
+      break;
+    default:
+      break;
+  }
+}
+
+void FsrRound::handle_seq_arrival(int p, const Msg& m) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  auto mypos = static_cast<Position>(p);
+  auto opos = static_cast<Position>(m.origin);
+
+  Msg rec = m;
+  rec.piggy.clear();
+  me.records.emplace(m.seq, rec);
+  me.stash.erase(m.bcast);
+
+  if (mypos != topo_.seq_stop(opos)) {
+    me.out_fifo.push_back(rec);
+  } else {
+    switch (topo_.ack_at_seq_stop(opos)) {
+      case ring::AckKind::kStable: {
+        Msg a = rec;
+        a.kind = Msg::Kind::kAck;
+        me.ctrl.push_back(a);
+        break;
+      }
+      case ring::AckKind::kPending: {
+        Msg a = rec;
+        a.kind = Msg::Kind::kPendingAck;
+        me.ctrl.push_back(a);
+        break;
+      }
+      case ring::AckKind::kNone:
+        break;
+    }
+  }
+  if (topo_.deliver_on_seq(mypos)) me.stable.insert(m.seq);
+}
+
+void FsrRound::handle_ack_arrival(int p, const Msg& m, bool stable) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  auto mypos = static_cast<Position>(p);
+  if (m.seq < me.next_deliver) return;  // already delivered
+
+  if (me.records.count(m.seq) == 0) {
+    assert(me.stash.count(m.bcast) > 0 && "ack without payload");
+    Msg rec = m;
+    rec.kind = Msg::Kind::kSeq;
+    rec.piggy.clear();
+    me.records[m.seq] = rec;
+    me.stash.erase(m.bcast);
+  }
+
+  if (stable) {
+    me.stable.insert(m.seq);
+    if (mypos != topo_.stable_ack_stop()) {
+      Msg fwd = m;
+      fwd.kind = Msg::Kind::kAck;
+      fwd.piggy.clear();
+      me.ctrl.push_back(fwd);
+    }
+  } else {
+    if (mypos == topo_.pending_ack_stop()) {
+      me.stable.insert(m.seq);
+      if (mypos != topo_.stable_ack_stop()) {
+        Msg fwd = m;
+        fwd.kind = Msg::Kind::kAck;
+        fwd.piggy.clear();
+        me.ctrl.push_back(fwd);
+      }
+    } else {
+      Msg fwd = m;
+      fwd.kind = Msg::Kind::kPendingAck;
+      fwd.piggy.clear();
+      me.ctrl.push_back(fwd);
+    }
+  }
+}
+
+void FsrRound::try_deliver(int p) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  for (;;) {
+    auto it = me.records.find(me.next_deliver);
+    if (it == me.records.end() || me.stable.count(me.next_deliver) == 0) break;
+    const Msg& rec = it->second;
+    if (rec.origin == p && me.outstanding > 0) --me.outstanding;
+    engine_->deliver(p, rec.bcast);
+    me.stash.erase(rec.bcast);
+    me.stable.erase(me.next_deliver);
+    me.records.erase(it);
+    ++me.next_deliver;
+  }
+}
+
+}  // namespace fsr::rounds

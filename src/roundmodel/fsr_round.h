@@ -1,0 +1,53 @@
+// FSR in the round-based model (§3/§4.3): the exact hop rules of the
+// protocol (shared with the packet-level engine via ring::Topology), with
+// free piggybacking of acks. Used to verify the analytic claims: throughput
+// >= 1 regardless of n, t and the number of senders; latency
+// L(i) = 2n + t - i - 1; perfect fairness.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ring/rules.h"
+#include "roundmodel/round_engine.h"
+
+namespace fsr::rounds {
+
+class FsrRound final : public Protocol {
+ public:
+  /// `window`: own broadcasts in flight per process; must cover the ring
+  /// latency (~2n rounds) for a single sender to reach throughput 1.
+  FsrRound(int n, int t, int window = -1);
+
+  std::optional<Send> on_round(int p, long long round) override;
+  void on_receive(int p, const Msg& m, long long round) override;
+  std::string name() const override { return "fsr"; }
+
+ private:
+  struct Proc {
+    std::deque<Msg> out_fifo;     // DATA / SEQ to forward
+    std::vector<Msg> ctrl;        // acks to piggyback / send
+    std::set<int> forward_list;
+    std::map<long long, Msg> records;  // seq -> message (stable in aux: 1/0)
+    std::set<long long> stable;
+    std::map<long long, int> stash;    // bcast -> origin (payload held)
+    long long next_deliver = 0;
+    int outstanding = 0;               // own in flight
+    long long next_seq = 0;            // leader only
+  };
+
+  void handle(int p, const Msg& m);
+  void handle_seq_arrival(int p, const Msg& m);
+  void handle_ack_arrival(int p, const Msg& m, bool stable);
+  void sequence(Proc& leader, int origin, long long bcast);
+  void try_deliver(int p);
+  std::optional<Msg> pick(int p);
+
+  ring::Topology topo_;
+  int window_;
+  std::vector<Proc> procs_;
+};
+
+}  // namespace fsr::rounds

@@ -1,0 +1,150 @@
+#include "roundmodel/moving_seq_round.h"
+
+#include <algorithm>
+
+namespace fsr::rounds {
+
+MovingSeqRound::MovingSeqRound(int n, int window)
+    : n_(n), window_(window < 0 ? 4 * n : window), procs_(static_cast<std::size_t>(n)) {
+  procs_[0].holder = true;
+  procs_[0].token_acks.assign(static_cast<std::size_t>(n), -1);
+}
+
+std::optional<Send> MovingSeqRound::on_round(int p, long long) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  int succ = (p + 1) % n_;
+
+  if (me.holder) {
+    me.token_acks[static_cast<std::size_t>(p)] =
+        std::max(me.token_acks[static_cast<std::size_t>(p)], me.received_contig);
+
+    // Drop entries another holder already sequenced.
+    while (!me.unsequenced.empty() && me.sequenced.count(me.unsequenced.front().first)) {
+      me.unsequenced.pop_front();
+    }
+
+    auto token_piggy = [&] {
+      std::vector<Msg> piggy;
+      for (int q = 0; q < n_; ++q) {
+        Msg a;
+        a.kind = Msg::Kind::kAck;
+        a.origin = q;
+        a.aux = me.token_acks[static_cast<std::size_t>(q)];
+        piggy.push_back(a);
+      }
+      return piggy;
+    };
+
+    long long token_stable = *std::min_element(me.token_acks.begin(), me.token_acks.end());
+    me.stable = std::max(me.stable, token_stable);
+    try_deliver(p);
+
+    if (!me.unsequenced.empty()) {
+      auto [bcast, origin] = me.unsequenced.front();
+      me.unsequenced.pop_front();
+      Msg s;
+      s.kind = Msg::Kind::kSeq;
+      s.origin = origin;
+      s.bcast = bcast;
+      s.seq = next_seq_++;
+      s.aux = me.stable;
+      me.records[s.seq] = s;
+      me.sequenced.insert(bcast);
+      while (me.records.count(me.received_contig + 1) > 0) ++me.received_contig;
+      me.token_acks[static_cast<std::size_t>(p)] = me.received_contig;
+      s.piggy = token_piggy();
+      me.holder = false;  // the seq broadcast hands the token to succ(p)
+      std::vector<int> dests;
+      for (int q = 0; q < n_; ++q) {
+        if (q != p) dests.push_back(q);
+      }
+      try_deliver(p);
+      return Send{std::move(dests), std::move(s)};
+    }
+
+    // Nothing to sequence: pass the token along.
+    Msg t;
+    t.kind = Msg::Kind::kToken;
+    t.aux = me.stable;
+    t.piggy = token_piggy();
+    me.holder = false;
+    return Send{{succ}, std::move(t)};
+  }
+
+  // Non-holder: broadcast own data if any.
+  if (engine_->has_app_message(p) && me.outstanding < window_) {
+    long long bcast = engine_->take_app_message(p);
+    ++me.outstanding;
+    note_data(p, bcast, p);  // our own copy
+    Msg d;
+    d.kind = Msg::Kind::kData;
+    d.origin = p;
+    d.bcast = bcast;
+    std::vector<int> dests;
+    for (int q = 0; q < n_; ++q) {
+      if (q != p) dests.push_back(q);
+    }
+    return Send{std::move(dests), std::move(d)};
+  }
+  return std::nullopt;
+}
+
+void MovingSeqRound::note_data(int p, long long bcast, int origin) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  if (!me.seen.insert(bcast).second) return;
+  if (me.sequenced.count(bcast) == 0) me.unsequenced.push_back({bcast, origin});
+}
+
+void MovingSeqRound::on_receive(int p, const Msg& m, long long) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  switch (m.kind) {
+    case Msg::Kind::kData:
+      note_data(p, m.bcast, m.origin);
+      break;
+    case Msg::Kind::kSeq: {
+      me.records[m.seq] = m;
+      me.sequenced.insert(m.bcast);
+      me.seen.insert(m.bcast);
+      while (me.records.count(me.received_contig + 1) > 0) ++me.received_contig;
+      me.stable = std::max(me.stable, m.aux);
+      // The seq broadcast carries the token to the holder's successor.
+      if (p == (m.from + 1) % n_) {
+        me.holder = true;
+        me.token_acks.assign(static_cast<std::size_t>(n_), -1);
+        for (const auto& a : m.piggy) {
+          if (a.kind == Msg::Kind::kAck) {
+            me.token_acks[static_cast<std::size_t>(a.origin)] = a.aux;
+          }
+        }
+      }
+      break;
+    }
+    case Msg::Kind::kToken: {
+      me.holder = true;
+      me.stable = std::max(me.stable, m.aux);
+      me.token_acks.assign(static_cast<std::size_t>(n_), -1);
+      for (const auto& a : m.piggy) {
+        if (a.kind == Msg::Kind::kAck) {
+          me.token_acks[static_cast<std::size_t>(a.origin)] = a.aux;
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  try_deliver(p);
+}
+
+void MovingSeqRound::try_deliver(int p) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  while (me.next_deliver <= me.stable) {
+    auto it = me.records.find(me.next_deliver);
+    if (it == me.records.end()) break;
+    if (it->second.origin == p && me.outstanding > 0) --me.outstanding;
+    engine_->deliver(p, it->second.bcast);
+    ++me.next_deliver;
+  }
+}
+
+}  // namespace fsr::rounds

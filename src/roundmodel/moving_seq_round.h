@@ -1,0 +1,56 @@
+// Moving-sequencer TO-broadcast in the round model (paper §2.2, Fig. 2,
+// Chang–Maxemchuk style): senders broadcast data to everyone; a token
+// rotates among the processes; the token holder assigns the next sequence
+// number to the oldest unsequenced message it has received and broadcasts
+// (m, seq) — which also hands the token to its successor. Stability (for
+// uniform delivery) comes from per-process cumulative acks carried by the
+// token: a sequence number is stable once every process's token entry
+// covers it.
+//
+// Every process must receive both the data broadcast and the seq/token
+// broadcast for each message — two receive slots per delivery — so
+// throughput cannot exceed 1/2 (the paper's argument for why moving
+// sequencers never reach 1).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "roundmodel/round_engine.h"
+
+namespace fsr::rounds {
+
+class MovingSeqRound final : public Protocol {
+ public:
+  explicit MovingSeqRound(int n, int window = -1);
+
+  std::optional<Send> on_round(int p, long long round) override;
+  void on_receive(int p, const Msg& m, long long round) override;
+  std::string name() const override { return "moving-seq"; }
+
+ private:
+  struct Proc {
+    bool holder = false;
+    std::vector<long long> token_acks;       // valid while holder
+    std::deque<std::pair<long long, int>> unsequenced;  // (bcast, origin) FIFO
+    std::set<long long> seen;                // bcasts received (dedupe)
+    std::set<long long> sequenced;           // bcasts already sequenced (global info via kSeq)
+    std::map<long long, Msg> records;        // seq -> message
+    long long received_contig = -1;
+    long long stable = -1;
+    long long next_deliver = 0;
+    int outstanding = 0;
+  };
+
+  void try_deliver(int p);
+  void note_data(int p, long long bcast, int origin);
+
+  int n_;
+  int window_;
+  long long next_seq_ = 0;  // conceptually carried by the token
+  std::vector<Proc> procs_;
+};
+
+}  // namespace fsr::rounds

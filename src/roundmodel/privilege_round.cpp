@@ -1,0 +1,105 @@
+#include "roundmodel/privilege_round.h"
+
+#include <algorithm>
+
+namespace fsr::rounds {
+
+PrivilegeRound::PrivilegeRound(int n, int hold_max, int window)
+    : n_(n),
+      hold_max_(hold_max),
+      window_(window < 0 ? 4 * n : window),
+      procs_(static_cast<std::size_t>(n)) {
+  procs_[0].holder = true;
+  procs_[0].token_acks.assign(static_cast<std::size_t>(n), -1);
+}
+
+std::optional<Send> PrivilegeRound::on_round(int p, long long) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  if (!me.holder) return std::nullopt;
+
+  me.token_acks[static_cast<std::size_t>(p)] =
+      std::max(me.token_acks[static_cast<std::size_t>(p)], me.received_contig);
+  long long token_stable = *std::min_element(me.token_acks.begin(), me.token_acks.end());
+  me.stable = std::max(me.stable, token_stable);
+  try_deliver(p);
+
+  auto token_piggy = [&] {
+    std::vector<Msg> piggy;
+    for (int q = 0; q < n_; ++q) {
+      Msg a;
+      a.kind = Msg::Kind::kAck;
+      a.origin = q;
+      a.aux = me.token_acks[static_cast<std::size_t>(q)];
+      piggy.push_back(a);
+    }
+    return piggy;
+  };
+
+  if (engine_->has_app_message(p) && me.outstanding < window_ &&
+      me.sent_in_visit < hold_max_) {
+    long long bcast = engine_->take_app_message(p);
+    ++me.outstanding;
+    ++me.sent_in_visit;
+    Msg s;
+    s.kind = Msg::Kind::kSeq;
+    s.origin = p;
+    s.bcast = bcast;
+    s.seq = next_seq_++;
+    me.records[s.seq] = s;
+    while (me.records.count(me.received_contig + 1) > 0) ++me.received_contig;
+    me.token_acks[static_cast<std::size_t>(p)] = me.received_contig;
+    s.aux = me.stable;
+    std::vector<int> dests;
+    for (int q = 0; q < n_; ++q) {
+      if (q != p) dests.push_back(q);
+    }
+    return Send{std::move(dests), std::move(s)};
+  }
+
+  // Pass the privilege on.
+  Msg t;
+  t.kind = Msg::Kind::kToken;
+  t.aux = me.stable;
+  t.piggy = token_piggy();
+  me.holder = false;
+  me.sent_in_visit = 0;
+  return Send{{(p + 1) % n_}, std::move(t)};
+}
+
+void PrivilegeRound::on_receive(int p, const Msg& m, long long) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  switch (m.kind) {
+    case Msg::Kind::kSeq:
+      me.records[m.seq] = m;
+      while (me.records.count(me.received_contig + 1) > 0) ++me.received_contig;
+      me.stable = std::max(me.stable, m.aux);
+      break;
+    case Msg::Kind::kToken:
+      me.holder = true;
+      me.sent_in_visit = 0;
+      me.stable = std::max(me.stable, m.aux);
+      me.token_acks.assign(static_cast<std::size_t>(n_), -1);
+      for (const auto& a : m.piggy) {
+        if (a.kind == Msg::Kind::kAck) {
+          me.token_acks[static_cast<std::size_t>(a.origin)] = a.aux;
+        }
+      }
+      break;
+    default:
+      break;
+  }
+  try_deliver(p);
+}
+
+void PrivilegeRound::try_deliver(int p) {
+  Proc& me = procs_[static_cast<std::size_t>(p)];
+  while (me.next_deliver <= me.stable) {
+    auto it = me.records.find(me.next_deliver);
+    if (it == me.records.end()) break;
+    if (it->second.origin == p && me.outstanding > 0) --me.outstanding;
+    engine_->deliver(p, it->second.bcast);
+    ++me.next_deliver;
+  }
+}
+
+}  // namespace fsr::rounds

@@ -1,0 +1,51 @@
+// Privilege-based (token ring, Totem-style) TO-broadcast in the round model
+// (paper §2.3, Fig. 3): only the token holder may broadcast; it sequences
+// its own messages directly using the token's sequence counter, sending up
+// to `hold_max` messages per token visit before passing the token on.
+// Stability for uniform delivery comes from per-process cumulative acks
+// carried by the token (a full rotation certifies everyone received it).
+//
+// This is the protocol class FSR is built to beat: throughput is high only
+// if a sender may hold the token for long (hold_max large), which is unfair;
+// with fair (small) hold_max, token rotation burns rounds — the paper's
+// performance/fairness trade-off (§2.3).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "roundmodel/round_engine.h"
+
+namespace fsr::rounds {
+
+class PrivilegeRound final : public Protocol {
+ public:
+  /// hold_max: messages a holder may send per token visit.
+  PrivilegeRound(int n, int hold_max = 1, int window = -1);
+
+  std::optional<Send> on_round(int p, long long round) override;
+  void on_receive(int p, const Msg& m, long long round) override;
+  std::string name() const override { return "privilege"; }
+
+ private:
+  struct Proc {
+    bool holder = false;
+    int sent_in_visit = 0;
+    std::vector<long long> token_acks;  // valid while holder
+    std::map<long long, Msg> records;
+    long long received_contig = -1;
+    long long stable = -1;
+    long long next_deliver = 0;
+    int outstanding = 0;
+  };
+
+  void try_deliver(int p);
+
+  int n_;
+  int hold_max_;
+  int window_;
+  long long next_seq_ = 0;  // conceptually carried by the token
+  std::vector<Proc> procs_;
+};
+
+}  // namespace fsr::rounds

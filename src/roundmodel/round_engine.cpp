@@ -1,0 +1,133 @@
+#include "roundmodel/round_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace fsr::rounds {
+
+RoundEngine::RoundEngine(WorkloadSpec workload, Protocol& protocol)
+    : workload_(std::move(workload)),
+      protocol_(protocol),
+      n_(workload_.n),
+      sent_by_(static_cast<std::size_t>(n_), 0),
+      inbox_(static_cast<std::size_t>(n_)),
+      logs_(static_cast<std::size_t>(n_)) {
+  protocol_.attach(*this);
+}
+
+bool RoundEngine::has_app_message(int p) const {
+  if (std::find(workload_.senders.begin(), workload_.senders.end(), p) ==
+      workload_.senders.end()) {
+    return false;
+  }
+  return workload_.per_sender < 0 ||
+         sent_by_[static_cast<std::size_t>(p)] < workload_.per_sender;
+}
+
+long long RoundEngine::take_app_message(int p) {
+  assert(has_app_message(p));
+  ++sent_by_[static_cast<std::size_t>(p)];
+  long long id = next_bcast_++;
+  BcastInfo info;
+  info.origin = p;
+  info.start_round = round_;
+  info.delivered_by.assign(static_cast<std::size_t>(n_), false);
+  bcasts_.push_back(std::move(info));
+  return id;
+}
+
+void RoundEngine::deliver(int p, long long bcast) {
+  assert(bcast >= 0 && bcast < static_cast<long long>(bcasts_.size()));
+  BcastInfo& info = bcasts_[static_cast<std::size_t>(bcast)];
+  assert(!info.delivered_by[static_cast<std::size_t>(p)] && "duplicate delivery");
+  info.delivered_by[static_cast<std::size_t>(p)] = true;
+  logs_[static_cast<std::size_t>(p)].push_back(bcast);
+  if (++info.delivered_count == n_) {
+    completion_round_[bcast] = round_;
+  }
+}
+
+void RoundEngine::run(long long rounds) {
+  for (long long r = 0; r < rounds; ++r) {
+    // 1-2: every process computes and sends its message for this round.
+    std::vector<std::optional<Send>> sends(static_cast<std::size_t>(n_));
+    for (int p = 0; p < n_; ++p) {
+      sends[static_cast<std::size_t>(p)] = protocol_.on_round(p, round_);
+    }
+    for (int p = 0; p < n_; ++p) {
+      auto& s = sends[static_cast<std::size_t>(p)];
+      if (!s) continue;
+      s->msg.from = p;
+      for (int dest : s->dests) {
+        assert(dest >= 0 && dest < n_ && dest != p);
+        inbox_[static_cast<std::size_t>(dest)].push_back(s->msg);
+      }
+    }
+    // 3: every process receives at most one message.
+    for (int p = 0; p < n_; ++p) {
+      auto& q = inbox_[static_cast<std::size_t>(p)];
+      max_backlog_ = std::max(max_backlog_, q.size());
+      if (q.empty()) continue;
+      Msg m = std::move(q.front());
+      q.pop_front();
+      protocol_.on_receive(p, m, round_);
+    }
+    ++round_;
+  }
+}
+
+long long RoundEngine::completed_between(long long from, long long to) const {
+  long long count = 0;
+  for (const auto& [bcast, at] : completion_round_) {
+    if (at >= from && at < to) ++count;
+  }
+  return count;
+}
+
+long long RoundEngine::latency(long long bcast) const {
+  auto it = completion_round_.find(bcast);
+  if (it == completion_round_.end()) return -1;
+  return it->second - bcasts_[static_cast<std::size_t>(bcast)].start_round;
+}
+
+std::map<int, long long> RoundEngine::completed_by_origin() const {
+  std::map<int, long long> out;
+  for (const auto& [bcast, at] : completion_round_) {
+    out[bcasts_[static_cast<std::size_t>(bcast)].origin]++;
+  }
+  return out;
+}
+
+std::string RoundEngine::check_total_order() const {
+  for (std::size_t a = 0; a < logs_.size(); ++a) {
+    std::set<long long> seen;
+    for (long long b : logs_[a]) {
+      if (!seen.insert(b).second) {
+        return "process " + std::to_string(a) + " delivered broadcast " +
+               std::to_string(b) + " twice";
+      }
+    }
+  }
+  for (std::size_t a = 0; a < logs_.size(); ++a) {
+    for (std::size_t b = a + 1; b < logs_.size(); ++b) {
+      std::set<long long> in_b(logs_[b].begin(), logs_[b].end());
+      std::vector<long long> ra;
+      for (long long x : logs_[a]) {
+        if (in_b.count(x)) ra.push_back(x);
+      }
+      std::set<long long> in_a(logs_[a].begin(), logs_[a].end());
+      std::vector<long long> rb;
+      for (long long x : logs_[b]) {
+        if (in_a.count(x)) rb.push_back(x);
+      }
+      if (ra != rb) {
+        return "total order violated between process " + std::to_string(a) +
+               " and process " + std::to_string(b);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace fsr::rounds

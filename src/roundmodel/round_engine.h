@@ -1,0 +1,143 @@
+// The paper's round-based computation model (§3): in each round r every
+// process (1) computes a message, (2) unicasts or best-effort broadcasts it,
+// and (3) receives AT MOST ONE message sent in an earlier round — pending
+// arrivals queue at the receiver. The single-receive rule is what models a
+// full-duplex NIC and makes sequencer-style protocols receiver-bound.
+//
+// Throughput = completed TO-broadcasts per round (a broadcast completes when
+// every process has delivered it). A protocol is throughput efficient if
+// this is >= 1 (paper §1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fsr::rounds {
+
+/// One abstract message. Protocols interpret the fields as they need;
+/// `piggy` models piggybacked small control items (ids/acks), which ride
+/// for free on a message (paper §4.2.2).
+struct Msg {
+  enum class Kind : std::uint8_t {
+    kData,
+    kSeq,
+    kAck,
+    kPendingAck,
+    kStable,
+    kToken,
+  };
+  Kind kind = Kind::kData;
+  int from = -1;          // physical sender (stamped by the engine)
+  int origin = -1;        // process that initiated the broadcast
+  long long bcast = -1;   // broadcast instance id (engine-assigned)
+  long long seq = -1;     // global sequence number, if assigned
+  long long aux = -1;     // protocol-specific (e.g. stable watermark, hops)
+  std::vector<Msg> piggy; // piggybacked control messages (no extra cost)
+};
+
+/// What a process emits in one round: one message to one or more targets.
+struct Send {
+  std::vector<int> dests;
+  Msg msg;
+};
+
+class RoundEngine;
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+  virtual void attach(RoundEngine& engine) { engine_ = &engine; }
+  /// Decide this round's send for process p (state as of the round start).
+  virtual std::optional<Send> on_round(int p, long long round) = 0;
+  /// Process p consumes one queued message at the end of a round.
+  virtual void on_receive(int p, const Msg& m, long long round) = 0;
+  virtual std::string name() const = 0;
+
+ protected:
+  RoundEngine* engine_ = nullptr;
+};
+
+/// Per-process application workload: which processes broadcast and how much.
+struct WorkloadSpec {
+  int n = 5;
+  std::vector<int> senders;        // process ids that broadcast
+  long long per_sender = -1;       // messages per sender; -1 = unbounded
+};
+
+class RoundEngine {
+ public:
+  RoundEngine(WorkloadSpec workload, Protocol& protocol);
+
+  /// Run the model for `rounds` rounds.
+  void run(long long rounds);
+
+  int n() const { return n_; }
+  long long round() const { return round_; }
+
+  // --- protocol-side API ---
+
+  /// Does process p have an application message waiting to broadcast?
+  bool has_app_message(int p) const;
+
+  /// Start the next application broadcast of p; returns its instance id.
+  long long take_app_message(int p);
+
+  /// Protocol reports that process p TO-delivered broadcast `bcast`.
+  void deliver(int p, long long bcast);
+
+  // --- metrics ---
+
+  /// Broadcasts completed (delivered by all n) so far.
+  long long completed() const { return static_cast<long long>(completion_round_.size()); }
+
+  /// Completed broadcasts whose completion fell in [from, to) rounds.
+  long long completed_between(long long from, long long to) const;
+
+  /// Rounds from take_app_message to completion, for completed broadcast b.
+  long long latency(long long bcast) const;
+
+  /// Per-origin completed counts (fairness).
+  std::map<int, long long> completed_by_origin() const;
+
+  /// Origin process of a broadcast instance.
+  int origin_of(long long bcast) const {
+    return bcasts_[static_cast<std::size_t>(bcast)].origin;
+  }
+
+  /// Delivery logs (per process, broadcast ids in delivery order).
+  const std::vector<std::vector<long long>>& logs() const { return logs_; }
+
+  /// Empty string if all logs are pairwise prefix-consistent (total order)
+  /// and duplicate-free.
+  std::string check_total_order() const;
+
+  /// Largest receive-queue backlog observed (diagnostic).
+  std::size_t max_backlog() const { return max_backlog_; }
+
+ private:
+  struct BcastInfo {
+    int origin = -1;
+    long long start_round = -1;
+    int delivered_count = 0;
+    std::vector<bool> delivered_by;
+  };
+
+  WorkloadSpec workload_;
+  Protocol& protocol_;
+  int n_;
+  long long round_ = 0;
+  long long next_bcast_ = 0;
+  std::vector<long long> sent_by_;              // per process, app msgs taken
+  std::vector<std::deque<Msg>> inbox_;
+  std::vector<BcastInfo> bcasts_;
+  std::map<long long, long long> completion_round_;  // bcast -> round
+  std::vector<std::vector<long long>> logs_;
+  std::size_t max_backlog_ = 0;
+};
+
+}  // namespace fsr::rounds

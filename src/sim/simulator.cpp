@@ -1,0 +1,82 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace fsr {
+
+TimerId Simulator::schedule(Time delay, std::function<void()> fn) {
+  assert(delay >= 0 && "cannot schedule into the past");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+TimerId Simulator::schedule_at(Time when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  std::uint64_t serial = next_serial_++;
+  queue_.push(Event{when, serial, std::move(fn)});
+  ++live_events_;
+  return TimerId{serial};
+}
+
+void Simulator::cancel(TimerId id) {
+  if (!id.valid()) return;
+  // The tombstone is consumed when the event surfaces; double-cancel and
+  // cancel-after-fire both leave a stale tombstone that pop_one() skips
+  // harmlessly (serials are never reused).
+  if (canceled_.insert(id.serial_).second && live_events_ > 0) {
+    --live_events_;
+  }
+}
+
+bool Simulator::pop_one() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; we move the closure out via const_cast,
+    // which is safe because the element is popped immediately after.
+    auto& top = const_cast<Event&>(queue_.top());
+    if (auto c = canceled_.find(top.serial); c != canceled_.end()) {
+      canceled_.erase(c);
+      queue_.pop();
+      continue;
+    }
+    Time when = top.when;
+    auto fn = std::move(top.fn);
+    queue_.pop();
+    --live_events_;
+    now_ = when;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (pop_one()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(Time until) {
+  std::uint64_t n = 0;
+  for (;;) {
+    // Skip canceled entries so the deadline check sees a live event.
+    while (!queue_.empty() && canceled_.count(queue_.top().serial) > 0) {
+      canceled_.erase(queue_.top().serial);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().when > until) break;
+    pop_one();
+    ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+std::uint64_t Simulator::run_steps(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && pop_one()) ++n;
+  return n;
+}
+
+bool Simulator::empty() const { return live_events_ == 0; }
+
+}  // namespace fsr

@@ -1,0 +1,86 @@
+// Deterministic discrete-event simulation engine: a virtual clock and an
+// event queue with stable FIFO tie-breaking, plus cancelable timers.
+// Everything in the simulated world (network model, protocol timers, workload
+// generators) schedules through one Simulator instance; runs are fully
+// reproducible for a given seed and schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fsr {
+
+class Simulator;
+
+/// Handle for canceling a scheduled event. Default-constructed handles are
+/// inert. Cancellation is O(1) (tombstone).
+class TimerId {
+ public:
+  TimerId() = default;
+  bool valid() const { return serial_ != 0; }
+
+ private:
+  friend class Simulator;
+  friend class TcpTransport;  // the other timer-id issuer
+  explicit TimerId(std::uint64_t serial) : serial_(serial) {}
+  std::uint64_t serial_ = 0;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedule `fn` to run at now() + delay (delay >= 0). Events with equal
+  /// deadlines run in scheduling order.
+  TimerId schedule(Time delay, std::function<void()> fn);
+
+  /// Schedule at an absolute virtual time (>= now()).
+  TimerId schedule_at(Time when, std::function<void()> fn);
+
+  /// Cancel a pending event; harmless if it already ran or was canceled.
+  void cancel(TimerId id);
+
+  /// Run events until the queue is empty. Returns the number executed.
+  std::uint64_t run();
+
+  /// Run events with deadline <= until; leaves now() == until unless the
+  /// queue drains first. Returns the number executed.
+  std::uint64_t run_until(Time until);
+
+  /// Execute a bounded number of events (for step-debugging in tests).
+  std::uint64_t run_steps(std::uint64_t max_events);
+
+  bool empty() const;
+  std::size_t pending() const { return live_events_; }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t serial;  // tie-break: FIFO among equal deadlines
+    std::function<void()> fn;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return serial > other.serial;
+    }
+  };
+
+  bool pop_one();
+
+  Time now_ = 0;
+  std::uint64_t next_serial_ = 1;
+  std::size_t live_events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> canceled_;  // tombstones of canceled events
+};
+
+}  // namespace fsr

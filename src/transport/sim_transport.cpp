@@ -1,0 +1,57 @@
+#include "transport/sim_transport.h"
+
+#include <cassert>
+
+namespace fsr {
+
+Time SimTransport::now() const { return world_.sim_.now(); }
+
+void SimTransport::send(Frame frame) {
+  frame.from = self_;
+  world_.net_.send(std::move(frame));
+}
+
+bool SimTransport::tx_idle() const { return world_.net_.tx_idle(self_); }
+
+TimerId SimTransport::set_timer(Time delay, std::function<void()> fn) {
+  return world_.sim_.schedule(delay, std::move(fn));
+}
+
+void SimTransport::cancel_timer(TimerId id) { world_.sim_.cancel(id); }
+
+SimWorld::SimWorld(NetConfig config, std::size_t n_nodes, Time fd_detection_delay)
+    : net_(sim_, config, n_nodes), fd_delay_(fd_detection_delay) {
+  transports_.reserve(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    transports_.push_back(std::make_unique<SimTransport>(*this, static_cast<NodeId>(i)));
+  }
+  net_.set_deliver([this](const Frame& frame) {
+    auto& handlers = transports_[frame.to]->handlers_;
+    if (handlers.on_frame) handlers.on_frame(frame);
+  });
+  net_.set_tx_ready([this](NodeId node) {
+    auto& handlers = transports_[node]->handlers_;
+    if (handlers.on_tx_ready) handlers.on_tx_ready();
+  });
+}
+
+void SimWorld::crash_silent(NodeId node) {
+  assert(node < transports_.size());
+  net_.crash(node);
+}
+
+void SimWorld::crash(NodeId node) {
+  assert(node < transports_.size());
+  if (!net_.alive(node)) return;
+  net_.crash(node);
+  // Perfect failure detector: every surviving process learns of the crash
+  // after the detection delay, and no process is ever falsely suspected.
+  sim_.schedule(fd_delay_, [this, node] {
+    for (auto& t : transports_) {
+      if (t->self() == node || !net_.alive(t->self())) continue;
+      if (t->handlers_.on_peer_down) t->handlers_.on_peer_down(node);
+    }
+  });
+}
+
+}  // namespace fsr

@@ -1,0 +1,63 @@
+// Transport backend over the simulated cluster network. One SimWorld owns
+// the simulator, the network and one SimTransport endpoint per node; crash
+// injection notifies every surviving endpoint after a configurable perfect-
+// failure-detector delay (paper §3: failure detector P).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/cluster_net.h"
+#include "transport/transport.h"
+
+namespace fsr {
+
+class SimWorld;
+
+class SimTransport final : public Transport {
+ public:
+  SimTransport(SimWorld& world, NodeId self) : world_(world), self_(self) {}
+
+  NodeId self() const override { return self_; }
+  Time now() const override;
+  void send(Frame frame) override;
+  bool tx_idle() const override;
+  TimerId set_timer(Time delay, std::function<void()> fn) override;
+  void cancel_timer(TimerId id) override;
+
+ private:
+  friend class SimWorld;
+  SimWorld& world_;
+  NodeId self_;
+};
+
+class SimWorld {
+ public:
+  SimWorld(NetConfig config, std::size_t n_nodes,
+           Time fd_detection_delay = 2 * kMillisecond);
+
+  Simulator& sim() { return sim_; }
+  ClusterNet& net() { return net_; }
+  std::size_t size() const { return transports_.size(); }
+
+  SimTransport& transport(NodeId node) { return *transports_[node]; }
+
+  /// Crash-stop `node` now; every surviving endpoint's on_peer_down fires
+  /// after the detection delay.
+  void crash(NodeId node);
+
+  /// Crash `node` without the perfect failure detector noticing (models a
+  /// hang rather than a clean crash): only heartbeat timeouts can catch it.
+  void crash_silent(NodeId node);
+  bool alive(NodeId node) const { return net_.alive(node); }
+
+ private:
+  friend class SimTransport;
+
+  Simulator sim_;
+  ClusterNet net_;
+  Time fd_delay_;
+  std::vector<std::unique_ptr<SimTransport>> transports_;
+};
+
+}  // namespace fsr

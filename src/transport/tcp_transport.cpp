@@ -1,0 +1,487 @@
+#include "transport/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/log.h"
+#include "proto/codec.h"
+
+namespace fsr {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Bytes frame_with_length_prefix(const Frame& frame) {
+  Bytes body = encode_frame(frame);
+  Bytes out;
+  out.reserve(body.size() + 4);
+  auto len = static_cast<std::uint32_t>(body.size());
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(TcpConfig config) : cfg_(std::move(config)) {}
+
+TcpTransport::~TcpTransport() { stop(); }
+
+Time TcpTransport::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void TcpTransport::set_peer_port(NodeId peer, std::uint16_t port) {
+  assert(!running_.load() && "set_peer_port is a pre-start bootstrap call");
+  for (auto& p : cfg_.peers) {
+    if (p.id == peer) p.port = port;
+  }
+}
+
+void TcpTransport::bind() {
+  if (listen_fd_ >= 0) return;
+  const TcpPeer* me = nullptr;
+  for (const auto& p : cfg_.peers) {
+    if (p.id == cfg_.self) me = &p;
+  }
+  assert(me && "self must appear in the peer list");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  assert(listen_fd_ >= 0);
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(me->port);
+  ::inet_pton(AF_INET, me->host.c_str(), &addr.sin_addr);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    FSR_ERROR("node %u: bind to %s:%u failed: %s", cfg_.self, me->host.c_str(),
+              me->port, std::strerror(errno));
+    assert(false && "bind failed");
+  }
+  ::listen(listen_fd_, 16);
+  set_nonblocking(listen_fd_);
+
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+  bound_port_ = ntohs(bound.sin_port);
+
+  if (::pipe(wake_pipe_) != 0) assert(false && "pipe failed");
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+}
+
+void TcpTransport::start() {
+  bind();
+  running_.store(true);
+  io_thread_ = std::thread([this] { io_loop(); });
+}
+
+void TcpTransport::stop() {
+  if (!running_.exchange(false)) return;
+  char b = 1;
+  [[maybe_unused]] ssize_t w = ::write(wake_pipe_[1], &b, 1);
+  if (io_thread_.joinable()) io_thread_.join();
+  for (auto& c : conns_) {
+    if (c.fd >= 0) {
+      FSR_DEBUG("node %u: stop() closing fd=%d peer=%d", cfg_.self, c.fd,
+               c.peer == kNoNode ? -1 : (int)c.peer);
+      ::close(c.fd);
+    }
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int i = 0; i < 2; ++i) {
+    if (wake_pipe_[i] >= 0) ::close(wake_pipe_[i]);
+    wake_pipe_[i] = -1;
+  }
+}
+
+void TcpTransport::post(std::function<void()> fn) {
+  {
+    std::lock_guard lock(post_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  char b = 1;
+  [[maybe_unused]] ssize_t w = ::write(wake_pipe_[1], &b, 1);
+}
+
+void TcpTransport::post_wait(std::function<void()> fn) {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  post([&] {
+    fn();
+    std::lock_guard lock(m);
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock lock(m);
+  cv.wait(lock, [&] { return done; });
+}
+
+// --- Transport interface ---
+
+void TcpTransport::send(Frame frame) {
+  frame.from = cfg_.self;
+  NodeId to = frame.to;
+  Bytes wire = frame_with_length_prefix(frame);
+  Conn* conn = outgoing_conn(to);
+  if (conn == nullptr) {
+    if (std::find(down_.begin(), down_.end(), to) != down_.end()) return;
+    if (!connect_peer(to)) {
+      unsent_.push_back({to, std::move(wire)});
+      return;
+    }
+    conn = outgoing_conn(to);
+  }
+  conn->outbox_bytes += wire.size();
+  conn->outbox.push_back(std::move(wire));
+  if (!tx_idle()) busy_ = true;
+  // The poll loop flushes; try an eager write so small sends don't wait a
+  // poll cycle.
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    if (&conns_[i] == conn) {
+      handle_writable(i);
+      break;
+    }
+  }
+}
+
+bool TcpTransport::tx_idle() const {
+  std::size_t pending = 0;
+  for (const auto& c : conns_) pending += c.outbox_bytes;
+  for (const auto& [peer, bytes] : unsent_) pending += bytes.size();
+  return pending < cfg_.tx_high_watermark;
+}
+
+TimerId TcpTransport::set_timer(Time delay, std::function<void()> fn) {
+  std::uint64_t serial = next_timer_serial_++;
+  timers_.push_back(Timer{now() + delay, serial, std::move(fn)});
+  return TimerId{serial};
+}
+
+void TcpTransport::cancel_timer(TimerId id) {
+  if (!id.valid()) return;
+  timers_.erase(std::remove_if(timers_.begin(), timers_.end(),
+                               [&](const Timer& t) { return t.serial == id.serial_; }),
+                timers_.end());
+}
+
+// --- internals (I/O thread) ---
+
+TcpTransport::Conn* TcpTransport::outgoing_conn(NodeId peer) {
+  for (auto& c : conns_) {
+    if (c.outgoing && c.peer == peer && c.fd >= 0) return &c;
+  }
+  return nullptr;
+}
+
+bool TcpTransport::connect_peer(NodeId peer) {
+  const TcpPeer* target = nullptr;
+  for (const auto& p : cfg_.peers) {
+    if (p.id == peer) target = &p;
+  }
+  if (!target) return false;
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(target->port);
+  ::inet_pton(AF_INET, target->host.c_str(), &addr.sin_addr);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    // Schedule a retry; report down after the budget is exhausted.
+    int attempts = ++connect_attempts_[peer];
+    if (attempts > cfg_.connect_retries) {
+      report_peer_down(peer);
+    } else {
+      reconnect_at_[peer] = now() + cfg_.connect_retry_delay;
+    }
+    return false;
+  }
+  FSR_DEBUG("node %u: connect to peer %u fd=%d", cfg_.self, peer, fd);
+  Conn c;
+  c.fd = fd;
+  c.peer = peer;
+  c.outgoing = true;
+  c.hello_done = true;  // hello is the first thing in the outbox
+  Bytes hello(4);
+  for (int i = 0; i < 4; ++i) hello[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(cfg_.self >> (8 * i));
+  c.outbox_bytes = hello.size();
+  c.outbox.push_back(std::move(hello));
+  conns_.push_back(std::move(c));
+  return true;
+}
+
+void TcpTransport::report_peer_down(NodeId peer) {
+  if (std::find(down_.begin(), down_.end(), peer) != down_.end()) return;
+  down_.push_back(peer);
+  reconnect_at_.erase(peer);
+  unsent_.erase(std::remove_if(unsent_.begin(), unsent_.end(),
+                               [&](const auto& p) { return p.first == peer; }),
+                unsent_.end());
+  FSR_INFO("node %u: peer %u is down", cfg_.self, peer);
+  if (handlers_.on_peer_down) handlers_.on_peer_down(peer);
+}
+
+void TcpTransport::accept_new() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    FSR_DEBUG("node %u: accepted fd=%d", cfg_.self, fd);
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    Conn c;
+    c.fd = fd;
+    c.outgoing = false;
+    conns_.push_back(std::move(c));
+  }
+}
+
+void TcpTransport::handle_readable(std::size_t idx) {
+  Conn& c = conns_[idx];
+  char buf[64 * 1024];
+  for (;;) {
+    ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      c.read_buf.insert(c.read_buf.end(), buf, buf + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EOF or error: in a crash-stop cluster an unexpected close is a crash.
+    FSR_DEBUG("node %u: conn to peer %u readable fault (n=%zd errno=%d %s out=%d)",
+             cfg_.self, c.peer, n, n < 0 ? errno : 0,
+             n < 0 ? std::strerror(errno) : "EOF", c.outgoing ? 1 : 0);
+    close_conn(idx, /*peer_fault=*/true);
+    return;
+  }
+
+  // The frame handler may open connections (growing conns_ and invalidating
+  // references), so conns_[idx] is re-resolved on every access.
+  std::size_t pos = 0;
+  if (!conns_[idx].hello_done) {
+    if (conns_[idx].read_buf.size() < 4) return;
+    NodeId peer = 0;
+    for (int i = 0; i < 4; ++i) {
+      peer |= static_cast<NodeId>(conns_[idx].read_buf[static_cast<std::size_t>(i)])
+              << (8 * i);
+    }
+    conns_[idx].peer = peer;
+    conns_[idx].hello_done = true;
+    pos = 4;
+  }
+  for (;;) {
+    if (conns_[idx].fd < 0) return;  // closed mid-parse
+    if (conns_[idx].read_buf.size() - pos < 4) break;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(
+                 conns_[idx].read_buf[pos + static_cast<std::size_t>(i)])
+             << (8 * i);
+    }
+    if (len > 64u * 1024 * 1024) {
+      FSR_WARN("node %u: insane frame length %u from peer %d", cfg_.self, len,
+               conns_[idx].peer == kNoNode ? -1 : (int)conns_[idx].peer);
+      close_conn(idx, true);  // insane length: corrupted stream
+      return;
+    }
+    if (conns_[idx].read_buf.size() - pos - 4 < len) break;
+    try {
+      Frame frame = decode_frame(
+          std::span<const std::uint8_t>(conns_[idx].read_buf.data() + pos + 4, len));
+      pos += 4 + len;
+      if (handlers_.on_frame) handlers_.on_frame(frame);
+    } catch (const CodecError& e) {
+      FSR_WARN("node %u: dropping connection after codec error: %s", cfg_.self,
+               e.what());
+      close_conn(idx, true);
+      return;
+    }
+  }
+  auto& rbuf = conns_[idx].read_buf;
+  rbuf.erase(rbuf.begin(), rbuf.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+void TcpTransport::handle_writable(std::size_t idx) {
+  Conn& c = conns_[idx];
+  while (!c.outbox.empty()) {
+    const Bytes& front = c.outbox.front();
+    ssize_t n = ::send(c.fd, front.data() + c.out_offset, front.size() - c.out_offset,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOTCONN ||
+          errno == EINPROGRESS) {
+        return;  // poll will tell us when to continue
+      }
+      FSR_DEBUG("node %u: conn to peer %u writable fault (errno=%d %s)", cfg_.self,
+               c.peer, errno, std::strerror(errno));
+      close_conn(idx, true);
+      return;
+    }
+    c.out_offset += static_cast<std::size_t>(n);
+    c.outbox_bytes -= static_cast<std::size_t>(n);
+    if (c.out_offset == front.size()) {
+      c.outbox.pop_front();
+      c.out_offset = 0;
+    }
+  }
+  if (busy_ && tx_idle()) {
+    busy_ = false;
+    if (handlers_.on_tx_ready) handlers_.on_tx_ready();
+  }
+}
+
+void TcpTransport::close_conn(std::size_t idx, bool peer_fault) {
+  Conn& c = conns_[idx];
+  NodeId peer = c.peer;
+  FSR_DEBUG("node %u: closing conn idx=%zu fd=%d peer=%d out=%d fault=%d", cfg_.self,
+           idx, c.fd, peer == kNoNode ? -1 : (int)peer, c.outgoing ? 1 : 0,
+           peer_fault ? 1 : 0);
+  if (c.fd >= 0) ::close(c.fd);
+  c.fd = -1;
+  if (peer_fault && peer != kNoNode && running_.load()) {
+    report_peer_down(peer);
+  }
+}
+
+void TcpTransport::drain_posted() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::lock_guard lock(post_mutex_);
+      if (posted_.empty()) return;
+      fn = std::move(posted_.front());
+      posted_.pop_front();
+    }
+    fn();
+  }
+}
+
+void TcpTransport::fire_due_timers() {
+  Time t = now();
+  // Collect first: a timer callback may add or cancel timers.
+  std::vector<std::function<void()>> due;
+  for (auto it = timers_.begin(); it != timers_.end();) {
+    if (it->deadline <= t) {
+      due.push_back(std::move(it->fn));
+      it = timers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& fn : due) fn();
+}
+
+void TcpTransport::io_loop() {
+  while (running_.load()) {
+    // Retry pending connects whose backoff expired.
+    Time t = now();
+    for (auto it = reconnect_at_.begin(); it != reconnect_at_.end();) {
+      if (it->second <= t) {
+        NodeId peer = it->first;
+        it = reconnect_at_.erase(it);
+        if (connect_peer(peer)) {
+          // Flush frames that were waiting for the connection.
+          Conn* conn = outgoing_conn(peer);
+          for (auto uit = unsent_.begin(); uit != unsent_.end();) {
+            if (uit->first == peer) {
+              conn->outbox_bytes += uit->second.size();
+              conn->outbox.push_back(std::move(uit->second));
+              uit = unsent_.erase(uit);
+            } else {
+              ++uit;
+            }
+          }
+        }
+      } else {
+        ++it;
+      }
+    }
+
+    // Drop closed connections.
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const Conn& c) { return c.fd < 0; }),
+                 conns_.end());
+
+    std::vector<pollfd> fds;
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& c : conns_) {
+      short events = POLLIN;
+      if (c.outgoing && !c.outbox.empty()) events |= POLLOUT;
+      fds.push_back({c.fd, events, 0});
+    }
+
+    int timeout_ms = 50;
+    for (const auto& timer : timers_) {
+      auto ms = static_cast<int>((timer.deadline - now()) / kMillisecond);
+      timeout_ms = std::max(0, std::min(timeout_ms, ms));
+    }
+    if (!reconnect_at_.empty()) timeout_ms = std::min(timeout_ms, 20);
+
+    ::poll(fds.data(), fds.size(), timeout_ms);
+    if (!running_.load()) break;
+
+    if (fds[0].revents & POLLIN) {
+      char buf[256];
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    drain_posted();
+    if (fds[1].revents & POLLIN) accept_new();
+
+    // Note: conns_ may grow during callbacks (new outgoing connections);
+    // only the first `fds.size() - 2` entries correspond to polled fds.
+    std::size_t polled = fds.size() - 2;
+    for (std::size_t i = 0; i < polled && i < conns_.size(); ++i) {
+      short rev = fds[i + 2].revents;
+      if (conns_[i].fd < 0) continue;
+      if (rev & (POLLERR | POLLHUP)) {
+        // Half-closed or reset: try reading what remains, then fault.
+        if (rev & POLLIN) handle_readable(i);
+        if (conns_[i].fd >= 0) {
+          FSR_DEBUG("node %u: conn to peer %u POLLERR/HUP (rev=0x%x out=%d)",
+                   cfg_.self, conns_[i].peer, rev, conns_[i].outgoing ? 1 : 0);
+          close_conn(i, true);
+        }
+        continue;
+      }
+      if (rev & POLLIN) handle_readable(i);
+      if (conns_[i].fd >= 0 && (rev & POLLOUT)) handle_writable(i);
+    }
+
+    fire_due_timers();
+  }
+}
+
+}  // namespace fsr

@@ -1,0 +1,141 @@
+// Real-network transport: the same Transport interface the simulator
+// implements, backed by TCP sockets (the paper's implementation also ran
+// point-to-point TCP channels on the cluster, Table 1).
+//
+// Threading model: one I/O thread per TcpTransport runs a poll() loop and
+// executes ALL protocol callbacks (on_frame / on_tx_ready / on_peer_down /
+// timers) — the engine and VSC layer stay single-threaded, exactly as on
+// the simulator. Application threads interact via post(), which marshals a
+// closure onto the I/O thread (wakeup through a self-pipe).
+//
+// Connections: one outgoing connection per peer, established lazily on
+// first send and identified by a hello carrying the sender's NodeId;
+// inbound connections are read-only. A send to a peer whose connection
+// cannot be (re)established within the configured retries reports the peer
+// down — together with connection resets this approximates the perfect
+// failure detector of the model (§3) well enough for a crash-stop cluster.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "transport/transport.h"
+
+namespace fsr {
+
+struct TcpPeer {
+  NodeId id = kNoNode;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct TcpConfig {
+  NodeId self = kNoNode;
+  std::vector<TcpPeer> peers;  // must include self (for the listen address)
+
+  /// Outbox size above which tx_idle() reports busy (send pacing, which is
+  /// also what makes ack piggybacking effective on TCP).
+  std::size_t tx_high_watermark = 256 * 1024;
+
+  /// Reconnect attempts before a peer is reported down.
+  int connect_retries = 30;
+  Time connect_retry_delay = 100 * kMillisecond;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(TcpConfig config);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Bind + listen (no thread yet). Useful with port 0: read bound_port()
+  /// afterwards and distribute it to the peers before start().
+  void bind();
+
+  /// Update a peer's port before start() (ephemeral-port bootstrap).
+  void set_peer_port(NodeId peer, std::uint16_t port);
+
+  /// Start the I/O thread (binds first if bind() was not called). Call
+  /// after set_handlers().
+  void start();
+
+  /// Stop the I/O thread and close every socket.
+  void stop();
+
+  /// Run `fn` on the I/O thread (thread-safe; the only correct way to
+  /// reach the engine from outside).
+  void post(std::function<void()> fn);
+
+  /// Run `fn` on the I/O thread and wait for it to finish.
+  void post_wait(std::function<void()> fn);
+
+  std::uint16_t bound_port() const { return bound_port_; }
+
+  // --- Transport interface (I/O thread only, except noted) ---
+  NodeId self() const override { return cfg_.self; }
+  Time now() const override;
+  void send(Frame frame) override;
+  bool tx_idle() const override;
+  TimerId set_timer(Time delay, std::function<void()> fn) override;
+  void cancel_timer(TimerId id) override;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    NodeId peer = kNoNode;
+    bool outgoing = false;
+    bool hello_done = false;
+    Bytes read_buf;
+    std::deque<Bytes> outbox;   // outgoing connections only
+    std::size_t outbox_bytes = 0;
+    std::size_t out_offset = 0;  // progress within outbox.front()
+  };
+
+  void io_loop();
+  void accept_new();
+  void handle_readable(std::size_t idx);
+  void handle_writable(std::size_t idx);
+  void close_conn(std::size_t idx, bool peer_fault);
+  bool connect_peer(NodeId peer);
+  Conn* outgoing_conn(NodeId peer);
+  void drain_posted();
+  void fire_due_timers();
+  void report_peer_down(NodeId peer);
+
+  TcpConfig cfg_;
+  std::atomic<bool> running_{false};
+  std::thread io_thread_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t bound_port_ = 0;
+
+  std::mutex post_mutex_;
+  std::deque<std::function<void()>> posted_;
+
+  std::vector<Conn> conns_;
+  std::map<NodeId, int> connect_attempts_;
+  std::map<NodeId, Time> reconnect_at_;
+  std::deque<std::pair<NodeId, Bytes>> unsent_;  // frames awaiting (re)connect
+  std::vector<NodeId> down_;
+  bool busy_ = false;  // tx filled past the watermark; announce when it drains
+
+  struct Timer {
+    Time deadline;
+    std::uint64_t serial;
+    std::function<void()> fn;
+  };
+  std::uint64_t next_timer_serial_ = 1;
+  std::vector<Timer> timers_;
+};
+
+}  // namespace fsr

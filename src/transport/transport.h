@@ -1,0 +1,55 @@
+// Abstract point-to-point transport. The FSR engine and the VSC layer are
+// written against this interface only, so the identical protocol state
+// machine runs on the deterministic cluster simulator (SimTransport) and on
+// real TCP sockets (TcpTransport).
+//
+// Send pacing contract: a caller that wants piggybacking should keep at most
+// one payload frame outstanding per destination and assemble the next frame
+// when on_link_ready fires (the previous frame has fully left the NIC /
+// socket buffer). send() itself never blocks and never drops.
+#pragma once
+
+#include <functional>
+
+#include "common/types.h"
+#include "proto/wire.h"
+#include "sim/simulator.h"
+
+namespace fsr {
+
+struct TransportHandlers {
+  /// A frame addressed to this node has been received (after the receive
+  /// path's processing cost, in the simulator).
+  std::function<void(const Frame&)> on_frame;
+
+  /// This node's outbound path drained: all frames handed to send() have
+  /// left the NIC. Fired once per transition busy -> idle.
+  std::function<void()> on_tx_ready;
+
+  /// The transport noticed a peer is gone (TCP: connection reset/heartbeat
+  /// loss; simulator: crash injection). Feeds the perfect failure detector.
+  std::function<void(NodeId)> on_peer_down;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual NodeId self() const = 0;
+  virtual Time now() const = 0;
+
+  virtual void send(Frame frame) = 0;
+
+  /// True if nothing is queued or in flight on this node's outbound path.
+  virtual bool tx_idle() const = 0;
+
+  virtual TimerId set_timer(Time delay, std::function<void()> fn) = 0;
+  virtual void cancel_timer(TimerId id) = 0;
+
+  void set_handlers(TransportHandlers handlers) { handlers_ = std::move(handlers); }
+
+ protected:
+  TransportHandlers handlers_;
+};
+
+}  // namespace fsr

@@ -1,0 +1,160 @@
+// Virtually synchronous group membership (paper §3, §4.2.1), built on a
+// perfect failure detector (the transport's on_peer_down) and reliable
+// point-to-point channels.
+//
+// View-change protocol (coordinator-driven flush):
+//   1. On a membership event (crash / join / leave / leader rotation) the
+//      coordinator — the first non-failed member of the current ring —
+//      proposes a new view id and sends FLUSH_REQ to every participant.
+//   2. Each participant freezes its FSR engine, serializes its recovery
+//      state and replies FLUSH_STATE.
+//   3. When the coordinator has every participant's state it distributes
+//      VIEW_INSTALL carrying all blobs. Members STAGE the union (absorb its
+//      records) and ack; once every participant acked, the coordinator
+//      sends COMMIT_VIEW and everyone installs: the FSR engine performs the
+//      paper's §4.2.1 recovery — deliver the union of sequenced-undelivered
+//      pairs, then re-broadcast own pending messages in the new view. The
+//      two phases make union delivery uniform even when the coordinator and
+//      early receivers crash together.
+//
+// Concurrent failures (including of the coordinator) are handled by the
+// monotonic proposal id: whoever becomes coordinator restarts the flush with
+// a higher id, and stale rounds are ignored. This terminates because the
+// failure detector is perfect (no false suspicions) and fewer than n
+// processes crash.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "fsr/engine.h"
+#include "fsr/view.h"
+#include "transport/transport.h"
+
+namespace fsr {
+
+struct GroupConfig {
+  EngineConfig engine;
+
+  /// Optional ring heartbeats: each member periodically sends a Heartbeat to
+  /// its successor and suspects its predecessor after `heartbeat_timeout`
+  /// of silence (any frame counts as life). Catches hangs that produce no
+  /// connection reset. 0 disables (the simulator's perfect failure detector
+  /// or TCP resets then carry detection alone).
+  Time heartbeat_interval = 0;
+  Time heartbeat_timeout = 0;
+
+  /// Optional periodic leader rotation (paper §4.3.1): the coordinator
+  /// moves the leader role to the next ring position every interval,
+  /// evening out the position-dependent latency L(i) across processes.
+  /// 0 disables. NOTE: like heartbeats, the timer re-arms forever — drive
+  /// simulations with run_until().
+  Time rotation_interval = 0;
+};
+
+class GroupMember {
+ public:
+  using ViewChangeFn = std::function<void(const View&)>;
+
+  /// If `initial_view` contains this node, start as a steady member of it.
+  /// Otherwise the node starts outside the group and must request_join().
+  GroupMember(Transport& transport, GroupConfig config, View initial_view,
+              Engine::DeliverFn deliver, ViewChangeFn on_view_change = {});
+
+  GroupMember(const GroupMember&) = delete;
+  GroupMember& operator=(const GroupMember&) = delete;
+
+  // --- application API ---
+
+  void broadcast(Bytes payload) { engine_.broadcast(std::move(payload)); }
+
+  /// Ask to be admitted to the group via a current member.
+  void request_join(NodeId contact);
+
+  /// Ask to leave the group gracefully (participates in one last flush).
+  void request_leave();
+
+  /// Rotate the leader role to the next ring position (paper §4.3.1:
+  /// periodically moving the leader evens out per-sender latency). Only the
+  /// current coordinator honors this.
+  void rotate_leader();
+
+  /// Application state-transfer hooks for joins (see Engine).
+  void set_snapshot_hooks(std::function<Bytes()> take,
+                          std::function<void(const Bytes&)> install) {
+    engine_.set_snapshot_hooks(std::move(take), std::move(install));
+  }
+
+  // --- introspection ---
+
+  const View& view() const { return engine_.view(); }
+  bool in_group() const { return !left_ && view().id != 0 && view().contains(self()); }
+  Engine& engine() { return engine_; }
+  const Engine& engine() const { return engine_; }
+  NodeId self() const { return transport_.self(); }
+  bool flushing() const { return engine_.frozen(); }
+
+ private:
+  void on_frame(const Frame& frame);
+  void on_peer_down(NodeId node);
+  void handle_membership(const WireMsg& msg, NodeId from);
+
+  void maybe_coordinate();
+  void start_flush(std::vector<NodeId> new_members);
+  void handle_flush_req(const FlushReq& req, NodeId from);
+  void handle_flush_state(const FlushState& st);
+  void handle_view_install(const ViewInstall& vi, NodeId from);
+  void handle_install_ack(const InstallAck& ack);
+  void handle_commit_view(const CommitView& cv);
+  void apply_install(const ViewInstall& vi);
+  void handle_join_req(const JoinReq& req);
+  void handle_leave_req(const LeaveReq& req);
+
+  /// First member of the current view not known to have failed.
+  std::optional<NodeId> coordinator() const;
+  bool i_am_coordinator() const;
+  void send_to(NodeId to, WireMsg msg);
+
+  Transport& transport_;
+  GroupConfig cfg_;
+  Engine engine_;
+  ViewChangeFn on_view_change_;
+
+  std::set<NodeId> failed_;
+  bool left_ = false;
+
+  /// Highest proposal id seen anywhere (also bumped on installs).
+  ViewId max_proposed_ = 0;
+
+  /// Coordinator-side flush round state.
+  struct FlushRound {
+    ViewId proposed = 0;
+    std::vector<NodeId> participants;  // who must report state
+    std::vector<NodeId> new_members;   // the view being formed
+    std::map<NodeId, Bytes> states;
+    bool install_sent = false;         // phase two: awaiting install acks
+    std::set<NodeId> install_acks;
+  };
+  std::optional<FlushRound> round_;
+
+  /// Member-side staged install, delivered on CommitView.
+  std::optional<ViewInstall> staged_install_;
+
+  /// Membership changes requested while a flush is already running.
+  std::set<NodeId> pending_joins_;
+  std::set<NodeId> pending_leaves_;
+
+  // Ring heartbeat monitoring (optional).
+  void arm_heartbeat();
+  void on_heartbeat_tick();
+  TimerId heartbeat_timer_;
+  Time last_predecessor_activity_ = 0;
+
+  // Periodic leader rotation (optional).
+  void arm_rotation();
+  TimerId rotation_timer_;
+};
+
+}  // namespace fsr

@@ -1,0 +1,158 @@
+// Replicated state machines on top of FSR: the KV store and the bank
+// ledger. Replica consistency (equal fingerprints) is the application-level
+// restatement of total order; crashes must never cause divergence among
+// survivors.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/bank.h"
+#include "app/kv_store.h"
+#include "harness/sim_cluster.h"
+
+namespace fsr {
+namespace {
+
+struct KvFixture {
+  explicit KvFixture(std::size_t n, std::uint32_t t = 1) {
+    ClusterConfig cfg;
+    cfg.n = n;
+    cfg.group.engine.t = t;
+    cluster = std::make_unique<SimCluster>(cfg);
+    stores.resize(n);
+    cluster->set_delivery_tap([this](NodeId node, const Delivery& d) {
+      stores[node].apply(d.origin, d.payload);
+    });
+  }
+  std::unique_ptr<SimCluster> cluster;
+  std::vector<KvStore> stores;
+};
+
+TEST(KvStore, CommandCodecRoundtrip) {
+  KvStore kv;
+  kv.apply(0, KvStore::encode_put("alpha", "1"));
+  kv.apply(0, KvStore::encode_put("beta", "2"));
+  EXPECT_EQ(kv.get("alpha"), "1");
+  EXPECT_EQ(kv.get("beta"), "2");
+  kv.apply(0, KvStore::encode_del("alpha"));
+  EXPECT_FALSE(kv.get("alpha").has_value());
+  kv.apply(0, KvStore::encode_cas("beta", "2", "3"));
+  EXPECT_EQ(kv.get("beta"), "3");
+  kv.apply(0, KvStore::encode_cas("beta", "2", "4"));  // stale expected
+  EXPECT_EQ(kv.get("beta"), "3");
+  EXPECT_EQ(kv.failed_cas(), 1u);
+}
+
+TEST(KvStore, MalformedCommandIgnored) {
+  KvStore kv;
+  kv.apply(0, Bytes{0x01});        // PUT with no fields
+  kv.apply(0, Bytes{0x7f, 0x00});  // unknown opcode
+  kv.apply(0, Bytes{});            // empty
+  EXPECT_EQ(kv.applied_commands(), 0u);
+  EXPECT_EQ(kv.size(), 0u);
+}
+
+TEST(KvStore, FingerprintDetectsDifferences) {
+  KvStore a, b;
+  a.apply(0, KvStore::encode_put("k", "v"));
+  b.apply(0, KvStore::encode_put("k", "w"));
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  b.apply(0, KvStore::encode_put("k", "v"));
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(ReplicatedKv, AllReplicasConverge) {
+  KvFixture f(4);
+  for (int i = 0; i < 20; ++i) {
+    NodeId writer = static_cast<NodeId>(i % 4);
+    f.cluster->broadcast(writer, KvStore::encode_put("key" + std::to_string(i % 5),
+                                                     "v" + std::to_string(i)));
+  }
+  f.cluster->sim().run();
+  for (NodeId n = 1; n < 4; ++n) {
+    EXPECT_EQ(f.stores[0].fingerprint(), f.stores[n].fingerprint()) << "node " << n;
+  }
+  EXPECT_EQ(f.stores[0].applied_commands(), 20u);
+}
+
+TEST(ReplicatedKv, ConcurrentCasResolvesIdenticallyEverywhere) {
+  KvFixture f(5);
+  f.cluster->broadcast(0, KvStore::encode_put("lock", "free"));
+  f.cluster->sim().run();
+  // Everyone races to grab the lock; exactly one CAS can win, and every
+  // replica must agree on the winner.
+  for (NodeId n = 0; n < 5; ++n) {
+    f.cluster->broadcast(n, KvStore::encode_cas("lock", "free", "owner" + std::to_string(n)));
+  }
+  f.cluster->sim().run();
+  auto winner = f.stores[0].get("lock");
+  ASSERT_TRUE(winner.has_value());
+  EXPECT_NE(*winner, "free");
+  for (NodeId n = 1; n < 5; ++n) {
+    EXPECT_EQ(f.stores[n].get("lock"), winner) << "node " << n;
+    EXPECT_EQ(f.stores[n].failed_cas(), 4u) << "node " << n;
+  }
+}
+
+TEST(ReplicatedKv, SurvivorsConvergeAfterLeaderCrash) {
+  KvFixture f(5, 2);
+  for (int i = 0; i < 30; ++i) {
+    f.cluster->broadcast(static_cast<NodeId>(i % 5),
+                         KvStore::encode_put("k" + std::to_string(i), "v"));
+  }
+  f.cluster->sim().schedule(10 * kMillisecond, [&] { f.cluster->crash(0); });
+  f.cluster->sim().run();
+  EXPECT_EQ(f.cluster->check_all(), "");
+  for (NodeId n = 2; n < 5; ++n) {
+    EXPECT_EQ(f.stores[1].fingerprint(), f.stores[n].fingerprint()) << "node " << n;
+  }
+}
+
+TEST(Bank, CommandsAndInvariants) {
+  Bank bank;
+  bank.apply(0, Bank::encode_deposit("alice", 100));
+  bank.apply(0, Bank::encode_deposit("bob", 50));
+  bank.apply(0, Bank::encode_transfer("alice", "bob", 30));
+  EXPECT_EQ(bank.balance("alice"), 70);
+  EXPECT_EQ(bank.balance("bob"), 80);
+  EXPECT_EQ(bank.total(), 150);
+  bank.apply(0, Bank::encode_withdraw("alice", 1000));  // rejected
+  EXPECT_EQ(bank.rejected(), 1u);
+  EXPECT_EQ(bank.total(), 150);
+}
+
+TEST(ReplicatedBank, TotalConservedAcrossCrashes) {
+  ClusterConfig cfg;
+  cfg.n = 5;
+  cfg.group.engine.t = 2;
+  SimCluster cluster(cfg);
+  std::vector<Bank> banks(5);
+  cluster.set_delivery_tap([&](NodeId node, const Delivery& d) {
+    banks[node].apply(d.origin, d.payload);
+  });
+
+  for (NodeId n = 0; n < 5; ++n) {
+    cluster.broadcast(n, Bank::encode_deposit("acct" + std::to_string(n), 1000));
+  }
+  Rng rng(7);
+  for (int i = 0; i < 60; ++i) {
+    auto from = static_cast<NodeId>(rng.below(5));
+    std::string a = "acct" + std::to_string(rng.below(5));
+    std::string b = "acct" + std::to_string(rng.below(5));
+    if (a != b) {
+      cluster.broadcast(from, Bank::encode_transfer(a, b, static_cast<std::int64_t>(rng.below(200))));
+    }
+  }
+  cluster.sim().schedule(15 * kMillisecond, [&] { cluster.crash(1); });
+  cluster.sim().schedule(30 * kMillisecond, [&] { cluster.crash(3); });
+  cluster.sim().run();
+  EXPECT_EQ(cluster.check_all(), "");
+  // Survivors agree bit-for-bit and conserve the total.
+  for (NodeId n : {NodeId{2}, NodeId{4}}) {
+    EXPECT_EQ(banks[0].fingerprint(), banks[n].fingerprint()) << "node " << n;
+  }
+  EXPECT_EQ(banks[0].total(), 5000);
+}
+
+}  // namespace
+}  // namespace fsr

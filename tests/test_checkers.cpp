@@ -1,0 +1,108 @@
+// Self-tests of the safety checkers: each must actually flag a violation
+// when fed one. Without these, a silently broken checker would make the
+// whole property-test suite vacuous.
+#include <gtest/gtest.h>
+
+#include "harness/sim_cluster.h"
+#include "roundmodel/round_engine.h"
+
+namespace fsr {
+namespace {
+
+// A harness exposing direct log injection by replaying deliveries through
+// a trivial cluster is awkward; instead, exercise the checkers through the
+// round-model engine (whose deliver() we control directly) and through
+// deliberately inconsistent SimCluster usage.
+
+class ScriptedProtocol final : public rounds::Protocol {
+ public:
+  using Script = std::function<void(rounds::RoundEngine&, long long)>;
+  explicit ScriptedProtocol(Script script) : script_(std::move(script)) {}
+  std::optional<rounds::Send> on_round(int p, long long round) override {
+    if (p == 0 && script_) script_(*engine_, round);
+    return std::nullopt;
+  }
+  void on_receive(int, const rounds::Msg&, long long) override {}
+  std::string name() const override { return "scripted"; }
+
+ private:
+  Script script_;
+};
+
+TEST(Checkers, RoundModelOrderCheckerAcceptsConsistentLogs) {
+  ScriptedProtocol proto([](rounds::RoundEngine& e, long long round) {
+    if (round != 0) return;
+    long long a = e.take_app_message(0);
+    long long b = e.take_app_message(0);
+    for (int p = 0; p < 3; ++p) {
+      e.deliver(p, a);
+      e.deliver(p, b);
+    }
+  });
+  rounds::RoundEngine engine({3, {0}, 2}, proto);
+  engine.run(1);
+  EXPECT_EQ(engine.check_total_order(), "");
+  EXPECT_EQ(engine.completed(), 2);
+}
+
+TEST(Checkers, RoundModelOrderCheckerFlagsReordering) {
+  ScriptedProtocol proto([](rounds::RoundEngine& e, long long round) {
+    if (round != 0) return;
+    long long a = e.take_app_message(0);
+    long long b = e.take_app_message(0);
+    e.deliver(0, a);
+    e.deliver(0, b);
+    e.deliver(1, b);  // swapped
+    e.deliver(1, a);
+    e.deliver(2, a);
+    e.deliver(2, b);
+  });
+  rounds::RoundEngine engine({3, {0}, 2}, proto);
+  engine.run(1);
+  EXPECT_NE(engine.check_total_order(), "");
+}
+
+TEST(Checkers, RoundModelOrderCheckerFlagsPartialOverlapReordering) {
+  // Logs of different lengths whose common subsequence disagrees.
+  ScriptedProtocol proto([](rounds::RoundEngine& e, long long round) {
+    if (round != 0) return;
+    long long a = e.take_app_message(0);
+    long long b = e.take_app_message(0);
+    long long c = e.take_app_message(0);
+    e.deliver(0, a);
+    e.deliver(0, b);
+    e.deliver(0, c);
+    e.deliver(1, c);  // only two deliveries, out of relative order
+    e.deliver(1, a);
+  });
+  rounds::RoundEngine engine({2, {0}, 3}, proto);
+  engine.run(1);
+  EXPECT_NE(engine.check_total_order(), "");
+}
+
+TEST(Checkers, SimClusterIntegrityFlagsNeverBroadcastMessages) {
+  // Deliver something through a back door: broadcast from the engine
+  // directly (bypassing SimCluster::broadcast's bookkeeping) — the
+  // integrity checker must notice an unknown (origin, app_msg).
+  ClusterConfig cfg;
+  cfg.n = 3;
+  SimCluster c(cfg);
+  c.node(1).broadcast(test_payload(1, 1, 64));  // not via c.broadcast()
+  c.sim().run();
+  EXPECT_NE(c.check_integrity(), "");
+}
+
+TEST(Checkers, SimClusterChecksPassOnHonestRun) {
+  ClusterConfig cfg;
+  cfg.n = 3;
+  SimCluster c(cfg);
+  c.broadcast(1, test_payload(1, 1, 64));
+  c.sim().run();
+  EXPECT_EQ(c.check_integrity(), "");
+  EXPECT_EQ(c.check_total_order(), "");
+  EXPECT_EQ(c.check_agreement({0, 1, 2}), "");
+  EXPECT_EQ(c.check_uniformity({}, {0, 1, 2}), "");
+}
+
+}  // namespace
+}  // namespace fsr

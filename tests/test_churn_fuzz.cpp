@@ -1,0 +1,135 @@
+// Membership churn fuzzing: random joins, graceful leaves and crashes
+// interleaved with traffic, across many seeds. Safety (integrity, total
+// order) must hold unconditionally; the final surviving group must still
+// make progress.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "harness/sim_cluster.h"
+
+namespace fsr {
+namespace {
+
+struct ChurnCase {
+  std::uint64_t seed;
+};
+
+class ChurnFuzzTest : public ::testing::TestWithParam<ChurnCase> {};
+
+TEST_P(ChurnFuzzTest, SafetyHoldsUnderChurn) {
+  Rng rng(GetParam().seed);
+  const std::size_t universe = 6 + rng.below(3);  // 6..8 potential nodes
+  const std::size_t initial = 3 + rng.below(2);   // 3..4 initial members
+
+  ClusterConfig cfg;
+  cfg.n = universe;
+  cfg.initial_members = initial;
+  cfg.group.engine.t = 1 + static_cast<std::uint32_t>(rng.below(2));
+  cfg.group.engine.segment_size = 1024 + rng.below(4096);
+  SimCluster c(cfg);
+
+  std::set<NodeId> in_group;      // believed members (approximate tracking)
+  std::set<NodeId> outside;       // can join
+  std::set<NodeId> gone;          // crashed or left: unusable
+  for (std::size_t i = 0; i < universe; ++i) {
+    auto id = static_cast<NodeId>(i);
+    (i < initial ? in_group : outside).insert(id);
+  }
+
+  std::map<NodeId, std::uint64_t> sent;
+  Time t = 0;
+  int crashes_left = static_cast<int>(cfg.group.engine.t);
+
+  for (int ev = 0; ev < 25; ++ev) {
+    t += static_cast<Time>(1 + rng.below(15)) * kMillisecond;
+    switch (rng.below(4)) {
+      case 0: {  // broadcast burst from a member
+        if (in_group.empty()) break;
+        auto it = in_group.begin();
+        std::advance(it, static_cast<long>(rng.below(in_group.size())));
+        NodeId s = *it;
+        int burst = 1 + static_cast<int>(rng.below(5));
+        for (int b = 0; b < burst; ++b) {
+          auto app = ++sent[s];
+          std::size_t size = 1 + rng.below(6000);
+          c.sim().schedule_at(t, [&c, s, app, size] {
+            c.broadcast(s, test_payload(s, app, size));
+          });
+        }
+        break;
+      }
+      case 1: {  // join
+        if (outside.empty() || in_group.empty()) break;
+        auto it = outside.begin();
+        std::advance(it, static_cast<long>(rng.below(outside.size())));
+        NodeId j = *it;
+        NodeId contact = *in_group.begin();
+        outside.erase(j);
+        in_group.insert(j);
+        c.sim().schedule_at(t, [&c, j, contact] {
+          if (!c.node(j).in_group()) c.node(j).request_join(contact);
+        });
+        break;
+      }
+      case 2: {  // graceful leave (keep at least 2 members)
+        if (in_group.size() <= 2) break;
+        auto it = in_group.begin();
+        std::advance(it, static_cast<long>(rng.below(in_group.size())));
+        NodeId l = *it;
+        in_group.erase(l);
+        gone.insert(l);
+        c.sim().schedule_at(t, [&c, l] { c.node(l).request_leave(); });
+        break;
+      }
+      default: {  // crash (bounded by t per configuration)
+        if (crashes_left <= 0 || in_group.size() <= 2) break;
+        auto it = in_group.begin();
+        std::advance(it, static_cast<long>(rng.below(in_group.size())));
+        NodeId d = *it;
+        in_group.erase(d);
+        gone.insert(d);
+        --crashes_left;
+        c.sim().schedule_at(t, [&c, d] { c.crash(d); });
+        break;
+      }
+    }
+  }
+
+  c.sim().run();
+
+  // Safety invariants hold across everything that happened.
+  ASSERT_EQ(c.check_total_order(), "") << "seed=" << GetParam().seed;
+  ASSERT_EQ(c.check_integrity(), "") << "seed=" << GetParam().seed;
+
+  // Liveness: the survivors still form a working group.
+  ASSERT_FALSE(in_group.empty());
+  NodeId probe = *in_group.begin();
+  auto app = ++sent[probe];
+  std::size_t before = c.log(probe).size();
+  c.broadcast(probe, test_payload(probe, app, 256));
+  c.sim().run();
+  EXPECT_GT(c.log(probe).size(), before)
+      << "seed=" << GetParam().seed << ": group wedged after churn";
+
+  // All current members share one view.
+  ViewId vid = 0;
+  for (NodeId m : in_group) {
+    if (!c.node(m).in_group()) continue;  // join may have raced a leave
+    if (vid == 0) vid = c.node(m).view().id;
+    EXPECT_EQ(c.node(m).view().id, vid) << "seed=" << GetParam().seed;
+  }
+}
+
+std::vector<ChurnCase> seeds() {
+  std::vector<ChurnCase> out;
+  for (std::uint64_t s = 1; s <= 60; ++s) out.push_back({s * 0x9e3779b97f4a7c15ULL});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnFuzzTest, ::testing::ValuesIn(seeds()),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.index);
+                         });
+
+}  // namespace
+}  // namespace fsr

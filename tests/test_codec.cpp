@@ -1,0 +1,217 @@
+#include "proto/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fsr {
+namespace {
+
+Frame roundtrip(const Frame& f) {
+  Bytes wire = encode_frame(f);
+  return decode_frame(wire);
+}
+
+TEST(Codec, ByteWriterReaderPrimitives) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.var(0);
+  w.var(127);
+  w.var(128);
+  w.var(~0ULL);
+  w.str("hello");
+  Bytes b = w.take();
+  ByteReader r(b);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.var(), 0u);
+  EXPECT_EQ(r.var(), 127u);
+  EXPECT_EQ(r.var(), 128u);
+  EXPECT_EQ(r.var(), ~0ULL);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, TruncatedReadThrows) {
+  ByteWriter w;
+  w.u32(42);
+  Bytes b = w.take();
+  ByteReader r(b);
+  EXPECT_EQ(r.u32(), 42u);
+  EXPECT_THROW(r.u8(), CodecError);
+}
+
+TEST(Codec, OversizedLengthFieldThrows) {
+  ByteWriter w;
+  w.var(1'000'000);  // claims a million bytes follow
+  w.u8(1);
+  Bytes b = w.take();
+  ByteReader r(b);
+  EXPECT_THROW(r.bytes(), CodecError);
+}
+
+TEST(Codec, DataMsgRoundtrip) {
+  DataMsg m;
+  m.id = MsgId{7, 42};
+  m.view = 3;
+  m.frag = FragInfo{9, 2, 13};
+  m.payload = make_payload(Bytes{1, 2, 3, 4, 5});
+  Frame f{1, 2, {m}};
+  Frame g = roundtrip(f);
+  ASSERT_EQ(g.msgs.size(), 1u);
+  const auto& d = std::get<DataMsg>(g.msgs[0]);
+  EXPECT_EQ(d.id, m.id);
+  EXPECT_EQ(d.view, 3u);
+  EXPECT_EQ(d.frag, m.frag);
+  ASSERT_TRUE(d.payload);
+  EXPECT_EQ(*d.payload, *m.payload);
+  EXPECT_EQ(g.from, 1u);
+  EXPECT_EQ(g.to, 2u);
+}
+
+TEST(Codec, SeqMsgRoundtrip) {
+  SeqMsg m;
+  m.id = MsgId{3, 9};
+  m.seq = 1234567;
+  m.view = 2;
+  m.frag = FragInfo{1, 0, 1};
+  m.payload = make_payload(Bytes(1000, 0x5a));
+  Frame g = roundtrip(Frame{0, 1, {m}});
+  const auto& s = std::get<SeqMsg>(g.msgs[0]);
+  EXPECT_EQ(s.seq, 1234567u);
+  EXPECT_EQ(s.payload->size(), 1000u);
+}
+
+TEST(Codec, AckAndGcRoundtrip) {
+  AckMsg a{MsgId{1, 2}, 77, 5, false};
+  GcMsg g{1000, 5, 7};
+  Frame f{4, 0, {a, g}};
+  Frame out = roundtrip(f);
+  EXPECT_EQ(std::get<AckMsg>(out.msgs[0]), a);
+  EXPECT_EQ(std::get<GcMsg>(out.msgs[1]), g);
+}
+
+TEST(Codec, EmptyPayloadDecodesToNull) {
+  DataMsg m;
+  m.id = MsgId{1, 1};
+  m.payload = nullptr;
+  Frame out = roundtrip(Frame{0, 1, {m}});
+  EXPECT_FALSE(std::get<DataMsg>(out.msgs[0]).payload);
+}
+
+TEST(Codec, MembershipMessagesRoundtrip) {
+  FlushReq fr{9, {1, 2, 3}};
+  FlushState fs{9, 2, Bytes{10, 20, 30}};
+  ViewInstall vi{10, {1, 2}, {1, 2}, {Bytes{1}, Bytes{}}};
+  JoinReq jr{5};
+  LeaveReq lr{6};
+  Heartbeat hb{4};
+  Frame out = roundtrip(Frame{0, 1, {fr, fs, vi, jr, lr, hb}});
+  EXPECT_EQ(std::get<FlushReq>(out.msgs[0]).members, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(std::get<FlushState>(out.msgs[1]).state, (Bytes{10, 20, 30}));
+  const auto& v = std::get<ViewInstall>(out.msgs[2]);
+  EXPECT_EQ(v.view, 10u);
+  EXPECT_EQ(v.states.size(), 2u);
+  EXPECT_EQ(v.states[0], Bytes{1});
+  EXPECT_TRUE(v.states[1].empty());
+  EXPECT_EQ(std::get<JoinReq>(out.msgs[3]).node, 5u);
+  EXPECT_EQ(std::get<LeaveReq>(out.msgs[4]).node, 6u);
+  EXPECT_EQ(std::get<Heartbeat>(out.msgs[5]).view, 4u);
+}
+
+TEST(Codec, WireSizeMatchesEncodedSizeExactly) {
+  // The counting sink and the byte sink share the template; this test pins
+  // the invariant that the simulator's size model equals the real encoding.
+  Rng rng(42);
+  for (int iter = 0; iter < 200; ++iter) {
+    Frame f;
+    f.from = static_cast<NodeId>(rng.below(16));
+    f.to = static_cast<NodeId>(rng.below(16));
+    std::size_t n = rng.below(5) + 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (rng.below(4)) {
+        case 0: {
+          DataMsg m;
+          m.id = MsgId{static_cast<NodeId>(rng.below(100)), rng.next()};
+          m.view = rng.below(1000);
+          m.frag = FragInfo{rng.next(), static_cast<std::uint32_t>(rng.below(100)),
+                            static_cast<std::uint32_t>(rng.below(100) + 1)};
+          m.payload = make_payload(Bytes(rng.below(5000), 0x11));
+          f.msgs.emplace_back(std::move(m));
+          break;
+        }
+        case 1: {
+          SeqMsg m;
+          m.id = MsgId{static_cast<NodeId>(rng.below(100)), rng.next()};
+          m.seq = rng.next();
+          m.payload = make_payload(Bytes(rng.below(5000), 0x22));
+          f.msgs.emplace_back(std::move(m));
+          break;
+        }
+        case 2:
+          f.msgs.emplace_back(AckMsg{MsgId{1, rng.next()}, rng.next(), 1, rng.chance(0.5)});
+          break;
+        default:
+          f.msgs.emplace_back(GcMsg{rng.next(), 1, static_cast<std::uint32_t>(rng.below(32))});
+      }
+    }
+    Bytes encoded = encode_frame(f);
+    EXPECT_EQ(encoded.size(), wire_size(f));
+  }
+}
+
+TEST(Codec, FuzzDecodeNeverCrashes) {
+  // Random garbage must either decode or throw CodecError — never crash.
+  Rng rng(7);
+  for (int iter = 0; iter < 2000; ++iter) {
+    Bytes junk(rng.below(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    try {
+      (void)decode_frame(junk);
+    } catch (const CodecError&) {
+      // expected for malformed input
+    }
+  }
+}
+
+TEST(Codec, FuzzMutatedValidFramesNeverCrash) {
+  Rng rng(99);
+  DataMsg m;
+  m.id = MsgId{3, 12};
+  m.frag = FragInfo{1, 0, 4};
+  m.payload = make_payload(Bytes(100, 0x77));
+  Bytes valid = encode_frame(Frame{0, 1, {m, AckMsg{MsgId{1, 1}, 5, 1, true}}});
+  for (int iter = 0; iter < 2000; ++iter) {
+    Bytes mutated = valid;
+    std::size_t flips = rng.below(4) + 1;
+    for (std::size_t i = 0; i < flips; ++i) {
+      mutated[rng.below(mutated.size())] ^= static_cast<std::uint8_t>(1 << rng.below(8));
+    }
+    try {
+      (void)decode_frame(mutated);
+    } catch (const CodecError&) {
+    }
+  }
+}
+
+TEST(Codec, TrailingBytesRejected) {
+  Bytes valid = encode_frame(Frame{0, 1, {AckMsg{MsgId{1, 1}, 5, 1, true}}});
+  valid.push_back(0);
+  EXPECT_THROW(decode_frame(valid), CodecError);
+}
+
+TEST(Codec, CarriesPayloadClassification) {
+  EXPECT_TRUE(carries_payload(WireMsg{DataMsg{}}));
+  EXPECT_TRUE(carries_payload(WireMsg{SeqMsg{}}));
+  EXPECT_FALSE(carries_payload(WireMsg{AckMsg{}}));
+  EXPECT_FALSE(carries_payload(WireMsg{GcMsg{}}));
+  EXPECT_FALSE(carries_payload(WireMsg{Heartbeat{}}));
+}
+
+}  // namespace
+}  // namespace fsr

@@ -1,0 +1,189 @@
+// Unit tests for the common utilities: statistics, RNG determinism, views,
+// payload helpers, and identifier types.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "fsr/view.h"
+#include "harness/sim_cluster.h"
+
+namespace fsr {
+namespace {
+
+TEST(Stats, AccumulatorMoments) {
+  Accumulator a;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(v);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 2.0);  // classic textbook dataset
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Stats, AccumulatorEmpty) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.stddev(), 0.0);
+}
+
+TEST(Stats, SamplesPercentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(90), 90.1, 0.2);
+  EXPECT_EQ(s.count(), 100u);
+}
+
+TEST(Stats, SamplesInterleavedAddAndQuery) {
+  Samples s;
+  s.add(3);
+  s.add(1);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(2);  // add after a query must re-sort
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Stats, JainFairnessIndex) {
+  EXPECT_DOUBLE_EQ(jain_fairness({1, 1, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({4, 0, 0, 0}), 0.25);  // 1/n
+  EXPECT_NEAR(jain_fairness({2, 1}), 0.9, 1e-9);
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0, 0}), 1.0);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(9);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / 20000.0, 5.0, 0.25);
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng r(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.between(2, 5);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 5);
+    saw_lo = saw_lo || v == 2;
+    saw_hi = saw_hi || v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(View, PositionLookup) {
+  View v{3, {7, 2, 9}};
+  EXPECT_EQ(v.position_of(7), Position{0});
+  EXPECT_EQ(v.position_of(9), Position{2});
+  EXPECT_FALSE(v.position_of(4).has_value());
+  EXPECT_EQ(v.leader(), 7u);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_TRUE(v.contains(2));
+  EXPECT_FALSE(v.contains(3));
+  EXPECT_EQ(v.at(4), 2u);  // wraps
+}
+
+TEST(View, Equality) {
+  View a{1, {0, 1}}, b{1, {0, 1}}, c{1, {1, 0}}, d{2, {0, 1}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+TEST(View, ToString) {
+  View v{5, {3, 1}};
+  EXPECT_EQ(to_string(v), "view 5 {3,1}");
+}
+
+TEST(MsgIdType, OrderingAndHash) {
+  MsgId a{1, 5}, b{1, 6}, c{2, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (MsgId{1, 5}));
+  std::hash<MsgId> h;
+  EXPECT_NE(h(a), h(b));
+  EXPECT_EQ(to_string(a), "m(1,5)");
+}
+
+TEST(TestPayload, DeterministicAndDistinct) {
+  Bytes a = test_payload(1, 2, 100);
+  Bytes b = test_payload(1, 2, 100);
+  Bytes c = test_payload(1, 3, 100);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(hash_bytes(a), hash_bytes(b));
+  EXPECT_NE(hash_bytes(a), hash_bytes(c));
+}
+
+TEST(SimTransportFd, CrashNotifiesSurvivorsAfterDetectionDelay) {
+  SimWorld world(NetConfig{}, 3, /*fd_detection_delay=*/5 * kMillisecond);
+  std::vector<std::pair<NodeId, Time>> events;
+  for (NodeId n = 0; n < 3; ++n) {
+    TransportHandlers h;
+    h.on_peer_down = [&events, n, &world](NodeId dead) {
+      events.push_back({dead, world.sim().now()});
+      (void)n;
+    };
+    world.transport(n).set_handlers(std::move(h));
+  }
+  world.sim().run_until(kMillisecond);
+  world.crash(1);
+  world.sim().run();
+  // Both survivors (not the crashed node) learn at +5 ms.
+  ASSERT_EQ(events.size(), 2u);
+  for (const auto& [dead, at] : events) {
+    EXPECT_EQ(dead, 1u);
+    EXPECT_EQ(at, kMillisecond + 5 * kMillisecond);
+  }
+}
+
+TEST(SimTransportFd, DoubleCrashIsIdempotent) {
+  SimWorld world(NetConfig{}, 2, kMillisecond);
+  int notifications = 0;
+  TransportHandlers h;
+  h.on_peer_down = [&](NodeId) { ++notifications; };
+  world.transport(0).set_handlers(std::move(h));
+  world.crash(1);
+  world.crash(1);
+  world.sim().run();
+  EXPECT_EQ(notifications, 1);
+}
+
+}  // namespace
+}  // namespace fsr

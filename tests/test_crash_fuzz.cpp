@@ -1,0 +1,148 @@
+// Randomized crash-fault injection: for many seeds, drive a random workload
+// (senders, message sizes, submit times) and crash up to t random processes
+// at random times. After quiescence, every safety invariant must hold:
+// integrity, total order, agreement among survivors, uniformity for the
+// crashed, and — for messages from surviving senders — liveness.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "harness/sim_cluster.h"
+
+namespace fsr {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+};
+
+class CrashFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(CrashFuzzTest, InvariantsHoldUnderRandomCrashes) {
+  Rng rng(GetParam().seed);
+
+  std::size_t n = 3 + rng.below(7);                    // 3..9 nodes
+  auto t = static_cast<std::uint32_t>(rng.below(3) + 1);  // 1..3 backups
+  t = ring::effective_t(t, static_cast<std::uint32_t>(n));
+
+  ClusterConfig cfg;
+  cfg.n = n;
+  cfg.group.engine.t = t;
+  cfg.group.engine.segment_size = 512 + rng.below(4096);
+  cfg.group.engine.window = 4 + rng.below(32);
+  cfg.group.engine.gc_interval = 8 + rng.below(64);
+  SimCluster c(cfg);
+
+  // Random workload: every node may send, spread over ~40 ms.
+  std::map<NodeId, int> sent;
+  int total_msgs = 30 + static_cast<int>(rng.below(60));
+  for (int i = 0; i < total_msgs; ++i) {
+    auto sender = static_cast<NodeId>(rng.below(n));
+    auto app = static_cast<std::uint64_t>(++sent[sender]);
+    std::size_t size = 1 + rng.below(12000);
+    Time at = static_cast<Time>(rng.below(40)) * kMillisecond;
+    c.sim().schedule_at(at, [&c, sender, app, size] {
+      c.broadcast(sender, test_payload(sender, app, size));
+    });
+  }
+
+  // Crash up to t processes at random times.
+  std::size_t crashes = rng.below(t + 1);
+  std::set<NodeId> doomed;
+  while (doomed.size() < crashes) {
+    doomed.insert(static_cast<NodeId>(rng.below(n)));
+  }
+  for (NodeId d : doomed) {
+    Time at = static_cast<Time>(5 + rng.below(50)) * kMillisecond;
+    c.sim().schedule_at(at, [&c, d] { c.crash(d); });
+  }
+
+  c.sim().run();
+
+  ASSERT_EQ(c.check_all(), "") << "seed=" << GetParam().seed << " n=" << n
+                               << " t=" << t << " crashes=" << crashes;
+
+  // Liveness: every message from a surviving sender is delivered by every
+  // surviving node.
+  for (std::size_t i = 0; i < n; ++i) {
+    auto node = static_cast<NodeId>(i);
+    if (!c.alive(node)) continue;
+    for (const auto& [sender, count] : sent) {
+      if (doomed.count(sender)) continue;
+      int got = 0;
+      for (const auto& e : c.log(node)) {
+        if (e.origin == sender) ++got;
+      }
+      EXPECT_EQ(got, count) << "seed=" << GetParam().seed << ": node " << node
+                            << " missing messages from live sender " << sender;
+    }
+  }
+}
+
+std::vector<FuzzCase> seeds() {
+  std::vector<FuzzCase> out;
+  for (std::uint64_t s = 1; s <= 80; ++s) out.push_back({s * 2654435761ULL});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashFuzzTest, ::testing::ValuesIn(seeds()),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.index);
+                         });
+
+// A second family: crashes specifically aimed at the leader + backups
+// (the processes that hold recovery state), which is the hardest case for
+// uniformity.
+class LeadershipCrashFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(LeadershipCrashFuzzTest, RecoveryStateSurvivesTargetedCrashes) {
+  Rng rng(GetParam().seed);
+  std::size_t n = 5 + rng.below(4);  // 5..8
+  std::uint32_t t = 2;
+
+  ClusterConfig cfg;
+  cfg.n = n;
+  cfg.group.engine.t = t;
+  cfg.group.engine.segment_size = 2048;
+  SimCluster c(cfg);
+
+  std::map<NodeId, int> sent;
+  for (int i = 0; i < 50; ++i) {
+    auto sender = static_cast<NodeId>(rng.below(n));
+    auto app = static_cast<std::uint64_t>(++sent[sender]);
+    Time at = static_cast<Time>(rng.below(30)) * kMillisecond;
+    c.sim().schedule_at(at, [&c, sender, app] {
+      c.broadcast(sender, test_payload(sender, app, 3000));
+    });
+  }
+
+  // Crash the leader and the first backup close together, mid-traffic.
+  Time first = static_cast<Time>(8 + rng.below(20)) * kMillisecond;
+  c.sim().schedule_at(first, [&c] { c.crash(0); });
+  c.sim().schedule_at(first + static_cast<Time>(rng.below(6)) * kMillisecond,
+                      [&c] { c.crash(1); });
+
+  c.sim().run();
+  ASSERT_EQ(c.check_all(), "") << "seed=" << GetParam().seed << " n=" << n;
+
+  for (std::size_t i = 2; i < n; ++i) {
+    auto node = static_cast<NodeId>(i);
+    for (const auto& [sender, count] : sent) {
+      if (sender == 0 || sender == 1) continue;
+      int got = 0;
+      for (const auto& e : c.log(node)) {
+        if (e.origin == sender) ++got;
+      }
+      EXPECT_EQ(got, count) << "seed=" << GetParam().seed << " node " << node
+                            << " sender " << sender;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeadershipCrashFuzzTest,
+                         ::testing::ValuesIn(seeds()),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.index);
+                         });
+
+}  // namespace
+}  // namespace fsr

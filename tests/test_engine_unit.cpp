@@ -1,0 +1,212 @@
+// Focused unit tests of Engine behaviours that the end-to-end suites don't
+// pin down explicitly: flow-control windowing, ack piggybacking vs
+// standalone acks, recovery-retention garbage collection, duplicate and
+// stale-view handling, and freeze semantics.
+#include <gtest/gtest.h>
+
+#include "harness/sim_cluster.h"
+
+namespace fsr {
+namespace {
+
+ClusterConfig base(std::size_t n, std::uint32_t t) {
+  ClusterConfig cfg;
+  cfg.n = n;
+  cfg.group.engine.t = t;
+  return cfg;
+}
+
+TEST(EngineUnit, WindowLimitsOwnSegmentsInFlight) {
+  ClusterConfig cfg = base(4, 1);
+  cfg.group.engine.window = 4;
+  cfg.group.engine.segment_size = 1024;
+  SimCluster c(cfg);
+  // 20 segments submitted at once; at most `window` may be in flight.
+  c.broadcast(2, test_payload(2, 1, 20 * 1024));
+  bool violated = false;
+  // Poll the in-flight counter as the simulation progresses.
+  for (int step = 0; step < 200000 && !c.sim().empty(); ++step) {
+    c.sim().run_steps(1);
+    if (c.node(2).engine().own_in_flight() > 4) violated = true;
+  }
+  c.sim().run();
+  EXPECT_FALSE(violated);
+  EXPECT_EQ(c.log(0).size(), 1u);
+  EXPECT_EQ(c.check_all(), "");
+}
+
+TEST(EngineUnit, PiggybackingAttachesAcksToPayloadFrames) {
+  ClusterConfig cfg = base(5, 1);
+  cfg.group.engine.segment_size = 2048;
+  SimCluster c(cfg);
+  for (NodeId s = 0; s < 5; ++s) {
+    for (int i = 0; i < 10; ++i) {
+      c.broadcast(s, test_payload(s, static_cast<std::uint64_t>(i + 1), 8 * 1024));
+    }
+  }
+  c.sim().run();
+  std::uint64_t piggybacked = 0;
+  for (NodeId n = 0; n < 5; ++n) piggybacked += c.node(n).engine().stats().acks_piggybacked;
+  EXPECT_GT(piggybacked, 0u) << "under load, acks must ride payload frames";
+  EXPECT_EQ(c.check_all(), "");
+}
+
+TEST(EngineUnit, LowLoadAcksGoOutImmediatelyAsTheirOwnFrames) {
+  SimCluster c(base(5, 1));
+  c.broadcast(3, test_payload(3, 1, 500));  // a single quiet message
+  c.sim().run();
+  std::uint64_t ack_only = 0;
+  for (NodeId n = 0; n < 5; ++n) ack_only += c.node(n).engine().stats().ack_only_frames;
+  EXPECT_GT(ack_only, 0u) << "with an idle ring, acks must not wait for payloads";
+  EXPECT_EQ(c.log(0).size(), 1u);
+}
+
+TEST(EngineUnit, NoPiggybackModeNeverAttaches) {
+  ClusterConfig cfg = base(4, 1);
+  cfg.group.engine.piggyback_acks = false;
+  SimCluster c(cfg);
+  for (NodeId s = 0; s < 4; ++s) {
+    for (int i = 0; i < 8; ++i) {
+      c.broadcast(s, test_payload(s, static_cast<std::uint64_t>(i + 1), 4096));
+    }
+  }
+  c.sim().run();
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(c.node(n).engine().stats().acks_piggybacked, 0u) << "node " << n;
+  }
+  EXPECT_EQ(c.check_all(), "");
+}
+
+TEST(EngineUnit, RetainedRecordsArePrunedByGcWatermark) {
+  // A long run must not accumulate unbounded recovery state: the circulating
+  // GC watermark prunes records once everyone delivered them.
+  ClusterConfig cfg = base(4, 1);
+  cfg.group.engine.segment_size = 4096;
+  cfg.group.engine.gc_interval = 16;
+  cfg.group.engine.window = 8;
+  SimCluster c(cfg);
+  for (int i = 0; i < 300; ++i) {
+    c.broadcast(1, test_payload(1, static_cast<std::uint64_t>(i + 1), 4096));
+  }
+  c.sim().run();
+  for (NodeId n = 0; n < 4; ++n) {
+    // Everything delivered; retention must be bounded by roughly the GC
+    // interval plus in-flight window, nowhere near the 300 sent.
+    EXPECT_LT(c.node(n).engine().stored_records(), 100u) << "node " << n;
+  }
+  EXPECT_EQ(c.log(2).size(), 300u);
+}
+
+TEST(EngineUnit, PendingOwnTracksUndeliveredAppMessages) {
+  SimCluster c(base(3, 1));
+  EXPECT_EQ(c.node(1).engine().pending_own(), 0u);
+  c.broadcast(1, test_payload(1, 1, 100));
+  c.broadcast(1, test_payload(1, 2, 100));
+  EXPECT_EQ(c.node(1).engine().pending_own(), 2u);
+  c.sim().run();
+  EXPECT_EQ(c.node(1).engine().pending_own(), 0u);
+}
+
+TEST(EngineUnit, FrozenEngineQueuesBroadcastsUntilViewInstall) {
+  SimCluster c(base(4, 1));
+  c.node(2).engine().freeze();
+  c.broadcast(2, test_payload(2, 1, 512));
+  c.sim().run();
+  // Frozen: nothing may have been delivered anywhere.
+  for (NodeId n = 0; n < 4; ++n) EXPECT_TRUE(c.log(n).empty());
+  // A crash elsewhere triggers the flush; install unfreezes and the queued
+  // broadcast goes out in the new view.
+  c.crash(3);
+  c.sim().run();
+  for (NodeId n = 0; n < 3; ++n) {
+    ASSERT_EQ(c.log(n).size(), 1u) << "node " << n;
+    EXPECT_EQ(c.log(n)[0].origin, 2u);
+  }
+}
+
+TEST(EngineUnit, StatsCountersAreConsistent) {
+  ClusterConfig cfg = base(4, 1);
+  cfg.group.engine.segment_size = 1024;
+  SimCluster c(cfg);
+  c.broadcast(1, test_payload(1, 1, 10 * 1024));  // 10 segments
+  c.sim().run();
+  const auto& st = c.node(1).engine().stats();
+  EXPECT_EQ(st.segments_sent, 10u);
+  EXPECT_EQ(st.segments_delivered, 10u);
+  EXPECT_EQ(st.app_delivered, 1u);
+  EXPECT_EQ(st.bytes_delivered, 10u * 1024u);
+  EXPECT_EQ(st.duplicates_dropped, 0u);
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(c.node(n).engine().delivered_watermark(), 10u) << "node " << n;
+  }
+}
+
+TEST(EngineUnit, ViewIdIsStampedOnDeliveries) {
+  SimCluster c(base(4, 1));
+  c.broadcast(1, test_payload(1, 1, 128));
+  c.sim().run();
+  EXPECT_EQ(c.log(0)[0].view, 1u);
+  c.crash(3);
+  c.sim().run();
+  c.broadcast(1, test_payload(1, 2, 128));
+  c.sim().run();
+  EXPECT_EQ(c.log(0)[1].view, 2u);
+}
+
+TEST(EngineUnit, BackupSenderPendingAckPath) {
+  // Origin at a backup position exercises the pending-ack conversion at
+  // p_t (paper §4.1 case 2); verify per-role delivery counts stay exact.
+  for (std::uint32_t t : {1u, 2u, 3u}) {
+    SimCluster c(base(6, t));
+    for (std::uint32_t b = 1; b <= t; ++b) {
+      c.broadcast(b, test_payload(b, 1, 2000));
+    }
+    c.sim().run();
+    for (NodeId n = 0; n < 6; ++n) {
+      EXPECT_EQ(c.log(n).size(), static_cast<std::size_t>(t)) << "t=" << t << " node " << n;
+    }
+    EXPECT_EQ(c.check_all(), "") << "t=" << t;
+  }
+}
+
+TEST(EngineUnit, ManySmallMessagesInterleavedWithHugeOne) {
+  ClusterConfig cfg = base(4, 1);
+  cfg.group.engine.segment_size = 1024;
+  cfg.group.engine.window = 16;
+  SimCluster c(cfg);
+  c.broadcast(1, test_payload(1, 1, 500 * 1024));  // 500 segments
+  for (int i = 0; i < 50; ++i) {
+    c.broadcast(2, test_payload(2, static_cast<std::uint64_t>(i + 1), 64));
+  }
+  c.sim().run();
+  for (NodeId n = 0; n < 4; ++n) {
+    ASSERT_EQ(c.log(n).size(), 51u) << "node " << n;
+  }
+  EXPECT_EQ(c.check_all(), "");
+}
+
+}  // namespace
+}  // namespace fsr
+
+namespace fsr {
+namespace {
+
+TEST(EngineUnit, CorruptedFlushBlobDoesNotCrashInstall) {
+  // Feed install_view a mix of valid and garbage blobs directly: the engine
+  // must survive and still install the view using the valid state.
+  SimWorld world(NetConfig{}, 2);
+  std::vector<Delivery> delivered;
+  Engine a(world.transport(0), EngineConfig{}, View{1, {0, 1}},
+           [&](const Delivery& d) { delivered.push_back(d); });
+  Bytes good = a.collect_flush_state();
+  std::vector<Bytes> states;
+  states.push_back(good);
+  states.push_back(Bytes{0xff, 0x03, 0x99});           // garbage
+  states.push_back(Bytes(5, 0x80));                    // unterminated varint
+  a.install_view(View{2, {0, 1}}, states);
+  EXPECT_EQ(a.view().id, 2u);
+  EXPECT_FALSE(a.frozen());
+}
+
+}  // namespace
+}  // namespace fsr

@@ -1,0 +1,150 @@
+// Ring heartbeat failure detection: each member feeds its successor and
+// suspects a silent predecessor. This catches "hang" failures that produce
+// no connection reset and that the simulator's injected perfect FD would
+// otherwise have to announce. Heartbeat clusters re-arm timers forever, so
+// tests drive the simulator with run_until().
+#include <gtest/gtest.h>
+
+#include "harness/sim_cluster.h"
+
+namespace fsr {
+namespace {
+
+ClusterConfig hb_cluster(std::size_t n) {
+  ClusterConfig cfg;
+  cfg.n = n;
+  cfg.group.engine.t = 1;
+  cfg.group.heartbeat_interval = 5 * kMillisecond;
+  cfg.group.heartbeat_timeout = 25 * kMillisecond;
+  return cfg;
+}
+
+TEST(Heartbeat, SilentCrashIsDetectedAndViewShrinks) {
+  SimCluster c(hb_cluster(4));
+  c.broadcast(1, test_payload(1, 1, 500));
+  c.sim().run_until(100 * kMillisecond);
+  ASSERT_EQ(c.log(0).size(), 1u);
+
+  c.crash_silent(2);  // hang: no FD notification, no resets
+  c.sim().run_until(400 * kMillisecond);
+
+  for (NodeId n : {NodeId{0}, NodeId{1}, NodeId{3}}) {
+    EXPECT_EQ(c.node(n).view().size(), 3u) << "node " << n;
+    EXPECT_FALSE(c.node(n).view().contains(2)) << "node " << n;
+    EXPECT_FALSE(c.node(n).flushing()) << "node " << n;
+  }
+  // The survivors still work.
+  c.broadcast(1, test_payload(1, 2, 500));
+  c.sim().run_until(600 * kMillisecond);
+  for (NodeId n : {NodeId{0}, NodeId{1}, NodeId{3}}) {
+    EXPECT_EQ(c.log(n).size(), 2u) << "node " << n;
+  }
+  EXPECT_EQ(c.check_total_order(), "");
+  EXPECT_EQ(c.check_integrity(), "");
+}
+
+TEST(Heartbeat, SilentLeaderCrashFailsOver) {
+  SimCluster c(hb_cluster(4));
+  c.sim().run_until(50 * kMillisecond);
+  c.crash_silent(0);
+  c.sim().run_until(500 * kMillisecond);
+  for (NodeId n = 1; n < 4; ++n) {
+    EXPECT_EQ(c.node(n).view().leader(), 1u) << "node " << n;
+  }
+  c.broadcast(2, test_payload(2, 1, 500));
+  c.sim().run_until(700 * kMillisecond);
+  for (NodeId n = 1; n < 4; ++n) EXPECT_EQ(c.log(n).size(), 1u) << "node " << n;
+}
+
+TEST(Heartbeat, QuietButHealthyRingStaysIntact) {
+  // No traffic at all for a long stretch: heartbeats alone must prevent
+  // false suspicion (no view change may happen).
+  SimCluster c(hb_cluster(5));
+  c.sim().run_until(kSecond);
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_EQ(c.node(n).view().id, 1u) << "node " << n;
+    EXPECT_EQ(c.node(n).view().size(), 5u) << "node " << n;
+  }
+}
+
+TEST(Heartbeat, BusyTrafficCountsAsLife) {
+  // A constant payload stream (without explicit heartbeats getting through
+  // timely) must also keep the predecessor monitor fed.
+  ClusterConfig cfg = hb_cluster(4);
+  cfg.group.heartbeat_timeout = 30 * kMillisecond;
+  SimCluster c(cfg);
+  for (int i = 0; i < 200; ++i) {
+    c.broadcast(1, test_payload(1, static_cast<std::uint64_t>(i + 1), 20 * 1024));
+  }
+  c.sim().run_until(2 * kSecond);
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(c.node(n).view().id, 1u) << "false suspicion at node " << n;
+    EXPECT_EQ(c.log(n).size(), 200u) << "node " << n;
+  }
+}
+
+TEST(Heartbeat, TwoSilentCrashesSequentially) {
+  SimCluster c(hb_cluster(5));
+  c.sim().run_until(50 * kMillisecond);
+  c.crash_silent(3);
+  c.sim().run_until(500 * kMillisecond);
+  c.crash_silent(1);
+  c.sim().run_until(kSecond);
+  for (NodeId n : {NodeId{0}, NodeId{2}, NodeId{4}}) {
+    EXPECT_EQ(c.node(n).view().size(), 3u) << "node " << n;
+  }
+  c.broadcast(4, test_payload(4, 1, 300));
+  c.sim().run_until(1200 * kMillisecond);
+  for (NodeId n : {NodeId{0}, NodeId{2}, NodeId{4}}) {
+    EXPECT_EQ(c.log(n).size(), 1u) << "node " << n;
+  }
+}
+
+}  // namespace
+}  // namespace fsr
+
+namespace fsr {
+namespace {
+
+TEST(Rotation, PeriodicRotationVisitsEveryLeader) {
+  ClusterConfig cfg;
+  cfg.n = 4;
+  cfg.group.engine.t = 1;
+  cfg.group.rotation_interval = 50 * kMillisecond;
+  SimCluster c(cfg);
+  std::set<NodeId> leaders_seen;
+  for (int tick = 1; tick <= 12; ++tick) {
+    c.sim().run_until(static_cast<Time>(tick) * 55 * kMillisecond);
+    leaders_seen.insert(c.node(0).view().leader());
+    // Traffic keeps flowing across rotations.
+    c.broadcast(2, test_payload(2, static_cast<std::uint64_t>(tick), 400));
+  }
+  c.sim().run_until(2 * kSecond);
+  EXPECT_EQ(leaders_seen.size(), 4u) << "every member should lead in turn";
+  EXPECT_EQ(c.check_total_order(), "");
+  EXPECT_EQ(c.check_integrity(), "");
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(c.log(n).size(), 12u) << "node " << n;
+  }
+}
+
+TEST(Rotation, RotationPausesDuringMembershipChange) {
+  ClusterConfig cfg;
+  cfg.n = 4;
+  cfg.group.engine.t = 1;
+  cfg.group.rotation_interval = 30 * kMillisecond;
+  SimCluster c(cfg);
+  c.sim().schedule(40 * kMillisecond, [&] { c.crash(3); });
+  c.sim().run_until(kSecond);
+  // The group survived both rotations and the crash.
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(c.node(n).view().size(), 3u) << "node " << n;
+    EXPECT_FALSE(c.node(n).flushing()) << "node " << n;
+  }
+  c.broadcast(1, test_payload(1, 1, 400));
+  c.sim().run_until(1200 * kMillisecond);
+  for (NodeId n = 0; n < 3; ++n) EXPECT_EQ(c.log(n).size(), 1u);
+}
+
+}  // namespace
+}  // namespace fsr

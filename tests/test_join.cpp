@@ -1,0 +1,136 @@
+// Group joins: a node outside the initial view is admitted through the
+// flush protocol, starts delivering from the join point, and participates
+// as a full ring member (including as a future leader).
+#include <gtest/gtest.h>
+
+#include "harness/sim_cluster.h"
+
+namespace fsr {
+namespace {
+
+ClusterConfig join_cluster(std::size_t n, std::size_t initial, std::uint32_t t) {
+  ClusterConfig cfg;
+  cfg.n = n;
+  cfg.initial_members = initial;
+  cfg.group.engine.t = t;
+  cfg.group.engine.segment_size = 1024;
+  return cfg;
+}
+
+TEST(Join, NodeJoinsAndDeliversFromJoinPoint) {
+  SimCluster c(join_cluster(4, 3, 1));
+  for (int i = 0; i < 5; ++i) c.broadcast(1, test_payload(1, static_cast<std::uint64_t>(i + 1), 800));
+  c.sim().run();
+  EXPECT_FALSE(c.node(3).in_group());
+
+  c.node(3).request_join(0);
+  c.sim().run();
+  EXPECT_TRUE(c.node(3).in_group());
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(c.node(n).view().size(), 4u) << "node " << n;
+    EXPECT_TRUE(c.node(n).view().contains(3));
+  }
+
+  // Joiner missed the pre-join messages but sees everything afterwards.
+  EXPECT_TRUE(c.log(3).empty());
+  for (int i = 0; i < 5; ++i) c.broadcast(2, test_payload(2, static_cast<std::uint64_t>(i + 1), 800));
+  c.sim().run();
+  EXPECT_EQ(c.log(3).size(), 5u);
+  EXPECT_EQ(c.check_total_order(), "");
+  EXPECT_EQ(c.check_integrity(), "");
+}
+
+TEST(Join, JoinerIsAppendedAtRingTail) {
+  SimCluster c(join_cluster(4, 3, 1));
+  c.node(3).request_join(1);  // contact a non-coordinator: must be forwarded
+  c.sim().run();
+  EXPECT_EQ(c.node(0).view().members, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(Join, JoinerCanBroadcastImmediatelyAfterJoin) {
+  SimCluster c(join_cluster(4, 3, 1));
+  c.node(3).request_join(0);
+  c.sim().run();
+  for (int i = 0; i < 5; ++i) c.broadcast(3, test_payload(3, static_cast<std::uint64_t>(i + 1), 500));
+  c.sim().run();
+  for (NodeId n = 0; n < 4; ++n) EXPECT_EQ(c.log(n).size(), 5u) << "node " << n;
+  EXPECT_EQ(c.check_all(), "");
+}
+
+TEST(Join, JoinDuringTraffic) {
+  SimCluster c(join_cluster(5, 4, 1));
+  for (int i = 0; i < 20; ++i) c.broadcast(2, test_payload(2, static_cast<std::uint64_t>(i + 1), 2000));
+  c.sim().schedule(10 * kMillisecond, [&] { c.node(4).request_join(0); });
+  c.sim().run();
+  EXPECT_TRUE(c.node(4).in_group());
+  // All existing members deliver everything; the joiner delivers a suffix.
+  for (NodeId n = 0; n < 4; ++n) EXPECT_EQ(c.log(n).size(), 20u) << "node " << n;
+  EXPECT_EQ(c.check_total_order(), "");
+  EXPECT_EQ(c.check_integrity(), "");
+  // The joiner's log is a contiguous suffix of node 0's log.
+  const auto& full = c.log(0);
+  const auto& joined = c.log(4);
+  ASSERT_LE(joined.size(), full.size());
+  std::size_t offset = full.size() - joined.size();
+  for (std::size_t i = 0; i < joined.size(); ++i) {
+    EXPECT_EQ(joined[i].origin, full[offset + i].origin);
+    EXPECT_EQ(joined[i].app_msg, full[offset + i].app_msg);
+  }
+}
+
+TEST(Join, TwoSequentialJoins) {
+  SimCluster c(join_cluster(5, 3, 1));
+  c.node(3).request_join(0);
+  c.sim().run();
+  c.node(4).request_join(3);  // contact the previous joiner
+  c.sim().run();
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_EQ(c.node(n).view().size(), 5u) << "node " << n;
+  }
+  for (int i = 0; i < 4; ++i) c.broadcast(4, test_payload(4, static_cast<std::uint64_t>(i + 1), 400));
+  c.sim().run();
+  for (NodeId n = 0; n < 5; ++n) EXPECT_EQ(c.log(n).size(), 4u);
+  EXPECT_EQ(c.check_all(), "");
+}
+
+TEST(Join, JoinerBecomesLeaderAfterCrashes) {
+  SimCluster c(join_cluster(4, 3, 2));
+  c.node(3).request_join(0);
+  c.sim().run();
+  // Kill the three original members one by one.
+  c.crash(0);
+  c.sim().run();
+  c.crash(1);
+  c.sim().run();
+  c.crash(2);
+  c.sim().run();
+  EXPECT_EQ(c.node(3).view().leader(), 3u);
+  EXPECT_EQ(c.node(3).view().size(), 1u);
+  // A singleton group still delivers.
+  c.broadcast(3, test_payload(3, 1, 100));
+  c.sim().run();
+  EXPECT_EQ(c.log(3).size(), 1u);
+}
+
+TEST(Join, GroupGrowsFromOneToFour) {
+  SimCluster c(join_cluster(4, 1, 1));
+  c.broadcast(0, test_payload(0, 1, 100));
+  c.sim().run();
+  for (NodeId j = 1; j < 4; ++j) {
+    c.node(j).request_join(0);
+    c.sim().run();
+  }
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(c.node(n).view().size(), 4u);
+  }
+  for (NodeId s = 0; s < 4; ++s) {
+    c.broadcast(s, test_payload(s, s == 0 ? 2 : 1, 300));
+  }
+  c.sim().run();
+  EXPECT_EQ(c.check_total_order(), "");
+  EXPECT_EQ(c.check_integrity(), "");
+  EXPECT_EQ(c.log(3).size(), 4u);
+}
+
+}  // namespace
+}  // namespace fsr

@@ -1,0 +1,248 @@
+// Exhaustive verification of the pure FSR routing rules (paper §4.1) by
+// simulating every broadcast hop-by-hop over all (n, t, origin) and checking
+// the delivery/stability conditions the protocol's uniformity rests on.
+#include "ring/rules.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace fsr::ring {
+namespace {
+
+TEST(RingRules, SuccPredWrap) {
+  Topology topo{5, 1};
+  EXPECT_EQ(topo.succ(0), 1u);
+  EXPECT_EQ(topo.succ(4), 0u);
+  EXPECT_EQ(topo.pred(0), 4u);
+  EXPECT_EQ(topo.pred(3), 2u);
+}
+
+TEST(RingRules, Roles) {
+  Topology topo{6, 2};
+  EXPECT_TRUE(topo.is_leader(0));
+  EXPECT_TRUE(topo.is_backup(1));
+  EXPECT_TRUE(topo.is_backup(2));
+  EXPECT_FALSE(topo.is_backup(3));
+  EXPECT_TRUE(topo.is_standard(3));
+  EXPECT_FALSE(topo.is_standard(0));
+}
+
+TEST(RingRules, EffectiveTClampsToRingSize) {
+  EXPECT_EQ(effective_t(3, 10), 3u);
+  EXPECT_EQ(effective_t(3, 3), 2u);
+  EXPECT_EQ(effective_t(3, 1), 0u);
+  EXPECT_EQ(effective_t(0, 5), 0u);
+}
+
+TEST(RingRules, SeqStopIsPredecessorOfOrigin) {
+  Topology topo{7, 2};
+  EXPECT_EQ(topo.seq_stop(4), 3u);
+  EXPECT_EQ(topo.seq_stop(1), 0u);  // empty pass
+  EXPECT_EQ(topo.seq_stop(0), 6u);  // leader origin: full pass
+}
+
+TEST(RingRules, SeqPassCoverage) {
+  Topology topo{6, 1};
+  // origin 4: pass covers 1..3
+  EXPECT_FALSE(topo.seq_pass_covers(4, 0));
+  EXPECT_TRUE(topo.seq_pass_covers(4, 1));
+  EXPECT_TRUE(topo.seq_pass_covers(4, 3));
+  EXPECT_FALSE(topo.seq_pass_covers(4, 4));
+  EXPECT_FALSE(topo.seq_pass_covers(4, 5));
+  // origin 0 (leader): covers everyone but the leader
+  for (Position j = 1; j < 6; ++j) EXPECT_TRUE(topo.seq_pass_covers(0, j));
+  EXPECT_FALSE(topo.seq_pass_covers(0, 0));
+  // origin 1: empty pass
+  for (Position j = 0; j < 6; ++j) EXPECT_FALSE(topo.seq_pass_covers(1, j));
+}
+
+TEST(RingRules, AckKindByOriginRole) {
+  Topology topo{8, 3};
+  // Standard origins: stop is a standard/backup >= t position -> stable ack.
+  EXPECT_EQ(topo.ack_at_seq_stop(5), AckKind::kStable);
+  EXPECT_EQ(topo.ack_at_seq_stop(4), AckKind::kStable);  // stop=3=t
+  // Backup origins (1..3): stop < t -> pending ack.
+  EXPECT_EQ(topo.ack_at_seq_stop(1), AckKind::kPending);
+  EXPECT_EQ(topo.ack_at_seq_stop(3), AckKind::kPending);
+  // Leader origin: stop = 7 >= t, stable.
+  EXPECT_EQ(topo.ack_at_seq_stop(0), AckKind::kStable);
+}
+
+TEST(RingRules, NoAckNeededOnlyForLeaderOriginWithoutBackups) {
+  Topology topo{5, 0};
+  EXPECT_EQ(topo.ack_at_seq_stop(0), AckKind::kNone);
+  EXPECT_EQ(topo.ack_at_seq_stop(1), AckKind::kStable);
+  EXPECT_EQ(topo.ack_at_seq_stop(4), AckKind::kStable);
+}
+
+TEST(RingRules, AnalyticLatencyFormula) {
+  Topology topo{10, 2};
+  // L(i) = 2n + t - i - 1 (paper §4.3.1)
+  EXPECT_EQ(topo.analytic_latency(3), 2 * 10 + 2 - 3 - 1u);
+  EXPECT_EQ(topo.analytic_latency(9), 2 * 10 + 2 - 9 - 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Hop-by-hop walkthrough: simulate the three passes abstractly for every
+// (n, t, origin) and verify the protocol-level guarantees:
+//   1. the payload crosses each link exactly once (DATA + SEQ passes),
+//   2. nobody delivers before the pair is stored at p_0..p_t (uniformity),
+//   3. everybody delivers exactly once,
+//   4. for standard origins the last delivery happens at round L(i).
+// ---------------------------------------------------------------------------
+
+struct WalkResult {
+  std::vector<int> deliver_round;       // per position, -1 if never
+  std::vector<int> stored_round;        // round the (m, seq) pair is stored
+  std::vector<int> payload_link_count;  // payload transmissions per link i->i+1
+  int rounds = 0;
+};
+
+WalkResult walk(std::uint32_t n, std::uint32_t t_raw, Position origin) {
+  std::uint32_t t = effective_t(t_raw, n);
+  Topology topo{n, t};
+  WalkResult r;
+  r.deliver_round.assign(n, -1);
+  r.stored_round.assign(n, -1);
+  r.payload_link_count.assign(n, 0);
+
+  int round = 0;
+  Position cur = origin;
+
+  auto deliver = [&](Position p, int at) {
+    EXPECT_EQ(r.deliver_round[p], -1) << "double delivery at position " << p;
+    r.deliver_round[p] = at;
+  };
+
+  // DATA pass: origin -> leader. The origin "stores" the payload at round 0
+  // (it knows its own message); intermediates store on receipt (no seq yet,
+  // so stored_round tracks the *pair*, set during SEQ/ACK passes).
+  while (cur != 0) {
+    r.payload_link_count[cur]++;  // link cur -> succ(cur)
+    cur = topo.succ(cur);
+    ++round;
+  }
+
+  // Sequencing at the leader.
+  r.stored_round[0] = round;
+  if (topo.leader_delivers_at_sequencing()) deliver(0, round);
+
+  // SEQ pass: leader -> seq_stop (carries payload + seq).
+  Position stop = topo.seq_stop(origin);
+  cur = 0;
+  while (cur != stop) {
+    r.payload_link_count[cur]++;
+    cur = topo.succ(cur);
+    ++round;
+    r.stored_round[cur] = round;
+    if (topo.deliver_on_seq(cur)) deliver(cur, round);
+  }
+
+  // ACK pass(es).
+  AckKind kind = topo.ack_at_seq_stop(origin);
+  if (kind == AckKind::kPending) {
+    while (cur != topo.pending_ack_stop()) {
+      cur = topo.succ(cur);
+      ++round;
+      if (r.stored_round[cur] == -1) r.stored_round[cur] = round;
+    }
+    // p_t converts to stable and delivers.
+    deliver(cur, round);
+    kind = AckKind::kStable;
+  }
+  if (kind == AckKind::kStable) {
+    while (cur != topo.stable_ack_stop()) {
+      cur = topo.succ(cur);
+      ++round;
+      if (r.stored_round[cur] == -1) r.stored_round[cur] = round;
+      if (r.deliver_round[cur] == -1) deliver(cur, round);
+    }
+  }
+  r.rounds = round;
+  return r;
+}
+
+class RingWalkTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  std::uint32_t n() const { return static_cast<std::uint32_t>(std::get<0>(GetParam())); }
+  std::uint32_t t() const {
+    return effective_t(static_cast<std::uint32_t>(std::get<1>(GetParam())), n());
+  }
+};
+
+TEST_P(RingWalkTest, AllOriginsDeliverEverywhereExactlyOnce) {
+  auto n = this->n();
+  auto t = this->t();
+  for (Position origin = 0; origin < n; ++origin) {
+    WalkResult r = walk(n, t, origin);
+    for (Position p = 0; p < n; ++p) {
+      EXPECT_NE(r.deliver_round[p], -1)
+          << "n=" << n << " t=" << t << " origin=" << origin << " position " << p
+          << " never delivers";
+    }
+  }
+}
+
+TEST_P(RingWalkTest, PayloadCrossesEachLinkExactlyOnce) {
+  // The high-throughput claim (§4.1): "the actual message to be TO-broadcast
+  // only goes around once".
+  auto n = this->n();
+  auto t = this->t();
+  for (Position origin = 0; origin < n; ++origin) {
+    WalkResult r = walk(n, t, origin);
+    int total = 0;
+    for (Position p = 0; p < n; ++p) {
+      EXPECT_LE(r.payload_link_count[p], 1)
+          << "payload crossed link " << p << " twice (origin " << origin << ")";
+      total += r.payload_link_count[p];
+    }
+    EXPECT_EQ(total, static_cast<int>(n) - 1)
+        << "payload should cross exactly n-1 links (origin " << origin << ")";
+  }
+}
+
+TEST_P(RingWalkTest, NoDeliveryBeforeStoredAtLeaderAndAllBackups) {
+  // Uniformity: when any process delivers, p_0..p_t already store the pair,
+  // so it survives any t crashes.
+  auto n = this->n();
+  auto t = this->t();
+  for (Position origin = 0; origin < n; ++origin) {
+    WalkResult r = walk(n, t, origin);
+    int first_delivery = r.rounds + 1;
+    for (Position p = 0; p < n; ++p) {
+      if (r.deliver_round[p] >= 0) first_delivery = std::min(first_delivery, r.deliver_round[p]);
+    }
+    for (Position b = 0; b <= t; ++b) {
+      ASSERT_NE(r.stored_round[b], -1);
+      EXPECT_LE(r.stored_round[b], first_delivery)
+          << "n=" << n << " t=" << t << " origin=" << origin << ": backup " << b
+          << " stores at " << r.stored_round[b] << " but first delivery is at "
+          << first_delivery;
+    }
+  }
+}
+
+TEST_P(RingWalkTest, StandardOriginLatencyMatchesFormula) {
+  auto n = this->n();
+  auto t = this->t();
+  for (Position origin = t + 1; origin < n; ++origin) {
+    WalkResult r = walk(n, t, origin);
+    int last = 0;
+    for (Position p = 0; p < n; ++p) last = std::max(last, r.deliver_round[p]);
+    EXPECT_EQ(last, static_cast<int>(Topology{n, t}.analytic_latency(origin)))
+        << "n=" << n << " t=" << t << " origin=" << origin;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, RingWalkTest,
+                         ::testing::Combine(::testing::Range(2, 13),
+                                            ::testing::Range(0, 6)),
+                         [](const auto& info) {
+                           return "n" + std::to_string(std::get<0>(info.param)) + "_t" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+}  // namespace
+}  // namespace fsr::ring

@@ -1,0 +1,154 @@
+// End-to-end tests over real TCP sockets on localhost: the identical
+// protocol stack (engine + VSC) running on TcpTransport instead of the
+// simulator. Wall-clock timeouts are generous to stay robust on loaded
+// machines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "harness/sim_cluster.h"
+#include "harness/tcp_cluster.h"
+
+namespace fsr {
+namespace {
+
+constexpr Time kWait = 15 * kSecond;
+
+GroupConfig small_group() {
+  GroupConfig g;
+  g.engine.t = 1;
+  g.engine.segment_size = 8192;
+  return g;
+}
+
+void expect_logs_prefix_consistent(TcpCluster& c, const std::set<NodeId>& nodes) {
+  std::vector<std::vector<TcpCluster::LogEntry>> logs;
+  for (NodeId n : nodes) logs.push_back(c.log(n));
+  for (std::size_t a = 0; a < logs.size(); ++a) {
+    for (std::size_t b = a + 1; b < logs.size(); ++b) {
+      std::size_t common = std::min(logs[a].size(), logs[b].size());
+      for (std::size_t i = 0; i < common; ++i) {
+        ASSERT_EQ(logs[a][i].origin, logs[b][i].origin) << "index " << i;
+        ASSERT_EQ(logs[a][i].app_msg, logs[b][i].app_msg) << "index " << i;
+        ASSERT_EQ(logs[a][i].payload_hash, logs[b][i].payload_hash) << "index " << i;
+      }
+    }
+  }
+}
+
+TEST(Tcp, SingleBroadcastReachesEveryNode) {
+  TcpCluster c(3, small_group());
+  c.broadcast(1, test_payload(1, 1, 2000));
+  ASSERT_TRUE(c.wait_deliveries(1, kWait));
+  for (NodeId n = 0; n < 3; ++n) {
+    auto log = c.log(n);
+    ASSERT_EQ(log.size(), 1u) << "node " << n;
+    EXPECT_EQ(log[0].origin, 1u);
+    EXPECT_EQ(log[0].bytes, 2000u);
+    EXPECT_EQ(log[0].payload_hash, hash_bytes(test_payload(1, 1, 2000)));
+  }
+}
+
+TEST(Tcp, ConcurrentSendersTotalOrder) {
+  TcpCluster c(4, small_group());
+  for (int i = 0; i < 10; ++i) {
+    for (NodeId s = 0; s < 4; ++s) {
+      c.broadcast(s, test_payload(s, static_cast<std::uint64_t>(i + 1), 500));
+    }
+  }
+  ASSERT_TRUE(c.wait_deliveries(40, kWait));
+  expect_logs_prefix_consistent(c, {0, 1, 2, 3});
+  for (NodeId n = 0; n < 4; ++n) EXPECT_EQ(c.log(n).size(), 40u);
+}
+
+TEST(Tcp, LargeMessageSegmentsAndReassembles) {
+  TcpCluster c(3, small_group());
+  Bytes big = test_payload(2, 1, 300 * 1024);  // ~38 segments of 8 KiB
+  c.broadcast(2, big);
+  ASSERT_TRUE(c.wait_deliveries(1, kWait));
+  for (NodeId n = 0; n < 3; ++n) {
+    auto log = c.log(n);
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log[0].bytes, big.size());
+    EXPECT_EQ(log[0].payload_hash, hash_bytes(big));
+  }
+}
+
+TEST(Tcp, CrashTriggersViewChangeAndGroupContinues) {
+  TcpCluster c(4, small_group());
+  c.broadcast(1, test_payload(1, 1, 1000));
+  ASSERT_TRUE(c.wait_deliveries(1, kWait));
+
+  c.crash(3);
+  ASSERT_TRUE(c.wait_view_size(3, kWait));
+
+  for (int i = 0; i < 5; ++i) {
+    c.broadcast(1, test_payload(1, static_cast<std::uint64_t>(i + 2), 1000));
+  }
+  ASSERT_TRUE(c.wait_deliveries(6, kWait));
+  expect_logs_prefix_consistent(c, {0, 1, 2});
+}
+
+TEST(Tcp, LeaderCrashFailsOver) {
+  TcpCluster c(4, small_group());
+  c.broadcast(2, test_payload(2, 1, 1000));
+  ASSERT_TRUE(c.wait_deliveries(1, kWait));
+
+  c.crash(0);  // the sequencer
+  ASSERT_TRUE(c.wait_view_size(3, kWait));
+  c.with_member(1, [](GroupMember& m) {
+    EXPECT_EQ(m.view().leader(), 1u);
+    EXPECT_TRUE(m.engine().is_leader());
+  });
+
+  for (int i = 0; i < 5; ++i) {
+    c.broadcast(2, test_payload(2, static_cast<std::uint64_t>(i + 2), 1000));
+  }
+  ASSERT_TRUE(c.wait_deliveries(6, kWait));
+  expect_logs_prefix_consistent(c, {1, 2, 3});
+}
+
+TEST(Tcp, CrashDuringTrafficLosesNoLiveSenderMessages) {
+  TcpCluster c(4, small_group());
+  for (int i = 0; i < 30; ++i) {
+    c.broadcast(1, test_payload(1, static_cast<std::uint64_t>(i + 1), 4000));
+  }
+  c.crash(2);
+  ASSERT_TRUE(c.wait_view_size(3, kWait));
+  ASSERT_TRUE(c.wait_deliveries(30, kWait));
+  expect_logs_prefix_consistent(c, {0, 1, 3});
+  for (NodeId n : {NodeId{0}, NodeId{1}, NodeId{3}}) {
+    auto log = c.log(n);
+    std::size_t from1 = 0;
+    for (const auto& e : log) {
+      if (e.origin == 1) ++from1;
+    }
+    EXPECT_EQ(from1, 30u) << "node " << n;
+  }
+}
+
+TEST(Tcp, GracefulLeaveShrinksView) {
+  TcpCluster c(4, small_group());
+  c.broadcast(0, test_payload(0, 1, 100));
+  ASSERT_TRUE(c.wait_deliveries(1, kWait));
+  c.with_member(2, [](GroupMember& m) { m.request_leave(); });
+  ASSERT_TRUE(c.wait_view_size(3, kWait));
+  c.with_member(0, [](GroupMember& m) {
+    EXPECT_FALSE(m.view().contains(2));
+  });
+  c.broadcast(1, test_payload(1, 1, 100));
+  // Node 2 left, so only 0, 1, 3 must see the second message.
+  bool ok = false;
+  for (int spin = 0; spin < 1000 && !ok; ++spin) {
+    ok = c.log(0).size() >= 2 && c.log(1).size() >= 2 && c.log(3).size() >= 2;
+    if (!ok) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(c.log(2).size(), 1u);  // the leaver's log stopped
+  expect_logs_prefix_consistent(c, {0, 1, 3});
+}
+
+}  // namespace
+}  // namespace fsr

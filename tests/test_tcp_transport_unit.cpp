@@ -1,0 +1,185 @@
+// Unit-level tests of TcpTransport itself (below the protocol): framing
+// across a real socket, timers, post/post_wait threading, watermark-based
+// pacing, and peer-down reporting on connection loss.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "proto/codec.h"
+#include "transport/tcp_transport.h"
+
+namespace fsr {
+namespace {
+
+struct Pair {
+  Pair() {
+    TcpConfig a, b;
+    a.self = 0;
+    b.self = 1;
+    a.peers = b.peers = {TcpPeer{0, "127.0.0.1", 0}, TcpPeer{1, "127.0.0.1", 0}};
+    t0 = std::make_unique<TcpTransport>(a);
+    t1 = std::make_unique<TcpTransport>(b);
+    t0->bind();
+    t1->bind();
+    t0->set_peer_port(1, t1->bound_port());
+    t1->set_peer_port(0, t0->bound_port());
+  }
+  std::unique_ptr<TcpTransport> t0, t1;
+};
+
+bool wait_for(const std::function<bool()>& cond, int ms = 10000) {
+  for (int i = 0; i < ms / 5; ++i) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return cond();
+}
+
+TEST(TcpTransportUnit, FramesSurviveTheSocketIntact) {
+  Pair p;
+  std::atomic<int> received{0};
+  Bytes big(200 * 1024);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<std::uint8_t>(i * 31);
+  std::atomic<bool> payload_ok{true};
+
+  TransportHandlers h1;
+  h1.on_frame = [&](const Frame& f) {
+    for (const auto& m : f.msgs) {
+      if (const auto* d = std::get_if<DataMsg>(&m)) {
+        if (!d->payload || *d->payload != big) payload_ok = false;
+        ++received;
+      }
+    }
+  };
+  p.t1->set_handlers(std::move(h1));
+  p.t0->start();
+  p.t1->start();
+
+  for (int i = 0; i < 5; ++i) {
+    p.t0->post([&, i] {
+      DataMsg m;
+      m.id = MsgId{0, static_cast<LocalSeq>(i + 1)};
+      m.payload = make_payload(big);
+      Frame f;
+      f.to = 1;
+      f.msgs.push_back(std::move(m));
+      p.t0->send(std::move(f));
+    });
+  }
+  EXPECT_TRUE(wait_for([&] { return received.load() == 5; }));
+  EXPECT_TRUE(payload_ok.load());
+}
+
+TEST(TcpTransportUnit, ManySmallFramesKeepOrderPerSender) {
+  Pair p;
+  std::vector<LocalSeq> got;
+  std::mutex m;
+  TransportHandlers h1;
+  h1.on_frame = [&](const Frame& f) {
+    std::lock_guard lock(m);
+    for (const auto& msg : f.msgs) {
+      if (const auto* d = std::get_if<DataMsg>(&msg)) got.push_back(d->id.lsn);
+    }
+  };
+  p.t1->set_handlers(std::move(h1));
+  p.t0->start();
+  p.t1->start();
+  p.t0->post([&] {
+    for (int i = 0; i < 500; ++i) {
+      DataMsg d;
+      d.id = MsgId{0, static_cast<LocalSeq>(i + 1)};
+      Frame f;
+      f.to = 1;
+      f.msgs.push_back(std::move(d));
+      p.t0->send(std::move(f));
+    }
+  });
+  EXPECT_TRUE(wait_for([&] {
+    std::lock_guard lock(m);
+    return got.size() == 500;
+  }));
+  std::lock_guard lock(m);
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], i + 1);
+}
+
+TEST(TcpTransportUnit, TimersFireAndCancelOnIoThread) {
+  Pair p;
+  p.t0->start();
+  std::atomic<int> fired{0};
+  p.t0->post([&] {
+    p.t0->set_timer(10 * kMillisecond, [&] { ++fired; });
+    TimerId cancelled = p.t0->set_timer(10 * kMillisecond, [&] { fired += 100; });
+    p.t0->cancel_timer(cancelled);
+  });
+  EXPECT_TRUE(wait_for([&] { return fired.load() > 0; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(TcpTransportUnit, PostWaitRunsOnIoThreadAndBlocks) {
+  Pair p;
+  p.t0->start();
+  std::thread::id io_id{};
+  p.t0->post_wait([&] { io_id = std::this_thread::get_id(); });
+  EXPECT_NE(io_id, std::this_thread::get_id());
+  EXPECT_NE(io_id, std::thread::id{});
+}
+
+TEST(TcpTransportUnit, PeerDownReportedOnConnectionLoss) {
+  Pair p;
+  std::atomic<bool> down{false};
+  TransportHandlers h0;
+  h0.on_peer_down = [&](NodeId peer) {
+    if (peer == 1) down = true;
+  };
+  h0.on_frame = [](const Frame&) {};
+  p.t0->set_handlers(std::move(h0));
+  TransportHandlers h1;
+  h1.on_frame = [](const Frame&) {};
+  p.t1->set_handlers(std::move(h1));
+  p.t0->start();
+  p.t1->start();
+  // Establish a connection 0 -> 1 first.
+  p.t0->post([&] {
+    Frame f;
+    f.to = 1;
+    f.msgs.push_back(Heartbeat{1});
+    p.t0->send(std::move(f));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  p.t1->stop();  // crash-stop: sockets reset
+  EXPECT_TRUE(wait_for([&] { return down.load(); }));
+}
+
+TEST(TcpTransportUnit, TxIdleReflectsWatermark) {
+  // t1's I/O thread is deliberately NOT started: its listener's kernel
+  // buffers fill and stop draining, so t0's outbox necessarily accumulates
+  // past the watermark (starting a reader would race the writer and make
+  // the assertion timing-dependent).
+  Pair p;
+  p.t0->start();
+  bool was_idle = false;
+  p.t0->post_wait([&] { was_idle = p.t0->tx_idle(); });
+  EXPECT_TRUE(was_idle);
+  // Queue far past the watermark (and past any kernel socket buffer) in one
+  // posted batch, observe not-idle.
+  bool idle_after_burst = true;
+  p.t0->post_wait([&] {
+    for (int i = 0; i < 64; ++i) {
+      DataMsg m;
+      m.id = MsgId{0, static_cast<LocalSeq>(i + 1)};
+      m.payload = make_payload(Bytes(256 * 1024, 0x7e));
+      Frame f;
+      f.to = 1;
+      f.msgs.push_back(std::move(m));
+      p.t0->send(std::move(f));
+    }
+    idle_after_burst = p.t0->tx_idle();
+  });
+  EXPECT_FALSE(idle_after_burst);
+}
+
+}  // namespace
+}  // namespace fsr

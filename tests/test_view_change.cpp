@@ -1,0 +1,320 @@
+// Fault tolerance: crashes of standard / backup / leader processes mid-
+// stream, multiple crashes, crash during flush, join, leave, and leader
+// rotation. The key property is *uniform* agreement: whatever any process
+// (even one that subsequently crashed) delivered, every surviving process
+// delivers, in the same order.
+#include <gtest/gtest.h>
+
+#include "harness/sim_cluster.h"
+
+namespace fsr {
+namespace {
+
+ClusterConfig crash_cluster(std::size_t n, std::uint32_t t) {
+  ClusterConfig cfg;
+  cfg.n = n;
+  cfg.group.engine.t = t;
+  cfg.group.engine.segment_size = 1024;
+  return cfg;
+}
+
+void burst(SimCluster& c, NodeId sender, int count, std::size_t size,
+           std::uint64_t first_app = 1) {
+  for (int i = 0; i < count; ++i) {
+    c.broadcast(sender, test_payload(sender, first_app + static_cast<std::uint64_t>(i), size));
+  }
+}
+
+// All live nodes share one view and the same delivered count.
+void expect_converged(SimCluster& c, std::size_t expected_min_deliveries) {
+  ViewId vid = 0;
+  for (NodeId n = 0; n < c.size(); ++n) {
+    if (!c.alive(n)) continue;
+    const View& v = c.node(n).view();
+    if (vid == 0) vid = v.id;
+    EXPECT_EQ(v.id, vid) << "node " << n << " in a different view";
+    EXPECT_FALSE(c.node(n).flushing()) << "node " << n << " still frozen";
+    EXPECT_GE(c.log(n).size(), expected_min_deliveries) << "node " << n;
+  }
+}
+
+TEST(ViewChange, StandardProcessCrashMidBurst) {
+  SimCluster c(crash_cluster(5, 1));
+  for (NodeId s = 0; s < 5; ++s) burst(c, s, 10, 2000);
+  // Crash standard node 3 (ring position 3) mid-stream.
+  c.sim().schedule(20 * kMillisecond, [&] { c.crash(3); });
+  c.sim().run();
+  EXPECT_EQ(c.check_all(), "");
+  // Messages from live senders must all be delivered by survivors.
+  for (NodeId n = 0; n < 5; ++n) {
+    if (!c.alive(n)) continue;
+    std::size_t from_live = 0;
+    for (const auto& e : c.log(n)) {
+      if (e.origin != 3) ++from_live;
+    }
+    EXPECT_EQ(from_live, 40u) << "node " << n << " lost a live sender's message";
+  }
+  expect_converged(c, 40);
+}
+
+TEST(ViewChange, BackupCrashMidBurst) {
+  SimCluster c(crash_cluster(5, 2));
+  for (NodeId s = 0; s < 5; ++s) burst(c, s, 10, 2000);
+  c.sim().schedule(15 * kMillisecond, [&] { c.crash(1); });  // backup position 1
+  c.sim().run();
+  EXPECT_EQ(c.check_all(), "");
+  for (NodeId n = 0; n < 5; ++n) {
+    if (!c.alive(n)) continue;
+    std::size_t from_live = 0;
+    for (const auto& e : c.log(n)) {
+      if (e.origin != 1) ++from_live;
+    }
+    EXPECT_EQ(from_live, 40u);
+  }
+}
+
+TEST(ViewChange, LeaderCrashMidBurst) {
+  SimCluster c(crash_cluster(5, 1));
+  for (NodeId s = 0; s < 5; ++s) burst(c, s, 10, 2000);
+  c.sim().schedule(15 * kMillisecond, [&] { c.crash(0); });  // the sequencer
+  c.sim().run();
+  EXPECT_EQ(c.check_all(), "");
+  for (NodeId n = 1; n < 5; ++n) {
+    std::size_t from_live = 0;
+    for (const auto& e : c.log(n)) {
+      if (e.origin != 0) ++from_live;
+    }
+    EXPECT_EQ(from_live, 40u) << "node " << n;
+    // New leader is the old position-1 node.
+    EXPECT_EQ(c.node(n).view().leader(), 1u);
+  }
+}
+
+TEST(ViewChange, LeaderCrashWhileIdle) {
+  SimCluster c(crash_cluster(4, 1));
+  burst(c, 2, 5, 500);
+  c.sim().run();
+  c.crash(0);
+  c.sim().run();
+  burst(c, 2, 5, 500, 6);
+  c.sim().run();
+  EXPECT_EQ(c.check_all(), "");
+  for (NodeId n = 1; n < 4; ++n) EXPECT_EQ(c.log(n).size(), 10u);
+}
+
+TEST(ViewChange, TwoCrashesWithTwoBackups) {
+  SimCluster c(crash_cluster(6, 2));
+  for (NodeId s = 0; s < 6; ++s) burst(c, s, 8, 1500);
+  c.sim().schedule(10 * kMillisecond, [&] { c.crash(0); });
+  c.sim().schedule(25 * kMillisecond, [&] { c.crash(3); });
+  c.sim().run();
+  EXPECT_EQ(c.check_all(), "");
+  for (NodeId n = 0; n < 6; ++n) {
+    if (!c.alive(n)) continue;
+    std::size_t from_live = 0;
+    for (const auto& e : c.log(n)) {
+      if (e.origin != 0 && e.origin != 3) ++from_live;
+    }
+    EXPECT_EQ(from_live, 32u) << "node " << n;
+  }
+  expect_converged(c, 32);
+}
+
+TEST(ViewChange, SimultaneousCrashes) {
+  // Leader and a backup at the same instant, t = 2.
+  SimCluster c(crash_cluster(6, 2));
+  for (NodeId s = 0; s < 6; ++s) burst(c, s, 8, 1500);
+  c.sim().schedule(12 * kMillisecond, [&] {
+    c.crash(0);
+    c.crash(1);
+  });
+  c.sim().run();
+  EXPECT_EQ(c.check_all(), "");
+  for (NodeId n = 2; n < 6; ++n) {
+    std::size_t from_live = 0;
+    for (const auto& e : c.log(n)) {
+      if (e.origin > 1) ++from_live;
+    }
+    EXPECT_EQ(from_live, 32u) << "node " << n;
+    EXPECT_EQ(c.node(n).view().leader(), 2u);
+  }
+}
+
+TEST(ViewChange, CrashDuringFlushRestartsRound) {
+  // Crash node 4 to start a flush; while detection/flush is in flight,
+  // crash node 3 too. The coordinator must restart with a higher proposal.
+  SimCluster c(crash_cluster(6, 2));
+  for (NodeId s = 0; s < 6; ++s) burst(c, s, 8, 1500);
+  c.sim().schedule(12 * kMillisecond, [&] { c.crash(4); });
+  // fd_delay is 2 ms: the second crash lands mid-flush.
+  c.sim().schedule(12 * kMillisecond + 2500 * kMicrosecond, [&] { c.crash(3); });
+  c.sim().run();
+  EXPECT_EQ(c.check_all(), "");
+  expect_converged(c, 0);
+  for (NodeId n = 0; n < 3; ++n) {
+    std::size_t from_live = 0;
+    for (const auto& e : c.log(n)) {
+      if (e.origin != 3 && e.origin != 4) ++from_live;
+    }
+    EXPECT_EQ(from_live, 32u) << "node " << n;
+  }
+}
+
+TEST(ViewChange, CoordinatorCrashDuringFlush) {
+  // Node 5 crashes; coordinator (leader 0) starts the flush and then crashes
+  // before completing it. Node 1 must take over.
+  SimCluster c(crash_cluster(6, 2));
+  for (NodeId s = 0; s < 6; ++s) burst(c, s, 8, 1500);
+  c.sim().schedule(12 * kMillisecond, [&] { c.crash(5); });
+  c.sim().schedule(12 * kMillisecond + 2200 * kMicrosecond, [&] { c.crash(0); });
+  c.sim().run();
+  EXPECT_EQ(c.check_all(), "");
+  expect_converged(c, 0);
+  for (NodeId n = 1; n < 5; ++n) {
+    EXPECT_EQ(c.node(n).view().leader(), 1u);
+  }
+}
+
+TEST(ViewChange, SenderCrashMayLoseOnlyItsOwnUndelivered) {
+  // A crashed sender's messages may be partially delivered, but whatever was
+  // delivered anywhere is delivered everywhere (uniformity) and its
+  // delivered prefix is consistent.
+  SimCluster c(crash_cluster(5, 1));
+  burst(c, 3, 30, 3000);
+  c.sim().schedule(10 * kMillisecond, [&] { c.crash(3); });
+  c.sim().run();
+  EXPECT_EQ(c.check_all(), "");
+  // All survivors agree on exactly how many of node 3's messages exist.
+  std::size_t count = c.log(0).size();
+  for (NodeId n = 1; n < 5; ++n) {
+    if (c.alive(n)) EXPECT_EQ(c.log(n).size(), count);
+  }
+}
+
+TEST(ViewChange, CascadingCrashesDownToTwoNodes) {
+  SimCluster c(crash_cluster(6, 2));
+  for (NodeId s = 0; s < 6; ++s) burst(c, s, 6, 800);
+  c.sim().schedule(10 * kMillisecond, [&] { c.crash(1); });
+  c.sim().schedule(30 * kMillisecond, [&] { c.crash(4); });
+  c.sim().schedule(50 * kMillisecond, [&] { c.crash(0); });
+  c.sim().schedule(70 * kMillisecond, [&] { c.crash(2); });
+  c.sim().run();
+  EXPECT_EQ(c.check_all(), "");
+  expect_converged(c, 0);
+  // Survivors 3 and 5 still form a working group.
+  burst(c, 3, 3, 500, 7);
+  c.sim().run();
+  EXPECT_EQ(c.check_all(), "");
+  EXPECT_EQ(c.log(3).size(), c.log(5).size());
+}
+
+TEST(ViewChange, BroadcastsSubmittedDuringFlushSurvive) {
+  SimCluster c(crash_cluster(5, 1));
+  burst(c, 2, 5, 1000);
+  c.sim().schedule(5 * kMillisecond, [&] { c.crash(4); });
+  // Submit while the flush is likely in progress.
+  c.sim().schedule(5 * kMillisecond + 2100 * kMicrosecond, [&] {
+    burst(c, 2, 5, 1000, 6);
+  });
+  c.sim().run();
+  EXPECT_EQ(c.check_all(), "");
+  for (NodeId n = 0; n < 4; ++n) {
+    std::size_t from2 = 0;
+    for (const auto& e : c.log(n)) {
+      if (e.origin == 2) ++from2;
+    }
+    EXPECT_EQ(from2, 10u) << "node " << n;
+  }
+}
+
+TEST(ViewChange, LargeMessageInterruptedByCrashCompletes) {
+  // A 100-segment message from node 2 is mid-flight when the leader dies;
+  // re-broadcast of undelivered segments must complete it (no corruption).
+  ClusterConfig cfg = crash_cluster(5, 1);
+  cfg.group.engine.segment_size = 512;
+  SimCluster c(cfg);
+  c.broadcast(2, test_payload(2, 1, 50 * 1024));
+  c.sim().schedule(3 * kMillisecond, [&] { c.crash(0); });
+  c.sim().run();
+  EXPECT_EQ(c.check_all(), "");
+  for (NodeId n = 1; n < 5; ++n) {
+    ASSERT_EQ(c.log(n).size(), 1u) << "node " << n;
+    EXPECT_EQ(c.log(n)[0].bytes, 50u * 1024u);
+  }
+}
+
+TEST(ViewChange, GracefulLeave) {
+  SimCluster c(crash_cluster(5, 1));
+  burst(c, 2, 5, 1000);
+  c.sim().run();
+  c.node(3).request_leave();
+  c.sim().run();
+  for (NodeId n = 0; n < 5; ++n) {
+    if (n == 3) {
+      EXPECT_FALSE(c.node(n).in_group());
+      continue;
+    }
+    EXPECT_EQ(c.node(n).view().size(), 4u);
+    EXPECT_FALSE(c.node(n).view().contains(3));
+  }
+  // The group still works. (check_all would treat the leaver as "correct",
+  // but its log legitimately stops at the old view — check the rest.)
+  burst(c, 2, 5, 1000, 6);
+  c.sim().run();
+  EXPECT_EQ(c.check_total_order(), "");
+  EXPECT_EQ(c.check_integrity(), "");
+  EXPECT_EQ(c.check_agreement({0, 1, 2, 4}), "");
+  EXPECT_EQ(c.log(0).size(), 10u);
+  // The leaver's log stopped at the old view but is a consistent prefix.
+  EXPECT_EQ(c.check_uniformity({3}, {0, 1, 2, 4}), "");
+}
+
+TEST(ViewChange, LeaderLeavesGracefully) {
+  SimCluster c(crash_cluster(4, 1));
+  burst(c, 1, 5, 1000);
+  c.sim().run();
+  c.node(0).request_leave();
+  c.sim().run();
+  for (NodeId n = 1; n < 4; ++n) {
+    EXPECT_EQ(c.node(n).view().leader(), 1u) << "node " << n;
+  }
+  burst(c, 2, 5, 1000);
+  c.sim().run();
+  EXPECT_EQ(c.check_uniformity({0}, {1, 2, 3}), "");
+  EXPECT_EQ(c.log(1).size(), 10u);
+}
+
+TEST(ViewChange, RotateLeaderMovesRingHead) {
+  SimCluster c(crash_cluster(5, 1));
+  burst(c, 3, 5, 1000);
+  c.sim().run();
+  c.node(0).rotate_leader();
+  c.sim().run();
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_EQ(c.node(n).view().leader(), 1u) << "node " << n;
+    EXPECT_EQ(c.node(n).view().members,
+              (std::vector<NodeId>{1, 2, 3, 4, 0}));
+  }
+  burst(c, 3, 5, 1000, 6);
+  c.sim().run();
+  EXPECT_EQ(c.check_all(), "");
+  EXPECT_EQ(c.log(0).size(), 10u);
+}
+
+TEST(ViewChange, RepeatedRotationVisitsEveryLeader) {
+  SimCluster c(crash_cluster(4, 1));
+  for (int round = 0; round < 4; ++round) {
+    burst(c, 2, 3, 500, static_cast<std::uint64_t>(round * 3 + 1));
+    c.sim().run();
+    NodeId coord = c.node(0).view().leader();
+    c.node(coord).rotate_leader();
+    c.sim().run();
+  }
+  EXPECT_EQ(c.check_all(), "");
+  // After 4 rotations the ring is back to the original order.
+  EXPECT_EQ(c.node(0).view().members, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(c.log(1).size(), 12u);
+}
+
+}  // namespace
+}  // namespace fsr
