@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_piggyback.dir/bench_ablation_piggyback.cpp.o"
+  "CMakeFiles/bench_ablation_piggyback.dir/bench_ablation_piggyback.cpp.o.d"
+  "CMakeFiles/bench_ablation_piggyback.dir/support/bench_common.cpp.o"
+  "CMakeFiles/bench_ablation_piggyback.dir/support/bench_common.cpp.o.d"
+  "bench_ablation_piggyback"
+  "bench_ablation_piggyback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_piggyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

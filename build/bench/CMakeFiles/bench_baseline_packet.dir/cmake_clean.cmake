@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_packet.dir/bench_baseline_packet.cpp.o"
+  "CMakeFiles/bench_baseline_packet.dir/bench_baseline_packet.cpp.o.d"
+  "CMakeFiles/bench_baseline_packet.dir/support/bench_common.cpp.o"
+  "CMakeFiles/bench_baseline_packet.dir/support/bench_common.cpp.o.d"
+  "bench_baseline_packet"
+  "bench_baseline_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fairness.dir/bench_fairness.cpp.o"
+  "CMakeFiles/bench_fairness.dir/bench_fairness.cpp.o.d"
+  "CMakeFiles/bench_fairness.dir/support/bench_common.cpp.o"
+  "CMakeFiles/bench_fairness.dir/support/bench_common.cpp.o.d"
+  "bench_fairness"
+  "bench_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_throughput_vs_n.dir/bench_fig8_throughput_vs_n.cpp.o"
+  "CMakeFiles/bench_fig8_throughput_vs_n.dir/bench_fig8_throughput_vs_n.cpp.o.d"
+  "CMakeFiles/bench_fig8_throughput_vs_n.dir/support/bench_common.cpp.o"
+  "CMakeFiles/bench_fig8_throughput_vs_n.dir/support/bench_common.cpp.o.d"
+  "bench_fig8_throughput_vs_n"
+  "bench_fig8_throughput_vs_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_throughput_vs_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_throughput_vs_senders.dir/bench_fig9_throughput_vs_senders.cpp.o"
+  "CMakeFiles/bench_fig9_throughput_vs_senders.dir/bench_fig9_throughput_vs_senders.cpp.o.d"
+  "CMakeFiles/bench_fig9_throughput_vs_senders.dir/support/bench_common.cpp.o"
+  "CMakeFiles/bench_fig9_throughput_vs_senders.dir/support/bench_common.cpp.o.d"
+  "bench_fig9_throughput_vs_senders"
+  "bench_fig9_throughput_vs_senders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_throughput_vs_senders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

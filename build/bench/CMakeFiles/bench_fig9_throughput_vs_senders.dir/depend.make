@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_throughput_vs_senders.
+# This may be replaced when dependencies are built.

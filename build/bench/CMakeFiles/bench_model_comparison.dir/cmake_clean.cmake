@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_comparison.dir/bench_model_comparison.cpp.o"
+  "CMakeFiles/bench_model_comparison.dir/bench_model_comparison.cpp.o.d"
+  "CMakeFiles/bench_model_comparison.dir/support/bench_common.cpp.o"
+  "CMakeFiles/bench_model_comparison.dir/support/bench_common.cpp.o.d"
+  "bench_model_comparison"
+  "bench_model_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

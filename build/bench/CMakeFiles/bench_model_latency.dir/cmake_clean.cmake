@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_latency.dir/bench_model_latency.cpp.o"
+  "CMakeFiles/bench_model_latency.dir/bench_model_latency.cpp.o.d"
+  "CMakeFiles/bench_model_latency.dir/support/bench_common.cpp.o"
+  "CMakeFiles/bench_model_latency.dir/support/bench_common.cpp.o.d"
+  "bench_model_latency"
+  "bench_model_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_raw_network.dir/bench_table1_raw_network.cpp.o"
+  "CMakeFiles/bench_table1_raw_network.dir/bench_table1_raw_network.cpp.o.d"
+  "CMakeFiles/bench_table1_raw_network.dir/support/bench_common.cpp.o"
+  "CMakeFiles/bench_table1_raw_network.dir/support/bench_common.cpp.o.d"
+  "bench_table1_raw_network"
+  "bench_table1_raw_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_raw_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tcp_ring.dir/bench_tcp_ring.cpp.o"
+  "CMakeFiles/bench_tcp_ring.dir/bench_tcp_ring.cpp.o.d"
+  "CMakeFiles/bench_tcp_ring.dir/support/bench_common.cpp.o"
+  "CMakeFiles/bench_tcp_ring.dir/support/bench_common.cpp.o.d"
+  "bench_tcp_ring"
+  "bench_tcp_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tcp_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fair_senders.dir/fair_senders.cpp.o"
+  "CMakeFiles/example_fair_senders.dir/fair_senders.cpp.o.d"
+  "example_fair_senders"
+  "example_fair_senders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fair_senders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fsr_node.dir/fsr_node.cpp.o"
+  "CMakeFiles/example_fsr_node.dir/fsr_node.cpp.o.d"
+  "example_fsr_node"
+  "example_fsr_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fsr_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

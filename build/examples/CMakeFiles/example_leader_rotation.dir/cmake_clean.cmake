@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_leader_rotation.dir/leader_rotation.cpp.o"
+  "CMakeFiles/example_leader_rotation.dir/leader_rotation.cpp.o.d"
+  "example_leader_rotation"
+  "example_leader_rotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_leader_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tcp_ring.dir/tcp_ring.cpp.o"
+  "CMakeFiles/example_tcp_ring.dir/tcp_ring.cpp.o.d"
+  "example_tcp_ring"
+  "example_tcp_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tcp_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

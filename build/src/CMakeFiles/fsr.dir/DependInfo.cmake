@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/bank.cpp" "src/CMakeFiles/fsr.dir/app/bank.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/app/bank.cpp.o.d"
+  "/root/repo/src/app/kv_store.cpp" "src/CMakeFiles/fsr.dir/app/kv_store.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/app/kv_store.cpp.o.d"
+  "/root/repo/src/baselines/fixed_seq_engine.cpp" "src/CMakeFiles/fsr.dir/baselines/fixed_seq_engine.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/baselines/fixed_seq_engine.cpp.o.d"
+  "/root/repo/src/baselines/moving_seq_engine.cpp" "src/CMakeFiles/fsr.dir/baselines/moving_seq_engine.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/baselines/moving_seq_engine.cpp.o.d"
+  "/root/repo/src/baselines/privilege_engine.cpp" "src/CMakeFiles/fsr.dir/baselines/privilege_engine.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/baselines/privilege_engine.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/fsr.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/types.cpp" "src/CMakeFiles/fsr.dir/common/types.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/common/types.cpp.o.d"
+  "/root/repo/src/fsr/engine.cpp" "src/CMakeFiles/fsr.dir/fsr/engine.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/fsr/engine.cpp.o.d"
+  "/root/repo/src/harness/sim_cluster.cpp" "src/CMakeFiles/fsr.dir/harness/sim_cluster.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/harness/sim_cluster.cpp.o.d"
+  "/root/repo/src/harness/tcp_cluster.cpp" "src/CMakeFiles/fsr.dir/harness/tcp_cluster.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/harness/tcp_cluster.cpp.o.d"
+  "/root/repo/src/net/cluster_net.cpp" "src/CMakeFiles/fsr.dir/net/cluster_net.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/net/cluster_net.cpp.o.d"
+  "/root/repo/src/proto/codec.cpp" "src/CMakeFiles/fsr.dir/proto/codec.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/proto/codec.cpp.o.d"
+  "/root/repo/src/roundmodel/comm_history_round.cpp" "src/CMakeFiles/fsr.dir/roundmodel/comm_history_round.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/roundmodel/comm_history_round.cpp.o.d"
+  "/root/repo/src/roundmodel/dest_agreement_round.cpp" "src/CMakeFiles/fsr.dir/roundmodel/dest_agreement_round.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/roundmodel/dest_agreement_round.cpp.o.d"
+  "/root/repo/src/roundmodel/fixed_seq_round.cpp" "src/CMakeFiles/fsr.dir/roundmodel/fixed_seq_round.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/roundmodel/fixed_seq_round.cpp.o.d"
+  "/root/repo/src/roundmodel/fsr_round.cpp" "src/CMakeFiles/fsr.dir/roundmodel/fsr_round.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/roundmodel/fsr_round.cpp.o.d"
+  "/root/repo/src/roundmodel/moving_seq_round.cpp" "src/CMakeFiles/fsr.dir/roundmodel/moving_seq_round.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/roundmodel/moving_seq_round.cpp.o.d"
+  "/root/repo/src/roundmodel/privilege_round.cpp" "src/CMakeFiles/fsr.dir/roundmodel/privilege_round.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/roundmodel/privilege_round.cpp.o.d"
+  "/root/repo/src/roundmodel/round_engine.cpp" "src/CMakeFiles/fsr.dir/roundmodel/round_engine.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/roundmodel/round_engine.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/fsr.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/transport/sim_transport.cpp" "src/CMakeFiles/fsr.dir/transport/sim_transport.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/transport/sim_transport.cpp.o.d"
+  "/root/repo/src/transport/tcp_transport.cpp" "src/CMakeFiles/fsr.dir/transport/tcp_transport.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/transport/tcp_transport.cpp.o.d"
+  "/root/repo/src/vsc/group.cpp" "src/CMakeFiles/fsr.dir/vsc/group.cpp.o" "gcc" "src/CMakeFiles/fsr.dir/vsc/group.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_app.cpp" "tests/CMakeFiles/fsr_tests.dir/test_app.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_app.cpp.o.d"
+  "/root/repo/tests/test_baseline_fuzz.cpp" "tests/CMakeFiles/fsr_tests.dir/test_baseline_fuzz.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_baseline_fuzz.cpp.o.d"
+  "/root/repo/tests/test_checkers.cpp" "tests/CMakeFiles/fsr_tests.dir/test_checkers.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_checkers.cpp.o.d"
+  "/root/repo/tests/test_churn_fuzz.cpp" "tests/CMakeFiles/fsr_tests.dir/test_churn_fuzz.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_churn_fuzz.cpp.o.d"
+  "/root/repo/tests/test_codec.cpp" "tests/CMakeFiles/fsr_tests.dir/test_codec.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_codec.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/fsr_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_crash_fuzz.cpp" "tests/CMakeFiles/fsr_tests.dir/test_crash_fuzz.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_crash_fuzz.cpp.o.d"
+  "/root/repo/tests/test_engine_defensive.cpp" "tests/CMakeFiles/fsr_tests.dir/test_engine_defensive.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_engine_defensive.cpp.o.d"
+  "/root/repo/tests/test_engine_unit.cpp" "tests/CMakeFiles/fsr_tests.dir/test_engine_unit.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_engine_unit.cpp.o.d"
+  "/root/repo/tests/test_fixed_seq_engine.cpp" "tests/CMakeFiles/fsr_tests.dir/test_fixed_seq_engine.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_fixed_seq_engine.cpp.o.d"
+  "/root/repo/tests/test_fsr_basic.cpp" "tests/CMakeFiles/fsr_tests.dir/test_fsr_basic.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_fsr_basic.cpp.o.d"
+  "/root/repo/tests/test_group_unit.cpp" "tests/CMakeFiles/fsr_tests.dir/test_group_unit.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_group_unit.cpp.o.d"
+  "/root/repo/tests/test_heartbeat.cpp" "tests/CMakeFiles/fsr_tests.dir/test_heartbeat.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_heartbeat.cpp.o.d"
+  "/root/repo/tests/test_join.cpp" "tests/CMakeFiles/fsr_tests.dir/test_join.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_join.cpp.o.d"
+  "/root/repo/tests/test_moving_seq_engine.cpp" "tests/CMakeFiles/fsr_tests.dir/test_moving_seq_engine.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_moving_seq_engine.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/fsr_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_privilege_engine.cpp" "tests/CMakeFiles/fsr_tests.dir/test_privilege_engine.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_privilege_engine.cpp.o.d"
+  "/root/repo/tests/test_protocol_fuzz.cpp" "tests/CMakeFiles/fsr_tests.dir/test_protocol_fuzz.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_protocol_fuzz.cpp.o.d"
+  "/root/repo/tests/test_ring_rules.cpp" "tests/CMakeFiles/fsr_tests.dir/test_ring_rules.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_ring_rules.cpp.o.d"
+  "/root/repo/tests/test_round_engine.cpp" "tests/CMakeFiles/fsr_tests.dir/test_round_engine.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_round_engine.cpp.o.d"
+  "/root/repo/tests/test_round_model.cpp" "tests/CMakeFiles/fsr_tests.dir/test_round_model.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_round_model.cpp.o.d"
+  "/root/repo/tests/test_round_model_extra.cpp" "tests/CMakeFiles/fsr_tests.dir/test_round_model_extra.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_round_model_extra.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/fsr_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_soak.cpp" "tests/CMakeFiles/fsr_tests.dir/test_soak.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_soak.cpp.o.d"
+  "/root/repo/tests/test_state_transfer.cpp" "tests/CMakeFiles/fsr_tests.dir/test_state_transfer.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_state_transfer.cpp.o.d"
+  "/root/repo/tests/test_tcp.cpp" "tests/CMakeFiles/fsr_tests.dir/test_tcp.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_tcp.cpp.o.d"
+  "/root/repo/tests/test_tcp_transport_unit.cpp" "tests/CMakeFiles/fsr_tests.dir/test_tcp_transport_unit.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_tcp_transport_unit.cpp.o.d"
+  "/root/repo/tests/test_view_change.cpp" "tests/CMakeFiles/fsr_tests.dir/test_view_change.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_view_change.cpp.o.d"
+  "/root/repo/tests/test_wire_behavior.cpp" "tests/CMakeFiles/fsr_tests.dir/test_wire_behavior.cpp.o" "gcc" "tests/CMakeFiles/fsr_tests.dir/test_wire_behavior.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fsr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
