@@ -31,6 +31,11 @@ Point run_point(double aggregate_offered_mbps) {
   // Enough messages for ~4 virtual seconds of offered load.
   spec.messages_per_sender =
       std::max(6, static_cast<int>(spec.rate_per_sender * 4.0));
+  // Continuous validation: run_workload aborts on any safety-invariant
+  // violation, and with 5 equal-rate senders the forward list must keep
+  // interleaving them — no origin may dominate a steady-state window.
+  spec.lint.fairness_window = 20;
+  spec.lint.fairness_max_share = 0.9;
   WorkloadResult r = run_workload(spec);
   return Point{aggregate_offered_mbps, r.goodput_mbps, r.mean_latency_ms};
 }

@@ -45,7 +45,22 @@ WorkloadResult run_workload(const WorkloadSpec& spec) {
   }
   c.sim().run();
 
+  // Benchmarks are long-running protocol executions; numbers from a run
+  // that broke total order or uniformity are meaningless, so fail loudly.
+  // check_all() includes everything the checker caught online.
+  if (std::string err = c.check_all(); !err.empty()) {
+    std::fprintf(stderr, "FATAL: protocol invariant violated during benchmark: %s\n",
+                 err.c_str());
+    std::abort();
+  }
+
   WorkloadResult r;
+  r.lint_report = lint_trace(c.checker().log(0), spec.lint);
+  if (!r.lint_report.ok()) {
+    std::fprintf(stderr, "FATAL: trace lint failed during benchmark:\n%s\n",
+                 r.lint_report.summary().c_str());
+    std::abort();
+  }
   std::size_t expected =
       spec.senders * static_cast<std::size_t>(spec.messages_per_sender);
   r.completed = true;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "checker/trace_lint.h"
 #include "harness/sim_cluster.h"
 
 namespace fsr::bench {
@@ -22,6 +23,7 @@ struct WorkloadResult {
   std::vector<double> per_sender_mbps;
   double fairness = 1.0;             // Jain index over per-sender deliveries
   bool completed = false;
+  LintReport lint_report;            // trace lint of node 0's delivery order
 };
 
 struct WorkloadSpec {
@@ -34,6 +36,11 @@ struct WorkloadSpec {
   /// If > 0, throttle each sender to this many broadcasts per second
   /// (Fig. 7's rate sweep). 0 = saturation (send next when window frees).
   double rate_per_sender = 0;
+
+  /// Trace-lint bounds applied to node 0's delivery order after the run
+  /// (fairness windows). Any violation aborts the benchmark loudly, like a
+  /// safety-invariant violation does.
+  LintConfig lint;
 };
 
 WorkloadResult run_workload(const WorkloadSpec& spec);

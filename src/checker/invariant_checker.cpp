@@ -1,0 +1,289 @@
+#include "checker/invariant_checker.h"
+
+#include <algorithm>
+
+namespace fsr {
+
+std::string describe_msg(NodeId origin, std::uint64_t app_msg) {
+  return "m(" + std::to_string(origin) + "," + std::to_string(app_msg) + ")";
+}
+
+namespace {
+
+std::string describe(const DeliveryRecord& e) { return describe_msg(e.origin, e.app_msg); }
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(std::size_t n, CheckerConfig config)
+    : n_(n), cfg_(config), logs_(n), last_app_(n) {}
+
+void InvariantChecker::record_violation(std::string what) {
+  if (first_violation_.empty()) first_violation_ = std::move(what);
+}
+
+void InvariantChecker::on_broadcast(NodeId origin, std::uint64_t app_msg,
+                                    std::uint64_t payload_hash) {
+  std::lock_guard lock(mutex_);
+  submitted_[{origin, app_msg}] = payload_hash;
+}
+
+void InvariantChecker::on_delivery(const DeliveryRecord& rec) {
+  std::lock_guard lock(mutex_);
+  if (rec.node >= n_) {
+    record_violation("delivery at unknown node " + std::to_string(rec.node));
+    return;
+  }
+  auto& log = logs_[rec.node];
+  const std::string where =
+      "node " + std::to_string(rec.node) + " delivering " + describe(rec);
+
+  // Global sequence numbers are one namespace for the whole run (the engine
+  // resumes next_seq from the recovery horizon on every view install), so a
+  // process must observe them strictly increasing...
+  if (!log.empty()) {
+    const DeliveryRecord& prev = log.back();
+    if (rec.seq <= prev.seq) {
+      record_violation(where + ": seq " + std::to_string(rec.seq) +
+                       " not above previous " + std::to_string(prev.seq));
+    }
+    if (rec.view < prev.view) {
+      record_violation(where + ": view regressed " + std::to_string(prev.view) +
+                       " -> " + std::to_string(rec.view));
+    }
+  }
+  // ... and all processes must agree on which message each seq carries —
+  // disagreement here IS a total-order violation, caught at the instant the
+  // second process delivers.
+  Identity id{rec.origin, rec.app_msg, rec.payload_hash};
+  auto [it, inserted] = seq_identity_.try_emplace(rec.seq, id);
+  if (!inserted && !(it->second == id)) {
+    record_violation(where + ": seq " + std::to_string(rec.seq) +
+                     " already carried " + describe_msg(it->second.origin, it->second.app_msg));
+  }
+
+  // At-most-once per process and per-origin FIFO, online: the origin's
+  // counter must move strictly forward (equal or lower = duplicate or
+  // reordering).
+  auto [last, first_from_origin] = last_app_[rec.node].try_emplace(rec.origin, rec.app_msg);
+  if (!first_from_origin) {
+    if (rec.app_msg <= last->second) {
+      record_violation(where + ": origin counter went backwards (last was " +
+                       describe_msg(rec.origin, last->second) +
+                       "): duplicate or FIFO violation");
+    }
+    last->second = rec.app_msg;
+  }
+
+  // Payload integrity against the recorded submission.
+  auto sub = submitted_.find({rec.origin, rec.app_msg});
+  if (sub == submitted_.end()) {
+    if (cfg_.require_known_broadcasts) {
+      record_violation(where + ": message was never broadcast");
+    }
+  } else if (sub->second != rec.payload_hash) {
+    record_violation(where + ": payload hash mismatch");
+  }
+
+  log.push_back(rec);
+  ++deliveries_;
+}
+
+void InvariantChecker::note_crashed(NodeId node) {
+  std::lock_guard lock(mutex_);
+  crashed_.insert(node);
+}
+
+std::uint64_t InvariantChecker::deliveries() const {
+  std::lock_guard lock(mutex_);
+  return deliveries_;
+}
+
+std::set<NodeId> InvariantChecker::crashed() const {
+  std::lock_guard lock(mutex_);
+  return crashed_;
+}
+
+std::vector<DeliveryRecord> InvariantChecker::log(NodeId node) const {
+  std::lock_guard lock(mutex_);
+  return logs_[node];
+}
+
+std::string InvariantChecker::online_violation() const {
+  std::lock_guard lock(mutex_);
+  return first_violation_;
+}
+
+// --- full-trace passes ---
+
+std::string InvariantChecker::check_total_order() const {
+  std::lock_guard lock(mutex_);
+  return check_total_order_locked();
+}
+
+std::string InvariantChecker::check_total_order_locked() const {
+  // Pairwise: the common subsequence of two logs must appear in the same
+  // order in both. Since each (origin, app_msg) appears at most once per log
+  // (checked by integrity), it suffices to compare the restriction of each
+  // log to the other's delivered set.
+  using Key = std::pair<NodeId, std::uint64_t>;
+  for (std::size_t a = 0; a < logs_.size(); ++a) {
+    for (std::size_t b = a + 1; b < logs_.size(); ++b) {
+      std::set<Key> in_a, in_b;
+      for (const auto& e : logs_[a]) in_a.insert({e.origin, e.app_msg});
+      for (const auto& e : logs_[b]) in_b.insert({e.origin, e.app_msg});
+      std::vector<Key> ra, rb;
+      for (const auto& e : logs_[a]) {
+        if (in_b.count({e.origin, e.app_msg})) ra.push_back({e.origin, e.app_msg});
+      }
+      for (const auto& e : logs_[b]) {
+        if (in_a.count({e.origin, e.app_msg})) rb.push_back({e.origin, e.app_msg});
+      }
+      if (ra != rb) {
+        return "total order violated between node " + std::to_string(a) +
+               " and node " + std::to_string(b);
+      }
+    }
+  }
+  return {};
+}
+
+std::string InvariantChecker::check_agreement(const std::set<NodeId>& correct) const {
+  std::lock_guard lock(mutex_);
+  return check_agreement_locked(correct);
+}
+
+std::string InvariantChecker::check_agreement_locked(const std::set<NodeId>& correct) const {
+  const std::vector<DeliveryRecord>* ref = nullptr;
+  NodeId ref_id = kNoNode;
+  for (NodeId n : correct) {
+    const auto& log = logs_[n];
+    if (!ref) {
+      ref = &log;
+      ref_id = n;
+      continue;
+    }
+    if (log.size() != ref->size()) {
+      return "agreement violated: node " + std::to_string(n) + " delivered " +
+             std::to_string(log.size()) + " messages, node " + std::to_string(ref_id) +
+             " delivered " + std::to_string(ref->size());
+    }
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      if (log[i].origin != (*ref)[i].origin || log[i].app_msg != (*ref)[i].app_msg ||
+          log[i].payload_hash != (*ref)[i].payload_hash) {
+        return "agreement violated at index " + std::to_string(i) + ": node " +
+               std::to_string(n) + " delivered " + describe(log[i]) + ", node " +
+               std::to_string(ref_id) + " delivered " + describe((*ref)[i]);
+      }
+    }
+  }
+  return {};
+}
+
+std::string InvariantChecker::check_integrity() const {
+  std::lock_guard lock(mutex_);
+  return check_integrity_locked();
+}
+
+std::string InvariantChecker::check_integrity_locked() const {
+  for (std::size_t n = 0; n < logs_.size(); ++n) {
+    std::set<std::pair<NodeId, std::uint64_t>> seen;
+    for (const auto& e : logs_[n]) {
+      auto key = std::make_pair(e.origin, e.app_msg);
+      if (!seen.insert(key).second) {
+        return "node " + std::to_string(n) + " delivered " + describe(e) + " twice";
+      }
+      auto it = submitted_.find(key);
+      if (it == submitted_.end()) {
+        if (cfg_.require_known_broadcasts) {
+          return "node " + std::to_string(n) + " delivered never-broadcast " +
+                 describe(e);
+        }
+      } else if (it->second != e.payload_hash) {
+        return "node " + std::to_string(n) + " delivered corrupted payload for " +
+               describe(e);
+      }
+    }
+  }
+  return {};
+}
+
+std::string InvariantChecker::check_uniformity(const std::set<NodeId>& crashed,
+                                               const std::set<NodeId>& correct) const {
+  std::lock_guard lock(mutex_);
+  return check_uniformity_locked(crashed, correct);
+}
+
+std::string InvariantChecker::check_uniformity_locked(
+    const std::set<NodeId>& crashed, const std::set<NodeId>& correct) const {
+  for (NodeId c : crashed) {
+    const auto& clog = logs_[c];
+    for (NodeId s : correct) {
+      const auto& slog = logs_[s];
+      if (clog.size() > slog.size()) {
+        return "uniformity violated: crashed node " + std::to_string(c) +
+               " delivered more than correct node " + std::to_string(s);
+      }
+      for (std::size_t i = 0; i < clog.size(); ++i) {
+        if (clog[i].origin != slog[i].origin || clog[i].app_msg != slog[i].app_msg) {
+          return "uniformity violated: crashed node " + std::to_string(c) +
+                 " delivered " + describe(clog[i]) + " at index " + std::to_string(i) +
+                 " but correct node " + std::to_string(s) + " delivered " +
+                 describe(slog[i]);
+        }
+      }
+    }
+  }
+  return {};
+}
+
+std::string InvariantChecker::check_fifo() const {
+  std::lock_guard lock(mutex_);
+  return check_fifo_locked(cfg_.require_gap_free_origins);
+}
+
+std::string InvariantChecker::check_fifo_locked(bool require_gap_free) const {
+  // Channels are FIFO and rebroadcast-after-view-change preserves submission
+  // order, so each node sees every origin's counter strictly increasing; a
+  // *gap* means a message was lost while a later one from the same origin
+  // survived — impossible without an ordering bug.
+  for (std::size_t n = 0; n < logs_.size(); ++n) {
+    std::map<NodeId, std::uint64_t> last;
+    for (const auto& e : logs_[n]) {
+      auto [it, first] = last.try_emplace(e.origin, e.app_msg);
+      if (!first) {
+        if (e.app_msg <= it->second) {
+          return "node " + std::to_string(n) + " delivered " + describe(e) +
+                 " after " + describe_msg(e.origin, it->second) + " (FIFO violation)";
+        }
+        if (require_gap_free && e.app_msg != it->second + 1) {
+          return "node " + std::to_string(n) + " delivered " + describe(e) +
+                 " after " + describe_msg(e.origin, it->second) +
+                 " (gap: " + std::to_string(e.app_msg - it->second - 1) +
+                 " message(s) lost)";
+        }
+        it->second = e.app_msg;
+      }
+    }
+  }
+  return {};
+}
+
+std::string InvariantChecker::check_all() const {
+  std::lock_guard lock(mutex_);
+  if (!first_violation_.empty()) return first_violation_;
+  std::set<NodeId> correct;
+  for (std::size_t i = 0; i < logs_.size(); ++i) {
+    auto id = static_cast<NodeId>(i);
+    if (crashed_.count(id) == 0) correct.insert(id);
+  }
+  if (auto err = check_integrity_locked(); !err.empty()) return err;
+  if (auto err = check_total_order_locked(); !err.empty()) return err;
+  if (auto err = check_agreement_locked(correct); !err.empty()) return err;
+  if (auto err = check_uniformity_locked(crashed_, correct); !err.empty()) return err;
+  if (auto err = check_fifo_locked(cfg_.require_gap_free_origins); !err.empty()) {
+    return err;
+  }
+  return {};
+}
+
+}  // namespace fsr

@@ -1,0 +1,143 @@
+// Mechanical checker for the paper's TO-broadcast properties (§3-§4),
+// shared by the simulated and the real-TCP harnesses. The harness feeds
+// every submission (on_broadcast) and every delivery (on_delivery); the
+// checker validates online — at the moment of the event — what can be
+// validated incrementally, and offers full-trace passes for the rest:
+//
+//   online   per-node global-sequence monotonicity (no regressions, no
+//            duplicate seqs), per-node view monotonicity, at-most-once
+//            delivery of each (origin, app_msg), cross-node agreement on
+//            what identity each global seq carries (two nodes delivering
+//            different messages under one seq is an order violation the
+//            instant the second delivery happens), and payload-hash
+//            integrity against the recorded submission.
+//   offline  pairwise total order over common subsequences, agreement
+//            (identical logs among correct processes), uniformity (every
+//            crashed process's log is a prefix of every correct one's),
+//            and per-origin FIFO/no-gap delivery.
+//
+// All feed methods are thread-safe: the TCP harness calls them from n
+// I/O threads concurrently. Violations are sticky — once a run trips any
+// check, online_violation() reports the first one forever, so soak tests
+// and benches fail loudly even if later events look consistent.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fsr {
+
+/// One TO-delivery as observed at a process.
+struct DeliveryRecord {
+  NodeId node = kNoNode;    // delivering process
+  NodeId origin = kNoNode;  // broadcaster
+  std::uint64_t app_msg = 0;
+  GlobalSeq seq = 0;
+  ViewId view = 0;
+  std::uint64_t payload_hash = 0;
+  std::size_t bytes = 0;
+  Time at = 0;
+};
+
+struct CheckerConfig {
+  /// Deliveries of (origin, app_msg) pairs never announced via
+  /// on_broadcast() are integrity violations. Disable for harnesses that
+  /// cannot observe submissions.
+  bool require_known_broadcasts = true;
+
+  /// Treat a per-origin app_msg gap (m5 delivered after m3 with m4 missing)
+  /// as a violation in check_all(). FIFO order itself is always checked.
+  bool require_gap_free_origins = true;
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(std::size_t n, CheckerConfig config = {});
+
+  // --- event feed (thread-safe) ---
+
+  /// Record a submission; later deliveries of (origin, app_msg) must carry
+  /// this payload hash.
+  void on_broadcast(NodeId origin, std::uint64_t app_msg, std::uint64_t payload_hash);
+
+  /// Record a delivery and run every online check against it.
+  void on_delivery(const DeliveryRecord& rec);
+
+  /// Mark a process crashed (it becomes subject to the uniformity check and
+  /// exempt from agreement).
+  void note_crashed(NodeId node);
+
+  // --- queries ---
+
+  std::size_t n() const { return n_; }
+  std::uint64_t deliveries() const;
+  std::set<NodeId> crashed() const;
+  std::vector<DeliveryRecord> log(NodeId node) const;
+
+  /// First violation any online check detected, or "" if none so far.
+  std::string online_violation() const;
+
+  // --- full-trace passes: empty string means the property holds ---
+
+  /// Total order: every pair of logs agrees on the order and identity of
+  /// common deliveries (each is a prefix-consistent subsequence).
+  std::string check_total_order() const;
+
+  /// Agreement: all nodes in `correct` have identical logs.
+  std::string check_agreement(const std::set<NodeId>& correct) const;
+
+  /// Integrity: no duplicates, every delivery was broadcast, hashes match.
+  std::string check_integrity() const;
+
+  /// Uniformity: every crashed node's log is a prefix of every correct
+  /// node's log (whatever a failed process delivered, all deliver).
+  std::string check_uniformity(const std::set<NodeId>& crashed,
+                               const std::set<NodeId>& correct) const;
+
+  /// Per-origin FIFO: each node's deliveries from one origin have strictly
+  /// increasing, gap-free app_msg counters.
+  std::string check_fifo() const;
+
+  /// Every property at once, online findings included (correct = every
+  /// node not marked crashed).
+  std::string check_all() const;
+
+ private:
+  struct Identity {
+    NodeId origin;
+    std::uint64_t app_msg;
+    std::uint64_t payload_hash;
+    friend bool operator==(const Identity&, const Identity&) = default;
+  };
+
+  void record_violation(std::string what);  // requires mutex_ held
+  std::string check_total_order_locked() const;
+  std::string check_agreement_locked(const std::set<NodeId>& correct) const;
+  std::string check_integrity_locked() const;
+  std::string check_uniformity_locked(const std::set<NodeId>& crashed,
+                                      const std::set<NodeId>& correct) const;
+  std::string check_fifo_locked(bool require_gap_free) const;
+
+  std::size_t n_;
+  CheckerConfig cfg_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::vector<DeliveryRecord>> logs_;
+  std::vector<std::map<NodeId, std::uint64_t>> last_app_;  // per node: origin -> app_msg
+  std::map<std::pair<NodeId, std::uint64_t>, std::uint64_t> submitted_;  // -> hash
+  std::map<GlobalSeq, Identity> seq_identity_;  // global seq -> message
+  std::set<NodeId> crashed_;
+  std::uint64_t deliveries_ = 0;
+  std::string first_violation_;
+};
+
+/// Render a (origin, app_msg) pair the way every checker message does.
+std::string describe_msg(NodeId origin, std::uint64_t app_msg);
+
+}  // namespace fsr

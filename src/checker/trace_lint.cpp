@@ -1,0 +1,117 @@
+#include "checker/trace_lint.h"
+
+#include <algorithm>
+#include <set>
+
+namespace fsr {
+
+std::string LintReport::summary() const {
+  std::string s = "origins=" + std::to_string(per_origin.size()) +
+                  " worst_window_share=" + std::to_string(worst_window_share) +
+                  " longest_run=" + std::to_string(longest_run) +
+                  " jain=" + std::to_string(jain_index);
+  for (const auto& v : violations) s += "\n  violation: " + v;
+  return s;
+}
+
+LintReport lint_trace(const std::vector<DeliveryRecord>& log, const LintConfig& cfg) {
+  LintReport rep;
+  for (const auto& e : log) rep.per_origin[e.origin]++;
+
+  // Jain's index over per-origin totals.
+  if (!rep.per_origin.empty()) {
+    double sum = 0.0, sumsq = 0.0;
+    for (const auto& [origin, count] : rep.per_origin) {
+      auto x = static_cast<double>(count);
+      sum += x;
+      sumsq += x * x;
+    }
+    rep.jain_index = sumsq > 0.0
+                         ? (sum * sum) / (static_cast<double>(rep.per_origin.size()) * sumsq)
+                         : 1.0;
+  }
+
+  // Sliding fairness window: within any stretch of `fairness_window`
+  // deliveries where enough origins are active, measure the dominant
+  // origin's share and the longest single-origin run.
+  const std::size_t w = cfg.fairness_window;
+  if (w >= 2 && log.size() >= w) {
+    std::map<NodeId, std::size_t> in_window;
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      in_window[log[i].origin]++;
+      if (i >= w) {
+        auto it = in_window.find(log[i - w].origin);
+        if (--it->second == 0) in_window.erase(it);
+      }
+      if (i + 1 < w) continue;
+      if (in_window.size() < cfg.fairness_min_active) continue;
+      std::size_t dominant = 0;
+      NodeId dominant_origin = kNoNode;
+      for (const auto& [origin, count] : in_window) {
+        if (count > dominant) {
+          dominant = count;
+          dominant_origin = origin;
+        }
+      }
+      double share = static_cast<double>(dominant) / static_cast<double>(w);
+      if (share > rep.worst_window_share) rep.worst_window_share = share;
+      if (cfg.fairness_max_share > 0.0 && share > cfg.fairness_max_share) {
+        rep.violations.push_back(
+            "origin " + std::to_string(dominant_origin) + " took " +
+            std::to_string(dominant) + "/" + std::to_string(w) +
+            " deliveries ending at index " + std::to_string(i) + " (share " +
+            std::to_string(share) + " > " + std::to_string(cfg.fairness_max_share) +
+            ") while " + std::to_string(in_window.size()) + " origins were active");
+        return rep;  // first finding is enough; windows overlap heavily
+      }
+    }
+
+    // Longest single-origin run, counted only where the surrounding window
+    // shows competition (a lone active sender may run forever).
+    std::size_t run = 1;
+    std::map<NodeId, std::size_t> around;
+    for (std::size_t i = 0; i < std::min(log.size(), w); ++i) around[log[i].origin]++;
+    for (std::size_t i = 1; i < log.size(); ++i) {
+      if (i + w / 2 < log.size()) around[log[i + w / 2].origin]++;
+      if (i > w / 2) {
+        auto it = around.find(log[i - w / 2 - 1].origin);
+        if (it != around.end() && --it->second == 0) around.erase(it);
+      }
+      if (log[i].origin == log[i - 1].origin) {
+        ++run;
+        if (around.size() >= cfg.fairness_min_active && run > rep.longest_run) {
+          rep.longest_run = run;
+          if (cfg.max_consecutive_run > 0 && run > cfg.max_consecutive_run) {
+            rep.violations.push_back(
+                "origin " + std::to_string(log[i].origin) + " delivered " +
+                std::to_string(run) + " consecutive messages ending at index " +
+                std::to_string(i) + " (bound " +
+                std::to_string(cfg.max_consecutive_run) + ") while " +
+                std::to_string(around.size()) + " origins were active");
+            return rep;
+          }
+        }
+      } else {
+        run = 1;
+      }
+    }
+  }
+  return rep;
+}
+
+std::string check_latency_bound(const std::vector<RoundLatencySample>& samples,
+                                std::uint32_t n, std::uint32_t t) {
+  ring::Topology topo{n, t};
+  for (const auto& s : samples) {
+    auto bound = static_cast<long long>(topo.analytic_latency(s.origin_pos));
+    if (s.rounds > bound) {
+      return "broadcast from position " + std::to_string(s.origin_pos) + " took " +
+             std::to_string(s.rounds) + " rounds, above L(i) = 2n + t - i - 1 = " +
+             std::to_string(bound) + " (n=" + std::to_string(n) +
+             ", t=" + std::to_string(t) + ")";
+    }
+  }
+  return {};
+}
+
+}  // namespace fsr

@@ -1,0 +1,69 @@
+// Offline trace analysis that complements InvariantChecker's hard safety
+// checks with the paper's *performance* properties:
+//
+//   - fairness (§4.3): the leader serves its forward list round-robin, so
+//     in any window of consecutive deliveries where k >= 2 origins are
+//     active, no origin may hog the window. lint_trace() measures the worst
+//     window share and the longest single-origin run and compares them to
+//     the configured bounds (bounds are opt-in because bursty workloads
+//     legitimately produce long runs when only one sender is active).
+//   - the round-model latency bound (§4.3.1): a broadcast originated at
+//     ring position i completes within L(i) = 2n + t - i - 1 rounds in an
+//     idle system. check_latency_bound() verifies measured samples.
+//
+// Used by the soak test and the figure benches so long-running paths
+// continuously validate behaviour instead of only final-state checks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "checker/invariant_checker.h"
+#include "ring/rules.h"
+
+namespace fsr {
+
+struct LintConfig {
+  /// Window (in deliveries) over which fairness shares are measured.
+  std::size_t fairness_window = 64;
+
+  /// If > 0: flag any window where >= `fairness_min_active` origins appear
+  /// but one origin exceeds this share of the window.
+  double fairness_max_share = 0.0;
+  std::size_t fairness_min_active = 2;
+
+  /// If > 0: flag any single-origin run longer than this while at least
+  /// `fairness_min_active` origins are active in the surrounding window.
+  std::size_t max_consecutive_run = 0;
+};
+
+struct LintReport {
+  std::vector<std::string> violations;  // configured bounds exceeded
+  std::map<NodeId, std::uint64_t> per_origin;  // deliveries by origin (node 0's log)
+  double worst_window_share = 0.0;     // max origin share over any active window
+  std::size_t longest_run = 0;         // longest single-origin run in an active window
+  double jain_index = 1.0;             // over per-origin totals
+
+  bool ok() const { return violations.empty(); }
+  std::string summary() const;
+};
+
+/// Analyze one process's delivery order (total order makes any correct
+/// process's log representative).
+LintReport lint_trace(const std::vector<DeliveryRecord>& log, const LintConfig& cfg);
+
+/// One measured round-model latency: a broadcast from ring position
+/// `origin_pos` that took `rounds` rounds from submission to completion.
+struct RoundLatencySample {
+  Position origin_pos = 0;
+  long long rounds = 0;
+};
+
+/// Verify every sample against L(i) = 2n + t - i - 1 ("" = all within
+/// bound).
+std::string check_latency_bound(const std::vector<RoundLatencySample>& samples,
+                                std::uint32_t n, std::uint32_t t);
+
+}  // namespace fsr

@@ -89,6 +89,10 @@ class ByteReader {
     for (;;) {
       if (shift >= 64) throw CodecError("varint too long");
       std::uint8_t b = u8();
+      // The 10th byte holds only bit 63: anything above it would be
+      // silently dropped by the shift, so reject it as malformed rather
+      // than decode an aliased value.
+      if (shift == 63 && (b & 0x7e) != 0) throw CodecError("varint overflows 64 bits");
       v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
       if ((b & 0x80) == 0) return v;
       shift += 7;

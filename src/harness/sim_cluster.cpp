@@ -26,7 +26,10 @@ Bytes test_payload(NodeId origin, std::uint64_t app_msg, std::size_t size) {
 }
 
 SimCluster::SimCluster(ClusterConfig config)
-    : cfg_(config), world_(config.net, config.n, config.fd_delay), logs_(config.n) {
+    : cfg_(config),
+      world_(config.net, config.n, config.fd_delay),
+      checker_(config.n),
+      logs_(config.n) {
   View initial;
   initial.id = 1;
   std::size_t members_n =
@@ -40,9 +43,12 @@ SimCluster::SimCluster(ClusterConfig config)
     members_.push_back(std::make_unique<GroupMember>(
         world_.transport(id), config.group, initial,
         [this, id](const Delivery& d) {
-          logs_[id].push_back(LogEntry{d.origin, d.app_msg, d.seq, d.view,
-                                       d.payload.size(), world_.sim().now(),
-                                       hash_bytes(d.payload)});
+          std::uint64_t hash = hash_bytes(d.payload);
+          Time at = world_.sim().now();
+          logs_[id].push_back(
+              LogEntry{d.origin, d.app_msg, d.seq, d.view, d.payload.size(), at, hash});
+          checker_.on_delivery(DeliveryRecord{id, d.origin, d.app_msg, d.seq, d.view,
+                                              hash, d.payload.size(), at});
           if (tap_) tap_(id, d);
         }));
   }
@@ -52,17 +58,19 @@ void SimCluster::broadcast(NodeId from, Bytes payload) {
   // The engine numbers own app messages 1, 2, ...; mirror that here.
   std::uint64_t app_msg = ++next_app_counter_[from];
   submit_times_[{from, app_msg}] = world_.sim().now();
-  submit_hashes_[{from, app_msg}] = hash_bytes(payload);
+  checker_.on_broadcast(from, app_msg, hash_bytes(payload));
   members_[from]->broadcast(std::move(payload));
 }
 
 void SimCluster::crash(NodeId node) {
   crashed_.insert(node);
+  checker_.note_crashed(node);
   world_.crash(node);
 }
 
 void SimCluster::crash_silent(NodeId node) {
   crashed_.insert(node);
+  checker_.note_crashed(node);
   world_.crash_silent(node);
 }
 
@@ -85,124 +93,19 @@ Time SimCluster::completion_time(NodeId origin, std::uint64_t app_msg) const {
   return worst;
 }
 
-namespace {
-
-std::string describe(const SimCluster::LogEntry& e) {
-  return "m(" + std::to_string(e.origin) + "," + std::to_string(e.app_msg) + ")";
-}
-
-}  // namespace
-
-std::string SimCluster::check_total_order() const {
-  // Pairwise: the common subsequence of two logs must appear in the same
-  // order in both. Since each (origin, app_msg) appears at most once per log
-  // (checked by integrity), it suffices to compare the restriction of each
-  // log to the other's delivered set.
-  for (std::size_t a = 0; a < logs_.size(); ++a) {
-    for (std::size_t b = a + 1; b < logs_.size(); ++b) {
-      std::set<std::pair<NodeId, std::uint64_t>> in_b;
-      for (const auto& e : logs_[b]) in_b.insert({e.origin, e.app_msg});
-      std::vector<std::pair<NodeId, std::uint64_t>> ra;
-      for (const auto& e : logs_[a]) {
-        if (in_b.count({e.origin, e.app_msg})) ra.push_back({e.origin, e.app_msg});
-      }
-      std::set<std::pair<NodeId, std::uint64_t>> in_a;
-      for (const auto& e : logs_[a]) in_a.insert({e.origin, e.app_msg});
-      std::vector<std::pair<NodeId, std::uint64_t>> rb;
-      for (const auto& e : logs_[b]) {
-        if (in_a.count({e.origin, e.app_msg})) rb.push_back({e.origin, e.app_msg});
-      }
-      if (ra != rb) {
-        return "total order violated between node " + std::to_string(a) + " and node " +
-               std::to_string(b);
-      }
-    }
-  }
-  return {};
-}
+std::string SimCluster::check_total_order() const { return checker_.check_total_order(); }
 
 std::string SimCluster::check_agreement(const std::set<NodeId>& correct) const {
-  const std::vector<LogEntry>* ref = nullptr;
-  NodeId ref_id = kNoNode;
-  for (NodeId n : correct) {
-    const auto& log = logs_[n];
-    if (!ref) {
-      ref = &log;
-      ref_id = n;
-      continue;
-    }
-    if (log.size() != ref->size()) {
-      return "agreement violated: node " + std::to_string(n) + " delivered " +
-             std::to_string(log.size()) + " messages, node " + std::to_string(ref_id) +
-             " delivered " + std::to_string(ref->size());
-    }
-    for (std::size_t i = 0; i < log.size(); ++i) {
-      if (log[i].origin != (*ref)[i].origin || log[i].app_msg != (*ref)[i].app_msg ||
-          log[i].payload_hash != (*ref)[i].payload_hash) {
-        return "agreement violated at index " + std::to_string(i) + ": node " +
-               std::to_string(n) + " delivered " + describe(log[i]) + ", node " +
-               std::to_string(ref_id) + " delivered " + describe((*ref)[i]);
-      }
-    }
-  }
-  return {};
+  return checker_.check_agreement(correct);
 }
 
-std::string SimCluster::check_integrity() const {
-  for (std::size_t n = 0; n < logs_.size(); ++n) {
-    std::set<std::pair<NodeId, std::uint64_t>> seen;
-    for (const auto& e : logs_[n]) {
-      auto key = std::make_pair(e.origin, e.app_msg);
-      if (!seen.insert(key).second) {
-        return "node " + std::to_string(n) + " delivered " + describe(e) + " twice";
-      }
-      auto it = submit_hashes_.find(key);
-      if (it == submit_hashes_.end()) {
-        return "node " + std::to_string(n) + " delivered never-broadcast " + describe(e);
-      }
-      if (it->second != e.payload_hash) {
-        return "node " + std::to_string(n) + " delivered corrupted payload for " +
-               describe(e);
-      }
-    }
-  }
-  return {};
-}
+std::string SimCluster::check_integrity() const { return checker_.check_integrity(); }
 
 std::string SimCluster::check_uniformity(const std::set<NodeId>& crashed,
                                          const std::set<NodeId>& correct) const {
-  for (NodeId c : crashed) {
-    const auto& clog = logs_[c];
-    for (NodeId s : correct) {
-      const auto& slog = logs_[s];
-      if (clog.size() > slog.size()) {
-        return "uniformity violated: crashed node " + std::to_string(c) +
-               " delivered more than correct node " + std::to_string(s);
-      }
-      for (std::size_t i = 0; i < clog.size(); ++i) {
-        if (clog[i].origin != slog[i].origin || clog[i].app_msg != slog[i].app_msg) {
-          return "uniformity violated: crashed node " + std::to_string(c) +
-                 " delivered " + describe(clog[i]) + " at index " + std::to_string(i) +
-                 " but correct node " + std::to_string(s) + " delivered " +
-                 describe(slog[i]);
-        }
-      }
-    }
-  }
-  return {};
+  return checker_.check_uniformity(crashed, correct);
 }
 
-std::string SimCluster::check_all() const {
-  std::set<NodeId> correct;
-  for (std::size_t i = 0; i < logs_.size(); ++i) {
-    auto id = static_cast<NodeId>(i);
-    if (crashed_.count(id) == 0) correct.insert(id);
-  }
-  if (auto err = check_integrity(); !err.empty()) return err;
-  if (auto err = check_total_order(); !err.empty()) return err;
-  if (auto err = check_agreement(correct); !err.empty()) return err;
-  if (auto err = check_uniformity(crashed_, correct); !err.empty()) return err;
-  return {};
-}
+std::string SimCluster::check_all() const { return checker_.check_all(); }
 
 }  // namespace fsr

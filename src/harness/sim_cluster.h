@@ -1,7 +1,8 @@
 // Test/benchmark harness: a complete simulated FSR cluster — simulator,
-// network model, one GroupMember per node — with per-node delivery logs and
-// the correctness checkers used by property tests (total order, agreement,
-// integrity, uniformity under crashes).
+// network model, one GroupMember per node — with per-node delivery logs.
+// Every submission and delivery is streamed into an InvariantChecker
+// (src/checker), which validates the paper's safety properties online; the
+// check_* methods here are thin façades over it.
 #pragma once
 
 #include <map>
@@ -10,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "checker/invariant_checker.h"
 #include "net/cluster_net.h"
 #include "transport/sim_transport.h"
 #include "vsc/group.h"
@@ -83,7 +85,11 @@ class SimCluster {
   /// live node has not.
   Time completion_time(NodeId origin, std::uint64_t app_msg) const;
 
-  // --- invariant checkers: empty string means the invariant holds ---
+  /// The protocol-invariant checker fed by this cluster (online findings,
+  /// raw DeliveryRecords for trace lints, ...).
+  const InvariantChecker& checker() const { return checker_; }
+
+  // --- invariant checkers (façade over checker()): "" = invariant holds ---
 
   /// Total order: every pair of logs agrees on the order and identity of
   /// common deliveries (each is a prefix-consistent subsequence).
@@ -107,11 +113,11 @@ class SimCluster {
  private:
   ClusterConfig cfg_;
   SimWorld world_;
+  InvariantChecker checker_;
   std::vector<std::unique_ptr<GroupMember>> members_;
   std::vector<std::vector<LogEntry>> logs_;
   std::map<NodeId, std::uint64_t> next_app_counter_;
   std::map<std::pair<NodeId, std::uint64_t>, Time> submit_times_;
-  std::map<std::pair<NodeId, std::uint64_t>, std::uint64_t> submit_hashes_;
   std::set<NodeId> crashed_;
   std::function<void(NodeId, const Delivery&)> tap_;
 };

@@ -18,7 +18,7 @@ Time wall_now() {
 }
 }  // namespace
 
-TcpCluster::TcpCluster(std::size_t n, GroupConfig group) {
+TcpCluster::TcpCluster(std::size_t n, GroupConfig group) : checker_(n) {
   if (const char* lvl = std::getenv("FSR_LOG")) {
     if (std::string(lvl) == "debug") set_log_level(LogLevel::kDebug);
     if (std::string(lvl) == "info") set_log_level(LogLevel::kInfo);
@@ -51,11 +51,17 @@ TcpCluster::TcpCluster(std::size_t n, GroupConfig group) {
   for (std::size_t i = 0; i < n; ++i) initial.members.push_back(static_cast<NodeId>(i));
   for (std::size_t i = 0; i < n; ++i) {
     Node* node = nodes_[i].get();
+    auto id = static_cast<NodeId>(i);
     node->member = std::make_unique<GroupMember>(
-        *node->transport, group, initial, [node](const Delivery& d) {
-          std::lock_guard lock(node->mutex);
-          node->log.push_back(LogEntry{d.origin, d.app_msg, d.seq, d.payload.size(),
-                                       hash_bytes(d.payload)});
+        *node->transport, group, initial, [this, node, id](const Delivery& d) {
+          std::uint64_t hash = hash_bytes(d.payload);
+          {
+            std::lock_guard lock(node->mutex);
+            node->log.push_back(
+                LogEntry{d.origin, d.app_msg, d.seq, d.payload.size(), hash});
+          }
+          checker_.on_delivery(DeliveryRecord{id, d.origin, d.app_msg, d.seq, d.view,
+                                              hash, d.payload.size(), wall_now()});
         });
   }
   for (auto& node : nodes_) node->transport->start();
@@ -68,13 +74,19 @@ TcpCluster::~TcpCluster() {
 void TcpCluster::broadcast(NodeId from, Bytes payload) {
   Node* node = nodes_[from].get();
   if (node->crashed.load()) return;
-  node->transport->post([node, payload = std::move(payload)]() mutable {
+  // The submission is registered on the I/O thread so the mirrored app_msg
+  // counter agrees with the engine's numbering even when several
+  // application threads broadcast through one node concurrently.
+  std::uint64_t hash = hash_bytes(payload);
+  node->transport->post([this, from, node, hash, payload = std::move(payload)]() mutable {
+    checker_.on_broadcast(from, ++node->app_counter, hash);
     node->member->broadcast(std::move(payload));
   });
 }
 
 void TcpCluster::crash(NodeId node) {
   nodes_[node]->crashed.store(true);
+  checker_.note_crashed(node);
   nodes_[node]->transport->stop();
 }
 

@@ -10,6 +10,7 @@
 #include <mutex>
 #include <vector>
 
+#include "checker/invariant_checker.h"
 #include "transport/tcp_transport.h"
 #include "vsc/group.h"
 
@@ -53,6 +54,17 @@ class TcpCluster {
   /// Run a function on a node's I/O thread and wait (e.g. leave requests).
   void with_member(NodeId node, const std::function<void(GroupMember&)>& fn);
 
+  /// The protocol-invariant checker fed by every node's delivery stream
+  /// (concurrently, from the n I/O threads). Online findings surface here
+  /// the moment they happen.
+  const InvariantChecker& checker() const { return checker_; }
+
+  /// All safety invariants over everything delivered so far ("" = hold).
+  /// `correct` = nodes never crashed via crash(). Nodes that left the group
+  /// gracefully stop delivering, so only call after traffic has quiesced or
+  /// exclude leavers via crash().
+  std::string check_invariants() const { return checker_.check_all(); }
+
  private:
   struct Node {
     std::unique_ptr<TcpTransport> transport;
@@ -60,8 +72,10 @@ class TcpCluster {
     mutable std::mutex mutex;
     std::vector<LogEntry> log;
     std::atomic<bool> crashed{false};
+    std::uint64_t app_counter = 0;  // I/O thread only; mirrors engine numbering
   };
 
+  InvariantChecker checker_;
   std::vector<std::unique_ptr<Node>> nodes_;
 };
 

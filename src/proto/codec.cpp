@@ -55,11 +55,20 @@ MsgId get_msg_id(ByteReader& r) {
   return id;
 }
 
+// Largest segment count a single application message may claim. Caps what a
+// malicious DATA stream can make the reassembly path retain (count *
+// segment_size bytes) and rejects garbage headers early.
+constexpr std::uint64_t kMaxFragCount = 1u << 20;
+
 FragInfo get_frag(ByteReader& r) {
   FragInfo f;
   f.app_msg = r.var();
-  f.index = static_cast<std::uint32_t>(r.var());
-  f.count = static_cast<std::uint32_t>(r.var());
+  std::uint64_t index = r.var();
+  std::uint64_t count = r.var();
+  if (count == 0 || count > kMaxFragCount) throw CodecError("bad fragment count");
+  if (index >= count) throw CodecError("fragment index out of range");
+  f.index = static_cast<std::uint32_t>(index);
+  f.count = static_cast<std::uint32_t>(count);
   return f;
 }
 

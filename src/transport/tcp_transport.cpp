@@ -45,7 +45,13 @@ Bytes frame_with_length_prefix(const Frame& frame) {
 
 TcpTransport::TcpTransport(TcpConfig config) : cfg_(std::move(config)) {}
 
-TcpTransport::~TcpTransport() { stop(); }
+TcpTransport::~TcpTransport() {
+  stop();
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
 
 Time TcpTransport::now() const {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -89,14 +95,21 @@ void TcpTransport::bind() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
   bound_port_ = ntohs(bound.sin_port);
 
-  if (::pipe(wake_pipe_) != 0) assert(false && "pipe failed");
-  set_nonblocking(wake_pipe_[0]);
-  set_nonblocking(wake_pipe_[1]);
+  // The wake pipe outlives stop(): application threads may still post()
+  // against a stopped transport (e.g. a harness crash() racing a broadcast),
+  // and writing to a closed — possibly reused — fd would corrupt whoever
+  // owns it now. It is created once and closed only in the destructor.
+  if (wake_pipe_[0] < 0) {
+    if (::pipe(wake_pipe_) != 0) assert(false && "pipe failed");
+    set_nonblocking(wake_pipe_[0]);
+    set_nonblocking(wake_pipe_[1]);
+  }
 }
 
 void TcpTransport::start() {
   bind();
   running_.store(true);
+  io_dead_.store(false);
   io_thread_ = std::thread([this] { io_loop(); });
 }
 
@@ -105,6 +118,12 @@ void TcpTransport::stop() {
   char b = 1;
   [[maybe_unused]] ssize_t w = ::write(wake_pipe_[1], &b, 1);
   if (io_thread_.joinable()) io_thread_.join();
+  // Run closures that were posted but never reached the I/O thread: a
+  // post_wait() racing this stop() would otherwise block forever. io_dead_
+  // is published only after the join, so post-stop drainers (here and in
+  // post()) are ordered after every I/O-thread access to the engine.
+  io_dead_.store(true);
+  drain_posted();
   for (auto& c : conns_) {
     if (c.fd >= 0) {
       FSR_DEBUG("node %u: stop() closing fd=%d peer=%d", cfg_.self, c.fd,
@@ -115,10 +134,6 @@ void TcpTransport::stop() {
   conns_.clear();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
-  for (int i = 0; i < 2; ++i) {
-    if (wake_pipe_[i] >= 0) ::close(wake_pipe_[i]);
-    wake_pipe_[i] = -1;
-  }
 }
 
 void TcpTransport::post(std::function<void()> fn) {
@@ -128,6 +143,11 @@ void TcpTransport::post(std::function<void()> fn) {
   }
   char b = 1;
   [[maybe_unused]] ssize_t w = ::write(wake_pipe_[1], &b, 1);
+  // No I/O thread left to run the closure: drain it ourselves. If io_dead_
+  // still reads false here, stop()'s own drain (which runs after it is set
+  // and loops until the queue is empty) is guaranteed to pick our closure
+  // up — the shared post_mutex_ orders the two cases.
+  if (io_dead_.load()) drain_posted();
 }
 
 void TcpTransport::post_wait(std::function<void()> fn) {
@@ -375,6 +395,11 @@ void TcpTransport::close_conn(std::size_t idx, bool peer_fault) {
 }
 
 void TcpTransport::drain_posted() {
+  // drain_mutex_ makes closure execution mutually exclusive: before stop()
+  // the I/O thread is the only drainer, afterwards concurrent post() callers
+  // may drain and must not run engine code in parallel. Recursive because a
+  // drained closure may itself post().
+  std::lock_guard drain_lock(drain_mutex_);
   for (;;) {
     std::function<void()> fn;
     {

@@ -114,12 +114,17 @@ class TcpTransport final : public Transport {
 
   TcpConfig cfg_;
   std::atomic<bool> running_{false};
+  /// False only while the I/O thread may still run closures; set (after the
+  /// join) by stop(). When true, post() drains the queue itself so posted
+  /// work — and post_wait() callers — cannot strand.
+  std::atomic<bool> io_dead_{true};
   std::thread io_thread_;
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
   std::uint16_t bound_port_ = 0;
 
   std::mutex post_mutex_;
+  std::recursive_mutex drain_mutex_;  // serializes closure execution
   std::deque<std::function<void()>> posted_;
 
   std::vector<Conn> conns_;

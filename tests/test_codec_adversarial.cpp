@@ -1,0 +1,221 @@
+// Adversarial decoding: the wire codec sits at a trust boundary (any TCP
+// peer can send arbitrary bytes), so decode_frame must either return a
+// well-formed Frame or throw CodecError — never crash, read out of bounds,
+// or silently mis-decode. Feeds thousands of mutated frames (bit flips,
+// truncations, oversized varints, garbage) through the decoder; runs clean
+// under ASan/UBSan by construction of the sanitizer CI matrix.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "proto/codec.h"
+
+namespace fsr {
+namespace {
+
+// A frame exercising every message type and every field kind (varints,
+// fixed-width ints, byte strings, node lists, nested payloads).
+Frame corpus_frame() {
+  DataMsg data;
+  data.id = MsgId{3, 1000};
+  data.view = 7;
+  data.frag = FragInfo{12, 3, 9};
+  data.payload = make_payload(Bytes(300, 0xa5));
+
+  SeqMsg seq;
+  seq.id = MsgId{1, 999};
+  seq.seq = 123456789;
+  seq.view = 7;
+  seq.frag = FragInfo{5, 0, 1};
+  seq.payload = make_payload(Bytes(64, 0x11));
+
+  TokenMsg token;
+  token.next_seq = 42;
+  token.view = 7;
+  token.idle_laps = 2;
+  token.acked = {1, 2, 3, 70000};
+
+  FlushReq flush;
+  flush.proposed = 9;
+  flush.members = {0, 1, 2, 3, 4};
+  flush.want_snapshot = true;
+
+  ViewInstall install;
+  install.view = 9;
+  install.members = {0, 1, 2};
+  install.state_owners = {0, 1};
+  install.states = {Bytes{1, 2, 3}, Bytes(100, 0xee)};
+
+  FlushState fstate;
+  fstate.proposed = 9;
+  fstate.from = 2;
+  fstate.state = Bytes(50, 0x42);
+
+  Frame f;
+  f.from = 1;
+  f.to = 2;
+  f.msgs = {data,
+            seq,
+            AckMsg{MsgId{2, 17}, 55, 7, true},
+            GcMsg{1000, 7, 3},
+            token,
+            Heartbeat{7},
+            flush,
+            fstate,
+            install,
+            InstallAck{9, 1},
+            CommitView{9},
+            JoinReq{5},
+            LeaveReq{4},
+            CrashReport{3}};
+  return f;
+}
+
+/// Decoding attempt that must never exhibit UB: either a Frame comes back
+/// or CodecError is thrown. Anything else (other exceptions, crashes,
+/// sanitizer reports) fails the test / the sanitizer job.
+bool decodes(const Bytes& wire) {
+  try {
+    Frame f = decode_frame(wire);
+    (void)f;
+    return true;
+  } catch (const CodecError&) {
+    return false;
+  }
+}
+
+TEST(CodecAdversarial, CorpusRoundtrips) {
+  Bytes wire = encode_frame(corpus_frame());
+  EXPECT_TRUE(decodes(wire));
+  EXPECT_EQ(decode_frame(wire).msgs.size(), corpus_frame().msgs.size());
+}
+
+TEST(CodecAdversarial, EveryTruncationIsRejectedCleanly) {
+  Bytes wire = encode_frame(corpus_frame());
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    Bytes cut(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_FALSE(decodes(cut)) << "truncation to " << len
+                               << " bytes decoded as a full frame";
+  }
+}
+
+TEST(CodecAdversarial, SingleBitFlipsNeverCrash) {
+  Bytes wire = encode_frame(corpus_frame());
+  for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes mutated = wire;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      decodes(mutated);  // must not crash / trip a sanitizer
+    }
+  }
+}
+
+TEST(CodecAdversarial, RandomMutationsNeverCrash) {
+  Bytes wire = encode_frame(corpus_frame());
+  Rng rng(20260806);
+  for (int round = 0; round < 2000; ++round) {
+    Bytes mutated = wire;
+    int edits = 1 + static_cast<int>(rng.below(8));
+    for (int e = 0; e < edits; ++e) {
+      switch (rng.below(3)) {
+        case 0:  // flip a random byte
+          mutated[rng.below(mutated.size())] = static_cast<std::uint8_t>(rng.next());
+          break;
+        case 1:  // truncate
+          mutated.resize(rng.below(mutated.size() + 1));
+          break;
+        default:  // splice random garbage
+          if (!mutated.empty()) {
+            std::size_t at = rng.below(mutated.size());
+            std::size_t len = rng.below(16);
+            for (std::size_t i = 0; i < len && at + i < mutated.size(); ++i) {
+              mutated[at + i] = static_cast<std::uint8_t>(rng.next());
+            }
+          }
+          break;
+      }
+      if (mutated.empty()) break;
+    }
+    decodes(mutated);
+  }
+}
+
+TEST(CodecAdversarial, PureGarbageNeverCrashes) {
+  Rng rng(424242);
+  for (int round = 0; round < 2000; ++round) {
+    Bytes garbage(rng.below(512));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    decodes(garbage);
+  }
+}
+
+TEST(CodecAdversarial, OversizedVarintIsRejected) {
+  // 10 continuation bytes: the value needs more than 64 bits.
+  ByteWriter w;
+  w.u32(1);  // from
+  w.u32(2);  // to
+  for (int i = 0; i < 10; ++i) w.u8(0xff);
+  w.u8(0x7f);
+  EXPECT_FALSE(decodes(w.take()));
+
+  // Exactly 10 bytes but bits above 63 set: aliasing must be rejected, not
+  // silently truncated.
+  ByteWriter w2;
+  w2.u32(1);
+  w2.u32(2);
+  for (int i = 0; i < 9; ++i) w2.u8(0x80);
+  w2.u8(0x02);  // would be bit 64
+  EXPECT_FALSE(decodes(w2.take()));
+}
+
+TEST(CodecAdversarial, MaximalVarintStillDecodes) {
+  ByteWriter w;
+  w.var(~0ULL);
+  Bytes b = w.take();
+  ByteReader r(b);
+  EXPECT_EQ(r.var(), ~0ULL);
+}
+
+TEST(CodecAdversarial, HugeClaimedListsAreRejected) {
+  // A TOKEN whose ack list claims 2^40 entries in a tiny buffer.
+  ByteWriter w;
+  w.u32(0);
+  w.u32(1);
+  w.var(1);  // one message
+  w.u8(12);  // Tag::kToken
+  w.var(1);  // next_seq
+  w.var(1);  // view
+  w.var(0);  // idle_laps
+  w.var(1ULL << 40);
+  EXPECT_FALSE(decodes(w.take()));
+}
+
+TEST(CodecAdversarial, BadFragmentHeadersAreRejected) {
+  auto data_frame_with_frag = [](std::uint64_t index, std::uint64_t count) {
+    ByteWriter w;
+    w.u32(0);
+    w.u32(1);
+    w.var(1);   // one message
+    w.u8(1);    // Tag::kData
+    w.u32(3);   // id.origin
+    w.var(10);  // id.lsn
+    w.var(1);   // view
+    w.var(1);   // frag.app_msg
+    w.var(index);
+    w.var(count);
+    w.var(0);  // empty payload
+    return w.take();
+  };
+  EXPECT_TRUE(decodes(data_frame_with_frag(0, 1)));
+  EXPECT_FALSE(decodes(data_frame_with_frag(0, 0)));   // zero segments
+  EXPECT_FALSE(decodes(data_frame_with_frag(5, 5)));   // index past count
+  EXPECT_FALSE(decodes(data_frame_with_frag(0, 1ULL << 32)));  // absurd count
+}
+
+TEST(CodecAdversarial, TrailingBytesAreRejected) {
+  Bytes wire = encode_frame(corpus_frame());
+  wire.push_back(0x00);
+  EXPECT_FALSE(decodes(wire));
+}
+
+}  // namespace
+}  // namespace fsr

@@ -4,6 +4,7 @@
 // safety invariants hold at the end.
 #include <gtest/gtest.h>
 
+#include "checker/trace_lint.h"
 #include "common/rng.h"
 #include "harness/sim_cluster.h"
 
@@ -46,10 +47,35 @@ TEST(Soak, SustainedTrafficWithChurnStaysHealthyAndBounded) {
     if (c.alive(coord)) c.node(coord).rotate_leader();
   });
 
+  // Continuous validation: the checker verifies every delivery online;
+  // periodically assert that nothing has tripped mid-run rather than only
+  // inspecting the final state.
+  for (Time at = 250 * kMillisecond; at < 2 * kSecond; at += 250 * kMillisecond) {
+    c.sim().schedule_at(at, [&c, at] {
+      ASSERT_EQ(c.checker().online_violation(), "") << "at t=" << at;
+    });
+  }
+
   c.sim().run();
 
+  // check_all()'s agreement pass assumes every correct node was a member
+  // from the start; node 5 joined mid-run, so assert the join-compatible
+  // subset: everything caught online, pairwise total order, integrity,
+  // per-origin FIFO, and uniformity against the nodes that saw the crash.
+  EXPECT_EQ(c.checker().online_violation(), "");
   EXPECT_EQ(c.check_total_order(), "");
   EXPECT_EQ(c.check_integrity(), "");
+  EXPECT_EQ(c.checker().check_fifo(), "");
+  EXPECT_EQ(c.check_uniformity({3}, {0, 1, 2, 4}), "");
+
+  // Fairness lint over a correct node's delivery order: with five competing
+  // Poisson senders the forward list must interleave them — no origin may
+  // own a steady-state window outright.
+  LintConfig lint;
+  lint.fairness_window = 32;
+  lint.fairness_max_share = 0.9;
+  LintReport rep = lint_trace(c.checker().log(1), lint);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
 
   // All live members converged to one view and drained their queues.
   ViewId vid = 0;

@@ -187,7 +187,9 @@ TEST(ViewChange, SenderCrashMayLoseOnlyItsOwnUndelivered) {
   // All survivors agree on exactly how many of node 3's messages exist.
   std::size_t count = c.log(0).size();
   for (NodeId n = 1; n < 5; ++n) {
-    if (c.alive(n)) EXPECT_EQ(c.log(n).size(), count);
+    if (c.alive(n)) {
+      EXPECT_EQ(c.log(n).size(), count);
+    }
   }
 }
 
