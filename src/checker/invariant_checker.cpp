@@ -18,7 +18,17 @@ InvariantChecker::InvariantChecker(std::size_t n, CheckerConfig config)
     : n_(n), cfg_(config), logs_(n), last_app_(n) {}
 
 void InvariantChecker::record_violation(std::string what) {
-  if (first_violation_.empty()) first_violation_ = std::move(what);
+  if (!first_violation_.empty()) return;
+  if (context_) {
+    std::string ctx = context_();
+    if (!ctx.empty()) what += " [" + ctx + "]";
+  }
+  first_violation_ = std::move(what);
+}
+
+void InvariantChecker::set_context_provider(std::function<std::string()> fn) {
+  std::lock_guard lock(mutex_);
+  context_ = std::move(fn);
 }
 
 void InvariantChecker::on_broadcast(NodeId origin, std::uint64_t app_msg,

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <set>
@@ -72,6 +73,14 @@ class InvariantChecker {
   /// Mark a process crashed (it becomes subject to the uniformity check and
   /// exempt from agreement).
   void note_crashed(NodeId node);
+
+  /// Per-event provenance: `fn` is invoked (under the feed lock — it must
+  /// not call back into the checker) whenever an online check records a
+  /// violation, and its result is appended to the message. The fault-
+  /// injection harness uses this to tag the first violation with the fault
+  /// event and virtual time that triggered it, so a swarm failure reads
+  /// "what broke" and "right after which injected fault" in one line.
+  void set_context_provider(std::function<std::string()> fn);
 
   // --- queries ---
 
@@ -135,6 +144,7 @@ class InvariantChecker {
   std::set<NodeId> crashed_;
   std::uint64_t deliveries_ = 0;
   std::string first_violation_;
+  std::function<std::string()> context_;
 };
 
 /// Render a (origin, app_msg) pair the way every checker message does.

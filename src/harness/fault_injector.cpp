@@ -1,0 +1,135 @@
+#include "harness/fault_injector.h"
+
+#include <cassert>
+
+namespace fsr {
+
+namespace {
+
+bool frame_matches(const Frame& frame, const FaultTrigger& t) {
+  if (t.from != kNoNode && frame.from != t.from) return false;
+  if (t.msg_kind < 0) return true;
+  for (const auto& m : frame.msgs) {
+    if (static_cast<int>(m.index()) == t.msg_kind) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(SimCluster& cluster, FaultPlan plan)
+    : cluster_(cluster), plan_(std::move(plan)), state_(plan_.events.size()) {}
+
+void FaultInjector::arm() {
+  assert(!armed_ && "arm() must be called exactly once");
+  armed_ = true;
+  cluster_.world().net().set_frame_tap([this](const Frame& f) { on_frame(f); });
+  cluster_.set_view_tap([this](NodeId, const View& v) { on_view(v); });
+  cluster_.checker().set_context_provider([this] {
+    if (last_applied_.empty()) return std::string("no fault applied yet");
+    return "after fault " + last_applied_ + " at t=" +
+           std::to_string(cluster_.sim().now() / kMicrosecond) + "us";
+  });
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultTrigger& t = plan_.events[i].trigger;
+    if (t.kind == FaultTrigger::Kind::kAtTime) {
+      state_[i].fired = true;
+      cluster_.sim().schedule_at(t.at + t.delay, [this, i] { apply(i); });
+    }
+  }
+}
+
+void FaultInjector::on_frame(const Frame& frame) {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultTrigger& t = plan_.events[i].trigger;
+    if (state_[i].fired || t.kind != FaultTrigger::Kind::kOnFrame) continue;
+    if (!frame_matches(frame, t)) continue;
+    if (++state_[i].matches >= t.nth) fire(i);
+  }
+}
+
+void FaultInjector::on_view(const View& view) {
+  // Count each new view id once (every member installs the same view).
+  if (view.id <= max_view_seen_) return;
+  max_view_seen_ = view.id;
+  ++view_changes_;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultTrigger& t = plan_.events[i].trigger;
+    if (state_[i].fired || t.kind != FaultTrigger::Kind::kOnViewChange) continue;
+    if (view_changes_ >= t.nth) fire(i);
+  }
+}
+
+void FaultInjector::fire(std::size_t index) {
+  state_[index].fired = true;
+  // Defer: taps run mid-frame inside the network/protocol; mutating the
+  // world there would corrupt the state being processed.
+  cluster_.sim().schedule(plan_.events[index].trigger.delay, [this, index] { apply(index); });
+}
+
+void FaultInjector::apply(std::size_t index) {
+  const FaultAction& a = plan_.events[index].action;
+  ++applied_;
+  last_applied_ = "#" + std::to_string(index) + " " + describe(plan_.events[index]);
+  ClusterNet& net = cluster_.world().net();
+  switch (a.kind) {
+    case FaultAction::Kind::kCrash:
+      if (cluster_.alive(a.node)) cluster_.crash(a.node, a.fd_delay);
+      break;
+    case FaultAction::Kind::kCrashSilent:
+      if (cluster_.alive(a.node)) cluster_.crash_silent(a.node);
+      break;
+    case FaultAction::Kind::kLinkDelay: {
+      net.set_link_delay(a.a, a.b, a.amount);
+      Time span = a.duration > 0 ? a.duration : kMillisecond;
+      cluster_.sim().schedule(span, [this, a] {
+        cluster_.world().net().set_link_delay(a.a, a.b, 0);
+      });
+      break;
+    }
+    case FaultAction::Kind::kLinkJitter: {
+      net.set_link_jitter(a.amount);
+      Time span = a.duration > 0 ? a.duration : kMillisecond;
+      cluster_.sim().schedule(span, [this] {
+        cluster_.world().net().set_link_jitter(0);
+      });
+      break;
+    }
+    case FaultAction::Kind::kPartition: {
+      auto in_side = [&a](NodeId n) {
+        for (NodeId s : a.side) {
+          if (s == n) return true;
+        }
+        return false;
+      };
+      std::vector<std::pair<NodeId, NodeId>> cut;
+      for (NodeId x = 0; x < cluster_.size(); ++x) {
+        for (NodeId y = 0; y < cluster_.size(); ++y) {
+          if (x == y || in_side(x) == in_side(y)) continue;
+          net.cut_link(x, y, a.drop_on_heal);
+          cut.emplace_back(x, y);
+        }
+      }
+      // A partition must always heal: plans model *transient* outages, and
+      // frames buffered forever would turn every run into a liveness
+      // failure of the harness rather than the protocol.
+      Time span = a.duration > 0 ? a.duration : kMillisecond;
+      cluster_.sim().schedule(span, [this, cut = std::move(cut)] {
+        for (auto [x, y] : cut) cluster_.world().net().heal_link(x, y);
+      });
+      break;
+    }
+    case FaultAction::Kind::kDropFrames:
+      net.drop_frames(a.a, a.b, a.count);
+      break;
+    case FaultAction::Kind::kRotateLeader:
+      // Only the current coordinator honors the request; asking everyone
+      // alive avoids tracking coordinatorship here.
+      for (NodeId n = 0; n < cluster_.size(); ++n) {
+        if (cluster_.alive(n)) cluster_.node(n).rotate_leader();
+      }
+      break;
+  }
+}
+
+}  // namespace fsr

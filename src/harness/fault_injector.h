@@ -1,0 +1,57 @@
+// Applies a FaultPlan to a live SimCluster: arms time triggers on the
+// simulator, watches the network's frame tap for frame-count triggers and
+// the cluster's view tap for view-change triggers, and translates actions
+// into ClusterNet / SimWorld fault primitives. Actions always apply via a
+// zero-delay simulator event, never from inside the tap callback (the
+// network is mid-frame there). Also wires itself into the cluster's
+// InvariantChecker as the provenance context, so the first violation of a
+// run is tagged with the last fault applied and the virtual time.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harness/fault_plan.h"
+#include "harness/sim_cluster.h"
+
+namespace fsr {
+
+class FaultInjector {
+ public:
+  /// Claims the cluster's frame tap, view tap and checker context. Call
+  /// arm() once before running the simulation.
+  FaultInjector(SimCluster& cluster, FaultPlan plan);
+
+  void arm();
+
+  /// Number of actions applied so far and a description of the last one
+  /// ("" if none) — this is what tags checker violations.
+  std::size_t applied() const { return applied_; }
+  const std::string& last_applied() const { return last_applied_; }
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void on_frame(const Frame& frame);
+  void on_view(const View& view);
+  void fire(std::size_t index);
+  void apply(std::size_t index);
+
+  SimCluster& cluster_;
+  FaultPlan plan_;
+
+  struct EventState {
+    bool fired = false;
+    std::uint64_t matches = 0;  // frames / view changes seen so far
+  };
+  std::vector<EventState> state_;
+  ViewId max_view_seen_ = 0;
+  std::uint64_t view_changes_ = 0;
+  bool armed_ = false;
+
+  std::size_t applied_ = 0;
+  std::string last_applied_;
+};
+
+}  // namespace fsr

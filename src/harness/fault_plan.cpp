@@ -1,0 +1,231 @@
+#include "harness/fault_plan.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace fsr {
+
+namespace {
+
+std::string format_time(Time t) {
+  if (t < 0) return "default";
+  if (t % kMillisecond == 0) return std::to_string(t / kMillisecond) + "ms";
+  if (t % kMicrosecond == 0) return std::to_string(t / kMicrosecond) + "us";
+  return std::to_string(t) + "ns";
+}
+
+std::string kind_name(int msg_kind) {
+  if (msg_kind == wire_msg_kind<DataMsg>) return "DATA";
+  if (msg_kind == wire_msg_kind<SeqMsg>) return "SEQ";
+  if (msg_kind == wire_msg_kind<AckMsg>) return "ACK";
+  if (msg_kind == wire_msg_kind<FlushReq>) return "FLUSH_REQ";
+  if (msg_kind == wire_msg_kind<FlushState>) return "FLUSH_STATE";
+  if (msg_kind == wire_msg_kind<ViewInstall>) return "VIEW_INSTALL";
+  if (msg_kind == wire_msg_kind<CommitView>) return "COMMIT_VIEW";
+  return "#" + std::to_string(msg_kind);
+}
+
+FaultTrigger random_trigger(Rng& rng, const FaultPlanConfig& cfg) {
+  FaultTrigger t;
+  switch (rng.below(8)) {
+    case 0:
+    case 1:
+    case 2: {  // plain virtual-time trigger
+      t.kind = FaultTrigger::Kind::kAtTime;
+      t.at = static_cast<Time>(rng.below(static_cast<std::uint64_t>(cfg.horizon) + 1));
+      break;
+    }
+    case 3:
+    case 4:
+    case 5: {  // Nth frame, optionally filtered by sender and message kind
+      t.kind = FaultTrigger::Kind::kOnFrame;
+      t.nth = 1 + rng.below(cfg.max_trigger_frames);
+      if (rng.chance(0.5)) t.from = static_cast<NodeId>(rng.below(cfg.n));
+      switch (rng.below(6)) {
+        case 0: t.msg_kind = wire_msg_kind<DataMsg>; break;
+        case 1: t.msg_kind = wire_msg_kind<SeqMsg>; break;
+        case 2: t.msg_kind = wire_msg_kind<AckMsg>; break;
+        case 3:  // mid-state-transfer: a flush blob is on the wire
+          t.msg_kind = wire_msg_kind<FlushState>;
+          t.nth = 1 + rng.below(4);
+          break;
+        default: break;  // any frame
+      }
+      // Filtered triggers match rarely; keep their counts reachable.
+      if (t.msg_kind >= 0 && t.msg_kind != wire_msg_kind<DataMsg>) {
+        t.nth = 1 + rng.below(30);
+      }
+      break;
+    }
+    default: {  // Nth view change
+      t.kind = FaultTrigger::Kind::kOnViewChange;
+      t.nth = 1 + rng.below(2);
+      break;
+    }
+  }
+  t.delay = static_cast<Time>(rng.below(2 * kMillisecond));
+  return t;
+}
+
+}  // namespace
+
+FaultPlan make_fault_plan(std::uint64_t seed, const FaultPlanConfig& cfg) {
+  Rng rng(seed ^ 0xfa71bb0c4de5ed5ULL);
+  FaultPlan plan;
+  plan.seed = seed;
+  if (cfg.max_events == 0 || cfg.n < 2) return plan;
+
+  std::size_t n_events = rng.below(cfg.max_events + 1);
+  std::set<NodeId> crash_targets;
+
+  for (std::size_t i = 0; i < n_events; ++i) {
+    FaultEvent ev;
+    ev.trigger = random_trigger(rng, cfg);
+    FaultAction& a = ev.action;
+
+    // Pick an action kind allowed by the config; fall back to rotation
+    // (always safe) when a draw is disallowed or the crash budget is spent.
+    switch (rng.below(6)) {
+      case 0:
+      case 1: {  // crash (bounded by the budget, distinct targets)
+        if (crash_targets.size() >= cfg.max_crashes) {
+          if (!cfg.allow_rotation) continue;
+          a.kind = FaultAction::Kind::kRotateLeader;
+          break;
+        }
+        NodeId victim = static_cast<NodeId>(rng.below(cfg.n));
+        while (crash_targets.count(victim) > 0) {
+          victim = static_cast<NodeId>((victim + 1) % cfg.n);
+        }
+        crash_targets.insert(victim);
+        a.node = victim;
+        if (cfg.allow_silent_crashes && rng.chance(0.3)) {
+          a.kind = FaultAction::Kind::kCrashSilent;
+        } else {
+          a.kind = FaultAction::Kind::kCrash;
+          if (rng.chance(0.5)) {
+            a.fd_delay = static_cast<Time>(
+                rng.below(3 * kMillisecond) + 200 * kMicrosecond);
+          }
+        }
+        break;
+      }
+      case 2: {  // transient partition, buffer-then-release
+        if (!cfg.allow_partitions) continue;
+        a.kind = FaultAction::Kind::kPartition;
+        std::size_t side_size = (cfg.n >= 5 && rng.chance(0.3)) ? 2 : 1;
+        std::set<NodeId> side;
+        while (side.size() < side_size) {
+          side.insert(static_cast<NodeId>(rng.below(cfg.n)));
+        }
+        a.side.assign(side.begin(), side.end());
+        a.duration = static_cast<Time>(
+            rng.below(static_cast<std::uint64_t>(cfg.max_link_disruption)) +
+            300 * kMicrosecond);
+        a.drop_on_heal = cfg.allow_sabotage && rng.chance(0.3);
+        break;
+      }
+      case 3: {  // delay spike on one directed link
+        if (!cfg.allow_link_delays) continue;
+        a.kind = FaultAction::Kind::kLinkDelay;
+        a.a = static_cast<NodeId>(rng.below(cfg.n));
+        a.b = static_cast<NodeId>(rng.below(cfg.n));
+        if (a.a == a.b) a.b = static_cast<NodeId>((a.b + 1) % cfg.n);
+        a.amount = static_cast<Time>(rng.below(2 * kMillisecond) + 50 * kMicrosecond);
+        a.duration = static_cast<Time>(
+            rng.below(static_cast<std::uint64_t>(cfg.max_link_disruption)) +
+            500 * kMicrosecond);
+        break;
+      }
+      case 4: {  // bounded per-frame jitter on every link
+        if (!cfg.allow_link_delays) continue;
+        a.kind = FaultAction::Kind::kLinkJitter;
+        a.amount = static_cast<Time>(rng.below(300 * kMicrosecond) + 10 * kMicrosecond);
+        a.duration = static_cast<Time>(
+            rng.below(static_cast<std::uint64_t>(cfg.max_link_disruption)) +
+            500 * kMicrosecond);
+        break;
+      }
+      default: {  // leader churn
+        if (!cfg.allow_rotation) continue;
+        a.kind = FaultAction::Kind::kRotateLeader;
+        break;
+      }
+    }
+    plan.events.push_back(std::move(ev));
+  }
+  return plan;
+}
+
+std::string describe(const FaultTrigger& t) {
+  std::string out;
+  switch (t.kind) {
+    case FaultTrigger::Kind::kAtTime:
+      out = "t=" + format_time(t.at);
+      break;
+    case FaultTrigger::Kind::kOnFrame:
+      out = "frame#" + std::to_string(t.nth);
+      if (t.from != kNoNode || t.msg_kind >= 0) {
+        out += "(";
+        if (t.from != kNoNode) out += "from=" + std::to_string(t.from);
+        if (t.msg_kind >= 0) {
+          if (t.from != kNoNode) out += ",";
+          out += kind_name(t.msg_kind);
+        }
+        out += ")";
+      }
+      break;
+    case FaultTrigger::Kind::kOnViewChange:
+      out = "view#" + std::to_string(t.nth);
+      break;
+  }
+  if (t.delay > 0) out += "+" + format_time(t.delay);
+  return out;
+}
+
+std::string describe(const FaultAction& a) {
+  switch (a.kind) {
+    case FaultAction::Kind::kCrash:
+      return "crash(" + std::to_string(a.node) + ",fd=" + format_time(a.fd_delay) + ")";
+    case FaultAction::Kind::kCrashSilent:
+      return "crash_silent(" + std::to_string(a.node) + ")";
+    case FaultAction::Kind::kLinkDelay:
+      return "delay(" + std::to_string(a.a) + "->" + std::to_string(a.b) + ",+" +
+             format_time(a.amount) + "," + format_time(a.duration) + ")";
+    case FaultAction::Kind::kLinkJitter:
+      return "jitter(" + format_time(a.amount) + "," + format_time(a.duration) + ")";
+    case FaultAction::Kind::kPartition: {
+      std::string side;
+      for (NodeId n : a.side) {
+        if (!side.empty()) side += ",";
+        side += std::to_string(n);
+      }
+      return "partition({" + side + "}," + (a.drop_on_heal ? "drop" : "buffer") + "," +
+             format_time(a.duration) + ")";
+    }
+    case FaultAction::Kind::kDropFrames:
+      return "drop(" + std::to_string(a.a) + "->" + std::to_string(a.b) + ",x" +
+             std::to_string(a.count) + ")";
+    case FaultAction::Kind::kRotateLeader:
+      return "rotate";
+  }
+  return "?";
+}
+
+std::string describe(const FaultEvent& ev) {
+  return describe(ev.trigger) + " -> " + describe(ev.action);
+}
+
+std::string describe(const FaultPlan& plan) {
+  std::string out = "seed=" + std::to_string(plan.seed) + " events=[";
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += describe(plan.events[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace fsr

@@ -1,0 +1,125 @@
+// Deterministic fault scripts for the simulated cluster. A FaultPlan is a
+// list of (trigger, action) pairs: triggers fire on virtual time, on the
+// Nth matching frame entering the network, or on the Nth view change —
+// *protocol* points rather than wall-clock guesses, so a plan aims faults
+// at narrow schedule windows (mid-state-transfer, right after a view
+// change) reproducibly. Plans are plain data: they can be generated from a
+// seed (make_fault_plan), shrunk event-by-event (SwarmRunner), and printed
+// as a one-line repro (describe).
+//
+// Fault catalogue vs the paper's model (§3):
+//   * crash / crash_silent  — crash-stop processes, the paper's only fault
+//     class; `fd_delay` varies when within the detection window the perfect
+//     failure detector reports (never a false suspicion).
+//   * link delay / jitter / buffering partition — reliable FIFO channels
+//     with adversarial timing: frames are delayed or held and released,
+//     never lost or reordered within a link. Safety AND liveness must
+//     survive these.
+//   * drop-mode partition / frame drops — violate the reliable-channel
+//     assumption on purpose (generated only when `allow_sabotage`): the
+//     harness's own tests use them to prove the oracle catches violations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.h"
+#include "proto/wire.h"
+
+namespace fsr {
+
+namespace detail {
+template <class T, class... Ts>
+constexpr int index_in(const std::variant<Ts...>*) {
+  int i = 0;
+  int found = -1;
+  ((std::is_same_v<T, Ts> ? (found = i, ++i) : ++i), ...);
+  return found;
+}
+}  // namespace detail
+
+/// Variant index of message type M inside WireMsg, for frame-kind trigger
+/// filters (e.g. wire_msg_kind<FlushState> = "mid-state-transfer").
+template <class M>
+inline constexpr int wire_msg_kind = detail::index_in<M>(static_cast<const WireMsg*>(nullptr));
+
+/// When a fault fires.
+struct FaultTrigger {
+  enum class Kind : std::uint8_t {
+    kAtTime,        // at virtual time `at`
+    kOnFrame,       // when the Nth frame matching (from, msg_kind) is sent
+    kOnViewChange,  // when the Nth view change is first observed
+  };
+  Kind kind = Kind::kAtTime;
+  Time at = 0;            // kAtTime
+  std::uint64_t nth = 1;  // kOnFrame / kOnViewChange, 1-based
+  NodeId from = kNoNode;  // kOnFrame filter: sending node (kNoNode = any)
+  int msg_kind = -1;      // kOnFrame filter: WireMsg variant index (-1 = any)
+  Time delay = 0;         // virtual time between trigger and action
+};
+
+/// What happens when the trigger fires.
+struct FaultAction {
+  enum class Kind : std::uint8_t {
+    kCrash,         // crash-stop, perfect-FD notification after fd_delay
+    kCrashSilent,   // crash with no FD notification (models a hang)
+    kLinkDelay,     // add `amount` one-way latency on a->b for `duration`
+    kLinkJitter,    // per-frame extra latency in [0, amount] on all links
+    kPartition,     // cut `side` from the rest (both directions)
+    kDropFrames,    // drop next `count` frames on a->b (sabotage)
+    kRotateLeader,  // ask the coordinator to rotate the leader role
+  };
+  Kind kind = Kind::kCrash;
+  NodeId node = kNoNode;            // kCrash / kCrashSilent target
+  Time fd_delay = -1;               // kCrash: detection delay (-1 = default)
+  NodeId a = kNoNode, b = kNoNode;  // link endpoints
+  Time amount = 0;                  // kLinkDelay / kLinkJitter
+  Time duration = 0;                // kLinkDelay / kLinkJitter / kPartition
+  bool drop_on_heal = false;        // kPartition: drop instead of buffering
+  std::vector<NodeId> side;         // kPartition: one side of the cut
+  std::uint32_t count = 1;          // kDropFrames
+};
+
+struct FaultEvent {
+  FaultTrigger trigger;
+  FaultAction action;
+};
+
+/// A deterministic fault script for one simulated run.
+struct FaultPlan {
+  std::uint64_t seed = 0;  // seed that generated it (0 = hand-written)
+  std::vector<FaultEvent> events;
+};
+
+/// Knobs for seeded plan generation. Defaults generate only faults that
+/// respect the paper's assumptions (crash-stop within the crash budget,
+/// reliable FIFO channels, perfect FD) so every generated plan must run
+/// violation-free.
+struct FaultPlanConfig {
+  std::size_t n = 4;               // cluster size (targets drawn from 0..n-1)
+  std::uint32_t max_crashes = 1;   // keep <= t to stay within the model
+  std::size_t max_events = 6;      // faults per plan (plans may be empty)
+  Time horizon = 40 * kMillisecond;        // time triggers fall in [0, horizon]
+  std::uint64_t max_trigger_frames = 300;  // frame triggers fire by this count
+  bool allow_silent_crashes = false;  // sound only with heartbeats enabled
+  bool allow_partitions = true;
+  bool allow_link_delays = true;
+  bool allow_rotation = true;
+  bool allow_sabotage = false;  // frame drops: violates reliable channels
+  Time max_link_disruption = 5 * kMillisecond;  // cap on delays / cut spans
+};
+
+/// Generate a random plan from `seed`. Same seed + config => same plan.
+FaultPlan make_fault_plan(std::uint64_t seed, const FaultPlanConfig& cfg);
+
+std::string describe(const FaultTrigger& trigger);
+std::string describe(const FaultAction& action);
+std::string describe(const FaultEvent& event);
+
+/// One-line rendering of the whole plan — the repro format printed when a
+/// swarm run fails.
+std::string describe(const FaultPlan& plan);
+
+}  // namespace fsr

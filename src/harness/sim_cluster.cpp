@@ -50,6 +50,9 @@ SimCluster::SimCluster(ClusterConfig config)
           checker_.on_delivery(DeliveryRecord{id, d.origin, d.app_msg, d.seq, d.view,
                                               hash, d.payload.size(), at});
           if (tap_) tap_(id, d);
+        },
+        [this, id](const View& v) {
+          if (view_tap_) view_tap_(id, v);
         }));
   }
 }
@@ -62,10 +65,10 @@ void SimCluster::broadcast(NodeId from, Bytes payload) {
   members_[from]->broadcast(std::move(payload));
 }
 
-void SimCluster::crash(NodeId node) {
+void SimCluster::crash(NodeId node, Time fd_delay) {
   crashed_.insert(node);
   checker_.note_crashed(node);
-  world_.crash(node);
+  world_.crash(node, fd_delay);
 }
 
 void SimCluster::crash_silent(NodeId node) {

@@ -58,6 +58,12 @@ class SimCluster {
     tap_ = std::move(tap);
   }
 
+  /// Observe every view installation (node, new view) — the fault injector
+  /// uses this for "on Nth view change" trigger points.
+  void set_view_tap(std::function<void(NodeId, const View&)> tap) {
+    view_tap_ = std::move(tap);
+  }
+
   /// Install per-node application snapshot hooks (joiner state transfer).
   void set_snapshot_hooks(std::function<Bytes(NodeId)> take,
                           std::function<void(NodeId, const Bytes&)> install) {
@@ -68,7 +74,9 @@ class SimCluster {
     }
   }
 
-  void crash(NodeId node);
+  /// Crash-stop with perfect-FD notification after `fd_delay` (< 0: the
+  /// cluster's configured default detection delay).
+  void crash(NodeId node, Time fd_delay = -1);
 
   /// Crash without perfect-FD notification (models a hang); only heartbeat
   /// timeouts (GroupConfig::heartbeat_*) can detect it. NOTE: heartbeats
@@ -86,8 +94,10 @@ class SimCluster {
   Time completion_time(NodeId origin, std::uint64_t app_msg) const;
 
   /// The protocol-invariant checker fed by this cluster (online findings,
-  /// raw DeliveryRecords for trace lints, ...).
+  /// raw DeliveryRecords for trace lints, ...). The non-const overload
+  /// lets harnesses install a provenance context provider.
   const InvariantChecker& checker() const { return checker_; }
+  InvariantChecker& checker() { return checker_; }
 
   // --- invariant checkers (façade over checker()): "" = invariant holds ---
 
@@ -120,6 +130,7 @@ class SimCluster {
   std::map<std::pair<NodeId, std::uint64_t>, Time> submit_times_;
   std::set<NodeId> crashed_;
   std::function<void(NodeId, const Delivery&)> tap_;
+  std::function<void(NodeId, const View&)> view_tap_;
 };
 
 /// FNV-1a, for payload integrity checking without storing payloads.

@@ -1,0 +1,154 @@
+#include "harness/swarm.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/rng.h"
+
+namespace fsr {
+
+SwarmRunner::SwarmRunner(SwarmConfig config) : cfg_(std::move(config)) {
+  cfg_.faults.n = cfg_.cluster.n;
+  if (cfg_.senders == 0 || cfg_.senders > cfg_.cluster.n) cfg_.senders = cfg_.cluster.n;
+}
+
+SwarmResult SwarmRunner::run_seed(std::uint64_t seed) const {
+  return run_plan(seed, make_fault_plan(seed, cfg_.faults));
+}
+
+SwarmResult SwarmRunner::run_plan(std::uint64_t seed, const FaultPlan& plan) const {
+  SwarmResult result;
+  result.seed = seed;
+  result.plan = plan;
+
+  SimCluster cluster(cfg_.cluster);
+  FaultInjector injector(cluster, plan);
+  injector.arm();
+
+  // Seeded workload, independent of the fault stream so shrinking a plan
+  // never perturbs the traffic it is shrinking against.
+  Rng rng(seed ^ 0x77aff1c5eedULL);
+  std::vector<int> submitted(cfg_.cluster.n, 0);
+  for (int i = 0; i < cfg_.messages; ++i) {
+    auto sender = static_cast<NodeId>(rng.below(cfg_.senders));
+    std::size_t size =
+        cfg_.min_payload + rng.below(cfg_.max_payload - cfg_.min_payload + 1);
+    Time at = static_cast<Time>(rng.below(static_cast<std::uint64_t>(cfg_.submit_horizon)));
+    cluster.sim().schedule_at(at, [&cluster, &submitted, sender, size] {
+      if (!cluster.alive(sender)) return;
+      ++submitted[sender];
+      cluster.broadcast(
+          sender, test_payload(sender, static_cast<std::uint64_t>(submitted[sender]), size));
+    });
+  }
+
+  // Heartbeat / rotation timers re-arm forever, so those configurations
+  // run to a generous horizon instead of natural quiescence.
+  const bool drains = cfg_.cluster.group.heartbeat_interval == 0 &&
+                      cfg_.cluster.group.rotation_interval == 0;
+  Simulator& sim = cluster.sim();
+  std::uint64_t before = sim.executed();
+  if (drains) {
+    while (!sim.empty() && sim.executed() - before < cfg_.max_events) {
+      sim.run_steps(16384);
+    }
+    if (!sim.empty()) {
+      result.ok = false;
+      result.violation = "did not quiesce within " + std::to_string(cfg_.max_events) +
+                         " events (runaway schedule)";
+    }
+  } else {
+    sim.run_until_capped(cfg_.run_horizon, cfg_.max_events);
+    if (sim.executed() - before >= cfg_.max_events) {
+      result.ok = false;
+      result.violation = "event budget exhausted before run horizon";
+    }
+  }
+  result.events_executed = sim.executed() - before;
+  result.deliveries = cluster.checker().deliveries();
+  if (!result.ok) return result;
+
+  // Safety: every paper property, online findings included.
+  std::string violation = cluster.check_all();
+
+  // Liveness: submissions from end-alive senders reach every end-alive node.
+  if (violation.empty() && cfg_.check_liveness) {
+    for (NodeId node = 0; node < cluster.size() && violation.empty(); ++node) {
+      if (!cluster.alive(node)) continue;
+      std::vector<int> got(cfg_.cluster.n, 0);
+      for (const auto& e : cluster.log(node)) ++got[e.origin];
+      for (NodeId origin = 0; origin < cluster.size(); ++origin) {
+        if (!cluster.alive(origin)) continue;
+        if (got[origin] != submitted[origin]) {
+          violation = "liveness: node " + std::to_string(node) + " delivered " +
+                      std::to_string(got[origin]) + "/" +
+                      std::to_string(submitted[origin]) +
+                      " messages from live origin " + std::to_string(origin);
+          break;
+        }
+      }
+    }
+  }
+
+  // Trace lint on a surviving node's log (bounds are opt-in via cfg_.lint).
+  if (violation.empty()) {
+    for (NodeId node = 0; node < cluster.size(); ++node) {
+      if (!cluster.alive(node)) continue;
+      LintReport lint = lint_trace(cluster.checker().log(node), cfg_.lint);
+      if (!lint.ok()) violation = "trace lint: " + lint.violations.front();
+      break;
+    }
+  }
+
+  if (!violation.empty()) {
+    result.ok = false;
+    result.violation = violation;
+    if (injector.applied() > 0) {
+      result.violation += " (last fault applied: " + injector.last_applied() + ")";
+    }
+  }
+  return result;
+}
+
+FaultPlan SwarmRunner::shrink(std::uint64_t seed, const FaultPlan& plan) const {
+  FaultPlan current = plan;
+  bool progress = true;
+  while (progress && !current.events.empty()) {
+    progress = false;
+    for (std::size_t i = 0; i < current.events.size(); ++i) {
+      FaultPlan candidate = current;
+      candidate.events.erase(candidate.events.begin() + static_cast<long>(i));
+      if (!run_plan(seed, candidate).ok) {
+        current = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<SwarmFailure> SwarmRunner::run_range(
+    std::uint64_t first, std::uint64_t count,
+    const std::function<void(const SwarmFailure&)>& on_failure) const {
+  std::vector<SwarmFailure> failures;
+  for (std::uint64_t seed = first; seed < first + count; ++seed) {
+    SwarmResult result = run_seed(seed);
+    if (result.ok) continue;
+    SwarmFailure failure;
+    failure.minimized = shrink(seed, result.plan);
+    failure.repro = format_repro(result, failure.minimized);
+    failure.result = std::move(result);
+    if (on_failure) on_failure(failure);
+    failures.push_back(std::move(failure));
+  }
+  return failures;
+}
+
+std::string SwarmRunner::format_repro(const SwarmResult& result,
+                                      const FaultPlan& minimized) const {
+  return "swarm repro: config=" + cfg_.name + " seed=" + std::to_string(result.seed) +
+         " plan{" + describe(minimized) + "} violation{" + result.violation + "}";
+}
+
+}  // namespace fsr

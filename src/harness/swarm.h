@@ -1,0 +1,95 @@
+// Seeded schedule-exploration ("swarm") testing: generate thousands of
+// random FaultPlans per cluster configuration, run each against a seeded
+// workload to quiescence under the full InvariantChecker + trace lint +
+// liveness oracle, and shrink any failure to a minimal plan by greedy
+// event removal. Every run is a pure function of (config, seed), so a
+// failure reduces to a one-line repro: config name + seed + minimized
+// plan.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "checker/trace_lint.h"
+#include "harness/fault_injector.h"
+#include "harness/fault_plan.h"
+#include "harness/sim_cluster.h"
+
+namespace fsr {
+
+/// One swarm configuration: cluster shape + workload + fault knobs.
+struct SwarmConfig {
+  std::string name = "swarm";  // printed in repro lines
+  ClusterConfig cluster;       // n, t, segment size, heartbeats, ...
+  FaultPlanConfig faults;      // plan-generation knobs (n is taken from cluster)
+
+  std::size_t senders = 2;  // nodes 0..senders-1 broadcast
+  int messages = 24;        // total messages across senders
+  std::size_t min_payload = 1;
+  std::size_t max_payload = 4096;
+  Time submit_horizon = 25 * kMillisecond;  // submissions fall in [0, horizon)
+
+  /// Every message from a node alive at the end must be delivered by every
+  /// node alive at the end (catches wedges and lost frames, which pure
+  /// safety checks can miss when *everyone* hangs identically).
+  bool check_liveness = true;
+
+  /// Trace-lint bounds applied to a surviving node's log (default: collect
+  /// stats only — fairness bounds are opt-in, faults legally skew shares).
+  LintConfig lint;
+
+  /// Virtual-time horizon for configurations whose timers re-arm forever
+  /// (heartbeats / rotation); ignored when the run can drain naturally.
+  Time run_horizon = 2 * kSecond;
+
+  /// Runaway-schedule guard: a run executing more simulator events than
+  /// this without quiescing is itself reported as a violation.
+  std::uint64_t max_events = 20'000'000;
+};
+
+struct SwarmResult {
+  bool ok = true;
+  std::uint64_t seed = 0;
+  std::string violation;  // first failed property, with fault provenance
+  FaultPlan plan;         // as run
+  std::uint64_t deliveries = 0;
+  std::uint64_t events_executed = 0;
+};
+
+struct SwarmFailure {
+  SwarmResult result;  // the failing run
+  FaultPlan minimized; // greedy-shrunk plan; still fails under the same seed
+  std::string repro;   // one line: config, seed, minimized plan, violation
+};
+
+class SwarmRunner {
+ public:
+  explicit SwarmRunner(SwarmConfig config);
+
+  /// Run the plan generated from `seed` (plan + workload both derive from
+  /// it). Deterministic: same seed, same result.
+  SwarmResult run_seed(std::uint64_t seed) const;
+
+  /// Run an explicit plan under the workload derived from `seed`.
+  SwarmResult run_plan(std::uint64_t seed, const FaultPlan& plan) const;
+
+  /// Greedy event-removal shrinking: repeatedly drop single events while
+  /// the run still fails, until no single removal preserves the failure.
+  FaultPlan shrink(std::uint64_t seed, const FaultPlan& plan) const;
+
+  /// Run seeds [first, first + count); every failure is shrunk and
+  /// reported (and passed to `on_failure`, if set, as it is found).
+  std::vector<SwarmFailure> run_range(
+      std::uint64_t first, std::uint64_t count,
+      const std::function<void(const SwarmFailure&)>& on_failure = {}) const;
+
+  std::string format_repro(const SwarmResult& result, const FaultPlan& minimized) const;
+
+  const SwarmConfig& config() const { return cfg_; }
+
+ private:
+  SwarmConfig cfg_;
+};
+
+}  // namespace fsr

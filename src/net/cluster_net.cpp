@@ -27,7 +27,11 @@ bool own_payload_first_hop(const Frame& f) {
 }  // namespace
 
 ClusterNet::ClusterNet(Simulator& sim, NetConfig config, std::size_t n_nodes)
-    : sim_(sim), config_(config), nodes_(n_nodes), jitter_rng_(config.seed) {}
+    : sim_(sim),
+      config_(config),
+      nodes_(n_nodes),
+      jitter_rng_(config.seed),
+      link_rng_(config.seed ^ 0x5eedfa17b0a7ULL) {}
 
 Time ClusterNet::wire_time(std::size_t bytes) const {
   std::size_t packets = bytes == 0 ? 1 : (bytes + config_.mss - 1) / config_.mss;
@@ -106,15 +110,116 @@ void ClusterNet::finish_tx(NodeId node, PendingFrame pf) {
   Node& n = nodes_[node];
   n.tx_busy = false;
   if (n.crashed) return;
-  // Hand to the switch; arrives at the destination after the switch latency.
+  // Hand to the switch; arrives at the destination after the switch latency
+  // plus any injected link fault.
   pf.outbound = false;
-  sim_.schedule(config_.switch_latency,
-                [this, pf = std::move(pf)]() mutable { arrive(std::move(pf)); });
+  route_to_switch(std::move(pf));
   if (!n.tx_queue.empty()) {
     start_tx(node);
   } else {
     maybe_tx_ready(node);
   }
+}
+
+void ClusterNet::route_to_switch(PendingFrame pf) {
+  if (!faults_active_) {
+    sim_.schedule(config_.switch_latency,
+                  [this, pf = std::move(pf)]() mutable { arrive(std::move(pf)); });
+    return;
+  }
+  LinkState& l = link(pf.frame.from, pf.frame.to);
+  if (l.drop_next > 0) {
+    --l.drop_next;
+    ++fault_stats_.dropped_sabotage;
+    return;
+  }
+  if (l.cut) {
+    if (l.drop_while_cut) {
+      ++fault_stats_.dropped_cut;
+    } else {
+      l.held.push_back(std::move(pf));
+      ++fault_stats_.frames_held;
+    }
+    return;
+  }
+  Time extra = l.extra_delay;
+  if (link_jitter_max_ > 0) {
+    extra += static_cast<Time>(
+        link_rng_.below(static_cast<std::uint64_t>(link_jitter_max_) + 1));
+  }
+  schedule_arrival(l, sim_.now() + config_.switch_latency + extra, std::move(pf));
+}
+
+void ClusterNet::schedule_arrival(LinkState& l, Time when, PendingFrame pf) {
+  // FIFO clamp: an arrival may never be scheduled before an earlier frame
+  // on the same link (equal deadlines keep scheduling order, which is the
+  // hand-off order).
+  if (when < l.last_arrival) when = l.last_arrival;
+  l.last_arrival = when;
+  sim_.schedule_at(when, [this, pf = std::move(pf)]() mutable { arrive(std::move(pf)); });
+}
+
+ClusterNet::LinkState& ClusterNet::link(NodeId from, NodeId to) {
+  if (links_.empty()) links_.resize(nodes_.size() * nodes_.size());
+  faults_active_ = true;
+  return links_[from * nodes_.size() + to];
+}
+
+const ClusterNet::LinkState* ClusterNet::find_link(NodeId from, NodeId to) const {
+  if (links_.empty()) return nullptr;
+  return &links_[from * nodes_.size() + to];
+}
+
+void ClusterNet::set_link_delay(NodeId from, NodeId to, Time extra) {
+  if (!faults_active_ && extra == 0) return;
+  link(from, to).extra_delay = extra;
+}
+
+void ClusterNet::set_link_jitter(Time max_extra) {
+  if (!faults_active_ && max_extra == 0) return;
+  if (links_.empty()) links_.resize(nodes_.size() * nodes_.size());
+  faults_active_ = true;
+  link_jitter_max_ = max_extra;
+}
+
+void ClusterNet::cut_link(NodeId from, NodeId to, bool drop) {
+  LinkState& l = link(from, to);
+  l.cut = true;
+  l.drop_while_cut = drop;
+}
+
+void ClusterNet::heal_link(NodeId from, NodeId to) {
+  const LinkState* existing = find_link(from, to);
+  if (existing == nullptr || !existing->cut) return;
+  LinkState& l = link(from, to);
+  l.cut = false;
+  l.drop_while_cut = false;
+  // Release buffered frames in FIFO order; the arrival clamp keeps them
+  // ahead of anything handed to the switch after the heal.
+  while (!l.held.empty()) {
+    PendingFrame pf = std::move(l.held.front());
+    l.held.pop_front();
+    ++fault_stats_.frames_released;
+    schedule_arrival(l, sim_.now() + config_.switch_latency + l.extra_delay,
+                     std::move(pf));
+  }
+}
+
+void ClusterNet::heal_all_links() {
+  for (NodeId from = 0; from < nodes_.size(); ++from) {
+    for (NodeId to = 0; to < nodes_.size(); ++to) {
+      if (from != to) heal_link(from, to);
+    }
+  }
+}
+
+bool ClusterNet::link_cut(NodeId from, NodeId to) const {
+  const LinkState* l = find_link(from, to);
+  return l != nullptr && l->cut;
+}
+
+void ClusterNet::drop_frames(NodeId from, NodeId to, std::size_t count) {
+  link(from, to).drop_next += count;
 }
 
 void ClusterNet::maybe_tx_ready(NodeId node) {
@@ -130,7 +235,10 @@ void ClusterNet::maybe_tx_ready(NodeId node) {
 void ClusterNet::arrive(PendingFrame pf) {
   NodeId to = pf.frame.to;
   Node& dst = nodes_[to];
-  if (dst.crashed) return;
+  if (dst.crashed) {
+    ++fault_stats_.dropped_to_crashed;
+    return;
+  }
   dst.cpu_queue.push_back(std::move(pf));
   if (!dst.cpu_busy) start_cpu(to);
 }

@@ -105,6 +105,45 @@ class ClusterNet {
   void crash(NodeId node);
   bool alive(NodeId node) const { return !nodes_[node].crashed; }
 
+  // --- deterministic fault injection (driven by src/harness/fault_plan) ---
+  //
+  // All link faults act at the NIC->switch hand-off: frames a node already
+  // fully transmitted are "in the switch" and keep their scheduled arrival.
+  // Per-link FIFO order is always preserved (the paper assumes reliable
+  // FIFO channels): when injected delays vary, arrivals are clamped so no
+  // frame overtakes an earlier one on the same directed link.
+
+  /// Extra one-way latency (on top of switch_latency) for every frame
+  /// entering the switch on `from`->`to` from now on. 0 clears.
+  void set_link_delay(NodeId from, NodeId to, Time extra);
+
+  /// Seeded per-frame extra latency, uniform in [0, max_extra], applied to
+  /// every link (inter-link reordering; per-link FIFO still holds). The
+  /// stream derives from NetConfig::seed, so runs stay reproducible.
+  void set_link_jitter(Time max_extra);
+
+  /// Cut the directed link: frames entering the switch while cut are
+  /// buffered (released in FIFO order on heal) or, with `drop`, discarded.
+  /// Dropping frames to a live node violates the reliable-channel
+  /// assumption — it exists to seed deliberate violations.
+  void cut_link(NodeId from, NodeId to, bool drop = false);
+  void heal_link(NodeId from, NodeId to);
+  void heal_all_links();
+  bool link_cut(NodeId from, NodeId to) const;
+
+  /// Discard the next `count` frames entering the switch on `from`->`to`
+  /// (sabotage: violates reliable channels on purpose).
+  void drop_frames(NodeId from, NodeId to, std::size_t count);
+
+  struct FaultStats {
+    std::uint64_t frames_held = 0;        // buffered by a cut link
+    std::uint64_t frames_released = 0;    // released on heal
+    std::uint64_t dropped_cut = 0;        // discarded by a drop-mode cut
+    std::uint64_t dropped_sabotage = 0;   // discarded by drop_frames()
+    std::uint64_t dropped_to_crashed = 0; // arrived at a crashed node
+  };
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
   std::size_t size() const { return nodes_.size(); }
   const NetConfig& config() const { return config_; }
 
@@ -143,12 +182,28 @@ class ClusterNet {
     NodeStats stats;
   };
 
+  /// Per-directed-link fault state, lazily allocated on the first fault
+  /// call so the fault-free fast path stays untouched.
+  struct LinkState {
+    Time extra_delay = 0;
+    bool cut = false;
+    bool drop_while_cut = false;
+    std::size_t drop_next = 0;
+    Time last_arrival = 0;  // FIFO clamp under varying delays
+    std::deque<PendingFrame> held;
+  };
+
   void enqueue_tx(NodeId node, PendingFrame pf);
   void start_tx(NodeId node);
   void finish_tx(NodeId node, PendingFrame pf);
+  void route_to_switch(PendingFrame pf);
+  void schedule_arrival(LinkState& link, Time when, PendingFrame pf);
   void arrive(PendingFrame pf);
   void start_cpu(NodeId node);
   void maybe_tx_ready(NodeId node);
+
+  LinkState& link(NodeId from, NodeId to);
+  const LinkState* find_link(NodeId from, NodeId to) const;
 
   Simulator& sim_;
   NetConfig config_;
@@ -157,6 +212,12 @@ class ClusterNet {
   TxReadyFn tx_ready_;
   DeliverFn frame_tap_;
   Rng jitter_rng_;
+
+  bool faults_active_ = false;
+  std::vector<LinkState> links_;  // n*n, indexed from * n + to; see link()
+  Time link_jitter_max_ = 0;
+  Rng link_rng_;
+  FaultStats fault_stats_;
 };
 
 }  // namespace fsr

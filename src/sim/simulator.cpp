@@ -43,6 +43,7 @@ bool Simulator::pop_one() {
     queue_.pop();
     --live_events_;
     now_ = when;
+    ++executed_;
     fn();
     return true;
   }
@@ -74,6 +75,23 @@ std::uint64_t Simulator::run_until(Time until) {
 std::uint64_t Simulator::run_steps(std::uint64_t max_events) {
   std::uint64_t n = 0;
   while (n < max_events && pop_one()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until_capped(Time until, std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events) {
+    while (!queue_.empty() && canceled_.count(queue_.top().serial) > 0) {
+      canceled_.erase(queue_.top().serial);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().when > until) {
+      if (now_ < until) now_ = until;
+      break;
+    }
+    pop_one();
+    ++n;
+  }
   return n;
 }
 

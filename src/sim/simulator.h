@@ -59,8 +59,17 @@ class Simulator {
   /// Execute a bounded number of events (for step-debugging in tests).
   std::uint64_t run_steps(std::uint64_t max_events);
 
+  /// Run events with deadline <= until, executing at most max_events.
+  /// now() advances to `until` only if the event budget was not exhausted
+  /// first. Returns the number executed.
+  std::uint64_t run_until_capped(Time until, std::uint64_t max_events);
+
   bool empty() const;
   std::size_t pending() const { return live_events_; }
+
+  /// Total events executed since construction (across all run_* calls).
+  /// Schedule-exploration harnesses use this as a runaway-schedule guard.
+  std::uint64_t executed() const { return executed_; }
 
  private:
   struct Event {
@@ -78,6 +87,7 @@ class Simulator {
 
   Time now_ = 0;
   std::uint64_t next_serial_ = 1;
+  std::uint64_t executed_ = 0;
   std::size_t live_events_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::unordered_set<std::uint64_t> canceled_;  // tombstones of canceled events

@@ -14,7 +14,12 @@ void SimTransport::send(Frame frame) {
 bool SimTransport::tx_idle() const { return world_.net_.tx_idle(self_); }
 
 TimerId SimTransport::set_timer(Time delay, std::function<void()> fn) {
-  return world_.sim_.schedule(delay, std::move(fn));
+  // Crash-stop: a crashed endpoint takes no further steps, so timers armed
+  // before the crash must never fire for it. Checked at fire time — the
+  // crash may land between arming and expiry.
+  return world_.sim_.schedule(delay, [this, fn = std::move(fn)] {
+    if (world_.net_.alive(self_)) fn();
+  });
 }
 
 void SimTransport::cancel_timer(TimerId id) { world_.sim_.cancel(id); }
@@ -40,13 +45,13 @@ void SimWorld::crash_silent(NodeId node) {
   net_.crash(node);
 }
 
-void SimWorld::crash(NodeId node) {
+void SimWorld::crash(NodeId node, Time detection_delay) {
   assert(node < transports_.size());
   if (!net_.alive(node)) return;
   net_.crash(node);
   // Perfect failure detector: every surviving process learns of the crash
   // after the detection delay, and no process is ever falsely suspected.
-  sim_.schedule(fd_delay_, [this, node] {
+  sim_.schedule(detection_delay < 0 ? fd_delay_ : detection_delay, [this, node] {
     for (auto& t : transports_) {
       if (t->self() == node || !net_.alive(t->self())) continue;
       if (t->handlers_.on_peer_down) t->handlers_.on_peer_down(node);

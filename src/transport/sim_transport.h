@@ -43,8 +43,11 @@ class SimWorld {
   SimTransport& transport(NodeId node) { return *transports_[node]; }
 
   /// Crash-stop `node` now; every surviving endpoint's on_peer_down fires
-  /// after the detection delay.
-  void crash(NodeId node);
+  /// after the detection delay (`detection_delay` < 0 uses the world's
+  /// default). The detector stays perfect either way: detection always
+  /// happens and no live node is ever suspected — fault plans only vary
+  /// *when* within the detection window each crash is noticed.
+  void crash(NodeId node, Time detection_delay = -1);
 
   /// Crash `node` without the perfect failure detector noticing (models a
   /// hang rather than a clean crash): only heartbeat timeouts can catch it.

@@ -54,16 +54,33 @@ void GroupMember::arm_heartbeat() {
       transport_.set_timer(cfg_.heartbeat_interval, [this] { on_heartbeat_tick(); });
 }
 
+NodeId GroupMember::nearest_alive_neighbor(int dir) const {
+  const View& v = engine_.view();
+  auto me = v.position_of(transport_.self());
+  if (!me) return kNoNode;
+  for (std::size_t step = 1; step < v.size(); ++step) {
+    NodeId m = dir > 0 ? v.at(*me + step) : v.at(*me + v.size() - step);
+    if (failed_.count(m) == 0) return m;
+  }
+  return kNoNode;
+}
+
 void GroupMember::on_heartbeat_tick() {
   const View& v = engine_.view();
   if (!left_ && in_group() && v.size() > 1) {
-    // Keep the successor's silence monitor fed.
-    Position me = *v.position_of(transport_.self());
-    NodeId succ = v.at(me + 1);
-    if (failed_.count(succ) == 0) send_to(succ, Heartbeat{v.id});
-    // Watch the predecessor: any frame from it counts as life.
-    NodeId pred = v.at(me + v.size() - 1);
-    if (failed_.count(pred) == 0 && cfg_.heartbeat_timeout > 0 &&
+    // Keep the nearest live successor's silence monitor fed.
+    NodeId succ = nearest_alive_neighbor(+1);
+    if (succ != kNoNode && succ != transport_.self()) send_to(succ, Heartbeat{v.id});
+    // Watch the nearest live predecessor: any frame from it counts as life.
+    // When the watched node changes (view change, or its own watcher died
+    // and we inherited it), restart the silence clock so the new target
+    // gets a full timeout before we may suspect it.
+    NodeId pred = nearest_alive_neighbor(-1);
+    if (pred != monitored_pred_) {
+      monitored_pred_ = pred;
+      last_predecessor_activity_ = transport_.now();
+    }
+    if (pred != kNoNode && pred != transport_.self() && cfg_.heartbeat_timeout > 0 &&
         transport_.now() - last_predecessor_activity_ > cfg_.heartbeat_timeout) {
       FSR_INFO("node %u: predecessor %u silent beyond timeout, suspecting it",
                transport_.self(), pred);
@@ -77,7 +94,7 @@ void GroupMember::on_heartbeat_tick() {
 void GroupMember::on_frame(const Frame& frame) {
   const View& v = engine_.view();
   if (auto me = v.position_of(transport_.self()); me && v.size() > 1) {
-    if (frame.from == v.at(*me + v.size() - 1)) {
+    if (frame.from == monitored_pred_ || frame.from == v.at(*me + v.size() - 1)) {
       last_predecessor_activity_ = transport_.now();
     }
   }
@@ -306,8 +323,10 @@ void GroupMember::apply_install(const ViewInstall& vi) {
   }
   FSR_INFO("node %u: installing %s", transport_.self(), to_string(v).c_str());
   engine_.install_view(v, vi.states);
-  // The ring (and thus our predecessor) changed; restart the silence clock.
+  // The ring (and thus our predecessor) changed; restart the silence clock
+  // and let the next tick re-resolve whom to watch.
   last_predecessor_activity_ = transport_.now();
+  monitored_pred_ = kNoNode;
   if (on_view_change_) on_view_change_(v);
   // A membership request may have arrived mid-flush.
   maybe_coordinate();

@@ -149,8 +149,16 @@ class GroupMember {
   // Ring heartbeat monitoring (optional).
   void arm_heartbeat();
   void on_heartbeat_tick();
+  /// Nearest ring neighbor not yet known failed (`dir` +1 = successor,
+  /// -1 = predecessor); kNoNode when no other live member exists. Skipping
+  /// failed members keeps the monitoring ring closed when adjacent members
+  /// crash — a dead node's only watcher may itself be dead, and the
+  /// detector owes strong completeness to the survivors.
+  NodeId nearest_alive_neighbor(int dir) const;
   TimerId heartbeat_timer_;
   Time last_predecessor_activity_ = 0;
+  /// Whom the silence monitor currently watches; changes reset the clock.
+  NodeId monitored_pred_ = kNoNode;
 
   // Periodic leader rotation (optional).
   void arm_rotation();

@@ -1,0 +1,44 @@
+// Shared support for seeded simulation tests. Any test that derives its
+// randomness from a seed should open with FSR_SEED_TRACE(...): gtest then
+// appends the seed (and the cluster shape, when given) to every assertion
+// failure in scope, so a red run reproduces from the log alone — no
+// rerunning the suite to rediscover which parameters failed.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "harness/sim_cluster.h"
+
+namespace fsr::test {
+
+/// "repro: seed=<s>" plus optional free-form context.
+inline std::string seed_banner(std::uint64_t seed, const std::string& extra = "") {
+  std::string out = "repro: seed=" + std::to_string(seed);
+  if (!extra.empty()) out += " " + extra;
+  return out;
+}
+
+/// Banner carrying everything needed to rebuild a SimCluster run: the RNG
+/// seed, the cluster shape and the NetConfig seed.
+inline std::string seed_banner(std::uint64_t seed, const ClusterConfig& cfg) {
+  std::ostringstream out;
+  out << "repro: seed=" << seed << " n=" << cfg.n << " t=" << cfg.group.engine.t
+      << " segment=" << cfg.group.engine.segment_size
+      << " window=" << cfg.group.engine.window
+      << " gc_interval=" << cfg.group.engine.gc_interval
+      << " net_seed=" << cfg.net.seed;
+  if (cfg.initial_members != 0) out << " initial_members=" << cfg.initial_members;
+  return out.str();
+}
+
+}  // namespace fsr::test
+
+/// Attach a seed banner to every assertion failure until end of scope.
+/// Args: a seed, optionally followed by a ClusterConfig or extra string —
+/// see fsr::test::seed_banner overloads.
+#define FSR_SEED_TRACE(...) \
+  ::testing::ScopedTrace fsr_seed_trace_(__FILE__, __LINE__, ::fsr::test::seed_banner(__VA_ARGS__))

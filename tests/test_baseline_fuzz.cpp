@@ -9,6 +9,7 @@
 #include "baselines/privilege_cluster.h"
 #include "common/rng.h"
 #include "harness/sim_cluster.h"
+#include "support/seeded_test.h"
 
 namespace fsr::baselines {
 namespace {
@@ -36,6 +37,8 @@ Workload make_workload(Rng& rng) {
 template <typename Cluster>
 void drive_and_check(Cluster& c, const Workload& w, std::uint64_t seed,
                      const char* name) {
+  FSR_SEED_TRACE(seed, std::string(name) + " n=" + std::to_string(w.n) +
+                           " msgs=" + std::to_string(w.total));
   for (const auto& [s, app, size, at] : w.sends) {
     NodeId sender = s;
     std::uint64_t a = app;

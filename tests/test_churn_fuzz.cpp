@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "harness/sim_cluster.h"
+#include "support/seeded_test.h"
 
 namespace fsr {
 namespace {
@@ -26,6 +27,7 @@ TEST_P(ChurnFuzzTest, SafetyHoldsUnderChurn) {
   cfg.initial_members = initial;
   cfg.group.engine.t = 1 + static_cast<std::uint32_t>(rng.below(2));
   cfg.group.engine.segment_size = 1024 + rng.below(4096);
+  FSR_SEED_TRACE(GetParam().seed, cfg);
   SimCluster c(cfg);
 
   std::set<NodeId> in_group;      // believed members (approximate tracking)

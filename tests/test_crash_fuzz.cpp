@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "harness/sim_cluster.h"
+#include "support/seeded_test.h"
 
 namespace fsr {
 namespace {
@@ -30,6 +31,7 @@ TEST_P(CrashFuzzTest, InvariantsHoldUnderRandomCrashes) {
   cfg.group.engine.segment_size = 512 + rng.below(4096);
   cfg.group.engine.window = 4 + rng.below(32);
   cfg.group.engine.gc_interval = 8 + rng.below(64);
+  FSR_SEED_TRACE(GetParam().seed, cfg);
   SimCluster c(cfg);
 
   // Random workload: every node may send, spread over ~40 ms.
@@ -103,6 +105,7 @@ TEST_P(LeadershipCrashFuzzTest, RecoveryStateSurvivesTargetedCrashes) {
   cfg.n = n;
   cfg.group.engine.t = t;
   cfg.group.engine.segment_size = 2048;
+  FSR_SEED_TRACE(GetParam().seed, cfg);
   SimCluster c(cfg);
 
   std::map<NodeId, int> sent;

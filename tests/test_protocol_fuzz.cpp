@@ -15,6 +15,7 @@
 #include "roundmodel/fsr_round.h"
 #include "roundmodel/moving_seq_round.h"
 #include "roundmodel/privilege_round.h"
+#include "support/seeded_test.h"
 
 namespace fsr::rounds {
 namespace {
@@ -41,6 +42,7 @@ std::unique_ptr<Protocol> make(int which, int n, Rng& rng) {
 TEST_P(ProtocolFuzzTest, AllProtocolsSafeAndLive) {
   Rng rng(GetParam().seed);
   int n = 3 + static_cast<int>(rng.below(8));  // 3..10
+  FSR_SEED_TRACE(GetParam().seed, "n=" + std::to_string(n));
 
   // Random sender set and per-sender counts.
   std::vector<int> senders;
@@ -69,6 +71,7 @@ TEST_P(ProtocolFuzzTest, FsrCompletesWithinAnalyticHorizon) {
   Rng rng(GetParam().seed ^ 0xabcdef);
   int n = 3 + static_cast<int>(rng.below(8));
   int t = 1 + static_cast<int>(rng.below(2));
+  FSR_SEED_TRACE(GetParam().seed, "n=" + std::to_string(n) + " t=" + std::to_string(t));
   std::vector<int> senders;
   for (int p = 0; p < n; ++p) {
     if (rng.chance(0.6)) senders.push_back(p);

@@ -1,0 +1,259 @@
+// Seeded schedule-exploration (swarm) suite: thousands of random fault
+// plans per cluster configuration, each run to quiescence under the full
+// InvariantChecker + liveness + trace-lint oracle. Any failure is shrunk
+// to a minimal plan and printed as a one-line repro (and written to
+// $FSR_SWARM_ARTIFACT_DIR when set, for the nightly CI job).
+//
+// Budget knobs (nightly CI enlarges them):
+//   FSR_SWARM_SEEDS        seeds per configuration (default keeps the whole
+//                          suite well under the per-PR 60s budget)
+//   FSR_SWARM_ARTIFACT_DIR directory for failing-seed repro files
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/swarm.h"
+#include "support/seeded_test.h"
+
+namespace fsr {
+namespace {
+
+std::uint64_t seeds_per_config() {
+  if (const char* env = std::getenv("FSR_SWARM_SEEDS")) {
+    return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  return 260;
+}
+
+void write_artifact(const SwarmRunner& runner, const SwarmFailure& failure) {
+  const char* dir = std::getenv("FSR_SWARM_ARTIFACT_DIR");
+  if (dir == nullptr) return;
+  std::ofstream out(std::string(dir) + "/swarm-failures-" + runner.config().name + ".txt",
+                    std::ios::app);
+  out << failure.repro << "\n";
+}
+
+/// The per-PR swarm matrix: >= 4 distinct (n, t, senders) shapes. All
+/// generated faults respect the paper's model (crash budget <= t, reliable
+/// FIFO channels, perfect FD), so zero violations is the only acceptable
+/// outcome.
+std::vector<SwarmConfig> swarm_matrix() {
+  std::vector<SwarmConfig> configs;
+
+  SwarmConfig small;
+  small.name = "n3t1s1";
+  small.cluster.n = 3;
+  small.cluster.group.engine.t = 1;
+  small.cluster.group.engine.segment_size = 1024;
+  small.senders = 1;
+  small.messages = 20;
+  small.faults.max_crashes = 1;
+  configs.push_back(small);
+
+  SwarmConfig paired;
+  paired.name = "n4t1s2";
+  paired.cluster.n = 4;
+  paired.cluster.group.engine.t = 1;
+  paired.cluster.group.engine.segment_size = 512;
+  paired.cluster.group.engine.window = 8;
+  paired.senders = 2;
+  paired.messages = 24;
+  paired.faults.max_crashes = 1;
+  configs.push_back(paired);
+
+  SwarmConfig mid;
+  mid.name = "n6t2s4";
+  mid.cluster.n = 6;
+  mid.cluster.group.engine.t = 2;
+  mid.cluster.group.engine.segment_size = 2048;
+  mid.senders = 4;
+  mid.messages = 24;
+  mid.max_payload = 6000;
+  mid.faults.max_crashes = 2;
+  configs.push_back(mid);
+
+  SwarmConfig wide;
+  wide.name = "n8t3s8";
+  wide.cluster.n = 8;
+  wide.cluster.group.engine.t = 3;
+  wide.cluster.group.engine.segment_size = 4096;
+  wide.cluster.group.engine.gc_interval = 16;
+  wide.senders = 8;
+  wide.messages = 28;
+  wide.max_payload = 3000;
+  wide.faults.max_crashes = 3;
+  configs.push_back(wide);
+
+  // Heartbeat detection + silent crashes (hangs): link disruptions are
+  // excluded so the imperfect-by-timeout detector never falsely suspects a
+  // live node, keeping the run inside the paper's perfect-FD model.
+  SwarmConfig hang;
+  hang.name = "n5t2hb";
+  hang.cluster.n = 5;
+  hang.cluster.group.engine.t = 2;
+  hang.cluster.group.engine.segment_size = 2048;
+  hang.cluster.group.heartbeat_interval = 5 * kMillisecond;
+  hang.cluster.group.heartbeat_timeout = 25 * kMillisecond;
+  hang.senders = 3;
+  hang.messages = 18;
+  hang.faults.max_crashes = 2;
+  hang.faults.allow_silent_crashes = true;
+  hang.faults.allow_partitions = false;
+  hang.faults.allow_link_delays = false;
+  hang.run_horizon = kSecond;
+  configs.push_back(hang);
+
+  return configs;
+}
+
+class SwarmTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SwarmTest, SeededFaultPlansUpholdEveryInvariant) {
+  SwarmRunner runner(swarm_matrix()[GetParam()]);
+  const std::uint64_t seeds = seeds_per_config();
+  // Seed ranges are disjoint per configuration so the whole matrix explores
+  // distinct plans even at enlarged nightly budgets.
+  const std::uint64_t first = 1 + GetParam() * 1'000'000'000ULL;
+
+  auto failures = runner.run_range(first, seeds, [&](const SwarmFailure& f) {
+    ADD_FAILURE() << f.repro;
+    write_artifact(runner, f);
+  });
+  EXPECT_EQ(failures.size(), 0u)
+      << failures.size() << " of " << seeds << " fault plans violated invariants "
+      << "(repro lines above; rerun one with SwarmRunner::run_seed)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, SwarmTest,
+                         ::testing::Range<std::size_t>(0, swarm_matrix().size()),
+                         [](const auto& info) {
+                           return swarm_matrix()[info.param].name;
+                         });
+
+TEST(Swarm, RunsAreDeterministicPerSeed) {
+  SwarmRunner runner(swarm_matrix()[1]);
+  SwarmResult a = runner.run_seed(42);
+  SwarmResult b = runner.run_seed(42);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(describe(a.plan), describe(b.plan));
+}
+
+TEST(Swarm, DeliberatelySeededViolationIsCaughtAndShrunk) {
+  // Sabotage: drop three frames off node 0's ring link mid-traffic — a
+  // reliable-channel violation the protocol cannot tolerate. Buried in
+  // benign events, the swarm must (a) catch it and (b) shrink the plan to
+  // <= 5 events while preserving the failure.
+  const std::uint64_t seed = 7;
+  SwarmConfig cfg = swarm_matrix()[1];  // n=4, t=1, 2 senders
+  SwarmRunner runner(cfg);
+  FSR_SEED_TRACE(seed, cfg.cluster);
+
+  FaultPlan plan;
+  plan.seed = seed;
+  {
+    FaultEvent rotate;
+    rotate.trigger.at = 3 * kMillisecond;
+    rotate.action.kind = FaultAction::Kind::kRotateLeader;
+    plan.events.push_back(rotate);
+
+    FaultEvent jitter;
+    jitter.trigger.at = 4 * kMillisecond;
+    jitter.action.kind = FaultAction::Kind::kLinkJitter;
+    jitter.action.amount = 100 * kMicrosecond;
+    jitter.action.duration = 5 * kMillisecond;
+    plan.events.push_back(jitter);
+
+    FaultEvent spike;
+    spike.trigger.at = 6 * kMillisecond;
+    spike.action.kind = FaultAction::Kind::kLinkDelay;
+    spike.action.a = 2;
+    spike.action.b = 3;
+    spike.action.amount = 300 * kMicrosecond;
+    spike.action.duration = 4 * kMillisecond;
+    plan.events.push_back(spike);
+
+    FaultEvent part;
+    part.trigger.at = 9 * kMillisecond;
+    part.action.kind = FaultAction::Kind::kPartition;
+    part.action.side = {3};
+    part.action.duration = 2 * kMillisecond;
+    plan.events.push_back(part);
+
+    FaultEvent sabotage;
+    sabotage.trigger.kind = FaultTrigger::Kind::kOnFrame;
+    sabotage.trigger.nth = 10;
+    sabotage.trigger.from = 0;
+    sabotage.action.kind = FaultAction::Kind::kDropFrames;
+    sabotage.action.a = 0;
+    sabotage.action.b = 1;
+    sabotage.action.count = 3;
+    plan.events.push_back(sabotage);
+
+    FaultEvent late_rotate;
+    late_rotate.trigger.at = 15 * kMillisecond;
+    late_rotate.action.kind = FaultAction::Kind::kRotateLeader;
+    plan.events.push_back(late_rotate);
+  }
+
+  SwarmResult result = runner.run_plan(seed, plan);
+  ASSERT_FALSE(result.ok) << "sabotage went unnoticed: " << describe(plan);
+  EXPECT_NE(result.violation, "");
+
+  FaultPlan minimized = runner.shrink(seed, plan);
+  EXPECT_LE(minimized.events.size(), 5u);
+  EXPECT_FALSE(runner.run_plan(seed, minimized).ok)
+      << "shrinking lost the violation: " << describe(minimized);
+
+  std::string repro = runner.format_repro(result, minimized);
+  EXPECT_NE(repro.find("seed=7"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("drop(0->1"), std::string::npos)
+      << "minimized plan lost the culprit event: " << repro;
+}
+
+TEST(Swarm, ShrinkReducesToTheCulpritEvent) {
+  // With only independent benign events plus one sabotage, greedy removal
+  // should strip every benign event: the minimum is the culprit alone.
+  const std::uint64_t seed = 11;
+  SwarmRunner runner(swarm_matrix()[0]);  // n=3, t=1, 1 sender
+
+  FaultPlan plan;
+  plan.seed = seed;
+  FaultEvent sabotage;
+  sabotage.trigger.kind = FaultTrigger::Kind::kOnFrame;
+  sabotage.trigger.nth = 6;
+  sabotage.trigger.from = 0;
+  // Count payload-carrying frames only: the leader's link also carries
+  // cumulative acks, whose loss a later ack would mask.
+  sabotage.trigger.msg_kind = wire_msg_kind<SeqMsg>;
+  sabotage.action.kind = FaultAction::Kind::kDropFrames;
+  sabotage.action.a = 0;
+  sabotage.action.b = 1;
+  sabotage.action.count = 6;
+  plan.events.push_back(sabotage);
+  // Benign timing-only noise: jitter and delay spikes never change which
+  // node sequences, so they cannot mask or move the sabotage.
+  for (int i = 0; i < 3; ++i) {
+    FaultEvent spike;
+    spike.trigger.at = static_cast<Time>(4 + 5 * i) * kMillisecond;
+    spike.action.kind = FaultAction::Kind::kLinkDelay;
+    spike.action.a = 1;
+    spike.action.b = 2;
+    spike.action.amount = static_cast<Time>(50 + 40 * i) * kMicrosecond;
+    spike.action.duration = 2 * kMillisecond;
+    plan.events.push_back(spike);
+  }
+
+  SwarmResult result = runner.run_plan(seed, plan);
+  ASSERT_FALSE(result.ok);
+  FaultPlan minimized = runner.shrink(seed, plan);
+  ASSERT_EQ(minimized.events.size(), 1u) << describe(minimized);
+  EXPECT_EQ(minimized.events[0].action.kind, FaultAction::Kind::kDropFrames);
+}
+
+}  // namespace
+}  // namespace fsr

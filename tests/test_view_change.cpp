@@ -318,5 +318,88 @@ TEST(ViewChange, RepeatedRotationVisitsEveryLeader) {
   EXPECT_EQ(c.log(1).size(), 12u);
 }
 
+// Explicit uniformity assertion for the crashed set: whatever the two dead
+// nodes delivered must be a prefix of every survivor's log.
+void expect_uniform_pair(SimCluster& c, NodeId a, NodeId b) {
+  std::set<NodeId> crashed{a, b};
+  std::set<NodeId> correct;
+  for (NodeId n = 0; n < c.size(); ++n) {
+    if (crashed.count(n) == 0) correct.insert(n);
+  }
+  EXPECT_EQ(c.check_uniformity(crashed, correct), "");
+  EXPECT_EQ(c.check_all(), "");
+}
+
+TEST(ViewChange, SecondCrashInsideDetectionWindow) {
+  // Node 3 dies mid-burst; node 1 dies 500us later — well inside node 3's
+  // 2ms detection window, so the view change triggered by the first crash
+  // is proposed when the second is already dead but not yet suspected. The
+  // flush must restart when the second detection lands, and uniformity
+  // must hold across both restarts.
+  ClusterConfig cfg = crash_cluster(6, 2);
+  SimCluster c(cfg);
+  for (NodeId s = 0; s < 4; ++s) burst(c, s, 8, 1500);
+  c.sim().schedule(15 * kMillisecond, [&] { c.crash(3); });
+  c.sim().schedule(15 * kMillisecond + 500 * kMicrosecond, [&] { c.crash(1); });
+  c.sim().run();
+  expect_uniform_pair(c, 3, 1);
+  // Messages from live senders survive both crashes.
+  for (NodeId n = 0; n < 6; ++n) {
+    if (!c.alive(n)) continue;
+    std::size_t from_live = 0;
+    for (const auto& e : c.log(n)) {
+      if (e.origin != 3 && e.origin != 1) ++from_live;
+    }
+    EXPECT_EQ(from_live, 16u) << "node " << n << " lost a live sender's message";
+  }
+  expect_converged(c, 16);
+}
+
+TEST(ViewChange, LeaderAndBackupCrashInsideDetectionWindow) {
+  // The hardest pairing: the leader (sequencer) and its first backup die
+  // 300us apart, with staggered detection delays so the leader's death is
+  // noticed first and the flush for it races the backup's detection.
+  ClusterConfig cfg = crash_cluster(6, 2);
+  SimCluster c(cfg);
+  for (NodeId s = 2; s < 6; ++s) burst(c, s, 8, 1500);
+  c.sim().schedule(12 * kMillisecond, [&] { c.crash(0, 1 * kMillisecond); });
+  c.sim().schedule(12 * kMillisecond + 300 * kMicrosecond,
+                   [&] { c.crash(1, 2 * kMillisecond); });
+  c.sim().run();
+  expect_uniform_pair(c, 0, 1);
+  for (NodeId n = 0; n < 6; ++n) {
+    if (!c.alive(n)) continue;
+    std::size_t from_live = 0;
+    for (const auto& e : c.log(n)) {
+      if (e.origin != 0 && e.origin != 1) ++from_live;
+    }
+    EXPECT_EQ(from_live, 32u) << "node " << n << " lost a live sender's message";
+  }
+  expect_converged(c, 32);
+}
+
+TEST(ViewChange, ReversedDetectionOrderInsideWindow) {
+  // The second crash is *detected first*: node 2 dies after node 4 but
+  // with a much shorter detection delay, so flushes start in the opposite
+  // order of the crashes themselves.
+  ClusterConfig cfg = crash_cluster(6, 2);
+  SimCluster c(cfg);
+  for (NodeId s = 0; s < 2; ++s) burst(c, s, 10, 2000);
+  c.sim().schedule(10 * kMillisecond, [&] { c.crash(4, 3 * kMillisecond); });
+  c.sim().schedule(10 * kMillisecond + 800 * kMicrosecond,
+                   [&] { c.crash(2, 200 * kMicrosecond); });
+  c.sim().run();
+  expect_uniform_pair(c, 4, 2);
+  for (NodeId n = 0; n < 6; ++n) {
+    if (!c.alive(n)) continue;
+    std::size_t from_live = 0;
+    for (const auto& e : c.log(n)) {
+      if (e.origin != 4 && e.origin != 2) ++from_live;
+    }
+    EXPECT_EQ(from_live, 20u) << "node " << n << " lost a live sender's message";
+  }
+  expect_converged(c, 20);
+}
+
 }  // namespace
 }  // namespace fsr
