@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
     std::size_t size;
     int msgs;
   };
+  fsr::bench::JsonReport report("ablation_piggyback");
   for (Case cs : {Case{2 * 1024, 400}, Case{8 * 1024, 250}, Case{100 * 1024, 40}}) {
     for (bool on : {true, false}) {
       WorkloadResult r = run_point(on, cs.size, cs.msgs);
@@ -57,7 +58,13 @@ int main(int argc, char** argv) {
                              std::to_string(cs.size / 1024) + " KiB",
                              fsr::bench::fmt(r.goodput_mbps, 1),
                              fsr::bench::fmt(r.mean_latency_ms, 1)});
+      report.add_row()
+          .str("acks", on ? "piggybacked" : "standalone")
+          .num("message_size", static_cast<std::uint64_t>(cs.size))
+          .num("goodput_mbps", r.goodput_mbps)
+          .num("latency_ms", r.mean_latency_ms);
     }
   }
+  report.write();
   return 0;
 }

@@ -73,11 +73,17 @@ int main(int argc, char** argv) {
       "Ablation: segment size under mixed traffic (one 500 KB streamer, one "
       "1 KB sender; §4.1: uniform size keeps small messages from stalling)",
       {"segment", "small msg latency", "streamer Mb/s"});
+  fsr::bench::JsonReport report("ablation_segment");
   for (std::size_t segment : kSegments) {
     MixedResult r = run_mixed(segment);
     fsr::bench::print_row({std::to_string(segment / 1024) + " KiB",
                            fsr::bench::fmt(r.small_latency_ms, 1) + " ms",
                            fsr::bench::fmt(r.big_mbps, 1)});
+    report.add_row()
+        .num("segment_size", static_cast<std::uint64_t>(segment))
+        .num("small_latency_ms", r.small_latency_ms)
+        .num("streamer_mbps", r.big_mbps);
   }
+  report.write();
   return 0;
 }

@@ -107,6 +107,8 @@ int main(int argc, char** argv) {
       "Packet-level comparison (n-to-n, 100 KB, 100 Mb/s wire): FSR ring vs "
       "fixed sequencer, moving sequencer and privilege/token",
       {"processes", "FSR Mb/s", "fixed-seq", "moving-seq", "privilege", "FSR advantage"});
+  fsr::bench::JsonReport report("baseline_packet");
+  report.config("message_size", std::uint64_t{100 * 1024});
   for (std::size_t n : {std::size_t{2}, std::size_t{4}, std::size_t{6},
                         std::size_t{8}, std::size_t{10}}) {
     double a = fsr_mbps(n);
@@ -117,6 +119,13 @@ int main(int argc, char** argv) {
     fsr::bench::print_row({std::to_string(n), fsr::bench::fmt(a, 1), fsr::bench::fmt(b, 1),
                            fsr::bench::fmt(m, 1), fsr::bench::fmt(p, 1),
                            fsr::bench::fmt(a / best, 1) + "x"});
+    report.add_row()
+        .num("processes", static_cast<std::uint64_t>(n))
+        .num("fsr_mbps", a)
+        .num("fixed_seq_mbps", b)
+        .num("moving_seq_mbps", m)
+        .num("privilege_mbps", p);
   }
+  report.write();
   return 0;
 }

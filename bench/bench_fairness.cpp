@@ -117,6 +117,8 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
 
   int n = 8;
+  fsr::bench::JsonReport report("fairness");
+  report.config("ring_size", std::uint64_t{8});
   fsr::bench::print_header(
       "Fairness: two opposed bursty senders, ring of 8 (round model)",
       {"protocol", "throughput", "Jain", "longest run"});
@@ -125,6 +127,12 @@ int main(int argc, char** argv) {
     auto r = run_round_model(proto, n);
     fsr::bench::print_row({"FSR", fsr::bench::fmt(r.throughput, 3),
                            fsr::bench::fmt(r.jain, 3), std::to_string(r.longest_run)});
+    report.add_row()
+        .str("model", "round")
+        .str("protocol", "fsr")
+        .num("throughput", r.throughput)
+        .num("jain", r.jain)
+        .num("longest_run", static_cast<std::uint64_t>(r.longest_run));
   }
   for (int hold : {1, 8, 64}) {
     PrivilegeRound proto(n, hold);
@@ -132,6 +140,12 @@ int main(int argc, char** argv) {
     fsr::bench::print_row({"privilege(hold=" + std::to_string(hold) + ")",
                            fsr::bench::fmt(r.throughput, 3), fsr::bench::fmt(r.jain, 3),
                            std::to_string(r.longest_run)});
+    report.add_row()
+        .str("model", "round")
+        .str("protocol", "privilege(hold=" + std::to_string(hold) + ")")
+        .num("throughput", r.throughput)
+        .num("jain", r.jain)
+        .num("longest_run", static_cast<std::uint64_t>(r.longest_run));
   }
 
   fsr::bench::print_header(
@@ -140,6 +154,12 @@ int main(int argc, char** argv) {
   auto r = run_packet_fsr(n);
   fsr::bench::print_row({"FSR", fsr::bench::fmt(r.throughput, 1),
                          fsr::bench::fmt(r.jain, 3), std::to_string(r.longest_run)});
+  report.add_row()
+      .str("model", "packet")
+      .str("protocol", "fsr")
+      .num("mbps", r.throughput)
+      .num("jain", r.jain)
+      .num("longest_run", static_cast<std::uint64_t>(r.longest_run));
   for (std::size_t hold : {std::size_t{1}, std::size_t{16}}) {
     baselines::PrivilegeConfig pcfg;
     pcfg.segment_size = 100 * 1024;
@@ -171,6 +191,13 @@ int main(int argc, char** argv) {
                            fsr::bench::fmt(mbps, 1),
                            fsr::bench::fmt(jain_fairness({counts[a], counts[b]}), 3),
                            std::to_string(longest)});
+    report.add_row()
+        .str("model", "packet")
+        .str("protocol", "privilege(hold=" + std::to_string(hold) + ")")
+        .num("mbps", mbps)
+        .num("jain", jain_fairness({counts[a], counts[b]}))
+        .num("longest_run", static_cast<std::uint64_t>(longest));
   }
+  report.write();
   return 0;
 }

@@ -52,12 +52,16 @@ int main(int argc, char** argv) {
       "Figure 6: latency vs number of processes (100 KB, contention-free; "
       "paper: linear, ~230 ms at n=10)",
       {"processes", "latency (ms)"});
+  fsr::bench::JsonReport report("fig6_latency_vs_n");
+  report.config("message_size", std::uint64_t{100 * 1024});
   double prev = 0;
   for (std::size_t n = 2; n <= 10; ++n) {
     double ms = avg_latency_ms(n);
     std::string note = prev > 0 ? ("  (+" + fmt(ms - prev, 1) + ")") : "";
     print_row({std::to_string(n), fmt(ms, 1) + note});
     prev = ms;
+    report.add_row().num("processes", static_cast<std::uint64_t>(n)).num("latency_ms", ms);
   }
+  report.write();
   return 0;
 }

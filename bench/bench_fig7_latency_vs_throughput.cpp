@@ -62,9 +62,16 @@ int main(int argc, char** argv) {
       "Figure 7: latency vs throughput (5 procs, 100 KB, throttled senders; "
       "paper: flat until ~79 Mb/s, then a queueing blow-up)",
       {"offered Mb/s", "achieved Mb/s", "latency (ms)"});
+  fsr::bench::JsonReport report("fig7_latency_vs_throughput");
+  report.config("processes", std::uint64_t{5}).config("message_size", std::uint64_t{100 * 1024});
   for (double offered : kOffered) {
     Point p = run_point(offered);
     print_row({fmt(p.offered_mbps, 0), fmt(p.achieved_mbps, 1), fmt(p.latency_ms, 1)});
+    report.add_row()
+        .num("offered_mbps", p.offered_mbps)
+        .num("achieved_mbps", p.achieved_mbps)
+        .num("latency_ms", p.latency_ms);
   }
+  report.write();
   return 0;
 }

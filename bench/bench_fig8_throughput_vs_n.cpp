@@ -39,9 +39,16 @@ int main(int argc, char** argv) {
       "Figure 8: throughput vs number of processes (n-to-n, 100 KB; paper: "
       "~79 Mb/s, flat)",
       {"processes", "Mb/s", "fairness"});
+  fsr::bench::JsonReport report("fig8_throughput_vs_n");
+  report.config("message_size", std::uint64_t{100 * 1024});
   for (std::size_t n = 2; n <= 10; ++n) {
     WorkloadResult r = run_point(n);
     print_row({std::to_string(n), fmt(r.goodput_mbps, 1), fmt(r.fairness, 3)});
+    report.add_row()
+        .num("processes", static_cast<std::uint64_t>(n))
+        .num("goodput_mbps", r.goodput_mbps)
+        .num("fairness", r.fairness);
   }
+  report.write();
   return 0;
 }

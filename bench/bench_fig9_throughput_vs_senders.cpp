@@ -40,9 +40,16 @@ int main(int argc, char** argv) {
       "Figure 9: throughput vs number of senders (k-to-5, 100 KB; paper: "
       "flat at the ~79 Mb/s maximum)",
       {"senders", "Mb/s", "fairness"});
+  fsr::bench::JsonReport report("fig9_throughput_vs_senders");
+  report.config("processes", std::uint64_t{5}).config("message_size", std::uint64_t{100 * 1024});
   for (std::size_t k = 1; k <= 5; ++k) {
     WorkloadResult r = run_point(k);
     print_row({std::to_string(k), fmt(r.goodput_mbps, 1), fmt(r.fairness, 3)});
+    report.add_row()
+        .num("senders", static_cast<std::uint64_t>(k))
+        .num("goodput_mbps", r.goodput_mbps)
+        .num("fairness", r.fairness);
   }
+  report.write();
   return 0;
 }

@@ -83,11 +83,20 @@ int main(int argc, char** argv) {
       "Latency distribution vs load (5 procs, 100 KB; extends Fig. 7 with "
       "tail percentiles)",
       {"offered Mb/s", "achieved", "p50 (ms)", "p95 (ms)", "p99 (ms)"});
+  fsr::bench::JsonReport report("latency_distribution");
+  report.config("processes", std::uint64_t{5}).config("message_size", std::uint64_t{100 * 1024});
   for (double load : kLoads) {
     Dist d = run_point(load);
     fsr::bench::print_row({fsr::bench::fmt(load, 0), fsr::bench::fmt(d.achieved, 1),
                            fsr::bench::fmt(d.p50, 1), fsr::bench::fmt(d.p95, 1),
                            fsr::bench::fmt(d.p99, 1)});
+    report.add_row()
+        .num("offered_mbps", load)
+        .num("achieved_mbps", d.achieved)
+        .num("p50_ms", d.p50)
+        .num("p95_ms", d.p95)
+        .num("p99_ms", d.p99);
   }
+  report.write();
   return 0;
 }

@@ -101,6 +101,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
+  fsr::bench::JsonReport report("model_comparison");
   for (int n : {5, 10}) {
     fsr::bench::print_header(
         "Round-model throughput, n = " + std::to_string(n) +
@@ -111,7 +112,14 @@ int main(int argc, char** argv) {
       fsr::bench::print_row({proto_name(p), fsr::bench::fmt(throughput(p, "1-to-n", n), 3),
                              fsr::bench::fmt(throughput(p, "2-to-n", n), 3),
                              fsr::bench::fmt(throughput(p, "n-to-n", n), 3)});
+      report.add_row()
+          .num("processes", static_cast<std::uint64_t>(n))
+          .str("protocol", proto_name(p))
+          .num("throughput_1_to_n", throughput(p, "1-to-n", n))
+          .num("throughput_2_to_n", throughput(p, "2-to-n", n))
+          .num("throughput_n_to_n", throughput(p, "n-to-n", n));
     }
   }
+  report.write();
   return 0;
 }

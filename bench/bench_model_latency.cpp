@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
+  fsr::bench::JsonReport report("model_latency");
   for (int t : {0, 1, 2}) {
     fsr::bench::print_header(
         "FSR round-model latency, t = " + std::to_string(t) +
@@ -57,8 +58,15 @@ int main(int argc, char** argv) {
                      .analytic_latency(static_cast<Position>(i));
         fsr::bench::print_row({std::to_string(n), std::to_string(i), std::to_string(m),
                                std::to_string(f)});
+        report.add_row()
+            .num("t", static_cast<std::uint64_t>(t))
+            .num("n", static_cast<std::uint64_t>(n))
+            .num("sender", static_cast<std::uint64_t>(i))
+            .num("measured_rounds", static_cast<double>(m))
+            .num("formula_rounds", static_cast<double>(f));
       }
     }
   }
+  report.write();
   return 0;
 }

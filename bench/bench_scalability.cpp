@@ -61,12 +61,20 @@ int main(int argc, char** argv) {
       "Scalability beyond the paper's range (n-to-n, 100 KB; expectation: "
       "flat throughput, linear latency)",
       {"processes", "Mb/s", "fairness", "latency (ms)"});
+  fsr::bench::JsonReport report("scalability");
+  report.config("message_size", std::uint64_t{100 * 1024});
   for (std::size_t n : {std::size_t{5}, std::size_t{10}, std::size_t{15},
                         std::size_t{20}, std::size_t{30}}) {
     WorkloadResult r = throughput_point(n);
+    double lat = latency_point(n);
     fsr::bench::print_row({std::to_string(n), fsr::bench::fmt(r.goodput_mbps, 1),
-                           fsr::bench::fmt(r.fairness, 3),
-                           fsr::bench::fmt(latency_point(n), 1)});
+                           fsr::bench::fmt(r.fairness, 3), fsr::bench::fmt(lat, 1)});
+    report.add_row()
+        .num("processes", static_cast<std::uint64_t>(n))
+        .num("goodput_mbps", r.goodput_mbps)
+        .num("fairness", r.fairness)
+        .num("latency_ms", lat);
   }
+  report.write();
   return 0;
 }

@@ -70,5 +70,9 @@ int main(int argc, char** argv) {
                            {"Protocol", "Bandwidth"});
   fsr::bench::print_row({"TCP", fsr::bench::fmt(tcp, 1) + " Mb/s"});
   fsr::bench::print_row({"UDP", fsr::bench::fmt(udp, 1) + " Mb/s"});
+  fsr::bench::JsonReport report("table1_raw_network");
+  report.add_row().str("protocol", "tcp").num("mbps", tcp);
+  report.add_row().str("protocol", "udp").num("mbps", udp);
+  report.write();
   return 0;
 }

@@ -1,6 +1,10 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 
 #include "common/stats.h"
@@ -140,6 +144,132 @@ std::string fmt(double v, int decimals) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
   return buf;
+}
+
+// --- machine-readable reports ---
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  // JSON has no NaN/Inf; represent them as null so parsers don't choke.
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void append_object(std::string& out,
+                   const std::vector<std::pair<std::string, std::string>>& fields) {
+  out += '{';
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += json_escape(fields[i].first);
+    out += "\":";
+    out += fields[i].second;
+  }
+  out += '}';
+}
+
+}  // namespace
+
+JsonReport::Row& JsonReport::Row::num(const std::string& key, double v) {
+  fields_.emplace_back(key, json_number(v));
+  return *this;
+}
+
+JsonReport::Row& JsonReport::Row::num(const std::string& key, std::uint64_t v) {
+  fields_.emplace_back(key, std::to_string(v));
+  return *this;
+}
+
+JsonReport::Row& JsonReport::Row::str(const std::string& key, const std::string& v) {
+  fields_.emplace_back(key, "\"" + json_escape(v) + "\"");
+  return *this;
+}
+
+JsonReport& JsonReport::config(const std::string& key, double v) {
+  config_.emplace_back(key, json_number(v));
+  return *this;
+}
+
+JsonReport& JsonReport::config(const std::string& key, std::uint64_t v) {
+  config_.emplace_back(key, std::to_string(v));
+  return *this;
+}
+
+JsonReport& JsonReport::config(const std::string& key, const std::string& v) {
+  config_.emplace_back(key, "\"" + json_escape(v) + "\"");
+  return *this;
+}
+
+JsonReport::Row& JsonReport::add_row() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+std::string JsonReport::write() const {
+  std::string out = "{\"schema\":1,\"bench\":\"" + json_escape(name_) + "\",\"config\":";
+  append_object(out, config_);
+  out += ",\"results\":[";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (i > 0) out += ',';
+    append_object(out, rows_[i].fields_);
+  }
+  out += "]}\n";
+
+  std::string dir = ".";
+  if (const char* env = std::getenv("FSR_BENCH_JSON_DIR")) dir = env;
+  std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: could not write %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return "";
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return path;
+}
+
+void add_counters(JsonReport::Row& row, const TransportCounters& c) {
+  row.num("tx_syscalls", c.tx_syscalls)
+      .num("rx_syscalls", c.rx_syscalls)
+      .num("tx_bytes", c.tx_bytes)
+      .num("rx_bytes", c.rx_bytes)
+      .num("tx_frames", c.tx_frames)
+      .num("rx_frames", c.rx_frames)
+      .num("tx_chunks", c.tx_chunks)
+      .num("tx_max_batch", c.tx_max_batch)
+      .num("tx_payload_refs", c.tx_payload_refs)
+      .num("tx_payload_copies", c.tx_payload_copies)
+      .num("rx_payload_aliases", c.rx_payload_aliases)
+      .num("rx_payload_copies", c.rx_payload_copies)
+      .num("rx_compactions", c.rx_compactions)
+      .num("rx_compaction_bytes", c.rx_compaction_bytes);
 }
 
 }  // namespace fsr::bench

@@ -55,4 +55,48 @@ void print_header(const std::string& title, const std::vector<std::string>& cols
 void print_row(const std::vector<std::string>& cells);
 std::string fmt(double v, int decimals = 1);
 
+// --- machine-readable reports ---
+
+/// Collects a benchmark's configuration and result rows and writes them as
+/// BENCH_<name>.json (schema v1, documented in EXPERIMENTS.md) into
+/// $FSR_BENCH_JSON_DIR, or the working directory when unset. Keys keep
+/// insertion order; values are numbers or strings.
+class JsonReport {
+ public:
+  class Row {
+   public:
+    Row& num(const std::string& key, double v);
+    Row& num(const std::string& key, std::uint64_t v);
+    Row& str(const std::string& key, const std::string& v);
+
+   private:
+    friend class JsonReport;
+    // Pre-rendered JSON value per key (numbers rendered on insert).
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  JsonReport& config(const std::string& key, double v);
+  JsonReport& config(const std::string& key, std::uint64_t v);
+  JsonReport& config(const std::string& key, const std::string& v);
+
+  Row& add_row();
+
+  /// Serialize and write BENCH_<name>.json; returns the path written to, or
+  /// "" on I/O failure (reported on stderr, never fatal — a benchmark that
+  /// ran to completion should not fail on a read-only directory).
+  std::string write() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<Row> rows_;
+};
+
+/// Attach a transport-counter snapshot to a report row with a key prefix
+/// (e.g. "tx_syscalls", ...). Only the counters meaningful for the backend
+/// need be non-zero.
+void add_counters(JsonReport::Row& row, const TransportCounters& c);
+
 }  // namespace fsr::bench

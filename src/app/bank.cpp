@@ -31,7 +31,7 @@ Bytes Bank::encode_transfer(std::string_view from, std::string_view to,
   return w.take();
 }
 
-void Bank::apply(NodeId, const Bytes& command) {
+void Bank::apply(NodeId, std::span<const std::uint8_t> command) {
   try {
     ByteReader r(command);
     auto op = static_cast<Op>(r.u8());

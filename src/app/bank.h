@@ -22,7 +22,7 @@ class Bank final : public StateMachine {
   static Bytes encode_transfer(std::string_view from, std::string_view to,
                                std::int64_t amount);
 
-  void apply(NodeId origin, const Bytes& command) override;
+  void apply(NodeId origin, std::span<const std::uint8_t> command) override;
   std::uint64_t fingerprint() const override;
 
   std::int64_t balance(const std::string& account) const;

@@ -27,7 +27,7 @@ Bytes KvStore::encode_cas(std::string_view key, std::string_view expected,
   return encode(Op::kCas, {key, expected, value});
 }
 
-void KvStore::apply(NodeId, const Bytes& command) {
+void KvStore::apply(NodeId, std::span<const std::uint8_t> command) {
   try {
     ByteReader r(command);
     auto op = static_cast<Op>(r.u8());

@@ -23,7 +23,7 @@ class KvStore final : public StateMachine {
                           std::string_view value);
 
   // --- StateMachine ---
-  void apply(NodeId origin, const Bytes& command) override;
+  void apply(NodeId origin, std::span<const std::uint8_t> command) override;
   std::uint64_t fingerprint() const override;
 
   // --- local (read-only) queries ---

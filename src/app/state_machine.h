@@ -19,8 +19,10 @@ class StateMachine {
  public:
   virtual ~StateMachine() = default;
 
-  /// Apply a command delivered by TO-broadcast. Must be deterministic.
-  virtual void apply(NodeId origin, const Bytes& command) = 0;
+  /// Apply a command delivered by TO-broadcast. Must be deterministic. The
+  /// span may alias the transport's receive buffer — copy whatever must
+  /// outlive the call.
+  virtual void apply(NodeId origin, std::span<const std::uint8_t> command) = 0;
 
   /// A digest of the full state; equal digests <=> equal replicas.
   virtual std::uint64_t fingerprint() const = 0;

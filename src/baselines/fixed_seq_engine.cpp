@@ -127,7 +127,7 @@ void FixedSeqEngine::try_deliver() {
     if (origin == transport_.self() && own_in_flight_ > 0) --own_in_flight_;
     auto& r = reasm_[origin];
     if (rec.frag.index == 0) r = Reassembly{rec.frag.app_msg, 0, {}};
-    if (rec.payload) r.data.insert(r.data.end(), rec.payload->begin(), rec.payload->end());
+    if (rec.payload) r.data.insert(r.data.end(), rec.payload.begin(), rec.payload.end());
     ++r.next_index;
     if (r.next_index == rec.frag.count) {
       Delivery d;
@@ -135,7 +135,7 @@ void FixedSeqEngine::try_deliver() {
       d.app_msg = rec.frag.app_msg;
       d.seq = next_deliver_ - 1;
       d.view = view_.id;
-      d.payload = std::move(r.data);
+      d.payload = make_payload(std::move(r.data));
       r = Reassembly{};
       if (deliver_) deliver_(d);
     }

@@ -155,7 +155,7 @@ void MovingSeqEngine::try_deliver() {
 
     auto& r = reasm_[id.origin];
     if (st.frag.index == 0) r = Reassembly{st.frag.app_msg, 0, {}};
-    if (st.payload) r.data.insert(r.data.end(), st.payload->begin(), st.payload->end());
+    if (st.payload) r.data.insert(r.data.end(), st.payload.begin(), st.payload.end());
     ++r.next_index;
     if (r.next_index == st.frag.count) {
       Delivery d;
@@ -163,7 +163,7 @@ void MovingSeqEngine::try_deliver() {
       d.app_msg = st.frag.app_msg;
       d.seq = next_deliver_ - 1;
       d.view = view_.id;
-      d.payload = std::move(r.data);
+      d.payload = make_payload(std::move(r.data));
       r = Reassembly{};
       if (deliver_) deliver_(d);
     }

@@ -2,8 +2,10 @@
 // Little-endian fixed-width integers plus LEB128-style varints.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -105,6 +107,15 @@ class ByteReader {
     return Bytes(s.begin(), s.end());
   }
 
+  /// Length-prefixed byte string as a view into the underlying buffer (no
+  /// copy). Valid only while the buffer the reader was constructed over
+  /// lives; callers that need the bytes past that must copy or hold a
+  /// reference to the backing storage.
+  std::span<const std::uint8_t> bytes_view() {
+    std::uint64_t len = var();
+    return take(check_len(len));
+  }
+
   std::string str() {
     std::uint64_t len = var();
     auto s = take(check_len(len));
@@ -141,6 +152,71 @@ class ByteReader {
 
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
+};
+
+/// Receive-side byte accumulator built for zero-copy consumption: bytes are
+/// appended into a reference-counted chunk whose storage never moves, so
+/// views decoded out of it (e.g. message payloads) stay valid for as long as
+/// they hold the chunk's owner — even after the buffer "compacts".
+///
+/// Invariants that make the aliasing safe:
+///   * a chunk's storage is written only in [size, capacity) — bytes that a
+///     reader may already reference are never overwritten or moved;
+///   * instead of memmove-compacting in place, compaction allocates a fresh
+///     chunk and copies only the unconsumed tail (typically a partial
+///     message) into it; the old chunk is released and stays alive while
+///     any view still references it.
+class ChunkBuffer {
+ public:
+  /// Unconsumed bytes (contiguous; everything appended but not consumed).
+  std::span<const std::uint8_t> readable() const {
+    return {mem_.get() + pos_, size_ - pos_};
+  }
+
+  /// Shared anchor for views into readable(); keeps the storage alive.
+  std::shared_ptr<const void> owner() const {
+    return std::shared_ptr<const void>(mem_, mem_.get());
+  }
+
+  void consume(std::size_t n) { pos_ += n; }
+
+  /// Writable tail span of at least `min_bytes` capacity. May swap in a new
+  /// chunk (copying the unconsumed tail); `copied_out`, when non-null, is
+  /// incremented by the number of bytes such a compaction copied.
+  std::span<std::uint8_t> writable(std::size_t min_bytes,
+                                   std::uint64_t* copied_out = nullptr) {
+    if (cap_ - size_ < min_bytes) {
+      std::size_t carry = size_ - pos_;
+      std::size_t cap = std::max(carry + min_bytes, default_chunk_);
+      // Raw new[]: deliberately uninitialized — recv() fills it.
+      std::shared_ptr<std::uint8_t[]> fresh(new std::uint8_t[cap]);
+      if (carry > 0) {
+        std::memcpy(fresh.get(), mem_.get() + pos_, carry);
+        if (copied_out != nullptr) *copied_out += carry;
+      }
+      mem_ = std::move(fresh);
+      cap_ = cap;
+      size_ = carry;
+      pos_ = 0;
+    }
+    return {mem_.get() + size_, cap_ - size_};
+  }
+
+  /// Publish `n` bytes written into the span returned by writable(). Growth
+  /// stays within the chunk's capacity, so the storage (and every
+  /// outstanding view into it) never moves.
+  void commit(std::size_t n) { size_ += n; }
+
+  std::size_t size() const { return size_ - pos_; }
+
+  void set_default_chunk_size(std::size_t bytes) { default_chunk_ = bytes; }
+
+ private:
+  std::shared_ptr<std::uint8_t[]> mem_;
+  std::size_t cap_ = 0;
+  std::size_t size_ = 0;  // bytes appended into the chunk
+  std::size_t pos_ = 0;   // bytes consumed off the front
+  std::size_t default_chunk_ = 256 * 1024;
 };
 
 }  // namespace fsr

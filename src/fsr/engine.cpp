@@ -313,6 +313,23 @@ void Engine::deliver_record(const Record& rec) {
   ++stats_.segments_delivered;
   stats_.bytes_delivered += payload_size(rec.payload);
 
+  // Single-segment message (the common case below segment_size): the
+  // record's payload view is handed to the application as-is — no
+  // reassembly copy, the delivery aliases the transport's receive buffer.
+  if (rec.frag.count == 1) {
+    reasm_.erase(origin);  // drop any stale partial (mid-message join)
+    Delivery d;
+    d.origin = origin;
+    d.app_msg = rec.frag.app_msg;
+    d.seq = rec.seq;
+    d.view = view_.id;
+    d.payload = rec.payload;
+    ++stats_.app_delivered;
+    if (origin == transport_.self() && pending_own_ > 0) --pending_own_;
+    if (deliver_) deliver_(d);
+    return;
+  }
+
   // Reassembly: per-origin segments arrive in index order because the leader
   // sequences each origin's stream FIFO. A process that joined mid-message
   // may first see index > 0; it skips until the next message boundary.
@@ -322,7 +339,7 @@ void Engine::deliver_record(const Record& rec) {
   } else if (r.app_msg != rec.frag.app_msg || r.next_index != rec.frag.index) {
     return;  // mid-message join; drop partial
   }
-  if (rec.payload) r.data.insert(r.data.end(), rec.payload->begin(), rec.payload->end());
+  if (rec.payload) r.data.insert(r.data.end(), rec.payload.begin(), rec.payload.end());
   ++r.next_index;
   if (r.next_index == rec.frag.count) {
     Delivery d;
@@ -330,7 +347,7 @@ void Engine::deliver_record(const Record& rec) {
     d.app_msg = rec.frag.app_msg;
     d.seq = rec.seq;
     d.view = view_.id;
-    d.payload = std::move(r.data);
+    d.payload = make_payload(std::move(r.data));
     r = Reassembly{};
     ++stats_.app_delivered;
     if (origin == transport_.self() && pending_own_ > 0) --pending_own_;
@@ -473,7 +490,7 @@ Bytes Engine::collect_flush_state(bool include_snapshot) {
     w.var(r.frag.index);
     w.var(r.frag.count);
     if (r.payload) {
-      w.bytes(*r.payload);
+      w.bytes(r.payload.span());
     } else {
       w.var(0);
     }

@@ -67,7 +67,11 @@ struct Delivery {
   std::uint64_t app_msg = 0;  // per-origin application message counter
   GlobalSeq seq = 0;          // global sequence of the final segment
   ViewId view = 0;            // view in which delivery happened
-  Bytes payload;
+  /// Zero-copy for single-segment messages: the view aliases the transport's
+  /// receive buffer (hold the Payload — it shares ownership — to keep the
+  /// bytes past the callback). Reassembled multi-segment messages own fresh
+  /// storage.
+  Payload payload;
 };
 
 class Engine {

@@ -4,7 +4,7 @@
 
 namespace fsr {
 
-std::uint64_t hash_bytes(const Bytes& b) {
+std::uint64_t hash_bytes(std::span<const std::uint8_t> b) {
   std::uint64_t h = 1469598103934665603ULL;
   for (std::uint8_t c : b) {
     h ^= c;

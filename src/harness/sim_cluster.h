@@ -134,7 +134,7 @@ class SimCluster {
 };
 
 /// FNV-1a, for payload integrity checking without storing payloads.
-std::uint64_t hash_bytes(const Bytes& b);
+std::uint64_t hash_bytes(std::span<const std::uint8_t> b);
 
 /// Deterministic payload of `size` bytes derived from (origin, app_msg).
 Bytes test_payload(NodeId origin, std::uint64_t app_msg, std::size_t size);

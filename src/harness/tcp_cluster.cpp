@@ -133,6 +133,17 @@ bool TcpCluster::wait_view_size(std::uint32_t members, Time timeout) {
   }
 }
 
+TransportCounters TcpCluster::counters() const {
+  TransportCounters total;
+  for (const auto& node : nodes_) {
+    if (node->crashed.load()) continue;
+    TransportCounters c;
+    node->transport->post_wait([&] { c = node->transport->counters(); });
+    total += c;
+  }
+  return total;
+}
+
 void TcpCluster::with_member(NodeId node, const std::function<void(GroupMember&)>& fn) {
   Node* n = nodes_[node].get();
   n->transport->post_wait([&] { fn(*n->member); });

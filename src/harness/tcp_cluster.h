@@ -54,6 +54,10 @@ class TcpCluster {
   /// Run a function on a node's I/O thread and wait (e.g. leave requests).
   void with_member(NodeId node, const std::function<void(GroupMember&)>& fn);
 
+  /// Sum of every live node's transport counters (each snapshot taken on
+  /// its I/O thread, per the TransportCounters threading contract).
+  TransportCounters counters() const;
+
   /// The protocol-invariant checker fed by every node's delivery stream
   /// (concurrently, from the n I/O threads). Online findings surface here
   /// the moment they happen.

@@ -48,6 +48,13 @@ Bytes encode_frame(const Frame& frame) {
 
 namespace {
 
+/// Decode-time payload policy: with an owner, payloads alias the receive
+/// buffer (zero-copy); without one they are copied into fresh storage.
+struct DecodeCtx {
+  const std::shared_ptr<const void>* owner = nullptr;  // null or empty => copy
+  PayloadDecodeCounters* counters = nullptr;
+};
+
 MsgId get_msg_id(ByteReader& r) {
   MsgId id;
   id.origin = r.u32();
@@ -77,10 +84,18 @@ FragInfo get_frag(ByteReader& r) {
 // plain move of a heap-backed vector.
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wfree-nonheap-object"
-Payload get_payload(ByteReader& r) {
-  Bytes b = r.bytes();
-  if (b.empty()) return nullptr;
-  return make_payload(std::move(b));
+Payload get_payload(ByteReader& r, const DecodeCtx& ctx) {
+  std::span<const std::uint8_t> view = r.bytes_view();
+  if (view.empty()) return nullptr;
+  if (ctx.owner != nullptr && *ctx.owner != nullptr) {
+    if (ctx.counters != nullptr) ++ctx.counters->aliased;
+    return Payload{*ctx.owner, view};
+  }
+  if (ctx.counters != nullptr) {
+    ++ctx.counters->copied;
+    ctx.counters->copied_bytes += view.size();
+  }
+  return make_payload(Bytes(view.begin(), view.end()));
 }
 #pragma GCC diagnostic pop
 
@@ -92,9 +107,7 @@ std::vector<NodeId> get_node_list(ByteReader& r) {
   return nodes;
 }
 
-}  // namespace
-
-WireMsg decode_msg(ByteReader& r) {
+WireMsg decode_msg(ByteReader& r, const DecodeCtx& ctx) {
   auto tag = static_cast<Tag>(r.u8());
   switch (tag) {
     case Tag::kData: {
@@ -102,7 +115,7 @@ WireMsg decode_msg(ByteReader& r) {
       m.id = get_msg_id(r);
       m.view = r.var();
       m.frag = get_frag(r);
-      m.payload = get_payload(r);
+      m.payload = get_payload(r, ctx);
       return m;
     }
     case Tag::kSeq: {
@@ -111,7 +124,7 @@ WireMsg decode_msg(ByteReader& r) {
       m.seq = r.var();
       m.view = r.var();
       m.frag = get_frag(r);
-      m.payload = get_payload(r);
+      m.payload = get_payload(r, ctx);
       return m;
     }
     case Tag::kAck: {
@@ -200,7 +213,7 @@ WireMsg decode_msg(ByteReader& r) {
   throw CodecError("unknown message tag");
 }
 
-Frame decode_frame(std::span<const std::uint8_t> data) {
+Frame decode_frame_ctx(std::span<const std::uint8_t> data, const DecodeCtx& ctx) {
   ByteReader r(data);
   Frame f;
   f.from = r.u32();
@@ -208,9 +221,23 @@ Frame decode_frame(std::span<const std::uint8_t> data) {
   std::uint64_t n = r.var();
   if (n > r.remaining()) throw CodecError("message count too long");
   f.msgs.reserve(static_cast<std::size_t>(n));
-  for (std::uint64_t i = 0; i < n; ++i) f.msgs.push_back(decode_msg(r));
+  for (std::uint64_t i = 0; i < n; ++i) f.msgs.push_back(decode_msg(r, ctx));
   if (!r.done()) throw CodecError("trailing bytes after frame");
   return f;
+}
+
+}  // namespace
+
+WireMsg decode_msg(ByteReader& r) { return decode_msg(r, DecodeCtx{}); }
+
+Frame decode_frame(std::span<const std::uint8_t> data) {
+  return decode_frame_ctx(data, DecodeCtx{});
+}
+
+Frame decode_frame(std::span<const std::uint8_t> data,
+                   const std::shared_ptr<const void>& owner,
+                   PayloadDecodeCounters* counters) {
+  return decode_frame_ctx(data, DecodeCtx{&owner, counters});
 }
 
 }  // namespace fsr

@@ -58,8 +58,14 @@ void put_frag(Sink& w, const FragInfo& f) {
 template <typename Sink>
 void put_payload(Sink& w, const Payload& p) {
   if (p) {
-    w.var(p->size());
-    w.raw(*p);
+    w.var(p.size());
+    // Sinks that can transmit by reference (scatter-gather transports) take
+    // the payload view itself instead of copying the bytes into the buffer.
+    if constexpr (requires { w.raw_ref(p); }) {
+      w.raw_ref(p);
+    } else {
+      w.raw(p.span());
+    }
   } else {
     w.var(0);
   }
@@ -196,8 +202,24 @@ std::size_t wire_size(const Frame& frame);
 
 Bytes encode_frame(const Frame& frame);
 
+/// How decode_frame produced the payloads of DATA/SEQ messages: aliased
+/// (zero-copy views into the caller's buffer) vs copied out of it.
+struct PayloadDecodeCounters {
+  std::uint64_t aliased = 0;
+  std::uint64_t copied = 0;
+  std::uint64_t copied_bytes = 0;
+};
+
 /// Throws CodecError on malformed input.
 Frame decode_frame(std::span<const std::uint8_t> data);
+
+/// Zero-copy decode: payloads are returned as views sharing `owner`, which
+/// must keep `data`'s storage alive (e.g. the transport's receive chunk).
+/// With a null owner payloads are copied, as in the plain overload.
+Frame decode_frame(std::span<const std::uint8_t> data,
+                   const std::shared_ptr<const void>& owner,
+                   PayloadDecodeCounters* counters = nullptr);
+
 WireMsg decode_msg(ByteReader& r);
 
 }  // namespace fsr

@@ -5,8 +5,10 @@
 // frame that already carries a payload message.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <optional>
+#include <span>
 #include <variant>
 #include <vector>
 
@@ -15,16 +17,57 @@
 
 namespace fsr {
 
-/// Payloads are shared so that forwarding a 100 KB segment around the ring
-/// does not copy it at every hop (in the simulator; the TCP transport
-/// serializes real bytes).
-using Payload = std::shared_ptr<const Bytes>;
+/// An immutable, reference-counted byte range: the owner keeps the backing
+/// storage alive while the view points anywhere inside it. This is what lets
+/// payloads travel the whole data path without being copied — a decoded
+/// payload aliases the transport's receive buffer, forwarding it around the
+/// ring enqueues the same bytes for scatter-gather transmission, and the
+/// simulator shares one buffer across every hop.
+///
+/// A default-constructed (or nullptr-assigned) Payload is "absent" and
+/// distinct from a present-but-empty one (make_payload(Bytes{}) is truthy
+/// with size 0), matching the previous shared_ptr<const Bytes> semantics.
+class Payload {
+ public:
+  Payload() = default;
+  Payload(std::nullptr_t) {}  // NOLINT(google-explicit-constructor): mirrors shared_ptr
+  Payload(std::shared_ptr<const void> owner, std::span<const std::uint8_t> bytes)
+      : owner_(std::move(owner)), data_(bytes.data()), size_(bytes.size()) {}
 
+  explicit operator bool() const { return owner_ != nullptr; }
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const std::uint8_t* begin() const { return data_; }
+  const std::uint8_t* end() const { return data_ + size_; }
+
+  std::span<const std::uint8_t> span() const { return {data_, size_}; }
+  operator std::span<const std::uint8_t>() const { return span(); }  // NOLINT(google-explicit-constructor)
+
+  /// The backing storage anchor (shared with every other view into it).
+  const std::shared_ptr<const void>& owner() const { return owner_; }
+
+  /// Content equality (presence and bytes), for tests and checkers.
+  friend bool operator==(const Payload& a, const Payload& b) {
+    if (!a.owner_ || !b.owner_) return a.owner_ == nullptr && b.owner_ == nullptr;
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::shared_ptr<const void> owner_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Wrap owned bytes in a Payload (one allocation, no copy of the contents).
 inline Payload make_payload(Bytes b) {
-  return std::make_shared<const Bytes>(std::move(b));
+  auto owned = std::make_shared<const Bytes>(std::move(b));
+  std::span<const std::uint8_t> view(*owned);
+  return Payload{std::move(owned), view};
 }
 
-inline std::size_t payload_size(const Payload& p) { return p ? p->size() : 0; }
+inline std::size_t payload_size(const Payload& p) { return p.size(); }
 
 /// Segmentation header: which application message this segment belongs to
 /// (per-origin counter) and its position in it (paper §4.1: uniform message

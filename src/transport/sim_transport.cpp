@@ -2,12 +2,16 @@
 
 #include <cassert>
 
+#include "proto/codec.h"
+
 namespace fsr {
 
 Time SimTransport::now() const { return world_.sim_.now(); }
 
 void SimTransport::send(Frame frame) {
   frame.from = self_;
+  ++counters_.tx_frames;
+  counters_.tx_bytes += wire_size(frame);
   world_.net_.send(std::move(frame));
 }
 
@@ -31,8 +35,10 @@ SimWorld::SimWorld(NetConfig config, std::size_t n_nodes, Time fd_detection_dela
     transports_.push_back(std::make_unique<SimTransport>(*this, static_cast<NodeId>(i)));
   }
   net_.set_deliver([this](const Frame& frame) {
-    auto& handlers = transports_[frame.to]->handlers_;
-    if (handlers.on_frame) handlers.on_frame(frame);
+    auto& t = *transports_[frame.to];
+    ++t.counters_.rx_frames;
+    t.counters_.rx_bytes += wire_size(frame);
+    if (t.handlers_.on_frame) t.handlers_.on_frame(frame);
   });
   net_.set_tx_ready([this](NodeId node) {
     auto& handlers = transports_[node]->handlers_;

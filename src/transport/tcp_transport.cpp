@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -31,15 +32,13 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-Bytes frame_with_length_prefix(const Frame& frame) {
-  Bytes body = encode_frame(frame);
-  Bytes out;
-  out.reserve(body.size() + 4);
-  auto len = static_cast<std::uint32_t>(body.size());
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
-  out.insert(out.end(), body.begin(), body.end());
-  return out;
-}
+/// recv() chunk granularity; the ChunkBuffer always offers at least this much
+/// writable tail so a drain needs few syscalls.
+constexpr std::size_t kRecvChunk = 64 * 1024;
+
+/// Max iovec entries per sendmsg. Linux caps at IOV_MAX (1024); 64 frames per
+/// syscall is already far past the point of diminishing returns.
+constexpr std::size_t kMaxIov = 64;
 
 }  // namespace
 
@@ -130,6 +129,7 @@ void TcpTransport::stop() {
                c.peer == kNoNode ? -1 : (int)c.peer);
       ::close(c.fd);
     }
+    pending_tx_bytes_ -= c.outbox_bytes;
   }
   conns_.clear();
   if (listen_fd_ >= 0) ::close(listen_fd_);
@@ -166,59 +166,164 @@ void TcpTransport::post_wait(std::function<void()> fn) {
 
 // --- Transport interface ---
 
-void TcpTransport::send(Frame frame) {
-  frame.from = cfg_.self;
-  NodeId to = frame.to;
-  Bytes wire = frame_with_length_prefix(frame);
-  Conn* conn = outgoing_conn(to);
-  if (conn == nullptr) {
-    if (std::find(down_.begin(), down_.end(), to) != down_.end()) return;
-    if (!connect_peer(to)) {
-      unsent_.push_back({to, std::move(wire)});
-      return;
+TcpTransport::EncodedFrame TcpTransport::encode_for_wire(const Frame& frame) {
+  // Sink for the templated codec that builds an outbox chunk chain directly:
+  // header/control bytes accumulate in an owned buffer, large payloads become
+  // reference chunks (transmitted by sendmsg scatter-gather, never copied).
+  // The 4-byte length prefix is reserved up front and patched at the end, so
+  // a frame is encoded in one pass with no re-copy.
+  struct ChainWriter {
+    EncodedFrame& out;
+    TransportCounters& ctr;
+    std::size_t copy_threshold;
+    Bytes cur;
+
+    void fixed(std::uint64_t v, int nbytes) {
+      for (int i = 0; i < nbytes; ++i) {
+        cur.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+      }
     }
-    conn = outgoing_conn(to);
-  }
-  conn->outbox_bytes += wire.size();
-  conn->outbox.push_back(std::move(wire));
-  if (!tx_idle()) busy_ = true;
-  // The poll loop flushes; try an eager write so small sends don't wait a
-  // poll cycle.
-  for (std::size_t i = 0; i < conns_.size(); ++i) {
-    if (&conns_[i] == conn) {
-      handle_writable(i);
-      break;
+    void u8(std::uint8_t v) { cur.push_back(v); }
+    void u16(std::uint16_t v) { fixed(v, 2); }
+    void u32(std::uint32_t v) { fixed(v, 4); }
+    void u64(std::uint64_t v) { fixed(v, 8); }
+    void var(std::uint64_t v) {
+      while (v >= 0x80) {
+        cur.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+      }
+      cur.push_back(static_cast<std::uint8_t>(v));
     }
+    void raw(std::span<const std::uint8_t> d) {
+      cur.insert(cur.end(), d.begin(), d.end());
+    }
+    void bytes(std::span<const std::uint8_t> d) {
+      var(d.size());
+      raw(d);
+    }
+    void str(std::string_view s) {
+      var(s.size());
+      cur.insert(cur.end(), s.begin(), s.end());
+    }
+    void raw_ref(const Payload& p) {
+      if (p.size() <= copy_threshold) {
+        raw(p.span());
+        ++ctr.tx_payload_copies;
+        return;
+      }
+      flush();
+      out.chunks.push_back(OutChunk{Bytes{}, p});
+      ++ctr.tx_payload_refs;
+    }
+    void flush() {
+      if (cur.empty()) return;
+      out.chunks.push_back(OutChunk{std::move(cur), Payload{}});
+      cur.clear();
+    }
+  };
+
+  EncodedFrame out;
+  ChainWriter w{out, counters_, cfg_.tx_copy_threshold, Bytes{}};
+  w.cur.reserve(256);
+  for (int i = 0; i < 4; ++i) w.cur.push_back(0);  // length prefix placeholder
+  encode_frame(w, frame);
+  w.flush();
+  std::size_t total = 0;
+  for (const auto& ch : out.chunks) total += ch.size();
+  auto body = static_cast<std::uint32_t>(total - 4);
+  for (int i = 0; i < 4; ++i) {
+    out.chunks.front().own[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(body >> (8 * i));
   }
+  out.bytes = total;
+  return out;
 }
 
-bool TcpTransport::tx_idle() const {
-  std::size_t pending = 0;
-  for (const auto& c : conns_) pending += c.outbox_bytes;
-  for (const auto& [peer, bytes] : unsent_) pending += bytes.size();
-  return pending < cfg_.tx_high_watermark;
+void TcpTransport::send(Frame frame) {
+  // Sends racing stop() (drained posted closures) are dropped: the sockets
+  // are gone and a crash-stop cluster treats a stopped node as crashed.
+  if (!running_.load()) return;
+  frame.from = cfg_.self;
+  NodeId to = frame.to;
+  std::ptrdiff_t ci = outgoing_conn_idx(to);
+  if (ci < 0 && std::find(down_.begin(), down_.end(), to) != down_.end()) return;
+  EncodedFrame wire = encode_for_wire(frame);
+  ++counters_.tx_frames;
+  if (ci < 0) {
+    if (!connect_peer(to)) {
+      // connect_peer may have just declared the peer down — don't resurrect
+      // its unsent queue.
+      if (std::find(down_.begin(), down_.end(), to) != down_.end()) return;
+      pending_tx_bytes_ += wire.bytes;
+      unsent_.push_back({to, std::move(wire)});
+      if (!tx_idle()) busy_ = true;
+      return;
+    }
+    ci = outgoing_conn_idx(to);
+  }
+  enqueue_chunks(conns_[static_cast<std::size_t>(ci)], std::move(wire));
+  if (!tx_idle()) busy_ = true;
+  // No eager write: the frame is flushed — coalesced with everything else
+  // queued this loop iteration — by flush_marked() before the next poll.
+  mark_for_flush(static_cast<std::size_t>(ci));
 }
+
+bool TcpTransport::tx_idle() const { return pending_tx_bytes_ < cfg_.tx_high_watermark; }
 
 TimerId TcpTransport::set_timer(Time delay, std::function<void()> fn) {
   std::uint64_t serial = next_timer_serial_++;
-  timers_.push_back(Timer{now() + delay, serial, std::move(fn)});
+  timer_heap_.push_back(Timer{now() + delay, serial, std::move(fn)});
+  std::push_heap(timer_heap_.begin(), timer_heap_.end(), TimerLater{});
+  pending_timers_.insert(serial);
   return TimerId{serial};
 }
 
 void TcpTransport::cancel_timer(TimerId id) {
   if (!id.valid()) return;
-  timers_.erase(std::remove_if(timers_.begin(), timers_.end(),
-                               [&](const Timer& t) { return t.serial == id.serial_; }),
-                timers_.end());
+  // Lazy deletion: tombstone the serial; the heap entry is dropped when it
+  // reaches the top. Cancelling an already-fired (or unknown) id is a no-op.
+  if (pending_timers_.erase(id.serial_) > 0) cancelled_timers_.insert(id.serial_);
 }
 
 // --- internals (I/O thread) ---
 
-TcpTransport::Conn* TcpTransport::outgoing_conn(NodeId peer) {
-  for (auto& c : conns_) {
-    if (c.outgoing && c.peer == peer && c.fd >= 0) return &c;
+std::ptrdiff_t TcpTransport::outgoing_conn_idx(NodeId peer) const {
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    const Conn& c = conns_[i];
+    if (c.outgoing && c.peer == peer && c.fd >= 0) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
   }
-  return nullptr;
+  return -1;
+}
+
+void TcpTransport::enqueue_chunks(Conn& conn, EncodedFrame&& frame) {
+  conn.outbox_bytes += frame.bytes;
+  pending_tx_bytes_ += frame.bytes;
+  for (auto& ch : frame.chunks) conn.outbox.push_back(std::move(ch));
+}
+
+void TcpTransport::mark_for_flush(std::size_t idx) {
+  Conn& c = conns_[idx];
+  if (c.flush_queued) return;
+  c.flush_queued = true;
+  flush_pending_.push_back(idx);
+}
+
+void TcpTransport::flush_marked() {
+  // Runs once per loop iteration: every frame queued during the iteration
+  // leaves in as few sendmsg calls as the iovec cap allows. Callbacks fired
+  // from handle_writable (on_tx_ready) may queue more — keep going until no
+  // connection is marked, so nothing waits a full poll timeout.
+  while (!flush_pending_.empty()) {
+    std::vector<std::size_t> pending;
+    pending.swap(flush_pending_);
+    for (std::size_t idx : pending) {
+      if (idx >= conns_.size()) continue;
+      conns_[idx].flush_queued = false;
+      if (conns_[idx].fd >= 0 && !conns_[idx].outbox.empty()) handle_writable(idx);
+    }
+  }
 }
 
 bool TcpTransport::connect_peer(NodeId peer) {
@@ -254,10 +359,14 @@ bool TcpTransport::connect_peer(NodeId peer) {
   c.peer = peer;
   c.outgoing = true;
   c.hello_done = true;  // hello is the first thing in the outbox
-  Bytes hello(4);
-  for (int i = 0; i < 4; ++i) hello[static_cast<std::size_t>(i)] =
-      static_cast<std::uint8_t>(cfg_.self >> (8 * i));
-  c.outbox_bytes = hello.size();
+  OutChunk hello;
+  hello.own.resize(4);
+  for (int i = 0; i < 4; ++i) {
+    hello.own[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(cfg_.self >> (8 * i));
+  }
+  c.outbox_bytes = hello.own.size();
+  pending_tx_bytes_ += hello.own.size();
   c.outbox.push_back(std::move(hello));
   conns_.push_back(std::move(c));
   return true;
@@ -267,11 +376,24 @@ void TcpTransport::report_peer_down(NodeId peer) {
   if (std::find(down_.begin(), down_.end(), peer) != down_.end()) return;
   down_.push_back(peer);
   reconnect_at_.erase(peer);
-  unsent_.erase(std::remove_if(unsent_.begin(), unsent_.end(),
-                               [&](const auto& p) { return p.first == peer; }),
-                unsent_.end());
+  for (auto it = unsent_.begin(); it != unsent_.end();) {
+    if (it->first == peer) {
+      pending_tx_bytes_ -= it->second.bytes;
+      it = unsent_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   FSR_INFO("node %u: peer %u is down", cfg_.self, peer);
   if (handlers_.on_peer_down) handlers_.on_peer_down(peer);
+  maybe_tx_ready();
+}
+
+void TcpTransport::maybe_tx_ready() {
+  if (busy_ && tx_idle()) {
+    busy_ = false;
+    if (handlers_.on_tx_ready) handlers_.on_tx_ready();
+  }
 }
 
 void TcpTransport::accept_new() {
@@ -289,13 +411,20 @@ void TcpTransport::accept_new() {
 }
 
 void TcpTransport::handle_readable(std::size_t idx) {
-  Conn& c = conns_[idx];
-  char buf[64 * 1024];
   for (;;) {
-    ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+    Conn& c = conns_[idx];
+    std::uint64_t copied_before = counters_.rx_compaction_bytes;
+    auto buf = c.read_buf.writable(kRecvChunk, &counters_.rx_compaction_bytes);
+    if (counters_.rx_compaction_bytes != copied_before) ++counters_.rx_compactions;
+    ssize_t n = ::recv(c.fd, buf.data(), buf.size(), 0);
     if (n > 0) {
-      c.read_buf.insert(c.read_buf.end(), buf, buf + n);
-      continue;
+      c.read_buf.commit(static_cast<std::size_t>(n));
+      ++counters_.rx_syscalls;
+      counters_.rx_bytes += static_cast<std::uint64_t>(n);
+      // A short read means the socket buffer is drained (level-triggered
+      // poll re-arms if more arrives); a full read may leave bytes behind.
+      if (static_cast<std::size_t>(n) == buf.size()) continue;
+      break;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     // EOF or error: in a crash-stop cluster an unexpected close is a crash.
@@ -307,26 +436,30 @@ void TcpTransport::handle_readable(std::size_t idx) {
   }
 
   // The frame handler may open connections (growing conns_ and invalidating
-  // references), so conns_[idx] is re-resolved on every access.
-  std::size_t pos = 0;
+  // references), so conns_[idx] is re-resolved on every access. The chunk
+  // storage itself never moves, so spans into it stay valid throughout.
   if (!conns_[idx].hello_done) {
-    if (conns_[idx].read_buf.size() < 4) return;
+    auto data = conns_[idx].read_buf.readable();
+    if (data.size() < 4) return;
     NodeId peer = 0;
     for (int i = 0; i < 4; ++i) {
-      peer |= static_cast<NodeId>(conns_[idx].read_buf[static_cast<std::size_t>(i)])
-              << (8 * i);
+      peer |= static_cast<NodeId>(data[static_cast<std::size_t>(i)]) << (8 * i);
     }
     conns_[idx].peer = peer;
     conns_[idx].hello_done = true;
-    pos = 4;
+    conns_[idx].read_buf.consume(4);
   }
+  // One owner handle for every frame parsed out of this drain: payloads
+  // decoded below alias the chunk and share its ownership (zero-copy).
+  auto owner = conns_[idx].read_buf.owner();
+  std::size_t pos = 0;
   for (;;) {
-    if (conns_[idx].fd < 0) return;  // closed mid-parse
-    if (conns_[idx].read_buf.size() - pos < 4) break;
+    if (conns_[idx].fd < 0) break;  // closed mid-parse
+    auto data = conns_[idx].read_buf.readable();
+    if (data.size() - pos < 4) break;
     std::uint32_t len = 0;
     for (int i = 0; i < 4; ++i) {
-      len |= static_cast<std::uint32_t>(
-                 conns_[idx].read_buf[pos + static_cast<std::size_t>(i)])
+      len |= static_cast<std::uint32_t>(data[pos + static_cast<std::size_t>(i)])
              << (8 * i);
     }
     if (len > 64u * 1024 * 1024) {
@@ -335,11 +468,14 @@ void TcpTransport::handle_readable(std::size_t idx) {
       close_conn(idx, true);  // insane length: corrupted stream
       return;
     }
-    if (conns_[idx].read_buf.size() - pos - 4 < len) break;
+    if (data.size() - pos - 4 < len) break;
     try {
-      Frame frame = decode_frame(
-          std::span<const std::uint8_t>(conns_[idx].read_buf.data() + pos + 4, len));
+      PayloadDecodeCounters pdc;
+      Frame frame = decode_frame(data.subspan(pos + 4, len), owner, &pdc);
+      counters_.rx_payload_aliases += pdc.aliased;
+      counters_.rx_payload_copies += pdc.copied;
       pos += 4 + len;
+      ++counters_.rx_frames;
       if (handlers_.on_frame) handlers_.on_frame(frame);
     } catch (const CodecError& e) {
       FSR_WARN("node %u: dropping connection after codec error: %s", cfg_.self,
@@ -348,16 +484,33 @@ void TcpTransport::handle_readable(std::size_t idx) {
       return;
     }
   }
-  auto& rbuf = conns_[idx].read_buf;
-  rbuf.erase(rbuf.begin(), rbuf.begin() + static_cast<std::ptrdiff_t>(pos));
+  conns_[idx].read_buf.consume(pos);
 }
 
 void TcpTransport::handle_writable(std::size_t idx) {
   Conn& c = conns_[idx];
   while (!c.outbox.empty()) {
-    const Bytes& front = c.outbox.front();
-    ssize_t n = ::send(c.fd, front.data() + c.out_offset, front.size() - c.out_offset,
-                       MSG_NOSIGNAL);
+    // Gather up to kMaxIov outbox chunks — typically many frames — into a
+    // single sendmsg. The first chunk may already be partially written.
+    iovec iov[kMaxIov];
+    std::size_t niov = 0;
+    std::size_t batch_bytes = 0;
+    for (auto it = c.outbox.begin(); it != c.outbox.end() && niov < kMaxIov; ++it) {
+      const std::uint8_t* base = it->data();
+      std::size_t len = it->size();
+      if (niov == 0) {
+        base += c.out_offset;
+        len -= c.out_offset;
+      }
+      iov[niov].iov_base = const_cast<std::uint8_t*>(base);
+      iov[niov].iov_len = len;
+      batch_bytes += len;
+      ++niov;
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = niov;
+    ssize_t n = ::sendmsg(c.fd, &mh, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOTCONN ||
           errno == EINPROGRESS) {
@@ -368,17 +521,27 @@ void TcpTransport::handle_writable(std::size_t idx) {
       close_conn(idx, true);
       return;
     }
-    c.out_offset += static_cast<std::size_t>(n);
+    ++counters_.tx_syscalls;
+    counters_.tx_bytes += static_cast<std::uint64_t>(n);
+    counters_.tx_chunks += niov;
+    counters_.tx_max_batch = std::max<std::uint64_t>(counters_.tx_max_batch, niov);
     c.outbox_bytes -= static_cast<std::size_t>(n);
-    if (c.out_offset == front.size()) {
-      c.outbox.pop_front();
-      c.out_offset = 0;
+    pending_tx_bytes_ -= static_cast<std::size_t>(n);
+    std::size_t left = static_cast<std::size_t>(n);
+    while (left > 0) {
+      std::size_t avail = c.outbox.front().size() - c.out_offset;
+      if (left >= avail) {
+        left -= avail;
+        c.outbox.pop_front();
+        c.out_offset = 0;
+      } else {
+        c.out_offset += left;
+        left = 0;
+      }
     }
+    if (static_cast<std::size_t>(n) < batch_bytes) return;  // short write: wait for POLLOUT
   }
-  if (busy_ && tx_idle()) {
-    busy_ = false;
-    if (handlers_.on_tx_ready) handlers_.on_tx_ready();
-  }
+  maybe_tx_ready();
 }
 
 void TcpTransport::close_conn(std::size_t idx, bool peer_fault) {
@@ -389,6 +552,10 @@ void TcpTransport::close_conn(std::size_t idx, bool peer_fault) {
            peer_fault ? 1 : 0);
   if (c.fd >= 0) ::close(c.fd);
   c.fd = -1;
+  pending_tx_bytes_ -= c.outbox_bytes;
+  c.outbox.clear();
+  c.outbox_bytes = 0;
+  c.out_offset = 0;
   if (peer_fault && peer != kNoNode && running_.load()) {
     report_peer_down(peer);
   }
@@ -414,21 +581,51 @@ void TcpTransport::drain_posted() {
 
 void TcpTransport::fire_due_timers() {
   Time t = now();
-  // Collect first: a timer callback may add or cancel timers.
-  std::vector<std::function<void()>> due;
-  for (auto it = timers_.begin(); it != timers_.end();) {
-    if (it->deadline <= t) {
-      due.push_back(std::move(it->fn));
-      it = timers_.erase(it);
-    } else {
-      ++it;
+  // Collect first: a timer callback may add or cancel timers. The serial
+  // rides along and is re-checked right before invoking, so a callback
+  // cancelling a later timer that is *also* due in this batch still wins.
+  std::vector<std::pair<std::uint64_t, std::function<void()>>> due;
+  while (!timer_heap_.empty()) {
+    const Timer& top = timer_heap_.front();
+    if (cancelled_timers_.erase(top.serial) > 0) {
+      std::pop_heap(timer_heap_.begin(), timer_heap_.end(), TimerLater{});
+      timer_heap_.pop_back();
+      continue;
     }
+    if (top.deadline > t) break;
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), TimerLater{});
+    due.emplace_back(timer_heap_.back().serial,
+                     std::move(timer_heap_.back().fn));
+    timer_heap_.pop_back();
   }
-  for (auto& fn : due) fn();
+  for (auto& [serial, fn] : due) {
+    if (pending_timers_.erase(serial) == 0) {
+      // Cancelled after collection: its heap entry is already gone, so the
+      // tombstone left by cancel_timer must go too.
+      cancelled_timers_.erase(serial);
+      continue;
+    }
+    fn();
+  }
+}
+
+Time TcpTransport::next_timer_deadline() {
+  while (!timer_heap_.empty() &&
+         cancelled_timers_.erase(timer_heap_.front().serial) > 0) {
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), TimerLater{});
+    timer_heap_.pop_back();
+  }
+  return timer_heap_.empty() ? Time{-1} : timer_heap_.front().deadline;
 }
 
 void TcpTransport::io_loop() {
   while (running_.load()) {
+    // Drop closed connections. Safe: flush_pending_ was emptied at the end
+    // of the previous iteration, so no stored index survives the erase.
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const Conn& c) { return c.fd < 0; }),
+                 conns_.end());
+
     // Retry pending connects whose backoff expired.
     Time t = now();
     for (auto it = reconnect_at_.begin(); it != reconnect_at_.end();) {
@@ -436,12 +633,13 @@ void TcpTransport::io_loop() {
         NodeId peer = it->first;
         it = reconnect_at_.erase(it);
         if (connect_peer(peer)) {
-          // Flush frames that were waiting for the connection.
-          Conn* conn = outgoing_conn(peer);
+          // Move frames that were waiting for the connection into its
+          // outbox (their bytes are already in pending_tx_bytes_).
+          auto ci = static_cast<std::size_t>(outgoing_conn_idx(peer));
           for (auto uit = unsent_.begin(); uit != unsent_.end();) {
             if (uit->first == peer) {
-              conn->outbox_bytes += uit->second.size();
-              conn->outbox.push_back(std::move(uit->second));
+              pending_tx_bytes_ -= uit->second.bytes;
+              enqueue_chunks(conns_[ci], std::move(uit->second));
               uit = unsent_.erase(uit);
             } else {
               ++uit;
@@ -453,11 +651,6 @@ void TcpTransport::io_loop() {
       }
     }
 
-    // Drop closed connections.
-    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
-                                [](const Conn& c) { return c.fd < 0; }),
-                 conns_.end());
-
     std::vector<pollfd> fds;
     fds.push_back({wake_pipe_[0], POLLIN, 0});
     fds.push_back({listen_fd_, POLLIN, 0});
@@ -468,8 +661,9 @@ void TcpTransport::io_loop() {
     }
 
     int timeout_ms = 50;
-    for (const auto& timer : timers_) {
-      auto ms = static_cast<int>((timer.deadline - now()) / kMillisecond);
+    Time deadline = next_timer_deadline();
+    if (deadline >= 0) {
+      auto ms = static_cast<int>((deadline - now()) / kMillisecond);
       timeout_ms = std::max(0, std::min(timeout_ms, ms));
     }
     if (!reconnect_at_.empty()) timeout_ms = std::min(timeout_ms, 20);
@@ -506,6 +700,9 @@ void TcpTransport::io_loop() {
     }
 
     fire_due_timers();
+    // Single flush point: everything queued during this iteration —
+    // drained posts, frame handlers, timers — coalesces here.
+    flush_marked();
   }
 }
 

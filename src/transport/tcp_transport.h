@@ -25,6 +25,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "transport/transport.h"
@@ -44,6 +45,12 @@ struct TcpConfig {
   /// Outbox size above which tx_idle() reports busy (send pacing, which is
   /// also what makes ack piggybacking effective on TCP).
   std::size_t tx_high_watermark = 256 * 1024;
+
+  /// Payloads at most this large are copied into the frame's header buffer
+  /// instead of being enqueued by reference: below this size one contiguous
+  /// buffer beats the per-iovec bookkeeping. Payloads above it are never
+  /// copied (counted in TransportCounters::tx_payload_refs).
+  std::size_t tx_copy_threshold = 256;
 
   /// Reconnect attempts before a peer is reported down.
   int connect_retries = 30;
@@ -90,26 +97,51 @@ class TcpTransport final : public Transport {
   void cancel_timer(TimerId id) override;
 
  private:
+  /// One element of a connection's outbox chain: either bytes this
+  /// connection owns (frame headers, control messages, small payloads) or a
+  /// reference-counted payload view transmitted without copying.
+  struct OutChunk {
+    Bytes own;
+    Payload ref;
+
+    const std::uint8_t* data() const { return ref ? ref.data() : own.data(); }
+    std::size_t size() const { return ref ? ref.size() : own.size(); }
+  };
+
   struct Conn {
     int fd = -1;
     NodeId peer = kNoNode;
     bool outgoing = false;
     bool hello_done = false;
-    Bytes read_buf;
-    std::deque<Bytes> outbox;   // outgoing connections only
+    bool flush_queued = false;  // in flush_pending_ for this loop iteration
+    ChunkBuffer read_buf;
+    std::deque<OutChunk> outbox;  // outgoing connections only
     std::size_t outbox_bytes = 0;
     std::size_t out_offset = 0;  // progress within outbox.front()
   };
+
+  /// An encoded frame as a chain of chunks, ready to splice into an outbox.
+  struct EncodedFrame {
+    std::vector<OutChunk> chunks;
+    std::size_t bytes = 0;
+  };
+
+  EncodedFrame encode_for_wire(const Frame& frame);
 
   void io_loop();
   void accept_new();
   void handle_readable(std::size_t idx);
   void handle_writable(std::size_t idx);
+  void flush_marked();
+  void mark_for_flush(std::size_t idx);
   void close_conn(std::size_t idx, bool peer_fault);
   bool connect_peer(NodeId peer);
-  Conn* outgoing_conn(NodeId peer);
+  std::ptrdiff_t outgoing_conn_idx(NodeId peer) const;
+  void enqueue_chunks(Conn& conn, EncodedFrame&& frame);
   void drain_posted();
+  void maybe_tx_ready();  // fire on_tx_ready once per busy -> idle transition
   void fire_due_timers();
+  Time next_timer_deadline();  // pops lazily-cancelled heap tops
   void report_peer_down(NodeId peer);
 
   TcpConfig cfg_;
@@ -128,19 +160,36 @@ class TcpTransport final : public Transport {
   std::deque<std::function<void()>> posted_;
 
   std::vector<Conn> conns_;
+  std::vector<std::size_t> flush_pending_;  // conn indices to flush this iteration
   std::map<NodeId, int> connect_attempts_;
   std::map<NodeId, Time> reconnect_at_;
-  std::deque<std::pair<NodeId, Bytes>> unsent_;  // frames awaiting (re)connect
+  std::deque<std::pair<NodeId, EncodedFrame>> unsent_;  // awaiting (re)connect
   std::vector<NodeId> down_;
+  /// Sum of every connection's outbox_bytes plus all unsent_ frame bytes,
+  /// maintained incrementally so tx_idle() is O(1).
+  std::size_t pending_tx_bytes_ = 0;
   bool busy_ = false;  // tx filled past the watermark; announce when it drains
 
+  // Timers: a lazy-deletion binary min-heap. cancel_timer() marks the serial
+  // and the heap drops cancelled entries when they surface at the top, so
+  // set/cancel/fire are all O(log n) instead of the old O(n) vector scans.
   struct Timer {
     Time deadline;
     std::uint64_t serial;
     std::function<void()> fn;
   };
+  struct TimerLater {
+    bool operator()(const Timer& a, const Timer& b) const {
+      // std::push_heap builds a max-heap; invert for earliest-deadline-first
+      // (serial breaks ties so same-deadline timers fire in creation order).
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.serial > b.serial;
+    }
+  };
   std::uint64_t next_timer_serial_ = 1;
-  std::vector<Timer> timers_;
+  std::vector<Timer> timer_heap_;
+  std::unordered_set<std::uint64_t> pending_timers_;    // serials in the heap, not cancelled
+  std::unordered_set<std::uint64_t> cancelled_timers_;  // tombstones awaiting pop
 };
 
 }  // namespace fsr

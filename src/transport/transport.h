@@ -9,6 +9,7 @@
 // socket buffer). send() itself never blocks and never drops.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "common/types.h"
@@ -16,6 +17,58 @@
 #include "sim/simulator.h"
 
 namespace fsr {
+
+/// Data-path accounting shared by every transport backend. For TcpTransport
+/// these measure real syscalls and buffer traffic; for SimTransport only the
+/// frame/byte counters are meaningful. Counters are written by the
+/// transport's event thread — read them from that thread (post/post_wait on
+/// TCP) or after the transport stopped.
+struct TransportCounters {
+  // Syscalls (TCP only).
+  std::uint64_t tx_syscalls = 0;  ///< sendmsg/writev calls that moved >= 1 byte
+  std::uint64_t rx_syscalls = 0;  ///< recv calls that returned >= 1 byte
+
+  // Volume.
+  std::uint64_t tx_bytes = 0;   ///< bytes handed to the kernel (incl. prefixes)
+  std::uint64_t rx_bytes = 0;   ///< bytes received from the kernel
+  std::uint64_t tx_frames = 0;  ///< frames accepted by send()
+  std::uint64_t rx_frames = 0;  ///< frames decoded and delivered to on_frame
+
+  // Scatter-gather batching (TCP only).
+  std::uint64_t tx_chunks = 0;     ///< iovec entries submitted across all sendmsg calls
+  std::uint64_t tx_max_batch = 0;  ///< largest iovec batch in a single sendmsg
+
+  // Payload copy discipline. The steady-state data path must not copy
+  // payload bytes: received payloads alias the receive chunk, sent payloads
+  // are transmitted by reference from the scatter-gather outbox.
+  std::uint64_t tx_payload_refs = 0;    ///< payloads enqueued by reference (zero-copy)
+  std::uint64_t tx_payload_copies = 0;  ///< payloads copied into the wire buffer
+  std::uint64_t rx_payload_aliases = 0; ///< payloads decoded as views into the rx chunk
+  std::uint64_t rx_payload_copies = 0;  ///< payloads copied out of the rx buffer
+
+  // Receive-buffer management (TCP only). Compactions copy only the
+  // unconsumed tail (a partial frame), never full decoded payloads.
+  std::uint64_t rx_compactions = 0;
+  std::uint64_t rx_compaction_bytes = 0;
+
+  TransportCounters& operator+=(const TransportCounters& o) {
+    tx_syscalls += o.tx_syscalls;
+    rx_syscalls += o.rx_syscalls;
+    tx_bytes += o.tx_bytes;
+    rx_bytes += o.rx_bytes;
+    tx_frames += o.tx_frames;
+    rx_frames += o.rx_frames;
+    tx_chunks += o.tx_chunks;
+    tx_max_batch = tx_max_batch > o.tx_max_batch ? tx_max_batch : o.tx_max_batch;
+    tx_payload_refs += o.tx_payload_refs;
+    tx_payload_copies += o.tx_payload_copies;
+    rx_payload_aliases += o.rx_payload_aliases;
+    rx_payload_copies += o.rx_payload_copies;
+    rx_compactions += o.rx_compactions;
+    rx_compaction_bytes += o.rx_compaction_bytes;
+    return *this;
+  }
+};
 
 struct TransportHandlers {
   /// A frame addressed to this node has been received (after the receive
@@ -48,8 +101,12 @@ class Transport {
 
   void set_handlers(TransportHandlers handlers) { handlers_ = std::move(handlers); }
 
+  /// Data-path counters (see TransportCounters for the threading contract).
+  const TransportCounters& counters() const { return counters_; }
+
  protected:
   TransportHandlers handlers_;
+  TransportCounters counters_;
 };
 
 }  // namespace fsr

@@ -69,7 +69,7 @@ TEST(Codec, DataMsgRoundtrip) {
   EXPECT_EQ(d.view, 3u);
   EXPECT_EQ(d.frag, m.frag);
   ASSERT_TRUE(d.payload);
-  EXPECT_EQ(*d.payload, *m.payload);
+  EXPECT_EQ(d.payload, m.payload);
   EXPECT_EQ(g.from, 1u);
   EXPECT_EQ(g.to, 2u);
 }
@@ -84,7 +84,7 @@ TEST(Codec, SeqMsgRoundtrip) {
   Frame g = roundtrip(Frame{0, 1, {m}});
   const auto& s = std::get<SeqMsg>(g.msgs[0]);
   EXPECT_EQ(s.seq, 1234567u);
-  EXPECT_EQ(s.payload->size(), 1000u);
+  EXPECT_EQ(s.payload.size(), 1000u);
 }
 
 TEST(Codec, AckAndGcRoundtrip) {

@@ -3,6 +3,7 @@
 // pacing, and peer-down reporting on connection loss.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -48,7 +49,10 @@ TEST(TcpTransportUnit, FramesSurviveTheSocketIntact) {
   h1.on_frame = [&](const Frame& f) {
     for (const auto& m : f.msgs) {
       if (const auto* d = std::get_if<DataMsg>(&m)) {
-        if (!d->payload || *d->payload != big) payload_ok = false;
+        if (!d->payload || d->payload.size() != big.size() ||
+            !std::equal(d->payload.begin(), d->payload.end(), big.begin())) {
+          payload_ok = false;
+        }
         ++received;
       }
     }
@@ -179,6 +183,289 @@ TEST(TcpTransportUnit, TxIdleReflectsWatermark) {
     idle_after_burst = p.t0->tx_idle();
   });
   EXPECT_FALSE(idle_after_burst);
+}
+
+TEST(TcpTransportUnit, TimerHeapFiresInDeadlineOrderAndCancelsPending) {
+  Pair p;
+  p.t0->start();
+  std::mutex m;
+  std::vector<int> order;
+  std::atomic<bool> done{false};
+  p.t0->post([&] {
+    auto rec = [&](int k) {
+      return [&, k] {
+        std::lock_guard lock(m);
+        order.push_back(k);
+        if (k == 4) done = true;
+      };
+    };
+    // Armed out of order; must fire in deadline order.
+    p.t0->set_timer(80 * kMillisecond, rec(4));
+    p.t0->set_timer(10 * kMillisecond, rec(1));
+    TimerId pending = p.t0->set_timer(40 * kMillisecond, rec(99));
+    p.t0->set_timer(60 * kMillisecond, rec(3));
+    p.t0->set_timer(25 * kMillisecond, rec(2));
+    p.t0->cancel_timer(pending);
+    p.t0->cancel_timer(pending);   // double-cancel is a no-op
+    p.t0->cancel_timer(TimerId{});  // invalid id is a no-op
+  });
+  EXPECT_TRUE(wait_for([&] { return done.load(); }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::lock_guard lock(m);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(TcpTransportUnit, TimerCancelInsideCallbackAndRearm) {
+  Pair p;
+  p.t0->start();
+  std::atomic<int> fired{0};
+  std::atomic<int> rearmed{0};
+  TimerId victim{};  // test-frame scope: the callbacks below outlive the post
+  p.t0->post([&] {
+    // A firing callback cancels a later timer and arms a new one — both
+    // mutate the heap while fire_due_timers is draining it. Cancel must win
+    // even if a slow loop iteration made both timers due in the same batch.
+    victim = p.t0->set_timer(60 * kMillisecond, [&] { fired += 100; });
+    p.t0->set_timer(10 * kMillisecond, [&] {
+      ++fired;
+      p.t0->cancel_timer(victim);
+      p.t0->set_timer(10 * kMillisecond, [&] { ++rearmed; });
+    });
+  });
+  EXPECT_TRUE(wait_for([&] { return rearmed.load() == 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(rearmed.load(), 1);
+}
+
+TEST(TcpTransportUnit, PartialWritesResumeMidFrame) {
+  // t1's I/O thread starts late: t0's frames (each far larger than a socket
+  // buffer) necessarily stall mid-frame on EAGAIN and must resume exactly
+  // where the short write left off, across many POLLOUT cycles.
+  Pair p;
+  constexpr int kFrames = 8;
+  constexpr std::size_t kSize = 300 * 1024;
+  std::mutex m;
+  std::vector<std::pair<LocalSeq, bool>> got;  // (lsn, content ok)
+  TransportHandlers h1;
+  h1.on_frame = [&](const Frame& f) {
+    for (const auto& msg : f.msgs) {
+      if (const auto* d = std::get_if<DataMsg>(&msg)) {
+        bool ok = d->payload && d->payload.size() == kSize;
+        if (ok) {
+          for (std::size_t i = 0; i < kSize; ++i) {
+            if (d->payload.data()[i] !=
+                static_cast<std::uint8_t>(d->id.lsn * 131 + i * 31)) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        std::lock_guard lock(m);
+        got.emplace_back(d->id.lsn, ok);
+      }
+    }
+  };
+  p.t1->set_handlers(std::move(h1));
+  p.t0->start();
+  p.t0->post([&] {
+    for (int i = 0; i < kFrames; ++i) {
+      auto lsn = static_cast<LocalSeq>(i + 1);
+      Bytes payload(kSize);
+      for (std::size_t j = 0; j < kSize; ++j) {
+        payload[j] = static_cast<std::uint8_t>(lsn * 131 + j * 31);
+      }
+      DataMsg d;
+      d.id = MsgId{0, lsn};
+      d.payload = make_payload(std::move(payload));
+      Frame f;
+      f.to = 1;
+      f.msgs.push_back(std::move(d));
+      p.t0->send(std::move(f));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  p.t1->start();
+  EXPECT_TRUE(wait_for([&] {
+    std::lock_guard lock(m);
+    return got.size() == kFrames;
+  }));
+  std::lock_guard lock(m);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].first, i + 1);
+    EXPECT_TRUE(got[i].second) << "frame " << i << " corrupted";
+  }
+}
+
+TEST(TcpTransportUnit, FramesQueuedTogetherCoalesceIntoOneSyscall) {
+  Pair p;
+  std::atomic<int> received{0};
+  TransportHandlers h1;
+  h1.on_frame = [&](const Frame& f) {
+    received += static_cast<int>(f.msgs.size());
+  };
+  p.t1->set_handlers(std::move(h1));
+  p.t0->start();
+  p.t1->start();
+  constexpr int kFrames = 50;
+  // All sends land in one posted closure, i.e. one poll-loop iteration:
+  // the deferred flush must drain every frame (plus the connection hello)
+  // with a single sendmsg.
+  p.t0->post([&] {
+    for (int i = 0; i < kFrames; ++i) {
+      DataMsg d;
+      d.id = MsgId{0, static_cast<LocalSeq>(i + 1)};
+      Frame f;
+      f.to = 1;
+      f.msgs.push_back(std::move(d));
+      p.t0->send(std::move(f));
+    }
+  });
+  EXPECT_TRUE(wait_for([&] { return received.load() == kFrames; }));
+  TransportCounters c0;
+  p.t0->post_wait([&] { c0 = p.t0->counters(); });
+  EXPECT_EQ(c0.tx_frames, static_cast<std::uint64_t>(kFrames));
+  EXPECT_EQ(c0.tx_syscalls, 1u) << "batch should leave in one sendmsg";
+  EXPECT_GE(c0.tx_max_batch, static_cast<std::uint64_t>(kFrames));
+  TransportCounters c1;
+  p.t1->post_wait([&] { c1 = p.t1->counters(); });
+  EXPECT_EQ(c1.rx_frames, static_cast<std::uint64_t>(kFrames));
+}
+
+TEST(TcpTransportUnit, AliasedPayloadsSurviveReceiveBufferCompaction) {
+  // Decoded payloads alias the transport's receive chunk. Holding them while
+  // far more traffic flows forces the ChunkBuffer through many chunk swaps;
+  // the retained views must keep their (retired) chunks alive and intact.
+  Pair p;
+  constexpr int kFrames = 40;
+  constexpr std::size_t kSize = 32 * 1024;
+  std::mutex m;
+  std::vector<Payload> kept;
+  TransportHandlers h1;
+  h1.on_frame = [&](const Frame& f) {
+    for (const auto& msg : f.msgs) {
+      if (const auto* d = std::get_if<DataMsg>(&msg)) {
+        std::lock_guard lock(m);
+        kept.push_back(d->payload);  // shares ownership of the rx chunk
+      }
+    }
+  };
+  p.t1->set_handlers(std::move(h1));
+  p.t0->start();
+  p.t1->start();
+  p.t0->post([&] {
+    for (int i = 0; i < kFrames; ++i) {
+      auto lsn = static_cast<LocalSeq>(i + 1);
+      Bytes payload(kSize);
+      for (std::size_t j = 0; j < kSize; ++j) {
+        payload[j] = static_cast<std::uint8_t>(lsn * 17 + j * 7);
+      }
+      DataMsg d;
+      d.id = MsgId{0, lsn};
+      d.payload = make_payload(std::move(payload));
+      Frame f;
+      f.to = 1;
+      f.msgs.push_back(std::move(d));
+      p.t0->send(std::move(f));
+    }
+  });
+  EXPECT_TRUE(wait_for([&] {
+    std::lock_guard lock(m);
+    return kept.size() == kFrames;
+  }));
+  // > 1.2 MiB flowed through 256 KiB receive chunks: every early payload now
+  // references a chunk the buffer itself has long since replaced.
+  std::lock_guard lock(m);
+  for (std::size_t k = 0; k < kept.size(); ++k) {
+    auto lsn = static_cast<LocalSeq>(k + 1);
+    ASSERT_TRUE(kept[k]);
+    ASSERT_EQ(kept[k].size(), kSize);
+    for (std::size_t j = 0; j < kSize; ++j) {
+      ASSERT_EQ(kept[k].data()[j], static_cast<std::uint8_t>(lsn * 17 + j * 7))
+          << "payload " << k << " byte " << j;
+    }
+  }
+  TransportCounters c1;
+  p.t1->post_wait([&] { c1 = p.t1->counters(); });
+  EXPECT_EQ(c1.rx_payload_aliases, static_cast<std::uint64_t>(kFrames));
+  EXPECT_EQ(c1.rx_payload_copies, 0u);
+}
+
+TEST(TcpTransportUnit, SlowReaderBackpressureFiresExactlyOneTxReady) {
+  // t1 starts late, so t0's outbox fills far past tx_high_watermark. When
+  // the reader appears and the outbox drains, on_tx_ready must fire exactly
+  // once for the whole busy -> idle transition.
+  Pair p;
+  std::atomic<int> tx_ready{0};
+  TransportHandlers h0;
+  h0.on_frame = [](const Frame&) {};
+  h0.on_tx_ready = [&] { ++tx_ready; };
+  p.t0->set_handlers(std::move(h0));
+  std::atomic<int> received{0};
+  TransportHandlers h1;
+  h1.on_frame = [&](const Frame&) { ++received; };
+  p.t1->set_handlers(std::move(h1));
+  p.t0->start();
+  constexpr int kFrames = 32;
+  bool busy_after_burst = false;
+  p.t0->post_wait([&] {
+    for (int i = 0; i < kFrames; ++i) {
+      DataMsg d;
+      d.id = MsgId{0, static_cast<LocalSeq>(i + 1)};
+      d.payload = make_payload(Bytes(256 * 1024, 0x42));
+      Frame f;
+      f.to = 1;
+      f.msgs.push_back(std::move(d));
+      p.t0->send(std::move(f));
+    }
+    busy_after_burst = !p.t0->tx_idle();
+  });
+  EXPECT_TRUE(busy_after_burst);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(tx_ready.load(), 0);  // nothing drained yet
+  p.t1->start();
+  EXPECT_TRUE(wait_for([&] { return received.load() == kFrames; }));
+  EXPECT_TRUE(wait_for([&] { return tx_ready.load() >= 1; }));
+  bool idle = false;
+  p.t0->post_wait([&] { idle = p.t0->tx_idle(); });
+  EXPECT_TRUE(idle);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(tx_ready.load(), 1);
+}
+
+TEST(TcpTransportUnit, LargePayloadsCrossTheStackWithoutCopies) {
+  // The zero-copy contract, counter-asserted end to end: payloads above the
+  // copy threshold are never copied between send() and the socket (they ride
+  // the scatter-gather outbox by reference) nor between the socket and
+  // on_frame (they alias the receive chunk).
+  Pair p;
+  std::atomic<int> received{0};
+  TransportHandlers h1;
+  h1.on_frame = [&](const Frame&) { ++received; };
+  p.t1->set_handlers(std::move(h1));
+  p.t0->start();
+  p.t1->start();
+  constexpr int kFrames = 100;
+  p.t0->post([&] {
+    for (int i = 0; i < kFrames; ++i) {
+      DataMsg d;
+      d.id = MsgId{0, static_cast<LocalSeq>(i + 1)};
+      d.payload = make_payload(Bytes(1024, static_cast<std::uint8_t>(i)));
+      Frame f;
+      f.to = 1;
+      f.msgs.push_back(std::move(d));
+      p.t0->send(std::move(f));
+    }
+  });
+  EXPECT_TRUE(wait_for([&] { return received.load() == kFrames; }));
+  TransportCounters c0;
+  p.t0->post_wait([&] { c0 = p.t0->counters(); });
+  EXPECT_EQ(c0.tx_payload_refs, static_cast<std::uint64_t>(kFrames));
+  EXPECT_EQ(c0.tx_payload_copies, 0u);
+  TransportCounters c1;
+  p.t1->post_wait([&] { c1 = p.t1->counters(); });
+  EXPECT_EQ(c1.rx_payload_aliases, static_cast<std::uint64_t>(kFrames));
+  EXPECT_EQ(c1.rx_payload_copies, 0u);
 }
 
 }  // namespace
