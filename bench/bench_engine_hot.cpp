@@ -1,0 +1,186 @@
+// Engine-only microbenchmark: the FSR protocol core with no sockets, no
+// simulator, no codec — frames flow between Engines through an in-memory
+// router. This isolates the per-frame CPU cost of the engine data path
+// (sequence-window lookups, fairness pick, ack piggybacking, delivery) and
+// counts heap allocations per routed frame via a counting operator new.
+//
+// Two phases per row: all messages are broadcast up front (application-side
+// allocations excluded), then the router drains until every node delivered
+// everything — the drain is the measured on_frame -> deliver hot path.
+//
+// Emits BENCH_engine_hot.json (schema 1) like the other benches.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "bench_common.h"
+#include "fsr/engine.h"
+
+// --- allocation counting (whole binary; read around the measured phase) ---
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace fsr;
+
+/// Zero-cost transport: send() parks the frame in a shared router queue;
+/// the link is always idle (the engine pumps as fast as it can). The engine
+/// uses no timers.
+class PipeTransport final : public Transport {
+ public:
+  PipeTransport(NodeId self, std::deque<Frame>* router) : self_(self), router_(router) {}
+
+  NodeId self() const override { return self_; }
+  Time now() const override { return 0; }
+  void send(Frame frame) override { router_->push_back(std::move(frame)); }
+  bool tx_idle() const override { return true; }
+  TimerId set_timer(Time, std::function<void()>) override { return TimerId{}; }
+  void cancel_timer(TimerId) override {}
+
+ private:
+  NodeId self_;
+  std::deque<Frame>* router_;
+};
+
+struct HotResult {
+  double frames_per_sec = 0;
+  double msgs_per_sec = 0;
+  double allocs_per_frame = 0;
+  std::uint64_t frames_routed = 0;
+  bool ok = false;
+  EngineCounters counters;  // summed over all engines
+};
+
+HotResult run_hot(std::size_t n, std::size_t msg_size, int msgs_per_sender) {
+  std::deque<Frame> router;
+  View view;
+  view.id = 1;
+  for (std::size_t i = 0; i < n; ++i) view.members.push_back(static_cast<NodeId>(i));
+
+  EngineConfig cfg;
+  cfg.t = 1;
+  cfg.segment_size = 8192;
+  cfg.window = 64;
+
+  std::uint64_t delivered = 0;
+  std::vector<std::unique_ptr<PipeTransport>> transports;
+  std::vector<std::unique_ptr<Engine>> engines;
+  for (std::size_t i = 0; i < n; ++i) {
+    transports.push_back(
+        std::make_unique<PipeTransport>(static_cast<NodeId>(i), &router));
+    engines.push_back(std::make_unique<Engine>(
+        *transports.back(), cfg, view, [&delivered](const Delivery&) { ++delivered; }));
+  }
+
+  // Phase 1 (unmeasured): applications submit everything. With the link
+  // always idle the origins' DATA frames land in the router immediately.
+  for (int m = 0; m < msgs_per_sender; ++m) {
+    for (std::size_t s = 0; s < n; ++s) {
+      engines[s]->broadcast(
+          test_payload(static_cast<NodeId>(s), static_cast<std::uint64_t>(m + 1),
+                       msg_size));
+    }
+  }
+
+  // Phase 2 (measured): route frames until every node delivered everything.
+  std::uint64_t target =
+      n * n * static_cast<std::uint64_t>(msgs_per_sender);  // per-node x nodes
+  HotResult r;
+  std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  auto start = std::chrono::steady_clock::now();
+  while (delivered < target && !router.empty()) {
+    Frame f = std::move(router.front());
+    router.pop_front();
+    Engine& dst = *engines[f.to];
+    for (const WireMsg& m : f.msgs) dst.on_msg(m);
+    ++r.frames_routed;
+  }
+  auto end = std::chrono::steady_clock::now();
+  std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+
+  r.ok = delivered >= target;
+  double secs = std::chrono::duration<double>(end - start).count();
+  if (r.ok && secs > 0 && r.frames_routed > 0) {
+    r.frames_per_sec = static_cast<double>(r.frames_routed) / secs;
+    r.msgs_per_sec = static_cast<double>(target) / secs;
+    r.allocs_per_frame =
+        static_cast<double>(allocs) / static_cast<double>(r.frames_routed);
+  }
+  for (const auto& e : engines) r.counters += e->counters();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  fsr::bench::JsonReport report("engine_hot");
+  report.config("segment_size", std::uint64_t{8192})
+      .config("window", std::uint64_t{64})
+      .config("t", std::uint64_t{1});
+
+  fsr::bench::print_header(
+      "FSR engine hot path (no sockets): on_frame -> deliver",
+      {"nodes", "msg size", "frames/s", "msgs/s", "allocs/frame", "pooled%",
+       "seg copies"});
+  struct RowSpec {
+    std::size_t n;
+    std::size_t size;
+    int msgs;
+  };
+  for (const RowSpec spec : {RowSpec{4, 64, 4000}, RowSpec{4, 1024, 4000},
+                             RowSpec{8, 1024, 2000}, RowSpec{4, 65536, 300}}) {
+    HotResult r = run_hot(spec.n, spec.size, spec.msgs);
+    std::uint64_t acq = r.counters.records_pooled + r.counters.records_allocated;
+    double pooled_pct =
+        acq > 0 ? 100.0 * static_cast<double>(r.counters.records_pooled) /
+                      static_cast<double>(acq)
+                : 100.0;
+    fsr::bench::print_row(
+        {std::to_string(spec.n), std::to_string(spec.size),
+         r.ok ? fsr::bench::fmt(r.frames_per_sec, 0) : "STALL",
+         r.ok ? fsr::bench::fmt(r.msgs_per_sec, 0) : "-",
+         fsr::bench::fmt(r.allocs_per_frame, 2), fsr::bench::fmt(pooled_pct, 1),
+         std::to_string(r.counters.segmentation_copies)});
+    auto& row = report.add_row();
+    row.num("nodes", static_cast<std::uint64_t>(spec.n))
+        .num("msg_size", static_cast<std::uint64_t>(spec.size))
+        .num("msgs_per_sender", static_cast<std::uint64_t>(spec.msgs))
+        .num("frames_per_sec", r.frames_per_sec)
+        .num("msgs_per_sec", r.msgs_per_sec)
+        .num("allocs_per_frame", r.allocs_per_frame)
+        .num("frames_routed", r.frames_routed)
+        .num("ok", std::uint64_t{r.ok ? 1u : 0u});
+    fsr::bench::add_engine_counters(row, r.counters);
+    if (!r.ok) {
+      std::fprintf(stderr, "engine_hot: run stalled (n=%zu size=%zu)\n", spec.n,
+                   spec.size);
+      report.write();
+      return 1;
+    }
+  }
+  report.write();
+  return 0;
+}

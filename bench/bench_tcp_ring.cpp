@@ -24,7 +24,8 @@ struct TcpResult {
   double mbps = 0;
   double msgs_per_sec = 0;
   bool ok = false;
-  TransportCounters counters;  // summed over all nodes
+  TransportCounters counters;      // summed over all nodes
+  EngineCounters engine_counters;  // summed over all nodes
 };
 
 TcpResult run_tcp(std::size_t n, std::size_t msg_size, int msgs_per_sender) {
@@ -32,6 +33,11 @@ TcpResult run_tcp(std::size_t n, std::size_t msg_size, int msgs_per_sender) {
   group.engine.t = 1;
   group.engine.segment_size = 16 * 1024;
   group.engine.window = 64;
+  // Loopback TCP is far faster than the engine's one-payload-per-frame
+  // pacing assumes; packing and a short ack hold-back amortize per-frame
+  // overhead and convert ack-only frames into piggybacks (DESIGN.md §9).
+  group.engine.max_payloads_per_frame = 8;
+  group.engine.ack_flush_delay = 50 * kMicrosecond;
   TcpCluster cluster(n, group);
 
   auto start = std::chrono::steady_clock::now();
@@ -52,6 +58,7 @@ TcpResult run_tcp(std::size_t n, std::size_t msg_size, int msgs_per_sender) {
     r.msgs_per_sec = static_cast<double>(total) / secs;
   }
   r.counters = cluster.counters();
+  r.engine_counters = cluster.engine_counters();
   return r;
 }
 
@@ -81,7 +88,8 @@ int main(int argc, char** argv) {
 
   fsr::bench::print_header(
       "FSR over real localhost TCP (host-dependent; protocol smoke + cost)",
-      {"nodes", "msg size", "Mb/s", "msgs/s", "sys/frame", "max batch"});
+      {"nodes", "msg size", "Mb/s", "msgs/s", "sys/frame", "max batch",
+       "pooled%"});
   for (std::size_t n : {std::size_t{2}, std::size_t{3}, std::size_t{4}}) {
     for (std::size_t size :
          {std::size_t{1024}, std::size_t{4096}, std::size_t{65536}}) {
@@ -94,11 +102,19 @@ int main(int argc, char** argv) {
               ? static_cast<double>(r.counters.tx_syscalls) /
                     static_cast<double>(r.counters.tx_frames)
               : 0;
+      std::uint64_t acquisitions =
+          r.engine_counters.records_pooled + r.engine_counters.records_allocated;
+      double pooled_pct =
+          acquisitions > 0
+              ? 100.0 * static_cast<double>(r.engine_counters.records_pooled) /
+                    static_cast<double>(acquisitions)
+              : 100.0;
       fsr::bench::print_row({std::to_string(n), std::to_string(size),
                              r.ok ? fsr::bench::fmt(r.mbps, 1) : "TIMEOUT",
                              r.ok ? fsr::bench::fmt(r.msgs_per_sec, 0) : "-",
                              fsr::bench::fmt(sys_per_frame, 3),
-                             std::to_string(r.counters.tx_max_batch)});
+                             std::to_string(r.counters.tx_max_batch),
+                             fsr::bench::fmt(pooled_pct, 1)});
       auto& row = report.add_row();
       row.num("nodes", static_cast<std::uint64_t>(n))
           .num("msg_size", static_cast<std::uint64_t>(size))
@@ -107,6 +123,7 @@ int main(int argc, char** argv) {
           .num("msgs_per_sec", r.msgs_per_sec)
           .num("ok", std::uint64_t{r.ok ? 1u : 0u});
       fsr::bench::add_counters(row, r.counters);
+      fsr::bench::add_engine_counters(row, r.engine_counters);
     }
   }
   report.write();

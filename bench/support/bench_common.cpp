@@ -272,4 +272,17 @@ void add_counters(JsonReport::Row& row, const TransportCounters& c) {
       .num("rx_compaction_bytes", c.rx_compaction_bytes);
 }
 
+void add_engine_counters(JsonReport::Row& row, const EngineCounters& c) {
+  row.num("eng_records_pooled", c.records_pooled)
+      .num("eng_records_allocated", c.records_allocated)
+      .num("eng_window_grows", c.window_grows)
+      .num("eng_out_of_window", c.out_of_window)
+      .num("eng_piggyback_hits", c.piggyback_hits)
+      .num("eng_piggyback_misses", c.piggyback_misses)
+      .num("eng_gc_coalesced", c.gc_coalesced)
+      .num("eng_segmentation_copies", c.segmentation_copies)
+      .num("eng_reassembly_copies", c.reassembly_copies)
+      .num("eng_reassembly_bytes", c.reassembly_bytes);
+}
+
 }  // namespace fsr::bench

@@ -99,4 +99,8 @@ class JsonReport {
 /// need be non-zero.
 void add_counters(JsonReport::Row& row, const TransportCounters& c);
 
+/// Attach an engine-counter snapshot (window pooling, piggybacking, payload
+/// copy discipline) to a report row, keys prefixed "eng_".
+void add_engine_counters(JsonReport::Row& row, const EngineCounters& c);
+
 }  // namespace fsr::bench

@@ -5,24 +5,6 @@
 
 namespace fsr::baselines {
 
-namespace {
-
-std::vector<Bytes> split_payload(const Bytes& payload, std::size_t segment_size) {
-  std::vector<Bytes> out;
-  if (payload.empty()) {
-    out.emplace_back();
-    return out;
-  }
-  for (std::size_t off = 0; off < payload.size(); off += segment_size) {
-    std::size_t len = std::min(segment_size, payload.size() - off);
-    out.emplace_back(payload.begin() + static_cast<std::ptrdiff_t>(off),
-                     payload.begin() + static_cast<std::ptrdiff_t>(off + len));
-  }
-  return out;
-}
-
-}  // namespace
-
 PrivilegeEngine::PrivilegeEngine(Transport& transport, PrivilegeConfig config,
                                  View view, DeliverFn deliver)
     : transport_(transport),
@@ -41,14 +23,16 @@ PrivilegeEngine::PrivilegeEngine(Transport& transport, PrivilegeConfig config,
 
 void PrivilegeEngine::broadcast(Bytes payload) {
   std::uint64_t app = next_app_id_++;
-  auto segments = split_payload(payload, cfg_.segment_size);
-  auto count = static_cast<std::uint32_t>(segments.size());
+  // Zero-copy segmentation: aliasing views into one refcounted buffer.
+  Payload whole = make_payload(std::move(payload));
+  std::uint32_t count = segment_count(whole.size(), cfg_.segment_size);
   for (std::uint32_t i = 0; i < count; ++i) {
+    auto [off, len] = segment_bounds(whole.size(), cfg_.segment_size, i);
     DataMsg m;
     m.id = MsgId{transport_.self(), next_lsn_++};
     m.view = view_.id;
     m.frag = FragInfo{app, i, count};
-    m.payload = make_payload(std::move(segments[i]));
+    m.payload = whole.sub(off, len);
     own_queue_.push_back(std::move(m));
   }
   pump();

@@ -1,38 +1,21 @@
 #include "fsr/engine.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
+#include <map>
 
 #include "common/log.h"
 
 namespace fsr {
-
-namespace {
-
-/// Split an application payload into segments of at most `segment_size`
-/// bytes. An empty payload still yields one (empty) segment so the message
-/// exists on the wire.
-std::vector<Bytes> split_payload(const Bytes& payload, std::size_t segment_size) {
-  std::vector<Bytes> out;
-  if (payload.empty()) {
-    out.emplace_back();
-    return out;
-  }
-  for (std::size_t off = 0; off < payload.size(); off += segment_size) {
-    std::size_t len = std::min(segment_size, payload.size() - off);
-    out.emplace_back(payload.begin() + static_cast<std::ptrdiff_t>(off),
-                     payload.begin() + static_cast<std::ptrdiff_t>(off + len));
-  }
-  return out;
-}
-
-}  // namespace
 
 Engine::Engine(Transport& transport, EngineConfig config, View initial_view,
                DeliverFn deliver)
     : transport_(transport),
       cfg_(config),
       deliver_(std::move(deliver)),
-      view_(std::move(initial_view)) {
+      view_(std::move(initial_view)),
+      window_(config.window_slots, config.max_window_slots) {
   assert(!view_.members.empty());
   auto pos = view_.position_of(transport_.self());
   assert(pos.has_value() && "this node must be a member of the initial view");
@@ -52,17 +35,35 @@ NodeId Engine::msg_origin(const WireMsg& m) {
   return kNoNode;
 }
 
+void Engine::store_record(SeqRecord rec) {
+  switch (window_.insert(std::move(rec))) {
+    case SeqWindow::Placement::kPooled:
+      ++counters_.records_pooled;
+      break;
+    case SeqWindow::Placement::kGrown:
+      ++counters_.records_allocated;
+      ++counters_.window_grows;
+      break;
+    case SeqWindow::Placement::kOverflow:
+      ++counters_.records_allocated;
+      ++counters_.out_of_window;
+      break;
+  }
+}
+
 // --- application API ---
 
 void Engine::broadcast(Bytes payload) {
   std::uint64_t app = next_app_id_++;
-  auto segments = split_payload(payload, cfg_.segment_size);
-  auto count = static_cast<std::uint32_t>(segments.size());
+  // Segmentation is zero-copy: one refcounted buffer, aliasing sub-views.
+  Payload whole = make_payload(std::move(payload));
+  std::uint32_t count = segment_count(whole.size(), cfg_.segment_size);
   for (std::uint32_t i = 0; i < count; ++i) {
+    auto [off, len] = segment_bounds(whole.size(), cfg_.segment_size, i);
     DataMsg m;
     m.id = MsgId{transport_.self(), next_lsn_++};
     m.frag = FragInfo{app, i, count};
-    m.payload = make_payload(std::move(segments[i]));
+    m.payload = whole.sub(off, len);
     own_queue_.push_back(std::move(m));
   }
   ++pending_own_;
@@ -128,7 +129,7 @@ void Engine::handle_data(const DataMsg& m) {
   // Stash the payload: if the sequence number later arrives via an ack
   // (origin "behind" us in the ring), this copy is what we deliver.
   stash_[m.id] = Stash{m.frag, m.payload};
-  out_fifo_.push_back(m);
+  push_out(origin, m);
 }
 
 bool Engine::sequence_own() {
@@ -149,13 +150,13 @@ void Engine::sequence(const MsgId& id, const FragInfo& frag, Payload payload) {
   assert(is_leader());
   GlobalSeq s = next_seq_++;
   sequenced_lsn_[id.origin] = id.lsn;
-  records_[s] = Record{id, frag, payload, s, false};
+  store_record(SeqRecord{id, frag, payload, s, false, false});
   seq_of_[id] = s;
 
   Position opos = origin_position(id.origin);
   Position stop = topo_.seq_stop(opos);
   if (stop != 0) {
-    out_fifo_.push_back(SeqMsg{id, s, view_.id, frag, std::move(payload)});
+    push_out(id.origin, SeqMsg{id, s, view_.id, frag, std::move(payload)});
   } else {
     // Empty SEQ pass (origin at position 1, or singleton ring): the leader
     // itself is the SEQ stop and emits the ack.
@@ -185,14 +186,14 @@ void Engine::handle_seq(const SeqMsg& m) {
   if (!opos_opt) return;
   Position opos = *opos_opt;
 
-  if (records_.count(m.seq) == 0) {
-    records_[m.seq] = Record{m.id, m.frag, m.payload, m.seq, false};
+  if (!window_.contains(m.seq)) {
+    store_record(SeqRecord{m.id, m.frag, m.payload, m.seq, false, false});
     seq_of_[m.id] = m.seq;
     stash_.erase(m.id);
   }
 
   if (my_pos_ != topo_.seq_stop(opos)) {
-    out_fifo_.push_back(m);
+    push_out(m.id.origin, m);
   } else {
     switch (topo_.ack_at_seq_stop(opos)) {
       case ring::AckKind::kStable:
@@ -218,7 +219,7 @@ void Engine::handle_ack(const AckMsg& a) {
     ++stats_.duplicates_dropped;
     return;
   }
-  if (records_.count(a.seq) == 0) {
+  if (!window_.contains(a.seq)) {
     // We hold the payload from the DATA pass (or it is our own message);
     // the ack supplies the sequence number.
     auto sit = stash_.find(a.id);
@@ -227,13 +228,14 @@ void Engine::handle_ack(const AckMsg& a) {
                to_string(a.id).c_str(), static_cast<unsigned long long>(a.seq));
       return;
     }
-    records_[a.seq] = Record{a.id, sit->second.frag, sit->second.payload, a.seq, false};
+    store_record(
+        SeqRecord{a.id, sit->second.frag, sit->second.payload, a.seq, false, false});
     seq_of_[a.id] = a.seq;
     stash_.erase(sit);
   }
 
   if (a.stable) {
-    if (my_pos_ != topo_.stable_ack_stop()) pending_ctrl_.push_back(a);
+    if (my_pos_ != topo_.stable_ack_stop()) pending_acks_.push_back(a);
     mark_stable(a.seq);
   } else {
     // Pending acks circulate only among the backups (positions 1..t).
@@ -241,11 +243,11 @@ void Engine::handle_ack(const AckMsg& a) {
       // We are p_t: the pair is now stored by the leader and all backups.
       AckMsg stable = a;
       stable.stable = true;
-      if (my_pos_ != topo_.stable_ack_stop()) pending_ctrl_.push_back(stable);
+      if (my_pos_ != topo_.stable_ack_stop()) pending_acks_.push_back(stable);
       mark_stable(a.seq);
     } else {
       assert(my_pos_ < topo_.pending_ack_stop());
-      pending_ctrl_.push_back(a);
+      pending_acks_.push_back(a);
     }
   }
 }
@@ -254,76 +256,98 @@ void Engine::handle_gc(const GcMsg& g) {
   if (g.view != view_.id) return;
   if (g.all_delivered > all_delivered_) {
     all_delivered_ = g.all_delivered;
-    retained_.erase(retained_.begin(), retained_.upper_bound(all_delivered_));
+    // Prune only what we have delivered ourselves: a watermark ahead of our
+    // own progress (corrupt or reordered GC) must not drop undelivered
+    // records — the old split retained_/records_ maps got this for free.
+    window_.prune_through(std::min(all_delivered_, next_deliver_ - 1));
   }
   if (g.hops_left > 1) {
     GcMsg fwd = g;
     --fwd.hops_left;
-    pending_ctrl_.push_back(fwd);
+    queue_gc(fwd);
   }
 }
 
 void Engine::emit_ack(const MsgId& id, GlobalSeq seq, bool stable) {
-  pending_ctrl_.push_back(AckMsg{id, seq, view_.id, stable});
+  pending_acks_.push_back(AckMsg{id, seq, view_.id, stable});
   ++stats_.acks_emitted;
 }
 
+void Engine::queue_gc(const GcMsg& g) {
+  // One pending GC slot: a newer watermark subsumes an unsent older one
+  // (same view, same remaining path), so coalescing loses nothing.
+  if (pending_gc_) {
+    ++counters_.gc_coalesced;
+    if (g.all_delivered <= pending_gc_->all_delivered) return;
+  }
+  pending_gc_ = g;
+}
+
 void Engine::mark_stable(GlobalSeq seq) {
-  auto it = records_.find(seq);
-  if (it == records_.end()) return;  // already delivered
-  it->second.stable = true;
+  SeqRecord* rec = window_.find(seq);
+  if (rec == nullptr || rec->delivered) return;  // already delivered
+  rec->stable = true;
   try_deliver();
 }
 
 void Engine::try_deliver() {
   bool delivered_any = false;
-  for (;;) {
-    auto it = records_.find(next_deliver_);
-    if (it == records_.end() || !it->second.stable) break;
-    Record rec = std::move(it->second);
-    records_.erase(it);
-    seq_of_.erase(rec.id);
+  while (true) {
+    SeqRecord* rec = window_.find(next_deliver_);
+    if (rec == nullptr || !rec->stable || rec->delivered) break;
+    // The record stays in its slot (retained for recovery until the GC
+    // watermark passes it); copy out what delivery needs first — the
+    // delivery callback may reenter broadcast() and grow the window,
+    // invalidating `rec`.
+    rec->delivered = true;
+    MsgId id = rec->id;
+    FragInfo frag = rec->frag;
+    GlobalSeq seq = rec->seq;
+    Payload payload = rec->payload;
+    seq_of_.erase(id);
     ++next_deliver_;
     delivered_any = true;
-    deliver_record(rec);
+    deliver_segment(id, frag, seq, payload);
   }
   if (!delivered_any) return;
 
   // If we are the last-delivering process (the stable-ack stop), our
   // delivered watermark is the all-delivered watermark; circulate it so
-  // everyone can prune recovery retention (bounded memory).
-  if (my_pos_ == topo_.stable_ack_stop() && view_.size() > 1) {
+  // everyone can prune recovery retention (bounded memory). In a singleton
+  // group we are trivially the last deliverer: prune locally, nothing to
+  // circulate.
+  if (my_pos_ == topo_.stable_ack_stop()) {
     GlobalSeq w = next_deliver_ - 1;
     all_delivered_ = w;
-    retained_.erase(retained_.begin(), retained_.upper_bound(w));
-    if (w >= last_gc_emitted_ + cfg_.gc_interval) {
+    window_.prune_through(w);
+    if (view_.size() > 1 && w >= last_gc_emitted_ + cfg_.gc_interval) {
       last_gc_emitted_ = w;
-      pending_ctrl_.push_back(GcMsg{w, view_.id, topo_.n - 1});
+      queue_gc(GcMsg{w, view_.id, topo_.n - 1});
     }
   }
 }
 
-void Engine::deliver_record(const Record& rec) {
-  NodeId origin = rec.id.origin;
-  delivered_lsn_[origin] = rec.id.lsn;
-  stash_.erase(rec.id);
-  retained_[rec.seq] = rec;
+void Engine::deliver_segment(const MsgId& id, const FragInfo& frag,
+                             GlobalSeq seq, const Payload& payload) {
+  NodeId origin = id.origin;
+  delivered_lsn_[origin] = id.lsn;
+  stash_.erase(id);
   if (origin == transport_.self() && own_in_flight_ > 0) --own_in_flight_;
 
   ++stats_.segments_delivered;
-  stats_.bytes_delivered += payload_size(rec.payload);
+  stats_.bytes_delivered += payload_size(payload);
 
   // Single-segment message (the common case below segment_size): the
   // record's payload view is handed to the application as-is — no
   // reassembly copy, the delivery aliases the transport's receive buffer.
-  if (rec.frag.count == 1) {
+  if (frag.count == 1) {
     reasm_.erase(origin);  // drop any stale partial (mid-message join)
     Delivery d;
     d.origin = origin;
-    d.app_msg = rec.frag.app_msg;
-    d.seq = rec.seq;
+    d.app_msg = frag.app_msg;
+    d.seq = seq;
     d.view = view_.id;
-    d.payload = rec.payload;
+    d.payload = payload;
     ++stats_.app_delivered;
     if (origin == transport_.self() && pending_own_ > 0) --pending_own_;
     if (deliver_) deliver_(d);
@@ -333,21 +357,38 @@ void Engine::deliver_record(const Record& rec) {
   // Reassembly: per-origin segments arrive in index order because the leader
   // sequences each origin's stream FIFO. A process that joined mid-message
   // may first see index > 0; it skips until the next message boundary.
+  // Segment views are gathered without copying; the output buffer is
+  // materialized exactly once, when the final segment arrives.
   auto& r = reasm_[origin];
-  if (rec.frag.index == 0) {
-    r = Reassembly{rec.frag.app_msg, 0, {}};
-  } else if (r.app_msg != rec.frag.app_msg || r.next_index != rec.frag.index) {
+  if (frag.index == 0) {
+    r.app_msg = frag.app_msg;
+    r.next_index = 0;
+    r.parts.clear();
+    r.bytes = 0;
+  } else if (r.app_msg != frag.app_msg || r.next_index != frag.index) {
     return;  // mid-message join; drop partial
   }
-  if (rec.payload) r.data.insert(r.data.end(), rec.payload.begin(), rec.payload.end());
+  if (payload) {
+    r.parts.push_back(payload);
+    r.bytes += payload.size();
+  }
   ++r.next_index;
-  if (r.next_index == rec.frag.count) {
+  if (r.next_index == frag.count) {
+    Bytes data(r.bytes);
+    std::size_t off = 0;
+    for (const Payload& p : r.parts) {
+      if (p.empty()) continue;
+      std::memcpy(data.data() + off, p.data(), p.size());
+      off += p.size();
+    }
+    counters_.reassembly_copies += r.parts.size();
+    counters_.reassembly_bytes += r.bytes;
     Delivery d;
     d.origin = origin;
-    d.app_msg = rec.frag.app_msg;
-    d.seq = rec.seq;
+    d.app_msg = frag.app_msg;
+    d.seq = seq;
     d.view = view_.id;
-    d.payload = make_payload(std::move(r.data));
+    d.payload = make_payload(std::move(data));
     r = Reassembly{};
     ++stats_.app_delivered;
     if (origin == transport_.self() && pending_own_ > 0) --pending_own_;
@@ -357,45 +398,69 @@ void Engine::deliver_record(const Record& rec) {
 
 // --- send path ---
 
+void Engine::push_out(NodeId origin, WireMsg msg) {
+  out_queues_[origin].push_back(OutMsg{next_arrival_++, std::move(msg)});
+  ++out_count_;
+}
+
+std::deque<Engine::OutMsg>* Engine::min_out_queue(bool skip_forward_listed,
+                                                  NodeId* origin) {
+  // A min over at most ring-size queue fronts — this is the "index" that
+  // replaces the old linear FIFO scan (the scan visited every queued
+  // message; this visits every origin once).
+  std::deque<OutMsg>* best = nullptr;
+  std::uint64_t best_arrival = 0;
+  for (auto& [node, q] : out_queues_) {
+    if (q.empty()) continue;
+    if (skip_forward_listed && forward_list_.count(node) > 0) continue;
+    if (best == nullptr || q.front().arrival < best_arrival) {
+      best = &q;
+      best_arrival = q.front().arrival;
+      *origin = node;
+    }
+  }
+  return best;
+}
+
+WireMsg Engine::pop_out(std::deque<OutMsg>& q) {
+  WireMsg m = std::move(q.front().msg);
+  q.pop_front();
+  --out_count_;
+  return m;
+}
+
 std::optional<WireMsg> Engine::pick_next_payload() {
+  NodeId origin = kNoNode;
   if (is_leader()) {
     // The leader's outgoing payloads are all SEQ messages, already in fair
     // sequencing order (fairness was applied when sequencing). If the SEQ
     // pipeline is empty, inject an own segment. (A work-conserving leader
     // keeps a modest sequencing advantage over ring senders at saturation;
     // the paper's remedy is periodic leader rotation, §4.3.1.)
-    if (out_fifo_.empty() && own_send_allowed()) sequence_own();
-    if (out_fifo_.empty()) return std::nullopt;
-    WireMsg m = std::move(out_fifo_.front());
-    out_fifo_.pop_front();
-    return m;
+    if (out_count_ == 0 && own_send_allowed()) sequence_own();
+    std::deque<OutMsg>* q = min_out_queue(false, &origin);
+    if (q == nullptr) return std::nullopt;
+    return pop_out(*q);
   }
 
-  // Already-sequenced traffic is forwarded unconditionally: delaying the
-  // SEQ pass only delays everyone's deliveries. The fairness mechanism
-  // (§4.2.3, Fig. 5) arbitrates the *incoming buffer* of DATA messages
-  // still traveling toward the sequencer against our own broadcasts.
-  for (auto it = out_fifo_.begin(); it != out_fifo_.end(); ++it) {
-    if (std::holds_alternative<SeqMsg>(*it)) {
-      WireMsg m = std::move(*it);
-      out_fifo_.erase(it);
-      return m;
-    }
-    break;  // head is DATA: fairness decides below
+  // Already-sequenced traffic at the head of the line is forwarded
+  // unconditionally: delaying the SEQ pass only delays everyone's
+  // deliveries. The fairness mechanism (§4.2.3, Fig. 5) arbitrates the
+  // *incoming buffer* of DATA messages still traveling toward the sequencer
+  // against our own broadcasts.
+  std::deque<OutMsg>* head = min_out_queue(false, &origin);
+  if (head != nullptr && std::holds_alternative<SeqMsg>(head->front().msg)) {
+    return pop_out(*head);
   }
 
   if (own_send_allowed()) {
     // Fairness (§4.2.3): before sending an own segment, forward buffered
-    // DATA from every origin not yet in the forward list. Overtaking a
+    // traffic from every origin not yet in the forward list. Overtaking a
     // forward-listed origin's message is safe: delivery is strictly by
     // global sequence number, so forwarding order only affects fairness.
-    for (auto it = out_fifo_.begin(); it != out_fifo_.end(); ++it) {
-      NodeId origin = msg_origin(*it);
-      if (forward_list_.count(origin) > 0) continue;
-      WireMsg m = std::move(*it);
-      out_fifo_.erase(it);
+    if (std::deque<OutMsg>* q = min_out_queue(true, &origin)) {
       forward_list_.insert(origin);
-      return m;
+      return pop_out(*q);
     }
     // Everyone buffered has been served since our last own send: our turn.
     DataMsg m = std::move(own_queue_.front());
@@ -408,11 +473,9 @@ std::optional<WireMsg> Engine::pick_next_payload() {
     return WireMsg{std::move(m)};
   }
 
-  if (!out_fifo_.empty()) {
-    WireMsg m = std::move(out_fifo_.front());
-    out_fifo_.pop_front();
-    forward_list_.insert(msg_origin(m));
-    return m;
+  if (head != nullptr) {
+    forward_list_.insert(origin);
+    return pop_out(*head);
   }
   return std::nullopt;
 }
@@ -429,7 +492,7 @@ void Engine::pump() {
       ++stats_.segments_sent;
       sequence(m.id, m.frag, std::move(m.payload));
     }
-    pending_ctrl_.clear();
+    clear_pending_ctrl();
     return;
   }
   // Fill the transport's accept window: assemble frames while it can take
@@ -443,10 +506,10 @@ void Engine::pump() {
     if (!cfg_.piggyback_acks) {
       // Ablation: every ack/gc is its own frame (paper §4.2.2 argues
       // piggybacking is what lets the payload circle the ring only once).
-      if (!pending_ctrl_.empty()) {
-        f.msgs.push_back(std::move(pending_ctrl_.front()));
-        pending_ctrl_.pop_front();
+      if (pending_ctrl_count() > 0) {
+        f.msgs.push_back(pop_pending_ctrl());
         ++stats_.ack_only_frames;
+        ++counters_.piggyback_misses;
       } else if (auto m = pick_next_payload()) {
         f.msgs.push_back(std::move(*m));
       } else {
@@ -456,11 +519,28 @@ void Engine::pump() {
       auto m = pick_next_payload();
       bool have_payload = m.has_value();
       if (m) f.msgs.push_back(std::move(*m));
-      std::size_t k = std::min(pending_ctrl_.size(), cfg_.max_acks_per_frame);
+      for (std::size_t i = 1; have_payload && i < cfg_.max_payloads_per_frame;
+           ++i) {
+        auto extra = pick_next_payload();
+        if (!extra) break;
+        f.msgs.push_back(std::move(*extra));
+      }
+      if (!have_payload && !ack_flush_now_ && cfg_.ack_flush_delay > 0 &&
+          pending_ctrl_count() > 0) {
+        // No payload to ride right now; under load one is usually a frame
+        // away. Hold the acks briefly instead of burning an ack-only frame.
+        arm_ack_flush();
+        break;
+      }
+      std::size_t k = std::min(pending_ctrl_count(), cfg_.max_acks_per_frame);
       for (std::size_t i = 0; i < k; ++i) {
-        f.msgs.push_back(std::move(pending_ctrl_.front()));
-        pending_ctrl_.pop_front();
-        if (have_payload) ++stats_.acks_piggybacked;
+        f.msgs.push_back(pop_pending_ctrl());
+        if (have_payload) {
+          ++stats_.acks_piggybacked;
+          ++counters_.piggyback_hits;
+        } else {
+          ++counters_.piggyback_misses;
+        }
       }
       if (f.msgs.empty()) break;
       if (!have_payload) ++stats_.ack_only_frames;
@@ -472,6 +552,30 @@ void Engine::pump() {
   in_pump_ = false;
 }
 
+void Engine::arm_ack_flush() {
+  if (ack_flush_armed_) return;
+  ack_flush_armed_ = true;
+  transport_.set_timer(cfg_.ack_flush_delay, [this] {
+    ack_flush_armed_ = false;
+    if (frozen_ || pending_ctrl_count() == 0) return;
+    ack_flush_now_ = true;
+    pump();
+    ack_flush_now_ = false;
+  });
+}
+
+WireMsg Engine::pop_pending_ctrl() {
+  if (!pending_acks_.empty()) {
+    WireMsg m{pending_acks_.front()};
+    pending_acks_.pop_front();
+    return m;
+  }
+  assert(pending_gc_.has_value());
+  WireMsg m{*pending_gc_};
+  pending_gc_.reset();
+  return m;
+}
+
 // --- VSC recovery (§4.2.1) ---
 
 Bytes Engine::collect_flush_state(bool include_snapshot) {
@@ -479,10 +583,11 @@ Bytes Engine::collect_flush_state(bool include_snapshot) {
   ByteWriter w;
   w.var(next_deliver_ - 1);  // delivered watermark
 
-  // Every sequenced pair we store: undelivered records plus the retained
-  // delivered ones not yet known delivered-by-all.
-  w.var(records_.size() + retained_.size());
-  auto put_record = [&w](const Record& r) {
+  // Every sequenced pair we store. The window iterates in ascending
+  // sequence order, which reproduces the old encoding exactly: delivered-
+  // retained records (seq < next_deliver_) first, undelivered ones after.
+  w.var(window_.size());
+  window_.for_each([&w](const SeqRecord& r) {
     w.u32(r.id.origin);
     w.var(r.id.lsn);
     w.var(r.seq);
@@ -494,23 +599,17 @@ Bytes Engine::collect_flush_state(bool include_snapshot) {
     } else {
       w.var(0);
     }
-  };
-  for (const auto& [seq, rec] : retained_) put_record(rec);
-  for (const auto& [seq, rec] : records_) put_record(rec);
+  });
   if (include_snapshot && snapshot_take_) {
     w.u8(1);
     w.bytes(snapshot_take_());
   } else {
     w.u8(0);
   }
-  FSR_DEBUG("node %u flush state: view %llu watermark %llu, %zu retained [%llu..%llu], %zu records [%llu..%llu]",
+  FSR_DEBUG("node %u flush state: view %llu watermark %llu, %zu records, base %llu",
             transport_.self(), (unsigned long long)view_.id,
-            (unsigned long long)(next_deliver_ - 1), retained_.size(),
-            retained_.empty() ? 0ULL : (unsigned long long)retained_.begin()->first,
-            retained_.empty() ? 0ULL : (unsigned long long)retained_.rbegin()->first,
-            records_.size(),
-            records_.empty() ? 0ULL : (unsigned long long)records_.begin()->first,
-            records_.empty() ? 0ULL : (unsigned long long)records_.rbegin()->first);
+            (unsigned long long)(next_deliver_ - 1), window_.size(),
+            (unsigned long long)window_.base());
   return w.take();
 }
 
@@ -522,7 +621,7 @@ void Engine::stage_recovery_states(const std::vector<Bytes>& states) {
       (void)r.var();  // watermark
       std::uint64_t count = r.var();
       for (std::uint64_t i = 0; i < count; ++i) {
-        Record rec;
+        SeqRecord rec;
         rec.id.origin = r.u32();
         rec.id.lsn = r.var();
         rec.seq = r.var();
@@ -532,9 +631,9 @@ void Engine::stage_recovery_states(const std::vector<Bytes>& states) {
         Bytes p = r.bytes();
         rec.payload = p.empty() ? nullptr : make_payload(std::move(p));
         rec.stable = false;  // staged, NOT deliverable yet
-        if (rec.seq >= next_deliver_ && records_.count(rec.seq) == 0) {
+        if (rec.seq >= next_deliver_ && !window_.contains(rec.seq)) {
           seq_of_[rec.id] = rec.seq;
-          records_.emplace(rec.seq, std::move(rec));
+          store_record(std::move(rec));
         }
       }
     } catch (const CodecError& e) {
@@ -554,7 +653,7 @@ void Engine::install_view(const View& view, const std::vector<Bytes>& states) {
 
   // 1. Merge all members' flush states.
   GlobalSeq max_watermark = 0;
-  std::map<GlobalSeq, Record> merged;
+  std::map<GlobalSeq, SeqRecord> merged;
   Bytes snapshot;
   bool have_snapshot = false;
   GlobalSeq snapshot_watermark = 0;
@@ -566,7 +665,7 @@ void Engine::install_view(const View& view, const std::vector<Bytes>& states) {
       max_watermark = std::max(max_watermark, watermark);
       std::uint64_t count = r.var();
       for (std::uint64_t i = 0; i < count; ++i) {
-        Record rec;
+        SeqRecord rec;
         rec.id.origin = r.u32();
         rec.id.lsn = r.var();
         rec.seq = r.var();
@@ -636,7 +735,7 @@ void Engine::install_view(const View& view, const std::vector<Bytes>& states) {
     if (seq < next_deliver_) continue;
     if (!gapped && seq == next_deliver_) {
       ++next_deliver_;
-      deliver_record(rec);
+      deliver_segment(rec.id, rec.frag, rec.seq, rec.payload);
       continue;
     }
     if (!gapped) {
@@ -678,18 +777,23 @@ void Engine::install_view(const View& view, const std::vector<Bytes>& states) {
   view_ = view;
   my_pos_ = *my_new_pos;
   topo_ = ring::Topology{view_.size(), ring::effective_t(cfg_.t, view_.size())};
-  out_fifo_.clear();
+  out_queues_.clear();
+  out_count_ = 0;
   forward_list_.clear();
-  pending_ctrl_.clear();
-  records_.clear();
+  clear_pending_ctrl();
   seq_of_.clear();
   stash_.clear();
-  retained_.clear();
   all_delivered_ = 0;
   last_gc_emitted_ = 0;
   own_in_flight_ = 0;
   next_deliver_ = std::max(next_deliver_, horizon + 1);
   next_seq_ = next_deliver_;
+  window_.clear(next_deliver_ - 1);
+  // Per-origin delivery state of departed members is dead weight (and under
+  // churn would otherwise accumulate forever): drop it with the view.
+  for (auto it = delivered_lsn_.begin(); it != delivered_lsn_.end();) {
+    it = view_.contains(it->first) ? std::next(it) : delivered_lsn_.erase(it);
+  }
   sequenced_lsn_ = delivered_lsn_;
   // Reassembly buffers of departed members can never complete.
   for (auto it = reasm_.begin(); it != reasm_.end();) {

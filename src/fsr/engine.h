@@ -12,6 +12,12 @@
 // (§4.2.2), segmentation/reassembly of large payloads (§4.1), own-broadcast
 // window flow control, and view-change recovery.
 //
+// Hot-path data layout: sequenced records live in a flat ring-buffer
+// sequence window (seq_window.h) instead of ordered maps, segmentation and
+// reassembly move Payload views instead of bytes, and outbound payload
+// messages are indexed per origin so the fairness pick is O(ring size)
+// instead of a linear FIFO scan. EngineCounters observes all of it.
+//
 // Reentrancy: the delivery callback may call broadcast(). Engine methods
 // must not be called concurrently (single-threaded event loop per node).
 #pragma once
@@ -19,13 +25,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <optional>
 #include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
+#include "fsr/seq_window.h"
 #include "fsr/view.h"
 #include "proto/wire.h"
 #include "ring/rules.h"
@@ -54,10 +60,71 @@ struct EngineConfig {
   /// Cap on acks attached to a single frame.
   std::size_t max_acks_per_frame = 128;
 
+  /// Payload messages packed into one frame while the link is idle. The
+  /// paper's ring paces one payload per frame (the default); raising this
+  /// amortizes per-frame encode/parse overhead on fast transports without
+  /// changing the protocol — a frame's messages are processed in order, so
+  /// k packed payloads are indistinguishable from k back-to-back frames.
+  std::size_t max_payloads_per_frame = 1;
+
+  /// When nonzero and no payload is queued, acks are held up to this long
+  /// for a payload frame to ride (§4.2.2) before being flushed standalone
+  /// by a timer. 0 (the default) sends ack-only frames immediately. Under
+  /// load the next payload is typically one frame away, so a few tens of
+  /// microseconds converts most ack-only frames into piggybacks.
+  Time ack_flush_delay = 0;
+
   /// The last-delivering process (position t-1) circulates its delivered
   /// watermark every this-many sequence numbers so retained recovery records
   /// can be pruned (a pair is only forgotten once delivered by all).
   GlobalSeq gc_interval = 64;
+
+  /// Initial sequence-window capacity in records (rounded up to a power of
+  /// two). The window grows geometrically while the live sequence range
+  /// outruns it.
+  std::size_t window_slots = 64;
+
+  /// Growth cap: past this many slots, far-future sequence numbers fall back
+  /// to an ordered overflow map instead of growing the ring further.
+  std::size_t max_window_slots = std::size_t{1} << 16;
+};
+
+/// Hot-path health counters: allocation/copy discipline of the engine core.
+/// On the steady-state fast path records are pooled (no allocation) and
+/// segmentation copies nothing; these counters make that a testable claim,
+/// mirroring TransportCounters one layer up.
+struct EngineCounters {
+  // Sequence-window record storage.
+  std::uint64_t records_pooled = 0;     ///< inserts that reused a window slot
+  std::uint64_t records_allocated = 0;  ///< inserts that had to allocate
+  std::uint64_t window_grows = 0;       ///< geometric window growths
+  std::uint64_t out_of_window = 0;      ///< inserts past a maxed-out window
+
+  // Ack/GC piggybacking (§4.2.2).
+  std::uint64_t piggyback_hits = 0;    ///< ctrl msgs that rode a payload frame
+  std::uint64_t piggyback_misses = 0;  ///< ctrl msgs that needed an ack-only frame
+  std::uint64_t gc_coalesced = 0;      ///< GC watermarks merged before sending
+
+  // Payload copy discipline. Segmentation aliases the application buffer
+  // (must stay 0); reassembly materializes one output buffer per multi-
+  // segment message at delivery time.
+  std::uint64_t segmentation_copies = 0;
+  std::uint64_t reassembly_copies = 0;  ///< segment views gathered at delivery
+  std::uint64_t reassembly_bytes = 0;   ///< bytes materialized by reassembly
+
+  EngineCounters& operator+=(const EngineCounters& o) {
+    records_pooled += o.records_pooled;
+    records_allocated += o.records_allocated;
+    window_grows += o.window_grows;
+    out_of_window += o.out_of_window;
+    piggyback_hits += o.piggyback_hits;
+    piggyback_misses += o.piggyback_misses;
+    gc_coalesced += o.gc_coalesced;
+    segmentation_copies += o.segmentation_copies;
+    reassembly_copies += o.reassembly_copies;
+    reassembly_bytes += o.reassembly_bytes;
+    return *this;
+  }
 };
 
 /// A fully reassembled application message handed to the delivery callback.
@@ -145,10 +212,18 @@ class Engine {
   bool is_leader() const { return my_pos_ == 0; }
   const ring::Topology& topology() const { return topo_; }
   GlobalSeq delivered_watermark() const { return next_deliver_ - 1; }
-  std::size_t stored_records() const { return records_.size() + retained_.size(); }
-  std::size_t out_fifo_size() const { return out_fifo_.size(); }
+  /// Records stored for delivery or recovery retention (both live in the
+  /// sequence window now; delivered ones carry the `delivered` flag).
+  std::size_t stored_records() const { return window_.size(); }
+  std::size_t out_fifo_size() const { return out_count_; }
   std::size_t own_in_flight() const { return own_in_flight_; }
   std::size_t own_queue_size() const { return own_queue_.size(); }
+  std::size_t window_capacity() const { return window_.slot_capacity(); }
+  std::size_t window_overflow() const { return window_.overflow_size(); }
+  /// Origins with per-origin delivery state (shrinks when members depart).
+  std::size_t tracked_origins() const { return delivered_lsn_.size(); }
+
+  const EngineCounters& counters() const { return counters_; }
 
   struct Stats {
     std::uint64_t segments_sent = 0;
@@ -165,25 +240,26 @@ class Engine {
   const Stats& stats() const { return stats_; }
 
  private:
-  /// Sequenced message record kept until locally delivered.
-  struct Record {
-    MsgId id;
-    FragInfo frag;
-    Payload payload;
-    GlobalSeq seq = 0;
-    bool stable = false;
-  };
-
   /// Payload seen on the DATA pass (or own send), sequence not yet known.
   struct Stash {
     FragInfo frag;
     Payload payload;
   };
 
+  /// In-progress reassembly: segment views gathered without copying; the
+  /// output buffer is materialized once, when the final segment delivers.
   struct Reassembly {
     std::uint64_t app_msg = 0;
     std::uint32_t next_index = 0;
-    Bytes data;
+    std::vector<Payload> parts;
+    std::size_t bytes = 0;
+  };
+
+  /// Outbound payload message, stamped with a global arrival number so the
+  /// per-origin queues can reproduce the old FIFO's ordering exactly.
+  struct OutMsg {
+    std::uint64_t arrival = 0;
+    WireMsg msg;
   };
 
   void handle_data(const DataMsg& m);
@@ -199,16 +275,44 @@ class Engine {
   bool sequence_own();
 
   void emit_ack(const MsgId& id, GlobalSeq seq, bool stable);
+  void queue_gc(const GcMsg& g);
   void mark_stable(GlobalSeq seq);
   void try_deliver();
-  void deliver_record(const Record& rec);
+
+  /// Deliver one sequenced segment to the application (fields are passed by
+  /// value/ref, never a window pointer: the callback may reenter broadcast()
+  /// and grow the window, invalidating record pointers).
+  void deliver_segment(const MsgId& id, const FragInfo& frag, GlobalSeq seq,
+                       const Payload& payload);
+
+  /// Insert into the sequence window, crediting the pooling counters.
+  void store_record(SeqRecord rec);
 
   /// Fairness scheduler (§4.2.3): next payload message for the successor.
   std::optional<WireMsg> pick_next_payload();
 
+  // Outbound index helpers (see pick_next_payload).
+  void push_out(NodeId origin, WireMsg msg);
+  std::deque<OutMsg>* min_out_queue(bool skip_forward_listed, NodeId* origin);
+  WireMsg pop_out(std::deque<OutMsg>& q);
+
+  std::size_t pending_ctrl_count() const {
+    return pending_acks_.size() + (pending_gc_ ? 1 : 0);
+  }
+  WireMsg pop_pending_ctrl();
+  void clear_pending_ctrl() {
+    pending_acks_.clear();
+    pending_gc_.reset();
+  }
+
   /// Assemble and send the next frame if the link is free. Only entry
   /// points (broadcast / on_msg / on_tx_ready / install_view) call this.
   void pump();
+
+  /// Schedule a standalone ack flush `ack_flush_delay` from now (no-op if
+  /// one is already pending); pump() holds acks back until then so they can
+  /// ride the next payload frame instead.
+  void arm_ack_flush();
 
   bool own_send_allowed() const {
     return !own_queue_.empty() && own_in_flight_ < cfg_.window;
@@ -228,6 +332,8 @@ class Engine {
 
   bool frozen_ = false;
   bool in_pump_ = false;  // guards against reentrant pumping
+  bool ack_flush_armed_ = false;  // a deferred ack-flush timer is pending
+  bool ack_flush_now_ = false;    // the timer fired: send acks standalone
 
   // Sender side.
   LocalSeq next_lsn_ = 1;
@@ -240,18 +346,30 @@ class Engine {
   GlobalSeq next_seq_ = 1;
   std::unordered_map<NodeId, LocalSeq> sequenced_lsn_;  // dedupe at leader
 
-  // Forwarding & fairness. out_fifo_ holds DATA and SEQ messages to forward
-  // in arrival order; the fairness scan may let an own segment or a
-  // not-yet-served origin overtake it (safe: delivery is strictly by global
-  // sequence with gap buffering, so forwarding order never affects
-  // correctness, only fairness).
-  std::deque<WireMsg> out_fifo_;
-  std::set<NodeId> forward_list_;  // origins forwarded since last own send
-  std::deque<WireMsg> pending_ctrl_;  // acks + gc, piggybacked on frames
+  // Forwarding & fairness. Outbound DATA/SEQ messages to forward sit in
+  // per-origin FIFO queues stamped with a global arrival number: the
+  // fairness pick (oldest message from an origin not yet served since our
+  // last own send) is a min over ring-size queue fronts instead of a linear
+  // FIFO scan. Overtaking is safe: delivery is strictly by global sequence
+  // with gap buffering, so forwarding order never affects correctness, only
+  // fairness.
+  std::unordered_map<NodeId, std::deque<OutMsg>> out_queues_;
+  std::size_t out_count_ = 0;       // total queued across out_queues_
+  std::uint64_t next_arrival_ = 1;  // global arrival stamp
+  std::set<NodeId> forward_list_;   // origins forwarded since last own send
 
-  // Delivery side.
+  // Pending control traffic, piggybacked on frames (§4.2.2). Acks keep
+  // their emission order; GC watermarks coalesce into a single slot (a newer
+  // watermark subsumes an unsent older one), making GC queuing O(1).
+  std::deque<AckMsg> pending_acks_;
+  std::optional<GcMsg> pending_gc_;
+
+  // Delivery side. The sequence window holds every sequenced record from
+  // the moment the sequence number is learned until the GC watermark proves
+  // it delivered-by-all (undelivered records and delivered-retained records
+  // in one flat structure).
   GlobalSeq next_deliver_ = 1;
-  std::map<GlobalSeq, Record> records_;
+  SeqWindow window_;
   std::unordered_map<MsgId, GlobalSeq> seq_of_;  // sequenced undelivered ids
   std::unordered_map<MsgId, Stash> stash_;
   std::unordered_map<NodeId, LocalSeq> delivered_lsn_;
@@ -264,13 +382,12 @@ class Engine {
   std::function<Bytes()> snapshot_take_;
   std::function<void(const Bytes&)> snapshot_install_;
 
-  // Recovery retention: delivered records kept until known delivered by all
-  // (pruned by the circulating GC watermark).
-  std::map<GlobalSeq, Record> retained_;
+  // GC watermark circulation (prunes the window's delivered tail).
   GlobalSeq all_delivered_ = 0;
   GlobalSeq last_gc_emitted_ = 0;
 
   Stats stats_;
+  EngineCounters counters_;
 };
 
 }  // namespace fsr

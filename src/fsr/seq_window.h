@@ -1,0 +1,222 @@
+// Flat sequence-window record storage for the FSR engine hot path.
+//
+// The engine stores every sequenced message record from the moment the
+// sequence number is learned until the record is known delivered by all
+// processes (the GC watermark). Live sequence numbers therefore occupy a
+// dense, sliding range (all_delivered, highest_sequenced]; a balanced tree
+// keyed by sequence number (the old std::map records_/retained_ pair) pays a
+// node allocation plus pointer chasing per frame for what is structurally an
+// array index. This class stores records in a contiguous power-of-two ring
+// buffer indexed by `seq & mask`:
+//
+//   * the common-case insert writes into an already-constructed slot —
+//     no allocation, no rebalancing ("pooled" placement);
+//   * lookup and erase are O(1) loads on contiguous memory;
+//   * when the live range outgrows the buffer it doubles (records are
+//     re-indexed, amortized O(1) per insert) up to `max_slots`;
+//   * sequence numbers beyond a maxed-out window fall back gracefully to an
+//     ordered overflow map, promoted back into slots as the base advances.
+//
+// The window replaces BOTH maps: a delivered record simply stays in its slot
+// with `delivered = true` (the old code copied it into `retained_`) until
+// `prune_through` drops it, so delivery no longer copies records at all.
+//
+// Not thread-safe; owned by the single-threaded engine event loop.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "proto/wire.h"
+
+namespace fsr {
+
+/// A sequenced message record: everything the engine must keep to deliver
+/// the message and to re-export it in a view-change flush.
+struct SeqRecord {
+  MsgId id;
+  FragInfo frag;
+  Payload payload;
+  GlobalSeq seq = 0;
+  bool stable = false;     ///< stored by leader + t backups; may deliver
+  bool delivered = false;  ///< delivered locally, retained for recovery
+};
+
+class SeqWindow {
+ public:
+  /// Where an insert landed, for the engine's pooling counters.
+  enum class Placement : std::uint8_t {
+    kPooled,    ///< reused an existing slot (no allocation)
+    kGrown,     ///< triggered a geometric window growth
+    kOverflow,  ///< out of window even at max capacity; overflow map
+  };
+
+  explicit SeqWindow(std::size_t initial_slots = 64,
+                     std::size_t max_slots = std::size_t{1} << 16)
+      : max_slots_(round_pow2(max_slots < 2 ? 2 : max_slots)) {
+    std::size_t cap = round_pow2(initial_slots < 2 ? 2 : initial_slots);
+    if (cap > max_slots_) cap = max_slots_;
+    slots_.resize(cap);
+  }
+
+  /// Highest sequence number known pruned; stored records all have
+  /// `seq > base()`.
+  GlobalSeq base() const { return base_; }
+
+  std::size_t size() const { return count_ + overflow_.size(); }
+  bool empty() const { return size() == 0; }
+  std::size_t slot_capacity() const { return slots_.size(); }
+  std::size_t overflow_size() const { return overflow_.size(); }
+
+  SeqRecord* find(GlobalSeq seq) {
+    if (in_window(seq)) {
+      Slot& s = slots_[index(seq)];
+      if (s.used && s.rec.seq == seq) return &s.rec;
+    }
+    if (!overflow_.empty()) {
+      auto it = overflow_.find(seq);
+      if (it != overflow_.end()) return &it->second;
+    }
+    return nullptr;
+  }
+
+  const SeqRecord* find(GlobalSeq seq) const {
+    return const_cast<SeqWindow*>(this)->find(seq);
+  }
+
+  bool contains(GlobalSeq seq) const { return find(seq) != nullptr; }
+
+  /// Store a record at rec.seq. Pre: `rec.seq > base()` and no record is
+  /// stored there yet. Pointers returned by find() are invalidated when the
+  /// placement is kGrown.
+  Placement insert(SeqRecord rec) {
+    assert(rec.seq > base_ && "insert below the pruned base");
+    assert(!contains(rec.seq) && "duplicate insert");
+    bool grew = false;
+    while (!in_window(rec.seq) && slots_.size() < max_slots_) {
+      grow();
+      grew = true;
+    }
+    if (!in_window(rec.seq)) {
+      GlobalSeq seq = rec.seq;
+      overflow_.emplace(seq, std::move(rec));
+      return Placement::kOverflow;
+    }
+    GlobalSeq seq = rec.seq;
+    Slot& s = slots_[index(seq)];
+    s.rec = std::move(rec);
+    s.used = true;
+    ++count_;
+    if (seq > hi_) hi_ = seq;
+    return grew ? Placement::kGrown : Placement::kPooled;
+  }
+
+  /// Advance the base to `w`, releasing every record with `seq <= w` and
+  /// promoting overflow records that now fit back into slots.
+  void prune_through(GlobalSeq w) {
+    if (w <= base_) return;
+    if (count_ > 0) {
+      if (w - base_ >= slots_.size()) {
+        for (Slot& s : slots_) release(s);
+        count_ = 0;
+      } else {
+        for (GlobalSeq seq = base_ + 1; seq <= w; ++seq) {
+          Slot& s = slots_[index(seq)];
+          if (s.used && s.rec.seq == seq) {
+            release(s);
+            --count_;
+          }
+        }
+      }
+    }
+    base_ = w;
+    if (!overflow_.empty()) {
+      overflow_.erase(overflow_.begin(), overflow_.upper_bound(w));
+      // Promote overflow records that the advanced base brought in range.
+      while (!overflow_.empty() && in_window(overflow_.begin()->first)) {
+        auto it = overflow_.begin();
+        Slot& s = slots_[index(it->first)];
+        assert(!s.used);
+        s.rec = std::move(it->second);
+        s.used = true;
+        ++count_;
+        overflow_.erase(it);
+      }
+    }
+  }
+
+  /// Drop everything and restart the window at `new_base` (view install).
+  void clear(GlobalSeq new_base) {
+    for (Slot& s : slots_) release(s);
+    count_ = 0;
+    overflow_.clear();
+    base_ = new_base;
+    hi_ = new_base;
+  }
+
+  /// Visit every stored record in ascending sequence order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (count_ > 0) {
+      GlobalSeq last = hi_ < base_ + slots_.size() ? hi_ : base_ + slots_.size();
+      for (GlobalSeq seq = base_ + 1; seq <= last; ++seq) {
+        const Slot& s = slots_[index(seq)];
+        if (s.used && s.rec.seq == seq) fn(s.rec);
+      }
+    }
+    for (const auto& [seq, rec] : overflow_) fn(rec);
+  }
+
+ private:
+  struct Slot {
+    SeqRecord rec;
+    bool used = false;
+  };
+
+  static std::size_t round_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  bool in_window(GlobalSeq seq) const {
+    return seq > base_ && seq - base_ <= slots_.size();
+  }
+
+  std::size_t index(GlobalSeq seq) const {
+    return static_cast<std::size_t>(seq) & (slots_.size() - 1);
+  }
+
+  /// Release a slot's resources (the payload's backing buffer) but keep the
+  /// slot itself constructed for reuse — this is the record pool.
+  static void release(Slot& s) {
+    s.used = false;
+    s.rec.payload = nullptr;
+  }
+
+  void grow() {
+    std::vector<Slot> bigger(slots_.size() * 2);
+    std::size_t mask = bigger.size() - 1;
+    for (Slot& s : slots_) {
+      if (!s.used) continue;
+      Slot& d = bigger[static_cast<std::size_t>(s.rec.seq) & mask];
+      d.rec = std::move(s.rec);
+      d.used = true;
+    }
+    slots_ = std::move(bigger);
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t max_slots_;
+  std::map<GlobalSeq, SeqRecord> overflow_;  // seqs beyond a maxed-out window
+  GlobalSeq base_ = 0;   // every stored seq is > base_
+  GlobalSeq hi_ = 0;     // highest seq ever slotted (iteration bound)
+  std::size_t count_ = 0;
+};
+
+}  // namespace fsr

@@ -1,14 +1,26 @@
 #include "harness/sim_cluster.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace fsr {
 
 std::uint64_t hash_bytes(std::span<const std::uint8_t> b) {
+  // FNV-style fold taken 8 bytes per step: this runs on every broadcast and
+  // every delivery in both harnesses (the checker compares it for equality
+  // only), and the byte-at-a-time chain was measurable in TCP bench runs.
   std::uint64_t h = 1469598103934665603ULL;
-  for (std::uint8_t c : b) {
-    h ^= c;
-    h *= 1099511628211ULL;
+  const std::uint8_t* p = b.data();
+  std::size_t n = b.size();
+  for (; n >= 8; p += 8, n -= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    h = (h ^ w) * 1099511628211ULL;
+  }
+  if (n > 0) {
+    std::uint64_t tail = 0;
+    std::memcpy(&tail, p, n);
+    h = (h ^ (tail + n)) * 1099511628211ULL;
   }
   return h;
 }

@@ -93,6 +93,15 @@ class SimCluster {
   /// live node has not.
   Time completion_time(NodeId origin, std::uint64_t app_msg) const;
 
+  /// Sum of every node's engine counters (window pooling, piggybacking,
+  /// copy discipline) — includes crashed nodes: the simulator is single-
+  /// threaded, so their frozen counters are still readable.
+  EngineCounters engine_counters() const {
+    EngineCounters total;
+    for (const auto& m : members_) total += m->engine().counters();
+    return total;
+  }
+
   /// The protocol-invariant checker fed by this cluster (online findings,
   /// raw DeliveryRecords for trace lints, ...). The non-const overload
   /// lets harnesses install a provenance context provider.

@@ -144,6 +144,17 @@ TransportCounters TcpCluster::counters() const {
   return total;
 }
 
+EngineCounters TcpCluster::engine_counters() const {
+  EngineCounters total;
+  for (const auto& node : nodes_) {
+    if (node->crashed.load()) continue;
+    EngineCounters c;
+    node->transport->post_wait([&] { c = node->member->engine().counters(); });
+    total += c;
+  }
+  return total;
+}
+
 void TcpCluster::with_member(NodeId node, const std::function<void(GroupMember&)>& fn) {
   Node* n = nodes_[node].get();
   n->transport->post_wait([&] { fn(*n->member); });

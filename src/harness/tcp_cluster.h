@@ -58,6 +58,10 @@ class TcpCluster {
   /// its I/O thread, per the TransportCounters threading contract).
   TransportCounters counters() const;
 
+  /// Sum of every live node's engine counters (same threading contract:
+  /// each engine's counters are snapshotted on its own I/O thread).
+  EngineCounters engine_counters() const;
+
   /// The protocol-invariant checker fed by every node's delivery stream
   /// (concurrently, from the n I/O threads). Online findings surface here
   /// the moment they happen.

@@ -9,6 +9,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -45,6 +46,13 @@ class Payload {
   std::span<const std::uint8_t> span() const { return {data_, size_}; }
   operator std::span<const std::uint8_t>() const { return span(); }  // NOLINT(google-explicit-constructor)
 
+  /// Aliasing view of a sub-range: shares this view's owner, copies nothing.
+  /// This is what makes segmentation zero-copy — every segment of a large
+  /// application message is a window into the one original buffer.
+  Payload sub(std::size_t off, std::size_t len) const {
+    return Payload{owner_, {data_ + off, len}};
+  }
+
   /// The backing storage anchor (shared with every other view into it).
   const std::shared_ptr<const void>& owner() const { return owner_; }
 
@@ -68,6 +76,24 @@ inline Payload make_payload(Bytes b) {
 }
 
 inline std::size_t payload_size(const Payload& p) { return p.size(); }
+
+/// Number of segments a payload of `total` bytes splits into under
+/// `segment_size`. An empty payload still occupies one (empty) segment so the
+/// message exists on the wire.
+inline std::uint32_t segment_count(std::size_t total, std::size_t segment_size) {
+  if (total == 0) return 1;
+  return static_cast<std::uint32_t>((total + segment_size - 1) / segment_size);
+}
+
+/// Bounds of segment `i`: `{offset, length}` into the whole payload. With
+/// Payload::sub this yields aliasing segment views instead of copies.
+inline std::pair<std::size_t, std::size_t> segment_bounds(std::size_t total,
+                                                          std::size_t segment_size,
+                                                          std::uint32_t i) {
+  std::size_t off = static_cast<std::size_t>(i) * segment_size;
+  std::size_t len = off < total ? std::min(segment_size, total - off) : 0;
+  return {off, len};
+}
 
 /// Segmentation header: which application message this segment belongs to
 /// (per-origin counter) and its position in it (paper §4.1: uniform message

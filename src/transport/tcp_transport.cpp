@@ -137,12 +137,18 @@ void TcpTransport::stop() {
 }
 
 void TcpTransport::post(std::function<void()> fn) {
+  bool was_empty;
   {
     std::lock_guard lock(post_mutex_);
+    was_empty = posted_.empty();
     posted_.push_back(std::move(fn));
   }
-  char b = 1;
-  [[maybe_unused]] ssize_t w = ::write(wake_pipe_[1], &b, 1);
+  // One wakeup byte per empty->non-empty transition: drain_posted() empties
+  // the whole queue per wakeup, so further bytes would only add syscalls.
+  if (was_empty) {
+    char b = 1;
+    [[maybe_unused]] ssize_t w = ::write(wake_pipe_[1], &b, 1);
+  }
   // No I/O thread left to run the closure: drain it ourselves. If io_dead_
   // still reads false here, stop()'s own drain (which runs after it is set
   // and loops until the queue is empty) is guaranteed to pick our closure

@@ -77,6 +77,64 @@ TEST(EngineUnit, NoPiggybackModeNeverAttaches) {
   EXPECT_EQ(c.check_all(), "");
 }
 
+TEST(EngineUnit, DeferredAckFlushStillDeliversOnIdleRing) {
+  // With ack_flush_delay set, a lone message's acks have no payload frame
+  // to ride — the flush timer is the only thing that completes stability.
+  // Delivery everywhere proves the timer path is live.
+  ClusterConfig cfg = base(5, 1);
+  cfg.group.engine.ack_flush_delay = 100 * kMicrosecond;
+  SimCluster c(cfg);
+  c.broadcast(3, test_payload(3, 1, 500));
+  c.sim().run();
+  for (NodeId n = 0; n < 5; ++n) ASSERT_EQ(c.log(n).size(), 1u) << "node " << n;
+  EXPECT_EQ(c.check_all(), "");
+}
+
+TEST(EngineUnit, AckDeferralUnderLoadStaysCorrect) {
+  // Sustained traffic with ack hold-back enabled: ordering, uniformity, and
+  // gap-freedom must be untouched, and acks must still ride payload frames.
+  ClusterConfig cfg = base(4, 1);
+  cfg.group.engine.ack_flush_delay = 200 * kMicrosecond;
+  SimCluster c(cfg);
+  for (NodeId s = 0; s < 4; ++s) {
+    for (int i = 0; i < 20; ++i) {
+      c.broadcast(s, test_payload(s, static_cast<std::uint64_t>(i + 1), 2000));
+    }
+  }
+  c.sim().run();
+  EXPECT_EQ(c.check_all(), "");
+  for (NodeId n = 0; n < 4; ++n) ASSERT_EQ(c.log(n).size(), 80u) << "node " << n;
+  EXPECT_GT(c.engine_counters().piggyback_hits, 0u);
+}
+
+TEST(EngineUnit, FramePackingDeliversIdenticallyWithFewerFrames) {
+  auto run = [](std::size_t pack) {
+    ClusterConfig cfg;
+    cfg.n = 4;
+    cfg.group.engine.t = 1;
+    cfg.group.engine.segment_size = 1024;
+    cfg.group.engine.max_payloads_per_frame = pack;
+    SimCluster c(cfg);
+    for (NodeId s = 0; s < 4; ++s) {
+      c.broadcast(s, test_payload(s, 1, 8 * 1024));  // 8 segments each
+    }
+    c.sim().run();
+    EXPECT_EQ(c.check_all(), "");
+    std::uint64_t frames = 0;
+    std::vector<std::size_t> log_sizes;
+    for (NodeId n = 0; n < 4; ++n) {
+      frames += c.node(n).engine().stats().frames_sent;
+      log_sizes.push_back(c.log(n).size());
+    }
+    EXPECT_EQ(log_sizes, (std::vector<std::size_t>{4, 4, 4, 4}));
+    return frames;
+  };
+  std::uint64_t paced = run(1);
+  std::uint64_t packed = run(8);
+  EXPECT_LT(packed, paced)
+      << "packing payloads per frame must reduce frame count";
+}
+
 TEST(EngineUnit, RetainedRecordsArePrunedByGcWatermark) {
   // A long run must not accumulate unbounded recovery state: the circulating
   // GC watermark prunes records once everyone delivered them.

@@ -401,5 +401,29 @@ TEST(ViewChange, ReversedDetectionOrderInsideWindow) {
   expect_converged(c, 20);
 }
 
+TEST(ViewChange, DepartedNodeLsnStateIsDropped) {
+  // Per-origin duplicate-suppression state (sequenced/delivered lsn maps)
+  // must not accumulate entries for nodes that left the view: a long-lived
+  // group with churn would otherwise leak an entry per departed member.
+  SimCluster c(crash_cluster(4, 1));
+  for (NodeId s = 0; s < 4; ++s) burst(c, s, 5, 800);
+  c.sim().run();
+  for (NodeId n = 0; n < 4; ++n) {
+    ASSERT_EQ(c.log(n).size(), 20u) << "node " << n;
+    EXPECT_EQ(c.node(n).engine().tracked_origins(), 4u) << "node " << n;
+  }
+  c.crash(3);
+  c.sim().run();
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(c.node(n).engine().tracked_origins(), 3u)
+        << "node " << n << " still tracks the departed node";
+  }
+  // The shrunken view keeps working.
+  burst(c, 1, 5, 800, 100);
+  c.sim().run();
+  expect_converged(c, 25);
+  EXPECT_EQ(c.check_all(), "");
+}
+
 }  // namespace
 }  // namespace fsr

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Diff fresh BENCH_<name>.json reports against committed baseline snapshots.
+
+Usage: check_bench_regression.py <fresh-dir> <baseline-dir> [--threshold PCT]
+
+For every BENCH_*.json in <baseline-dir>, find the same-named report in
+<fresh-dir> and compare throughput metrics row by row (rows are matched on
+their identity keys: nodes / msg_size / senders / ...). A fresh value more
+than --threshold percent (default 15) below the baseline prints a GitHub
+Actions ::warning:: annotation.
+
+This is a trend-watcher, not a gate: CI runners are shared hardware, so the
+exit code is always 0 unless a report is missing or unparseable (schema
+drift should be loud; a slow runner should not be).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Higher-is-better throughput metrics worth warning about.
+METRICS = ("goodput_mbps", "frames_per_sec", "msgs_per_sec")
+
+# Keys that identify a row within a report (whatever subset is present).
+IDENTITY = ("nodes", "msg_size", "msgs_per_sender", "senders", "message_size",
+            "rate_per_sender")
+
+
+def load_report(path: Path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != 1:
+        raise ValueError(f"{path}: unsupported schema {data.get('schema')!r}")
+    return data
+
+
+def row_key(row):
+    return tuple((k, row[k]) for k in IDENTITY if k in row)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("fresh_dir", type=Path)
+    ap.add_argument("baseline_dir", type=Path)
+    ap.add_argument("--threshold", type=float, default=15.0,
+                    help="warn when a metric drops more than this percent")
+    args = ap.parse_args()
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines in {args.baseline_dir}",
+              file=sys.stderr)
+        return 1
+
+    hard_error = False
+    warnings = 0
+    compared = 0
+    for base_path in baselines:
+        fresh_path = args.fresh_dir / base_path.name
+        if not fresh_path.exists():
+            print(f"error: {fresh_path} missing (bench not run?)", file=sys.stderr)
+            hard_error = True
+            continue
+        try:
+            base = load_report(base_path)
+            fresh = load_report(fresh_path)
+        except (ValueError, OSError, json.JSONDecodeError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            hard_error = True
+            continue
+
+        fresh_rows = {row_key(r): r for r in fresh.get("results", [])}
+        for brow in base.get("results", []):
+            key = row_key(brow)
+            frow = fresh_rows.get(key)
+            if frow is None:
+                print(f"::warning::{base_path.name}: row {dict(key)} missing "
+                      "from fresh report")
+                warnings += 1
+                continue
+            for metric in METRICS:
+                if metric not in brow or metric not in frow:
+                    continue
+                old, new = float(brow[metric]), float(frow[metric])
+                if old <= 0:
+                    continue
+                compared += 1
+                drop = 100.0 * (old - new) / old
+                if drop > args.threshold:
+                    print(f"::warning::{base_path.name} {dict(key)}: {metric} "
+                          f"{old:.1f} -> {new:.1f} ({drop:+.1f}% below baseline)")
+                    warnings += 1
+
+    print(f"bench regression check: {compared} metric(s) compared, "
+          f"{warnings} warning(s)")
+    return 1 if hard_error else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
