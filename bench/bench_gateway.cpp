@@ -1,0 +1,120 @@
+// Gateway service benchmark: closed-loop clients driving the replicated KV
+// service over real localhost TCP — the end-to-end path a deployment sees:
+// client socket -> GatewayServer -> session admission -> TO-broadcast ->
+// delivery/execution on every replica -> response routing back to the
+// owning connection.
+//
+// Each row sweeps the closed-loop client count (sessions spread round-robin
+// across the replicas); requests/s and client-observed latency percentiles
+// come from the ClientDriver, and the gateway/engine/transport counters
+// attached to each row show *how* the number was reached (dedupe hits,
+// admission rejections, pooled records, syscalls per frame). Host-dependent
+// like bench_tcp_ring: loopback is much faster than the paper's testbed, so
+// treat absolute numbers as implementation cost, not protocol ceilings.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "gateway/client_driver.h"
+#include "gateway/tcp_gateway.h"
+
+namespace {
+
+using namespace fsr;
+
+constexpr std::size_t kNodes = 3;
+constexpr std::size_t kValueBytes = 64;
+
+struct GatewayBenchResult {
+  DriverReport report;
+  GatewayCounters gateway;
+  EngineCounters engine;
+  TransportCounters transport;
+};
+
+GatewayBenchResult run_gateway_bench(std::size_t clients,
+                                     std::size_t requests_per_client) {
+  TcpGatewayClusterConfig cfg;
+  cfg.n = kNodes;
+  cfg.group.engine.t = 1;
+  // Same loopback tuning as bench_tcp_ring: pack payloads and hold acks
+  // briefly so per-frame costs amortize at socket speed.
+  cfg.group.engine.max_payloads_per_frame = 8;
+  cfg.group.engine.ack_flush_delay = 50 * kMicrosecond;
+  TcpGatewayCluster gc(cfg);
+
+  DriverOptions opt;
+  opt.endpoints = gc.endpoints();
+  opt.clients = clients;
+  opt.requests_per_client = requests_per_client;
+  opt.value_bytes = kValueBytes;
+
+  GatewayBenchResult r;
+  r.report = run_client_driver(opt);
+  r.gateway = gc.gateway_counters();
+  r.engine = gc.cluster().engine_counters();
+  r.transport = gc.cluster().counters();
+  return r;
+}
+
+void BM_Gateway(benchmark::State& state) {
+  auto clients = static_cast<std::size_t>(state.range(0));
+  GatewayBenchResult r;
+  for (auto _ : state) r = run_gateway_bench(clients, 200);
+  state.counters["req_per_s"] = r.report.requests_per_sec;
+  state.counters["p50_ms"] = r.report.p50_ms;
+  state.counters["p99_ms"] = r.report.p99_ms;
+  state.counters["failures"] = static_cast<double>(r.report.failures);
+}
+BENCHMARK(BM_Gateway)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  fsr::bench::JsonReport report("gateway");
+  report.config("nodes", std::uint64_t{kNodes})
+      .config("value_bytes", std::uint64_t{kValueBytes})
+      .config("workload", "closed-loop PUT, sessions round-robin over replicas");
+
+  fsr::bench::print_header(
+      "Gateway service over real TCP (closed-loop clients; host-dependent)",
+      {"clients", "requests", "req/s", "p50 ms", "p99 ms", "mean ms", "dupes",
+       "rejects"});
+  for (std::size_t clients : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    // Keep total work roughly even across rows so each runs long enough to
+    // measure without the 16-client row dominating wall time.
+    std::size_t per_client = clients == 1 ? 2000 : (clients == 4 ? 1000 : 400);
+    GatewayBenchResult r = run_gateway_bench(clients, per_client);
+    std::uint64_t rejects = r.gateway.rejected_window + r.gateway.rejected_bytes;
+    fsr::bench::print_row(
+        {std::to_string(clients), std::to_string(r.report.requests),
+         fsr::bench::fmt(r.report.requests_per_sec, 0),
+         fsr::bench::fmt(r.report.p50_ms, 3), fsr::bench::fmt(r.report.p99_ms, 3),
+         fsr::bench::fmt(r.report.mean_ms, 3),
+         std::to_string(r.report.duplicates), std::to_string(rejects)});
+    auto& row = report.add_row();
+    row.num("clients", static_cast<std::uint64_t>(clients))
+        .num("requests_per_client", static_cast<std::uint64_t>(per_client))
+        .num("requests", r.report.requests)
+        .num("failures", r.report.failures)
+        .num("requests_per_sec", r.report.requests_per_sec)
+        .num("p50_ms", r.report.p50_ms)
+        .num("p99_ms", r.report.p99_ms)
+        .num("mean_ms", r.report.mean_ms)
+        .num("max_ms", r.report.max_ms)
+        .num("duplicate_replies", r.report.duplicates)
+        .num("client_reconnects", r.report.reconnects);
+    fsr::bench::add_gateway_counters(row, r.gateway);
+    fsr::bench::add_engine_counters(row, r.engine);
+    fsr::bench::add_counters(row, r.transport);
+  }
+  report.write();
+  return 0;
+}

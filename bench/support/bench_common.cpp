@@ -285,4 +285,21 @@ void add_engine_counters(JsonReport::Row& row, const EngineCounters& c) {
       .num("eng_reassembly_bytes", c.reassembly_bytes);
 }
 
+void add_gateway_counters(JsonReport::Row& row, const GatewayCounters& c) {
+  row.num("gw_requests", c.requests)
+      .num("gw_reads", c.reads)
+      .num("gw_admitted", c.admitted)
+      .num("gw_queued", c.queued)
+      .num("gw_duplicate_hits", c.duplicate_hits)
+      .num("gw_duplicate_applies_suppressed", c.duplicate_applies_suppressed)
+      .num("gw_rejected_window", c.rejected_window)
+      .num("gw_rejected_bytes", c.rejected_bytes)
+      .num("gw_rejected_malformed", c.rejected_malformed)
+      .num("gw_envelope_gaps", c.envelope_gaps)
+      .num("gw_commands_applied", c.commands_applied)
+      .num("gw_replies_sent", c.replies_sent)
+      .num("gw_reply_cache_evictions", c.reply_cache_evictions)
+      .num("gw_admitted_bytes_total", c.admitted_bytes_total);
+}
+
 }  // namespace fsr::bench

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "checker/trace_lint.h"
+#include "gateway/gateway.h"
 #include "harness/sim_cluster.h"
 
 namespace fsr::bench {
@@ -102,5 +103,9 @@ void add_counters(JsonReport::Row& row, const TransportCounters& c);
 /// Attach an engine-counter snapshot (window pooling, piggybacking, payload
 /// copy discipline) to a report row, keys prefixed "eng_".
 void add_engine_counters(JsonReport::Row& row, const EngineCounters& c);
+
+/// Attach a gateway-counter snapshot (sessions, dedupe, admission control)
+/// to a report row, keys prefixed "gw_".
+void add_gateway_counters(JsonReport::Row& row, const GatewayCounters& c);
 
 }  // namespace fsr::bench

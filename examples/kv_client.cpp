@@ -1,0 +1,175 @@
+// A session client for the replicated KV service. Point it at the gateway
+// ports of the example_kv_server replicas (any subset — it fails over):
+//
+//   $ ./example_kv_client 127.0.0.1:9100 127.0.0.1:9101 127.0.0.1:9102
+//   > put user:42 alice
+//   OK
+//   > get user:42
+//   alice
+//   > cas user:42 alice bob
+//   OK
+//
+// Commands: put <key> <value> | get <key> | cas <key> <old> <new> | quit.
+// Kill the server the client is connected to mid-stream: the retry goes
+// through another replica and still executes exactly once.
+//
+//   --demo    instead of reading stdin, run a self-contained demonstration:
+//             spin up a 3-replica TcpGatewayCluster in-process, drive a
+//             chained-CAS session through it, crash the client's replica
+//             mid-chain, and verify exactly-once execution on the
+//             survivors. Exits nonzero on violation (used by the tests).
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "app/kv_store.h"
+#include "common/log.h"
+#include "gateway/client_driver.h"
+#include "gateway/tcp_gateway.h"
+
+using namespace fsr;
+
+namespace {
+
+bool parse_addr(const std::string& s, GatewayEndpoint& ep) {
+  auto colon = s.rfind(':');
+  if (colon == std::string::npos) return false;
+  ep.host = s.substr(0, colon);
+  ep.port = static_cast<std::uint16_t>(std::stoi(s.substr(colon + 1)));
+  return true;
+}
+
+int run_repl(std::vector<GatewayEndpoint> endpoints) {
+  GatewayClient::Options opt;
+  opt.client_id = static_cast<std::uint64_t>(::getpid());
+  opt.endpoints = std::move(endpoints);
+  GatewayClient client(opt);
+
+  std::string line;
+  std::printf("> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd, key, a, b;
+    in >> cmd;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "put" && (in >> key) && std::getline(in >> std::ws, a)) {
+      auto r = client.call(KvStore::encode_put(key, a));
+      std::printf("%s\n", r.ok ? std::string(r.reply.begin(), r.reply.end()).c_str()
+                               : "ERROR: no reply");
+    } else if (cmd == "cas" && (in >> key >> a >> b)) {
+      auto r = client.call(KvStore::encode_cas(key, a, b));
+      std::printf("%s\n", r.ok ? std::string(r.reply.begin(), r.reply.end()).c_str()
+                               : "ERROR: no reply");
+    } else if (cmd == "get" && (in >> key)) {
+      auto reply = client.read(KvStore::encode_get(key));
+      if (!reply) {
+        std::printf("ERROR: no reply\n");
+      } else if (auto val = KvStore::decode_get_reply(*reply)) {
+        std::printf("%s\n", val->c_str());
+      } else {
+        std::printf("(not found)\n");
+      }
+    } else if (!cmd.empty()) {
+      std::printf("?  put <k> <v> | get <k> | cas <k> <old> <new> | quit\n");
+    }
+    std::printf("> ");
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+int run_demo() {
+  std::printf("== demo: 3-replica KV service over real TCP ==\n");
+  TcpGatewayClusterConfig cfg;
+  cfg.n = 3;
+  cfg.group.engine.t = 1;
+  TcpGatewayCluster gc(cfg);
+
+  GatewayClient::Options opt;
+  opt.client_id = 7;
+  opt.endpoints = gc.endpoints();
+  GatewayClient client(opt);
+
+  // A chained CAS is the sharpest exactly-once oracle: if any retry were
+  // re-executed, the second application would see a stale expected value
+  // and the store's failed-CAS counter would trip.
+  const int kChain = 60;
+  auto r = client.call(KvStore::encode_put("x", "0"));
+  if (!r.ok || r.status != ClientStatus::kOk) return 1;
+  for (int i = 0; i < kChain; ++i) {
+    if (i == kChain / 3) {
+      std::printf("   !! crashing the client's replica mid-chain\n");
+      gc.crash(static_cast<NodeId>(client.endpoint_index()));
+    }
+    r = client.call(KvStore::encode_cas("x", std::to_string(i), std::to_string(i + 1)));
+    if (!r.ok || r.status != ClientStatus::kOk) {
+      std::printf("   chain broke at step %d\n", i);
+      return 1;
+    }
+  }
+  auto final_val = client.read(KvStore::encode_get("x"));
+  std::printf("   chain done: x=%s, reconnects=%zu, duplicate replies=%llu\n",
+              final_val ? KvStore::decode_get_reply(*final_val)
+                              .value_or("?")
+                              .c_str()
+                        : "?",
+              client.reconnects(),
+              static_cast<unsigned long long>(client.duplicates_observed()));
+
+  // Let the survivors drain, then check convergence + exactly-once.
+  std::vector<std::uint64_t> fps;
+  for (int tries = 0; tries < 100; ++tries) {
+    fps = gc.fingerprints();
+    bool equal = true;
+    for (auto fp : fps) equal = equal && fp == fps[0];
+    if (equal && fps.size() == 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  bool identical = fps.size() == 2 && fps[0] == fps[1];
+  bool exactly_once = gc.total_failed_cas() == 0;
+  std::string err = gc.check_invariants();
+  std::printf("survivors identical: %s | exactly-once (no failed CAS): %s | "
+              "invariants: %s\n",
+              identical ? "YES" : "NO", exactly_once ? "YES" : "NO",
+              err.empty() ? "OK" : err.c_str());
+  bool value_ok = final_val &&
+                  KvStore::decode_get_reply(*final_val) == std::to_string(kChain);
+  return (identical && exactly_once && value_ok && err.empty()) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  std::vector<GatewayEndpoint> endpoints;
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+      continue;
+    }
+    GatewayEndpoint ep;
+    if (!parse_addr(argv[i], ep)) {
+      std::fprintf(stderr, "bad endpoint: %s\n", argv[i]);
+      return 2;
+    }
+    endpoints.push_back(ep);
+  }
+  if (demo) return run_demo();
+  if (endpoints.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--demo] <host:port> [<host:port> ...]\n"
+                 "       endpoints are example_kv_server client ports\n",
+                 argv[0]);
+    return 2;
+  }
+  return run_repl(endpoints);
+}

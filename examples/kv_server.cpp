@@ -1,0 +1,111 @@
+// One replica of the replicated KV service, as a deployable OS process:
+// FSR group member over real TCP on the ring side, a client-facing gateway
+// port on the front. Run one per cluster member, then point
+// example_kv_client at the client ports:
+//
+//   $ ./example_kv_server 0 9100 127.0.0.1:7000 127.0.0.1:7001 127.0.0.1:7002
+//   $ ./example_kv_server 1 9101 127.0.0.1:7000 127.0.0.1:7001 127.0.0.1:7002
+//   $ ./example_kv_server 2 9102 127.0.0.1:7000 127.0.0.1:7001 127.0.0.1:7002
+//   $ ./example_kv_client 127.0.0.1:9100 127.0.0.1:9101 127.0.0.1:9102
+//
+// argv[1] is this process's index into the ring address list, argv[2] the
+// local gateway (client) port. Every client command is TO-broadcast as a
+// session envelope and applied on all replicas; kill any one server and
+// connected clients fail over with no lost or duplicated commands.
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "app/kv_store.h"
+#include "common/log.h"
+#include "gateway/tcp_gateway.h"
+#include "transport/tcp_transport.h"
+#include "vsc/group.h"
+
+using namespace fsr;
+
+namespace {
+
+bool parse_addr(const std::string& s, std::string& host, std::uint16_t& port) {
+  auto colon = s.rfind(':');
+  if (colon == std::string::npos) return false;
+  host = s.substr(0, colon);
+  port = static_cast<std::uint16_t>(std::stoi(s.substr(colon + 1)));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr,
+                 "usage: %s <self-index> <client-port> <host:port> <host:port> ...\n"
+                 "       the address list defines the ring; self-index picks ours\n",
+                 argv[0]);
+    return 2;
+  }
+
+  auto self = static_cast<NodeId>(std::stoul(argv[1]));
+  auto client_port = static_cast<std::uint16_t>(std::stoi(argv[2]));
+
+  TcpConfig tcp;
+  tcp.self = self;
+  View initial;
+  initial.id = 1;
+  for (int i = 3; i < argc; ++i) {
+    TcpPeer peer;
+    peer.id = static_cast<NodeId>(i - 3);
+    if (!parse_addr(argv[i], peer.host, peer.port)) {
+      std::fprintf(stderr, "bad address: %s\n", argv[i]);
+      return 2;
+    }
+    tcp.peers.push_back(peer);
+    initial.members.push_back(peer.id);
+  }
+  if (self >= initial.members.size()) {
+    std::fprintf(stderr, "self-index %u out of range\n", self);
+    return 2;
+  }
+
+  set_log_level(LogLevel::kInfo);
+  TcpTransport transport(tcp);
+
+  GroupConfig group;
+  group.engine.t = 1;
+  group.heartbeat_interval = 200 * kMillisecond;
+  group.heartbeat_timeout = 2 * kSecond;
+
+  KvStore store;
+  // The gateway is wired up after the member (its constructor needs the
+  // member), so the delivery callback reaches it through this pointer. The
+  // callback runs on the transport I/O thread — the same thread the
+  // GatewayServer marshals client messages onto, so the gateway itself
+  // stays single-threaded.
+  Gateway* gw = nullptr;
+  GroupMember member(
+      transport, group, initial,
+      [&gw, &store](const Delivery& d) {
+        if (gw) gw->on_delivery(d);
+        else store.apply(d.origin, d.payload);
+      },
+      [](const View& v) {
+        std::printf("-- new %s --\n", to_string(v).c_str());
+        std::fflush(stdout);
+      });
+  Gateway gateway(member, store, GatewayConfig{});
+  gw = &gateway;
+
+  transport.start();
+  GatewayServer server(transport, gateway);
+  server.start(client_port);
+  std::printf("replica %u up: ring %s, clients on 127.0.0.1:%u. Ctrl-C to stop.\n",
+              self, argv[self + 3], server.port());
+  std::fflush(stdout);
+
+  // Serve until killed; the protocol side runs entirely on the transport
+  // I/O thread and the gateway server's accept/reader threads.
+  for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+}

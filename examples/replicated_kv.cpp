@@ -1,70 +1,101 @@
 // A replicated key-value store on FSR (state-machine replication, the
-// application class the paper motivates): five replicas, clients writing
-// through different replicas, concurrent compare-and-swap races, and a
-// leader crash in the middle — the survivors stay bit-for-bit identical.
+// application class the paper motivates), now served through the client
+// gateway: five replicas, client *sessions* writing through different
+// replicas, a CAS race settled by total order, and a leader crash in the
+// middle of a session's bulk stream — the client retries through a
+// different replica and every `bulk:*` command still applies exactly once
+// on every survivor.
 //
 //   $ ./example_replicated_kv
 #include <cstdio>
 #include <string>
-#include <vector>
 
 #include "app/kv_store.h"
-#include "harness/sim_cluster.h"
+#include "gateway/sim_gateway.h"
 
 using namespace fsr;
 
 int main() {
-  ClusterConfig cfg;
-  cfg.n = 5;
-  cfg.group.engine.t = 2;  // survive two crashes
+  SimGatewayConfig cfg;
+  cfg.cluster.n = 5;
+  cfg.cluster.group.engine.t = 2;  // survive two crashes
 
-  SimCluster cluster(cfg);
-  std::vector<KvStore> replicas(cfg.n);
-  cluster.set_delivery_tap([&](NodeId node, const Delivery& d) {
-    replicas[node].apply(d.origin, d.payload);
-  });
+  SimGatewayCluster gc(cfg);
 
-  std::printf("== phase 1: writes through different replicas ==\n");
-  cluster.broadcast(1, KvStore::encode_put("user:42", "alice"));
-  cluster.broadcast(3, KvStore::encode_put("user:43", "bob"));
-  cluster.broadcast(4, KvStore::encode_put("config", "v1"));
-  cluster.sim().run();
+  std::printf("== phase 1: sessions writing through different replicas ==\n");
+  SimClient::Options o1;
+  o1.client_id = 1;
+  o1.replica = 0;  // owned by the node we crash in phase 3
+  SimClient alice(gc, o1);
+  SimClient::Options o2;
+  o2.client_id = 2;
+  o2.replica = 3;
+  SimClient bob(gc, o2);
 
-  std::printf("== phase 2: five replicas race a CAS on the same key ==\n");
-  cluster.broadcast(0, KvStore::encode_put("lease", "free"));
-  cluster.sim().run();
-  for (NodeId n = 0; n < 5; ++n) {
-    cluster.broadcast(n, KvStore::encode_cas("lease", "free", "held-by-" + std::to_string(n)));
-  }
-  cluster.sim().run();
+  alice.submit(KvStore::encode_put("user:42", "alice"));
+  bob.submit(KvStore::encode_put("user:43", "bob"));
+  bob.submit(KvStore::encode_put("config", "v1"));
+  gc.sim().run();
+
+  std::printf("== phase 2: two sessions race a CAS on the same key ==\n");
+  alice.submit(KvStore::encode_put("lease", "free"));
+  gc.sim().run();
+  alice.submit(KvStore::encode_cas("lease", "free", "held-by-alice"));
+  bob.submit(KvStore::encode_cas("lease", "free", "held-by-bob"));
+  gc.sim().run();
   std::printf("   lease winner (agreed by all): %s\n",
-              replicas[0].get("lease")->c_str());
+              gc.store(1).get("lease")->c_str());
 
-  std::printf("== phase 3: crash the leader mid-stream ==\n");
-  for (int i = 0; i < 20; ++i) {
-    cluster.broadcast(2, KvStore::encode_put("bulk:" + std::to_string(i), "x"));
+  std::printf("== phase 3: crash the sequencer mid-session ==\n");
+  // Node 0 both sequences the ring and owns Alice's connection. Crashing it
+  // mid-stream forces her to fail over to a surviving replica and re-send
+  // anything unanswered; the replicated session table guarantees each
+  // bulk:N still applies exactly once — a retry of an already-executed
+  // command is answered from the reply cache, never re-applied.
+  const int kBulk = 20;
+  for (int i = 0; i < kBulk; ++i) {
+    alice.submit(KvStore::encode_put("bulk:" + std::to_string(i), "x"));
   }
-  cluster.sim().schedule(5 * kMillisecond, [&] {
+  gc.sim().schedule(5 * kMillisecond, [&] {
     std::printf("   !! crashing node 0 (the sequencer)\n");
-    cluster.crash(0);
+    gc.crash(0);
   });
-  cluster.sim().run();
-  cluster.broadcast(1, KvStore::encode_put("after-crash", "still-working"));
-  cluster.sim().run();
+  gc.sim().run();
+  alice.submit(KvStore::encode_put("after-crash", "still-working"));
+  gc.sim().run();
 
   std::printf("\nreplica fingerprints (survivors):\n");
   for (NodeId n = 1; n < 5; ++n) {
     std::printf("  replica %u: %016llx  (%zu keys, %llu commands)\n", n,
-                static_cast<unsigned long long>(replicas[n].fingerprint()),
-                replicas[n].size(),
-                static_cast<unsigned long long>(replicas[n].applied_commands()));
+                static_cast<unsigned long long>(gc.store(n).fingerprint()),
+                gc.store(n).size(),
+                static_cast<unsigned long long>(gc.store(n).applied_commands()));
   }
-  bool identical = true;
-  for (NodeId n = 2; n < 5; ++n) {
-    identical = identical && replicas[n].fingerprint() == replicas[1].fingerprint();
+
+  // Exactly-once, checked three ways: the survivors are bit-identical, the
+  // command count matches the number of *distinct* commands the sessions
+  // issued (a duplicated bulk:N would inflate it), and the protocol
+  // invariants hold.
+  bool identical = gc.check_replicas_converged().empty();
+  const std::uint64_t distinct_commands =
+      3       // phase 1 puts
+      + 3     // phase 2: lease put + two CAS
+      + kBulk // phase 3 bulk stream
+      + 1;    // after-crash
+  bool exactly_once = true;
+  for (NodeId n = 1; n < 5; ++n) {
+    exactly_once = exactly_once &&
+                   gc.store(n).applied_commands() == distinct_commands;
   }
-  std::string err = cluster.check_all();
-  std::printf("\nreplicas identical: %s | protocol invariants: %s\n",
-              identical ? "YES" : "NO", err.empty() ? "OK" : err.c_str());
-  return (identical && err.empty()) ? 0 : 1;
+  bool sessions_ok = alice.gave_up() == 0 && bob.gave_up() == 0 &&
+                     alice.idle() && bob.idle();
+  GatewayCounters counters = gc.gateway_counters();
+  std::printf("\nsession retries answered from the reply cache: %llu\n",
+              static_cast<unsigned long long>(counters.duplicate_hits +
+                                              counters.duplicate_applies_suppressed));
+  std::string err = gc.cluster().check_all();
+  std::printf("replicas identical: %s | exactly-once: %s | invariants: %s\n",
+              identical ? "YES" : "NO", exactly_once ? "YES" : "NO",
+              err.empty() ? "OK" : err.c_str());
+  return (identical && exactly_once && sessions_ok && err.empty()) ? 0 : 1;
 }

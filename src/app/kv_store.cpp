@@ -27,7 +27,28 @@ Bytes KvStore::encode_cas(std::string_view key, std::string_view expected,
   return encode(Op::kCas, {key, expected, value});
 }
 
-void KvStore::apply(NodeId, std::span<const std::uint8_t> command) {
+namespace {
+
+Bytes reply_str(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+}  // namespace
+
+Bytes KvStore::encode_get(std::string_view key) {
+  ByteWriter w;
+  w.str(key);
+  return w.take();
+}
+
+std::optional<std::string> KvStore::decode_get_reply(std::span<const std::uint8_t> reply) {
+  if (reply.empty() || reply[0] != '=') return std::nullopt;
+  return std::string(reply.begin() + 1, reply.end());
+}
+
+void KvStore::apply(NodeId origin, std::span<const std::uint8_t> command) {
+  apply_with_reply(origin, command);
+}
+
+Bytes KvStore::apply_with_reply(NodeId, std::span<const std::uint8_t> command) {
   try {
     ByteReader r(command);
     auto op = static_cast<Op>(r.u8());
@@ -36,31 +57,50 @@ void KvStore::apply(NodeId, std::span<const std::uint8_t> command) {
         std::string key = r.str();
         std::string value = r.str();
         data_[key] = std::move(value);
-        break;
+        ++applied_;
+        return reply_str("OK");
       }
       case Op::kDel: {
         data_.erase(r.str());
-        break;
+        ++applied_;
+        return reply_str("OK");
       }
       case Op::kCas: {
         std::string key = r.str();
         std::string expected = r.str();
         std::string value = r.str();
         auto it = data_.find(key);
+        ++applied_;
         if (it != data_.end() && it->second == expected) {
           it->second = std::move(value);
-        } else {
-          ++failed_cas_;
+          return reply_str("OK");
         }
-        break;
+        ++failed_cas_;
+        return reply_str("FAIL");
       }
       default:
         FSR_WARN("kv: unknown opcode %u ignored", static_cast<unsigned>(op));
-        return;
+        return reply_str("ERR");
     }
-    ++applied_;
   } catch (const CodecError& e) {
     FSR_WARN("kv: malformed command ignored: %s", e.what());
+    return reply_str("ERR");
+  }
+}
+
+Bytes KvStore::query(std::span<const std::uint8_t> q) const {
+  try {
+    ByteReader r(q);
+    std::string key = r.str();
+    auto it = data_.find(key);
+    if (it == data_.end()) return reply_str("!");
+    Bytes out;
+    out.reserve(it->second.size() + 1);
+    out.push_back('=');
+    out.insert(out.end(), it->second.begin(), it->second.end());
+    return out;
+  } catch (const CodecError&) {
+    return reply_str("?");
   }
 }
 

@@ -22,8 +22,18 @@ class KvStore final : public StateMachine {
   static Bytes encode_cas(std::string_view key, std::string_view expected,
                           std::string_view value);
 
+  /// Read-only query encoding (answered locally via query(), never
+  /// broadcast) and its reply decoding: "=<value>" when present, "!" when
+  /// absent, "?" on a malformed query.
+  static Bytes encode_get(std::string_view key);
+  static std::optional<std::string> decode_get_reply(std::span<const std::uint8_t> reply);
+
   // --- StateMachine ---
   void apply(NodeId origin, std::span<const std::uint8_t> command) override;
+  /// Replies: "OK" for put/del and a successful CAS, "FAIL" for a lost CAS
+  /// (ordering made visible to the client), "ERR" for malformed commands.
+  Bytes apply_with_reply(NodeId origin, std::span<const std::uint8_t> command) override;
+  Bytes query(std::span<const std::uint8_t> q) const override;
   std::uint64_t fingerprint() const override;
 
   // --- local (read-only) queries ---

@@ -24,6 +24,23 @@ class StateMachine {
   /// outlive the call.
   virtual void apply(NodeId origin, std::span<const std::uint8_t> command) = 0;
 
+  /// Apply a command and produce a client-visible reply (the gateway caches
+  /// it per session for exactly-once retries, so it too must be a
+  /// deterministic function of state + command). Defaults to apply() with
+  /// an empty reply for machines without a reply vocabulary.
+  virtual Bytes apply_with_reply(NodeId origin, std::span<const std::uint8_t> command) {
+    apply(origin, command);
+    return {};
+  }
+
+  /// Answer a read-only query from local state, without broadcasting (the
+  /// paper's footnote 1: reads need not be totally ordered). Must not
+  /// mutate state. Default: no query vocabulary, empty answer.
+  virtual Bytes query(std::span<const std::uint8_t> q) const {
+    (void)q;
+    return {};
+  }
+
   /// A digest of the full state; equal digests <=> equal replicas.
   virtual std::uint64_t fingerprint() const = 0;
 };

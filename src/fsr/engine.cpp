@@ -53,10 +53,9 @@ void Engine::store_record(SeqRecord rec) {
 
 // --- application API ---
 
-void Engine::broadcast(Bytes payload) {
+void Engine::broadcast(Payload whole) {
   std::uint64_t app = next_app_id_++;
   // Segmentation is zero-copy: one refcounted buffer, aliasing sub-views.
-  Payload whole = make_payload(std::move(payload));
   std::uint32_t count = segment_count(whole.size(), cfg_.segment_size);
   for (std::uint32_t i = 0; i < count; ++i) {
     auto [off, len] = segment_bounds(whole.size(), cfg_.segment_size, i);

@@ -155,7 +155,12 @@ class Engine {
 
   /// TO-broadcast a payload to the group. Never blocks; segments are queued
   /// under the flow-control window.
-  void broadcast(Bytes payload);
+  void broadcast(Bytes payload) { broadcast(make_payload(std::move(payload))); }
+
+  /// Zero-copy variant: the payload view (e.g. a gateway request aliasing a
+  /// client connection's receive buffer) is segmented into aliasing
+  /// sub-views and never copied on the way into the ring.
+  void broadcast(Payload payload);
 
   /// Own application messages accepted but not yet delivered locally.
   std::size_t pending_own() const { return pending_own_; }

@@ -1,0 +1,231 @@
+#include "gateway/client_driver.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "app/kv_store.h"
+#include "common/log.h"
+
+namespace fsr {
+
+GatewayClient::GatewayClient(Options opt) : opt_(std::move(opt)) {
+  endpoint_ = opt_.endpoints.empty() ? 0 : opt_.start_index % opt_.endpoints.size();
+}
+
+GatewayClient::~GatewayClient() { disconnect(); }
+
+void GatewayClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void GatewayClient::next_endpoint() {
+  disconnect();
+  if (!opt_.endpoints.empty()) endpoint_ = (endpoint_ + 1) % opt_.endpoints.size();
+}
+
+bool GatewayClient::ensure_connected() {
+  if (fd_ >= 0) return true;
+  if (opt_.endpoints.empty()) return false;
+  const GatewayEndpoint& ep = opt_.endpoints[endpoint_];
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(opt_.recv_timeout / kSecond);
+  tv.tv_usec = static_cast<suseconds_t>((opt_.recv_timeout % kSecond) / 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  fd_ = fd;
+  ++reconnects_;
+  return true;
+}
+
+std::optional<ClientReply> GatewayClient::await_reply(std::uint64_t seq) {
+  for (;;) {
+    auto frame = gateway_read_frame(fd_);
+    if (!frame) return std::nullopt;  // timeout, EOF, or garbage
+    for (auto& msg : frame->msgs) {
+      if (auto* r = std::get_if<ClientReply>(&msg)) {
+        if (r->client_id == opt_.client_id && r->session_seq == seq) return *r;
+        // Stale reply for an earlier seq (e.g. a retransmit answered twice)
+        // or a hello ack: skip and keep waiting.
+      }
+    }
+  }
+}
+
+GatewayClient::Result GatewayClient::call(const Bytes& command) {
+  Result res;
+  const std::uint64_t seq = next_seq_++;
+  ClientRequest req;
+  req.client_id = opt_.client_id;
+  req.session_seq = seq;
+  req.envelope = make_payload(encode_envelope(opt_.client_id, seq, command));
+  req.command = parse_envelope(req.envelope)->command;
+
+  while (res.attempts < opt_.max_attempts) {
+    ++res.attempts;
+    if (!ensure_connected()) {
+      next_endpoint();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    ClientFrame frame;
+    frame.msgs.emplace_back(req);
+    if (!gateway_write_frame(fd_, frame)) {
+      next_endpoint();
+      continue;
+    }
+    auto reply = await_reply(seq);
+    if (!reply) {
+      // Timeout or reset: the replica may have crashed after admitting the
+      // command. Retry through the next replica; the session layer dedupes.
+      next_endpoint();
+      continue;
+    }
+    if (reply->duplicate) ++duplicates_;
+    switch (reply->status) {
+      case ClientStatus::kOk:
+      case ClientStatus::kBadRequest:
+        res.ok = true;
+        res.status = reply->status;
+        res.duplicate = reply->duplicate;
+        res.reply = Bytes(reply->reply.begin(), reply->reply.end());
+        return res;
+      case ClientStatus::kRejectedWindow:
+      case ClientStatus::kRejectedBytes:
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(opt_.reject_backoff));
+        continue;  // same replica; backpressure drains
+      case ClientStatus::kNotMember:
+        next_endpoint();
+        continue;
+    }
+  }
+  return res;
+}
+
+std::optional<Bytes> GatewayClient::read(const Bytes& query) {
+  for (std::size_t attempt = 0; attempt < opt_.max_attempts; ++attempt) {
+    if (!ensure_connected()) {
+      next_endpoint();
+      continue;
+    }
+    ClientRead rd;
+    rd.client_id = opt_.client_id;
+    // Reads are matched by read_seq but must NOT consume the session's
+    // command seq namespace — the gateway's gap check would reject the
+    // next command. A disjoint high range keeps reply matching unambiguous.
+    rd.read_seq = next_read_seq_++;
+    rd.query = make_payload(Bytes(query));
+    ClientFrame frame;
+    frame.msgs.emplace_back(std::move(rd));
+    if (!gateway_write_frame(fd_, frame)) {
+      next_endpoint();
+      continue;
+    }
+    auto reply = await_reply(next_read_seq_ - 1);
+    if (!reply) {
+      next_endpoint();
+      continue;
+    }
+    return Bytes(reply->reply.begin(), reply->reply.end());
+  }
+  return std::nullopt;
+}
+
+DriverReport run_client_driver(const DriverOptions& opt) {
+  struct PerClient {
+    std::vector<double> latencies_ms;
+    std::uint64_t ok = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t reconnects = 0;
+  };
+  std::vector<PerClient> results(opt.clients);
+  std::vector<std::thread> threads;
+  threads.reserve(opt.clients);
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < opt.clients; ++c) {
+    threads.emplace_back([&, c] {
+      GatewayClient::Options copt;
+      copt.client_id = opt.first_client_id + c;
+      copt.endpoints = opt.endpoints;
+      copt.start_index = c;  // spread sessions across replicas
+      copt.recv_timeout = opt.recv_timeout;
+      copt.max_attempts = opt.max_attempts;
+      GatewayClient client(copt);
+      PerClient& out = results[c];
+      out.latencies_ms.reserve(opt.requests_per_client);
+      const std::string value(opt.value_bytes, 'v');
+      for (std::size_t i = 0; i < opt.requests_per_client; ++i) {
+        Bytes cmd = KvStore::encode_put(
+            "c" + std::to_string(c) + ":k" + std::to_string(i % 64), value);
+        auto s = std::chrono::steady_clock::now();
+        auto res = client.call(cmd);
+        auto e = std::chrono::steady_clock::now();
+        if (res.ok && res.status == ClientStatus::kOk) {
+          ++out.ok;
+          out.latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(e - s).count());
+        } else {
+          ++out.failures;
+        }
+      }
+      out.duplicates = client.duplicates_observed();
+      out.reconnects = client.reconnects();
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto t1 = std::chrono::steady_clock::now();
+
+  DriverReport rep;
+  std::vector<double> all;
+  for (const auto& r : results) {
+    rep.requests += r.ok;
+    rep.failures += r.failures;
+    rep.duplicates += r.duplicates;
+    rep.reconnects += r.reconnects;
+    all.insert(all.end(), r.latencies_ms.begin(), r.latencies_ms.end());
+  }
+  rep.elapsed_sec = std::chrono::duration<double>(t1 - t0).count();
+  rep.requests_per_sec =
+      rep.elapsed_sec > 0 ? double(rep.requests) / rep.elapsed_sec : 0;
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    auto pct = [&](double p) {
+      std::size_t idx = static_cast<std::size_t>(p * double(all.size() - 1));
+      return all[idx];
+    };
+    rep.p50_ms = pct(0.50);
+    rep.p99_ms = pct(0.99);
+    rep.max_ms = all.back();
+    double sum = 0;
+    for (double v : all) sum += v;
+    rep.mean_ms = sum / double(all.size());
+  }
+  return rep;
+}
+
+}  // namespace fsr

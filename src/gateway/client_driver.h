@@ -1,0 +1,100 @@
+// Client-side library for the gateway service: a synchronous session client
+// (exactly-once retries, endpoint failover) and a closed-loop multi-
+// connection load generator for the gateway benchmark.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gateway/tcp_gateway.h"
+
+namespace fsr {
+
+/// One client session over TCP. Blocking, single-threaded: call() sends one
+/// command and waits for its reply, retrying through timeouts, rejections
+/// and connection resets — including reconnecting to a different replica —
+/// while the session protocol guarantees the command executes exactly once.
+class GatewayClient {
+ public:
+  struct Options {
+    std::uint64_t client_id = 1;
+    std::vector<GatewayEndpoint> endpoints;
+    std::size_t start_index = 0;        ///< initial endpoint (spread load)
+    Time recv_timeout = kSecond;        ///< per-attempt reply wait
+    std::size_t max_attempts = 30;      ///< per command
+    Time reject_backoff = 5 * kMillisecond;  ///< wait after backpressure
+  };
+
+  struct Result {
+    bool ok = false;  ///< a definitive reply arrived (status tells which)
+    ClientStatus status = ClientStatus::kBadRequest;
+    bool duplicate = false;  ///< served from the replicated reply cache
+    Bytes reply;
+    std::size_t attempts = 0;
+  };
+
+  explicit GatewayClient(Options opt);
+  ~GatewayClient();
+
+  GatewayClient(const GatewayClient&) = delete;
+  GatewayClient& operator=(const GatewayClient&) = delete;
+
+  /// Execute one replicated command (blocks until a definitive reply or
+  /// attempts run out).
+  Result call(const Bytes& command);
+
+  /// Local read on the currently connected replica (no broadcast).
+  std::optional<Bytes> read(const Bytes& query);
+
+  std::size_t reconnects() const { return reconnects_; }
+  std::uint64_t duplicates_observed() const { return duplicates_; }
+  std::size_t endpoint_index() const { return endpoint_; }
+
+ private:
+  bool ensure_connected();
+  void disconnect();
+  void next_endpoint();
+  /// Wait for the reply matching (client_id, seq); nullopt on timeout or
+  /// connection loss.
+  std::optional<ClientReply> await_reply(std::uint64_t seq);
+
+  Options opt_;
+  int fd_ = -1;
+  std::size_t endpoint_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_read_seq_ = std::uint64_t{1} << 63;  ///< disjoint from commands
+  std::size_t reconnects_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+/// Closed-loop load generator: `clients` concurrent sessions (one thread +
+/// one connection each, spread round-robin across the endpoints), each
+/// issuing `requests_per_client` PUTs back to back.
+struct DriverOptions {
+  std::vector<GatewayEndpoint> endpoints;
+  std::size_t clients = 4;
+  std::size_t requests_per_client = 1000;
+  std::size_t value_bytes = 64;
+  std::uint64_t first_client_id = 1000;
+  Time recv_timeout = kSecond;
+  std::size_t max_attempts = 30;
+};
+
+struct DriverReport {
+  std::uint64_t requests = 0;   ///< definitive kOk replies
+  std::uint64_t failures = 0;   ///< gave up or non-kOk definitive status
+  std::uint64_t duplicates = 0;  ///< replies served from the dedupe cache
+  std::uint64_t reconnects = 0;
+  double elapsed_sec = 0;
+  double requests_per_sec = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double mean_ms = 0;
+  double max_ms = 0;
+};
+
+DriverReport run_client_driver(const DriverOptions& opt);
+
+}  // namespace fsr

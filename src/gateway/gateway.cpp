@@ -1,0 +1,278 @@
+#include "gateway/gateway.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace fsr {
+
+Gateway::Gateway(GroupMember& member, StateMachine& machine, GatewayConfig config,
+                 SubmitFn submit)
+    : member_(member), machine_(machine), cfg_(config), submit_(std::move(submit)) {
+  if (!submit_) {
+    submit_ = [this](Payload p) { member_.broadcast(std::move(p)); };
+  }
+}
+
+void Gateway::reply(OwnedSession& own, const ClientReply& r) {
+  if (!own.send) return;
+  ++counters_.replies_sent;
+  own.send(r);
+}
+
+const Gateway::CachedReply* Gateway::cached(const SessionState& sess,
+                                            std::uint64_t seq) const {
+  for (const auto& c : sess.cache) {
+    if (c.seq == seq) return &c;
+  }
+  return nullptr;
+}
+
+void Gateway::on_hello(const ClientHello& hello, SendReplyFn send,
+                       std::uint64_t conn_serial) {
+  auto& own = owned_[hello.client_id];
+  own.send = std::move(send);
+  own.conn_serial = conn_serial;
+  auto& sess = sessions_[hello.client_id];
+  if (own.highest_admitted < sess.last_executed) {
+    own.highest_admitted = sess.last_executed;
+  }
+  if (own.last_replied < sess.last_executed) own.last_replied = sess.last_executed;
+  // Ack the hello so the client learns its replicated session position and
+  // can resume after failover without resending executed commands.
+  ClientReply ack;
+  ack.client_id = hello.client_id;
+  ack.session_seq = sess.last_executed;
+  ack.status = ClientStatus::kOk;
+  reply(own, ack);
+}
+
+void Gateway::admit(std::uint64_t client_id, OwnedSession& own, std::uint64_t seq,
+                    Payload envelope) {
+  const std::size_t bytes = envelope.size();
+  own.in_flight.emplace(seq, bytes);
+  if (own.highest_admitted < seq) own.highest_admitted = seq;
+  admitted_bytes_ += bytes;
+  ++counters_.admitted;
+  counters_.admitted_bytes_total += bytes;
+  (void)client_id;
+  submit_(std::move(envelope));
+}
+
+void Gateway::on_request(const ClientRequest& req, SendReplyFn send,
+                         std::uint64_t conn_serial) {
+  ++counters_.requests;
+  auto& sess = sessions_[req.client_id];
+  auto [it, fresh] = owned_.try_emplace(req.client_id);
+  OwnedSession& own = it->second;
+  if (fresh) {
+    own.highest_admitted = sess.last_executed;
+    own.last_replied = sess.last_executed;
+  }
+  if (send) own.send = std::move(send);
+  if (conn_serial) own.conn_serial = conn_serial;
+
+  auto reject = [&](ClientStatus status, std::uint64_t& counter) {
+    ++counter;
+    ClientReply r;
+    r.client_id = req.client_id;
+    r.session_seq = req.session_seq;
+    r.status = status;
+    reply(own, r);
+  };
+
+  if (req.session_seq == 0 || !req.envelope || req.envelope.empty()) {
+    return reject(ClientStatus::kBadRequest, counters_.rejected_malformed);
+  }
+  if (req.command.size() > cfg_.max_command_bytes) {
+    return reject(ClientStatus::kBadRequest, counters_.rejected_malformed);
+  }
+
+  if (req.session_seq <= sess.last_executed) {
+    // Retry of an executed command: answer from the replicated reply cache.
+    // An aged-out entry still gets an explicit (empty) duplicate ack — the
+    // command provably executed, which is all exactly-once owes the client.
+    ++counters_.duplicate_hits;
+    ClientReply r;
+    r.client_id = req.client_id;
+    r.session_seq = req.session_seq;
+    r.status = ClientStatus::kOk;
+    r.duplicate = true;
+    if (const CachedReply* c = cached(sess, req.session_seq)) r.reply = c->reply;
+    reply(own, r);
+    return;
+  }
+  if (req.session_seq <= own.highest_admitted) {
+    // Retry of a command already admitted or queued here: the reply is owed
+    // when its delivery resolves; don't admit it twice.
+    ++counters_.duplicate_hits;
+    return;
+  }
+  auto backpressure = [&](ClientStatus status, std::uint64_t& counter) {
+    own.rejected_tail = req.session_seq;
+    own.rejected_status = status;
+    reject(status, counter);
+  };
+
+  const std::uint64_t expected =
+      std::max(sess.last_executed, own.highest_admitted) + 1;
+  if (req.session_seq != expected) {
+    // A burst that keeps pipelining above a just-rejected seq is the same
+    // backpressure event; anything else is a client fabricating seqs.
+    if (own.rejected_tail >= expected && req.session_seq > own.rejected_tail) {
+      std::uint64_t& counter = own.rejected_status == ClientStatus::kRejectedBytes
+                                   ? counters_.rejected_bytes
+                                   : counters_.rejected_window;
+      return backpressure(own.rejected_status, counter);
+    }
+    FSR_WARN("gateway: client %llu seq gap (got %llu, expected %llu)",
+             (unsigned long long)req.client_id,
+             (unsigned long long)req.session_seq, (unsigned long long)expected);
+    return reject(ClientStatus::kBadRequest, counters_.rejected_malformed);
+  }
+  if (!member_.in_group()) {
+    return reject(ClientStatus::kNotMember, counters_.rejected_malformed);
+  }
+  if (admitted_bytes_ + req.envelope.size() > cfg_.admitted_bytes_budget) {
+    return backpressure(ClientStatus::kRejectedBytes, counters_.rejected_bytes);
+  }
+  if (own.in_flight.size() >= cfg_.session_window) {
+    if (own.queue.size() >= cfg_.session_queue) {
+      return backpressure(ClientStatus::kRejectedWindow, counters_.rejected_window);
+    }
+    own.queue.emplace_back(req.session_seq, req.envelope);
+    own.queued_bytes += req.envelope.size();
+    admitted_bytes_ += req.envelope.size();
+    if (own.highest_admitted < req.session_seq) {
+      own.highest_admitted = req.session_seq;
+    }
+    own.rejected_tail = 0;
+    ++counters_.queued;
+    return;
+  }
+  own.rejected_tail = 0;
+  admit(req.client_id, own, req.session_seq, req.envelope);
+}
+
+void Gateway::on_read(const ClientRead& read, const SendReplyFn& send) {
+  ++counters_.reads;
+  if (!send) return;
+  ClientReply r;
+  r.client_id = read.client_id;
+  r.session_seq = read.read_seq;
+  r.status = ClientStatus::kOk;
+  r.reply = make_payload(machine_.query(read.query.span()));
+  ++counters_.replies_sent;
+  send(r);
+}
+
+void Gateway::on_client_disconnect(std::uint64_t client_id,
+                                   std::uint64_t conn_serial) {
+  auto it = owned_.find(client_id);
+  if (it == owned_.end()) return;
+  OwnedSession& own = it->second;
+  if (conn_serial && own.conn_serial != conn_serial) return;  // stale teardown
+  // Release this client's share of the byte budget. In-flight broadcasts
+  // still deliver (and execute everywhere); only the reply channel and the
+  // local accounting go away.
+  for (const auto& [seq, bytes] : own.in_flight) admitted_bytes_ -= bytes;
+  admitted_bytes_ -= own.queued_bytes;
+  owned_.erase(it);
+}
+
+void Gateway::refill(std::uint64_t client_id, OwnedSession& own,
+                     const SessionState& sess) {
+  while (own.in_flight.size() < cfg_.session_window && !own.queue.empty()) {
+    auto [seq, envelope] = std::move(own.queue.front());
+    own.queue.pop_front();
+    own.queued_bytes -= envelope.size();
+    if (seq <= sess.last_executed) {
+      // Executed while queued (another replica's broadcast won); its reply
+      // was already routed at that delivery. Just release the bytes.
+      admitted_bytes_ -= envelope.size();
+      continue;
+    }
+    // admit() re-adds the bytes; drop the queued share first.
+    admitted_bytes_ -= envelope.size();
+    admit(client_id, own, seq, std::move(envelope));
+  }
+}
+
+void Gateway::on_delivery(const Delivery& d) {
+  std::optional<GatewayCommand> cmd;
+  try {
+    cmd = parse_envelope(d.payload);
+  } catch (const CodecError& e) {
+    ++counters_.rejected_malformed;
+    FSR_WARN("gateway: malformed envelope from node %u dropped: %s",
+             (unsigned)d.origin, e.what());
+    return;
+  }
+  if (!cmd) {
+    // Not gateway traffic — a plain application broadcast.
+    machine_.apply(d.origin, d.payload.span());
+    return;
+  }
+
+  auto& sess = sessions_[cmd->client_id];
+  ClientStatus status = ClientStatus::kOk;
+  bool duplicate = false;
+  Payload result;
+
+  if (cmd->session_seq == sess.last_executed + 1) {
+    result = make_payload(machine_.apply_with_reply(d.origin, cmd->command.span()));
+    sess.last_executed = cmd->session_seq;
+    sess.cache.push_back(CachedReply{cmd->session_seq, result});
+    while (sess.cache.size() > cfg_.reply_cache) {
+      sess.cache.pop_front();
+      ++counters_.reply_cache_evictions;
+    }
+    ++counters_.commands_applied;
+  } else if (cmd->session_seq <= sess.last_executed) {
+    // The same command won the race twice (e.g. a crashed replica's
+    // broadcast recovered by the view change plus the client's retry
+    // through us). Deterministically suppressed on every replica.
+    ++counters_.duplicate_applies_suppressed;
+    duplicate = true;
+    if (const CachedReply* c = cached(sess, cmd->session_seq)) result = c->reply;
+  } else {
+    // A session gap can only mean a buggy or byzantine client fabricating
+    // seqs (admission never lets one through); never execute out of order.
+    ++counters_.envelope_gaps;
+    status = ClientStatus::kBadRequest;
+  }
+
+  // Response routing: if this replica owns the client's connection and the
+  // client is owed an answer for this seq, this delivery resolves it —
+  // regardless of which replica's broadcast got sequenced first.
+  auto it = owned_.find(cmd->client_id);
+  if (it != owned_.end()) {
+    OwnedSession& own = it->second;
+    if (cmd->session_seq > own.last_replied &&
+        cmd->session_seq <= own.highest_admitted) {
+      ClientReply r;
+      r.client_id = cmd->client_id;
+      r.session_seq = cmd->session_seq;
+      r.status = status;
+      r.duplicate = duplicate;
+      r.reply = result;
+      reply(own, r);
+      own.last_replied = cmd->session_seq;
+    }
+    if (d.origin == member_.self()) {
+      auto fit = own.in_flight.find(cmd->session_seq);
+      if (fit != own.in_flight.end()) {
+        admitted_bytes_ -= fit->second;
+        own.in_flight.erase(fit);
+      }
+    }
+    refill(cmd->client_id, own, sess);
+  }
+}
+
+std::uint64_t Gateway::last_executed(std::uint64_t client_id) const {
+  auto it = sessions_.find(client_id);
+  return it == sessions_.end() ? 0 : it->second.last_executed;
+}
+
+}  // namespace fsr

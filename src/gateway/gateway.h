@@ -1,0 +1,200 @@
+// The client gateway: the cluster's front door for state-machine
+// replication (the application the paper motivates in §1). One Gateway runs
+// per replica, on that replica's single-threaded event loop (simulator
+// event or TCP I/O thread), layered on GroupMember + StateMachine.
+//
+// Responsibilities:
+//   * Sessions & exactly-once execution. Client commands travel the ring as
+//     gateway envelopes {client_id, session_seq, command}. The session
+//     table (last executed seq + reply cache per client) is updated ONLY at
+//     TO-delivery time — a deterministic function of the delivery stream —
+//     so every replica agrees on it without any extra protocol: the session
+//     state is replicated *through* the broadcast itself. A duplicate
+//     retry, including one redirected to a different replica after a crash,
+//     is either answered from the reply cache immediately or suppressed at
+//     delivery and answered from the cache then. Each command applies
+//     exactly once on every replica.
+//   * Response routing. The replica that owns the client's connection (the
+//     one that admitted the request) replies when the command's delivery
+//     resolves it — whichever replica's broadcast won the race.
+//   * Admission control. Per-session in-flight window with a bounded local
+//     queue behind it, plus a global admitted-bytes budget across sessions.
+//     Every outcome is an explicit reply (queued requests reply at
+//     delivery; rejections reply immediately) — a request is never dropped
+//     silently — so clients backpressure instead of the engine OOMing.
+//   * Zero-copy admission. The envelope Payload (a view into the client
+//     connection's receive buffer) is broadcast by reference; client bytes
+//     are never re-copied on their way into the ring.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "app/state_machine.h"
+#include "proto/client_codec.h"
+#include "proto/client_wire.h"
+#include "vsc/group.h"
+
+namespace fsr {
+
+struct GatewayConfig {
+  /// Own commands per session admitted into the ring at once. Beyond it
+  /// requests queue locally (bounded by `session_queue`), past that they
+  /// are rejected with kRejectedWindow.
+  std::size_t session_window = 8;
+  std::size_t session_queue = 32;
+
+  /// Commands larger than this are rejected outright (kBadRequest).
+  std::size_t max_command_bytes = 1 << 20;
+
+  /// Global budget on admitted (in-flight + queued) envelope bytes across
+  /// all sessions this replica owns; beyond it requests are rejected with
+  /// kRejectedBytes until deliveries drain the backlog.
+  std::size_t admitted_bytes_budget = 8 << 20;
+
+  /// Executed replies cached per session for duplicate retries. Must be
+  /// >= session_window or a retry burst can outrun the cache.
+  std::size_t reply_cache = 16;
+};
+
+/// Health/behavior counters, aggregated by the harnesses alongside
+/// TransportCounters and EngineCounters.
+struct GatewayCounters {
+  std::uint64_t requests = 0;         ///< client requests received
+  std::uint64_t reads = 0;            ///< local read queries answered
+  std::uint64_t admitted = 0;         ///< envelopes broadcast into the ring
+  std::uint64_t queued = 0;           ///< requests parked behind the window
+  std::uint64_t duplicate_hits = 0;   ///< retries answered from cache / already pending
+  std::uint64_t duplicate_applies_suppressed = 0;  ///< deliveries not re-applied
+  std::uint64_t rejected_window = 0;
+  std::uint64_t rejected_bytes = 0;
+  std::uint64_t rejected_malformed = 0;
+  std::uint64_t envelope_gaps = 0;    ///< out-of-order envelope deliveries dropped
+  std::uint64_t commands_applied = 0; ///< envelope commands executed here
+  std::uint64_t replies_sent = 0;
+  std::uint64_t reply_cache_evictions = 0;
+  std::uint64_t admitted_bytes_total = 0;  ///< cumulative envelope bytes admitted
+
+  GatewayCounters& operator+=(const GatewayCounters& o) {
+    requests += o.requests;
+    reads += o.reads;
+    admitted += o.admitted;
+    queued += o.queued;
+    duplicate_hits += o.duplicate_hits;
+    duplicate_applies_suppressed += o.duplicate_applies_suppressed;
+    rejected_window += o.rejected_window;
+    rejected_bytes += o.rejected_bytes;
+    rejected_malformed += o.rejected_malformed;
+    envelope_gaps += o.envelope_gaps;
+    commands_applied += o.commands_applied;
+    replies_sent += o.replies_sent;
+    reply_cache_evictions += o.reply_cache_evictions;
+    admitted_bytes_total += o.admitted_bytes_total;
+    return *this;
+  }
+};
+
+class Gateway {
+ public:
+  using SendReplyFn = std::function<void(const ClientReply&)>;
+  /// How admitted envelopes enter the ring. Defaults to
+  /// member.broadcast(Payload); harnesses override it to register the
+  /// submission with their invariant checker first.
+  using SubmitFn = std::function<void(Payload)>;
+
+  Gateway(GroupMember& member, StateMachine& machine, GatewayConfig config,
+          SubmitFn submit = {});
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  // --- front-end API (call on this replica's event thread) ---
+
+  /// Bind (or re-bind after reconnect) a client's reply channel.
+  /// `conn_serial` identifies the connection so a stale disconnect cannot
+  /// tear down a newer binding.
+  void on_hello(const ClientHello& hello, SendReplyFn send,
+                std::uint64_t conn_serial = 0);
+
+  /// One replicated command. `send` refreshes the session's reply channel.
+  void on_request(const ClientRequest& req, SendReplyFn send,
+                  std::uint64_t conn_serial = 0);
+
+  /// Read-only query: answered immediately from the local state machine.
+  void on_read(const ClientRead& read, const SendReplyFn& send);
+
+  /// The client's connection died; tears down the owned binding (the
+  /// session's replicated state survives for the client's next connection,
+  /// on any replica).
+  void on_client_disconnect(std::uint64_t client_id, std::uint64_t conn_serial = 0);
+
+  // --- delivery wiring (every TO-delivery of this node flows through) ---
+
+  /// Applies envelope commands exactly once, routes replies for sessions
+  /// this replica owns, refills admission windows. Non-envelope payloads
+  /// are applied to the state machine unchanged (plain broadcasts coexist
+  /// with gateway traffic).
+  void on_delivery(const Delivery& d);
+
+  // --- introspection ---
+
+  const GatewayCounters& counters() const { return counters_; }
+  std::size_t sessions() const { return sessions_.size(); }
+  std::size_t owned_sessions() const { return owned_.size(); }
+  std::size_t admitted_bytes() const { return admitted_bytes_; }
+  /// Last executed session_seq for a client (0 = unknown client).
+  std::uint64_t last_executed(std::uint64_t client_id) const;
+
+ private:
+  /// Replicated per-session state: advanced only by TO-deliveries, so all
+  /// replicas agree on it. The cache keeps the most recent executed
+  /// replies for duplicate retries.
+  struct CachedReply {
+    std::uint64_t seq = 0;
+    Payload reply;
+  };
+  struct SessionState {
+    std::uint64_t last_executed = 0;
+    std::deque<CachedReply> cache;
+  };
+
+  /// Local state for sessions whose client connection this replica owns.
+  struct OwnedSession {
+    SendReplyFn send;
+    std::uint64_t conn_serial = 0;
+    std::uint64_t highest_admitted = 0;  ///< max seq admitted or queued here
+    std::uint64_t last_replied = 0;      ///< max seq answered at delivery time
+    std::map<std::uint64_t, std::size_t> in_flight;  ///< seq -> envelope bytes
+    std::deque<std::pair<std::uint64_t, Payload>> queue;  ///< (seq, envelope)
+    std::size_t queued_bytes = 0;
+    /// Highest seq bounced by backpressure (window/bytes), and with what.
+    /// A pipelined burst keeps arriving above `expected` after the first
+    /// rejection; those are the same backpressure event, not a client bug,
+    /// and get the same status. Reset on the next successful admit/queue.
+    std::uint64_t rejected_tail = 0;
+    ClientStatus rejected_status = ClientStatus::kOk;
+  };
+
+  void reply(OwnedSession& own, const ClientReply& r);
+  void admit(std::uint64_t client_id, OwnedSession& own, std::uint64_t seq,
+             Payload envelope);
+  void refill(std::uint64_t client_id, OwnedSession& own,
+              const SessionState& sess);
+  const CachedReply* cached(const SessionState& sess, std::uint64_t seq) const;
+
+  GroupMember& member_;
+  StateMachine& machine_;
+  GatewayConfig cfg_;
+  SubmitFn submit_;
+
+  std::unordered_map<std::uint64_t, SessionState> sessions_;
+  std::unordered_map<std::uint64_t, OwnedSession> owned_;
+  std::size_t admitted_bytes_ = 0;  ///< in-flight + queued envelope bytes
+
+  GatewayCounters counters_;
+};
+
+}  // namespace fsr

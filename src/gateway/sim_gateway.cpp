@@ -1,0 +1,169 @@
+#include "gateway/sim_gateway.h"
+
+#include <sstream>
+
+namespace fsr {
+
+SimGatewayCluster::SimGatewayCluster(SimGatewayConfig config)
+    : cluster_(config.cluster) {
+  const std::size_t n = cluster_.size();
+  stores_.reserve(n);
+  gateways_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto id = static_cast<NodeId>(i);
+    stores_.push_back(std::make_unique<KvStore>());
+    gateways_.push_back(std::make_unique<Gateway>(
+        cluster_.node(id), *stores_.back(), config.gateway,
+        [this, id](Payload p) { cluster_.broadcast(id, std::move(p)); }));
+  }
+  // All deliveries flow through the gateways: envelopes execute with
+  // exactly-once session semantics, plain broadcasts apply directly.
+  cluster_.set_delivery_tap([this](NodeId id, const Delivery& d) {
+    gateways_[id]->on_delivery(d);
+  });
+}
+
+NodeId SimGatewayCluster::pick_alive(NodeId except) const {
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    auto id = static_cast<NodeId>(i);
+    if (id != except && cluster_.alive(id)) return id;
+  }
+  return kNoNode;
+}
+
+std::string SimGatewayCluster::check_replicas_converged() const {
+  std::uint64_t want = 0;
+  NodeId ref = kNoNode;
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    auto id = static_cast<NodeId>(i);
+    if (!cluster_.alive(id)) continue;
+    std::uint64_t fp = stores_[i]->fingerprint();
+    if (ref == kNoNode) {
+      ref = id;
+      want = fp;
+    } else if (fp != want) {
+      std::ostringstream os;
+      os << "replica divergence: node " << int(id) << " fingerprint " << fp
+         << " != node " << int(ref) << " fingerprint " << want;
+      return os.str();
+    }
+  }
+  return "";
+}
+
+GatewayCounters SimGatewayCluster::gateway_counters() const {
+  GatewayCounters total;
+  for (const auto& g : gateways_) total += g->counters();
+  return total;
+}
+
+SimClient::SimClient(SimGatewayCluster& gc, Options opt)
+    : gc_(gc), opt_(opt), replica_(opt.replica) {
+  conn_epoch_ = 1;
+}
+
+SimClient::~SimClient() {
+  // Real clients close their connection; tear down any binding still
+  // pointing at this object so a late delivery can't call into freed memory.
+  for (std::size_t i = 0; i < gc_.size(); ++i) {
+    gc_.gateway(static_cast<NodeId>(i)).on_client_disconnect(opt_.client_id, 0);
+  }
+  gc_.sim().cancel(retry_timer_);
+}
+
+void SimClient::submit(Bytes command) {
+  pending_.push_back(std::move(command));
+  gc_.sim().schedule(0, [this] { maybe_send(); });
+}
+
+void SimClient::connect(NodeId replica) {
+  NodeId old = replica_;
+  std::uint64_t old_epoch = conn_epoch_;
+  replica_ = replica;
+  ++conn_epoch_;
+  if (old != replica && old != kNoNode) {
+    gc_.gateway(old).on_client_disconnect(opt_.client_id, old_epoch);
+  }
+}
+
+void SimClient::maybe_send() {
+  if (outstanding_ || pending_.empty()) return;
+  current_cmd_ = std::move(pending_.front());
+  pending_.pop_front();
+  current_seq_ = next_seq_++;
+  outstanding_ = true;
+  attempts_ = 0;
+  send_attempt();
+}
+
+void SimClient::send_attempt() {
+  ++attempts_;
+  ++attempts_total_;
+  ClientRequest req;
+  req.client_id = opt_.client_id;
+  req.session_seq = current_seq_;
+  req.envelope =
+      make_payload(encode_envelope(opt_.client_id, current_seq_, current_cmd_));
+  req.command = parse_envelope(req.envelope)->command;
+  std::uint64_t epoch = conn_epoch_;
+  // Replies arrive from inside Gateway::on_delivery; bounce them through the
+  // event queue so the client never re-enters the gateway mid-delivery.
+  gc_.gateway(replica_).on_request(
+      req,
+      [this, epoch](const ClientReply& r) {
+        if (epoch != conn_epoch_) return;  // stale connection
+        ClientReply copy = r;
+        gc_.sim().schedule(0, [this, epoch, copy] {
+          if (epoch == conn_epoch_) on_reply(copy);
+        });
+      },
+      conn_epoch_);
+  gc_.sim().cancel(retry_timer_);
+  retry_timer_ = gc_.sim().schedule(opt_.retry_timeout, [this] { on_timeout(); });
+}
+
+void SimClient::on_reply(const ClientReply& r) {
+  if (!outstanding_ || r.session_seq != current_seq_) return;
+  switch (r.status) {
+    case ClientStatus::kOk:
+    case ClientStatus::kBadRequest: {
+      gc_.sim().cancel(retry_timer_);
+      Done d;
+      d.seq = current_seq_;
+      d.status = r.status;
+      d.duplicate = r.duplicate;
+      d.reply = Bytes(r.reply.begin(), r.reply.end());
+      d.attempts = attempts_;
+      completed_.push_back(std::move(d));
+      outstanding_ = false;
+      maybe_send();
+      return;
+    }
+    case ClientStatus::kRejectedWindow:
+    case ClientStatus::kRejectedBytes:
+      // Backpressure: keep the retry timer armed and try again later.
+      return;
+    case ClientStatus::kNotMember:
+      gc_.sim().cancel(retry_timer_);
+      retry_timer_ = gc_.sim().schedule(opt_.retry_timeout, [this] { on_timeout(); });
+      return;
+  }
+}
+
+void SimClient::on_timeout() {
+  if (!outstanding_) return;
+  if (attempts_ >= opt_.max_attempts) {
+    ++gave_up_;
+    return;  // stalls the client; tests size max_attempts to never hit this
+  }
+  if (!gc_.alive(replica_)) failover();
+  send_attempt();
+}
+
+void SimClient::failover() {
+  NodeId next = gc_.pick_alive(replica_);
+  if (next == kNoNode) return;
+  connect(next);
+}
+
+}  // namespace fsr

@@ -1,0 +1,114 @@
+// Deterministic gateway harness: a SimCluster where every node runs a
+// replicated KvStore behind a Gateway, plus a closed-loop SimClient that
+// retries over simulated-time timeouts and fails over to another replica —
+// the machinery the exactly-once tests and the swarm shapes drive.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "app/kv_store.h"
+#include "gateway/gateway.h"
+#include "harness/sim_cluster.h"
+
+namespace fsr {
+
+struct SimGatewayConfig {
+  ClusterConfig cluster;
+  GatewayConfig gateway;
+};
+
+class SimGatewayCluster {
+ public:
+  explicit SimGatewayCluster(SimGatewayConfig config = {});
+
+  SimCluster& cluster() { return cluster_; }
+  Simulator& sim() { return cluster_.sim(); }
+  std::size_t size() const { return cluster_.size(); }
+
+  Gateway& gateway(NodeId id) { return *gateways_[id]; }
+  KvStore& store(NodeId id) { return *stores_[id]; }
+
+  void crash(NodeId node) { cluster_.crash(node); }
+  bool alive(NodeId node) const { return cluster_.alive(node); }
+  /// First alive node, skipping `except` (kNoNode if none).
+  NodeId pick_alive(NodeId except = kNoNode) const;
+
+  /// "" when every live replica's KvStore fingerprint matches; otherwise a
+  /// description of the divergence.
+  std::string check_replicas_converged() const;
+
+  GatewayCounters gateway_counters() const;
+
+ private:
+  SimCluster cluster_;
+  std::vector<std::unique_ptr<KvStore>> stores_;
+  std::vector<std::unique_ptr<Gateway>> gateways_;
+};
+
+/// A closed-loop session client living inside the simulation: submits
+/// commands one at a time, retries on a timer, and fails over to another
+/// live replica when its current one crashes or stops answering. Exercises
+/// the exactly-once path end to end: retries deliberately re-send executed
+/// seqs and must observe duplicate-cached replies, never double execution.
+class SimClient {
+ public:
+  struct Options {
+    std::uint64_t client_id = 1;
+    NodeId replica = 0;
+    Time retry_timeout = 200 * kMillisecond;
+    std::size_t max_attempts = 30;  ///< per command, then the client gives up
+  };
+
+  struct Done {
+    std::uint64_t seq = 0;
+    ClientStatus status = ClientStatus::kOk;
+    bool duplicate = false;
+    Bytes reply;
+    std::size_t attempts = 0;
+  };
+
+  SimClient(SimGatewayCluster& gc, Options opt);
+  ~SimClient();
+
+  /// Queue a command; the client sends it when all prior commands finished
+  /// (strictly closed-loop: one outstanding request).
+  void submit(Bytes command);
+
+  /// Rebind to a specific replica (tests use this to force failover).
+  void connect(NodeId replica);
+
+  bool idle() const { return !outstanding_ && pending_.empty(); }
+  NodeId replica() const { return replica_; }
+  const std::vector<Done>& completed() const { return completed_; }
+  std::size_t gave_up() const { return gave_up_; }
+  /// Total send attempts across all commands (>= completed commands).
+  std::size_t attempts_total() const { return attempts_total_; }
+
+ private:
+  void maybe_send();
+  void send_attempt();
+  void on_reply(const ClientReply& r);
+  void on_timeout();
+  void failover();
+
+  SimGatewayCluster& gc_;
+  Options opt_;
+  NodeId replica_;
+  std::uint64_t next_seq_ = 1;
+  std::deque<Bytes> pending_;
+  Bytes current_cmd_;
+  std::uint64_t current_seq_ = 0;
+  bool outstanding_ = false;
+  std::size_t attempts_ = 0;          // for the outstanding command
+  std::size_t attempts_total_ = 0;
+  std::size_t gave_up_ = 0;
+  TimerId retry_timer_;
+  /// Bumped on every connect(); stale gateway bindings carry an older epoch
+  /// so their late replies are ignored (mirrors a closed TCP connection).
+  std::uint64_t conn_epoch_ = 0;
+  std::vector<Done> completed_;
+};
+
+}  // namespace fsr

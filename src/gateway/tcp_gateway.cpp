@@ -1,0 +1,296 @@
+#include "gateway/tcp_gateway.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <set>
+
+#include "common/log.h"
+
+namespace fsr {
+
+namespace {
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_all(int fd, std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    ssize_t r = ::recv(fd, data, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF
+    data += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool gateway_write_frame(int fd, const ClientFrame& frame) {
+  Bytes body = encode_client_frame(frame);
+  std::uint8_t len[4];
+  std::uint32_t n = static_cast<std::uint32_t>(body.size());
+  for (int i = 0; i < 4; ++i) len[i] = static_cast<std::uint8_t>(n >> (8 * i));
+  return write_all(fd, len, 4) && write_all(fd, body.data(), body.size());
+}
+
+std::optional<ClientFrame> gateway_read_frame(int fd) {
+  std::uint8_t len[4];
+  if (!read_all(fd, len, 4)) return std::nullopt;
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) n |= std::uint32_t{len[i]} << (8 * i);
+  if (n == 0 || n > kMaxClientFrameBytes) return std::nullopt;
+  auto buf = std::make_shared<Bytes>(n);
+  if (!read_all(fd, buf->data(), n)) return std::nullopt;
+  try {
+    // Decode with the buffer as owner: request envelopes alias it all the
+    // way into the broadcast path (the zero-copy contract).
+    return decode_client_frame(*buf, buf);
+  } catch (const CodecError& e) {
+    FSR_WARN("gateway: dropping connection on malformed client frame: %s", e.what());
+    return std::nullopt;
+  }
+}
+
+GatewayServer::GatewayServer(TcpTransport& io, Gateway& gateway)
+    : io_(io), gateway_(gateway) {}
+
+GatewayServer::~GatewayServer() { stop(); }
+
+void GatewayServer::start(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("gateway: socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("gateway: bind/listen failed");
+  }
+  socklen_t alen = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void GatewayServer::stop() {
+  if (!running_.exchange(false)) return;
+  // Unblock accept() with shutdown, join the accept thread, and only then
+  // close and clear the fd — the join is the happens-before edge that
+  // keeps the field write off the accept thread's reads.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard lock(conns_mutex_);
+    for (auto& conn : conns_) {
+      if (conn->open.load()) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard lock(conns_mutex_);
+    readers.swap(readers_);
+  }
+  for (auto& t : readers) t.join();
+  {
+    std::lock_guard lock(conns_mutex_);
+    for (auto& conn : conns_) {
+      if (conn->open.exchange(false)) ::close(conn->fd);
+    }
+    conns_.clear();
+  }
+}
+
+void GatewayServer::accept_loop() {
+  // listen_fd_ is set before this thread starts and only mutated by stop()
+  // (whose shutdown() unblocks accept); capture it once so the loop never
+  // races the field write.
+  const int lfd = listen_fd_;
+  while (running_.load()) {
+    int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by stop()
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<ClientConn>();
+    conn->fd = fd;
+    conn->serial = next_serial_.fetch_add(1);
+    std::lock_guard lock(conns_mutex_);
+    if (!running_.load()) {
+      ::close(fd);
+      return;
+    }
+    conns_.push_back(conn);
+    readers_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+}
+
+void GatewayServer::reader_loop(std::shared_ptr<ClientConn> conn) {
+  // Reply channel: encodes and writes on the caller's thread (the I/O
+  // thread, via Gateway). The write mutex serializes against concurrent
+  // stop(); replies after disconnect are silently dropped.
+  auto send_reply = [conn](const ClientReply& r) {
+    ClientFrame frame;
+    frame.msgs.emplace_back(r);
+    std::lock_guard lock(conn->write_mutex);
+    if (!conn->open.load()) return;
+    if (!gateway_write_frame(conn->fd, frame)) conn->open.store(false);
+  };
+
+  std::set<std::uint64_t> clients_seen;
+  while (running_.load() && conn->open.load()) {
+    auto frame = gateway_read_frame(conn->fd);
+    if (!frame) break;
+    for (auto& msg : frame->msgs) {
+      if (const auto* hello = std::get_if<ClientHello>(&msg)) {
+        clients_seen.insert(hello->client_id);
+        io_.post([this, m = *hello, send_reply, serial = conn->serial] {
+          gateway_.on_hello(m, send_reply, serial);
+        });
+      } else if (const auto* req = std::get_if<ClientRequest>(&msg)) {
+        clients_seen.insert(req->client_id);
+        io_.post([this, m = *req, send_reply, serial = conn->serial] {
+          gateway_.on_request(m, send_reply, serial);
+        });
+      } else if (const auto* read = std::get_if<ClientRead>(&msg)) {
+        io_.post([this, m = *read, send_reply] { gateway_.on_read(m, send_reply); });
+      }
+      // Client-to-server replies are not a thing; ignore them.
+    }
+  }
+  {
+    std::lock_guard lock(conn->write_mutex);
+    if (conn->open.exchange(false)) ::close(conn->fd);
+  }
+  for (std::uint64_t id : clients_seen) {
+    io_.post([this, id, serial = conn->serial] {
+      gateway_.on_client_disconnect(id, serial);
+    });
+  }
+}
+
+TcpGatewayCluster::TcpGatewayCluster(TcpGatewayClusterConfig config) {
+  const std::size_t n = config.n;
+  // Deferred start: the delivery tap dereferences gateways_, so every
+  // gateway must exist before any I/O thread runs.
+  cluster_ = std::make_unique<TcpCluster>(
+      n, config.group,
+      [this](NodeId id, const Delivery& d) { gateways_[id]->on_delivery(d); },
+      /*autostart=*/false);
+  stores_.reserve(n);
+  gateways_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto id = static_cast<NodeId>(i);
+    stores_.push_back(std::make_unique<KvStore>());
+    gateways_.push_back(std::make_unique<Gateway>(
+        cluster_->member(id), *stores_.back(), config.gateway,
+        [this, id](Payload p) { cluster_->submit_from_io(id, std::move(p)); }));
+  }
+  cluster_->start_all();
+  servers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    servers_.push_back(std::make_unique<GatewayServer>(
+        cluster_->transport(static_cast<NodeId>(i)), *gateways_[i]));
+    servers_.back()->start(0);
+  }
+}
+
+TcpGatewayCluster::~TcpGatewayCluster() {
+  for (auto& s : servers_) s->stop();
+  // The delivery tap points at gateways_; tear the cluster (and its I/O
+  // threads) down before the gateways can go away.
+  cluster_.reset();
+}
+
+std::vector<GatewayEndpoint> TcpGatewayCluster::endpoints() const {
+  std::vector<GatewayEndpoint> out;
+  out.reserve(servers_.size());
+  for (const auto& s : servers_) out.push_back({"127.0.0.1", s->port()});
+  return out;
+}
+
+void TcpGatewayCluster::crash(NodeId node) {
+  servers_[node]->stop();  // client connections reset first
+  cluster_->crash(node);
+}
+
+GatewayCounters TcpGatewayCluster::gateway_counters() const {
+  GatewayCounters total;
+  for (std::size_t i = 0; i < gateways_.size(); ++i) {
+    auto id = static_cast<NodeId>(i);
+    if (!cluster_->alive(id)) continue;
+    GatewayCounters c;
+    cluster_->transport(id).post_wait([&] { c = gateways_[i]->counters(); });
+    total += c;
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> TcpGatewayCluster::fingerprints() const {
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = 0; i < stores_.size(); ++i) {
+    auto id = static_cast<NodeId>(i);
+    if (!cluster_->alive(id)) continue;
+    std::uint64_t fp = 0;
+    cluster_->transport(id).post_wait([&] { fp = stores_[i]->fingerprint(); });
+    out.push_back(fp);
+  }
+  return out;
+}
+
+std::uint64_t TcpGatewayCluster::total_failed_cas() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < stores_.size(); ++i) {
+    auto id = static_cast<NodeId>(i);
+    if (!cluster_->alive(id)) continue;
+    std::uint64_t v = 0;
+    cluster_->transport(id).post_wait([&] { v = stores_[i]->failed_cas(); });
+    total += v;
+  }
+  return total;
+}
+
+std::uint64_t TcpGatewayCluster::total_applied() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < stores_.size(); ++i) {
+    auto id = static_cast<NodeId>(i);
+    if (!cluster_->alive(id)) continue;
+    std::uint64_t v = 0;
+    cluster_->transport(id).post_wait([&] { v = stores_[i]->applied_commands(); });
+    total += v;
+  }
+  return total;
+}
+
+}  // namespace fsr

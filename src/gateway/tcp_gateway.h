@@ -1,0 +1,127 @@
+// Client-facing TCP service for the gateway: each replica runs a
+// GatewayServer that accepts client connections, decodes client frames
+// (u32-length-prefixed, see proto/client_wire.h) and marshals every message
+// onto the replica's transport I/O thread — the Gateway itself stays
+// single-threaded, exactly like the protocol stack beneath it. Replies are
+// written back from the I/O thread on the connection that owns the client.
+//
+// TcpGatewayCluster assembles the whole replicated service over real
+// sockets: TcpCluster (n GroupMembers) + per-node KvStore + Gateway +
+// GatewayServer, with gateway broadcasts registered with the invariant
+// checker via TcpCluster::submit_from_io.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "app/kv_store.h"
+#include "gateway/gateway.h"
+#include "harness/tcp_cluster.h"
+
+namespace fsr {
+
+/// Client frames on the wire are a 4-byte little-endian length followed by
+/// the encoded ClientFrame. Anything larger than this is treated as a
+/// hostile length field and drops the connection.
+constexpr std::size_t kMaxClientFrameBytes = 16u << 20;
+
+/// Blocking frame I/O over a connected socket, shared by the server and the
+/// client driver. write returns false on any socket error. read returns
+/// nullopt on EOF, socket error, or timeout (errno distinguishes; a decoded
+/// frame aliases a fresh shared buffer, so Payload views stay valid).
+bool gateway_write_frame(int fd, const ClientFrame& frame);
+std::optional<ClientFrame> gateway_read_frame(int fd);
+
+class GatewayServer {
+ public:
+  /// `io` is the replica's transport (its I/O thread runs the gateway);
+  /// `gateway` must outlive the server.
+  GatewayServer(TcpTransport& io, Gateway& gateway);
+  ~GatewayServer();
+
+  GatewayServer(const GatewayServer&) = delete;
+  GatewayServer& operator=(const GatewayServer&) = delete;
+
+  /// Bind (port 0 = ephemeral), listen, and start the accept thread.
+  void start(std::uint16_t port = 0);
+  void stop();
+  std::uint16_t port() const { return port_; }
+
+ private:
+  struct ClientConn {
+    int fd = -1;
+    std::uint64_t serial = 0;
+    std::mutex write_mutex;
+    std::atomic<bool> open{true};
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<ClientConn> conn);
+
+  TcpTransport& io_;
+  Gateway& gateway_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> next_serial_{1};
+  std::thread accept_thread_;
+  std::mutex conns_mutex_;
+  std::vector<std::shared_ptr<ClientConn>> conns_;
+  std::vector<std::thread> readers_;
+};
+
+/// Client connection target.
+struct GatewayEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct TcpGatewayClusterConfig {
+  std::size_t n = 3;
+  GroupConfig group;
+  GatewayConfig gateway;
+};
+
+/// The full replicated KV service over real TCP: n replicas, each serving
+/// clients through its own GatewayServer port.
+class TcpGatewayCluster {
+ public:
+  explicit TcpGatewayCluster(TcpGatewayClusterConfig config = {});
+  ~TcpGatewayCluster();
+
+  TcpGatewayCluster(const TcpGatewayCluster&) = delete;
+  TcpGatewayCluster& operator=(const TcpGatewayCluster&) = delete;
+
+  std::size_t size() const { return stores_.size(); }
+  std::vector<GatewayEndpoint> endpoints() const;
+  TcpCluster& cluster() { return *cluster_; }
+
+  /// Hard-stop a replica: its client connections reset (clients fail over)
+  /// and its peers detect the crash.
+  void crash(NodeId node);
+  bool alive(NodeId node) const { return cluster_->alive(node); }
+
+  /// Snapshots taken on each live node's I/O thread.
+  GatewayCounters gateway_counters() const;
+  std::vector<std::uint64_t> fingerprints() const;
+  std::uint64_t total_failed_cas() const;
+  std::uint64_t total_applied() const;
+
+  /// Raw per-node access for post-quiesce assertions in tests.
+  KvStore& store(NodeId node) { return *stores_[node]; }
+  Gateway& gateway(NodeId node) { return *gateways_[node]; }
+
+  std::string check_invariants() const { return cluster_->check_invariants(); }
+
+ private:
+  std::unique_ptr<TcpCluster> cluster_;
+  std::vector<std::unique_ptr<KvStore>> stores_;
+  std::vector<std::unique_ptr<Gateway>> gateways_;
+  std::vector<std::unique_ptr<GatewayServer>> servers_;
+};
+
+}  // namespace fsr

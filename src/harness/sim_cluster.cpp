@@ -77,6 +77,13 @@ void SimCluster::broadcast(NodeId from, Bytes payload) {
   members_[from]->broadcast(std::move(payload));
 }
 
+void SimCluster::broadcast(NodeId from, Payload payload) {
+  std::uint64_t app_msg = ++next_app_counter_[from];
+  submit_times_[{from, app_msg}] = world_.sim().now();
+  checker_.on_broadcast(from, app_msg, hash_bytes(payload.span()));
+  members_[from]->broadcast(std::move(payload));
+}
+
 void SimCluster::crash(NodeId node, Time fd_delay) {
   crashed_.insert(node);
   checker_.note_crashed(node);

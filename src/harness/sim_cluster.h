@@ -52,6 +52,10 @@ class SimCluster {
   /// TO-broadcast from a node; records the submit time for latency queries.
   void broadcast(NodeId from, Bytes payload);
 
+  /// Zero-copy variant: registers with the checker, then hands the Payload
+  /// through un-copied (the gateway's submit path).
+  void broadcast(NodeId from, Payload payload);
+
   /// Observe every delivery (in addition to the internal log) — e.g. to
   /// feed replicated state machines in application tests.
   void set_delivery_tap(std::function<void(NodeId, const Delivery&)> tap) {

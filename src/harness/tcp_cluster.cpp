@@ -18,7 +18,9 @@ Time wall_now() {
 }
 }  // namespace
 
-TcpCluster::TcpCluster(std::size_t n, GroupConfig group) : checker_(n) {
+TcpCluster::TcpCluster(std::size_t n, GroupConfig group, DeliveryTap tap,
+                       bool autostart)
+    : checker_(n), tap_(std::move(tap)) {
   if (const char* lvl = std::getenv("FSR_LOG")) {
     if (std::string(lvl) == "debug") set_log_level(LogLevel::kDebug);
     if (std::string(lvl) == "info") set_log_level(LogLevel::kInfo);
@@ -62,8 +64,15 @@ TcpCluster::TcpCluster(std::size_t n, GroupConfig group) : checker_(n) {
           }
           checker_.on_delivery(DeliveryRecord{id, d.origin, d.app_msg, d.seq, d.view,
                                               hash, d.payload.size(), wall_now()});
+          if (tap_) tap_(id, d);
         });
   }
+  if (autostart) start_all();
+}
+
+void TcpCluster::start_all() {
+  if (started_) return;
+  started_ = true;
   for (auto& node : nodes_) node->transport->start();
 }
 
@@ -82,6 +91,13 @@ void TcpCluster::broadcast(NodeId from, Bytes payload) {
     checker_.on_broadcast(from, ++node->app_counter, hash);
     node->member->broadcast(std::move(payload));
   });
+}
+
+void TcpCluster::submit_from_io(NodeId from, Payload payload) {
+  Node* node = nodes_[from].get();
+  if (node->crashed.load()) return;
+  checker_.on_broadcast(from, ++node->app_counter, hash_bytes(payload.span()));
+  node->member->broadcast(std::move(payload));
 }
 
 void TcpCluster::crash(NodeId node) {

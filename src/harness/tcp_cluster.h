@@ -26,16 +26,33 @@ class TcpCluster {
     std::uint64_t payload_hash = 0;
   };
 
-  TcpCluster(std::size_t n, GroupConfig group);
+  /// Observes every delivery on the delivering node's I/O thread (after the
+  /// log and the invariant checker). Fixed at construction: it runs on n
+  /// I/O threads, so there is no race-free way to install it later.
+  using DeliveryTap = std::function<void(NodeId, const Delivery&)>;
+
+  /// With `autostart` false the I/O threads are not started; finish wiring
+  /// (e.g. construct per-node gateways the tap points at) and call
+  /// start_all(). Nothing flows before start_all().
+  TcpCluster(std::size_t n, GroupConfig group, DeliveryTap tap = {},
+             bool autostart = true);
   ~TcpCluster();
 
   TcpCluster(const TcpCluster&) = delete;
   TcpCluster& operator=(const TcpCluster&) = delete;
 
+  /// Start every node's I/O thread (no-op when autostart did it).
+  void start_all();
+
   std::size_t size() const { return nodes_.size(); }
 
   /// TO-broadcast from `from` (thread-safe; posts to the node's I/O thread).
   void broadcast(NodeId from, Bytes payload);
+
+  /// TO-broadcast from code already running on `from`'s I/O thread (the
+  /// gateway's submit path): registers with the checker and hands the
+  /// Payload through without copying or re-posting.
+  void submit_from_io(NodeId from, Payload payload);
 
   /// Hard-stop a node (sockets die; peers detect the crash).
   void crash(NodeId node);
@@ -53,6 +70,11 @@ class TcpCluster {
 
   /// Run a function on a node's I/O thread and wait (e.g. leave requests).
   void with_member(NodeId node, const std::function<void(GroupMember&)>& fn);
+
+  /// The node's transport (for post()/post_wait() marshalling) and member.
+  /// The member reference is stable; touch it only from its I/O thread.
+  TcpTransport& transport(NodeId node) { return *nodes_[node]->transport; }
+  GroupMember& member(NodeId node) { return *nodes_[node]->member; }
 
   /// Sum of every live node's transport counters (each snapshot taken on
   /// its I/O thread, per the TransportCounters threading contract).
@@ -85,6 +107,8 @@ class TcpCluster {
 
   InvariantChecker checker_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  DeliveryTap tap_;  // fixed at construction; read from I/O threads
+  bool started_ = false;
 };
 
 }  // namespace fsr

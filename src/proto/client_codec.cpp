@@ -1,0 +1,201 @@
+#include "proto/client_codec.h"
+
+#include <limits>
+
+#include "proto/codec.h"
+
+namespace fsr {
+
+namespace {
+
+using client_codec_detail::Tag;
+
+/// Sanity cap on messages per client frame: a frame is one TCP read, and a
+/// hostile length field must not provoke a giant allocation.
+constexpr std::uint64_t kMaxMsgsPerFrame = 1024;
+
+template <typename Sink>
+struct ClientMsgEncoder {
+  Sink& w;
+
+  void operator()(const ClientHello& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kHello));
+    w.var(m.client_id);
+  }
+  void operator()(const ClientRequest& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kRequest));
+    // The request body from the magic byte onward IS the gateway envelope:
+    // the decoder hands it back as one aliasing view, so admitting the
+    // request broadcasts these exact bytes without a copy.
+    w.u8(kEnvelopeMagic);
+    w.var(m.client_id);
+    w.var(m.session_seq);
+    w.var(m.command.size());
+    w.raw(m.command.span());
+  }
+  void operator()(const ClientRead& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kRead));
+    w.var(m.client_id);
+    w.var(m.read_seq);
+    w.var(m.query.size());
+    w.raw(m.query.span());
+  }
+  void operator()(const ClientReply& m) {
+    w.u8(static_cast<std::uint8_t>(Tag::kReply));
+    w.var(m.client_id);
+    w.var(m.session_seq);
+    w.u8(static_cast<std::uint8_t>(m.status));
+    w.u8(m.duplicate ? 1 : 0);
+    w.var(m.reply.size());
+    w.raw(m.reply.span());
+  }
+};
+
+template <typename Sink>
+void encode_client_frame_to(Sink& w, const ClientFrame& frame) {
+  w.u8(kClientProtoVersion);
+  w.var(frame.msgs.size());
+  for (const auto& m : frame.msgs) std::visit(ClientMsgEncoder<Sink>{w}, m);
+}
+
+/// Length-prefixed bytes as a Payload: aliasing view when `owner` is set,
+/// otherwise an owned copy.
+Payload read_payload(ByteReader& r, const std::shared_ptr<const void>& owner) {
+  std::span<const std::uint8_t> view = r.bytes_view();
+  if (owner) return Payload{owner, view};
+  return make_payload(Bytes(view.begin(), view.end()));
+}
+
+ClientStatus read_status(ByteReader& r) {
+  std::uint8_t raw = r.u8();
+  if (raw > static_cast<std::uint8_t>(ClientStatus::kBadRequest)) {
+    throw CodecError("client frame: unknown status code");
+  }
+  return static_cast<ClientStatus>(raw);
+}
+
+}  // namespace
+
+const char* client_status_name(ClientStatus s) {
+  switch (s) {
+    case ClientStatus::kOk:
+      return "ok";
+    case ClientStatus::kRejectedWindow:
+      return "rejected-window";
+    case ClientStatus::kRejectedBytes:
+      return "rejected-bytes";
+    case ClientStatus::kNotMember:
+      return "not-member";
+    case ClientStatus::kBadRequest:
+      return "bad-request";
+  }
+  return "unknown";
+}
+
+std::size_t client_wire_size(const ClientFrame& frame) {
+  CountingWriter w;
+  encode_client_frame_to(w, frame);
+  return w.size();
+}
+
+Bytes encode_client_frame(const ClientFrame& frame) {
+  ByteWriter w(client_wire_size(frame));
+  encode_client_frame_to(w, frame);
+  return w.take();
+}
+
+ClientFrame decode_client_frame(std::span<const std::uint8_t> data,
+                                const std::shared_ptr<const void>& owner) {
+  ByteReader r(data);
+  std::uint8_t version = r.u8();
+  if (version != kClientProtoVersion) {
+    throw CodecError("client frame: unsupported protocol version " +
+                     std::to_string(version));
+  }
+  std::uint64_t count = r.var();
+  if (count > kMaxMsgsPerFrame) {
+    throw CodecError("client frame: message count exceeds frame cap");
+  }
+  ClientFrame frame;
+  frame.msgs.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto tag = static_cast<Tag>(r.u8());
+    switch (tag) {
+      case Tag::kHello: {
+        ClientHello m;
+        m.client_id = r.var();
+        frame.msgs.emplace_back(m);
+        break;
+      }
+      case Tag::kRequest: {
+        // The envelope starts at the magic byte: remember the offset so the
+        // whole [magic .. command end) range can be returned as one view.
+        std::size_t env_begin = data.size() - r.remaining();
+        if (r.u8() != kEnvelopeMagic) {
+          throw CodecError("client frame: request missing envelope magic");
+        }
+        ClientRequest m;
+        m.client_id = r.var();
+        m.session_seq = r.var();
+        m.command = read_payload(r, owner);
+        std::size_t env_end = data.size() - r.remaining();
+        std::span<const std::uint8_t> env = data.subspan(env_begin, env_end - env_begin);
+        m.envelope = owner ? Payload{owner, env}
+                           : make_payload(Bytes(env.begin(), env.end()));
+        frame.msgs.emplace_back(std::move(m));
+        break;
+      }
+      case Tag::kRead: {
+        ClientRead m;
+        m.client_id = r.var();
+        m.read_seq = r.var();
+        m.query = read_payload(r, owner);
+        frame.msgs.emplace_back(std::move(m));
+        break;
+      }
+      case Tag::kReply: {
+        ClientReply m;
+        m.client_id = r.var();
+        m.session_seq = r.var();
+        m.status = read_status(r);
+        m.duplicate = r.u8() != 0;
+        m.reply = read_payload(r, owner);
+        frame.msgs.emplace_back(std::move(m));
+        break;
+      }
+      default:
+        throw CodecError("client frame: unknown message tag");
+    }
+  }
+  if (!r.done()) throw CodecError("client frame: trailing bytes");
+  return frame;
+}
+
+Bytes encode_envelope(std::uint64_t client_id, std::uint64_t session_seq,
+                      std::span<const std::uint8_t> command) {
+  ByteWriter w(command.size() + 24);
+  w.u8(kEnvelopeMagic);
+  w.var(client_id);
+  w.var(session_seq);
+  w.var(command.size());
+  w.raw(command);
+  return w.take();
+}
+
+std::optional<GatewayCommand> parse_envelope(const Payload& delivered) {
+  if (!delivered || delivered.empty() || *delivered.data() != kEnvelopeMagic) {
+    return std::nullopt;
+  }
+  ByteReader r(delivered.span());
+  r.u8();  // magic, checked above
+  GatewayCommand cmd;
+  cmd.client_id = r.var();
+  cmd.session_seq = r.var();
+  std::span<const std::uint8_t> view = r.bytes_view();
+  std::size_t off = static_cast<std::size_t>(view.data() - delivered.data());
+  cmd.command = delivered.sub(off, view.size());
+  if (!r.done()) throw CodecError("gateway envelope: trailing bytes");
+  return cmd;
+}
+
+}  // namespace fsr

@@ -1,0 +1,53 @@
+// Codec for the client-facing frame family (client_wire.h). Mirrors the
+// intra-cluster codec's discipline: a templated encoder over a Sink (real
+// writer and counting writer can never drift), varint-hardened decoding via
+// ByteReader, and zero-copy payload decode — command/query/reply bytes come
+// back as views sharing the caller's receive chunk.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/bytes.h"
+#include "proto/client_wire.h"
+
+namespace fsr {
+
+namespace client_codec_detail {
+
+enum class Tag : std::uint8_t {
+  kHello = 1,
+  kRequest = 2,
+  kRead = 3,
+  kReply = 4,
+};
+
+}  // namespace client_codec_detail
+
+/// Encoded size of a frame without materializing it.
+std::size_t client_wire_size(const ClientFrame& frame);
+
+/// version byte + message list. Payload-bearing fields are written inline
+/// (client frames are small; the zero-copy discipline matters on the decode
+/// and broadcast side, not here).
+Bytes encode_client_frame(const ClientFrame& frame);
+
+/// Throws CodecError on malformed or version-mismatched input. With a
+/// non-null `owner` (which must keep `data`'s storage alive), command /
+/// query / reply bytes and the request's broadcast-ready `envelope` are
+/// returned as aliasing views; with a null owner they are copied.
+ClientFrame decode_client_frame(std::span<const std::uint8_t> data,
+                                const std::shared_ptr<const void>& owner = nullptr);
+
+/// Build a gateway envelope from scratch (sim clients and tests; the TCP
+/// path gets envelopes for free as views into the request frame).
+Bytes encode_envelope(std::uint64_t client_id, std::uint64_t session_seq,
+                      std::span<const std::uint8_t> command);
+
+/// Parse a TO-delivered payload as a gateway envelope. Returns nullopt when
+/// the payload is not an envelope (first byte != kEnvelopeMagic) — such
+/// deliveries are plain application commands. Throws CodecError when the
+/// magic matches but the envelope is malformed.
+std::optional<GatewayCommand> parse_envelope(const Payload& delivered);
+
+}  // namespace fsr

@@ -1,0 +1,86 @@
+// Client-facing wire protocol of the gateway subsystem: the frame family a
+// client speaks to any replica (over a gateway TCP connection or the sim
+// harness). It is deliberately separate from the intra-cluster WireMsg
+// family — clients are untrusted, so every field is varint-hardened and a
+// version byte leads every frame (see client_codec.h).
+//
+// Exactly-once contract: a client owns a session (its client_id) and
+// numbers commands 1, 2, 3, ... (session_seq). The gateway TO-broadcasts
+// the request as a *gateway envelope*; every replica executes an envelope
+// only when its session_seq is the session's next, so duplicate retries —
+// including retries redirected to a different replica after a crash — are
+// suppressed at delivery time and answered from the session's reply cache.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "proto/wire.h"
+
+namespace fsr {
+
+inline constexpr std::uint8_t kClientProtoVersion = 1;
+
+/// First byte of every TO-broadcast gateway envelope. Applications sharing a
+/// gateway-fronted group must not start raw commands with this byte (the
+/// KvStore/Bank opcodes are all < 0x10).
+inline constexpr std::uint8_t kEnvelopeMagic = 0xC5;
+
+enum class ClientStatus : std::uint8_t {
+  kOk = 0,              ///< executed; reply attached
+  kRejectedWindow = 1,  ///< session window + queue full; resend later
+  kRejectedBytes = 2,   ///< gateway byte budget exhausted; resend later
+  kNotMember = 3,       ///< replica not (yet) in a group view; try another
+  kBadRequest = 4,      ///< malformed frame or out-of-order session_seq
+};
+
+const char* client_status_name(ClientStatus s);
+
+/// Opens (or re-binds after reconnect) a session on this connection.
+struct ClientHello {
+  std::uint64_t client_id = 0;
+};
+
+/// One replicated command. `command` is the opaque state-machine input;
+/// `envelope` is set by the zero-copy decoder to the broadcast-ready
+/// envelope bytes (kEnvelopeMagic .. end of command) aliasing the receive
+/// buffer, so admitting a request never copies the payload.
+struct ClientRequest {
+  std::uint64_t client_id = 0;
+  std::uint64_t session_seq = 0;
+  Payload command;
+  Payload envelope;
+};
+
+/// A read-only query answered by the local replica without broadcasting
+/// (the paper's footnote 1: reads need not be totally ordered).
+struct ClientRead {
+  std::uint64_t client_id = 0;
+  std::uint64_t read_seq = 0;  ///< echoed in the reply (not a session seq)
+  Payload query;
+};
+
+struct ClientReply {
+  std::uint64_t client_id = 0;
+  std::uint64_t session_seq = 0;  ///< or the echoed read_seq for reads
+  ClientStatus status = ClientStatus::kOk;
+  bool duplicate = false;  ///< served from the session's reply cache
+  Payload reply;
+};
+
+using ClientMsg = std::variant<ClientHello, ClientRequest, ClientRead, ClientReply>;
+
+/// Unit of transmission on a client connection (length-prefixed on TCP).
+struct ClientFrame {
+  std::vector<ClientMsg> msgs;
+};
+
+/// A gateway envelope parsed back out of a TO-delivered payload.
+struct GatewayCommand {
+  std::uint64_t client_id = 0;
+  std::uint64_t session_seq = 0;
+  Payload command;  ///< aliases the delivered payload
+};
+
+}  // namespace fsr

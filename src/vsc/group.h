@@ -70,6 +70,9 @@ class GroupMember {
 
   void broadcast(Bytes payload) { engine_.broadcast(std::move(payload)); }
 
+  /// Zero-copy variant (see Engine::broadcast(Payload)).
+  void broadcast(Payload payload) { engine_.broadcast(std::move(payload)); }
+
   /// Ask to be admitted to the group via a current member.
   void request_join(NodeId contact);
 

@@ -1,0 +1,479 @@
+// The client gateway: wire codec hardening, exactly-once session semantics
+// (including retries redirected to a different replica across a sequencer
+// crash), response routing, and admission control that backpressures
+// explicitly instead of dropping or OOMing.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include <chrono>
+#include <thread>
+
+#include "gateway/client_driver.h"
+#include "gateway/sim_gateway.h"
+#include "proto/client_codec.h"
+
+namespace fsr {
+namespace {
+
+Bytes bytes_of(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+std::string str_of(const Bytes& b) { return std::string(b.begin(), b.end()); }
+
+ClientRequest make_request(std::uint64_t client, std::uint64_t seq,
+                           const Bytes& command) {
+  ClientRequest req;
+  req.client_id = client;
+  req.session_seq = seq;
+  req.envelope = make_payload(encode_envelope(client, seq, command));
+  req.command = parse_envelope(req.envelope)->command;
+  return req;
+}
+
+// ---------------------------------------------------------------- codec ---
+
+TEST(ClientCodec, FrameRoundtrip) {
+  ClientFrame frame;
+  ClientHello hello;
+  hello.client_id = 42;
+  frame.msgs.emplace_back(hello);
+  frame.msgs.emplace_back(make_request(42, 7, bytes_of("do-thing")));
+  ClientRead read;
+  read.client_id = 42;
+  read.read_seq = 3;
+  read.query = make_payload(bytes_of("key"));
+  frame.msgs.emplace_back(read);
+  ClientReply reply;
+  reply.client_id = 42;
+  reply.session_seq = 7;
+  reply.status = ClientStatus::kRejectedWindow;
+  reply.duplicate = true;
+  reply.reply = make_payload(bytes_of("cached"));
+  frame.msgs.emplace_back(reply);
+
+  Bytes wire = encode_client_frame(frame);
+  EXPECT_EQ(wire.size(), client_wire_size(frame));
+
+  ClientFrame out = decode_client_frame(wire);
+  ASSERT_EQ(out.msgs.size(), 4u);
+  EXPECT_EQ(std::get<ClientHello>(out.msgs[0]).client_id, 42u);
+  const auto& r = std::get<ClientRequest>(out.msgs[1]);
+  EXPECT_EQ(r.client_id, 42u);
+  EXPECT_EQ(r.session_seq, 7u);
+  EXPECT_EQ(str_of(Bytes(r.command.begin(), r.command.end())), "do-thing");
+  const auto& rd = std::get<ClientRead>(out.msgs[2]);
+  EXPECT_EQ(rd.read_seq, 3u);
+  const auto& rp = std::get<ClientReply>(out.msgs[3]);
+  EXPECT_EQ(rp.status, ClientStatus::kRejectedWindow);
+  EXPECT_TRUE(rp.duplicate);
+  EXPECT_EQ(str_of(Bytes(rp.reply.begin(), rp.reply.end())), "cached");
+}
+
+TEST(ClientCodec, DecodedRequestEnvelopeAliasesWire) {
+  // With an owner, the decoded envelope must be a view into the wire buffer
+  // (this is the zero-copy contract: admission broadcasts those bytes).
+  ClientFrame frame;
+  frame.msgs.emplace_back(make_request(9, 1, bytes_of("payload-bytes")));
+  auto wire = std::make_shared<const Bytes>(encode_client_frame(frame));
+  ClientFrame out = decode_client_frame(*wire, wire);
+  const auto& req = std::get<ClientRequest>(out.msgs[0]);
+  EXPECT_GE(req.envelope.data(), wire->data());
+  EXPECT_LE(req.envelope.end(), wire->data() + wire->size());
+  // And the envelope parses back to the same command, still aliasing.
+  auto cmd = parse_envelope(req.envelope);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->client_id, 9u);
+  EXPECT_EQ(cmd->session_seq, 1u);
+  EXPECT_GE(cmd->command.data(), wire->data());
+}
+
+TEST(ClientCodec, AdversarialInputsThrowDontCrash) {
+  ClientFrame frame;
+  frame.msgs.emplace_back(make_request(1, 1, bytes_of("x")));
+  Bytes wire = encode_client_frame(frame);
+
+  // Truncations at every length.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    std::span<const std::uint8_t> cut(wire.data(), len);
+    EXPECT_THROW(decode_client_frame(cut), CodecError) << "len=" << len;
+  }
+  // Wrong version.
+  Bytes bad = wire;
+  bad[0] = 0x7f;
+  EXPECT_THROW(decode_client_frame(bad), CodecError);
+  // Unknown tag.
+  bad = wire;
+  bad[2] = 0x6e;
+  EXPECT_THROW(decode_client_frame(bad), CodecError);
+  // Trailing garbage.
+  bad = wire;
+  bad.push_back(0x00);
+  EXPECT_THROW(decode_client_frame(bad), CodecError);
+  // Hostile message count must not allocate.
+  Bytes hostile = {kClientProtoVersion, 0xff, 0xff, 0xff, 0xff, 0x7f};
+  EXPECT_THROW(decode_client_frame(hostile), CodecError);
+  // Unknown reply status byte.
+  ClientFrame rf;
+  ClientReply rep;
+  rep.client_id = 1;
+  rep.session_seq = 1;
+  rf.msgs.emplace_back(rep);
+  Bytes rw = encode_client_frame(rf);
+  rw[rw.size() - 3] = 0x63;  // status byte of the trailing reply
+  EXPECT_THROW(decode_client_frame(rw), CodecError);
+}
+
+TEST(ClientCodec, ParseEnvelopeDistinguishesPlainBroadcasts) {
+  // A payload not starting with the magic is not gateway traffic.
+  EXPECT_FALSE(parse_envelope(make_payload(bytes_of("plain"))).has_value());
+  EXPECT_FALSE(parse_envelope(Payload{}).has_value());
+  // Magic but truncated body: malformed, thrown (callers count and drop).
+  Bytes junk = {0xC5, 0x01};
+  EXPECT_THROW(parse_envelope(make_payload(junk)), CodecError);
+  // Roundtrip.
+  Bytes env = encode_envelope(77, 12, bytes_of("cmd"));
+  auto cmd = parse_envelope(make_payload(env));
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->client_id, 77u);
+  EXPECT_EQ(cmd->session_seq, 12u);
+  EXPECT_EQ(str_of(Bytes(cmd->command.begin(), cmd->command.end())), "cmd");
+}
+
+// ------------------------------------------------------- sim exactly-once ---
+
+struct GatewayFixture {
+  explicit GatewayFixture(std::size_t n = 3, GatewayConfig gw = {}) {
+    SimGatewayConfig cfg;
+    cfg.cluster.n = n;
+    cfg.gateway = gw;
+    gc = std::make_unique<SimGatewayCluster>(cfg);
+  }
+  std::unique_ptr<SimGatewayCluster> gc;
+};
+
+TEST(Gateway, ClosedLoopSessionExecutesInOrder) {
+  GatewayFixture f;
+  SimClient::Options opt;
+  opt.client_id = 7;
+  opt.replica = 1;
+  SimClient client(*f.gc, opt);
+  client.submit(KvStore::encode_put("k", "1"));
+  client.submit(KvStore::encode_cas("k", "1", "2"));
+  client.submit(KvStore::encode_cas("k", "2", "3"));
+  f.gc->sim().run();
+
+  ASSERT_EQ(client.completed().size(), 3u);
+  for (const auto& d : client.completed()) {
+    EXPECT_EQ(d.status, ClientStatus::kOk);
+    EXPECT_EQ(str_of(d.reply), "OK");
+  }
+  EXPECT_TRUE(client.idle());
+  EXPECT_EQ(f.gc->check_replicas_converged(), "");
+  EXPECT_EQ(f.gc->cluster().check_all(), "");
+  for (std::size_t i = 0; i < f.gc->size(); ++i) {
+    EXPECT_EQ(f.gc->store(static_cast<NodeId>(i)).get("k"), "3");
+    EXPECT_EQ(f.gc->store(static_cast<NodeId>(i)).failed_cas(), 0u);
+    EXPECT_EQ(f.gc->gateway(static_cast<NodeId>(i)).last_executed(7), 3u);
+  }
+}
+
+TEST(Gateway, DuplicateRetryServedFromReplyCache) {
+  GatewayFixture f;
+  auto& gw = f.gc->gateway(0);
+  std::vector<ClientReply> replies;
+  auto send = [&](const ClientReply& r) { replies.push_back(r); };
+
+  gw.on_request(make_request(5, 1, KvStore::encode_put("a", "x")), send);
+  f.gc->sim().run();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].status, ClientStatus::kOk);
+  EXPECT_FALSE(replies[0].duplicate);
+
+  // Retransmit of the executed seq: cached reply, no second execution.
+  gw.on_request(make_request(5, 1, KvStore::encode_put("a", "x")), send);
+  f.gc->sim().run();
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[1].status, ClientStatus::kOk);
+  EXPECT_TRUE(replies[1].duplicate);
+  EXPECT_EQ(str_of(Bytes(replies[1].reply.begin(), replies[1].reply.end())), "OK");
+  EXPECT_EQ(gw.counters().duplicate_hits, 1u);
+  EXPECT_EQ(f.gc->store(0).applied_commands(), 1u);
+  EXPECT_EQ(f.gc->check_replicas_converged(), "");
+}
+
+TEST(Gateway, SessionSeqGapRejected) {
+  GatewayFixture f;
+  auto& gw = f.gc->gateway(0);
+  std::vector<ClientReply> replies;
+  auto send = [&](const ClientReply& r) { replies.push_back(r); };
+  gw.on_request(make_request(5, 4, KvStore::encode_put("a", "x")), send);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].status, ClientStatus::kBadRequest);
+  // seq 0 is never valid.
+  gw.on_request(make_request(5, 0, KvStore::encode_put("a", "x")), send);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[1].status, ClientStatus::kBadRequest);
+  f.gc->sim().run();
+  EXPECT_EQ(f.gc->store(0).applied_commands(), 0u);
+}
+
+TEST(Gateway, LocalReadsAnswerWithoutBroadcast) {
+  GatewayFixture f;
+  SimClient::Options opt;
+  opt.client_id = 2;
+  SimClient client(*f.gc, opt);
+  client.submit(KvStore::encode_put("color", "teal"));
+  f.gc->sim().run();
+
+  auto& gw = f.gc->gateway(2);  // reads work on any replica
+  std::vector<ClientReply> replies;
+  ClientRead read;
+  read.client_id = 99;  // reads don't need a session
+  read.read_seq = 1;
+  read.query = make_payload(KvStore::encode_get("color"));
+  gw.on_read(read, [&](const ClientReply& r) { replies.push_back(r); });
+  ASSERT_EQ(replies.size(), 1u);
+  auto val = KvStore::decode_get_reply(replies[0].reply.span());
+  ASSERT_TRUE(val.has_value());
+  EXPECT_EQ(*val, "teal");
+  EXPECT_EQ(gw.counters().reads, 1u);
+}
+
+// The tentpole scenario: the client's replica crashes mid-request and the
+// retry goes through a different replica. The command must execute exactly
+// once (chained CAS makes double-execution visible as failed_cas) and the
+// duplicate path must actually fire across the run.
+TEST(Gateway, RetryAcrossCrashExecutesExactlyOnce) {
+  GatewayFixture f(4);
+  SimClient::Options opt;
+  opt.client_id = 11;
+  opt.replica = 0;
+  opt.retry_timeout = 300 * kMillisecond;
+  SimClient client(*f.gc, opt);
+  client.submit(KvStore::encode_put("x", "0"));
+  for (int i = 0; i < 9; ++i) {
+    client.submit(KvStore::encode_cas("x", std::to_string(i), std::to_string(i + 1)));
+  }
+  // Let the first few commands land, then crash the owner replica
+  // mid-session.
+  while (client.completed().size() < 3 && !f.gc->sim().empty()) {
+    f.gc->sim().run_steps(50);
+  }
+  ASSERT_TRUE(client.completed().size() < 10u);
+  f.gc->crash(0);
+  f.gc->sim().run();
+
+  ASSERT_TRUE(client.idle()) << "completed " << client.completed().size();
+  ASSERT_EQ(client.completed().size(), 10u);
+  for (const auto& d : client.completed()) {
+    EXPECT_EQ(d.status, ClientStatus::kOk);
+    EXPECT_EQ(str_of(d.reply), "OK") << "seq " << d.seq;
+  }
+  EXPECT_NE(client.replica(), 0) << "client must have failed over";
+  // Exactly-once, on every surviving replica: the CAS chain ran clean.
+  for (NodeId id = 1; id < 4; ++id) {
+    EXPECT_EQ(f.gc->store(id).get("x"), "9");
+    EXPECT_EQ(f.gc->store(id).failed_cas(), 0u) << "node " << int(id);
+  }
+  EXPECT_EQ(f.gc->check_replicas_converged(), "");
+  EXPECT_EQ(f.gc->cluster().check_all(), "");
+}
+
+// ------------------------------------------------------- admission control ---
+
+TEST(Gateway, WindowOverflowQueuesThenRejectsExplicitly) {
+  GatewayConfig gw_cfg;
+  gw_cfg.session_window = 2;
+  gw_cfg.session_queue = 3;
+  GatewayFixture f(3, gw_cfg);
+  auto& gw = f.gc->gateway(0);
+
+  std::vector<ClientReply> replies;
+  auto send = [&](const ClientReply& r) { replies.push_back(r); };
+  const int kBurst = 8;
+  for (int i = 1; i <= kBurst; ++i) {
+    gw.on_request(make_request(3, i, KvStore::encode_put("k" + std::to_string(i), "v")),
+                  send);
+  }
+  // window(2) admitted + queue(3) parked; the rest rejected immediately.
+  EXPECT_EQ(gw.counters().admitted, 2u);
+  EXPECT_EQ(gw.counters().queued, 3u);
+  EXPECT_EQ(gw.counters().rejected_window, 3u);
+  EXPECT_EQ(replies.size(), 3u);
+  for (const auto& r : replies) EXPECT_EQ(r.status, ClientStatus::kRejectedWindow);
+
+  f.gc->sim().run();
+  // Deliveries drained the queue: every admitted/queued command executed
+  // and was answered; nothing was silently dropped.
+  EXPECT_EQ(replies.size(), 8u);
+  std::size_t ok = 0;
+  for (const auto& r : replies) ok += r.status == ClientStatus::kOk;
+  EXPECT_EQ(ok, 5u);
+  EXPECT_EQ(f.gc->store(0).applied_commands(), 5u);
+  EXPECT_EQ(gw.admitted_bytes(), 0u) << "budget must drain to zero";
+  // The engine behind the gateway stayed healthy.
+  EngineCounters ec = f.gc->cluster().engine_counters();
+  EXPECT_EQ(ec.out_of_window, 0u);
+  EXPECT_GT(ec.records_pooled + ec.records_allocated, 0u);
+  EXPECT_EQ(f.gc->check_replicas_converged(), "");
+  EXPECT_EQ(f.gc->cluster().check_all(), "");
+
+  // The client can resume where the rejections left off (seq 6).
+  replies.clear();
+  gw.on_request(make_request(3, 6, KvStore::encode_put("k6", "v")), send);
+  f.gc->sim().run();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].status, ClientStatus::kOk);
+}
+
+TEST(Gateway, ByteBudgetRejectsInsteadOfBuffering) {
+  GatewayConfig gw_cfg;
+  gw_cfg.session_window = 64;
+  gw_cfg.admitted_bytes_budget = 4096;
+  GatewayFixture f(3, gw_cfg);
+  auto& gw = f.gc->gateway(0);
+
+  std::vector<ClientReply> replies;
+  auto send = [&](const ClientReply& r) { replies.push_back(r); };
+  Bytes big(1500, 0xAB);
+  int rejected = 0;
+  for (int i = 1; i <= 6; ++i) {
+    gw.on_request(make_request(4, i,
+                               KvStore::encode_put("big" + std::to_string(i),
+                                                   std::string(big.begin(), big.end()))),
+                  send);
+    if (!replies.empty() && replies.back().session_seq == std::uint64_t(i) &&
+        replies.back().status == ClientStatus::kRejectedBytes) {
+      ++rejected;
+      break;
+    }
+  }
+  EXPECT_GT(rejected, 0) << "budget must eventually reject";
+  EXPECT_GT(gw.counters().rejected_bytes, 0u);
+  f.gc->sim().run();
+  EXPECT_EQ(gw.admitted_bytes(), 0u);
+  EXPECT_EQ(f.gc->check_replicas_converged(), "");
+}
+
+TEST(Gateway, OversizedCommandRejectedOutright) {
+  GatewayConfig gw_cfg;
+  gw_cfg.max_command_bytes = 64;
+  GatewayFixture f(3, gw_cfg);
+  auto& gw = f.gc->gateway(0);
+  std::vector<ClientReply> replies;
+  gw.on_request(make_request(6, 1, Bytes(1024, 0x11)),
+                [&](const ClientReply& r) { replies.push_back(r); });
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].status, ClientStatus::kBadRequest);
+  EXPECT_EQ(gw.counters().admitted, 0u);
+}
+
+TEST(Gateway, PlainBroadcastsCoexistWithEnvelopes) {
+  GatewayFixture f;
+  // A plain (non-gateway) broadcast applies to the state machine directly.
+  f.gc->cluster().broadcast(1, KvStore::encode_put("plain", "1"));
+  SimClient::Options opt;
+  opt.client_id = 1;
+  SimClient client(*f.gc, opt);
+  client.submit(KvStore::encode_put("sessioned", "2"));
+  f.gc->sim().run();
+  for (std::size_t i = 0; i < f.gc->size(); ++i) {
+    EXPECT_EQ(f.gc->store(static_cast<NodeId>(i)).get("plain"), "1");
+    EXPECT_EQ(f.gc->store(static_cast<NodeId>(i)).get("sessioned"), "2");
+  }
+  EXPECT_EQ(f.gc->check_replicas_converged(), "");
+  EXPECT_EQ(f.gc->cluster().check_all(), "");
+}
+
+// -------------------------------------------------------------- real TCP ---
+
+bool fingerprints_converge(TcpGatewayCluster& gc, Time timeout) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::nanoseconds(timeout);
+  for (;;) {
+    auto fps = gc.fingerprints();
+    bool equal = !fps.empty();
+    for (std::uint64_t fp : fps) equal = equal && fp == fps[0];
+    if (equal) return true;
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+TEST(GatewayTcp, EndToEndSessionOverSockets) {
+  TcpGatewayCluster gc;
+  GatewayClient::Options opt;
+  opt.client_id = 21;
+  opt.endpoints = gc.endpoints();
+  GatewayClient client(opt);
+
+  auto r = client.call(KvStore::encode_put("greeting", "hello"));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, ClientStatus::kOk);
+  EXPECT_EQ(str_of(r.reply), "OK");
+  for (int i = 0; i < 20; ++i) {
+    r = client.call(KvStore::encode_cas("greeting",
+                                        i == 0 ? "hello" : std::to_string(i - 1),
+                                        std::to_string(i)));
+    ASSERT_TRUE(r.ok) << "cas " << i;
+    EXPECT_EQ(str_of(r.reply), "OK") << "cas " << i;
+  }
+  // Local read on the connected replica.
+  auto got = client.read(KvStore::encode_get("greeting"));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(KvStore::decode_get_reply(*got), "19");
+
+  ASSERT_TRUE(fingerprints_converge(gc, 10 * kSecond));
+  EXPECT_EQ(gc.total_failed_cas(), 0u);
+  EXPECT_EQ(gc.check_invariants(), "");
+  auto counters = gc.gateway_counters();
+  EXPECT_EQ(counters.commands_applied, 21u * 3);  // every replica applied all
+  EXPECT_EQ(counters.replies_sent, 22u);          // 21 calls + 1 read
+}
+
+// Crash the replica owning the client's connection mid-chain; the client
+// reconnects to a different replica and the CAS chain must run exactly once
+// (any double apply shows up as failed_cas on the survivors).
+TEST(GatewayTcp, ClientSurvivesReplicaCrashExactlyOnce) {
+  TcpGatewayClusterConfig cfg;
+  cfg.n = 3;
+  TcpGatewayCluster gc(cfg);
+
+  GatewayClient::Options opt;
+  opt.client_id = 31;
+  opt.endpoints = gc.endpoints();
+  opt.start_index = 0;  // owned by the replica we will crash
+  opt.recv_timeout = 500 * kMillisecond;
+  GatewayClient client(opt);
+
+  ASSERT_TRUE(client.call(KvStore::encode_put("x", "0")).ok);
+
+  const int kSteps = 300;
+  std::atomic<int> progress{0};
+  std::thread chain([&] {
+    for (int i = 0; i < kSteps; ++i) {
+      auto r = client.call(
+          KvStore::encode_cas("x", std::to_string(i), std::to_string(i + 1)));
+      ASSERT_TRUE(r.ok) << "cas " << i;
+      ASSERT_EQ(str_of(r.reply), "OK") << "cas " << i;
+      progress.store(i + 1);
+    }
+  });
+  // Crash the owner mid-chain (after it demonstrably made progress, with
+  // plenty of the chain left to ride through the failover).
+  while (progress.load() < kSteps / 4) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  gc.crash(0);
+  chain.join();
+
+  EXPECT_GE(client.reconnects(), 2u) << "client must have failed over";
+  ASSERT_TRUE(fingerprints_converge(gc, 10 * kSecond));
+  EXPECT_EQ(gc.total_failed_cas(), 0u);
+  for (NodeId id = 1; id < 3; ++id) {
+    EXPECT_EQ(gc.store(id).get("x"), std::to_string(kSteps));
+  }
+  EXPECT_EQ(gc.check_invariants(), "");
+}
+
+}  // namespace
+}  // namespace fsr

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "gateway/sim_gateway.h"
 #include "harness/swarm.h"
 #include "support/seeded_test.h"
 
@@ -132,6 +133,95 @@ INSTANTIATE_TEST_SUITE_P(Matrix, SwarmTest,
                          [](const auto& info) {
                            return swarm_matrix()[info.param].name;
                          });
+
+// Gateway shape: a session client drives a chained-CAS workload while the
+// sequencer (node 0, which also owns the client's connection) crashes
+// mid-request; the client retries through a different replica. Seeded sweep
+// over crash points, chain lengths, retry timeouts and network schedules.
+// Exactly-once is the oracle: a double apply anywhere breaks the CAS chain
+// (failed_cas > 0) or diverges the replicas; a lost command stalls the
+// client. Across the sweep the duplicate path must actually fire.
+TEST(Swarm, GatewayRetryAcrossSequencerCrashIsExactlyOnce) {
+  const std::uint64_t seeds = std::max<std::uint64_t>(seeds_per_config() / 8, 24);
+  GatewayCounters totals;
+  std::uint64_t dup_replies = 0;
+
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    // splitmix64 over the seed for the run's shape parameters.
+    auto next = [x = seed * 0x9e3779b97f4a7c15ULL]() mutable {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+
+    SimGatewayConfig cfg;
+    cfg.cluster.n = 4;
+    cfg.cluster.group.engine.t = 1;
+    cfg.cluster.net.seed = next();
+    FSR_SEED_TRACE(seed, cfg.cluster);
+    SimGatewayCluster gc(cfg);
+
+    SimClient::Options opt;
+    opt.client_id = 1;
+    opt.replica = 0;  // owned by the sequencer we crash
+    opt.retry_timeout = (150 + Time(next() % 250)) * kMillisecond;
+    SimClient client(gc, opt);
+
+    const int chain = 6 + int(next() % 10);
+    client.submit(KvStore::encode_put("x", "0"));
+    for (int i = 0; i < chain; ++i) {
+      client.submit(
+          KvStore::encode_cas("x", std::to_string(i), std::to_string(i + 1)));
+    }
+
+    // Crash after a seeded amount of progress, always mid-chain.
+    // Single-step so the crash lands exactly at the seeded progress point
+    // (mid-request: the next command is already outstanding).
+    const std::size_t crash_after = 1 + next() % std::uint64_t(chain - 1);
+    while (client.completed().size() < crash_after && !gc.sim().empty()) {
+      gc.sim().run_steps(1);
+    }
+    // Step a seeded distance into the next, still-outstanding request so the
+    // crash lands mid-flight: sometimes before the broadcast propagates
+    // (clean retry through the new view), sometimes after survivors already
+    // delivered it (the retry must be answered from the replicated reply
+    // cache, not re-executed).
+    for (std::uint64_t extra = next() % 120;
+         extra > 0 && client.completed().size() <= crash_after && !gc.sim().empty();
+         --extra) {
+      gc.sim().run_steps(1);
+    }
+    ASSERT_LT(client.completed().size(), std::size_t(chain) + 1);
+    gc.crash(0);
+    gc.sim().run();
+
+    ASSERT_TRUE(client.idle())
+        << "client stalled at " << client.completed().size() << "/" << chain + 1;
+    ASSERT_EQ(client.completed().size(), std::size_t(chain) + 1);
+    for (const auto& d : client.completed()) {
+      ASSERT_EQ(d.status, ClientStatus::kOk) << "seq " << d.seq;
+      ASSERT_EQ(std::string(d.reply.begin(), d.reply.end()), "OK") << "seq " << d.seq;
+      dup_replies += d.duplicate;
+    }
+    EXPECT_NE(client.replica(), 0);
+    for (NodeId id = 1; id < 4; ++id) {
+      ASSERT_EQ(gc.store(id).get("x"), std::to_string(chain)) << "node " << int(id);
+      ASSERT_EQ(gc.store(id).failed_cas(), 0u) << "node " << int(id);
+    }
+    ASSERT_EQ(gc.check_replicas_converged(), "");
+    ASSERT_EQ(gc.cluster().check_all(), "");
+    totals += gc.gateway_counters();
+  }
+
+  // The sweep must actually exercise the dedupe machinery: retries answered
+  // from the replicated reply cache and/or double-broadcast deliveries
+  // suppressed at execution.
+  EXPECT_GT(totals.duplicate_hits + totals.duplicate_applies_suppressed, 0u)
+      << "no seed exercised the duplicate path (dup replies seen: " << dup_replies
+      << ")";
+}
 
 TEST(Swarm, RunsAreDeterministicPerSeed) {
   SwarmRunner runner(swarm_matrix()[1]);

@@ -2,16 +2,20 @@
 """Diff fresh BENCH_<name>.json reports against committed baseline snapshots.
 
 Usage: check_bench_regression.py <fresh-dir> <baseline-dir> [--threshold PCT]
+                                 [--fail]
 
 For every BENCH_*.json in <baseline-dir>, find the same-named report in
 <fresh-dir> and compare throughput metrics row by row (rows are matched on
-their identity keys: nodes / msg_size / senders / ...). A fresh value more
-than --threshold percent (default 15) below the baseline prints a GitHub
-Actions ::warning:: annotation.
+their identity keys: nodes / msg_size / senders / clients / ...). A fresh
+value more than --threshold percent (default 15) below the baseline prints
+a GitHub Actions ::warning:: annotation.
 
-This is a trend-watcher, not a gate: CI runners are shared hardware, so the
-exit code is always 0 unless a report is missing or unparseable (schema
-drift should be loud; a slow runner should not be).
+By default this is a trend-watcher, not a gate: CI runners are shared
+hardware, so the exit code is 0 unless a report is missing or unparseable
+(schema drift should be loud; a slow runner should not be). With --fail,
+any regression past the threshold also fails the run — meant for the
+nightly job, which uses a generous threshold to separate real regressions
+from runner noise.
 """
 
 import argparse
@@ -20,11 +24,12 @@ import sys
 from pathlib import Path
 
 # Higher-is-better throughput metrics worth warning about.
-METRICS = ("goodput_mbps", "frames_per_sec", "msgs_per_sec")
+METRICS = ("goodput_mbps", "frames_per_sec", "msgs_per_sec",
+           "requests_per_sec")
 
 # Keys that identify a row within a report (whatever subset is present).
 IDENTITY = ("nodes", "msg_size", "msgs_per_sender", "senders", "message_size",
-            "rate_per_sender")
+            "rate_per_sender", "clients", "requests_per_client")
 
 
 def load_report(path: Path):
@@ -45,6 +50,10 @@ def main():
     ap.add_argument("baseline_dir", type=Path)
     ap.add_argument("--threshold", type=float, default=15.0,
                     help="warn when a metric drops more than this percent")
+    ap.add_argument("--fail", action="store_true",
+                    help="exit nonzero when any metric regresses past the "
+                         "threshold (nightly gate; per-commit CI stays "
+                         "warn-only)")
     args = ap.parse_args()
 
     baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
@@ -94,7 +103,13 @@ def main():
 
     print(f"bench regression check: {compared} metric(s) compared, "
           f"{warnings} warning(s)")
-    return 1 if hard_error else 0
+    if hard_error:
+        return 1
+    if args.fail and warnings:
+        print(f"error: --fail set and {warnings} regression warning(s)",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
