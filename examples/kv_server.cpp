@@ -88,8 +88,13 @@ int main(int argc, char** argv) {
   GroupMember member(
       transport, group, initial,
       [&gw, &store](const Delivery& d) {
-        if (gw) gw->on_delivery(d);
-        else store.apply(d.origin, d.payload);
+        if (gw) {
+          Gateway& g = *gw;
+          ThreadRoleRegion role(g.role());
+          g.on_delivery(d);
+        } else {
+          store.apply(d.origin, d.payload);
+        }
       },
       [](const View& v) {
         std::printf("-- new %s --\n", to_string(v).c_str());

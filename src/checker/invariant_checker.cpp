@@ -27,18 +27,18 @@ void InvariantChecker::record_violation(std::string what) {
 }
 
 void InvariantChecker::set_context_provider(std::function<std::string()> fn) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   context_ = std::move(fn);
 }
 
 void InvariantChecker::on_broadcast(NodeId origin, std::uint64_t app_msg,
                                     std::uint64_t payload_hash) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   submitted_[{origin, app_msg}] = payload_hash;
 }
 
 void InvariantChecker::on_delivery(const DeliveryRecord& rec) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (rec.node >= n_) {
     record_violation("delivery at unknown node " + std::to_string(rec.node));
     return;
@@ -99,34 +99,34 @@ void InvariantChecker::on_delivery(const DeliveryRecord& rec) {
 }
 
 void InvariantChecker::note_crashed(NodeId node) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   crashed_.insert(node);
 }
 
 std::uint64_t InvariantChecker::deliveries() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return deliveries_;
 }
 
 std::set<NodeId> InvariantChecker::crashed() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return crashed_;
 }
 
 std::vector<DeliveryRecord> InvariantChecker::log(NodeId node) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return logs_[node];
 }
 
 std::string InvariantChecker::online_violation() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return first_violation_;
 }
 
 // --- full-trace passes ---
 
 std::string InvariantChecker::check_total_order() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return check_total_order_locked();
 }
 
@@ -158,7 +158,7 @@ std::string InvariantChecker::check_total_order_locked() const {
 }
 
 std::string InvariantChecker::check_agreement(const std::set<NodeId>& correct) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return check_agreement_locked(correct);
 }
 
@@ -190,7 +190,7 @@ std::string InvariantChecker::check_agreement_locked(const std::set<NodeId>& cor
 }
 
 std::string InvariantChecker::check_integrity() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return check_integrity_locked();
 }
 
@@ -219,7 +219,7 @@ std::string InvariantChecker::check_integrity_locked() const {
 
 std::string InvariantChecker::check_uniformity(const std::set<NodeId>& crashed,
                                                const std::set<NodeId>& correct) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return check_uniformity_locked(crashed, correct);
 }
 
@@ -247,7 +247,7 @@ std::string InvariantChecker::check_uniformity_locked(
 }
 
 std::string InvariantChecker::check_fifo() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return check_fifo_locked(cfg_.require_gap_free_origins);
 }
 
@@ -279,7 +279,7 @@ std::string InvariantChecker::check_fifo_locked(bool require_gap_free) const {
 }
 
 std::string InvariantChecker::check_all() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (!first_violation_.empty()) return first_violation_;
   std::set<NodeId> correct;
   for (std::size_t i = 0; i < logs_.size(); ++i) {

@@ -25,11 +25,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/types.h"
 
 namespace fsr {
@@ -125,26 +125,30 @@ class InvariantChecker {
     friend bool operator==(const Identity&, const Identity&) = default;
   };
 
-  void record_violation(std::string what);  // requires mutex_ held
-  std::string check_total_order_locked() const;
-  std::string check_agreement_locked(const std::set<NodeId>& correct) const;
-  std::string check_integrity_locked() const;
+  void record_violation(std::string what) FSR_REQUIRES(mutex_);
+  std::string check_total_order_locked() const FSR_REQUIRES(mutex_);
+  std::string check_agreement_locked(const std::set<NodeId>& correct) const FSR_REQUIRES(mutex_);
+  std::string check_integrity_locked() const FSR_REQUIRES(mutex_);
   std::string check_uniformity_locked(const std::set<NodeId>& crashed,
-                                      const std::set<NodeId>& correct) const;
-  std::string check_fifo_locked(bool require_gap_free) const;
+                                      const std::set<NodeId>& correct) const
+      FSR_REQUIRES(mutex_);
+  std::string check_fifo_locked(bool require_gap_free) const FSR_REQUIRES(mutex_);
 
   std::size_t n_;
   CheckerConfig cfg_;
 
-  mutable std::mutex mutex_;
-  std::vector<std::vector<DeliveryRecord>> logs_;
-  std::vector<std::map<NodeId, std::uint64_t>> last_app_;  // per node: origin -> app_msg
-  std::map<std::pair<NodeId, std::uint64_t>, std::uint64_t> submitted_;  // -> hash
-  std::map<GlobalSeq, Identity> seq_identity_;  // global seq -> message
-  std::set<NodeId> crashed_;
-  std::uint64_t deliveries_ = 0;
-  std::string first_violation_;
-  std::function<std::string()> context_;
+  mutable Mutex mutex_;
+  std::vector<std::vector<DeliveryRecord>> logs_ FSR_GUARDED_BY(mutex_);
+  std::vector<std::map<NodeId, std::uint64_t>> last_app_
+      FSR_GUARDED_BY(mutex_);  // per node: origin -> app_msg
+  std::map<std::pair<NodeId, std::uint64_t>, std::uint64_t> submitted_
+      FSR_GUARDED_BY(mutex_);  // -> hash
+  std::map<GlobalSeq, Identity> seq_identity_
+      FSR_GUARDED_BY(mutex_);  // global seq -> message
+  std::set<NodeId> crashed_ FSR_GUARDED_BY(mutex_);
+  std::uint64_t deliveries_ FSR_GUARDED_BY(mutex_) = 0;
+  std::string first_violation_ FSR_GUARDED_BY(mutex_);
+  std::function<std::string()> context_ FSR_GUARDED_BY(mutex_);
 };
 
 /// Render a (origin, app_msg) pair the way every checker message does.

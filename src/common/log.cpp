@@ -3,13 +3,14 @@
 #include <atomic>
 #include <cstdarg>
 #include <cstdio>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace fsr {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+Mutex g_mutex;  // serializes whole lines onto stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,7 +29,7 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 void log_write(LogLevel level, const std::string& msg) {
-  std::lock_guard lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 

@@ -1,0 +1,267 @@
+// Annotated synchronization primitives for Clang Thread Safety Analysis.
+//
+// Every lock and every thread in this codebase goes through the wrappers in
+// this file. The FSR_* macros expand to Clang's thread-safety attributes
+// under Clang and compile away on other compilers, so the same sources build
+// with GCC while Clang builds (the `clang-tsa` CMake preset and the
+// `clang-threadsafety` CI job) enforce the locking discipline with
+// -Werror=thread-safety. `tools/fsr_lint.py` enforces the complementary
+// project rules the compiler can't see (no raw std::mutex/std::thread
+// outside this file, no blocking calls on I/O-thread-only paths).
+//
+// Two kinds of capability:
+//
+//  * Mutex / RecursiveMutex — ordinary lockable capabilities. Guard data
+//    with FSR_GUARDED_BY(mu), take them with MutexLock / RecursiveMutexLock,
+//    and annotate "caller must hold" helpers with FSR_REQUIRES(mu).
+//
+//  * ThreadRole — a zero-cost *role* capability modeling "this code runs on
+//    thread X" (e.g. a TcpTransport's I/O thread, a Gateway's event thread).
+//    There is no lock to take: the thread that *is* the role adopts it once
+//    (ThreadRoleRegion) and everything it calls may be FSR_REQUIRES(role).
+//    Cross-thread entry points declare FSR_EXCLUDES(role). Statically this
+//    turns wrong-thread calls into compile errors wherever the concrete type
+//    is visible; dynamically adopt() enforces mutual exclusion (abort on
+//    concurrent adoption from two threads), so contracts that flow through
+//    type-erased call paths (std::function, Transport&) are still checked at
+//    runtime. Asserts are always on in this repo (NDEBUG is stripped).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+// ---------------------------------------------------------------------------
+// Attribute macros (Clang thread safety analysis; no-ops elsewhere).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && !defined(FSR_NO_THREAD_SAFETY_ATTRIBUTES)
+#define FSR_TSA_ATTR__(x) __attribute__((x))
+#else
+#define FSR_TSA_ATTR__(x)  // no-op
+#endif
+
+#define FSR_CAPABILITY(x) FSR_TSA_ATTR__(capability(x))
+#define FSR_SCOPED_CAPABILITY FSR_TSA_ATTR__(scoped_lockable)
+#define FSR_GUARDED_BY(x) FSR_TSA_ATTR__(guarded_by(x))
+#define FSR_PT_GUARDED_BY(x) FSR_TSA_ATTR__(pt_guarded_by(x))
+#define FSR_ACQUIRED_BEFORE(...) FSR_TSA_ATTR__(acquired_before(__VA_ARGS__))
+#define FSR_ACQUIRED_AFTER(...) FSR_TSA_ATTR__(acquired_after(__VA_ARGS__))
+#define FSR_REQUIRES(...) FSR_TSA_ATTR__(requires_capability(__VA_ARGS__))
+#define FSR_ACQUIRE(...) FSR_TSA_ATTR__(acquire_capability(__VA_ARGS__))
+#define FSR_RELEASE(...) FSR_TSA_ATTR__(release_capability(__VA_ARGS__))
+#define FSR_TRY_ACQUIRE(...) FSR_TSA_ATTR__(try_acquire_capability(__VA_ARGS__))
+#define FSR_EXCLUDES(...) FSR_TSA_ATTR__(locks_excluded(__VA_ARGS__))
+#define FSR_ASSERT_CAPABILITY(x) FSR_TSA_ATTR__(assert_capability(x))
+#define FSR_RETURN_CAPABILITY(x) FSR_TSA_ATTR__(lock_returned(x))
+#define FSR_NO_THREAD_SAFETY_ANALYSIS FSR_TSA_ATTR__(no_thread_safety_analysis)
+
+namespace fsr {
+
+// Abort with a message. Used for violated threading contracts: these are
+// programming errors, never recoverable conditions.
+[[noreturn]] inline void sync_fatal(const char* what, const char* who) {
+  std::fprintf(stderr, "fsr sync violation: %s (%s)\n", what, who);
+  std::abort();
+}
+
+// ---------------------------------------------------------------------------
+// Mutex / RecursiveMutex
+// ---------------------------------------------------------------------------
+
+/// std::mutex with capability annotations. Prefer MutexLock for scoped use;
+/// lock()/unlock() exist for CondVar and for the rare manual region.
+class FSR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FSR_ACQUIRE() { mu_.lock(); }
+  void unlock() FSR_RELEASE() { mu_.unlock(); }
+  bool try_lock() FSR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::recursive_mutex with capability annotations. Clang's analysis does
+/// not model reentrancy, so annotated code must not *statically* re-acquire
+/// one of these; dynamic re-entry through type-erased paths (the transport's
+/// post-stop drain) is what the recursion is for.
+class FSR_CAPABILITY("mutex") RecursiveMutex {
+ public:
+  RecursiveMutex() = default;
+  RecursiveMutex(const RecursiveMutex&) = delete;
+  RecursiveMutex& operator=(const RecursiveMutex&) = delete;
+
+  void lock() FSR_ACQUIRE() { mu_.lock(); }
+  void unlock() FSR_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::recursive_mutex mu_;
+};
+
+/// Scoped lock for Mutex (std::lock_guard replacement).
+class FSR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FSR_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() FSR_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped lock for RecursiveMutex.
+class FSR_SCOPED_CAPABILITY RecursiveMutexLock {
+ public:
+  explicit RecursiveMutexLock(RecursiveMutex& mu) FSR_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~RecursiveMutexLock() FSR_RELEASE() { mu_.unlock(); }
+  RecursiveMutexLock(const RecursiveMutexLock&) = delete;
+  RecursiveMutexLock& operator=(const RecursiveMutexLock&) = delete;
+
+ private:
+  RecursiveMutex& mu_;
+};
+
+// ---------------------------------------------------------------------------
+// CondVar
+// ---------------------------------------------------------------------------
+
+/// Condition variable that waits on fsr::Mutex. The waits are REQUIRES(mu):
+/// callers must hold the mutex (via MutexLock or mu.lock()). The bodies are
+/// opted out of analysis because waiting releases and re-acquires the
+/// capability internally, which the analysis cannot follow.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(Mutex& mu) FSR_REQUIRES(mu) FSR_NO_THREAD_SAFETY_ANALYSIS { cv_.wait(mu); }
+
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) FSR_REQUIRES(mu) FSR_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& dur,
+                Pred pred) FSR_REQUIRES(mu) FSR_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(mu, dur, std::move(pred));
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+// ---------------------------------------------------------------------------
+// ThreadRole
+// ---------------------------------------------------------------------------
+
+/// A capability that models thread ownership rather than a lock. The thread
+/// that plays the role adopts it (normally once, at the top of its loop, via
+/// ThreadRoleRegion); methods restricted to that thread are FSR_REQUIRES(role)
+/// and entry points that must never run on it are FSR_EXCLUDES(role).
+///
+/// The runtime check enforces *mutual exclusion*, not permanent affinity:
+/// after a transport stops, its role may legitimately be adopted by whichever
+/// thread drains the post queue — serialized by the drain mutex — so the
+/// owner is a revocable (thread id, depth) pair, not a fixed id. Same-thread
+/// re-adoption nests (depth), concurrent adoption from a second thread
+/// aborts the process with a diagnostic.
+class FSR_CAPABILITY("role") ThreadRole {
+ public:
+  explicit ThreadRole(const char* name) : name_(name) {}
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  /// Claim the role on the calling thread. Nests on the same thread.
+  void adopt() FSR_ACQUIRE() {
+    const std::thread::id me = std::this_thread::get_id();
+    if (owner_.load(std::memory_order_relaxed) == me) {
+      ++depth_;  // owner-only field: safe without synchronization
+      return;
+    }
+    std::thread::id unowned{};
+    if (!owner_.compare_exchange_strong(unowned, me, std::memory_order_acq_rel)) {
+      sync_fatal("thread role adopted concurrently from a second thread", name_);
+    }
+    depth_ = 1;
+  }
+
+  /// Drop one level of adoption; the role becomes free at depth zero.
+  void release() FSR_RELEASE() {
+    if (owner_.load(std::memory_order_relaxed) != std::this_thread::get_id()) {
+      sync_fatal("thread role released by a thread that does not hold it", name_);
+    }
+    if (--depth_ == 0) owner_.store(std::thread::id{}, std::memory_order_release);
+  }
+
+  /// True iff the calling thread currently holds the role.
+  bool held_by_me() const {
+    return owner_.load(std::memory_order_relaxed) == std::this_thread::get_id();
+  }
+
+  /// Runtime backing for contracts the static analysis cannot follow
+  /// (calls through Transport& or std::function). Tells the analysis the
+  /// capability is held from here on.
+  void assert_held() const FSR_ASSERT_CAPABILITY(this) {
+    if (!held_by_me()) sync_fatal("code ran off its required thread role", name_);
+  }
+
+  const char* name() const { return name_; }
+
+ private:
+  std::atomic<std::thread::id> owner_{};
+  int depth_ = 0;  // touched only by the owning thread
+  const char* name_;
+};
+
+/// Scoped adoption of a ThreadRole.
+class FSR_SCOPED_CAPABILITY ThreadRoleRegion {
+ public:
+  explicit ThreadRoleRegion(ThreadRole& role) FSR_ACQUIRE(role) : role_(role) { role_.adopt(); }
+  ~ThreadRoleRegion() FSR_RELEASE() { role_.release(); }
+  ThreadRoleRegion(const ThreadRoleRegion&) = delete;
+  ThreadRoleRegion& operator=(const ThreadRoleRegion&) = delete;
+
+ private:
+  ThreadRole& role_;
+};
+
+// ---------------------------------------------------------------------------
+// Thread
+// ---------------------------------------------------------------------------
+
+/// std::thread minus detach(): every thread in this codebase is joined.
+/// (fsr_lint.py rejects raw std::thread and any .detach() call.)
+class Thread {
+ public:
+  Thread() = default;
+  template <typename Fn, typename... Args>
+  explicit Thread(Fn&& fn, Args&&... args)
+      : t_(std::forward<Fn>(fn), std::forward<Args>(args)...) {}
+  Thread(Thread&&) = default;
+  Thread& operator=(Thread&&) = default;
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  bool joinable() const { return t_.joinable(); }
+  void join() { t_.join(); }
+  std::thread::id get_id() const { return t_.get_id(); }
+
+ private:
+  std::thread t_;
+};
+
+}  // namespace fsr

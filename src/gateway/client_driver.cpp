@@ -14,6 +14,7 @@
 
 #include "app/kv_store.h"
 #include "common/log.h"
+#include "common/sync.h"
 
 namespace fsr {
 
@@ -163,7 +164,7 @@ DriverReport run_client_driver(const DriverOptions& opt) {
     std::uint64_t reconnects = 0;
   };
   std::vector<PerClient> results(opt.clients);
-  std::vector<std::thread> threads;
+  std::vector<Thread> threads;
   threads.reserve(opt.clients);
 
   auto t0 = std::chrono::steady_clock::now();

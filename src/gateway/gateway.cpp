@@ -73,6 +73,7 @@ void Gateway::on_request(const ClientRequest& req, SendReplyFn send,
   if (conn_serial) own.conn_serial = conn_serial;
 
   auto reject = [&](ClientStatus status, std::uint64_t& counter) {
+    role_.assert_held();  // lambda: the enclosing REQUIRES doesn't carry in
     ++counter;
     ClientReply r;
     r.client_id = req.client_id;
@@ -109,6 +110,7 @@ void Gateway::on_request(const ClientRequest& req, SendReplyFn send,
     return;
   }
   auto backpressure = [&](ClientStatus status, std::uint64_t& counter) {
+    role_.assert_held();  // lambda: the enclosing REQUIRES doesn't carry in
     own.rejected_tail = req.session_seq;
     own.rejected_status = status;
     reject(status, counter);

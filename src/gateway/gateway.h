@@ -34,6 +34,7 @@
 #include <unordered_map>
 
 #include "app/state_machine.h"
+#include "common/sync.h"
 #include "proto/client_codec.h"
 #include "proto/client_wire.h"
 #include "vsc/group.h"
@@ -111,25 +112,32 @@ class Gateway {
   Gateway(const Gateway&) = delete;
   Gateway& operator=(const Gateway&) = delete;
 
+  /// The capability standing for "this replica's event thread" (the
+  /// simulator's event loop or the TCP transport's I/O thread). Every entry
+  /// point requires it; callers reaching the gateway from a marshalled
+  /// closure adopt it with ThreadRoleRegion(gw.role()).
+  ThreadRole& role() FSR_RETURN_CAPABILITY(role_) { return role_; }
+
   // --- front-end API (call on this replica's event thread) ---
 
   /// Bind (or re-bind after reconnect) a client's reply channel.
   /// `conn_serial` identifies the connection so a stale disconnect cannot
   /// tear down a newer binding.
   void on_hello(const ClientHello& hello, SendReplyFn send,
-                std::uint64_t conn_serial = 0);
+                std::uint64_t conn_serial = 0) FSR_REQUIRES(role_);
 
   /// One replicated command. `send` refreshes the session's reply channel.
   void on_request(const ClientRequest& req, SendReplyFn send,
-                  std::uint64_t conn_serial = 0);
+                  std::uint64_t conn_serial = 0) FSR_REQUIRES(role_);
 
   /// Read-only query: answered immediately from the local state machine.
-  void on_read(const ClientRead& read, const SendReplyFn& send);
+  void on_read(const ClientRead& read, const SendReplyFn& send) FSR_REQUIRES(role_);
 
   /// The client's connection died; tears down the owned binding (the
   /// session's replicated state survives for the client's next connection,
   /// on any replica).
-  void on_client_disconnect(std::uint64_t client_id, std::uint64_t conn_serial = 0);
+  void on_client_disconnect(std::uint64_t client_id,
+                            std::uint64_t conn_serial = 0) FSR_REQUIRES(role_);
 
   // --- delivery wiring (every TO-delivery of this node flows through) ---
 
@@ -137,16 +145,16 @@ class Gateway {
   /// this replica owns, refills admission windows. Non-envelope payloads
   /// are applied to the state machine unchanged (plain broadcasts coexist
   /// with gateway traffic).
-  void on_delivery(const Delivery& d);
+  void on_delivery(const Delivery& d) FSR_REQUIRES(role_);
 
-  // --- introspection ---
+  // --- introspection (same thread contract as the entry points) ---
 
-  const GatewayCounters& counters() const { return counters_; }
-  std::size_t sessions() const { return sessions_.size(); }
-  std::size_t owned_sessions() const { return owned_.size(); }
-  std::size_t admitted_bytes() const { return admitted_bytes_; }
+  const GatewayCounters& counters() const FSR_REQUIRES(role_) { return counters_; }
+  std::size_t sessions() const FSR_REQUIRES(role_) { return sessions_.size(); }
+  std::size_t owned_sessions() const FSR_REQUIRES(role_) { return owned_.size(); }
+  std::size_t admitted_bytes() const FSR_REQUIRES(role_) { return admitted_bytes_; }
   /// Last executed session_seq for a client (0 = unknown client).
-  std::uint64_t last_executed(std::uint64_t client_id) const;
+  std::uint64_t last_executed(std::uint64_t client_id) const FSR_REQUIRES(role_);
 
  private:
   /// Replicated per-session state: advanced only by TO-deliveries, so all
@@ -178,23 +186,26 @@ class Gateway {
     ClientStatus rejected_status = ClientStatus::kOk;
   };
 
-  void reply(OwnedSession& own, const ClientReply& r);
+  void reply(OwnedSession& own, const ClientReply& r) FSR_REQUIRES(role_);
   void admit(std::uint64_t client_id, OwnedSession& own, std::uint64_t seq,
-             Payload envelope);
+             Payload envelope) FSR_REQUIRES(role_);
   void refill(std::uint64_t client_id, OwnedSession& own,
-              const SessionState& sess);
-  const CachedReply* cached(const SessionState& sess, std::uint64_t seq) const;
+              const SessionState& sess) FSR_REQUIRES(role_);
+  const CachedReply* cached(const SessionState& sess, std::uint64_t seq) const
+      FSR_REQUIRES(role_);
 
   GroupMember& member_;
   StateMachine& machine_;
   GatewayConfig cfg_;
   SubmitFn submit_;
 
-  std::unordered_map<std::uint64_t, SessionState> sessions_;
-  std::unordered_map<std::uint64_t, OwnedSession> owned_;
-  std::size_t admitted_bytes_ = 0;  ///< in-flight + queued envelope bytes
+  ThreadRole role_{"Gateway::event"};
 
-  GatewayCounters counters_;
+  std::unordered_map<std::uint64_t, SessionState> sessions_ FSR_GUARDED_BY(role_);
+  std::unordered_map<std::uint64_t, OwnedSession> owned_ FSR_GUARDED_BY(role_);
+  std::size_t admitted_bytes_ FSR_GUARDED_BY(role_) = 0;  ///< in-flight + queued bytes
+
+  GatewayCounters counters_ FSR_GUARDED_BY(role_);
 };
 
 }  // namespace fsr

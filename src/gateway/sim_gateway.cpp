@@ -19,7 +19,9 @@ SimGatewayCluster::SimGatewayCluster(SimGatewayConfig config)
   // All deliveries flow through the gateways: envelopes execute with
   // exactly-once session semantics, plain broadcasts apply directly.
   cluster_.set_delivery_tap([this](NodeId id, const Delivery& d) {
-    gateways_[id]->on_delivery(d);
+    Gateway& gw = *gateways_[id];
+    ThreadRoleRegion role(gw.role());
+    gw.on_delivery(d);
   });
 }
 
@@ -53,7 +55,11 @@ std::string SimGatewayCluster::check_replicas_converged() const {
 
 GatewayCounters SimGatewayCluster::gateway_counters() const {
   GatewayCounters total;
-  for (const auto& g : gateways_) total += g->counters();
+  for (const auto& g : gateways_) {
+    Gateway& gw = *g;
+    ThreadRoleRegion role(gw.role());
+    total += gw.counters();
+  }
   return total;
 }
 
@@ -66,7 +72,9 @@ SimClient::~SimClient() {
   // Real clients close their connection; tear down any binding still
   // pointing at this object so a late delivery can't call into freed memory.
   for (std::size_t i = 0; i < gc_.size(); ++i) {
-    gc_.gateway(static_cast<NodeId>(i)).on_client_disconnect(opt_.client_id, 0);
+    Gateway& gw = gc_.gateway(static_cast<NodeId>(i));
+    ThreadRoleRegion role(gw.role());
+    gw.on_client_disconnect(opt_.client_id, 0);
   }
   gc_.sim().cancel(retry_timer_);
 }
@@ -82,7 +90,9 @@ void SimClient::connect(NodeId replica) {
   replica_ = replica;
   ++conn_epoch_;
   if (old != replica && old != kNoNode) {
-    gc_.gateway(old).on_client_disconnect(opt_.client_id, old_epoch);
+    Gateway& gw = gc_.gateway(old);
+    ThreadRoleRegion role(gw.role());
+    gw.on_client_disconnect(opt_.client_id, old_epoch);
   }
 }
 
@@ -108,7 +118,9 @@ void SimClient::send_attempt() {
   std::uint64_t epoch = conn_epoch_;
   // Replies arrive from inside Gateway::on_delivery; bounce them through the
   // event queue so the client never re-enters the gateway mid-delivery.
-  gc_.gateway(replica_).on_request(
+  Gateway& gw = gc_.gateway(replica_);
+  ThreadRoleRegion role(gw.role());
+  gw.on_request(
       req,
       [this, epoch](const ClientReply& r) {
         if (epoch != conn_epoch_) return;  // stale connection

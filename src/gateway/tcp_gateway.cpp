@@ -95,7 +95,7 @@ void GatewayServer::start(std::uint16_t port) {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
   port_ = ntohs(addr.sin_port);
   running_.store(true);
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  accept_thread_ = Thread([this] { accept_loop(); });
 }
 
 void GatewayServer::stop() {
@@ -110,19 +110,19 @@ void GatewayServer::stop() {
     listen_fd_ = -1;
   }
   {
-    std::lock_guard lock(conns_mutex_);
+    MutexLock lock(conns_mutex_);
     for (auto& conn : conns_) {
       if (conn->open.load()) ::shutdown(conn->fd, SHUT_RDWR);
     }
   }
-  std::vector<std::thread> readers;
+  std::vector<Thread> readers;
   {
-    std::lock_guard lock(conns_mutex_);
+    MutexLock lock(conns_mutex_);
     readers.swap(readers_);
   }
   for (auto& t : readers) t.join();
   {
-    std::lock_guard lock(conns_mutex_);
+    MutexLock lock(conns_mutex_);
     for (auto& conn : conns_) {
       if (conn->open.exchange(false)) ::close(conn->fd);
     }
@@ -146,7 +146,7 @@ void GatewayServer::accept_loop() {
     auto conn = std::make_shared<ClientConn>();
     conn->fd = fd;
     conn->serial = next_serial_.fetch_add(1);
-    std::lock_guard lock(conns_mutex_);
+    MutexLock lock(conns_mutex_);
     if (!running_.load()) {
       ::close(fd);
       return;
@@ -163,7 +163,7 @@ void GatewayServer::reader_loop(std::shared_ptr<ClientConn> conn) {
   auto send_reply = [conn](const ClientReply& r) {
     ClientFrame frame;
     frame.msgs.emplace_back(r);
-    std::lock_guard lock(conn->write_mutex);
+    MutexLock lock(conn->write_mutex);
     if (!conn->open.load()) return;
     if (!gateway_write_frame(conn->fd, frame)) conn->open.store(false);
   };
@@ -176,25 +176,31 @@ void GatewayServer::reader_loop(std::shared_ptr<ClientConn> conn) {
       if (const auto* hello = std::get_if<ClientHello>(&msg)) {
         clients_seen.insert(hello->client_id);
         io_.post([this, m = *hello, send_reply, serial = conn->serial] {
+          ThreadRoleRegion role(gateway_.role());
           gateway_.on_hello(m, send_reply, serial);
         });
       } else if (const auto* req = std::get_if<ClientRequest>(&msg)) {
         clients_seen.insert(req->client_id);
         io_.post([this, m = *req, send_reply, serial = conn->serial] {
+          ThreadRoleRegion role(gateway_.role());
           gateway_.on_request(m, send_reply, serial);
         });
       } else if (const auto* read = std::get_if<ClientRead>(&msg)) {
-        io_.post([this, m = *read, send_reply] { gateway_.on_read(m, send_reply); });
+        io_.post([this, m = *read, send_reply] {
+          ThreadRoleRegion role(gateway_.role());
+          gateway_.on_read(m, send_reply);
+        });
       }
       // Client-to-server replies are not a thing; ignore them.
     }
   }
   {
-    std::lock_guard lock(conn->write_mutex);
+    MutexLock lock(conn->write_mutex);
     if (conn->open.exchange(false)) ::close(conn->fd);
   }
   for (std::uint64_t id : clients_seen) {
     io_.post([this, id, serial = conn->serial] {
+      ThreadRoleRegion role(gateway_.role());
       gateway_.on_client_disconnect(id, serial);
     });
   }
@@ -206,7 +212,11 @@ TcpGatewayCluster::TcpGatewayCluster(TcpGatewayClusterConfig config) {
   // gateway must exist before any I/O thread runs.
   cluster_ = std::make_unique<TcpCluster>(
       n, config.group,
-      [this](NodeId id, const Delivery& d) { gateways_[id]->on_delivery(d); },
+      [this](NodeId id, const Delivery& d) {
+        Gateway& gw = *gateways_[id];
+        ThreadRoleRegion role(gw.role());
+        gw.on_delivery(d);
+      },
       /*autostart=*/false);
   stores_.reserve(n);
   gateways_.reserve(n);
@@ -251,7 +261,11 @@ GatewayCounters TcpGatewayCluster::gateway_counters() const {
     auto id = static_cast<NodeId>(i);
     if (!cluster_->alive(id)) continue;
     GatewayCounters c;
-    cluster_->transport(id).post_wait([&] { c = gateways_[i]->counters(); });
+    cluster_->transport(id).post_wait([&] {
+      Gateway& gw = *gateways_[i];
+      ThreadRoleRegion role(gw.role());
+      c = gw.counters();
+    });
     total += c;
   }
   return total;

@@ -13,12 +13,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <thread>
 #include <vector>
 
 #include "app/kv_store.h"
+#include "common/sync.h"
 #include "gateway/gateway.h"
 #include "harness/tcp_cluster.h"
 
@@ -53,9 +52,13 @@ class GatewayServer {
 
  private:
   struct ClientConn {
+    /// Set once at accept, read by the reader thread without write_mutex by
+    /// design: the reader owns the read side of the socket. write_mutex only
+    /// serializes the *write* stream (replies from the I/O thread vs. the
+    /// close in stop()/reader teardown).
     int fd = -1;
     std::uint64_t serial = 0;
-    std::mutex write_mutex;
+    Mutex write_mutex;
     std::atomic<bool> open{true};
   };
 
@@ -68,10 +71,10 @@ class GatewayServer {
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> next_serial_{1};
-  std::thread accept_thread_;
-  std::mutex conns_mutex_;
-  std::vector<std::shared_ptr<ClientConn>> conns_;
-  std::vector<std::thread> readers_;
+  Thread accept_thread_;
+  Mutex conns_mutex_;
+  std::vector<std::shared_ptr<ClientConn>> conns_ FSR_GUARDED_BY(conns_mutex_);
+  std::vector<Thread> readers_ FSR_GUARDED_BY(conns_mutex_);
 };
 
 /// Client connection target.

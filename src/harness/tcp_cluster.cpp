@@ -21,6 +21,9 @@ Time wall_now() {
 TcpCluster::TcpCluster(std::size_t n, GroupConfig group, DeliveryTap tap,
                        bool autostart)
     : checker_(n), tap_(std::move(tap)) {
+  // Construction is single-threaded; no I/O thread exists yet and nothing
+  // else reads the environment.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* lvl = std::getenv("FSR_LOG")) {
     if (std::string(lvl) == "debug") set_log_level(LogLevel::kDebug);
     if (std::string(lvl) == "info") set_log_level(LogLevel::kInfo);
@@ -58,7 +61,7 @@ TcpCluster::TcpCluster(std::size_t n, GroupConfig group, DeliveryTap tap,
         *node->transport, group, initial, [this, node, id](const Delivery& d) {
           std::uint64_t hash = hash_bytes(d.payload);
           {
-            std::lock_guard lock(node->mutex);
+            MutexLock lock(node->mutex);
             node->log.push_back(
                 LogEntry{d.origin, d.app_msg, d.seq, d.payload.size(), hash});
           }
@@ -95,6 +98,9 @@ void TcpCluster::broadcast(NodeId from, Bytes payload) {
 
 void TcpCluster::submit_from_io(NodeId from, Payload payload) {
   Node* node = nodes_[from].get();
+  // "Runs on `from`'s I/O thread" is not expressible statically from here
+  // (the role belongs to nodes_[from]->transport); enforce it at runtime.
+  node->transport->io_role().assert_held();
   if (node->crashed.load()) return;
   checker_.on_broadcast(from, ++node->app_counter, hash_bytes(payload.span()));
   node->member->broadcast(std::move(payload));
@@ -107,7 +113,7 @@ void TcpCluster::crash(NodeId node) {
 }
 
 std::vector<TcpCluster::LogEntry> TcpCluster::log(NodeId node) const {
-  std::lock_guard lock(nodes_[node]->mutex);
+  MutexLock lock(nodes_[node]->mutex);
   return nodes_[node]->log;
 }
 
@@ -117,7 +123,7 @@ bool TcpCluster::wait_deliveries(std::size_t count, Time timeout) {
     bool ok = true;
     for (const auto& node : nodes_) {
       if (node->crashed.load()) continue;
-      std::lock_guard lock(node->mutex);
+      MutexLock lock(node->mutex);
       if (node->log.size() < count) ok = false;
     }
     if (ok) return true;

@@ -7,10 +7,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "checker/invariant_checker.h"
+#include "common/sync.h"
 #include "transport/tcp_transport.h"
 #include "vsc/group.h"
 
@@ -99,10 +99,13 @@ class TcpCluster {
   struct Node {
     std::unique_ptr<TcpTransport> transport;
     std::unique_ptr<GroupMember> member;
-    mutable std::mutex mutex;
-    std::vector<LogEntry> log;
+    mutable Mutex mutex;
+    std::vector<LogEntry> log FSR_GUARDED_BY(mutex);
     std::atomic<bool> crashed{false};
-    std::uint64_t app_counter = 0;  // I/O thread only; mirrors engine numbering
+    // Touched only on the node's I/O thread (mirrors the engine numbering);
+    // guarded by the transport's role capability, asserted at runtime in
+    // submit_from_io because the role lives behind the Transport interface.
+    std::uint64_t app_counter = 0;
   };
 
   InvariantChecker checker_;

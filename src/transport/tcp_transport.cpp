@@ -83,7 +83,7 @@ void TcpTransport::bind() {
   ::inet_pton(AF_INET, me->host.c_str(), &addr.sin_addr);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     FSR_ERROR("node %u: bind to %s:%u failed: %s", cfg_.self, me->host.c_str(),
-              me->port, std::strerror(errno));
+              me->port, std::strerror(errno));  // NOLINT(concurrency-mt-unsafe): pre-start, single-threaded
     assert(false && "bind failed");
   }
   ::listen(listen_fd_, 16);
@@ -109,10 +109,13 @@ void TcpTransport::start() {
   bind();
   running_.store(true);
   io_dead_.store(false);
-  io_thread_ = std::thread([this] { io_loop(); });
+  io_thread_ = Thread([this] { io_loop(); });
 }
 
 void TcpTransport::stop() {
+  if (io_role_.held_by_me()) {
+    sync_fatal("stop() called from the transport's own I/O thread", "TcpTransport");
+  }
   if (!running_.exchange(false)) return;
   char b = 1;
   [[maybe_unused]] ssize_t w = ::write(wake_pipe_[1], &b, 1);
@@ -122,6 +125,11 @@ void TcpTransport::stop() {
   // is published only after the join, so post-stop drainers (here and in
   // post()) are ordered after every I/O-thread access to the engine.
   io_dead_.store(true);
+  // The I/O thread is gone; adopt its role for the final drain and the
+  // socket teardown. drain_mutex_ keeps post()-side drainers out, so the
+  // role is never contended.
+  RecursiveMutexLock drain_lock(drain_mutex_);
+  ThreadRoleRegion io(io_role_);
   drain_posted();
   for (auto& c : conns_) {
     if (c.fd >= 0) {
@@ -139,7 +147,7 @@ void TcpTransport::stop() {
 void TcpTransport::post(std::function<void()> fn) {
   bool was_empty;
   {
-    std::lock_guard lock(post_mutex_);
+    MutexLock lock(post_mutex_);
     was_empty = posted_.empty();
     posted_.push_back(std::move(fn));
   }
@@ -153,24 +161,37 @@ void TcpTransport::post(std::function<void()> fn) {
   // still reads false here, stop()'s own drain (which runs after it is set
   // and loops until the queue is empty) is guaranteed to pick our closure
   // up — the shared post_mutex_ orders the two cases.
-  if (io_dead_.load()) drain_posted();
+  if (io_dead_.load()) drain_stopped();
 }
 
 void TcpTransport::post_wait(std::function<void()> fn) {
-  std::mutex m;
-  std::condition_variable cv;
+  if (io_role_.held_by_me()) {
+    sync_fatal("post_wait() called from the I/O thread it would wait on", "TcpTransport");
+  }
+  Mutex m;
+  CondVar cv;
   bool done = false;
   post([&] {
     fn();
-    std::lock_guard lock(m);
+    MutexLock lock(m);
     done = true;
     cv.notify_one();
   });
-  std::unique_lock lock(m);
-  cv.wait(lock, [&] { return done; });
+  MutexLock lock(m);
+  cv.wait(m, [&] { return done; });
 }
 
 // --- Transport interface ---
+
+void TcpTransport::check_io_call(const char* what) const {
+  // The GroupMember/Engine constructors arm timers on the constructing
+  // thread before start(): that single-threaded setup phase is the one
+  // legitimate role-free caller. Anywhere else, the Transport-interface
+  // entry points must run under io_role_ (I/O thread or post-stop drain).
+  if (!io_role_.held_by_me() && running_.load()) {
+    sync_fatal(what, "TcpTransport: Transport call off the I/O thread");
+  }
+}
 
 TcpTransport::EncodedFrame TcpTransport::encode_for_wire(const Frame& frame) {
   // Sink for the templated codec that builds an outbox chunk chain directly:
@@ -246,6 +267,7 @@ TcpTransport::EncodedFrame TcpTransport::encode_for_wire(const Frame& frame) {
 }
 
 void TcpTransport::send(Frame frame) {
+  check_io_call("send");
   // Sends racing stop() (drained posted closures) are dropped: the sockets
   // are gone and a crash-stop cluster treats a stopped node as crashed.
   if (!running_.load()) return;
@@ -274,9 +296,13 @@ void TcpTransport::send(Frame frame) {
   mark_for_flush(static_cast<std::size_t>(ci));
 }
 
-bool TcpTransport::tx_idle() const { return pending_tx_bytes_ < cfg_.tx_high_watermark; }
+bool TcpTransport::tx_idle() const {
+  check_io_call("tx_idle");
+  return pending_tx_bytes_ < cfg_.tx_high_watermark;
+}
 
 TimerId TcpTransport::set_timer(Time delay, std::function<void()> fn) {
+  check_io_call("set_timer");
   std::uint64_t serial = next_timer_serial_++;
   timer_heap_.push_back(Timer{now() + delay, serial, std::move(fn)});
   std::push_heap(timer_heap_.begin(), timer_heap_.end(), TimerLater{});
@@ -285,6 +311,7 @@ TimerId TcpTransport::set_timer(Time delay, std::function<void()> fn) {
 }
 
 void TcpTransport::cancel_timer(TimerId id) {
+  check_io_call("cancel_timer");
   if (!id.valid()) return;
   // Lazy deletion: tombstone the serial; the heap entry is dropped when it
   // reaches the top. Cancelling an already-fired (or unknown) id is a no-op.
@@ -436,7 +463,7 @@ void TcpTransport::handle_readable(std::size_t idx) {
     // EOF or error: in a crash-stop cluster an unexpected close is a crash.
     FSR_DEBUG("node %u: conn to peer %u readable fault (n=%zd errno=%d %s out=%d)",
              cfg_.self, c.peer, n, n < 0 ? errno : 0,
-             n < 0 ? std::strerror(errno) : "EOF", c.outgoing ? 1 : 0);
+             n < 0 ? std::strerror(errno) : "EOF", c.outgoing ? 1 : 0);  // NOLINT(concurrency-mt-unsafe): diagnostics only; errno text may be imprecise under races
     close_conn(idx, /*peer_fault=*/true);
     return;
   }
@@ -523,7 +550,7 @@ void TcpTransport::handle_writable(std::size_t idx) {
         return;  // poll will tell us when to continue
       }
       FSR_DEBUG("node %u: conn to peer %u writable fault (errno=%d %s)", cfg_.self,
-               c.peer, errno, std::strerror(errno));
+               c.peer, errno, std::strerror(errno));  // NOLINT(concurrency-mt-unsafe): diagnostics only
       close_conn(idx, true);
       return;
     }
@@ -568,21 +595,28 @@ void TcpTransport::close_conn(std::size_t idx, bool peer_fault) {
 }
 
 void TcpTransport::drain_posted() {
-  // drain_mutex_ makes closure execution mutually exclusive: before stop()
-  // the I/O thread is the only drainer, afterwards concurrent post() callers
-  // may drain and must not run engine code in parallel. Recursive because a
-  // drained closure may itself post().
-  std::lock_guard drain_lock(drain_mutex_);
+  // Caller holds io_role_: before stop() the I/O thread is the only drainer;
+  // afterwards drain_stopped() serializes drainers and lends them the role,
+  // so engine code never runs in parallel with itself.
   for (;;) {
     std::function<void()> fn;
     {
-      std::lock_guard lock(post_mutex_);
+      MutexLock lock(post_mutex_);
       if (posted_.empty()) return;
       fn = std::move(posted_.front());
       posted_.pop_front();
     }
     fn();
   }
+}
+
+void TcpTransport::drain_stopped() {
+  // Post-stop path only (io_dead_ true). drain_mutex_ is recursive because a
+  // drained closure may itself post() and re-enter; the nested adoption of
+  // io_role_ on the same thread nests too.
+  RecursiveMutexLock drain_lock(drain_mutex_);
+  ThreadRoleRegion io(io_role_);
+  drain_posted();
 }
 
 void TcpTransport::fire_due_timers() {
@@ -625,6 +659,9 @@ Time TcpTransport::next_timer_deadline() {
 }
 
 void TcpTransport::io_loop() {
+  // This thread *is* the I/O role for as long as the loop runs; stop()
+  // re-adopts it only after the join.
+  ThreadRoleRegion io(io_role_);
   while (running_.load()) {
     // Drop closed connections. Safe: flush_pending_ was emptied at the end
     // of the previous iteration, so no stored index survives the erase.

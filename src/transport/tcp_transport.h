@@ -8,6 +8,15 @@
 // the simulator. Application threads interact via post(), which marshals a
 // closure onto the I/O thread (wakeup through a self-pipe).
 //
+// The contract is capability-checked: io_role() is a ThreadRole held by
+// whichever thread is currently allowed to run protocol code — the I/O
+// thread while the transport runs, a post-stop drainer (serialized by
+// drain_mutex_) afterwards. Methods marked FSR_REQUIRES(io_role_) are
+// compile-errors off that thread under Clang wherever the concrete type is
+// visible; calls arriving through the Transport interface are covered by
+// runtime asserts instead (see check_io_call). The single-threaded setup
+// phase before start() may call the timer/send API without the role.
+//
 // Connections: one outgoing connection per peer, established lazily on
 // first send and identified by a hello carrying the sender's NodeId;
 // inbound connections are read-only. A send to a peer whose connection
@@ -17,17 +26,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <unordered_set>
 #include <vector>
 
+#include "common/sync.h"
 #include "transport/transport.h"
 
 namespace fsr {
@@ -76,25 +83,33 @@ class TcpTransport final : public Transport {
   /// after set_handlers().
   void start();
 
-  /// Stop the I/O thread and close every socket.
-  void stop();
+  /// Stop the I/O thread and close every socket. Must not be called from
+  /// the I/O thread itself (it joins it).
+  void stop() FSR_EXCLUDES(io_role_);
 
   /// Run `fn` on the I/O thread (thread-safe; the only correct way to
   /// reach the engine from outside).
   void post(std::function<void()> fn);
 
-  /// Run `fn` on the I/O thread and wait for it to finish.
-  void post_wait(std::function<void()> fn);
+  /// Run `fn` on the I/O thread and wait for it to finish. Calling this
+  /// from the I/O thread itself would self-deadlock; statically excluded
+  /// and checked at runtime.
+  void post_wait(std::function<void()> fn) FSR_EXCLUDES(io_role_);
 
   std::uint16_t bound_port() const { return bound_port_; }
+
+  /// The capability guarding all I/O-thread-only state. Code that reaches
+  /// this transport through a type-erased path (a posted closure, the
+  /// Transport interface) re-asserts it with io_role().assert_held().
+  ThreadRole& io_role() FSR_RETURN_CAPABILITY(io_role_) { return io_role_; }
 
   // --- Transport interface (I/O thread only, except noted) ---
   NodeId self() const override { return cfg_.self; }
   Time now() const override;
-  void send(Frame frame) override;
-  bool tx_idle() const override;
-  TimerId set_timer(Time delay, std::function<void()> fn) override;
-  void cancel_timer(TimerId id) override;
+  void send(Frame frame) override FSR_REQUIRES(io_role_);
+  bool tx_idle() const override FSR_REQUIRES(io_role_);
+  TimerId set_timer(Time delay, std::function<void()> fn) override FSR_REQUIRES(io_role_);
+  void cancel_timer(TimerId id) override FSR_REQUIRES(io_role_);
 
  private:
   /// One element of a connection's outbox chain: either bytes this
@@ -126,49 +141,66 @@ class TcpTransport final : public Transport {
     std::size_t bytes = 0;
   };
 
-  EncodedFrame encode_for_wire(const Frame& frame);
+  EncodedFrame encode_for_wire(const Frame& frame) FSR_REQUIRES(io_role_);
 
-  void io_loop();
-  void accept_new();
-  void handle_readable(std::size_t idx);
-  void handle_writable(std::size_t idx);
-  void flush_marked();
-  void mark_for_flush(std::size_t idx);
-  void close_conn(std::size_t idx, bool peer_fault);
-  bool connect_peer(NodeId peer);
-  std::ptrdiff_t outgoing_conn_idx(NodeId peer) const;
-  void enqueue_chunks(Conn& conn, EncodedFrame&& frame);
-  void drain_posted();
-  void maybe_tx_ready();  // fire on_tx_ready once per busy -> idle transition
-  void fire_due_timers();
-  Time next_timer_deadline();  // pops lazily-cancelled heap tops
-  void report_peer_down(NodeId peer);
+  void io_loop();  // adopts io_role_ for its whole lifetime
+  void accept_new() FSR_REQUIRES(io_role_);
+  void handle_readable(std::size_t idx) FSR_REQUIRES(io_role_);
+  void handle_writable(std::size_t idx) FSR_REQUIRES(io_role_);
+  void flush_marked() FSR_REQUIRES(io_role_);
+  void mark_for_flush(std::size_t idx) FSR_REQUIRES(io_role_);
+  void close_conn(std::size_t idx, bool peer_fault) FSR_REQUIRES(io_role_);
+  bool connect_peer(NodeId peer) FSR_REQUIRES(io_role_);
+  std::ptrdiff_t outgoing_conn_idx(NodeId peer) const FSR_REQUIRES(io_role_);
+  void enqueue_chunks(Conn& conn, EncodedFrame&& frame) FSR_REQUIRES(io_role_);
+  void drain_posted() FSR_REQUIRES(io_role_);
+  /// Post-stop drain: adopts io_role_ (serialized by drain_mutex_) and runs
+  /// whatever closures remain, so post()/post_wait() callers cannot strand.
+  void drain_stopped();
+  void maybe_tx_ready() FSR_REQUIRES(io_role_);  // fire on_tx_ready once per busy -> idle
+  void fire_due_timers() FSR_REQUIRES(io_role_);
+  Time next_timer_deadline() FSR_REQUIRES(io_role_);  // pops lazily-cancelled heap tops
+  void report_peer_down(NodeId peer) FSR_REQUIRES(io_role_);
+  /// Runtime backing for the Transport-interface entry points, which reach
+  /// us type-erased: require io_role_ unless this is the single-threaded
+  /// setup phase before start() (GroupMember arms its timers there).
+  void check_io_call(const char* what) const;
 
   TcpConfig cfg_;
   std::atomic<bool> running_{false};
   /// False only while the I/O thread may still run closures; set (after the
-  /// join) by stop(). When true, post() drains the queue itself so posted
-  /// work — and post_wait() callers — cannot strand.
+  /// join) by stop(). When true, post() drains the queue itself (through
+  /// drain_stopped()) so posted work — and post_wait() callers — cannot
+  /// strand.
   std::atomic<bool> io_dead_{true};
-  std::thread io_thread_;
+  /// Held by the I/O thread for the duration of io_loop(); re-adopted under
+  /// drain_mutex_ by post-stop drainers and by stop()'s teardown.
+  ThreadRole io_role_{"TcpTransport::io"};
+  Thread io_thread_;
+  // Pre-start bootstrap state (bind/set_peer_port run single-threaded before
+  // the I/O thread exists); wake_pipe_[1] is written from any thread and is
+  // created once, closed only in the destructor.
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
   std::uint16_t bound_port_ = 0;
 
-  std::mutex post_mutex_;
-  std::recursive_mutex drain_mutex_;  // serializes closure execution
-  std::deque<std::function<void()>> posted_;
+  Mutex post_mutex_;
+  RecursiveMutex drain_mutex_;  // serializes post-stop closure execution
+  std::deque<std::function<void()>> posted_ FSR_GUARDED_BY(post_mutex_);
 
-  std::vector<Conn> conns_;
-  std::vector<std::size_t> flush_pending_;  // conn indices to flush this iteration
-  std::map<NodeId, int> connect_attempts_;
-  std::map<NodeId, Time> reconnect_at_;
-  std::deque<std::pair<NodeId, EncodedFrame>> unsent_;  // awaiting (re)connect
-  std::vector<NodeId> down_;
+  std::vector<Conn> conns_ FSR_GUARDED_BY(io_role_);
+  std::vector<std::size_t> flush_pending_
+      FSR_GUARDED_BY(io_role_);  // conn indices to flush this iteration
+  std::map<NodeId, int> connect_attempts_ FSR_GUARDED_BY(io_role_);
+  std::map<NodeId, Time> reconnect_at_ FSR_GUARDED_BY(io_role_);
+  std::deque<std::pair<NodeId, EncodedFrame>> unsent_
+      FSR_GUARDED_BY(io_role_);  // awaiting (re)connect
+  std::vector<NodeId> down_ FSR_GUARDED_BY(io_role_);
   /// Sum of every connection's outbox_bytes plus all unsent_ frame bytes,
   /// maintained incrementally so tx_idle() is O(1).
-  std::size_t pending_tx_bytes_ = 0;
-  bool busy_ = false;  // tx filled past the watermark; announce when it drains
+  std::size_t pending_tx_bytes_ FSR_GUARDED_BY(io_role_) = 0;
+  bool busy_ FSR_GUARDED_BY(io_role_) =
+      false;  // tx filled past the watermark; announce when it drains
 
   // Timers: a lazy-deletion binary min-heap. cancel_timer() marks the serial
   // and the heap drops cancelled entries when they surface at the top, so
@@ -186,10 +218,12 @@ class TcpTransport final : public Transport {
       return a.serial > b.serial;
     }
   };
-  std::uint64_t next_timer_serial_ = 1;
-  std::vector<Timer> timer_heap_;
-  std::unordered_set<std::uint64_t> pending_timers_;    // serials in the heap, not cancelled
-  std::unordered_set<std::uint64_t> cancelled_timers_;  // tombstones awaiting pop
+  std::uint64_t next_timer_serial_ FSR_GUARDED_BY(io_role_) = 1;
+  std::vector<Timer> timer_heap_ FSR_GUARDED_BY(io_role_);
+  std::unordered_set<std::uint64_t> pending_timers_
+      FSR_GUARDED_BY(io_role_);  // serials in the heap, not cancelled
+  std::unordered_set<std::uint64_t> cancelled_timers_
+      FSR_GUARDED_BY(io_role_);  // tombstones awaiting pop
 };
 
 }  // namespace fsr

@@ -1,0 +1,24 @@
+// Negative-compilation case: re-acquiring a non-recursive Mutex already
+// held by this thread (guaranteed deadlock) must be rejected by
+// -Werror=thread-safety.
+#include "common/sync.h"
+
+namespace {
+
+struct Gate {
+  fsr::Mutex mu;
+
+  void enter_twice() {
+    mu.lock();
+    mu.lock();  // expected error: acquiring 'mu' that is already held
+    mu.unlock();
+    mu.unlock();
+  }
+};
+
+void use() {
+  Gate g;
+  g.enter_twice();
+}
+
+}  // namespace

@@ -1,0 +1,26 @@
+// Negative-compilation case: calling an FSR_EXCLUDES(mu) function while
+// holding mu (the self-deadlock shape) must be rejected by
+// -Werror=thread-safety.
+#include "common/sync.h"
+
+namespace {
+
+struct Service {
+  fsr::Mutex mu;
+
+  void reenter() FSR_EXCLUDES(mu) {
+    fsr::MutexLock lock(mu);
+  }
+
+  void outer() {
+    fsr::MutexLock lock(mu);
+    reenter();  // expected error: cannot call while holding 'mu'
+  }
+};
+
+void use() {
+  Service s;
+  s.outer();
+}
+
+}  // namespace

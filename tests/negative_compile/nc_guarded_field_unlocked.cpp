@@ -1,0 +1,22 @@
+// Negative-compilation case: touching an FSR_GUARDED_BY field without
+// holding its mutex must be rejected by -Werror=thread-safety.
+#include "common/sync.h"
+
+namespace {
+
+struct Counter {
+  fsr::Mutex mu;
+  int value FSR_GUARDED_BY(mu) = 0;
+
+  void bump() {
+    ++value;  // expected error: writing 'value' requires holding 'mu'
+  }
+};
+
+int use() {
+  Counter c;
+  c.bump();
+  return c.value;  // expected error: reading 'value' requires holding 'mu'
+}
+
+}  // namespace

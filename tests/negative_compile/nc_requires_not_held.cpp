@@ -1,0 +1,23 @@
+// Negative-compilation case: calling an FSR_REQUIRES(mu) method without
+// the mutex held must be rejected by -Werror=thread-safety.
+#include "common/sync.h"
+
+namespace {
+
+struct Table {
+  fsr::Mutex mu;
+  int rows FSR_GUARDED_BY(mu) = 0;
+
+  void insert_locked() FSR_REQUIRES(mu) { ++rows; }
+
+  void insert() {
+    insert_locked();  // expected error: requires holding 'mu'
+  }
+};
+
+void use() {
+  Table t;
+  t.insert();
+}
+
+}  // namespace

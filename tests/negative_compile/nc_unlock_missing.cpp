@@ -1,0 +1,23 @@
+// Negative-compilation case: returning with a mutex still held (a leak of
+// the capability, i.e. a missing unlock on some path) must be rejected by
+// -Werror=thread-safety.
+#include "common/sync.h"
+
+namespace {
+
+struct Door {
+  fsr::Mutex mu;
+
+  void leave_locked(bool early) {
+    mu.lock();
+    if (early) return;  // expected error: 'mu' still held at end of function
+    mu.unlock();
+  }
+};
+
+void use() {
+  Door d;
+  d.leave_locked(true);
+}
+
+}  // namespace

@@ -1,0 +1,27 @@
+// Negative-compilation case: calling a thread-role-restricted method
+// without adopting the role (ThreadRoleRegion / assert_held) must be
+// rejected by -Werror=thread-safety. This is the I/O-thread capability
+// model: FSR_REQUIRES(role_) marks event-thread-only entry points.
+#include "common/sync.h"
+
+namespace {
+
+class Replica {
+ public:
+  void on_delivery() FSR_REQUIRES(role_) { ++deliveries_; }
+
+  void cross_thread_entry() {
+    on_delivery();  // expected error: requires holding role 'role_'
+  }
+
+ private:
+  fsr::ThreadRole role_{"Replica::event"};
+  int deliveries_ FSR_GUARDED_BY(role_) = 0;
+};
+
+void use() {
+  Replica r;
+  r.cross_thread_entry();
+}
+
+}  // namespace

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/sync.h"
 #include "gateway/client_driver.h"
 #include "gateway/sim_gateway.h"
 #include "proto/client_codec.h"
@@ -174,13 +175,17 @@ TEST(Gateway, ClosedLoopSessionExecutesInOrder) {
   for (std::size_t i = 0; i < f.gc->size(); ++i) {
     EXPECT_EQ(f.gc->store(static_cast<NodeId>(i)).get("k"), "3");
     EXPECT_EQ(f.gc->store(static_cast<NodeId>(i)).failed_cas(), 0u);
-    EXPECT_EQ(f.gc->gateway(static_cast<NodeId>(i)).last_executed(7), 3u);
+    Gateway& gw = f.gc->gateway(static_cast<NodeId>(i));
+    ThreadRoleRegion role(gw.role());  // sim gateways run on the test thread
+    EXPECT_EQ(gw.last_executed(7), 3u);
   }
 }
 
 TEST(Gateway, DuplicateRetryServedFromReplyCache) {
   GatewayFixture f;
   auto& gw = f.gc->gateway(0);
+  // Sim gateways run on the test thread; adopt the role for direct calls.
+  ThreadRoleRegion role(gw.role());
   std::vector<ClientReply> replies;
   auto send = [&](const ClientReply& r) { replies.push_back(r); };
 
@@ -205,6 +210,7 @@ TEST(Gateway, DuplicateRetryServedFromReplyCache) {
 TEST(Gateway, SessionSeqGapRejected) {
   GatewayFixture f;
   auto& gw = f.gc->gateway(0);
+  ThreadRoleRegion role(gw.role());
   std::vector<ClientReply> replies;
   auto send = [&](const ClientReply& r) { replies.push_back(r); };
   gw.on_request(make_request(5, 4, KvStore::encode_put("a", "x")), send);
@@ -227,6 +233,7 @@ TEST(Gateway, LocalReadsAnswerWithoutBroadcast) {
   f.gc->sim().run();
 
   auto& gw = f.gc->gateway(2);  // reads work on any replica
+  ThreadRoleRegion role(gw.role());
   std::vector<ClientReply> replies;
   ClientRead read;
   read.client_id = 99;  // reads don't need a session
@@ -288,6 +295,7 @@ TEST(Gateway, WindowOverflowQueuesThenRejectsExplicitly) {
   gw_cfg.session_queue = 3;
   GatewayFixture f(3, gw_cfg);
   auto& gw = f.gc->gateway(0);
+  ThreadRoleRegion role(gw.role());
 
   std::vector<ClientReply> replies;
   auto send = [&](const ClientReply& r) { replies.push_back(r); };
@@ -333,6 +341,7 @@ TEST(Gateway, ByteBudgetRejectsInsteadOfBuffering) {
   gw_cfg.admitted_bytes_budget = 4096;
   GatewayFixture f(3, gw_cfg);
   auto& gw = f.gc->gateway(0);
+  ThreadRoleRegion role(gw.role());
 
   std::vector<ClientReply> replies;
   auto send = [&](const ClientReply& r) { replies.push_back(r); };
@@ -361,6 +370,7 @@ TEST(Gateway, OversizedCommandRejectedOutright) {
   gw_cfg.max_command_bytes = 64;
   GatewayFixture f(3, gw_cfg);
   auto& gw = f.gc->gateway(0);
+  ThreadRoleRegion role(gw.role());
   std::vector<ClientReply> replies;
   gw.on_request(make_request(6, 1, Bytes(1024, 0x11)),
                 [&](const ClientReply& r) { replies.push_back(r); });
@@ -451,7 +461,7 @@ TEST(GatewayTcp, ClientSurvivesReplicaCrashExactlyOnce) {
 
   const int kSteps = 300;
   std::atomic<int> progress{0};
-  std::thread chain([&] {
+  Thread chain([&] {
     for (int i = 0; i < kSteps; ++i) {
       auto r = client.call(
           KvStore::encode_cas("x", std::to_string(i), std::to_string(i + 1)));

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "harness/sim_cluster.h"  // test_payload
 #include "harness/tcp_cluster.h"
 
@@ -27,9 +28,9 @@ GroupConfig small_group() {
   return g;
 }
 
-std::vector<std::thread> senders(TcpCluster& c, std::size_t nsenders,
-                                 std::uint64_t per_sender, std::size_t bytes) {
-  std::vector<std::thread> threads;
+std::vector<Thread> senders(TcpCluster& c, std::size_t nsenders,
+                            std::uint64_t per_sender, std::size_t bytes) {
+  std::vector<Thread> threads;
   threads.reserve(nsenders);
   for (NodeId s = 0; s < nsenders; ++s) {
     threads.emplace_back([&c, s, per_sender, bytes] {

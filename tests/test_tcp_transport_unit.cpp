@@ -7,7 +7,9 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <vector>
 
+#include "common/sync.h"
 #include "proto/codec.h"
 #include "transport/tcp_transport.h"
 
@@ -63,6 +65,7 @@ TEST(TcpTransportUnit, FramesSurviveTheSocketIntact) {
 
   for (int i = 0; i < 5; ++i) {
     p.t0->post([&, i] {
+      p.t0->io_role().assert_held();
       DataMsg m;
       m.id = MsgId{0, static_cast<LocalSeq>(i + 1)};
       m.payload = make_payload(big);
@@ -79,10 +82,10 @@ TEST(TcpTransportUnit, FramesSurviveTheSocketIntact) {
 TEST(TcpTransportUnit, ManySmallFramesKeepOrderPerSender) {
   Pair p;
   std::vector<LocalSeq> got;
-  std::mutex m;
+  Mutex m;
   TransportHandlers h1;
   h1.on_frame = [&](const Frame& f) {
-    std::lock_guard lock(m);
+    MutexLock lock(m);
     for (const auto& msg : f.msgs) {
       if (const auto* d = std::get_if<DataMsg>(&msg)) got.push_back(d->id.lsn);
     }
@@ -91,6 +94,7 @@ TEST(TcpTransportUnit, ManySmallFramesKeepOrderPerSender) {
   p.t0->start();
   p.t1->start();
   p.t0->post([&] {
+    p.t0->io_role().assert_held();
     for (int i = 0; i < 500; ++i) {
       DataMsg d;
       d.id = MsgId{0, static_cast<LocalSeq>(i + 1)};
@@ -101,10 +105,10 @@ TEST(TcpTransportUnit, ManySmallFramesKeepOrderPerSender) {
     }
   });
   EXPECT_TRUE(wait_for([&] {
-    std::lock_guard lock(m);
+    MutexLock lock(m);
     return got.size() == 500;
   }));
-  std::lock_guard lock(m);
+  MutexLock lock(m);
   for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], i + 1);
 }
 
@@ -113,6 +117,7 @@ TEST(TcpTransportUnit, TimersFireAndCancelOnIoThread) {
   p.t0->start();
   std::atomic<int> fired{0};
   p.t0->post([&] {
+    p.t0->io_role().assert_held();
     p.t0->set_timer(10 * kMillisecond, [&] { ++fired; });
     TimerId cancelled = p.t0->set_timer(10 * kMillisecond, [&] { fired += 100; });
     p.t0->cancel_timer(cancelled);
@@ -147,6 +152,7 @@ TEST(TcpTransportUnit, PeerDownReportedOnConnectionLoss) {
   p.t1->start();
   // Establish a connection 0 -> 1 first.
   p.t0->post([&] {
+    p.t0->io_role().assert_held();
     Frame f;
     f.to = 1;
     f.msgs.push_back(Heartbeat{1});
@@ -165,12 +171,16 @@ TEST(TcpTransportUnit, TxIdleReflectsWatermark) {
   Pair p;
   p.t0->start();
   bool was_idle = false;
-  p.t0->post_wait([&] { was_idle = p.t0->tx_idle(); });
+  p.t0->post_wait([&] {
+    p.t0->io_role().assert_held();
+    was_idle = p.t0->tx_idle();
+  });
   EXPECT_TRUE(was_idle);
   // Queue far past the watermark (and past any kernel socket buffer) in one
   // posted batch, observe not-idle.
   bool idle_after_burst = true;
   p.t0->post_wait([&] {
+    p.t0->io_role().assert_held();
     for (int i = 0; i < 64; ++i) {
       DataMsg m;
       m.id = MsgId{0, static_cast<LocalSeq>(i + 1)};
@@ -188,13 +198,14 @@ TEST(TcpTransportUnit, TxIdleReflectsWatermark) {
 TEST(TcpTransportUnit, TimerHeapFiresInDeadlineOrderAndCancelsPending) {
   Pair p;
   p.t0->start();
-  std::mutex m;
+  Mutex m;
   std::vector<int> order;
   std::atomic<bool> done{false};
   p.t0->post([&] {
+    p.t0->io_role().assert_held();
     auto rec = [&](int k) {
       return [&, k] {
-        std::lock_guard lock(m);
+        MutexLock lock(m);
         order.push_back(k);
         if (k == 4) done = true;
       };
@@ -211,7 +222,7 @@ TEST(TcpTransportUnit, TimerHeapFiresInDeadlineOrderAndCancelsPending) {
   });
   EXPECT_TRUE(wait_for([&] { return done.load(); }));
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  std::lock_guard lock(m);
+  MutexLock lock(m);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
 }
 
@@ -222,11 +233,13 @@ TEST(TcpTransportUnit, TimerCancelInsideCallbackAndRearm) {
   std::atomic<int> rearmed{0};
   TimerId victim{};  // test-frame scope: the callbacks below outlive the post
   p.t0->post([&] {
+    p.t0->io_role().assert_held();
     // A firing callback cancels a later timer and arms a new one — both
     // mutate the heap while fire_due_timers is draining it. Cancel must win
     // even if a slow loop iteration made both timers due in the same batch.
     victim = p.t0->set_timer(60 * kMillisecond, [&] { fired += 100; });
     p.t0->set_timer(10 * kMillisecond, [&] {
+      p.t0->io_role().assert_held();
       ++fired;
       p.t0->cancel_timer(victim);
       p.t0->set_timer(10 * kMillisecond, [&] { ++rearmed; });
@@ -245,7 +258,7 @@ TEST(TcpTransportUnit, PartialWritesResumeMidFrame) {
   Pair p;
   constexpr int kFrames = 8;
   constexpr std::size_t kSize = 300 * 1024;
-  std::mutex m;
+  Mutex m;
   std::vector<std::pair<LocalSeq, bool>> got;  // (lsn, content ok)
   TransportHandlers h1;
   h1.on_frame = [&](const Frame& f) {
@@ -261,7 +274,7 @@ TEST(TcpTransportUnit, PartialWritesResumeMidFrame) {
             }
           }
         }
-        std::lock_guard lock(m);
+        MutexLock lock(m);
         got.emplace_back(d->id.lsn, ok);
       }
     }
@@ -269,6 +282,7 @@ TEST(TcpTransportUnit, PartialWritesResumeMidFrame) {
   p.t1->set_handlers(std::move(h1));
   p.t0->start();
   p.t0->post([&] {
+    p.t0->io_role().assert_held();
     for (int i = 0; i < kFrames; ++i) {
       auto lsn = static_cast<LocalSeq>(i + 1);
       Bytes payload(kSize);
@@ -287,10 +301,10 @@ TEST(TcpTransportUnit, PartialWritesResumeMidFrame) {
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
   p.t1->start();
   EXPECT_TRUE(wait_for([&] {
-    std::lock_guard lock(m);
+    MutexLock lock(m);
     return got.size() == kFrames;
   }));
-  std::lock_guard lock(m);
+  MutexLock lock(m);
   for (std::size_t i = 0; i < got.size(); ++i) {
     EXPECT_EQ(got[i].first, i + 1);
     EXPECT_TRUE(got[i].second) << "frame " << i << " corrupted";
@@ -312,6 +326,7 @@ TEST(TcpTransportUnit, FramesQueuedTogetherCoalesceIntoOneSyscall) {
   // the deferred flush must drain every frame (plus the connection hello)
   // with a single sendmsg.
   p.t0->post([&] {
+    p.t0->io_role().assert_held();
     for (int i = 0; i < kFrames; ++i) {
       DataMsg d;
       d.id = MsgId{0, static_cast<LocalSeq>(i + 1)};
@@ -339,13 +354,13 @@ TEST(TcpTransportUnit, AliasedPayloadsSurviveReceiveBufferCompaction) {
   Pair p;
   constexpr int kFrames = 40;
   constexpr std::size_t kSize = 32 * 1024;
-  std::mutex m;
+  Mutex m;
   std::vector<Payload> kept;
   TransportHandlers h1;
   h1.on_frame = [&](const Frame& f) {
     for (const auto& msg : f.msgs) {
       if (const auto* d = std::get_if<DataMsg>(&msg)) {
-        std::lock_guard lock(m);
+        MutexLock lock(m);
         kept.push_back(d->payload);  // shares ownership of the rx chunk
       }
     }
@@ -354,6 +369,7 @@ TEST(TcpTransportUnit, AliasedPayloadsSurviveReceiveBufferCompaction) {
   p.t0->start();
   p.t1->start();
   p.t0->post([&] {
+    p.t0->io_role().assert_held();
     for (int i = 0; i < kFrames; ++i) {
       auto lsn = static_cast<LocalSeq>(i + 1);
       Bytes payload(kSize);
@@ -370,12 +386,12 @@ TEST(TcpTransportUnit, AliasedPayloadsSurviveReceiveBufferCompaction) {
     }
   });
   EXPECT_TRUE(wait_for([&] {
-    std::lock_guard lock(m);
+    MutexLock lock(m);
     return kept.size() == kFrames;
   }));
   // > 1.2 MiB flowed through 256 KiB receive chunks: every early payload now
   // references a chunk the buffer itself has long since replaced.
-  std::lock_guard lock(m);
+  MutexLock lock(m);
   for (std::size_t k = 0; k < kept.size(); ++k) {
     auto lsn = static_cast<LocalSeq>(k + 1);
     ASSERT_TRUE(kept[k]);
@@ -409,6 +425,7 @@ TEST(TcpTransportUnit, SlowReaderBackpressureFiresExactlyOneTxReady) {
   constexpr int kFrames = 32;
   bool busy_after_burst = false;
   p.t0->post_wait([&] {
+    p.t0->io_role().assert_held();
     for (int i = 0; i < kFrames; ++i) {
       DataMsg d;
       d.id = MsgId{0, static_cast<LocalSeq>(i + 1)};
@@ -427,7 +444,10 @@ TEST(TcpTransportUnit, SlowReaderBackpressureFiresExactlyOneTxReady) {
   EXPECT_TRUE(wait_for([&] { return received.load() == kFrames; }));
   EXPECT_TRUE(wait_for([&] { return tx_ready.load() >= 1; }));
   bool idle = false;
-  p.t0->post_wait([&] { idle = p.t0->tx_idle(); });
+  p.t0->post_wait([&] {
+    p.t0->io_role().assert_held();
+    idle = p.t0->tx_idle();
+  });
   EXPECT_TRUE(idle);
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
   EXPECT_EQ(tx_ready.load(), 1);
@@ -447,6 +467,7 @@ TEST(TcpTransportUnit, LargePayloadsCrossTheStackWithoutCopies) {
   p.t1->start();
   constexpr int kFrames = 100;
   p.t0->post([&] {
+    p.t0->io_role().assert_held();
     for (int i = 0; i < kFrames; ++i) {
       DataMsg d;
       d.id = MsgId{0, static_cast<LocalSeq>(i + 1)};
@@ -466,6 +487,39 @@ TEST(TcpTransportUnit, LargePayloadsCrossTheStackWithoutCopies) {
   p.t1->post_wait([&] { c1 = p.t1->counters(); });
   EXPECT_EQ(c1.rx_payload_aliases, static_cast<std::uint64_t>(kFrames));
   EXPECT_EQ(c1.rx_payload_copies, 0u);
+}
+
+// Regression for the stop()/post() shutdown race: callbacks posted while
+// (or after) the transport stops drain on the posting thread, adopting the
+// transport's I/O role under the drain mutex. Without that serialization,
+// two drainers — or a drainer and stop()'s own teardown — would adopt the
+// role concurrently and abort. Every callback must still run exactly once;
+// under the tsan preset this also checks the handoff's memory ordering.
+TEST(TcpTransportUnit, PostsRacingStopAllExecuteExactlyOnce) {
+  Pair p;
+  p.t0->start();
+  std::atomic<int> ran{0};
+  std::atomic<bool> go{false};
+  constexpr int kPosters = 4;
+  constexpr int kPostsEach = 200;
+  std::vector<Thread> posters;
+  posters.reserve(kPosters);
+  for (int t = 0; t < kPosters; ++t) {
+    posters.emplace_back([&] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kPostsEach; ++i) {
+        p.t0->post([&] {
+          p.t0->io_role().assert_held();
+          ran.fetch_add(1);
+        });
+      }
+    });
+  }
+  go.store(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  p.t0->stop();  // races the posters: some posts land before, some after
+  for (auto& t : posters) t.join();
+  EXPECT_EQ(ran.load(), kPosters * kPostsEach);
 }
 
 }  // namespace

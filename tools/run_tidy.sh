@@ -30,9 +30,17 @@ if [[ -z "$TIDY" ]]; then
 fi
 
 if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
-  echo "run_tidy: $BUILD_DIR/compile_commands.json missing." >&2
-  echo "run_tidy: configure first: cmake -B $BUILD_DIR -S ." >&2
-  exit 1
+  # Reuse the preset that CI and developers configure with, so the tidy run
+  # sees exactly the flags of a real build. Only the default preset's build
+  # dir can be auto-configured; for other trees, configure first.
+  if [[ "$BUILD_DIR" == "build" ]]; then
+    echo "run_tidy: $BUILD_DIR/compile_commands.json missing; configuring (cmake --preset default)." >&2
+    cmake --preset default >&2
+  else
+    echo "run_tidy: $BUILD_DIR/compile_commands.json missing." >&2
+    echo "run_tidy: configure first, e.g.: cmake --preset default" >&2
+    exit 1
+  fi
 fi
 
 mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
