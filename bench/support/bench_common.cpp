@@ -31,6 +31,7 @@ WorkloadResult run_workload(const WorkloadSpec& spec) {
   ClusterConfig cfg = spec.cluster;
   cfg.n = spec.n;
   SimCluster c(cfg);
+  if (spec.prepare) spec.prepare(c);
 
   for (std::size_t s = 0; s < spec.senders; ++s) {
     auto sender = static_cast<NodeId>(s);

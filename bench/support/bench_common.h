@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,11 @@ struct WorkloadSpec {
   /// (fairness windows). Any violation aborts the benchmark loudly, like a
   /// safety-invariant violation does.
   LintConfig lint;
+
+  /// Called once on the freshly built cluster, before any traffic: install
+  /// heterogeneous NetProfiles (slow NICs, lossy links) that NetConfig's
+  /// uniform knobs cannot express.
+  std::function<void(SimCluster&)> prepare;
 };
 
 WorkloadResult run_workload(const WorkloadSpec& spec);

@@ -127,10 +127,17 @@ void Gateway::on_request(const ClientRequest& req, SendReplyFn send,
                                    : counters_.rejected_window;
       return backpressure(own.rejected_status, counter);
     }
-    FSR_WARN("gateway: client %llu seq gap (got %llu, expected %llu)",
-             (unsigned long long)req.client_id,
-             (unsigned long long)req.session_seq, (unsigned long long)expected);
-    return reject(ClientStatus::kBadRequest, counters_.rejected_malformed);
+    // The client is strictly ahead of this replica (everything at or below
+    // max(last_executed, highest_admitted) was handled above). Two cases
+    // land here and the gateway cannot tell them apart: a failed-over
+    // client whose acked commands were delivered on the leading replica
+    // but not here yet, and a client fabricating seqs. Neither may be
+    // admitted (that would stamp highest_admitted past the real chain),
+    // but neither is provably bad either — so reject retryable: the honest
+    // client succeeds once delivery catches this replica up, while the
+    // fabricator just burns its own retry budget without ever poisoning
+    // the session.
+    return backpressure(ClientStatus::kRejectedWindow, counters_.rejected_ahead);
   }
   if (!member_.in_group()) {
     return reject(ClientStatus::kNotMember, counters_.rejected_malformed);

@@ -73,6 +73,7 @@ struct GatewayCounters {
   std::uint64_t rejected_window = 0;
   std::uint64_t rejected_bytes = 0;
   std::uint64_t rejected_malformed = 0;
+  std::uint64_t rejected_ahead = 0;  ///< seqs past this replica's horizon (failover lag or fabrication)
   std::uint64_t envelope_gaps = 0;    ///< out-of-order envelope deliveries dropped
   std::uint64_t commands_applied = 0; ///< envelope commands executed here
   std::uint64_t replies_sent = 0;
@@ -89,6 +90,7 @@ struct GatewayCounters {
     rejected_window += o.rejected_window;
     rejected_bytes += o.rejected_bytes;
     rejected_malformed += o.rejected_malformed;
+    rejected_ahead += o.rejected_ahead;
     envelope_gaps += o.envelope_gaps;
     commands_applied += o.commands_applied;
     replies_sent += o.replies_sent;
@@ -153,6 +155,14 @@ class Gateway {
   std::size_t sessions() const FSR_REQUIRES(role_) { return sessions_.size(); }
   std::size_t owned_sessions() const FSR_REQUIRES(role_) { return owned_.size(); }
   std::size_t admitted_bytes() const FSR_REQUIRES(role_) { return admitted_bytes_; }
+  /// Total cached replies across sessions; bounded by
+  /// sessions() * cfg.reply_cache (the chaos oracle asserts exactly this
+  /// under duplicate floods).
+  std::size_t reply_cache_entries() const FSR_REQUIRES(role_) {
+    std::size_t total = 0;
+    for (const auto& [id, sess] : sessions_) total += sess.cache.size();
+    return total;
+  }
   /// Last executed session_seq for a client (0 = unknown client).
   std::uint64_t last_executed(std::uint64_t client_id) const FSR_REQUIRES(role_);
 

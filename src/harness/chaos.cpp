@@ -1,0 +1,484 @@
+#include "harness/chaos.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "app/kv_store.h"
+#include "common/rng.h"
+#include "harness/fault_injector.h"
+#include "proto/client_codec.h"
+
+namespace fsr {
+
+namespace {
+
+std::string format_time(Time t) {
+  if (t % kMillisecond == 0) return std::to_string(t / kMillisecond) + "ms";
+  if (t % kMicrosecond == 0) return std::to_string(t / kMicrosecond) + "us";
+  return std::to_string(t) + "ns";
+}
+
+// Chained-CAS workload: seq 1 is PUT(key, v_1) (KvStore CAS fails on a
+// missing key), seq k>1 is CAS(key, v_{k-1}, v_k). The command for any
+// (client, seq) is reconstructible — floods replay byte-identical requests
+// — and a double execution either fails a later CAS in the chain
+// (failed_cas > 0) or, when it lands after the chain's end, leaves the key
+// at the wrong final value; the oracle checks both.
+std::string chain_value(std::uint64_t k, std::size_t pad) {
+  std::string v = "v" + std::to_string(k);
+  if (v.size() < pad) v.resize(pad, '.');
+  return v;
+}
+
+std::string client_key(std::size_t slot) { return "chaos/c" + std::to_string(slot); }
+std::string loris_key(std::size_t slot) { return "chaos/loris" + std::to_string(slot); }
+
+Bytes chain_command(const std::string& key, std::uint64_t seq, std::size_t pad) {
+  if (seq <= 1) return KvStore::encode_put(key, chain_value(1, pad));
+  return KvStore::encode_cas(key, chain_value(seq - 1, pad), chain_value(seq, pad));
+}
+
+ClientRequest make_request(std::uint64_t client_id, std::uint64_t seq,
+                           const Bytes& command) {
+  ClientRequest req;
+  req.client_id = client_id;
+  req.session_seq = seq;
+  req.envelope = make_payload(encode_envelope(client_id, seq, command));
+  req.command = parse_envelope(req.envelope)->command;
+  return req;
+}
+
+constexpr std::uint64_t kLorisClientBase = 0x1000;
+
+}  // namespace
+
+const char* chaos_shape_name(ChaosShape s) {
+  switch (s) {
+    case ChaosShape::kSlowLoris: return "slow_loris";
+    case ChaosShape::kReconnectStorm: return "reconnect_storm";
+    case ChaosShape::kDuplicateFlood: return "duplicate_flood";
+  }
+  return "?";
+}
+
+ChaosRunner::ChaosRunner(ChaosConfig config) : cfg_(std::move(config)) {
+  cfg_.faults.n = cfg_.gateway.cluster.n;
+  if (cfg_.clients == 0) cfg_.clients = 1;
+  if (cfg_.max_chaos_events == 0) cfg_.max_chaos_events = 1;
+}
+
+ChaosPlan make_chaos_plan(std::uint64_t seed, const ChaosConfig& cfg) {
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.shape = cfg.shape;
+  FaultPlanConfig fcfg = cfg.faults;
+  fcfg.n = cfg.gateway.cluster.n;
+  plan.faults = make_fault_plan(seed ^ 0x8c8f3a2b19eULL, fcfg);
+
+  Rng rng(seed ^ 0x51c3d9a77b5ULL);
+  const std::size_t n = cfg.gateway.cluster.n;
+  const std::size_t n_events = 1 + rng.below(cfg.max_chaos_events);
+  for (std::size_t i = 0; i < n_events; ++i) {
+    ChaosEvent ev;
+    ev.at = static_cast<Time>(
+        rng.below(static_cast<std::uint64_t>(cfg.submit_horizon) * 3 / 2 + 1));
+    ev.client = rng.below(std::max<std::size_t>(cfg.clients, 1));
+    ev.replica = static_cast<NodeId>(rng.below(n));
+    switch (cfg.shape) {
+      case ChaosShape::kReconnectStorm:
+        ev.kind = ChaosEvent::Kind::kReconnect;
+        break;
+      case ChaosShape::kDuplicateFlood:
+        ev.kind = ChaosEvent::Kind::kFloodDuplicates;
+        ev.count = static_cast<std::uint32_t>(8 + rng.below(56));
+        break;
+      case ChaosShape::kSlowLoris:
+        ev.kind = ChaosEvent::Kind::kLorisBurst;
+        // Sized to overflow the window and sometimes the queue behind it,
+        // so bursts draw rejections, not just queueing.
+        ev.count = static_cast<std::uint32_t>(
+            cfg.gateway.gateway.session_window +
+            cfg.gateway.gateway.session_queue / 2 +
+            rng.below(cfg.gateway.gateway.session_queue + 8));
+        break;
+    }
+    plan.client_events.push_back(ev);
+  }
+  return plan;
+}
+
+std::string describe(const ChaosEvent& ev) {
+  switch (ev.kind) {
+    case ChaosEvent::Kind::kReconnect:
+      return "reconnect(c" + std::to_string(ev.client) + "->r" +
+             std::to_string(ev.replica) + ",t=" + format_time(ev.at) + ")";
+    case ChaosEvent::Kind::kFloodDuplicates:
+      return "flood(c" + std::to_string(ev.client) + ",r" + std::to_string(ev.replica) +
+             ",x" + std::to_string(ev.count) + ",t=" + format_time(ev.at) + ")";
+    case ChaosEvent::Kind::kLorisBurst:
+      return "loris(c" + std::to_string(ev.client) + ",x" + std::to_string(ev.count) +
+             ",t=" + format_time(ev.at) + ")";
+  }
+  return "?";
+}
+
+std::string describe(const ChaosPlan& plan) {
+  std::string out = "shape=";
+  out += chaos_shape_name(plan.shape);
+  out += " events=[";
+  for (std::size_t i = 0; i < plan.client_events.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += describe(plan.client_events[i]);
+  }
+  out += "]";
+  if (plan.sabotage_double_execute) out += " sabotage=double_execute";
+  out += " faults{" + describe(plan.faults) + "}";
+  return out;
+}
+
+ChaosResult ChaosRunner::run_seed(std::uint64_t seed) const {
+  return run_plan(seed, make_chaos_plan(seed, cfg_));
+}
+
+ChaosResult ChaosRunner::run_plan(std::uint64_t seed, const ChaosPlan& plan) const {
+  ChaosResult result;
+  result.seed = seed;
+  result.plan = plan;
+
+  SimGatewayCluster gc(cfg_.gateway);
+  SimCluster& cluster = gc.cluster();
+  FaultInjector injector(cluster, plan.faults);
+  injector.arm();
+
+  const std::size_t n = gc.size();
+
+  // Well-behaved closed-loop clients: chained CAS on a private key each.
+  std::vector<std::unique_ptr<SimClient>> clients;
+  clients.reserve(cfg_.clients);
+  for (std::size_t c = 0; c < cfg_.clients; ++c) {
+    SimClient::Options o;
+    o.client_id = 1 + c;
+    o.replica = static_cast<NodeId>(c % n);
+    o.retry_timeout = cfg_.client_retry;
+    o.max_attempts = cfg_.client_max_attempts;
+    clients.push_back(std::make_unique<SimClient>(gc, o));
+  }
+
+  // Seeded submissions: per-client times sorted so the chain is submitted
+  // in seq order. Independent of the fault/chaos streams, so shrinking a
+  // plan never perturbs the traffic it shrinks against.
+  Rng rng(seed ^ 0x3c6ef372fe94fULL);
+  for (std::size_t c = 0; c < cfg_.clients; ++c) {
+    std::vector<Time> at;
+    for (int k = 0; k < cfg_.commands_per_client; ++k) {
+      at.push_back(static_cast<Time>(
+          rng.below(static_cast<std::uint64_t>(cfg_.submit_horizon))));
+    }
+    std::sort(at.begin(), at.end());
+    for (int k = 1; k <= cfg_.commands_per_client; ++k) {
+      Bytes cmd = chain_command(client_key(c), static_cast<std::uint64_t>(k), 0);
+      cluster.sim().schedule_at(at[static_cast<std::size_t>(k - 1)],
+                                [&clients, c, cmd] { clients[c]->submit(cmd); });
+    }
+  }
+
+  // Slow-loris sessions: a sliding-window writer that re-sends from its
+  // lowest unacknowledged seq, so bursts overlap (duplicates of admitted
+  // seqs) and rejected seqs are retried by the next burst — contiguous
+  // seqs, no fabricated gaps, exactly the backpressure path under test.
+  // Each loris holds ONE connection for its whole life (that is the
+  // attack); a cross-replica burst would instead trip the gateway's
+  // fabricated-seq check on a partition-stale replica.
+  struct Loris {
+    std::uint64_t base = 1;          // lowest seq not yet acknowledged kOk
+    std::set<std::uint64_t> acked;   // out-of-order acks above base
+    NodeId replica = kNoNode;        // pinned on first burst
+  };
+  std::vector<Loris> loris(cfg_.clients);
+
+  auto run_loris = [&](std::size_t slot, std::uint32_t count, NodeId hint) {
+    Loris& ls = loris[slot];
+    if (ls.replica == kNoNode) {
+      ls.replica = gc.alive(hint) ? hint : gc.pick_alive();
+    }
+    NodeId r = ls.replica;
+    if (r == kNoNode || !gc.alive(r)) return;  // its connection died with it
+    const std::uint64_t cid = kLorisClientBase + slot;
+    Gateway& gw = gc.gateway(r);
+    ThreadRoleRegion role(gw.role());
+    const std::uint64_t start = ls.base;
+    for (std::uint32_t j = 0; j < count; ++j) {
+      const std::uint64_t seq = start + j;
+      ClientRequest req = make_request(
+          cid, seq, chain_command(loris_key(slot), seq, cfg_.loris_value_bytes));
+      gw.on_request(req,
+                    [&ls](const ClientReply& rep) {
+                      if (rep.status != ClientStatus::kOk) return;
+                      ls.acked.insert(rep.session_seq);
+                      while (ls.acked.count(ls.base) > 0) {
+                        ls.acked.erase(ls.base);
+                        ++ls.base;
+                      }
+                    },
+                    /*conn_serial=*/1);
+    }
+  };
+
+  // Duplicate flood: replay byte-identical copies of the client's executed
+  // requests (reconstructed from the chain) at some replica. A null reply
+  // channel means the flood never steals the real client's binding; the
+  // session table alone must keep execution exactly-once.
+  auto run_flood = [&](std::size_t slot, std::uint32_t count, NodeId hint) {
+    NodeId r = gc.alive(hint) ? hint : gc.pick_alive();
+    if (r == kNoNode) return;
+    const std::uint64_t cid = 1 + slot;
+    Gateway& gw = gc.gateway(r);
+    ThreadRoleRegion role(gw.role());
+    const std::uint64_t le = gw.last_executed(cid);
+    for (std::uint32_t j = 0; j < count; ++j) {
+      const std::uint64_t seq = le > 0 ? 1 + (j % le) : 1;
+      ClientRequest req =
+          make_request(cid, seq, chain_command(client_key(slot), seq, 0));
+      gw.on_request(req, Gateway::SendReplyFn{}, /*conn_serial=*/0);
+    }
+  };
+
+  auto run_reconnect = [&](std::size_t slot, NodeId hint) {
+    NodeId r = gc.alive(hint) ? hint : gc.pick_alive();
+    if (r == kNoNode) return;
+    clients[slot]->connect(r);
+  };
+
+  for (const ChaosEvent& ev : plan.client_events) {
+    cluster.sim().schedule_at(ev.at, [&, ev] {
+      switch (ev.kind) {
+        case ChaosEvent::Kind::kReconnect: run_reconnect(ev.client, ev.replica); break;
+        case ChaosEvent::Kind::kFloodDuplicates:
+          run_flood(ev.client, ev.count, ev.replica);
+          break;
+        case ChaosEvent::Kind::kLorisBurst:
+          run_loris(ev.client, ev.count, ev.replica);
+          break;
+      }
+    });
+  }
+
+  // Planted exactly-once violation for the self-tests: client 0's first
+  // command re-broadcast as a *plain* payload skips the session table and
+  // applies a second time. Whichever copy executes second loses its CAS,
+  // so the oracle fires regardless of delivery order.
+  if (plan.sabotage_double_execute) {
+    cluster.sim().schedule_at(cfg_.submit_horizon / 2, [&] {
+      NodeId origin = gc.pick_alive();
+      if (origin == kNoNode) return;
+      cluster.broadcast(origin, make_payload(chain_command(client_key(0), 1, 0)));
+    });
+  }
+
+  // Memory-bound probe: sampled *during* the run — a transient budget
+  // overshoot that drains by quiescence is still a violation.
+  std::string mem_violation;
+  const std::size_t budget = cfg_.gateway.gateway.admitted_bytes_budget;
+  const std::size_t cache_per_session = cfg_.gateway.gateway.reply_cache;
+  std::size_t max_admitted = 0;
+  std::size_t max_cache = 0;
+  auto probe = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto id = static_cast<NodeId>(i);
+      if (!gc.alive(id)) continue;
+      Gateway& gw = gc.gateway(id);
+      ThreadRoleRegion role(gw.role());
+      const std::size_t ab = gw.admitted_bytes();
+      const std::size_t rc = gw.reply_cache_entries();
+      const std::size_t cache_limit = gw.sessions() * cache_per_session;
+      max_admitted = std::max(max_admitted, ab);
+      max_cache = std::max(max_cache, rc);
+      if (mem_violation.empty() && ab > budget) {
+        mem_violation = "admission memory unbounded: node " + std::to_string(id) +
+                        " admitted_bytes " + std::to_string(ab) + " > budget " +
+                        std::to_string(budget);
+      }
+      if (mem_violation.empty() && rc > cache_limit) {
+        mem_violation = "reply cache unbounded: node " + std::to_string(id) + " holds " +
+                        std::to_string(rc) + " entries > " +
+                        std::to_string(gw.sessions()) + " sessions * " +
+                        std::to_string(cache_per_session);
+      }
+    }
+  };
+  if (cfg_.probe_interval > 0) {
+    const Time probe_end = 2 * cfg_.submit_horizon;
+    for (Time t = 0; t <= probe_end; t += cfg_.probe_interval) {
+      cluster.sim().schedule_at(t, probe);
+    }
+  }
+
+  // Heartbeat / rotation timers re-arm forever; those configurations run to
+  // a horizon instead of natural quiescence (mirrors SwarmRunner).
+  const bool drains = cfg_.gateway.cluster.group.heartbeat_interval == 0 &&
+                      cfg_.gateway.cluster.group.rotation_interval == 0;
+  Simulator& sim = cluster.sim();
+  const std::uint64_t before = sim.executed();
+  if (drains) {
+    while (!sim.empty() && sim.executed() - before < cfg_.max_events) {
+      sim.run_steps(16384);
+    }
+    if (!sim.empty()) {
+      result.ok = false;
+      result.violation = "did not quiesce within " + std::to_string(cfg_.max_events) +
+                         " events (runaway schedule)";
+    }
+  } else {
+    sim.run_until_capped(cfg_.run_horizon, cfg_.max_events);
+    if (sim.executed() - before >= cfg_.max_events) {
+      result.ok = false;
+      result.violation = "event budget exhausted before run horizon";
+    }
+  }
+  result.events_executed = sim.executed() - before;
+  probe();  // end-state bounds too
+  result.max_admitted_bytes = max_admitted;
+  result.max_reply_cache_entries = max_cache;
+  result.counters = gc.gateway_counters();
+  for (std::size_t c = 0; c < cfg_.clients; ++c) {
+    result.commands_completed += clients[c]->completed().size();
+  }
+  if (!result.ok) return result;
+
+  // Oracle, broadest property first: broadcast invariants, then replica
+  // convergence, then exactly-once, then client liveness, then memory.
+  std::string violation = cluster.check_all();
+
+  if (violation.empty()) violation = gc.check_replicas_converged();
+
+  if (violation.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto id = static_cast<NodeId>(i);
+      if (!gc.alive(id)) continue;
+      if (gc.store(id).failed_cas() > 0) {
+        violation = "exactly-once violated: node " + std::to_string(id) +
+                    " failed_cas=" + std::to_string(gc.store(id).failed_cas());
+        break;
+      }
+    }
+  }
+
+  if (violation.empty()) {
+    for (std::size_t c = 0; c < cfg_.clients && violation.empty(); ++c) {
+      const SimClient& cl = *clients[c];
+      if (cl.gave_up() > 0) {
+        violation = "liveness: client " + std::to_string(c) + " gave up after " +
+                    std::to_string(cfg_.client_max_attempts) + " attempts";
+        break;
+      }
+      if (cl.completed().size() != static_cast<std::size_t>(cfg_.commands_per_client)) {
+        violation = "liveness: client " + std::to_string(c) + " completed " +
+                    std::to_string(cl.completed().size()) + "/" +
+                    std::to_string(cfg_.commands_per_client) + " commands";
+        break;
+      }
+      for (const SimClient::Done& d : cl.completed()) {
+        if (d.status != ClientStatus::kOk) {
+          violation = "client " + std::to_string(c) + " seq " + std::to_string(d.seq) +
+                      " finished with status " +
+                      client_status_name(d.status);
+          break;
+        }
+        const std::string reply(d.reply.begin(), d.reply.end());
+        if (reply != "OK") {
+          violation = "exactly-once violated: client " + std::to_string(c) +
+                      " seq " + std::to_string(d.seq) + " CAS reply '" + reply + "'";
+          break;
+        }
+      }
+    }
+  }
+
+  // Final-state check: a completed chain must leave its key at v_last on
+  // every live replica. Catches a double-applied PUT landing *after* the
+  // chain's last CAS, which failed_cas alone cannot see.
+  if (violation.empty()) {
+    const std::string want = chain_value(
+        static_cast<std::uint64_t>(cfg_.commands_per_client), 0);
+    for (std::size_t c = 0; c < cfg_.clients && violation.empty(); ++c) {
+      for (std::size_t i = 0; i < n; ++i) {
+        auto id = static_cast<NodeId>(i);
+        if (!gc.alive(id)) continue;
+        auto got = gc.store(id).get(client_key(c));
+        if (!got || *got != want) {
+          violation = "exactly-once violated: node " + std::to_string(id) + " key " +
+                      client_key(c) + " ended at '" + (got ? *got : "<absent>") +
+                      "' expected '" + want + "'";
+          break;
+        }
+      }
+    }
+  }
+
+  if (violation.empty()) violation = mem_violation;
+
+  if (!violation.empty()) {
+    result.ok = false;
+    result.violation = violation;
+    if (injector.applied() > 0) {
+      result.violation += " (last fault applied: " + injector.last_applied() + ")";
+    }
+  }
+  return result;
+}
+
+ChaosPlan ChaosRunner::shrink(std::uint64_t seed, const ChaosPlan& plan) const {
+  ChaosPlan current = plan;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < current.faults.events.size(); ++i) {
+      ChaosPlan candidate = current;
+      candidate.faults.events.erase(candidate.faults.events.begin() +
+                                    static_cast<long>(i));
+      if (!run_plan(seed, candidate).ok) {
+        current = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+    if (progress) continue;
+    for (std::size_t i = 0; i < current.client_events.size(); ++i) {
+      ChaosPlan candidate = current;
+      candidate.client_events.erase(candidate.client_events.begin() +
+                                    static_cast<long>(i));
+      if (!run_plan(seed, candidate).ok) {
+        current = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<ChaosFailure> ChaosRunner::run_range(
+    std::uint64_t first, std::uint64_t count,
+    const std::function<void(const ChaosFailure&)>& on_failure) const {
+  std::vector<ChaosFailure> failures;
+  for (std::uint64_t seed = first; seed < first + count; ++seed) {
+    ChaosResult result = run_seed(seed);
+    if (result.ok) continue;
+    ChaosFailure failure;
+    failure.minimized = shrink(seed, result.plan);
+    failure.repro = format_repro(result, failure.minimized);
+    failure.result = std::move(result);
+    if (on_failure) on_failure(failure);
+    failures.push_back(std::move(failure));
+  }
+  return failures;
+}
+
+std::string ChaosRunner::format_repro(const ChaosResult& result,
+                                      const ChaosPlan& minimized) const {
+  return "chaos repro: config=" + cfg_.name + " seed=" + std::to_string(result.seed) +
+         " plan{" + describe(minimized) + "} violation{" + result.violation + "}";
+}
+
+}  // namespace fsr

@@ -1,0 +1,142 @@
+// Gateway-level chaos engine: seeded client-misbehavior shapes — slow-loris
+// writers, reconnect storms, duplicate floods — composed with the FaultPlan
+// network/crash underlay, run against a SimGatewayCluster under an
+// exactly-once + bounded-memory + convergence oracle, with greedy shrinking
+// down to a one-line repro.
+//
+// Sibling of SwarmRunner (harness/swarm.h), one layer up the stack: the
+// swarm stresses the broadcast protocol with well-behaved senders; the
+// chaos runner stresses the session/admission layer above it with senders
+// that retry, reconnect, replay and stall on purpose. The oracle is the
+// gateway's whole contract at once:
+//   * exactly-once — every client runs a chained CAS on its own key
+//     (seq k: CAS(key, v_{k-1}, v_k)), so a double execution makes some CAS
+//     fail; `failed_cas == 0` on every live replica is the invariant, and a
+//     "FAIL" reply reaching a client is the same bug seen client-side.
+//   * bounded memory — admitted bytes never exceed the configured budget
+//     and cached replies never exceed sessions * reply_cache, sampled by a
+//     periodic probe *during* the run, not just at the end.
+//   * convergence + the full broadcast checker — replica fingerprints
+//     match and SimCluster::check_all stays clean.
+//   * client liveness — every well-behaved client finishes its commands
+//     (loris sessions are exempt: stalling is their job).
+//
+// `sabotage_double_execute` plants a real exactly-once violation (a client
+// command re-broadcast as a plain payload, skipping the session table) so
+// tests can prove each shape's oracle actually fires and shrinks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gateway/sim_gateway.h"
+#include "harness/fault_plan.h"
+
+namespace fsr {
+
+enum class ChaosShape : std::uint8_t {
+  kSlowLoris,       // over-window pipelined writers that trickle and stall
+  kReconnectStorm,  // clients re-bind to random replicas mid-command
+  kDuplicateFlood,  // replays of already-executed requests, in bulk
+};
+
+const char* chaos_shape_name(ChaosShape s);
+
+/// One seeded client-misbehavior event (the shape's own fault vocabulary,
+/// layered over the network/crash FaultPlan).
+struct ChaosEvent {
+  enum class Kind : std::uint8_t {
+    kReconnect,        // client re-binds to `replica`
+    kFloodDuplicates,  // re-send `count` copies of executed requests
+    kLorisBurst,       // pipeline `count` oversized requests at once
+  };
+  Kind kind = Kind::kReconnect;
+  Time at = 0;
+  std::size_t client = 0;   // client slot the event targets
+  NodeId replica = kNoNode; // kReconnect target / kFloodDuplicates entry point
+  std::uint32_t count = 1;  // kFloodDuplicates / kLorisBurst volume
+};
+
+/// A full chaos script: shape events + network underlay, both shrinkable.
+struct ChaosPlan {
+  std::uint64_t seed = 0;
+  ChaosShape shape = ChaosShape::kReconnectStorm;
+  FaultPlan faults;                     // network/crash underlay
+  std::vector<ChaosEvent> client_events;
+  /// Self-test hook: re-broadcast client 0's first command as a *plain*
+  /// payload mid-run. Plain payloads skip the session table, so the command
+  /// applies twice — the planted violation the oracle must catch.
+  bool sabotage_double_execute = false;
+};
+
+struct ChaosConfig {
+  std::string name = "chaos";
+  ChaosShape shape = ChaosShape::kReconnectStorm;
+  SimGatewayConfig gateway;  // cluster shape + gateway admission knobs
+  FaultPlanConfig faults;    // underlay generation (n taken from cluster)
+
+  std::size_t clients = 3;         // well-behaved chained-CAS sessions
+  int commands_per_client = 8;
+  Time submit_horizon = 20 * kMillisecond;
+  Time client_retry = 5 * kMillisecond;
+  std::size_t client_max_attempts = 100;
+
+  std::size_t max_chaos_events = 6;    // shape events per plan (>= 1)
+  std::size_t loris_value_bytes = 1024;  // chained-CAS value padding for loris
+
+  Time probe_interval = kMillisecond;  // memory-bound sampling period
+  Time run_horizon = 2 * kSecond;      // for configs whose timers re-arm
+  std::uint64_t max_events = 20'000'000;
+};
+
+struct ChaosResult {
+  bool ok = true;
+  std::uint64_t seed = 0;
+  std::string violation;
+  ChaosPlan plan;
+  std::uint64_t commands_completed = 0;
+  GatewayCounters counters;            // summed across replicas at the end
+  std::size_t max_admitted_bytes = 0;  // probe-observed peak, any replica
+  std::size_t max_reply_cache_entries = 0;
+  std::uint64_t events_executed = 0;
+};
+
+struct ChaosFailure {
+  ChaosResult result;
+  ChaosPlan minimized;
+  std::string repro;
+};
+
+/// Generate a chaos plan from `seed`. Same seed + config => same plan.
+ChaosPlan make_chaos_plan(std::uint64_t seed, const ChaosConfig& cfg);
+
+std::string describe(const ChaosEvent& event);
+std::string describe(const ChaosPlan& plan);
+
+class ChaosRunner {
+ public:
+  explicit ChaosRunner(ChaosConfig config);
+
+  ChaosResult run_seed(std::uint64_t seed) const;
+  ChaosResult run_plan(std::uint64_t seed, const ChaosPlan& plan) const;
+
+  /// Greedy removal over fault events then shape events, until no single
+  /// removal preserves the failure (sabotage flags are never removed — a
+  /// fully shrunk sabotage run reads `events=[] sabotage`).
+  ChaosPlan shrink(std::uint64_t seed, const ChaosPlan& plan) const;
+
+  std::vector<ChaosFailure> run_range(
+      std::uint64_t first, std::uint64_t count,
+      const std::function<void(const ChaosFailure&)>& on_failure = {}) const;
+
+  std::string format_repro(const ChaosResult& result, const ChaosPlan& minimized) const;
+
+  const ChaosConfig& config() const { return cfg_; }
+
+ private:
+  ChaosConfig cfg_;
+};
+
+}  // namespace fsr

@@ -129,6 +129,22 @@ void FaultInjector::apply(std::size_t index) {
         if (cluster_.alive(n)) cluster_.node(n).rotate_leader();
       }
       break;
+    case FaultAction::Kind::kNodeProfile: {
+      net.set_node_profile(a.node, a.profile);
+      Time span = a.duration > 0 ? a.duration : kMillisecond;
+      cluster_.sim().schedule(span, [this, a] {
+        cluster_.world().net().set_node_profile(a.node, NetProfile{});
+      });
+      break;
+    }
+    case FaultAction::Kind::kLinkProfile: {
+      net.set_link_profile(a.a, a.b, a.profile);
+      Time span = a.duration > 0 ? a.duration : kMillisecond;
+      cluster_.sim().schedule(span, [this, a] {
+        cluster_.world().net().set_link_profile(a.a, a.b, NetProfile{});
+      });
+      break;
+    }
   }
 }
 

@@ -16,6 +16,21 @@ std::string format_time(Time t) {
   return std::to_string(t) + "ns";
 }
 
+std::string format_bandwidth(double bps) {
+  if (bps >= 1e9) return std::to_string(static_cast<long long>(bps / 1e9)) + "Gbps";
+  return std::to_string(static_cast<long long>(bps / 1e6)) + "Mbps";
+}
+
+std::string format_percent(double fraction) {
+  // Loss rates are multiples of 0.05%; render with two decimals, no trailing
+  // float noise: 0.0015 -> "0.15%".
+  long long hundredths = static_cast<long long>(fraction * 10000 + 0.5);
+  std::string s = std::to_string(hundredths / 100) + "." +
+                  std::to_string((hundredths % 100) / 10) +
+                  std::to_string(hundredths % 10);
+  return s + "%";
+}
+
 std::string kind_name(int msg_kind) {
   if (msg_kind == wire_msg_kind<DataMsg>) return "DATA";
   if (msg_kind == wire_msg_kind<SeqMsg>) return "SEQ";
@@ -87,7 +102,9 @@ FaultPlan make_fault_plan(std::uint64_t seed, const FaultPlanConfig& cfg) {
 
     // Pick an action kind allowed by the config; fall back to rotation
     // (always safe) when a draw is disallowed or the crash budget is spent.
-    switch (rng.below(6)) {
+    // The two NetProfile cases only enter the draw when opted in, so legacy
+    // seeds keep generating byte-identical plans.
+    switch (rng.below(cfg.allow_net_profiles ? 8 : 6)) {
       case 0:
       case 1: {  // crash (bounded by the budget, distinct targets)
         if (crash_targets.size() >= cfg.max_crashes) {
@@ -143,6 +160,42 @@ FaultPlan make_fault_plan(std::uint64_t seed, const FaultPlanConfig& cfg) {
         if (!cfg.allow_link_delays) continue;
         a.kind = FaultAction::Kind::kLinkJitter;
         a.amount = static_cast<Time>(rng.below(300 * kMicrosecond) + 10 * kMicrosecond);
+        a.duration = static_cast<Time>(
+            rng.below(static_cast<std::uint64_t>(cfg.max_link_disruption)) +
+            500 * kMicrosecond);
+        break;
+      }
+      case 6: {  // heterogeneous node hardware: slower NIC and/or CPU
+        a.kind = FaultAction::Kind::kNodeProfile;
+        a.node = static_cast<NodeId>(rng.below(cfg.n));
+        static const double kSlowdowns[] = {2, 4, 8, 10};
+        if (rng.chance(0.8)) {
+          a.profile.bandwidth_bps =
+              cfg.profile_base_bandwidth_bps / kSlowdowns[rng.below(4)];
+        }
+        static const double kCpuScales[] = {1, 2, 4};
+        a.profile.cpu_scale = kCpuScales[rng.below(3)];
+        a.duration = static_cast<Time>(
+            rng.below(static_cast<std::uint64_t>(cfg.max_link_disruption)) +
+            500 * kMicrosecond);
+        break;
+      }
+      case 7: {  // lossy / jittery / long directed link
+        a.kind = FaultAction::Kind::kLinkProfile;
+        a.a = static_cast<NodeId>(rng.below(cfg.n));
+        a.b = static_cast<NodeId>(rng.below(cfg.n));
+        if (a.a == a.b) a.b = static_cast<NodeId>((a.b + 1) % cfg.n);
+        // Loss surfaces as retransmission latency (TCP semantics), so the
+        // reliable-channel assumption — and thus the oracle — still holds.
+        a.profile.loss_rate = 0.0005 * static_cast<double>(1 + rng.below(40));
+        a.profile.retransmit_delay =
+            static_cast<Time>(rng.below(900 * kMicrosecond) + 100 * kMicrosecond);
+        if (rng.chance(0.5)) {
+          a.profile.jitter_max = static_cast<Time>(rng.below(200 * kMicrosecond));
+        }
+        if (rng.chance(0.5)) {
+          a.profile.extra_latency = static_cast<Time>(rng.below(200 * kMicrosecond));
+        }
         a.duration = static_cast<Time>(
             rng.below(static_cast<std::uint64_t>(cfg.max_link_disruption)) +
             500 * kMicrosecond);
@@ -210,6 +263,29 @@ std::string describe(const FaultAction& a) {
              std::to_string(a.count) + ")";
     case FaultAction::Kind::kRotateLeader:
       return "rotate";
+    case FaultAction::Kind::kNodeProfile: {
+      std::string out = "nic(node=" + std::to_string(a.node);
+      if (a.profile.bandwidth_bps > 0) {
+        out += ",bw=" + format_bandwidth(a.profile.bandwidth_bps);
+      }
+      if (a.profile.cpu_scale != 1.0) {
+        out += ",cpu=x" + std::to_string(static_cast<long long>(a.profile.cpu_scale));
+      }
+      return out + "," + format_time(a.duration) + ")";
+    }
+    case FaultAction::Kind::kLinkProfile: {
+      std::string out =
+          "linkprof(" + std::to_string(a.a) + "->" + std::to_string(a.b);
+      if (a.profile.loss_rate > 0) {
+        out += ",loss=" + format_percent(a.profile.loss_rate) +
+               ",rtx=" + format_time(a.profile.retransmit_delay);
+      }
+      if (a.profile.jitter_max > 0) out += ",jit=" + format_time(a.profile.jitter_max);
+      if (a.profile.extra_latency > 0) {
+        out += ",lat=" + format_time(a.profile.extra_latency);
+      }
+      return out + "," + format_time(a.duration) + ")";
+    }
   }
   return "?";
 }

@@ -15,6 +15,10 @@
 //     with adversarial timing: frames are delayed or held and released,
 //     never lost or reordered within a link. Safety AND liveness must
 //     survive these.
+//   * node / link NetProfile — heterogeneous hardware: a slower NIC or CPU
+//     on one node, seeded loss (surfacing as retransmission latency, TCP
+//     semantics) or jitter on one directed link. Still within the model:
+//     channels stay reliable FIFO, so safety AND liveness must survive.
 //   * drop-mode partition / frame drops — violate the reliable-channel
 //     assumption on purpose (generated only when `allow_sabotage`): the
 //     harness's own tests use them to prove the oracle catches violations.
@@ -26,6 +30,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "net/cluster_net.h"
 #include "proto/wire.h"
 
 namespace fsr {
@@ -70,16 +75,19 @@ struct FaultAction {
     kPartition,     // cut `side` from the rest (both directions)
     kDropFrames,    // drop next `count` frames on a->b (sabotage)
     kRotateLeader,  // ask the coordinator to rotate the leader role
+    kNodeProfile,   // heterogeneous NIC/CPU on `node` for `duration`
+    kLinkProfile,   // loss/jitter/latency profile on a->b for `duration`
   };
   Kind kind = Kind::kCrash;
-  NodeId node = kNoNode;            // kCrash / kCrashSilent target
+  NodeId node = kNoNode;            // kCrash / kCrashSilent / kNodeProfile target
   Time fd_delay = -1;               // kCrash: detection delay (-1 = default)
   NodeId a = kNoNode, b = kNoNode;  // link endpoints
   Time amount = 0;                  // kLinkDelay / kLinkJitter
-  Time duration = 0;                // kLinkDelay / kLinkJitter / kPartition
+  Time duration = 0;                // kLinkDelay/kLinkJitter/kPartition/k*Profile
   bool drop_on_heal = false;        // kPartition: drop instead of buffering
   std::vector<NodeId> side;         // kPartition: one side of the cut
   std::uint32_t count = 1;          // kDropFrames
+  NetProfile profile;               // kNodeProfile / kLinkProfile payload
 };
 
 struct FaultEvent {
@@ -109,6 +117,11 @@ struct FaultPlanConfig {
   bool allow_rotation = true;
   bool allow_sabotage = false;  // frame drops: violates reliable channels
   Time max_link_disruption = 5 * kMillisecond;  // cap on delays / cut spans
+  // Heterogeneous-hardware generation (kNodeProfile / kLinkProfile). Off by
+  // default: enabling it changes the generator's draw sequence, which would
+  // silently re-map every existing seed to a different plan.
+  bool allow_net_profiles = false;
+  double profile_base_bandwidth_bps = 100e6;  // slow-NIC rates derive from this
 };
 
 /// Generate a random plan from `seed`. Same seed + config => same plan.

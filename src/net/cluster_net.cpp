@@ -40,9 +40,25 @@ Time ClusterNet::wire_time(std::size_t bytes) const {
   return static_cast<Time>(std::llround(seconds * 1e9));
 }
 
+Time ClusterNet::wire_time(NodeId node, std::size_t bytes) const {
+  double bps = node_bandwidth_bps(node);
+  if (bps == config_.bandwidth_bps) return wire_time(bytes);
+  std::size_t packets = bytes == 0 ? 1 : (bytes + config_.mss - 1) / config_.mss;
+  std::size_t on_wire = bytes + packets * config_.per_packet_overhead;
+  double seconds = static_cast<double>(on_wire) * 8.0 / bps;
+  return static_cast<Time>(std::llround(seconds * 1e9));
+}
+
 Time ClusterNet::cpu_time(std::size_t bytes) const {
   return config_.cpu_fixed +
          static_cast<Time>(std::llround(config_.cpu_per_byte_ns * static_cast<double>(bytes)));
+}
+
+Time ClusterNet::cpu_time(NodeId node, std::size_t bytes) const {
+  Time t = cpu_time(bytes);
+  double scale = nodes_[node].profile.cpu_scale;
+  if (scale != 1.0) t = static_cast<Time>(std::llround(static_cast<double>(t) * scale));
+  return t;
 }
 
 void ClusterNet::send(Frame frame) {
@@ -96,7 +112,7 @@ void ClusterNet::start_tx(NodeId node) {
   n.tx_busy = true;
   PendingFrame pf = std::move(n.tx_queue.front());
   n.tx_queue.pop_front();
-  Time t = wire_time(pf.bytes);
+  Time t = wire_time(node, pf.bytes);
   std::size_t packets = pf.bytes == 0 ? 1 : (pf.bytes + config_.mss - 1) / config_.mss;
   n.stats.wire_bytes_sent += pf.bytes + packets * config_.per_packet_overhead;
   n.stats.tx_busy += t;
@@ -142,7 +158,21 @@ void ClusterNet::route_to_switch(PendingFrame pf) {
     }
     return;
   }
-  Time extra = l.extra_delay;
+  Time extra = l.extra_delay + l.profile.extra_latency;
+  if (l.profile.loss_rate > 0 && l.profile_rng) {
+    // Each transmission is lost independently; a loss costs one retransmit
+    // delay and the frame goes again (TCP below the protocol: loss is
+    // latency, never a missing frame). Bounded like a real retry budget so
+    // a pathological loss_rate cannot spin forever.
+    for (int tries = 0; tries < 16 && l.profile_rng->chance(l.profile.loss_rate); ++tries) {
+      extra += l.profile.retransmit_delay;
+      ++fault_stats_.lost_transmissions;
+    }
+  }
+  if (l.profile.jitter_max > 0 && l.profile_rng) {
+    extra += static_cast<Time>(
+        l.profile_rng->below(static_cast<std::uint64_t>(l.profile.jitter_max) + 1));
+  }
   if (link_jitter_max_ > 0) {
     extra += static_cast<Time>(
         link_rng_.below(static_cast<std::uint64_t>(link_jitter_max_) + 1));
@@ -211,6 +241,42 @@ void ClusterNet::heal_all_links() {
       if (from != to) heal_link(from, to);
     }
   }
+  // Full reset back to the uniform cluster: injected delays, global jitter,
+  // and every node/link NetProfile.
+  for (auto& n : nodes_) n.profile = NetProfile{};
+  for (auto& l : links_) {
+    l.extra_delay = 0;
+    l.profile = NetProfile{};
+    l.profile_rng.reset();
+  }
+  link_jitter_max_ = 0;
+}
+
+void ClusterNet::set_node_profile(NodeId node, const NetProfile& profile) {
+  Node& n = nodes_[node];
+  n.profile = profile;
+  if (n.profile.cpu_scale <= 0) n.profile.cpu_scale = 1.0;
+}
+
+void ClusterNet::set_link_profile(NodeId from, NodeId to, const NetProfile& profile) {
+  if (profile.is_default() && links_.empty()) return;
+  LinkState& l = link(from, to);
+  l.profile = profile;
+  if (l.profile.loss_rate < 0) l.profile.loss_rate = 0;
+  if (l.profile.loss_rate > 0 || l.profile.jitter_max > 0) {
+    // (Re)seed per set: the drop/jitter set after a profile change is a pure
+    // function of (seed, from, to) and the frame count since the change.
+    l.profile_rng = std::make_unique<Rng>(config_.seed ^ 0x9e7f11aa55ULL ^
+                                          (static_cast<std::uint64_t>(from) << 32) ^
+                                          (static_cast<std::uint64_t>(to) << 16));
+  } else {
+    l.profile_rng.reset();
+  }
+}
+
+NetProfile ClusterNet::link_profile(NodeId from, NodeId to) const {
+  const LinkState* l = find_link(from, to);
+  return l != nullptr ? l->profile : NetProfile{};
 }
 
 bool ClusterNet::link_cut(NodeId from, NodeId to) const {
@@ -249,7 +315,7 @@ void ClusterNet::start_cpu(NodeId node) {
   n.cpu_busy = true;
   PendingFrame pf = std::move(n.cpu_queue.front());
   n.cpu_queue.pop_front();
-  Time t = cpu_time(pf.bytes);
+  Time t = cpu_time(node, pf.bytes);
   if (config_.cpu_jitter > 0) {
     double factor = 1.0 + config_.cpu_jitter * (2.0 * jitter_rng_.uniform() - 1.0);
     t = static_cast<Time>(std::llround(static_cast<double>(t) * factor));

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -69,6 +70,61 @@ struct NetConfig {
     c.cpu_fixed = 2 * kMicrosecond;
     c.cpu_per_byte_ns = 2.0;
     return c;
+  }
+
+  /// A tier above the paper's testbed: same switch, kernel-grade CPU path
+  /// (the middleware cost is what flattens FSR's curve once the wire is no
+  /// longer the bottleneck — bench_netprofile charts exactly that).
+  static NetConfig tier(double bps, double cpu_ns_per_byte = 100.0) {
+    NetConfig c;
+    c.bandwidth_bps = bps;
+    c.cpu_per_byte_ns = cpu_ns_per_byte;
+    return c;
+  }
+};
+
+/// Heterogeneous override for one node's NIC/CPU or one directed link.
+/// Zero-valued fields inherit the global NetConfig; a default-constructed
+/// profile is "no override" (resetting to it clears the override).
+///
+/// Node profiles model hardware diversity ("node 3 is on a 10x slower
+/// NIC", "node 2 is a slow machine"): they scale the node's TX line rate
+/// and CPU service times.
+///
+/// Link profiles model path diversity ("ring link 2->3 drops 0.1%"):
+/// constant extra latency, seeded per-frame jitter, and seeded loss.
+/// Loss does NOT violate the paper's reliable-FIFO-channel assumption:
+/// the cluster runs over TCP, where a lost wire packet surfaces to the
+/// protocol as *latency* (retransmission), never as a missing frame. A
+/// "lost" frame is therefore charged `retransmit_delay` extra arrival
+/// latency per lost transmission (geometric under repeated loss) and the
+/// per-link FIFO clamp keeps it from being overtaken. The drop decisions
+/// derive from NetConfig::seed and the link endpoints, so the same seed
+/// reproduces the same drop set.
+struct NetProfile {
+  /// NIC line rate override, bits/s (node profile; 0 = inherit).
+  double bandwidth_bps = 0;
+
+  /// Multiplier on CPU service times (node profile; models a slow or
+  /// oversubscribed machine). 1.0 = inherit.
+  double cpu_scale = 1.0;
+
+  /// Per-transmission loss probability in [0, 1) (link profile).
+  double loss_rate = 0;
+
+  /// Extra arrival latency charged per lost transmission (link profile).
+  Time retransmit_delay = 200 * kMicrosecond;
+
+  /// Seeded per-frame extra latency, uniform in [0, jitter_max] (link
+  /// profile; per-link FIFO still holds via the arrival clamp).
+  Time jitter_max = 0;
+
+  /// Constant extra one-way latency (link profile).
+  Time extra_latency = 0;
+
+  bool is_default() const {
+    return bandwidth_bps == 0 && cpu_scale == 1.0 && loss_rate == 0 &&
+           jitter_max == 0 && extra_latency == 0;
   }
 };
 
@@ -128,6 +184,9 @@ class ClusterNet {
   /// assumption — it exists to seed deliberate violations.
   void cut_link(NodeId from, NodeId to, bool drop = false);
   void heal_link(NodeId from, NodeId to);
+  /// Heal every cut link AND reset every node/link NetProfile and injected
+  /// delay/jitter to defaults — the full "network back to a uniform
+  /// cluster" reset the harness runs between scenario phases.
   void heal_all_links();
   bool link_cut(NodeId from, NodeId to) const;
 
@@ -135,24 +194,54 @@ class ClusterNet {
   /// (sabotage: violates reliable channels on purpose).
   void drop_frames(NodeId from, NodeId to, std::size_t count);
 
+  // --- heterogeneous network profiles (see NetProfile) ---
+
+  /// Override one node's NIC line rate / CPU scale. A default-constructed
+  /// profile clears the override. Takes effect for frames entering the TX
+  /// or CPU stage from now on; in-service frames keep their schedule.
+  void set_node_profile(NodeId node, const NetProfile& profile);
+
+  /// Override one directed link's loss / jitter / extra latency. A
+  /// default-constructed profile clears the override. The loss and jitter
+  /// streams are seeded from (NetConfig::seed, from, to), so a run's drop
+  /// set is a pure function of the seed.
+  void set_link_profile(NodeId from, NodeId to, const NetProfile& profile);
+
+  const NetProfile& node_profile(NodeId node) const { return nodes_[node].profile; }
+  NetProfile link_profile(NodeId from, NodeId to) const;
+
+  /// Node's effective NIC line rate (profile override or the global rate).
+  double node_bandwidth_bps(NodeId node) const {
+    return nodes_[node].profile.bandwidth_bps > 0 ? nodes_[node].profile.bandwidth_bps
+                                                  : config_.bandwidth_bps;
+  }
+
   struct FaultStats {
     std::uint64_t frames_held = 0;        // buffered by a cut link
     std::uint64_t frames_released = 0;    // released on heal
     std::uint64_t dropped_cut = 0;        // discarded by a drop-mode cut
     std::uint64_t dropped_sabotage = 0;   // discarded by drop_frames()
     std::uint64_t dropped_to_crashed = 0; // arrived at a crashed node
+    std::uint64_t lost_transmissions = 0; // lossy-link retransmits (frame still
+                                          // arrives, delayed — TCP semantics)
   };
   const FaultStats& fault_stats() const { return fault_stats_; }
 
   std::size_t size() const { return nodes_.size(); }
   const NetConfig& config() const { return config_; }
 
-  /// Time a frame of `bytes` payload occupies the wire, including per-packet
-  /// protocol overhead.
+  /// Time a frame of `bytes` payload occupies the wire at the global line
+  /// rate, including per-packet protocol overhead.
   Time wire_time(std::size_t bytes) const;
 
-  /// Receive-side CPU cost for a frame of `bytes`.
+  /// Same, at `node`'s effective line rate (NetProfile override).
+  Time wire_time(NodeId node, std::size_t bytes) const;
+
+  /// Receive-side CPU cost for a frame of `bytes` at the global CPU speed.
   Time cpu_time(std::size_t bytes) const;
+
+  /// Same, scaled by `node`'s NetProfile::cpu_scale.
+  Time cpu_time(NodeId node, std::size_t bytes) const;
 
   struct NodeStats {
     std::uint64_t frames_sent = 0;
@@ -179,6 +268,7 @@ class ClusterNet {
     std::size_t outbound_in_cpu = 0;  // frames still marshalling before TX
     bool ready_announced = false;     // tx_ready fired since the last send
     bool crashed = false;
+    NetProfile profile;  // NIC/CPU override (bandwidth_bps, cpu_scale)
     NodeStats stats;
   };
 
@@ -191,6 +281,10 @@ class ClusterNet {
     std::size_t drop_next = 0;
     Time last_arrival = 0;  // FIFO clamp under varying delays
     std::deque<PendingFrame> held;
+    NetProfile profile;  // loss / jitter / extra latency override
+    /// Seeded loss+jitter stream for this link (allocated with the profile;
+    /// per-link so one link's draws never perturb another's).
+    std::unique_ptr<Rng> profile_rng;
   };
 
   void enqueue_tx(NodeId node, PendingFrame pf);

@@ -14,18 +14,20 @@ TimerId Simulator::schedule_at(Time when, std::function<void()> fn) {
   assert(when >= now_ && "cannot schedule into the past");
   std::uint64_t serial = next_serial_++;
   queue_.push(Event{when, serial, std::move(fn)});
-  ++live_events_;
+  pending_.insert(serial);
   return TimerId{serial};
 }
 
 void Simulator::cancel(TimerId id) {
   if (!id.valid()) return;
-  // The tombstone is consumed when the event surfaces; double-cancel and
-  // cancel-after-fire both leave a stale tombstone that pop_one() skips
-  // harmlessly (serials are never reused).
-  if (canceled_.insert(id.serial_).second && live_events_ > 0) {
-    --live_events_;
-  }
+  // Only a genuinely pending event gets a tombstone: double-cancel and
+  // cancel-after-fire are no-ops, so they cannot skew the live count (the
+  // old decrement-on-any-cancel let a fired-then-canceled timer understate
+  // pending(), and a later real cancel overstate it — leaving empty()
+  // false forever with nothing runnable, a livelock for every harness that
+  // drains on empty()).
+  if (pending_.erase(id.serial_) == 0) return;
+  canceled_.insert(id.serial_);
 }
 
 bool Simulator::pop_one() {
@@ -40,8 +42,8 @@ bool Simulator::pop_one() {
     }
     Time when = top.when;
     auto fn = std::move(top.fn);
+    pending_.erase(top.serial);
     queue_.pop();
-    --live_events_;
     now_ = when;
     ++executed_;
     fn();
@@ -95,6 +97,6 @@ std::uint64_t Simulator::run_until_capped(Time until, std::uint64_t max_events) 
   return n;
 }
 
-bool Simulator::empty() const { return live_events_ == 0; }
+bool Simulator::empty() const { return pending_.empty(); }
 
 }  // namespace fsr

@@ -65,7 +65,7 @@ class Simulator {
   std::uint64_t run_until_capped(Time until, std::uint64_t max_events);
 
   bool empty() const;
-  std::size_t pending() const { return live_events_; }
+  std::size_t pending() const { return pending_.size(); }
 
   /// Total events executed since construction (across all run_* calls).
   /// Schedule-exploration harnesses use this as a runaway-schedule guard.
@@ -88,8 +88,12 @@ class Simulator {
   Time now_ = 0;
   std::uint64_t next_serial_ = 1;
   std::uint64_t executed_ = 0;
-  std::size_t live_events_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  /// Serials of scheduled-but-not-yet-fired/canceled events: the ground
+  /// truth for empty()/pending(), and what makes cancel-after-fire a no-op
+  /// (a stale cancel must not skew the live count — harnesses spin on
+  /// empty(), so a skewed count is a harness livelock).
+  std::unordered_set<std::uint64_t> pending_;
   std::unordered_set<std::uint64_t> canceled_;  // tombstones of canceled events
 };
 

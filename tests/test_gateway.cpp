@@ -4,6 +4,13 @@
 // explicitly instead of dropping or OOMing.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -213,10 +220,16 @@ TEST(Gateway, SessionSeqGapRejected) {
   ThreadRoleRegion role(gw.role());
   std::vector<ClientReply> replies;
   auto send = [&](const ClientReply& r) { replies.push_back(r); };
+  // A seq ahead of this replica's horizon is retryable, never admitted: the
+  // gateway cannot distinguish a failed-over client (acked elsewhere,
+  // delivery still catching up here) from a fabricator, so it answers
+  // "resend later" and lets delivery — or the client's retry budget —
+  // settle the question.
   gw.on_request(make_request(5, 4, KvStore::encode_put("a", "x")), send);
   ASSERT_EQ(replies.size(), 1u);
-  EXPECT_EQ(replies[0].status, ClientStatus::kBadRequest);
-  // seq 0 is never valid.
+  EXPECT_EQ(replies[0].status, ClientStatus::kRejectedWindow);
+  EXPECT_EQ(gw.counters().rejected_ahead, 1u);
+  // seq 0 is never valid: that one IS provably malformed.
   gw.on_request(make_request(5, 0, KvStore::encode_put("a", "x")), send);
   ASSERT_EQ(replies.size(), 2u);
   EXPECT_EQ(replies[1].status, ClientStatus::kBadRequest);
@@ -396,6 +409,74 @@ TEST(Gateway, PlainBroadcastsCoexistWithEnvelopes) {
   EXPECT_EQ(f.gc->cluster().check_all(), "");
 }
 
+// Admission-control memory regression: a duplicate flood (thousands of
+// replays of already-executed seqs) must be answered entirely from the
+// bounded reply cache — zero admitted bytes, zero new broadcasts, zero new
+// applies, and a cache that never grows past sessions() * reply_cache.
+TEST(Gateway, DuplicateFloodKeepsAdmissionMemoryBounded) {
+  GatewayConfig gw_cfg;
+  gw_cfg.session_window = 4;
+  gw_cfg.session_queue = 8;
+  gw_cfg.reply_cache = 4;
+  gw_cfg.admitted_bytes_budget = 32 * 1024;
+  GatewayFixture f(3, gw_cfg);
+  auto& gw = f.gc->gateway(0);
+  ThreadRoleRegion role(gw.role());
+  auto drop = [](const ClientReply&) {};
+
+  // A session executes 6 commands; with reply_cache = 4 the two oldest
+  // replies age out (the flood below replays those too).
+  const std::uint64_t kClient = 9;
+  const int kChain = 6;
+  for (int i = 1; i <= kChain; ++i) {
+    gw.on_request(make_request(kClient, std::uint64_t(i),
+                               KvStore::encode_put("k", std::to_string(i))),
+                  drop);
+    f.gc->sim().run();
+  }
+  ASSERT_EQ(gw.last_executed(kClient), std::uint64_t(kChain));
+  EXPECT_EQ(gw.counters().reply_cache_evictions, std::uint64_t(kChain) - gw_cfg.reply_cache);
+
+  const auto applied_before = f.gc->store(0).applied_commands();
+  const auto admitted_before = gw.counters().admitted;
+  const auto cache_before = gw.reply_cache_entries();
+  ASSERT_LE(cache_before, gw.sessions() * gw_cfg.reply_cache);
+
+  // Flood: 5000 replays cycling over every executed seq, including the
+  // evicted ones. Every one must be answered as a duplicate without
+  // touching admission state.
+  const int kFlood = 5000;
+  std::uint64_t dup_replies = 0, empty_replies = 0;
+  std::size_t max_cache = 0;
+  auto count = [&](const ClientReply& r) {
+    EXPECT_EQ(r.status, ClientStatus::kOk);
+    EXPECT_TRUE(r.duplicate);
+    ++dup_replies;
+    empty_replies += r.reply.empty();
+  };
+  for (int i = 0; i < kFlood; ++i) {
+    const std::uint64_t seq = 1 + std::uint64_t(i) % kChain;
+    gw.on_request(make_request(kClient, seq,
+                               KvStore::encode_put("k", std::to_string(seq))),
+                  count);
+    // Probe during the flood, not just after: a transient spike is a bug.
+    max_cache = std::max(max_cache, gw.reply_cache_entries());
+    ASSERT_EQ(gw.admitted_bytes(), 0u) << "flood admitted bytes at i=" << i;
+  }
+  EXPECT_EQ(dup_replies, std::uint64_t(kFlood));
+  EXPECT_GT(empty_replies, 0u) << "evicted seqs must still get duplicate acks";
+  EXPECT_GE(gw.counters().duplicate_hits, std::uint64_t(kFlood));
+  EXPECT_LE(max_cache, gw.sessions() * gw_cfg.reply_cache);
+  EXPECT_EQ(gw.reply_cache_entries(), cache_before) << "flood grew the cache";
+  EXPECT_EQ(gw.counters().admitted, admitted_before) << "flood was re-admitted";
+
+  f.gc->sim().run();
+  EXPECT_EQ(f.gc->store(0).applied_commands(), applied_before)
+      << "a replayed command re-executed";
+  EXPECT_EQ(f.gc->check_replicas_converged(), "");
+  EXPECT_EQ(f.gc->cluster().check_all(), "");
+}
+
 // -------------------------------------------------------------- real TCP ---
 
 bool fingerprints_converge(TcpGatewayCluster& gc, Time timeout) {
@@ -482,6 +563,91 @@ TEST(GatewayTcp, ClientSurvivesReplicaCrashExactlyOnce) {
   for (NodeId id = 1; id < 3; ++id) {
     EXPECT_EQ(gc.store(id).get("x"), std::to_string(kSteps));
   }
+  EXPECT_EQ(gc.check_invariants(), "");
+}
+
+// A slow-loris writer — a real socket trickling one valid frame a byte at a
+// time — must not stall the replica: per-connection reader threads mean
+// other clients keep completing commands while the loris frame is still
+// arriving, and once it finally lands it executes (exactly once) and is
+// answered on the loris connection.
+TEST(GatewayTcp, SlowLorisWriterDoesNotStallOtherClients) {
+  TcpGatewayCluster gc;
+  auto eps = gc.endpoints();
+
+  int loris_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(loris_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(eps[0].port);
+  ASSERT_EQ(::inet_pton(AF_INET, eps[0].host.c_str(), &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(loris_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  // One valid frame: hello + PUT, length-prefixed like any client.
+  ClientFrame frame;
+  ClientHello hello;
+  hello.client_id = 61;
+  frame.msgs.emplace_back(hello);
+  frame.msgs.emplace_back(make_request(61, 1, KvStore::encode_put("loris", "done")));
+  Bytes body = encode_client_frame(frame);
+  Bytes wire;
+  const std::uint32_t n = static_cast<std::uint32_t>(body.size());
+  for (int i = 0; i < 4; ++i) wire.push_back(static_cast<std::uint8_t>(n >> (8 * i)));
+  wire.insert(wire.end(), body.begin(), body.end());
+
+  std::atomic<bool> loris_done{false};
+  Thread loris([&] {
+    for (std::uint8_t b : wire) {
+      if (::send(loris_fd, &b, 1, MSG_NOSIGNAL) != 1) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(4));
+    }
+    loris_done.store(true);
+  });
+
+  // A well-behaved client on the SAME replica runs a chain meanwhile.
+  GatewayClient::Options opt;
+  opt.client_id = 62;
+  opt.endpoints = eps;
+  opt.start_index = 0;
+  GatewayClient client(opt);
+  ASSERT_TRUE(client.call(KvStore::encode_put("x", "0")).ok);
+  int before_loris_done = loris_done.load() ? 0 : 1;
+  for (int i = 0; i < 10; ++i) {
+    auto r = client.call(
+        KvStore::encode_cas("x", std::to_string(i), std::to_string(i + 1)));
+    ASSERT_TRUE(r.ok) << "cas " << i;
+    ASSERT_EQ(str_of(r.reply), "OK") << "cas " << i;
+    before_loris_done += !loris_done.load();
+  }
+  EXPECT_GT(before_loris_done, 0)
+      << "chain never overlapped the loris frame; slow the trickle down";
+  loris.join();
+
+  // The trickled frame finally landed: the hello ack (session position 0)
+  // and then the request's reply both come back on the loris connection.
+  std::vector<ClientReply> replies;
+  while (replies.size() < 2) {
+    auto reply_frame = gateway_read_frame(loris_fd);
+    ASSERT_TRUE(reply_frame.has_value())
+        << "loris connection closed after " << replies.size() << " replies";
+    for (const auto& msg : reply_frame->msgs) {
+      replies.push_back(std::get<ClientReply>(msg));
+    }
+  }
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].client_id, 61u);
+  EXPECT_EQ(replies[0].session_seq, 0u);  // hello ack: nothing executed yet
+  EXPECT_EQ(replies[0].status, ClientStatus::kOk);
+  EXPECT_EQ(replies[1].client_id, 61u);
+  EXPECT_EQ(replies[1].session_seq, 1u);
+  EXPECT_EQ(replies[1].status, ClientStatus::kOk);
+  ::close(loris_fd);
+
+  ASSERT_TRUE(fingerprints_converge(gc, 10 * kSecond));
+  for (NodeId id = 0; id < 3; ++id) {
+    EXPECT_EQ(gc.store(id).get("loris"), "done") << "node " << int(id);
+  }
+  EXPECT_EQ(gc.total_failed_cas(), 0u);
   EXPECT_EQ(gc.check_invariants(), "");
 }
 

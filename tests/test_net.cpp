@@ -195,5 +195,184 @@ TEST(ClusterNet, RawWireConfigApproachesTableOneCeiling) {
   EXPECT_LT(mbps, 95.0);
 }
 
+// --- NetProfile: heterogeneous per-node/per-link network profiles ---
+
+TEST(NetProfile, PerNodeBandwidthAndCpuScaleChangeServiceTimes) {
+  Simulator sim;
+  NetConfig cfg;
+  cfg.bandwidth_bps = 100e6;
+  ClusterNet net(sim, cfg, 3);
+
+  NetProfile slow;
+  slow.bandwidth_bps = 10e6;  // a 10x slower NIC on node 1
+  slow.cpu_scale = 4.0;
+  net.set_node_profile(1, slow);
+
+  EXPECT_EQ(net.node_bandwidth_bps(0), 100e6);
+  EXPECT_EQ(net.node_bandwidth_bps(1), 10e6);
+  // Serialization delay scales inversely with the NIC rate...
+  EXPECT_EQ(net.wire_time(1, 1448), 10 * net.wire_time(0, 1448));
+  EXPECT_EQ(net.wire_time(0, 1448), net.wire_time(1448));
+  // ...and CPU service time scales with cpu_scale.
+  EXPECT_EQ(net.cpu_time(1, 1000), 4 * net.cpu_time(0, 1000));
+  EXPECT_EQ(net.cpu_time(2, 1000), net.cpu_time(1000));
+}
+
+TEST(NetProfile, SlowNodeDelaysItsOwnTransmissionsOnly) {
+  auto delivery_time = [](NodeId sender, const NetProfile& profile) {
+    Simulator sim;
+    ClusterNet net(sim, NetConfig{}, 3);
+    net.set_node_profile(1, profile);
+    Time at = -1;
+    net.set_deliver([&](const Frame&) { at = sim.now(); });
+    net.send(make_frame(sender, 2, 4000));
+    sim.run();
+    return at;
+  };
+  NetProfile slow;
+  slow.bandwidth_bps = 10e6;
+  Time fast_sender = delivery_time(0, slow);
+  Time slow_sender = delivery_time(1, slow);
+  Time baseline = delivery_time(1, NetProfile{});
+  EXPECT_EQ(fast_sender, delivery_time(0, NetProfile{}));  // node 0 untouched
+  EXPECT_GT(slow_sender, baseline);
+}
+
+TEST(NetProfile, SeededLossIsDeterministic) {
+  auto run_lossy = [](std::uint64_t seed) {
+    Simulator sim;
+    NetConfig cfg;
+    cfg.seed = seed;
+    ClusterNet net(sim, cfg, 2);
+    NetProfile lossy;
+    lossy.loss_rate = 0.3;
+    lossy.retransmit_delay = 300 * kMicrosecond;
+    net.set_link_profile(0, 1, lossy);
+    std::vector<Time> arrivals;
+    net.set_deliver([&](const Frame&) { arrivals.push_back(sim.now()); });
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_at(i * kMillisecond, [&net] { net.send(make_frame(0, 1, 1000)); });
+    }
+    sim.run();
+    return std::make_pair(arrivals, net.fault_stats().lost_transmissions);
+  };
+  auto [arrivals_a, lost_a] = run_lossy(42);
+  auto [arrivals_b, lost_b] = run_lossy(42);
+  EXPECT_GT(lost_a, 0u);
+  EXPECT_EQ(lost_a, lost_b);           // same seed => same drop set
+  EXPECT_EQ(arrivals_a, arrivals_b);   // ...and identical timing
+  auto [arrivals_c, lost_c] = run_lossy(43);
+  EXPECT_NE(arrivals_a, arrivals_c);   // different seed => different schedule
+}
+
+TEST(NetProfile, LossSurfacesAsLatencyNeverAsAMissingFrame) {
+  // The model is TCP-below-the-protocol: a lost transmission costs a
+  // retransmit delay, but the channel stays reliable — every frame arrives.
+  Simulator sim;
+  ClusterNet net(sim, NetConfig{}, 2);
+  NetProfile lossy;
+  lossy.loss_rate = 0.5;
+  lossy.retransmit_delay = 200 * kMicrosecond;
+  net.set_link_profile(0, 1, lossy);
+  int received = 0;
+  net.set_deliver([&](const Frame&) { ++received; });
+  const int kFrames = 100;
+  for (int i = 0; i < kFrames; ++i) {
+    sim.schedule_at(i * kMillisecond, [&net] { net.send(make_frame(0, 1, 500)); });
+  }
+  sim.run();
+  EXPECT_EQ(received, kFrames);
+  EXPECT_GT(net.fault_stats().lost_transmissions, 0u);
+  EXPECT_EQ(net.fault_stats().dropped_cut, 0u);
+  EXPECT_EQ(net.fault_stats().dropped_sabotage, 0u);
+}
+
+TEST(NetProfile, JitterNeverViolatesPerLinkFifo) {
+  Simulator sim;
+  ClusterNet net(sim, NetConfig{}, 2);
+  NetProfile jittery;
+  jittery.jitter_max = 500 * kMicrosecond;  // >> back-to-back frame spacing
+  net.set_link_profile(0, 1, jittery);
+  std::vector<LocalSeq> order;
+  std::vector<Time> times;
+  net.set_deliver([&](const Frame& f) {
+    order.push_back(std::get<DataMsg>(f.msgs[0]).id.lsn);
+    times.push_back(sim.now());
+  });
+  const int kFrames = 200;
+  for (int i = 0; i < kFrames; ++i) {
+    DataMsg m;
+    m.id = MsgId{0, static_cast<LocalSeq>(i + 1)};
+    m.payload = make_payload(Bytes(64, 0x42));
+    net.send(Frame{0, 1, {m}});
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kFrames));
+  for (int i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], static_cast<LocalSeq>(i + 1));
+    if (i > 0) {
+      EXPECT_GE(times[static_cast<std::size_t>(i)], times[static_cast<std::size_t>(i - 1)]);
+    }
+  }
+}
+
+TEST(NetProfile, ExtraLatencyIsDirectional) {
+  auto one_way = [](NodeId from, NodeId to, Time extra) {
+    Simulator sim;
+    ClusterNet net(sim, NetConfig{}, 2);
+    if (extra > 0) {
+      NetProfile p;
+      p.extra_latency = extra;
+      net.set_link_profile(0, 1, p);  // only the 0->1 direction
+    }
+    Time at = -1;
+    net.set_deliver([&](const Frame&) { at = sim.now(); });
+    net.send(make_frame(from, to, 1000));
+    sim.run();
+    return at;
+  };
+  const Time extra = 750 * kMicrosecond;
+  EXPECT_EQ(one_way(0, 1, extra), one_way(0, 1, 0) + extra);
+  EXPECT_EQ(one_way(1, 0, extra), one_way(1, 0, 0));  // reverse path untouched
+}
+
+TEST(NetProfile, HealAllLinksResetsEveryProfile) {
+  Simulator sim;
+  ClusterNet net(sim, NetConfig{}, 3);
+  NetProfile slow;
+  slow.bandwidth_bps = 10e6;
+  slow.cpu_scale = 2.0;
+  net.set_node_profile(1, slow);
+  NetProfile lossy;
+  lossy.loss_rate = 0.4;
+  lossy.jitter_max = 100 * kMicrosecond;
+  lossy.extra_latency = 300 * kMicrosecond;
+  net.set_link_profile(0, 1, lossy);
+  net.set_link_delay(1, 2, 500 * kMicrosecond);
+  net.set_link_jitter(50 * kMicrosecond);
+
+  net.heal_all_links();
+
+  EXPECT_TRUE(net.node_profile(1).is_default());
+  EXPECT_TRUE(net.link_profile(0, 1).is_default());
+  EXPECT_EQ(net.node_bandwidth_bps(1), NetConfig{}.bandwidth_bps);
+  EXPECT_EQ(net.wire_time(1, 1448), net.wire_time(1448));
+
+  // Post-heal deliveries behave exactly like a pristine network.
+  Time at = -1;
+  net.set_deliver([&](const Frame&) { at = sim.now(); });
+  Time start = sim.now();
+  net.send(make_frame(0, 1, 2000));
+  sim.run();
+  Simulator sim2;
+  ClusterNet pristine(sim2, NetConfig{}, 3);
+  Time at2 = -1;
+  pristine.set_deliver([&](const Frame&) { at2 = sim2.now(); });
+  pristine.send(make_frame(0, 1, 2000));
+  sim2.run();
+  EXPECT_EQ(at - start, at2);
+  EXPECT_EQ(net.fault_stats().lost_transmissions, 0u);
+}
+
 }  // namespace
 }  // namespace fsr

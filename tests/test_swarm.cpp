@@ -10,12 +10,14 @@
 //   FSR_SWARM_ARTIFACT_DIR directory for failing-seed repro files
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "gateway/sim_gateway.h"
+#include "harness/chaos.h"
 #include "harness/swarm.h"
 #include "support/seeded_test.h"
 
@@ -106,6 +108,23 @@ std::vector<SwarmConfig> swarm_matrix() {
   hang.faults.allow_link_delays = false;
   hang.run_horizon = kSecond;
   configs.push_back(hang);
+
+  // Heterogeneous hardware: plans may pin a slow NIC / scaled CPU on a node
+  // or a lossy/jittery profile on a link (kNodeProfile / kLinkProfile).
+  // Loss is modeled as retransmit latency, so channels stay reliable and
+  // the full oracle still applies. Appended last: enabling profile
+  // generation changes the generator's draw sequence, and the earlier
+  // configs must keep their historical seed => plan mapping.
+  SwarmConfig hetero;
+  hetero.name = "n4t1np";
+  hetero.cluster.n = 4;
+  hetero.cluster.group.engine.t = 1;
+  hetero.cluster.group.engine.segment_size = 1024;
+  hetero.senders = 2;
+  hetero.messages = 20;
+  hetero.faults.max_crashes = 1;
+  hetero.faults.allow_net_profiles = true;
+  configs.push_back(hetero);
 
   return configs;
 }
@@ -344,6 +363,145 @@ TEST(Swarm, ShrinkReducesToTheCulpritEvent) {
   ASSERT_EQ(minimized.events.size(), 1u) << describe(minimized);
   EXPECT_EQ(minimized.events[0].action.kind, FaultAction::Kind::kDropFrames);
 }
+
+// --- Gateway chaos swarm: misbehaving clients over a faulty network ---
+//
+// Three shapes (slow-loris, reconnect storm, duplicate flood), each swept
+// over seeded plans that compose client misbehavior with the network/crash
+// underlay. Oracle: exactly-once (chained CAS), bounded admission memory
+// (probed during the run), replica convergence, checker-clean traces, and
+// client liveness. Budget knob: FSR_CHAOS_SEEDS (seeds per shape; the
+// nightly ASan job enlarges it — the per-PR default already covers
+// 3 x 100 = 300 plans).
+
+std::uint64_t chaos_seeds_per_shape() {
+  if (const char* env = std::getenv("FSR_CHAOS_SEEDS")) {
+    return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  return 100;
+}
+
+void write_chaos_artifact(const ChaosRunner& runner, const ChaosFailure& failure) {
+  const char* dir = std::getenv("FSR_SWARM_ARTIFACT_DIR");
+  if (dir == nullptr) return;
+  std::ofstream out(std::string(dir) + "/chaos-failures-" + runner.config().name + ".txt",
+                    std::ios::app);
+  out << failure.repro << "\n";
+}
+
+/// Shared chaos base: a 4-node cluster with deliberately tight admission
+/// limits (small window/queue/budget/cache) so the shapes actually push
+/// against every bound, plus a one-crash network underlay.
+ChaosConfig chaos_config(ChaosShape shape) {
+  ChaosConfig cfg;
+  cfg.name = chaos_shape_name(shape);
+  cfg.shape = shape;
+  cfg.gateway.cluster.n = 4;
+  cfg.gateway.cluster.group.engine.t = 1;
+  cfg.gateway.gateway.session_window = 4;
+  cfg.gateway.gateway.session_queue = 8;
+  cfg.gateway.gateway.admitted_bytes_budget = 64 * 1024;
+  cfg.gateway.gateway.reply_cache = 8;
+  cfg.faults.max_crashes = 1;
+  return cfg;
+}
+
+const ChaosShape kChaosShapes[] = {ChaosShape::kSlowLoris,
+                                   ChaosShape::kReconnectStorm,
+                                   ChaosShape::kDuplicateFlood};
+
+class ChaosTest : public ::testing::TestWithParam<ChaosShape> {};
+
+TEST_P(ChaosTest, SeededPlansUpholdExactlyOnceAndBoundedMemory) {
+  ChaosRunner runner(chaos_config(GetParam()));
+  const std::uint64_t seeds = chaos_seeds_per_shape();
+  // Disjoint seed ranges per shape, mirroring the swarm matrix.
+  const std::uint64_t first =
+      1 + static_cast<std::uint64_t>(GetParam()) * 1'000'000'000ULL;
+
+  auto failures = runner.run_range(first, seeds, [&](const ChaosFailure& f) {
+    ADD_FAILURE() << f.repro;
+    write_chaos_artifact(runner, f);
+  });
+  EXPECT_EQ(failures.size(), 0u)
+      << failures.size() << " of " << seeds << " chaos plans violated the "
+      << "gateway contract (repro lines above; rerun with ChaosRunner::run_seed)";
+}
+
+TEST_P(ChaosTest, RunsAreDeterministicPerSeed) {
+  ChaosRunner runner(chaos_config(GetParam()));
+  ChaosResult a = runner.run_seed(7);
+  ChaosResult b = runner.run_seed(7);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.violation, b.violation);
+  EXPECT_EQ(a.commands_completed, b.commands_completed);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(describe(a.plan), describe(b.plan));
+}
+
+// Deliberate-sabotage self-test, per shape: plant a real exactly-once
+// violation (client 0's first command re-broadcast as a plain payload,
+// skipping the session table) and prove the oracle catches it, the shrinker
+// strips every incidental event, and the repro names the sabotage.
+TEST_P(ChaosTest, PlantedDoubleExecutionIsCaughtAndShrunk) {
+  ChaosRunner runner(chaos_config(GetParam()));
+  const std::uint64_t seed = 3;
+  ChaosPlan plan = make_chaos_plan(seed, runner.config());
+  plan.sabotage_double_execute = true;
+
+  ChaosResult result = runner.run_plan(seed, plan);
+  ASSERT_FALSE(result.ok) << "planted double execution went unnoticed: "
+                          << describe(plan);
+  EXPECT_NE(result.violation.find("exactly-once"), std::string::npos)
+      << result.violation;
+
+  ChaosPlan minimized = runner.shrink(seed, plan);
+  // The sabotage needs no help: every generated fault and client event is
+  // incidental and greedy removal must strip them all.
+  EXPECT_EQ(minimized.faults.events.size(), 0u) << describe(minimized);
+  EXPECT_EQ(minimized.client_events.size(), 0u) << describe(minimized);
+  EXPECT_TRUE(minimized.sabotage_double_execute);
+  ASSERT_FALSE(runner.run_plan(seed, minimized).ok)
+      << "shrinking lost the violation: " << describe(minimized);
+
+  std::string repro = runner.format_repro(result, minimized);
+  EXPECT_NE(repro.find("seed=3"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("sabotage=double_execute"), std::string::npos) << repro;
+}
+
+// The shapes must actually exercise the machinery they target — a sweep
+// whose duplicate floods never hit the reply cache, or whose loris sessions
+// never pipeline past the window, would be green vacuously.
+TEST(Chaos, ShapesExerciseTheirTargetMachinery) {
+  {
+    ChaosRunner runner(chaos_config(ChaosShape::kDuplicateFlood));
+    GatewayCounters totals;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      ChaosResult r = runner.run_seed(seed);
+      ASSERT_TRUE(r.ok) << r.violation;
+      totals += r.counters;
+    }
+    EXPECT_GT(totals.duplicate_hits, 0u)
+        << "no flood was answered from the reply cache";
+  }
+  {
+    ChaosRunner runner(chaos_config(ChaosShape::kSlowLoris));
+    std::size_t max_cache = 0, max_adm = 0;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      ChaosResult r = runner.run_seed(seed);
+      ASSERT_TRUE(r.ok) << r.violation;
+      max_cache = std::max(max_cache, r.max_reply_cache_entries);
+      max_adm = std::max(max_adm, r.max_admitted_bytes);
+    }
+    EXPECT_GT(max_cache, 0u);
+    EXPECT_GT(max_adm, 0u) << "loris bursts never occupied admission memory";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ChaosTest, ::testing::ValuesIn(kChaosShapes),
+                         [](const auto& info) {
+                           return std::string(chaos_shape_name(info.param));
+                         });
 
 }  // namespace
 }  // namespace fsr

@@ -11,8 +11,9 @@ value more than --threshold percent (default 15) below the baseline prints
 a GitHub Actions ::warning:: annotation.
 
 By default this is a trend-watcher, not a gate: CI runners are shared
-hardware, so the exit code is 0 unless a report is missing or unparseable
-(schema drift should be loud; a slow runner should not be). With --fail,
+hardware, so the exit code is 0 unless a report is missing, unparseable, or
+lacks a row the baseline has (schema drift and silently-skipped benches
+should be loud; a slow runner should not be). With --fail,
 any regression past the threshold also fails the run — meant for the
 nightly job, which uses a generous threshold to separate real regressions
 from runner noise.
@@ -29,7 +30,8 @@ METRICS = ("goodput_mbps", "frames_per_sec", "msgs_per_sec",
 
 # Keys that identify a row within a report (whatever subset is present).
 IDENTITY = ("nodes", "msg_size", "msgs_per_sender", "senders", "message_size",
-            "rate_per_sender", "clients", "requests_per_client")
+            "rate_per_sender", "clients", "requests_per_client", "tier",
+            "variant")
 
 
 def load_report(path: Path):
@@ -84,9 +86,12 @@ def main():
             key = row_key(brow)
             frow = fresh_rows.get(key)
             if frow is None:
-                print(f"::warning::{base_path.name}: row {dict(key)} missing "
-                      "from fresh report")
-                warnings += 1
+                # A baselined row the fresh run never produced is a broken or
+                # silently-skipped bench, not runner noise: always fatal.
+                print(f"::error::{base_path.name}: row {dict(key)} missing "
+                      "from fresh report (bench skipped or sweep shrank?)",
+                      file=sys.stderr)
+                hard_error = True
                 continue
             for metric in METRICS:
                 if metric not in brow or metric not in frow:
