@@ -1,16 +1,22 @@
 // Gateway service benchmark: closed-loop clients driving the replicated KV
 // service over real localhost TCP — the end-to-end path a deployment sees:
-// client socket -> GatewayServer -> session admission -> TO-broadcast ->
-// delivery/execution on every replica -> response routing back to the
-// owning connection.
+// client socket -> GatewayServer event loops -> session admission ->
+// coalesced TO-broadcast -> delivery/execution on every replica -> batched
+// response routing back to the owning connection.
 //
-// Each row sweeps the closed-loop client count (sessions spread round-robin
-// across the replicas); requests/s and client-observed latency percentiles
-// come from the ClientDriver, and the gateway/engine/transport counters
-// attached to each row show *how* the number was reached (dedupe hits,
-// admission rejections, pooled records, syscalls per frame). Host-dependent
-// like bench_tcp_ring: loopback is much faster than the paper's testbed, so
-// treat absolute numbers as implementation cost, not protocol ceilings.
+// The sweep runs two client modes: the small rows (1, 16) keep the legacy
+// one-connection-per-client driver for continuity with earlier baselines,
+// while the 64/256/1024-client rows multiplex pipelined sessions over a
+// handful of connections — the shape the epoll front-end and request
+// coalescing exist for. Ablation rows at 256 clients isolate the two main
+// effects: `uncoalesced` turns envelope batching off (everything else
+// identical), and `read-heavy` switches the gateway to leased reads with a
+// 90% GET mix, where a warm lease answers reads locally without a ring
+// trip (gw_reads_ordered stays near zero).
+//
+// Host-dependent like bench_tcp_ring: loopback is much faster than the
+// paper's testbed, so treat absolute numbers as implementation cost, not
+// protocol ceilings.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
@@ -24,6 +30,17 @@ using namespace fsr;
 constexpr std::size_t kNodes = 3;
 constexpr std::size_t kValueBytes = 64;
 
+struct GatewayBenchParams {
+  std::size_t clients = 1;
+  std::size_t requests_per_client = 200;
+  std::size_t connections = 0;  ///< 0 = legacy one-connection-per-client
+  std::size_t pipeline = 8;
+  double read_fraction = 0.0;
+  bool coalesce = true;
+  GatewayReadMode read_mode = GatewayReadMode::kLocal;
+  const char* variant = "coalesced";
+};
+
 struct GatewayBenchResult {
   DriverReport report;
   GatewayCounters gateway;
@@ -31,8 +48,7 @@ struct GatewayBenchResult {
   TransportCounters transport;
 };
 
-GatewayBenchResult run_gateway_bench(std::size_t clients,
-                                     std::size_t requests_per_client) {
+GatewayBenchResult run_gateway_bench(const GatewayBenchParams& p) {
   TcpGatewayClusterConfig cfg;
   cfg.n = kNodes;
   cfg.group.engine.t = 1;
@@ -40,13 +56,18 @@ GatewayBenchResult run_gateway_bench(std::size_t clients,
   // briefly so per-frame costs amortize at socket speed.
   cfg.group.engine.max_payloads_per_frame = 8;
   cfg.group.engine.ack_flush_delay = 50 * kMicrosecond;
+  cfg.gateway.coalesce = p.coalesce;
+  cfg.gateway.read_mode = p.read_mode;
   TcpGatewayCluster gc(cfg);
 
   DriverOptions opt;
   opt.endpoints = gc.endpoints();
-  opt.clients = clients;
-  opt.requests_per_client = requests_per_client;
+  opt.clients = p.clients;
+  opt.requests_per_client = p.requests_per_client;
   opt.value_bytes = kValueBytes;
+  opt.connections = p.connections;
+  opt.pipeline = p.pipeline;
+  opt.read_fraction = p.read_fraction;
 
   GatewayBenchResult r;
   r.report = run_client_driver(opt);
@@ -57,9 +78,12 @@ GatewayBenchResult run_gateway_bench(std::size_t clients,
 }
 
 void BM_Gateway(benchmark::State& state) {
-  auto clients = static_cast<std::size_t>(state.range(0));
+  GatewayBenchParams p;
+  p.clients = static_cast<std::size_t>(state.range(0));
+  p.requests_per_client = 200;
+  if (p.clients > 16) p.connections = 8;
   GatewayBenchResult r;
-  for (auto _ : state) r = run_gateway_bench(clients, 200);
+  for (auto _ : state) r = run_gateway_bench(p);
   state.counters["req_per_s"] = r.report.requests_per_sec;
   state.counters["p50_ms"] = r.report.p50_ms;
   state.counters["p99_ms"] = r.report.p99_ms;
@@ -67,8 +91,8 @@ void BM_Gateway(benchmark::State& state) {
 }
 BENCHMARK(BM_Gateway)
     ->Arg(1)
-    ->Arg(4)
     ->Arg(16)
+    ->Arg(256)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
@@ -81,32 +105,69 @@ int main(int argc, char** argv) {
   fsr::bench::JsonReport report("gateway");
   report.config("nodes", std::uint64_t{kNodes})
       .config("value_bytes", std::uint64_t{kValueBytes})
-      .config("workload", "closed-loop PUT, sessions round-robin over replicas");
+      .config("workload",
+              "closed-loop PUT (read-heavy row: 90% GET), sessions "
+              "round-robin over replicas; >=64-client rows multiplex "
+              "pipelined sessions over 8 connections");
+
+  // Per-row request counts keep total work roughly even so the big rows
+  // don't dominate wall time; identity for the regression checker is
+  // (clients, requests_per_client, variant).
+  const GatewayBenchParams rows[] = {
+      {.clients = 1, .requests_per_client = 2000},
+      {.clients = 16, .requests_per_client = 400},
+      {.clients = 64, .requests_per_client = 200, .connections = 8},
+      {.clients = 256, .requests_per_client = 100, .connections = 8},
+      {.clients = 256,
+       .requests_per_client = 100,
+       .connections = 8,
+       .coalesce = false,
+       .variant = "uncoalesced"},
+      {.clients = 256,
+       .requests_per_client = 100,
+       .connections = 8,
+       .read_fraction = 0.9,
+       .read_mode = GatewayReadMode::kLeased,
+       .variant = "read-heavy"},
+      {.clients = 1024, .requests_per_client = 40, .connections = 8},
+      // Tail-latency row: one outstanding command per session, so observed
+      // p99 sits near the closed-loop queueing floor (population / req_s)
+      // instead of measuring the pipeline depth.
+      {.clients = 1024,
+       .requests_per_client = 40,
+       .connections = 8,
+       .pipeline = 1,
+       .variant = "depth-1"},
+  };
 
   fsr::bench::print_header(
       "Gateway service over real TCP (closed-loop clients; host-dependent)",
-      {"clients", "requests", "req/s", "p50 ms", "p99 ms", "mean ms", "dupes",
-       "rejects"});
-  for (std::size_t clients : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
-    // Keep total work roughly even across rows so each runs long enough to
-    // measure without the 16-client row dominating wall time.
-    std::size_t per_client = clients == 1 ? 2000 : (clients == 4 ? 1000 : 400);
-    GatewayBenchResult r = run_gateway_bench(clients, per_client);
+      {"clients", "variant", "requests", "req/s", "p50 ms", "p99 ms",
+       "p999 ms", "reads", "rejects"});
+  for (const GatewayBenchParams& p : rows) {
+    GatewayBenchResult r = run_gateway_bench(p);
     std::uint64_t rejects = r.gateway.rejected_window + r.gateway.rejected_bytes;
     fsr::bench::print_row(
-        {std::to_string(clients), std::to_string(r.report.requests),
+        {std::to_string(p.clients), p.variant,
+         std::to_string(r.report.requests),
          fsr::bench::fmt(r.report.requests_per_sec, 0),
          fsr::bench::fmt(r.report.p50_ms, 3), fsr::bench::fmt(r.report.p99_ms, 3),
-         fsr::bench::fmt(r.report.mean_ms, 3),
-         std::to_string(r.report.duplicates), std::to_string(rejects)});
+         fsr::bench::fmt(r.report.p999_ms, 3), std::to_string(r.report.reads),
+         std::to_string(rejects)});
     auto& row = report.add_row();
-    row.num("clients", static_cast<std::uint64_t>(clients))
-        .num("requests_per_client", static_cast<std::uint64_t>(per_client))
+    row.num("clients", static_cast<std::uint64_t>(p.clients))
+        .num("requests_per_client",
+             static_cast<std::uint64_t>(p.requests_per_client))
+        .str("variant", p.variant)
+        .num("connections", static_cast<std::uint64_t>(p.connections))
+        .num("pipeline", static_cast<std::uint64_t>(p.connections ? p.pipeline : 1))
         .num("requests", r.report.requests)
+        .num("reads", r.report.reads)
         .num("failures", r.report.failures)
         .num("requests_per_sec", r.report.requests_per_sec)
         .num("p50_ms", r.report.p50_ms)
         .num("p99_ms", r.report.p99_ms)
+        .num("p999_ms", r.report.p999_ms)
         .num("mean_ms", r.report.mean_ms)
         .num("max_ms", r.report.max_ms)
         .num("duplicate_replies", r.report.duplicates)

@@ -300,7 +300,14 @@ void add_gateway_counters(JsonReport::Row& row, const GatewayCounters& c) {
       .num("gw_commands_applied", c.commands_applied)
       .num("gw_replies_sent", c.replies_sent)
       .num("gw_reply_cache_evictions", c.reply_cache_evictions)
-      .num("gw_admitted_bytes_total", c.admitted_bytes_total);
+      .num("gw_admitted_bytes_total", c.admitted_bytes_total)
+      .num("gw_coalesced_envelopes", c.coalesced_envelopes)
+      .num("gw_coalesce_flushes", c.coalesce_flushes)
+      .num("gw_reads_local", c.reads_local)
+      .num("gw_reads_ordered", c.reads_ordered)
+      .num("gw_lease_grants_sent", c.lease_grants_sent)
+      .num("gw_lease_grants_applied", c.lease_grants_applied)
+      .num("gw_orphaned_reply_drops", c.orphaned_reply_drops);
 }
 
 }  // namespace fsr::bench

@@ -10,6 +10,8 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <deque>
+#include <memory>
 #include <thread>
 
 #include "app/kv_store.h"
@@ -155,7 +157,324 @@ std::optional<Bytes> GatewayClient::read(const Bytes& query) {
   return std::nullopt;
 }
 
+namespace {
+
+/// Fill the latency fields of a report from the pooled per-op samples.
+void finish_report(DriverReport& rep, std::vector<double>& all) {
+  rep.requests_per_sec =
+      rep.elapsed_sec > 0 ? double(rep.requests) / rep.elapsed_sec : 0;
+  if (all.empty()) return;
+  std::sort(all.begin(), all.end());
+  auto pct = [&](double p) {
+    std::size_t idx = static_cast<std::size_t>(p * double(all.size() - 1));
+    return all[idx];
+  };
+  rep.p50_ms = pct(0.50);
+  rep.p99_ms = pct(0.99);
+  rep.p999_ms = pct(0.999);
+  rep.max_ms = all.back();
+  double sum = 0;
+  for (double v : all) sum += v;
+  rep.mean_ms = sum / double(all.size());
+}
+
+/// One multiplexed connection: a worker thread driving `sessions` pipelined
+/// sessions over a single socket, batching every due request into
+/// multi-message frames and matching replies by (client_id, seq).
+struct MuxWorker {
+  using Clock = std::chrono::steady_clock;
+
+  struct Op {
+    bool is_read = false;
+    std::uint64_t seq = 0;  ///< session_seq (commands) or read_seq (reads)
+    Bytes body;             ///< encoded PUT command, or the read query
+    Clock::time_point first_send{};
+    bool needs_send = true;
+  };
+
+  struct Sess {
+    std::uint64_t client_id = 0;
+    std::uint64_t next_cmd_seq = 1;
+    std::uint64_t next_read_seq = std::uint64_t{1} << 63;
+    std::size_t ops_started = 0;
+    std::size_t ops_done = 0;
+    double read_credit = 0;  ///< deterministic read interleave accumulator
+    std::deque<Op> window;   ///< in submission order (resends stay ordered)
+    Clock::time_point retry_after{};
+    std::size_t stalls = 0;  ///< resend rounds without progress
+    bool abandoned = false;
+  };
+
+  const DriverOptions& opt;
+  std::vector<Sess> sessions;
+  int fd = -1;
+  std::size_t endpoint = 0;
+  std::vector<double> latencies_ms;
+  std::uint64_t ok = 0;
+  std::uint64_t reads_ok = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t reconnects = 0;
+
+  explicit MuxWorker(const DriverOptions& o, std::size_t start_ep)
+      : opt(o), endpoint(start_ep % std::max<std::size_t>(1, o.endpoints.size())) {}
+
+  bool connect_once() {
+    const GatewayEndpoint& ep = opt.endpoints[endpoint];
+    int s = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (s < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(ep.port);
+    if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(s, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(s);
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(s, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(opt.recv_timeout / kSecond);
+    tv.tv_usec = static_cast<suseconds_t>((opt.recv_timeout % kSecond) / 1000);
+    ::setsockopt(s, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    fd = s;
+    ++reconnects;
+    return true;
+  }
+
+  /// Drop the socket, rotate endpoints, and mark every outstanding op for
+  /// retransmission (the dedupe layer makes resends exactly-once). Gives up
+  /// after max_attempts consecutive connection failures.
+  bool reconnect() {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+    for (auto& s : sessions) {
+      for (auto& op : s.window) op.needs_send = true;
+    }
+    for (std::size_t attempt = 0; attempt < opt.max_attempts; ++attempt) {
+      endpoint = (endpoint + 1) % opt.endpoints.size();
+      if (connect_once()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  }
+
+  void abandon_all() {
+    for (auto& s : sessions) {
+      if (s.abandoned) continue;
+      s.abandoned = true;
+      failures += opt.requests_per_client - s.ops_done;
+    }
+  }
+
+  /// Generate ops up to the pipeline depth and send everything due,
+  /// packed into frames of at most 1024 messages (the decode cap).
+  bool fill_and_send(Clock::time_point now) {
+    ClientFrame frame;
+    auto flush = [&]() -> bool {
+      if (frame.msgs.empty()) return true;
+      bool sent = gateway_write_frame(fd, frame);
+      frame.msgs.clear();
+      return sent;
+    };
+    const std::string value(opt.value_bytes, 'v');
+    for (std::size_t si = 0; si < sessions.size(); ++si) {
+      Sess& s = sessions[si];
+      if (s.abandoned || now < s.retry_after) continue;
+      while (s.window.size() < opt.pipeline &&
+             s.ops_started < opt.requests_per_client) {
+        Op op;
+        s.read_credit += opt.read_fraction;
+        if (s.read_credit >= 1.0) {
+          s.read_credit -= 1.0;
+          op.is_read = true;
+          op.seq = s.next_read_seq++;
+          op.body = KvStore::encode_get("m" + std::to_string(si) + ":k" +
+                                        std::to_string(s.ops_started % 64));
+        } else {
+          op.seq = s.next_cmd_seq++;
+          op.body = KvStore::encode_put(
+              "m" + std::to_string(si) + ":k" +
+                  std::to_string(s.ops_started % 64),
+              value);
+        }
+        ++s.ops_started;
+        s.window.push_back(std::move(op));
+      }
+      for (auto& op : s.window) {
+        if (!op.needs_send) continue;
+        op.needs_send = false;
+        if (op.first_send == Clock::time_point{}) op.first_send = now;
+        if (op.is_read) {
+          ClientRead rd;
+          rd.client_id = s.client_id;
+          rd.read_seq = op.seq;
+          rd.query = make_payload(Bytes(op.body));
+          frame.msgs.emplace_back(std::move(rd));
+        } else {
+          ClientRequest req;
+          req.client_id = s.client_id;
+          req.session_seq = op.seq;
+          req.envelope =
+              make_payload(encode_envelope(s.client_id, op.seq, op.body));
+          req.command = parse_envelope(req.envelope)->command;
+          frame.msgs.emplace_back(std::move(req));
+        }
+        if (frame.msgs.size() >= 1024 && !flush()) return false;
+      }
+    }
+    return flush();
+  }
+
+  void handle_reply(const ClientReply& r, Clock::time_point now) {
+    // client_id → session index is a dense mapping by construction.
+    if (r.client_id < sessions.front().client_id) return;
+    std::size_t si = static_cast<std::size_t>(r.client_id - sessions.front().client_id);
+    if (si >= sessions.size()) return;
+    Sess& s = sessions[si];
+    auto it = std::find_if(s.window.begin(), s.window.end(),
+                           [&](const Op& op) { return op.seq == r.session_seq; });
+    if (it == s.window.end()) return;  // stale duplicate of a finished op
+    switch (r.status) {
+      case ClientStatus::kOk:
+      case ClientStatus::kBadRequest:
+        if (r.duplicate) ++duplicates;
+        if (r.status == ClientStatus::kOk) {
+          ++ok;
+          if (it->is_read) ++reads_ok;
+          latencies_ms.push_back(std::chrono::duration<double, std::milli>(
+                                     now - it->first_send)
+                                     .count());
+        } else {
+          ++failures;
+        }
+        ++s.ops_done;
+        s.stalls = 0;
+        s.window.erase(it);
+        break;
+      case ClientStatus::kRejectedWindow:
+      case ClientStatus::kRejectedBytes:
+        // Backpressure: this seq and everything the session pipelined above
+        // it were turned away. Resend the whole tail, in order, after a
+        // short backoff.
+        for (auto jt = it; jt != s.window.end(); ++jt) jt->needs_send = true;
+        s.retry_after = now + std::chrono::milliseconds(2);
+        break;
+      case ClientStatus::kNotMember:
+        for (auto jt = it; jt != s.window.end(); ++jt) jt->needs_send = true;
+        s.retry_after = now + std::chrono::milliseconds(10);
+        break;
+    }
+  }
+
+  bool done() const {
+    for (const auto& s : sessions) {
+      if (!s.abandoned && s.ops_done < opt.requests_per_client) return false;
+    }
+    return true;
+  }
+
+  void run() {
+    if (opt.endpoints.empty() || sessions.empty()) return;
+    if (!connect_once() && !reconnect()) {
+      abandon_all();
+      return;
+    }
+    while (!done()) {
+      auto now = Clock::now();
+      if (!fill_and_send(now)) {
+        if (!reconnect()) {
+          abandon_all();
+          return;
+        }
+        continue;
+      }
+      bool outstanding = false;
+      for (const auto& s : sessions) {
+        if (!s.abandoned && !s.window.empty()) outstanding = true;
+      }
+      if (!outstanding) {
+        // Every live session is inside a backoff window; let it lapse.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      auto frame = gateway_read_frame(fd);
+      now = Clock::now();
+      if (!frame) {
+        // Timeout, EOF, or reset: count a stall against every session still
+        // waiting, abandon the ones past the attempt budget, and resend the
+        // rest through the next replica.
+        for (auto& s : sessions) {
+          if (s.abandoned || s.window.empty()) continue;
+          if (++s.stalls >= opt.max_attempts) {
+            failures += opt.requests_per_client - s.ops_done;
+            s.abandoned = true;
+            s.window.clear();
+          }
+        }
+        if (!done() && !reconnect()) {
+          abandon_all();
+          return;
+        }
+        continue;
+      }
+      for (auto& msg : frame->msgs) {
+        if (auto* r = std::get_if<ClientReply>(&msg)) handle_reply(*r, now);
+      }
+    }
+  }
+};
+
+DriverReport run_multiplexed_driver(const DriverOptions& opt) {
+  const std::size_t conns = std::min(opt.connections, std::max<std::size_t>(1, opt.clients));
+  std::vector<std::unique_ptr<MuxWorker>> workers;
+  workers.reserve(conns);
+  for (std::size_t c = 0; c < conns; ++c) {
+    workers.push_back(std::make_unique<MuxWorker>(opt, c));
+  }
+  // Sessions round-robin across connections; client ids stay dense per
+  // worker so reply matching is an index, not a map.
+  std::size_t next_id = 0;
+  for (std::size_t c = 0; c < conns; ++c) {
+    MuxWorker& w = *workers[c];
+    const std::size_t count = opt.clients / conns + (c < opt.clients % conns ? 1 : 0);
+    w.sessions.resize(count);
+    for (auto& s : w.sessions) {
+      s.client_id = opt.first_client_id + next_id++;
+    }
+    w.latencies_ms.reserve(count * opt.requests_per_client);
+  }
+
+  std::vector<Thread> threads;
+  threads.reserve(conns);
+  auto t0 = std::chrono::steady_clock::now();
+  for (auto& w : workers) {
+    threads.emplace_back([&w] { w->run(); });
+  }
+  for (auto& t : threads) t.join();
+  auto t1 = std::chrono::steady_clock::now();
+
+  DriverReport rep;
+  std::vector<double> all;
+  for (const auto& w : workers) {
+    rep.requests += w->ok;
+    rep.reads += w->reads_ok;
+    rep.failures += w->failures;
+    rep.duplicates += w->duplicates;
+    rep.reconnects += w->reconnects;
+    all.insert(all.end(), w->latencies_ms.begin(), w->latencies_ms.end());
+  }
+  rep.elapsed_sec = std::chrono::duration<double>(t1 - t0).count();
+  finish_report(rep, all);
+  return rep;
+}
+
+}  // namespace
+
 DriverReport run_client_driver(const DriverOptions& opt) {
+  if (opt.connections > 0) return run_multiplexed_driver(opt);
   struct PerClient {
     std::vector<double> latencies_ms;
     std::uint64_t ok = 0;
@@ -211,21 +530,7 @@ DriverReport run_client_driver(const DriverOptions& opt) {
     all.insert(all.end(), r.latencies_ms.begin(), r.latencies_ms.end());
   }
   rep.elapsed_sec = std::chrono::duration<double>(t1 - t0).count();
-  rep.requests_per_sec =
-      rep.elapsed_sec > 0 ? double(rep.requests) / rep.elapsed_sec : 0;
-  if (!all.empty()) {
-    std::sort(all.begin(), all.end());
-    auto pct = [&](double p) {
-      std::size_t idx = static_cast<std::size_t>(p * double(all.size() - 1));
-      return all[idx];
-    };
-    rep.p50_ms = pct(0.50);
-    rep.p99_ms = pct(0.99);
-    rep.max_ms = all.back();
-    double sum = 0;
-    for (double v : all) sum += v;
-    rep.mean_ms = sum / double(all.size());
-  }
+  finish_report(rep, all);
   return rep;
 }
 

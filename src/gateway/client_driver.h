@@ -69,9 +69,18 @@ class GatewayClient {
   std::uint64_t duplicates_ = 0;
 };
 
-/// Closed-loop load generator: `clients` concurrent sessions (one thread +
-/// one connection each, spread round-robin across the endpoints), each
-/// issuing `requests_per_client` PUTs back to back.
+/// Closed-loop load generator. Two modes:
+///
+///  - Legacy (`connections == 0`): one thread + one connection per client,
+///    each issuing `requests_per_client` PUTs back to back (one outstanding
+///    command per session).
+///
+///  - Multiplexed (`connections > 0`): that many TCP connections (one thread
+///    each), sessions spread round-robin across them, and every session
+///    keeping up to `pipeline` commands outstanding. All due requests on a
+///    connection are packed into multi-message frames, so a thousand
+///    simulated clients cost a handful of sockets and threads — this is the
+///    mode the 64/256/1024-client benchmark rows use.
 struct DriverOptions {
   std::vector<GatewayEndpoint> endpoints;
   std::size_t clients = 4;
@@ -80,10 +89,21 @@ struct DriverOptions {
   std::uint64_t first_client_id = 1000;
   Time recv_timeout = kSecond;
   std::size_t max_attempts = 30;
+
+  /// Multiplexed mode (0 = legacy one-connection-per-client).
+  std::size_t connections = 0;
+  /// Outstanding commands per session in multiplexed mode. Keep at or below
+  /// the gateway's session_window + session_queue or steady-state traffic
+  /// rejects on every fill.
+  std::size_t pipeline = 8;
+  /// Fraction of each session's ops issued as READs instead of PUTs
+  /// (deterministic per-session interleave; multiplexed mode only).
+  double read_fraction = 0.0;
 };
 
 struct DriverReport {
-  std::uint64_t requests = 0;   ///< definitive kOk replies
+  std::uint64_t requests = 0;   ///< definitive kOk replies (commands + reads)
+  std::uint64_t reads = 0;      ///< kOk read replies (subset of requests)
   std::uint64_t failures = 0;   ///< gave up or non-kOk definitive status
   std::uint64_t duplicates = 0;  ///< replies served from the dedupe cache
   std::uint64_t reconnects = 0;
@@ -91,6 +111,7 @@ struct DriverReport {
   double requests_per_sec = 0;
   double p50_ms = 0;
   double p99_ms = 0;
+  double p999_ms = 0;
   double mean_ms = 0;
   double max_ms = 0;
 };

@@ -15,7 +15,11 @@ Gateway::Gateway(GroupMember& member, StateMachine& machine, GatewayConfig confi
 }
 
 void Gateway::reply(OwnedSession& own, const ClientReply& r) {
-  if (!own.send) return;
+  if (!own.send) {
+    // Owed but unroutable: the binding outlived its reply channel.
+    ++counters_.orphaned_reply_drops;
+    return;
+  }
   ++counters_.replies_sent;
   own.send(r);
 }
@@ -47,6 +51,49 @@ void Gateway::on_hello(const ClientHello& hello, SendReplyFn send,
   reply(own, ack);
 }
 
+void Gateway::enqueue_envelope(const Payload& envelope) {
+  if (!cfg_.coalesce) {
+    submit_(envelope);
+    return;
+  }
+  batch_.append(envelope);
+  ++counters_.coalesced_envelopes;
+  if (batch_.count() >= cfg_.coalesce_max_envelopes ||
+      batch_.bytes() >= cfg_.coalesce_max_bytes) {
+    flush_coalesced();
+    return;
+  }
+  arm_flush_timer();
+}
+
+void Gateway::flush_coalesced() {
+  if (batch_.empty()) return;
+  ++counters_.coalesce_flushes;
+  submit_(batch_.take());
+}
+
+void Gateway::begin_drain() { in_drain_ = true; }
+
+void Gateway::end_drain() {
+  in_drain_ = false;
+  flush_coalesced();
+}
+
+void Gateway::arm_flush_timer() {
+  // Inside a drain scope the caller guarantees a flush at scope end, so the
+  // hot path never touches the transport's timer wheel (per-request timers
+  // cost ~2x throughput at low concurrency on a busy I/O thread).
+  if (in_drain_ || flush_timer_armed_) return;
+  flush_timer_armed_ = true;
+  // Deterministic under SimTransport; on TCP this runs on the I/O thread
+  // (where the gateway lives), so the transport's role check passes.
+  member_.transport().set_timer(cfg_.coalesce_flush_delay, [this] {
+    ThreadRoleRegion role(role_);
+    flush_timer_armed_ = false;
+    flush_coalesced();
+  });
+}
+
 void Gateway::admit(std::uint64_t client_id, OwnedSession& own, std::uint64_t seq,
                     Payload envelope) {
   const std::size_t bytes = envelope.size();
@@ -56,7 +103,7 @@ void Gateway::admit(std::uint64_t client_id, OwnedSession& own, std::uint64_t se
   ++counters_.admitted;
   counters_.admitted_bytes_total += bytes;
   (void)client_id;
-  submit_(std::move(envelope));
+  enqueue_envelope(envelope);
 }
 
 void Gateway::on_request(const ClientRequest& req, SendReplyFn send,
@@ -163,9 +210,38 @@ void Gateway::on_request(const ClientRequest& req, SendReplyFn send,
   admit(req.client_id, own, req.session_seq, req.envelope);
 }
 
+bool Gateway::lease_valid() const {
+  return lease_view_ != 0 && lease_view_ == member_.view().id &&
+         !member_.flushing() && member_.transport().now() <= lease_expiry_;
+}
+
 void Gateway::on_read(const ClientRead& read, const SendReplyFn& send) {
   ++counters_.reads;
   if (!send) return;
+  if (cfg_.read_mode == GatewayReadMode::kLeased && !lease_valid()) {
+    // Lease-cold: this replica may be behind the ring. Round-trip the query
+    // through total order so it observes every write sequenced before it —
+    // and let the leader see traffic to re-grant the lease.
+    if (read.query.size() > cfg_.max_command_bytes || !member_.in_group() ||
+        pending_reads_.size() >= cfg_.max_pending_reads) {
+      ClientReply r;
+      r.client_id = read.client_id;
+      r.session_seq = read.read_seq;
+      r.status = pending_reads_.size() >= cfg_.max_pending_reads ||
+                         !member_.in_group()
+                     ? ClientStatus::kRejectedWindow
+                     : ClientStatus::kBadRequest;
+      ++counters_.replies_sent;
+      send(r);
+      return;
+    }
+    ++counters_.reads_ordered;
+    pending_reads_[{read.client_id, read.read_seq}] = send;
+    enqueue_envelope(make_payload(
+        encode_read_envelope(read.client_id, read.read_seq, read.query.span())));
+    return;
+  }
+  ++counters_.reads_local;
   ClientReply r;
   r.client_id = read.client_id;
   r.session_seq = read.read_seq;
@@ -183,10 +259,28 @@ void Gateway::on_client_disconnect(std::uint64_t client_id,
   if (conn_serial && own.conn_serial != conn_serial) return;  // stale teardown
   // Release this client's share of the byte budget. In-flight broadcasts
   // still deliver (and execute everywhere); only the reply channel and the
-  // local accounting go away.
-  for (const auto& [seq, bytes] : own.in_flight) admitted_bytes_ -= bytes;
+  // local accounting go away. Every admitted-or-queued seq the client was
+  // still owed an answer for becomes an orphaned-reply drop — counted, so
+  // a connection dying with replies queued is visible, never a silent leak.
+  for (const auto& [seq, bytes] : own.in_flight) {
+    admitted_bytes_ -= bytes;
+    if (seq > own.last_replied) ++counters_.orphaned_reply_drops;
+  }
+  for (const auto& [seq, env] : own.queue) {
+    if (seq > own.last_replied) ++counters_.orphaned_reply_drops;
+  }
   admitted_bytes_ -= own.queued_bytes;
   owned_.erase(it);
+  // Ordered reads admitted for this client can no longer be answered; their
+  // delivery-time lookup would just find a dead channel.
+  for (auto rit = pending_reads_.begin(); rit != pending_reads_.end();) {
+    if (rit->first.first == client_id) {
+      ++counters_.orphaned_reply_drops;
+      rit = pending_reads_.erase(rit);
+    } else {
+      ++rit;
+    }
+  }
 }
 
 void Gateway::refill(std::uint64_t client_id, OwnedSession& own,
@@ -208,21 +302,106 @@ void Gateway::refill(std::uint64_t client_id, OwnedSession& own,
 }
 
 void Gateway::on_delivery(const Delivery& d) {
-  std::optional<GatewayCommand> cmd;
+  // Delivery is itself a drain scope: everything it enqueues (window
+  // refills promoting queued envelopes, ordered-read completions) leaves in
+  // one coalesced flush at the end instead of arming the backstop timer.
+  const bool prev = in_drain_;
+  in_drain_ = true;
+  deliver_payload(d);
+  in_drain_ = prev;
+  if (!prev) flush_coalesced();
+}
+
+void Gateway::deliver_payload(const Delivery& d) {
+  const std::uint8_t magic =
+      (d.payload && !d.payload.empty()) ? *d.payload.data() : 0;
   try {
-    cmd = parse_envelope(d.payload);
+    switch (magic) {
+      case kBatchEnvelopeMagic: {
+        auto subs = parse_batch_envelope(d.payload);
+        for (const Payload& sub : *subs) deliver_sub(sub, d);
+        break;
+      }
+      case kEnvelopeMagic:
+      case kReadEnvelopeMagic:
+        deliver_sub(d.payload, d);
+        break;
+      case kLeaseEnvelopeMagic:
+        apply_lease(*parse_lease_envelope(d.payload));
+        break;
+      default:
+        // Not gateway traffic — a plain application broadcast.
+        machine_.apply(d.origin, d.payload.span());
+        return;
+    }
   } catch (const CodecError& e) {
     ++counters_.rejected_malformed;
     FSR_WARN("gateway: malformed envelope from node %u dropped: %s",
              (unsigned)d.origin, e.what());
     return;
   }
-  if (!cmd) {
-    // Not gateway traffic — a plain application broadcast.
-    machine_.apply(d.origin, d.payload.span());
+  // Gateway traffic just delivered: if this replica leads the view, keep the
+  // read lease warm.
+  maybe_renew_lease();
+}
+
+void Gateway::deliver_sub(const Payload& envelope, const Delivery& d) {
+  if (*envelope.data() == kReadEnvelopeMagic) {
+    deliver_read(*parse_read_envelope(envelope), d);
     return;
   }
+  deliver_command(*parse_envelope(envelope), d);
+}
 
+void Gateway::deliver_read(const GatewayReadCommand& rd, const Delivery& d) {
+  // Deterministically read-only on every replica; only the replica that
+  // admitted the read (the batch's origin) owes the client an answer, and
+  // it answers from state that now reflects every write sequenced before
+  // the read — that is what the ring round-trip bought.
+  if (d.origin != member_.self()) return;
+  auto it = pending_reads_.find({rd.client_id, rd.read_seq});
+  if (it == pending_reads_.end()) return;
+  SendReplyFn send = std::move(it->second);
+  pending_reads_.erase(it);
+  if (!send) return;
+  ClientReply r;
+  r.client_id = rd.client_id;
+  r.session_seq = rd.read_seq;
+  r.status = ClientStatus::kOk;
+  r.reply = make_payload(machine_.query(rd.query.span()));
+  ++counters_.replies_sent;
+  send(r);
+}
+
+void Gateway::apply_lease(const LeaseGrant& grant) {
+  if (grant.view_id != member_.view().id) return;  // stale grant: older view
+  ++counters_.lease_grants_applied;
+  lease_view_ = grant.view_id;
+  lease_expiry_ = member_.transport().now() + grant.duration;
+}
+
+void Gateway::maybe_renew_lease() {
+  if (cfg_.read_mode != GatewayReadMode::kLeased) return;
+  if (!member_.in_group() || member_.flushing()) return;
+  if (!member_.engine().is_leader()) return;
+  const Time now = member_.transport().now();
+  // Renew once less than half the lease remains; rate-limited so a delivery
+  // burst doesn't spray grants before the first one comes back around.
+  if (lease_view_ == member_.view().id && lease_expiry_ > now &&
+      lease_expiry_ - now > cfg_.lease_duration / 2) {
+    return;
+  }
+  if (last_grant_sent_ != 0 && now - last_grant_sent_ < cfg_.lease_duration / 4) {
+    return;
+  }
+  last_grant_sent_ = now;
+  ++counters_.lease_grants_sent;
+  submit_(make_payload(
+      encode_lease_envelope(member_.view().id, cfg_.lease_duration)));
+}
+
+void Gateway::deliver_command(const GatewayCommand& envelope_cmd, const Delivery& d) {
+  const GatewayCommand* cmd = &envelope_cmd;
   auto& sess = sessions_[cmd->client_id];
   ClientStatus status = ClientStatus::kOk;
   bool duplicate = false;

@@ -32,6 +32,7 @@
 #include <functional>
 #include <map>
 #include <unordered_map>
+#include <utility>
 
 #include "app/state_machine.h"
 #include "common/sync.h"
@@ -40,6 +41,19 @@
 #include "vsc/group.h"
 
 namespace fsr {
+
+/// How Gateway::on_read answers queries.
+enum class GatewayReadMode : std::uint8_t {
+  /// Always answer from the local applied state without broadcasting (the
+  /// paper's footnote 1: reads need not be totally ordered). The default —
+  /// cheapest, but a lagging replica can answer from stale state.
+  kLocal,
+  /// Answer locally only under a valid sequencer lease (granted by the
+  /// leader over the TO-stream, conservatively invalidated on view change
+  /// or flush); otherwise fall back to an ordered read that round-trips the
+  /// ring. Linearizable reads at local-read cost while the lease is warm.
+  kLeased,
+};
 
 struct GatewayConfig {
   /// Own commands per session admitted into the ring at once. Beyond it
@@ -59,6 +73,31 @@ struct GatewayConfig {
   /// Executed replies cached per session for duplicate retries. Must be
   /// >= session_window or a retry burst can outrun the cache.
   std::size_t reply_cache = 16;
+
+  /// Request coalescing: admitted envelopes accumulate into one batch
+  /// payload (kBatchEnvelopeMagic) per broadcast, amortizing the ring's
+  /// per-broadcast cost over every command in the batch — the inverse of
+  /// the engine's segmentation. A batch flushes when it reaches
+  /// `coalesce_max_envelopes` or `coalesce_max_bytes`, when the harness
+  /// calls flush_coalesced() at the end of an event batch, or at latest
+  /// `coalesce_flush_delay` after its first envelope (the ack_flush_delay
+  /// idiom). Off: every envelope is its own broadcast (the ablation knob).
+  bool coalesce = true;
+  std::size_t coalesce_max_envelopes = 64;
+  /// Kept under the engine's segment_size so a batch rides one segment.
+  std::size_t coalesce_max_bytes = 7 << 10;
+  Time coalesce_flush_delay = 200 * kMicrosecond;
+
+  GatewayReadMode read_mode = GatewayReadMode::kLocal;
+  /// Lease lifetime from grant *delivery*. Safety rule: must stay below the
+  /// group's failure-detection + flush window, so any lease granted in an
+  /// old view has expired by the time a new view can commit writes (see
+  /// DESIGN.md §12). Replicas that install the new view invalidate
+  /// immediately via the grant's view id.
+  Time lease_duration = 50 * kMillisecond;
+  /// Cap on ordered reads in flight per replica (lease-cold fallback);
+  /// beyond it reads are rejected with kRejectedWindow and retried.
+  std::size_t max_pending_reads = 1024;
 };
 
 /// Health/behavior counters, aggregated by the harnesses alongside
@@ -79,6 +118,13 @@ struct GatewayCounters {
   std::uint64_t replies_sent = 0;
   std::uint64_t reply_cache_evictions = 0;
   std::uint64_t admitted_bytes_total = 0;  ///< cumulative envelope bytes admitted
+  std::uint64_t coalesced_envelopes = 0;  ///< envelopes routed through batches
+  std::uint64_t coalesce_flushes = 0;     ///< batch payloads broadcast
+  std::uint64_t reads_local = 0;    ///< reads answered from local state
+  std::uint64_t reads_ordered = 0;  ///< lease-cold reads sent around the ring
+  std::uint64_t lease_grants_sent = 0;     ///< grants this (leader) broadcast
+  std::uint64_t lease_grants_applied = 0;  ///< current-view grants delivered
+  std::uint64_t orphaned_reply_drops = 0;  ///< replies owed to a dead connection
 
   GatewayCounters& operator+=(const GatewayCounters& o) {
     requests += o.requests;
@@ -96,6 +142,13 @@ struct GatewayCounters {
     replies_sent += o.replies_sent;
     reply_cache_evictions += o.reply_cache_evictions;
     admitted_bytes_total += o.admitted_bytes_total;
+    coalesced_envelopes += o.coalesced_envelopes;
+    coalesce_flushes += o.coalesce_flushes;
+    reads_local += o.reads_local;
+    reads_ordered += o.reads_ordered;
+    lease_grants_sent += o.lease_grants_sent;
+    lease_grants_applied += o.lease_grants_applied;
+    orphaned_reply_drops += o.orphaned_reply_drops;
     return *this;
   }
 };
@@ -132,8 +185,23 @@ class Gateway {
   void on_request(const ClientRequest& req, SendReplyFn send,
                   std::uint64_t conn_serial = 0) FSR_REQUIRES(role_);
 
-  /// Read-only query: answered immediately from the local state machine.
+  /// Read-only query. In kLocal mode (and in kLeased mode under a valid
+  /// lease) answered immediately from the local state machine; lease-cold
+  /// kLeased reads are broadcast as ordered reads and answered at delivery.
   void on_read(const ClientRead& read, const SendReplyFn& send) FSR_REQUIRES(role_);
+
+  /// Flush the pending coalescing batch now (no-op when empty).
+  void flush_coalesced() FSR_REQUIRES(role_);
+
+  /// Drain scope for event-driven front-ends: bracket a burst of
+  /// on_hello/on_request/on_read calls with begin_drain()/end_drain() and
+  /// the whole burst leaves in one coalesced broadcast at end_drain(),
+  /// without ever arming the per-gateway backstop timer (which costs real
+  /// throughput on the TCP I/O thread). Enqueues outside any drain scope —
+  /// e.g. the simulator calling entry points directly — fall back to the
+  /// coalesce_flush_delay timer. on_delivery brackets itself.
+  void begin_drain() FSR_REQUIRES(role_);
+  void end_drain() FSR_REQUIRES(role_);
 
   /// The client's connection died; tears down the owned binding (the
   /// session's replicated state survives for the client's next connection,
@@ -165,6 +233,14 @@ class Gateway {
   }
   /// Last executed session_seq for a client (0 = unknown client).
   std::uint64_t last_executed(std::uint64_t client_id) const FSR_REQUIRES(role_);
+
+  /// Whether this replica may currently serve reads from local state in
+  /// kLeased mode: the last delivered grant names the installed view, no
+  /// flush is in progress, and the lease has not timed out.
+  bool lease_valid() const FSR_REQUIRES(role_);
+  std::size_t pending_ordered_reads() const FSR_REQUIRES(role_) {
+    return pending_reads_.size();
+  }
 
  private:
   /// Replicated per-session state: advanced only by TO-deliveries, so all
@@ -204,6 +280,24 @@ class Gateway {
   const CachedReply* cached(const SessionState& sess, std::uint64_t seq) const
       FSR_REQUIRES(role_);
 
+  /// Route an envelope (command or ordered read) into the ring, through the
+  /// coalescing batch when enabled.
+  void enqueue_envelope(const Payload& envelope) FSR_REQUIRES(role_);
+  void arm_flush_timer() FSR_REQUIRES(role_);
+
+  void deliver_payload(const Delivery& d) FSR_REQUIRES(role_);
+  void deliver_sub(const Payload& envelope, const Delivery& d) FSR_REQUIRES(role_);
+  void deliver_command(const GatewayCommand& cmd, const Delivery& d)
+      FSR_REQUIRES(role_);
+  void deliver_read(const GatewayReadCommand& rd, const Delivery& d)
+      FSR_REQUIRES(role_);
+  void apply_lease(const LeaseGrant& grant) FSR_REQUIRES(role_);
+  /// Leader-side, traffic-driven lease renewal: called after gateway
+  /// deliveries; broadcasts a fresh grant when less than half the lease
+  /// remains. No periodic timer — an idle group lets its lease lapse and the
+  /// first lease-cold ordered read restarts the cycle.
+  void maybe_renew_lease() FSR_REQUIRES(role_);
+
   GroupMember& member_;
   StateMachine& machine_;
   GatewayConfig cfg_;
@@ -214,6 +308,20 @@ class Gateway {
   std::unordered_map<std::uint64_t, SessionState> sessions_ FSR_GUARDED_BY(role_);
   std::unordered_map<std::uint64_t, OwnedSession> owned_ FSR_GUARDED_BY(role_);
   std::size_t admitted_bytes_ FSR_GUARDED_BY(role_) = 0;  ///< in-flight + queued bytes
+
+  EnvelopeBatch batch_ FSR_GUARDED_BY(role_);
+  bool flush_timer_armed_ FSR_GUARDED_BY(role_) = false;
+  bool in_drain_ FSR_GUARDED_BY(role_) = false;
+
+  /// Ordered reads this replica admitted, answered when their envelope
+  /// delivers back (keyed client_id, read_seq). Entries self-clean at
+  /// delivery; disconnect drops a client's entries as orphaned.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, SendReplyFn> pending_reads_
+      FSR_GUARDED_BY(role_);
+
+  ViewId lease_view_ FSR_GUARDED_BY(role_) = 0;
+  Time lease_expiry_ FSR_GUARDED_BY(role_) = 0;
+  Time last_grant_sent_ FSR_GUARDED_BY(role_) = 0;
 
   GatewayCounters counters_ FSR_GUARDED_BY(role_);
 };

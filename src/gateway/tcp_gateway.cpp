@@ -1,20 +1,33 @@
 #include "gateway/tcp_gateway.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
-#include <set>
 
 #include "common/log.h"
 
 namespace fsr {
 
 namespace {
+
+/// Per-recv() chunk. Small enough that a thousand idle-ish connections don't
+/// pin hundreds of megabytes of receive buffers, large enough to drain a
+/// pipelined burst in a few syscalls.
+constexpr std::size_t kRecvChunk = 16 * 1024;
+constexpr std::size_t kRxChunkDefault = 64 * 1024;
+
+/// epoll_event.data.u64 sentinels for the two non-connection fds; Conn
+/// pointers can never collide with these.
+constexpr std::uint64_t kWakeTag = 0;
+constexpr std::uint64_t kListenTag = 1;
 
 bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
   while (n > 0) {
@@ -41,6 +54,11 @@ bool read_all(int fd, std::uint8_t* data, std::size_t n) {
     n -= static_cast<std::size_t>(r);
   }
   return true;
+}
+
+void set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
 }  // namespace
@@ -71,8 +89,380 @@ std::optional<ClientFrame> gateway_read_frame(int fd) {
   }
 }
 
-GatewayServer::GatewayServer(TcpTransport& io, Gateway& gateway)
-    : io_(io), gateway_(gateway) {}
+Bytes encode_client_frame_with_prefix(const ClientFrame& frame) {
+  const std::size_t body = client_wire_size(frame);
+  Bytes out;
+  out.reserve(4 + body);
+  std::uint32_t n = static_cast<std::uint32_t>(body);
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(n >> (8 * i)));
+  Bytes encoded = encode_client_frame(frame);
+  out.insert(out.end(), encoded.begin(), encoded.end());
+  return out;
+}
+
+// --- EventLoop ---
+
+GatewayServer::EventLoop::EventLoop(GatewayServer& server, std::size_t index)
+    : server_(server), index_(index), role_("GatewayServer::loop") {}
+
+GatewayServer::EventLoop::~EventLoop() {
+  stop_join();
+  {
+    // Under the inbox mutex: a straggler queue_reply from the transport
+    // thread must never write into a recycled fd.
+    MutexLock lock(inbox_mutex_);
+    if (wake_fd_ >= 0) {
+      ::close(wake_fd_);
+      wake_fd_ = -1;
+    }
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+}
+
+void GatewayServer::EventLoop::start() {
+  epoll_fd_ = ::epoll_create1(0);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    throw std::runtime_error("gateway: epoll/eventfd creation failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  if (index_ == 0) {
+    epoll_event lev{};
+    lev.events = EPOLLIN;  // level-triggered: accept_ready drains to EAGAIN
+    lev.data.u64 = kListenTag;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, server_.listen_fd_, &lev);
+  }
+  thread_ = Thread([this] { run(); });
+}
+
+void GatewayServer::EventLoop::stop_join() {
+  if (!thread_.joinable()) return;
+  {
+    MutexLock lock(inbox_mutex_);
+    tasks_.push_back([this] {
+      role_.assert_held();  // lambda: runs inside drain_inbox on the loop
+      stop_requested_ = true;
+    });
+    if (!wake_pending_ && wake_fd_ >= 0) {
+      wake_pending_ = true;
+      std::uint64_t one = 1;
+      [[maybe_unused]] ssize_t w = ::write(wake_fd_, &one, sizeof(one));
+    }
+  }
+  thread_.join();
+}
+
+void GatewayServer::EventLoop::wake() {
+  MutexLock lock(inbox_mutex_);
+  if (wake_pending_ || wake_fd_ < 0) return;
+  wake_pending_ = true;
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t w = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void GatewayServer::EventLoop::adopt_fd(int fd, std::uint64_t serial) {
+  {
+    MutexLock lock(inbox_mutex_);
+    tasks_.push_back([this, fd, serial] {
+      role_.assert_held();  // lambda: runs inside drain_inbox on the loop
+      add_conn(fd, serial);
+    });
+  }
+  wake();
+}
+
+void GatewayServer::EventLoop::queue_reply(std::uint64_t serial,
+                                           const ClientReply& r) {
+  {
+    MutexLock lock(inbox_mutex_);
+    pending_replies_.emplace_back(serial, r);
+  }
+  wake();
+}
+
+std::size_t GatewayServer::EventLoop::open_connections() const {
+  MutexLock lock(inbox_mutex_);
+  return open_conns_published_;
+}
+
+void GatewayServer::EventLoop::run() {
+  ThreadRoleRegion region(role_);
+  constexpr int kMaxEvents = 128;
+  epoll_event events[kMaxEvents];
+  while (!stop_requested_) {
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kWakeTag) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r = ::read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      if (tag == kListenTag) {
+        accept_ready();
+        continue;
+      }
+      Conn& c = *reinterpret_cast<Conn*>(static_cast<std::uintptr_t>(tag));
+      if (c.fd < 0) continue;  // closed earlier this iteration
+      if (events[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP)) {
+        handle_readable(c);
+      }
+      if (c.fd >= 0 && (events[i].events & EPOLLOUT)) handle_writable(c);
+    }
+    drain_inbox();
+    // Reap connections closed during this iteration; deferred so epoll
+    // events and queued replies referencing them stay valid in between.
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      it = it->second->fd < 0 ? conns_.erase(it) : std::next(it);
+    }
+    {
+      MutexLock lock(inbox_mutex_);
+      open_conns_published_ = conns_.size();
+    }
+  }
+  for (auto& [serial, conn] : conns_) {
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  conns_.clear();
+  MutexLock lock(inbox_mutex_);
+  open_conns_published_ = 0;
+}
+
+void GatewayServer::EventLoop::drain_inbox() {
+  std::vector<std::function<void()>> tasks;
+  std::vector<std::pair<std::uint64_t, ClientReply>> replies;
+  {
+    MutexLock lock(inbox_mutex_);
+    tasks.swap(tasks_);
+    replies.swap(pending_replies_);
+    wake_pending_ = false;
+  }
+  for (auto& t : tasks) t();
+  if (!replies.empty()) flush_replies(std::move(replies));
+}
+
+void GatewayServer::EventLoop::accept_ready() {
+  for (;;) {
+    int fd = ::accept4(server_.listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or the listener was shut down by stop()
+    }
+    if (!server_.running_.load()) {
+      ::close(fd);
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const std::uint64_t serial = server_.next_serial_.fetch_add(1);
+    const std::size_t target =
+        server_.next_loop_.fetch_add(1) % server_.loops_.size();
+    EventLoop& loop = *server_.loops_[target];
+    if (&loop == this) {
+      add_conn(fd, serial);
+    } else {
+      loop.adopt_fd(fd, serial);
+    }
+  }
+}
+
+void GatewayServer::EventLoop::add_conn(int fd, std::uint64_t serial) {
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->serial = serial;
+  conn->rx.set_default_chunk_size(kRxChunkDefault);
+  epoll_event ev{};
+  // Edge-triggered both ways: reads drain to EAGAIN; writes are attempted
+  // eagerly at enqueue and EPOLLOUT only matters after a write hit EAGAIN.
+  ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+  ev.data.u64 = static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(conn.get()));
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    ::close(fd);
+    return;
+  }
+  conns_.emplace(serial, std::move(conn));
+}
+
+void GatewayServer::EventLoop::close_conn(Conn& c, bool notify_gateway) {
+  if (c.fd < 0) return;
+  ::close(c.fd);  // also removes it from the epoll set
+  c.fd = -1;
+  c.outbox.clear();
+  c.outbox_bytes = 0;
+  if (notify_gateway) {
+    for (std::uint64_t id : c.clients_seen) {
+      server_.io_.post([srv = &server_, id, serial = c.serial] {
+        ThreadRoleRegion role(srv->gateway_.role());
+        srv->gateway_.on_client_disconnect(id, serial);
+      });
+    }
+  }
+}
+
+void GatewayServer::EventLoop::handle_readable(Conn& c) {
+  for (;;) {
+    auto buf = c.rx.writable(kRecvChunk);
+    ssize_t n = ::recv(c.fd, buf.data(), buf.size(), 0);
+    if (n > 0) {
+      c.rx.commit(static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < buf.size()) break;  // drained
+      continue;
+    }
+    if (n == 0) {
+      close_conn(c, true);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_conn(c, true);
+    return;
+  }
+  if (!parse_frames(c)) return;  // connection dropped on a hostile frame
+}
+
+bool GatewayServer::EventLoop::parse_frames(Conn& c) {
+  std::vector<ClientMsg> batch;
+  for (;;) {
+    auto data = c.rx.readable();
+    if (data.size() < 4) break;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) len |= std::uint32_t{data[i]} << (8 * i);
+    if (len == 0 || len > kMaxClientFrameBytes) {
+      close_conn(c, true);
+      return false;
+    }
+    if (data.size() < 4 + static_cast<std::size_t>(len)) break;
+    try {
+      // Decode with the chunk as owner: request envelopes alias the receive
+      // buffer all the way into the broadcast path.
+      ClientFrame frame = decode_client_frame(data.subspan(4, len), c.rx.owner());
+      for (auto& msg : frame.msgs) {
+        if (const auto* hello = std::get_if<ClientHello>(&msg)) {
+          c.clients_seen.insert(hello->client_id);
+        } else if (const auto* req = std::get_if<ClientRequest>(&msg)) {
+          c.clients_seen.insert(req->client_id);
+        }
+        batch.push_back(std::move(msg));
+      }
+    } catch (const CodecError& e) {
+      FSR_WARN("gateway: dropping connection on malformed client frame: %s",
+               e.what());
+      close_conn(c, true);
+      return false;
+    }
+    c.rx.consume(4 + static_cast<std::size_t>(len));
+  }
+  if (batch.empty()) return true;
+  // One marshalled closure per socket drain: the whole burst crosses to the
+  // I/O thread together and ends in a single coalescing flush, so requests
+  // that arrived together leave in one broadcast envelope.
+  auto loop = server_.loops_[index_];  // shared: outlives in-flight replies
+  auto send = [loop, serial = c.serial](const ClientReply& r) {
+    loop->queue_reply(serial, r);
+  };
+  server_.io_.post([srv = &server_, msgs = std::move(batch), send,
+                    serial = c.serial]() mutable {
+    Gateway& gw = srv->gateway_;
+    ThreadRoleRegion role(gw.role());
+    gw.begin_drain();
+    for (auto& msg : msgs) {
+      if (const auto* hello = std::get_if<ClientHello>(&msg)) {
+        gw.on_hello(*hello, send, serial);
+      } else if (auto* req = std::get_if<ClientRequest>(&msg)) {
+        gw.on_request(*req, send, serial);
+      } else if (const auto* read = std::get_if<ClientRead>(&msg)) {
+        gw.on_read(*read, send);
+      }
+      // Client-to-server replies are not a thing; ignore them.
+    }
+    gw.end_drain();
+  });
+  return true;
+}
+
+void GatewayServer::EventLoop::enqueue_frame(Conn& c, Bytes frame) {
+  c.outbox_bytes += frame.size();
+  if (c.outbox_bytes > server_.cfg_.max_outbox_bytes) {
+    // Slow loris: the peer stopped reading. Cut it loose rather than hold
+    // reply memory hostage; its session state survives for a reconnect.
+    FSR_WARN("gateway: conn serial %llu outbox overflow (%zu bytes), dropping",
+             (unsigned long long)c.serial, c.outbox_bytes);
+    close_conn(c, true);
+    return;
+  }
+  c.outbox.push_back(std::move(frame));
+}
+
+void GatewayServer::EventLoop::handle_writable(Conn& c) {
+  while (!c.outbox.empty()) {
+    const Bytes& front = c.outbox.front();
+    ssize_t n = ::send(c.fd, front.data() + c.out_off, front.size() - c.out_off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // ET resumes us
+      close_conn(c, true);
+      return;
+    }
+    c.out_off += static_cast<std::size_t>(n);
+    c.outbox_bytes -= static_cast<std::size_t>(n);
+    if (c.out_off == front.size()) {
+      c.outbox.pop_front();
+      c.out_off = 0;
+    }
+  }
+}
+
+void GatewayServer::EventLoop::flush_replies(
+    std::vector<std::pair<std::uint64_t, ClientReply>> replies) {
+  // Group per connection, preserving order, and pack each group into as few
+  // frames as the codec's per-frame message cap allows.
+  constexpr std::size_t kMsgsPerFrame = 1024;  // decode-side kMaxMsgsPerFrame
+  std::unordered_map<std::uint64_t, ClientFrame> grouped;
+  std::vector<std::uint64_t> order;
+  for (auto& [serial, r] : replies) {
+    auto [it, fresh] = grouped.try_emplace(serial);
+    if (fresh) order.push_back(serial);
+    it->second.msgs.emplace_back(std::move(r));
+    if (it->second.msgs.size() >= kMsgsPerFrame) {
+      auto cit = conns_.find(serial);
+      if (cit != conns_.end() && cit->second->fd >= 0) {
+        enqueue_frame(*cit->second, encode_client_frame_with_prefix(it->second));
+      }
+      it->second.msgs.clear();
+    }
+  }
+  for (std::uint64_t serial : order) {
+    auto cit = conns_.find(serial);
+    if (cit == conns_.end() || cit->second->fd < 0) continue;  // died; dropped
+    ClientFrame& frame = grouped[serial];
+    if (!frame.msgs.empty()) {
+      enqueue_frame(*cit->second, encode_client_frame_with_prefix(frame));
+    }
+    if (cit->second->fd >= 0) handle_writable(*cit->second);
+  }
+}
+
+// --- GatewayServer ---
+
+GatewayServer::GatewayServer(TcpTransport& io, Gateway& gateway,
+                             GatewayServerConfig cfg)
+    : io_(io), gateway_(gateway), cfg_(cfg) {
+  if (cfg_.event_loops == 0) cfg_.event_loops = 1;
+}
 
 GatewayServer::~GatewayServer() { stop(); }
 
@@ -86,125 +476,43 @@ void GatewayServer::start(std::uint16_t port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listen_fd_, 64) < 0) {
+      ::listen(listen_fd_, 1024) < 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     throw std::runtime_error("gateway: bind/listen failed");
   }
+  set_nonblocking(listen_fd_);
   socklen_t alen = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
   port_ = ntohs(addr.sin_port);
   running_.store(true);
-  accept_thread_ = Thread([this] { accept_loop(); });
+  loops_.reserve(cfg_.event_loops);
+  for (std::size_t i = 0; i < cfg_.event_loops; ++i) {
+    loops_.push_back(std::make_shared<EventLoop>(*this, i));
+  }
+  for (auto& loop : loops_) loop->start();
 }
 
 void GatewayServer::stop() {
   if (!running_.exchange(false)) return;
-  // Unblock accept() with shutdown, join the accept thread, and only then
-  // close and clear the fd — the join is the happens-before edge that
-  // keeps the field write off the accept thread's reads.
+  // Kick the listener out of loop 0's epoll interest before the loops exit,
+  // then join every loop; each closes its connection shard on the way out.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& loop : loops_) loop->stop_join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  {
-    MutexLock lock(conns_mutex_);
-    for (auto& conn : conns_) {
-      if (conn->open.load()) ::shutdown(conn->fd, SHUT_RDWR);
-    }
-  }
-  std::vector<Thread> readers;
-  {
-    MutexLock lock(conns_mutex_);
-    readers.swap(readers_);
-  }
-  for (auto& t : readers) t.join();
-  {
-    MutexLock lock(conns_mutex_);
-    for (auto& conn : conns_) {
-      if (conn->open.exchange(false)) ::close(conn->fd);
-    }
-    conns_.clear();
-  }
+  loops_.clear();  // reply closures still in flight keep their loop alive
 }
 
-void GatewayServer::accept_loop() {
-  // listen_fd_ is set before this thread starts and only mutated by stop()
-  // (whose shutdown() unblocks accept); capture it once so the loop never
-  // races the field write.
-  const int lfd = listen_fd_;
-  while (running_.load()) {
-    int fd = ::accept(lfd, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listener closed by stop()
-    }
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_shared<ClientConn>();
-    conn->fd = fd;
-    conn->serial = next_serial_.fetch_add(1);
-    MutexLock lock(conns_mutex_);
-    if (!running_.load()) {
-      ::close(fd);
-      return;
-    }
-    conns_.push_back(conn);
-    readers_.emplace_back([this, conn] { reader_loop(conn); });
-  }
+std::size_t GatewayServer::open_connections() const {
+  std::size_t total = 0;
+  for (const auto& loop : loops_) total += loop->open_connections();
+  return total;
 }
 
-void GatewayServer::reader_loop(std::shared_ptr<ClientConn> conn) {
-  // Reply channel: encodes and writes on the caller's thread (the I/O
-  // thread, via Gateway). The write mutex serializes against concurrent
-  // stop(); replies after disconnect are silently dropped.
-  auto send_reply = [conn](const ClientReply& r) {
-    ClientFrame frame;
-    frame.msgs.emplace_back(r);
-    MutexLock lock(conn->write_mutex);
-    if (!conn->open.load()) return;
-    if (!gateway_write_frame(conn->fd, frame)) conn->open.store(false);
-  };
-
-  std::set<std::uint64_t> clients_seen;
-  while (running_.load() && conn->open.load()) {
-    auto frame = gateway_read_frame(conn->fd);
-    if (!frame) break;
-    for (auto& msg : frame->msgs) {
-      if (const auto* hello = std::get_if<ClientHello>(&msg)) {
-        clients_seen.insert(hello->client_id);
-        io_.post([this, m = *hello, send_reply, serial = conn->serial] {
-          ThreadRoleRegion role(gateway_.role());
-          gateway_.on_hello(m, send_reply, serial);
-        });
-      } else if (const auto* req = std::get_if<ClientRequest>(&msg)) {
-        clients_seen.insert(req->client_id);
-        io_.post([this, m = *req, send_reply, serial = conn->serial] {
-          ThreadRoleRegion role(gateway_.role());
-          gateway_.on_request(m, send_reply, serial);
-        });
-      } else if (const auto* read = std::get_if<ClientRead>(&msg)) {
-        io_.post([this, m = *read, send_reply] {
-          ThreadRoleRegion role(gateway_.role());
-          gateway_.on_read(m, send_reply);
-        });
-      }
-      // Client-to-server replies are not a thing; ignore them.
-    }
-  }
-  {
-    MutexLock lock(conn->write_mutex);
-    if (conn->open.exchange(false)) ::close(conn->fd);
-  }
-  for (std::uint64_t id : clients_seen) {
-    io_.post([this, id, serial = conn->serial] {
-      ThreadRoleRegion role(gateway_.role());
-      gateway_.on_client_disconnect(id, serial);
-    });
-  }
-}
+// --- TcpGatewayCluster ---
 
 TcpGatewayCluster::TcpGatewayCluster(TcpGatewayClusterConfig config) {
   const std::size_t n = config.n;
@@ -231,7 +539,8 @@ TcpGatewayCluster::TcpGatewayCluster(TcpGatewayClusterConfig config) {
   servers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     servers_.push_back(std::make_unique<GatewayServer>(
-        cluster_->transport(static_cast<NodeId>(i)), *gateways_[i]));
+        cluster_->transport(static_cast<NodeId>(i)), *gateways_[i],
+        config.server));
     servers_.back()->start(0);
   }
 }
@@ -267,6 +576,38 @@ GatewayCounters TcpGatewayCluster::gateway_counters() const {
       c = gw.counters();
     });
     total += c;
+  }
+  return total;
+}
+
+std::uint64_t TcpGatewayCluster::total_admitted_bytes() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < gateways_.size(); ++i) {
+    auto id = static_cast<NodeId>(i);
+    if (!cluster_->alive(id)) continue;
+    std::uint64_t v = 0;
+    cluster_->transport(id).post_wait([&] {
+      Gateway& gw = *gateways_[i];
+      ThreadRoleRegion role(gw.role());
+      v = gw.admitted_bytes();
+    });
+    total += v;
+  }
+  return total;
+}
+
+std::uint64_t TcpGatewayCluster::total_owned_sessions() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < gateways_.size(); ++i) {
+    auto id = static_cast<NodeId>(i);
+    if (!cluster_->alive(id)) continue;
+    std::uint64_t v = 0;
+    cluster_->transport(id).post_wait([&] {
+      Gateway& gw = *gateways_[i];
+      ThreadRoleRegion role(gw.role());
+      v = gw.owned_sessions();
+    });
+    total += v;
   }
   return total;
 }

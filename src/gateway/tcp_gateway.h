@@ -1,9 +1,18 @@
 // Client-facing TCP service for the gateway: each replica runs a
-// GatewayServer that accepts client connections, decodes client frames
-// (u32-length-prefixed, see proto/client_wire.h) and marshals every message
-// onto the replica's transport I/O thread — the Gateway itself stays
-// single-threaded, exactly like the protocol stack beneath it. Replies are
-// written back from the I/O thread on the connection that owns the client.
+// GatewayServer fronting its Gateway with a small fleet of epoll event-loop
+// threads. Every loop owns a shard of the connections (edge-triggered
+// nonblocking reads and writes, per-connection outbound queues with
+// partial-write resume) and marshals decoded client messages onto the
+// replica's transport I/O thread in per-drain batches — the Gateway itself
+// stays single-threaded, exactly like the protocol stack beneath it, and
+// each drain batch ends with one flush_coalesced() so requests that arrived
+// together ride one broadcast envelope. Replies route back to the owning
+// loop over a mutex+eventfd inbox and are batched into multi-message client
+// frames per connection.
+//
+// Thread-safety is compile-time: each loop's connection shard is guarded by
+// that loop's ThreadRole capability; the only cross-thread surfaces are the
+// inbox (Mutex) and the eventfd wake.
 //
 // TcpGatewayCluster assembles the whole replicated service over real
 // sockets: TcpCluster (n GroupMembers) + per-node KvStore + Gateway +
@@ -12,8 +21,11 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <optional>
+#include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "app/kv_store.h"
@@ -28,53 +40,123 @@ namespace fsr {
 /// hostile length field and drops the connection.
 constexpr std::size_t kMaxClientFrameBytes = 16u << 20;
 
-/// Blocking frame I/O over a connected socket, shared by the server and the
-/// client driver. write returns false on any socket error. read returns
-/// nullopt on EOF, socket error, or timeout (errno distinguishes; a decoded
-/// frame aliases a fresh shared buffer, so Payload views stay valid).
+/// Blocking frame I/O over a connected socket, used by the client driver and
+/// tests. write returns false on any socket error. read returns nullopt on
+/// EOF, socket error, or timeout (errno distinguishes; a decoded frame
+/// aliases a fresh shared buffer, so Payload views stay valid).
 bool gateway_write_frame(int fd, const ClientFrame& frame);
 std::optional<ClientFrame> gateway_read_frame(int fd);
+
+/// Length-prefix + encode in one buffer (the event loops' outbound unit).
+Bytes encode_client_frame_with_prefix(const ClientFrame& frame);
+
+struct GatewayServerConfig {
+  /// Event-loop threads per server. Connections are sharded round-robin at
+  /// accept time and never migrate.
+  std::size_t event_loops = 2;
+  /// Per-connection cap on queued outbound bytes. A client that stops
+  /// reading (slow loris) hits the cap and is disconnected instead of
+  /// holding reply memory hostage.
+  std::size_t max_outbox_bytes = 4u << 20;
+};
 
 class GatewayServer {
  public:
   /// `io` is the replica's transport (its I/O thread runs the gateway);
   /// `gateway` must outlive the server.
-  GatewayServer(TcpTransport& io, Gateway& gateway);
+  GatewayServer(TcpTransport& io, Gateway& gateway, GatewayServerConfig cfg = {});
   ~GatewayServer();
 
   GatewayServer(const GatewayServer&) = delete;
   GatewayServer& operator=(const GatewayServer&) = delete;
 
-  /// Bind (port 0 = ephemeral), listen, and start the accept thread.
+  /// Bind (port 0 = ephemeral), listen, and start the event loops.
   void start(std::uint16_t port = 0);
   void stop();
   std::uint16_t port() const { return port_; }
 
+  /// Connections currently open across all loops (cross-thread snapshot).
+  std::size_t open_connections() const;
+
  private:
-  struct ClientConn {
-    /// Set once at accept, read by the reader thread without write_mutex by
-    /// design: the reader owns the read side of the socket. write_mutex only
-    /// serializes the *write* stream (replies from the I/O thread vs. the
-    /// close in stop()/reader teardown).
-    int fd = -1;
-    std::uint64_t serial = 0;
-    Mutex write_mutex;
-    std::atomic<bool> open{true};
+  /// One epoll shard: a thread, its wake eventfd, and the connections it
+  /// owns. Loop state is a compile-time capability of the loop's role; the
+  /// inbox is the only cross-thread surface.
+  class EventLoop {
+   public:
+    EventLoop(GatewayServer& server, std::size_t index);
+    ~EventLoop();
+
+    void start();
+    /// Ask the loop to exit and join it (idempotent).
+    void stop_join();
+
+    /// Cross-thread: hand a freshly accepted socket to this shard.
+    void adopt_fd(int fd, std::uint64_t serial);
+    /// Cross-thread: queue a reply for the connection with this serial
+    /// (dropped if it died) — called from the transport I/O thread.
+    void queue_reply(std::uint64_t serial, const ClientReply& r);
+
+    std::size_t open_connections() const;
+
+   private:
+    struct Conn {
+      int fd = -1;
+      std::uint64_t serial = 0;
+      ChunkBuffer rx;
+      std::deque<Bytes> outbox;
+      std::size_t out_off = 0;       ///< bytes of outbox.front() already sent
+      std::size_t outbox_bytes = 0;  ///< total queued outbound bytes
+      std::set<std::uint64_t> clients_seen;
+    };
+
+    void run();
+    void wake();
+    void drain_inbox() FSR_REQUIRES(role_);
+    void accept_ready() FSR_REQUIRES(role_);
+    void add_conn(int fd, std::uint64_t serial) FSR_REQUIRES(role_);
+    void handle_readable(Conn& c) FSR_REQUIRES(role_);
+    void handle_writable(Conn& c) FSR_REQUIRES(role_);
+    /// Parse every complete frame in the rx buffer and post the decoded
+    /// messages to the gateway as ONE I/O-thread closure per drain.
+    bool parse_frames(Conn& c) FSR_REQUIRES(role_);
+    void enqueue_frame(Conn& c, Bytes frame) FSR_REQUIRES(role_);
+    void flush_replies(std::vector<std::pair<std::uint64_t, ClientReply>> replies)
+        FSR_REQUIRES(role_);
+    void close_conn(Conn& c, bool notify_gateway) FSR_REQUIRES(role_);
+
+    GatewayServer& server_;
+    const std::size_t index_;
+    ThreadRole role_;
+    int epoll_fd_ = -1;
+    int wake_fd_ = -1;
+    Thread thread_;
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_
+        FSR_GUARDED_BY(role_);
+    bool stop_requested_ FSR_GUARDED_BY(role_) = false;
+
+    mutable Mutex inbox_mutex_;
+    std::vector<std::function<void()>> tasks_ FSR_GUARDED_BY(inbox_mutex_);
+    std::vector<std::pair<std::uint64_t, ClientReply>> pending_replies_
+        FSR_GUARDED_BY(inbox_mutex_);
+    bool wake_pending_ FSR_GUARDED_BY(inbox_mutex_) = false;
+    std::size_t open_conns_published_ FSR_GUARDED_BY(inbox_mutex_) = 0;
   };
 
-  void accept_loop();
-  void reader_loop(std::shared_ptr<ClientConn> conn);
+  friend class EventLoop;
 
   TcpTransport& io_;
   Gateway& gateway_;
+  GatewayServerConfig cfg_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> next_serial_{1};
-  Thread accept_thread_;
-  Mutex conns_mutex_;
-  std::vector<std::shared_ptr<ClientConn>> conns_ FSR_GUARDED_BY(conns_mutex_);
-  std::vector<Thread> readers_ FSR_GUARDED_BY(conns_mutex_);
+  std::atomic<std::size_t> next_loop_{0};
+  /// shared_ptr: reply closures posted to the transport capture their loop,
+  /// so a loop outlives any reply still in flight after stop().
+  std::vector<std::shared_ptr<EventLoop>> loops_;
 };
 
 /// Client connection target.
@@ -87,6 +169,7 @@ struct TcpGatewayClusterConfig {
   std::size_t n = 3;
   GroupConfig group;
   GatewayConfig gateway;
+  GatewayServerConfig server;
 };
 
 /// The full replicated KV service over real TCP: n replicas, each serving
@@ -110,6 +193,11 @@ class TcpGatewayCluster {
 
   /// Snapshots taken on each live node's I/O thread.
   GatewayCounters gateway_counters() const;
+  /// Live admission gauge (in-flight + queued envelope bytes) summed over
+  /// the live nodes; the reconnect-storm test probes this mid-run.
+  std::uint64_t total_admitted_bytes() const;
+  /// Live owned-session bindings summed over the live nodes.
+  std::uint64_t total_owned_sessions() const;
   std::vector<std::uint64_t> fingerprints() const;
   std::uint64_t total_failed_cas() const;
   std::uint64_t total_applied() const;
@@ -117,6 +205,7 @@ class TcpGatewayCluster {
   /// Raw per-node access for post-quiesce assertions in tests.
   KvStore& store(NodeId node) { return *stores_[node]; }
   Gateway& gateway(NodeId node) { return *gateways_[node]; }
+  GatewayServer& server(NodeId node) { return *servers_[node]; }
 
   std::string check_invariants() const { return cluster_->check_invariants(); }
 

@@ -182,6 +182,114 @@ Bytes encode_envelope(std::uint64_t client_id, std::uint64_t session_seq,
   return w.take();
 }
 
+Bytes encode_read_envelope(std::uint64_t client_id, std::uint64_t read_seq,
+                           std::span<const std::uint8_t> query) {
+  ByteWriter w(query.size() + 24);
+  w.u8(kReadEnvelopeMagic);
+  w.var(client_id);
+  w.var(read_seq);
+  w.var(query.size());
+  w.raw(query);
+  return w.take();
+}
+
+std::optional<GatewayReadCommand> parse_read_envelope(const Payload& delivered) {
+  if (!delivered || delivered.empty() || *delivered.data() != kReadEnvelopeMagic) {
+    return std::nullopt;
+  }
+  ByteReader r(delivered.span());
+  r.u8();  // magic, checked above
+  GatewayReadCommand cmd;
+  cmd.client_id = r.var();
+  cmd.read_seq = r.var();
+  std::span<const std::uint8_t> view = r.bytes_view();
+  std::size_t off = static_cast<std::size_t>(view.data() - delivered.data());
+  cmd.query = delivered.sub(off, view.size());
+  if (!r.done()) throw CodecError("gateway read envelope: trailing bytes");
+  return cmd;
+}
+
+Bytes encode_lease_envelope(std::uint64_t view_id, std::int64_t duration) {
+  if (duration < 0) duration = 0;
+  ByteWriter w(24);
+  w.u8(kLeaseEnvelopeMagic);
+  w.var(view_id);
+  w.var(static_cast<std::uint64_t>(duration));
+  return w.take();
+}
+
+std::optional<LeaseGrant> parse_lease_envelope(const Payload& delivered) {
+  if (!delivered || delivered.empty() || *delivered.data() != kLeaseEnvelopeMagic) {
+    return std::nullopt;
+  }
+  ByteReader r(delivered.span());
+  r.u8();  // magic, checked above
+  LeaseGrant grant;
+  grant.view_id = r.var();
+  std::uint64_t dur = r.var();
+  if (dur > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+    throw CodecError("gateway lease envelope: duration overflows Time");
+  }
+  grant.duration = static_cast<std::int64_t>(dur);
+  if (!r.done()) throw CodecError("gateway lease envelope: trailing bytes");
+  return grant;
+}
+
+std::optional<std::vector<Payload>> parse_batch_envelope(const Payload& delivered) {
+  if (!delivered || delivered.empty() ||
+      *delivered.data() != kBatchEnvelopeMagic) {
+    return std::nullopt;
+  }
+  std::span<const std::uint8_t> data = delivered.span();
+  std::vector<Payload> subs;
+  std::size_t off = 1;
+  while (off < data.size()) {
+    const std::uint8_t magic = data[off];
+    if (magic != kEnvelopeMagic && magic != kReadEnvelopeMagic) {
+      throw CodecError("gateway batch: unknown sub-envelope magic");
+    }
+    // Every sub-envelope shares the [magic][varint][varint][varint len][len
+    // bytes] shape, so one scan delimits both kinds.
+    ByteReader r(data.subspan(off));
+    r.u8();
+    r.var();
+    r.var();
+    std::uint64_t len = r.var();
+    if (len > r.remaining()) {
+      throw CodecError("gateway batch: sub-envelope length overruns batch");
+    }
+    std::size_t header = data.size() - off - r.remaining();
+    std::size_t sub_len = header + static_cast<std::size_t>(len);
+    subs.push_back(delivered.sub(off, sub_len));
+    off += sub_len;
+  }
+  if (subs.empty()) throw CodecError("gateway batch: empty batch");
+  return subs;
+}
+
+void EnvelopeBatch::append(const Payload& envelope) {
+  if (buf_.empty()) {
+    buf_.reserve(1024);
+    buf_.push_back(kBatchEnvelopeMagic);
+  }
+  buf_.insert(buf_.end(), envelope.begin(), envelope.end());
+  ++count_;
+}
+
+Payload EnvelopeBatch::take() {
+  Payload out;
+  if (count_ == 1) {
+    // Unwrap: skip the batch magic, ship the lone envelope as itself.
+    Bytes one(buf_.begin() + 1, buf_.end());
+    out = make_payload(std::move(one));
+  } else if (count_ > 1) {
+    out = make_payload(std::move(buf_));
+  }
+  buf_ = Bytes{};
+  count_ = 0;
+  return out;
+}
+
 std::optional<GatewayCommand> parse_envelope(const Payload& delivered) {
   if (!delivered || delivered.empty() || *delivered.data() != kEnvelopeMagic) {
     return std::nullopt;

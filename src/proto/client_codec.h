@@ -50,4 +50,49 @@ Bytes encode_envelope(std::uint64_t client_id, std::uint64_t session_seq,
 /// magic matches but the envelope is malformed.
 std::optional<GatewayCommand> parse_envelope(const Payload& delivered);
 
+/// Build an ordered-read envelope (kReadEnvelopeMagic framing).
+Bytes encode_read_envelope(std::uint64_t client_id, std::uint64_t read_seq,
+                           std::span<const std::uint8_t> query);
+
+/// Parse a TO-delivered payload as an ordered-read envelope. nullopt when the
+/// first byte is not kReadEnvelopeMagic; CodecError when it is but the rest
+/// is malformed.
+std::optional<GatewayReadCommand> parse_read_envelope(const Payload& delivered);
+
+/// Build a lease-grant envelope (kLeaseEnvelopeMagic framing).
+Bytes encode_lease_envelope(std::uint64_t view_id, std::int64_t duration);
+
+/// Parse a TO-delivered payload as a lease grant. Same nullopt/throw contract
+/// as the other envelope parsers.
+std::optional<LeaseGrant> parse_lease_envelope(const Payload& delivered);
+
+/// Split a TO-delivered coalesced batch (kBatchEnvelopeMagic) into its
+/// sub-envelope views, each aliasing `delivered` and starting with
+/// kEnvelopeMagic or kReadEnvelopeMagic, in admission order. nullopt when the
+/// first byte is not the batch magic; CodecError on an empty batch, an
+/// unknown sub-envelope magic, or a truncated/overflowing sub-envelope.
+std::optional<std::vector<Payload>> parse_batch_envelope(const Payload& delivered);
+
+/// Accumulates admitted envelopes into one broadcast-ready batch payload.
+/// Appends copy the (small) envelope bytes into the batch's contiguous
+/// buffer — the one copy that buys a whole batch a single ring slot.
+class EnvelopeBatch {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t count() const { return count_; }
+  /// Bytes the flushed payload would occupy (magic byte included).
+  std::size_t bytes() const { return buf_.size(); }
+
+  void append(const Payload& envelope);
+
+  /// The finished batch as one payload; resets the builder. A single-entry
+  /// batch is emitted unwrapped (plain 0xC5/0xC7 envelope) — no batch
+  /// framing overhead when coalescing found nothing to coalesce.
+  Payload take();
+
+ private:
+  Bytes buf_;
+  std::size_t count_ = 0;
+};
+
 }  // namespace fsr

@@ -24,8 +24,29 @@ inline constexpr std::uint8_t kClientProtoVersion = 1;
 
 /// First byte of every TO-broadcast gateway envelope. Applications sharing a
 /// gateway-fronted group must not start raw commands with this byte (the
-/// KvStore/Bank opcodes are all < 0x10).
+/// KvStore/Bank opcodes are all < 0x10; the whole 0xC5..0xC8 family below is
+/// reserved for the gateway).
 inline constexpr std::uint8_t kEnvelopeMagic = 0xC5;
+
+/// A coalesced batch of gateway envelopes: [0xC6] followed by back-to-back
+/// self-delimiting sub-envelopes (each starting 0xC5 or 0xC7). The gateway
+/// accumulates many small client requests into one of these per broadcast —
+/// the inverse of the engine's segmentation — so per-broadcast ring costs
+/// amortize over every command in the batch.
+inline constexpr std::uint8_t kBatchEnvelopeMagic = 0xC6;
+
+/// An ordered read riding the TO-stream: [0xC7][varint client_id]
+/// [varint read_seq][varint len][query]. Broadcast when a replica cannot
+/// serve a read locally (no valid sequencer lease); answered at delivery by
+/// the replica that admitted it. Deterministically read-only on every
+/// replica.
+inline constexpr std::uint8_t kReadEnvelopeMagic = 0xC7;
+
+/// A sequencer lease grant riding the TO-stream: [0xC8][varint view_id]
+/// [varint duration_ns]. Broadcast by the leader; each replica that delivers
+/// it may serve reads locally until delivery-time + duration, as long as the
+/// grant's view is still the installed view and no flush is in progress.
+inline constexpr std::uint8_t kLeaseEnvelopeMagic = 0xC8;
 
 enum class ClientStatus : std::uint8_t {
   kOk = 0,              ///< executed; reply attached
@@ -81,6 +102,19 @@ struct GatewayCommand {
   std::uint64_t client_id = 0;
   std::uint64_t session_seq = 0;
   Payload command;  ///< aliases the delivered payload
+};
+
+/// An ordered-read envelope parsed back out of a TO-delivered payload.
+struct GatewayReadCommand {
+  std::uint64_t client_id = 0;
+  std::uint64_t read_seq = 0;
+  Payload query;  ///< aliases the delivered payload
+};
+
+/// A lease grant parsed back out of a TO-delivered payload.
+struct LeaseGrant {
+  std::uint64_t view_id = 0;
+  std::int64_t duration = 0;  ///< nanoseconds from delivery time
 };
 
 }  // namespace fsr

@@ -99,6 +99,11 @@ class GroupMember {
   NodeId self() const { return transport_.self(); }
   bool flushing() const { return engine_.frozen(); }
 
+  /// The member's transport, for services layered on top (the gateway arms
+  /// its coalescing/lease timers here: deterministic under SimTransport,
+  /// runtime-role-checked under TcpTransport).
+  Transport& transport() { return transport_; }
+
  private:
   void on_frame(const Frame& frame);
   void on_peer_down(NodeId node);

@@ -1,0 +1,43 @@
+// Negative-compilation case: the gateway event-loop shard model. Each epoll
+// loop's connection table is a compile-time capability of that loop's
+// ThreadRole; cross-thread surfaces (adopt_fd, queue_reply) must go through
+// the inbox, never touch the shard directly. A cross-thread method that
+// reaches into the guarded connection map without adopting the role must be
+// rejected by -Werror=thread-safety.
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/sync.h"
+
+namespace {
+
+class EventLoop {
+ public:
+  struct Conn {
+    int fd = -1;
+    std::deque<int> outbox;
+  };
+
+  void handle_readable(std::uint64_t serial) FSR_REQUIRES(role_) {
+    conns_[serial].outbox.push_back(0);
+  }
+
+  // Cross-thread entry (accept thread hands over a socket). The correct
+  // implementation posts to the inbox and wakes the loop; touching the
+  // shard directly races with the loop thread.
+  void adopt_fd(int fd, std::uint64_t serial) {
+    conns_[serial].fd = fd;  // expected error: requires holding role 'role_'
+  }
+
+ private:
+  fsr::ThreadRole role_{"GatewayServer::loop"};
+  std::unordered_map<std::uint64_t, Conn> conns_ FSR_GUARDED_BY(role_);
+};
+
+void use() {
+  EventLoop loop;
+  loop.adopt_fd(3, 1);
+}
+
+}  // namespace

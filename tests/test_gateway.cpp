@@ -15,6 +15,7 @@
 #include <string>
 
 #include <chrono>
+#include <filesystem>
 #include <thread>
 
 #include "common/sync.h"
@@ -477,6 +478,392 @@ TEST(Gateway, DuplicateFloodKeepsAdmissionMemoryBounded) {
   EXPECT_EQ(f.gc->cluster().check_all(), "");
 }
 
+
+// ------------------------------------------- coalescing batch envelopes ---
+
+TEST(ClientCodec, BatchEnvelopeRoundtripAliasesDelivered) {
+  EnvelopeBatch batch;
+  Bytes a = encode_envelope(7, 1, bytes_of("alpha"));
+  Bytes b = encode_envelope(8, 3, bytes_of("bravo"));
+  Bytes c = encode_read_envelope(9, (std::uint64_t{1} << 63) + 4,
+                                 bytes_of("query"));
+  batch.append(make_payload(Bytes(a)));
+  batch.append(make_payload(Bytes(b)));
+  batch.append(make_payload(Bytes(c)));
+  EXPECT_EQ(batch.count(), 3u);
+
+  Payload wire = batch.take();
+  ASSERT_FALSE(wire.empty());
+  EXPECT_EQ(*wire.data(), kBatchEnvelopeMagic);
+  EXPECT_TRUE(batch.empty()) << "take() must reset the batch";
+
+  auto subs = parse_batch_envelope(wire);
+  ASSERT_TRUE(subs.has_value());
+  ASSERT_EQ(subs->size(), 3u);
+  // Zero-copy contract: every sub-envelope aliases the delivered buffer.
+  for (const Payload& sub : *subs) {
+    EXPECT_GE(sub.data(), wire.data());
+    EXPECT_LE(sub.end(), wire.end());
+  }
+  auto cmd_a = parse_envelope((*subs)[0]);
+  ASSERT_TRUE(cmd_a.has_value());
+  EXPECT_EQ(cmd_a->client_id, 7u);
+  EXPECT_EQ(str_of(Bytes(cmd_a->command.begin(), cmd_a->command.end())), "alpha");
+  auto rd = parse_read_envelope((*subs)[2]);
+  ASSERT_TRUE(rd.has_value());
+  EXPECT_EQ(rd->client_id, 9u);
+  EXPECT_EQ(str_of(Bytes(rd->query.begin(), rd->query.end())), "query");
+}
+
+TEST(ClientCodec, SingleEnvelopeBatchEmittedUnwrapped) {
+  // A batch of one pays no framing: take() hands back the plain envelope,
+  // byte-identical to the uncoalesced wire format.
+  EnvelopeBatch batch;
+  Bytes env = encode_envelope(5, 2, bytes_of("solo"));
+  batch.append(make_payload(Bytes(env)));
+  Payload out = batch.take();
+  EXPECT_EQ(Bytes(out.begin(), out.end()), env);
+  EXPECT_EQ(parse_batch_envelope(out), std::nullopt)
+      << "single-envelope output must not carry the batch magic";
+}
+
+TEST(ClientCodec, BatchAdversarialInputsThrowDontCrash) {
+  // Not a batch at all: nullopt, never a throw (callers dispatch on magic).
+  EXPECT_EQ(parse_batch_envelope(make_payload(
+                encode_envelope(1, 1, bytes_of("x")))),
+            std::nullopt);
+
+  // Empty batch: the magic with no sub-envelopes is malformed by fiat — the
+  // coalescer never emits it, so delivery treats it as hostile.
+  EXPECT_THROW(parse_batch_envelope(make_payload(Bytes{kBatchEnvelopeMagic})),
+               CodecError);
+
+  // Unknown sub-envelope magic (a lease grant nested in a batch is invalid:
+  // grants ride alone).
+  {
+    Bytes evil = {kBatchEnvelopeMagic};
+    Bytes lease = encode_lease_envelope(1, 1000);
+    evil.insert(evil.end(), lease.begin(), lease.end());
+    EXPECT_THROW(parse_batch_envelope(make_payload(evil)), CodecError);
+  }
+
+  // Truncated sub-envelope: header promises more command bytes than remain.
+  {
+    Bytes env = encode_envelope(3, 9, bytes_of("truncate-me"));
+    Bytes evil = {kBatchEnvelopeMagic};
+    evil.insert(evil.end(), env.begin(), env.end() - 4);
+    EXPECT_THROW(parse_batch_envelope(make_payload(evil)), CodecError);
+  }
+
+  // Hostile varint length: 10 continuation bytes claiming a gigantic
+  // command must throw, not allocate or scan past the buffer.
+  {
+    Bytes evil = {kBatchEnvelopeMagic, kEnvelopeMagic, 0x01, 0x01};
+    for (int i = 0; i < 10; ++i) evil.push_back(0xFF);
+    EXPECT_THROW(parse_batch_envelope(make_payload(evil)), CodecError);
+  }
+
+  // Trailing garbage after a valid sub-envelope.
+  {
+    Bytes env = encode_envelope(4, 1, bytes_of("ok"));
+    Bytes evil = {kBatchEnvelopeMagic};
+    evil.insert(evil.end(), env.begin(), env.end());
+    evil.push_back(0x00);  // not a valid sub magic
+    EXPECT_THROW(parse_batch_envelope(make_payload(evil)), CodecError);
+  }
+
+  // Read/lease envelope hardening: wrong magic is nullopt, trailing bytes
+  // throw (same contract as parse_envelope).
+  EXPECT_EQ(parse_read_envelope(make_payload(encode_lease_envelope(1, 1))),
+            std::nullopt);
+  EXPECT_EQ(parse_lease_envelope(make_payload(bytes_of("zz"))), std::nullopt);
+  {
+    Bytes env = encode_read_envelope(1, 2, bytes_of("q"));
+    env.push_back(0xAB);
+    // Trailing bytes make the query span one byte long? No: the read
+    // envelope is self-delimiting via its length varint, so extra bytes
+    // past the declared query are hostile.
+    EXPECT_THROW(parse_read_envelope(make_payload(env)), CodecError);
+  }
+  {
+    Bytes env = encode_lease_envelope(7, 500);
+    env.push_back(0x01);
+    EXPECT_THROW(parse_lease_envelope(make_payload(env)), CodecError);
+  }
+}
+
+TEST(Gateway, MalformedBatchDeliveryRejectedNotCrashed) {
+  GatewayFixture f;
+  auto& gw = f.gc->gateway(0);
+  ThreadRoleRegion role(gw.role());
+  const std::uint64_t before = gw.counters().rejected_malformed;
+  const Bytes evils[] = {
+      Bytes{kBatchEnvelopeMagic},                    // empty batch
+      Bytes{kBatchEnvelopeMagic, kLeaseEnvelopeMagic, 0x01, 0x01},
+      Bytes{kBatchEnvelopeMagic, kEnvelopeMagic, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+            0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01},     // hostile varint
+  };
+  for (const Bytes& evil : evils) {
+    Delivery d;
+    d.origin = 1;
+    d.payload = make_payload(Bytes(evil));
+    gw.on_delivery(d);  // must count + drop, never throw or apply
+  }
+  EXPECT_EQ(gw.counters().rejected_malformed, before + 3);
+  EXPECT_EQ(f.gc->store(0).applied_commands(), 0u);
+}
+
+// Concurrent same-replica requests must leave in shared batch envelopes:
+// the coalescing counters prove real amortization (strictly fewer
+// broadcasts than envelopes), and delivery unpacks to exactly-once applies.
+TEST(Gateway, CoalescingBatchesConcurrentRequestsExactlyOnce) {
+  GatewayFixture f;
+  std::vector<std::unique_ptr<SimClient>> clients;
+  for (int c = 0; c < 8; ++c) {
+    SimClient::Options opt;
+    opt.client_id = 100 + c;
+    opt.replica = 0;  // same gateway: their envelopes share batches
+    clients.push_back(std::make_unique<SimClient>(*f.gc, opt));
+    for (int i = 0; i < 5; ++i) {
+      clients.back()->submit(
+          KvStore::encode_put("c" + std::to_string(c), std::to_string(i)));
+    }
+  }
+  f.gc->sim().run();
+  for (auto& cl : clients) {
+    ASSERT_TRUE(cl->idle());
+    ASSERT_EQ(cl->completed().size(), 5u);
+    for (const auto& d : cl->completed()) EXPECT_EQ(d.status, ClientStatus::kOk);
+  }
+  auto& gw = f.gc->gateway(0);
+  ThreadRoleRegion role(gw.role());
+  EXPECT_GE(gw.counters().coalesced_envelopes, 40u);
+  EXPECT_LT(gw.counters().coalesce_flushes, gw.counters().coalesced_envelopes)
+      << "no batch ever held more than one envelope — coalescing is vacuous";
+  EXPECT_EQ(f.gc->check_replicas_converged(), "");
+  EXPECT_EQ(f.gc->cluster().check_all(), "");
+}
+
+// A coalesced envelope in flight when the sequencer dies: the batch (or its
+// retries) must execute every command exactly once on the survivors —
+// chained CAS per client makes any double-apply visible as failed_cas.
+TEST(Gateway, CoalescedEnvelopeSpansSequencerCrashExactlyOnce) {
+  GatewayFixture f(4);
+  std::vector<std::unique_ptr<SimClient>> clients;
+  for (int c = 0; c < 6; ++c) {
+    SimClient::Options opt;
+    opt.client_id = 200 + c;
+    opt.replica = 1;  // gateway survives; only the sequencer (node 0) dies
+    opt.retry_timeout = 300 * kMillisecond;
+    clients.push_back(std::make_unique<SimClient>(*f.gc, opt));
+    const std::string key = "k" + std::to_string(c);
+    clients.back()->submit(KvStore::encode_put(key, "0"));
+    for (int i = 0; i < 7; ++i) {
+      clients.back()->submit(
+          KvStore::encode_cas(key, std::to_string(i), std::to_string(i + 1)));
+    }
+  }
+  // Let batches start flowing, then kill the sequencer mid-stream.
+  std::size_t done = 0;
+  while (done < 6 && !f.gc->sim().empty()) {
+    f.gc->sim().run_steps(40);
+    done = 0;
+    for (auto& cl : clients) done += cl->completed().size();
+  }
+  ASSERT_LT(done, 48u) << "crash must land mid-run; slow the warmup loop";
+  f.gc->crash(0);
+  f.gc->sim().run();
+
+  for (auto& cl : clients) {
+    ASSERT_TRUE(cl->idle());
+    ASSERT_EQ(cl->completed().size(), 8u);
+    for (const auto& d : cl->completed()) {
+      EXPECT_EQ(d.status, ClientStatus::kOk);
+    }
+  }
+  for (NodeId id = 1; id < 4; ++id) {
+    EXPECT_EQ(f.gc->store(id).failed_cas(), 0u) << "node " << int(id);
+    EXPECT_EQ(f.gc->store(id).get("k0"), "7");
+  }
+  {
+    auto& gw = f.gc->gateway(1);
+    ThreadRoleRegion role(gw.role());
+    EXPECT_LT(gw.counters().coalesce_flushes, gw.counters().coalesced_envelopes)
+        << "the run never actually batched";
+  }
+  EXPECT_EQ(f.gc->check_replicas_converged(), "");
+  EXPECT_EQ(f.gc->cluster().check_all(), "");
+}
+
+// ------------------------------------------------------------ read leases ---
+
+struct LeaseFixture {
+  explicit LeaseFixture(std::size_t n = 3) {
+    GatewayConfig gw;
+    gw.read_mode = GatewayReadMode::kLeased;
+    gw.lease_duration = 10 * kSecond;  // sim runs finish well inside this
+    f = std::make_unique<GatewayFixture>(n, gw);
+  }
+  // One completed write through `replica` (also the traffic that lets the
+  // leader grant/renew the lease).
+  void write(NodeId replica, const std::string& k, const std::string& v) {
+    SimClient::Options opt;
+    opt.client_id = next_client_++;
+    opt.replica = replica;
+    SimClient client(*f->gc, opt);
+    client.submit(KvStore::encode_put(k, v));
+    f->gc->sim().run();
+    ASSERT_EQ(client.completed().size(), 1u);
+    ASSERT_EQ(client.completed()[0].status, ClientStatus::kOk);
+  }
+  std::unique_ptr<GatewayFixture> f;
+  std::uint64_t next_client_ = 900;
+};
+
+TEST(GatewayLease, WarmLeaseServesReadsLocallyWithoutRingTrips) {
+  LeaseFixture lf;
+  lf.write(0, "color", "teal");
+
+  // The write's delivery was gateway traffic: the leader granted a lease
+  // and every replica applied it.
+  auto& gw = lf.f->gc->gateway(2);
+  ThreadRoleRegion role(gw.role());
+  ASSERT_TRUE(gw.lease_valid())
+      << "first delivery round must have granted the lease";
+  EXPECT_GE(gw.counters().lease_grants_applied, 1u);
+
+  std::vector<ClientReply> replies;
+  ClientRead read;
+  read.client_id = 77;
+  read.read_seq = std::uint64_t{1} << 63;
+  read.query = make_payload(KvStore::encode_get("color"));
+  gw.on_read(read, [&](const ClientReply& r) { replies.push_back(r); });
+  // Leased local read: answered synchronously, no broadcast.
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].status, ClientStatus::kOk);
+  EXPECT_EQ(KvStore::decode_get_reply(replies[0].reply.span()), "teal");
+  EXPECT_EQ(gw.counters().reads_local, 1u);
+  EXPECT_EQ(gw.counters().reads_ordered, 0u);
+  EXPECT_EQ(gw.pending_ordered_reads(), 0u);
+}
+
+TEST(GatewayLease, ColdLeaseFallsBackToOrderedReads) {
+  LeaseFixture lf;
+  // No traffic yet: no lease anywhere. A read must take the ring trip.
+  auto& gw = lf.f->gc->gateway(1);
+  std::vector<ClientReply> replies;
+  {
+    ThreadRoleRegion role(gw.role());
+    ASSERT_FALSE(gw.lease_valid());
+    ClientRead read;
+    read.client_id = 78;
+    read.read_seq = (std::uint64_t{1} << 63) + 1;
+    read.query = make_payload(KvStore::encode_get("missing"));
+    gw.on_read(read, [&](const ClientReply& r) { replies.push_back(r); });
+    EXPECT_TRUE(replies.empty()) << "cold read must not answer locally";
+    EXPECT_EQ(gw.counters().reads_ordered, 1u);
+    EXPECT_EQ(gw.pending_ordered_reads(), 1u);
+  }
+  lf.f->gc->sim().run();
+  {
+    ThreadRoleRegion role(gw.role());
+    ASSERT_EQ(replies.size(), 1u) << "ordered read must answer at delivery";
+    EXPECT_EQ(replies[0].status, ClientStatus::kOk);
+    EXPECT_EQ(gw.pending_ordered_reads(), 0u);
+  }
+}
+
+// The acceptance scenario: a leader crash invalidates every outstanding
+// lease before the new view serves traffic, so no replica can serve a
+// local read from pre-view state; once the new leader re-grants, local
+// reads resume and observe everything sequenced before them.
+TEST(GatewayLease, ViewChangeInvalidatesLeaseNoStaleRead) {
+  LeaseFixture lf;
+  lf.write(1, "color", "teal");
+  auto& gw2 = lf.f->gc->gateway(2);
+  {
+    ThreadRoleRegion role(gw2.role());
+    ASSERT_TRUE(gw2.lease_valid());
+  }
+
+  // Leader (node 0) dies; the view change must conservatively kill the
+  // lease even though node 2 did nothing wrong.
+  lf.f->gc->crash(0);
+  lf.f->gc->sim().run();
+  {
+    ThreadRoleRegion role(gw2.role());
+    EXPECT_FALSE(gw2.lease_valid())
+        << "a lease granted in the old view survived the view change";
+  }
+
+  // A read in the cold window takes the ordered path (counted), never the
+  // local one.
+  std::vector<ClientReply> replies;
+  {
+    ThreadRoleRegion role(gw2.role());
+    const std::uint64_t ordered_before = gw2.counters().reads_ordered;
+    ClientRead read;
+    read.client_id = 79;
+    read.read_seq = (std::uint64_t{1} << 63) + 9;
+    read.query = make_payload(KvStore::encode_get("color"));
+    gw2.on_read(read, [&](const ClientReply& r) { replies.push_back(r); });
+    EXPECT_TRUE(replies.empty());
+    EXPECT_EQ(gw2.counters().reads_ordered, ordered_before + 1);
+  }
+  lf.f->gc->sim().run();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(KvStore::decode_get_reply(replies[0].reply.span()), "teal");
+
+  // New-view traffic lets the new leader (node 1) re-grant; a local read
+  // under the fresh lease must observe that write — nothing stale.
+  lf.write(1, "color", "mauve");
+  {
+    ThreadRoleRegion role(gw2.role());
+    ASSERT_TRUE(gw2.lease_valid()) << "new leader never re-granted";
+    const std::uint64_t local_before = gw2.counters().reads_local;
+    std::vector<ClientReply> fresh;
+    ClientRead read;
+    read.client_id = 80;
+    read.read_seq = (std::uint64_t{1} << 63) + 10;
+    read.query = make_payload(KvStore::encode_get("color"));
+    gw2.on_read(read, [&](const ClientReply& r) { fresh.push_back(r); });
+    ASSERT_EQ(fresh.size(), 1u);
+    EXPECT_EQ(KvStore::decode_get_reply(fresh[0].reply.span()), "mauve");
+    EXPECT_EQ(gw2.counters().reads_local, local_before + 1);
+  }
+  EXPECT_EQ(lf.f->gc->check_replicas_converged(), "");
+}
+
+// ------------------------------------------------- connection teardown ---
+
+// A connection that dies with replies still owed must not leak its
+// reply-routing entry: the binding is reclaimed at disconnect and the owed
+// replies are counted as orphaned drops when their deliveries resolve.
+TEST(Gateway, DisconnectWithQueuedRepliesCountsOrphans) {
+  GatewayFixture f;
+  auto& gw = f.gc->gateway(0);
+  ThreadRoleRegion role(gw.role());
+  std::vector<ClientReply> replies;
+  auto send = [&](const ClientReply& r) { replies.push_back(r); };
+
+  gw.on_request(make_request(9, 1, KvStore::encode_put("a", "1")), send, 42);
+  gw.on_request(make_request(9, 2, KvStore::encode_put("a", "2")), send, 42);
+  ASSERT_EQ(gw.owned_sessions(), 1u);
+
+  // The connection dies before either delivery resolves.
+  gw.on_client_disconnect(9, 42);
+  EXPECT_EQ(gw.owned_sessions(), 0u) << "binding leaked after disconnect";
+  EXPECT_EQ(gw.counters().orphaned_reply_drops, 2u)
+      << "owed replies not accounted at teardown";
+
+  f.gc->sim().run();
+  // Deliveries still executed exactly once (session state is replicated),
+  // but nobody was owed the replies.
+  EXPECT_TRUE(replies.empty());
+  EXPECT_EQ(f.gc->store(0).get("a"), "2");
+  EXPECT_EQ(f.gc->check_replicas_converged(), "");
+}
+
 // -------------------------------------------------------------- real TCP ---
 
 bool fingerprints_converge(TcpGatewayCluster& gc, Time timeout) {
@@ -648,6 +1035,146 @@ TEST(GatewayTcp, SlowLorisWriterDoesNotStallOtherClients) {
     EXPECT_EQ(gc.store(id).get("loris"), "done") << "node " << int(id);
   }
   EXPECT_EQ(gc.total_failed_cas(), 0u);
+  EXPECT_EQ(gc.check_invariants(), "");
+}
+
+// The multiplexed pipelined driver end to end: 64 sessions over 4 sockets
+// with 4 commands in flight each — the shape the big benchmark rows use —
+// must complete every request exactly once and demonstrably batch.
+TEST(GatewayTcp, MultiplexedPipelinedDriverExactlyOnce) {
+  TcpGatewayCluster gc;
+  DriverOptions opt;
+  opt.endpoints = gc.endpoints();
+  opt.clients = 64;
+  opt.requests_per_client = 30;
+  opt.connections = 4;
+  opt.pipeline = 4;
+  opt.value_bytes = 32;
+
+  DriverReport r = run_client_driver(opt);
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_EQ(r.requests, 64u * 30u);
+
+  ASSERT_TRUE(fingerprints_converge(gc, 10 * kSecond));
+  auto counters = gc.gateway_counters();
+  EXPECT_EQ(counters.commands_applied, 64u * 30u * 3);
+  EXPECT_GE(counters.coalesced_envelopes, 64u * 30u);
+  EXPECT_LT(counters.coalesce_flushes, counters.coalesced_envelopes)
+      << "pipelined frames never shared a broadcast envelope";
+  EXPECT_EQ(gc.check_invariants(), "");
+}
+
+// Reconnect storm at the epoll front-end: 1024 short-lived sessions arrive
+// in waves of raw sockets, each sending hello + one PUT on a fresh
+// connection; half vanish without reading their replies. Throughout, file
+// descriptors and the admission gauge stay bounded; afterwards every
+// connection, owned binding, and admitted byte is reclaimed, the orphaned
+// replies are counted, and the replicas converge on all 1024 writes.
+TEST(GatewayTcp, ReconnectStormBoundedFdsAndAdmission) {
+  TcpGatewayClusterConfig cfg;
+  TcpGatewayCluster gc(cfg);
+  auto eps = gc.endpoints();
+
+  auto count_fds = [] {
+    std::size_t n = 0;
+    for (auto it = std::filesystem::directory_iterator("/proc/self/fd");
+         it != std::filesystem::directory_iterator(); ++it) {
+      ++n;
+    }
+    return n;
+  };
+  const std::size_t fd_baseline = count_fds();
+
+  constexpr std::size_t kSessions = 1024;
+  constexpr std::size_t kWave = 128;
+  const std::uint64_t byte_ceiling =
+      static_cast<std::uint64_t>(cfg.gateway.admitted_bytes_budget) * cfg.n;
+
+  std::size_t max_fds_seen = 0;
+  std::uint64_t max_admitted_seen = 0;
+  for (std::size_t wave = 0; wave < kSessions / kWave; ++wave) {
+    std::vector<int> fds;
+    fds.reserve(kWave);
+    for (std::size_t i = 0; i < kWave; ++i) {
+      const std::size_t idx = wave * kWave + i;
+      const auto& ep = eps[idx % eps.size()];
+      int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      ASSERT_GE(fd, 0);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(ep.port);
+      ASSERT_EQ(::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr), 1);
+      ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+          << "session " << idx;
+      const std::uint64_t client = 5000 + idx;
+      ClientFrame frame;
+      ClientHello hello;
+      hello.client_id = client;
+      frame.msgs.emplace_back(hello);
+      frame.msgs.emplace_back(make_request(
+          client, 1, KvStore::encode_put("storm" + std::to_string(idx), "1")));
+      ASSERT_TRUE(gateway_write_frame(fd, frame)) << "session " << idx;
+      // Even sessions slam the connection shut the instant the frame is on
+      // the wire — replies are still owed, which is the orphan path under
+      // real socket teardown. Odd ones stay to read their replies.
+      if (i % 2 == 0) {
+        ::close(fd);
+      } else {
+        fds.push_back(fd);
+      }
+    }
+
+    max_fds_seen = std::max(max_fds_seen, count_fds());
+    max_admitted_seen = std::max(max_admitted_seen, gc.total_admitted_bytes());
+
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      timeval tv{};
+      tv.tv_sec = 10;
+      ::setsockopt(fds[i], SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      std::size_t replies = 0;
+      while (replies < 2) {
+        auto reply_frame = gateway_read_frame(fds[i]);
+        ASSERT_TRUE(reply_frame.has_value())
+            << "wave " << wave << " session " << i << " reply " << replies;
+        replies += reply_frame->msgs.size();
+      }
+      ::close(fds[i]);
+    }
+  }
+
+  // Every wave fit in its own socket allowance on top of the quiescent
+  // service. Both ends of each connection live in this process (the cluster
+  // is in-process), so a wave costs up to 2x its sockets; the slack covers
+  // reply-path eventfds and test-runner noise.
+  EXPECT_LE(max_fds_seen, fd_baseline + 2 * kWave + 64)
+      << "file descriptors accumulated across waves";
+  EXPECT_LE(max_admitted_seen, byte_ceiling)
+      << "admission gauge exceeded the configured budget";
+
+  // Quiesce: connections, owned bindings, and admitted bytes all drain to
+  // zero once the storm stops.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  for (;;) {
+    std::size_t open = 0;
+    for (NodeId id = 0; id < cfg.n; ++id) open += gc.server(id).open_connections();
+    if (open == 0 && gc.total_owned_sessions() == 0 &&
+        gc.total_admitted_bytes() == 0) {
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "storm state never drained: open=" << open
+        << " owned=" << gc.total_owned_sessions()
+        << " admitted=" << gc.total_admitted_bytes();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_LE(count_fds(), fd_baseline + 16) << "fds leaked after quiesce";
+
+  ASSERT_TRUE(fingerprints_converge(gc, 10 * kSecond));
+  auto counters = gc.gateway_counters();
+  EXPECT_EQ(counters.commands_applied, kSessions * cfg.n)
+      << "every storm PUT must execute exactly once per replica";
+  EXPECT_GT(counters.orphaned_reply_drops, 0u)
+      << "half the storm vanished before its replies; drops must be counted";
   EXPECT_EQ(gc.check_invariants(), "");
 }
 

@@ -28,6 +28,12 @@ from pathlib import Path
 METRICS = ("goodput_mbps", "frames_per_sec", "msgs_per_sec",
            "requests_per_sec")
 
+# Lower-is-better tail-latency metrics: warn when they RISE past the
+# threshold. Tail latencies are noisier than throughput on shared runners,
+# so the threshold is scaled up.
+LATENCY_METRICS = ("p99_ms", "p999_ms")
+LATENCY_THRESHOLD_SCALE = 2.0
+
 # Keys that identify a row within a report (whatever subset is present).
 IDENTITY = ("nodes", "msg_size", "msgs_per_sender", "senders", "message_size",
             "rate_per_sender", "clients", "requests_per_client", "tier",
@@ -104,6 +110,18 @@ def main():
                 if drop > args.threshold:
                     print(f"::warning::{base_path.name} {dict(key)}: {metric} "
                           f"{old:.1f} -> {new:.1f} ({drop:+.1f}% below baseline)")
+                    warnings += 1
+            for metric in LATENCY_METRICS:
+                if metric not in brow or metric not in frow:
+                    continue
+                old, new = float(brow[metric]), float(frow[metric])
+                if old <= 0:
+                    continue
+                compared += 1
+                rise = 100.0 * (new - old) / old
+                if rise > args.threshold * LATENCY_THRESHOLD_SCALE:
+                    print(f"::warning::{base_path.name} {dict(key)}: {metric} "
+                          f"{old:.2f} -> {new:.2f} ({rise:+.1f}% above baseline)")
                     warnings += 1
 
     print(f"bench regression check: {compared} metric(s) compared, "
