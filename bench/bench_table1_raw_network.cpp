@@ -24,7 +24,7 @@ double stream_goodput_mbps(NetConfig cfg, std::size_t chunk, int chunks) {
     DataMsg m;
     m.id = MsgId{0, static_cast<LocalSeq>(i + 1)};
     m.payload = make_payload(Bytes(chunk, 0x55));
-    net.send(Frame{0, 1, {m}});
+    net.send(Frame{0, 1, 0, {m}});
   }
   sim.run();
   double secs = static_cast<double>(sim.now()) / 1e9;

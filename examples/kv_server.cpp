@@ -102,9 +102,10 @@ int main(int argc, char** argv) {
       });
   Gateway gateway(member, store, GatewayConfig{});
   gw = &gateway;
+  ShardRouter router({&gateway}, ShardMap(1));
 
   transport.start();
-  GatewayServer server(transport, gateway);
+  GatewayServer server(transport, router);
   server.start(client_port);
   std::printf("replica %u up: ring %s, clients on 127.0.0.1:%u. Ctrl-C to stop.\n",
               self, argv[self + 3], server.port());

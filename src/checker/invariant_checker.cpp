@@ -12,10 +12,22 @@ namespace {
 
 std::string describe(const DeliveryRecord& e) { return describe_msg(e.origin, e.app_msg); }
 
+std::string group_tag(GroupId g) { return "group " + std::to_string(g); }
+
+/// A node's log restricted to one ordering domain (order preserved).
+std::vector<const DeliveryRecord*> restrict_log(const std::vector<DeliveryRecord>& log,
+                                                GroupId g) {
+  std::vector<const DeliveryRecord*> out;
+  for (const auto& e : log) {
+    if (e.group == g) out.push_back(&e);
+  }
+  return out;
+}
+
 }  // namespace
 
 InvariantChecker::InvariantChecker(std::size_t n, CheckerConfig config)
-    : n_(n), cfg_(config), logs_(n), last_app_(n) {}
+    : n_(n), cfg_(config), logs_(n), last_app_(n), last_seq_view_(n) {}
 
 void InvariantChecker::record_violation(std::string what) {
   if (!first_violation_.empty()) return;
@@ -31,10 +43,11 @@ void InvariantChecker::set_context_provider(std::function<std::string()> fn) {
   context_ = std::move(fn);
 }
 
-void InvariantChecker::on_broadcast(NodeId origin, std::uint64_t app_msg,
+void InvariantChecker::on_broadcast(GroupId group, NodeId origin, std::uint64_t app_msg,
                                     std::uint64_t payload_hash) {
   MutexLock lock(mutex_);
-  submitted_[{origin, app_msg}] = payload_hash;
+  submitted_[{group, origin, app_msg}] = payload_hash;
+  submitted_groups_[{origin, app_msg}].insert(group);
 }
 
 void InvariantChecker::on_delivery(const DeliveryRecord& rec) {
@@ -44,37 +57,44 @@ void InvariantChecker::on_delivery(const DeliveryRecord& rec) {
     return;
   }
   auto& log = logs_[rec.node];
-  const std::string where =
-      "node " + std::to_string(rec.node) + " delivering " + describe(rec);
+  const std::string where = "node " + std::to_string(rec.node) + " delivering " +
+                            group_tag(rec.group) + " " + describe(rec);
 
-  // Global sequence numbers are one namespace for the whole run (the engine
-  // resumes next_seq from the recovery horizon on every view install), so a
-  // process must observe them strictly increasing...
-  if (!log.empty()) {
-    const DeliveryRecord& prev = log.back();
-    if (rec.seq <= prev.seq) {
+  // Each group's sequence numbers are one namespace for the whole run (the
+  // engine resumes next_seq from the recovery horizon on every view
+  // install), so a process must observe them strictly increasing *within the
+  // group*. Groups are independent domains: no cross-group seq relation.
+  auto [sv, first_in_group] =
+      last_seq_view_[rec.node].try_emplace(rec.group, std::pair{rec.seq, rec.view});
+  if (!first_in_group) {
+    auto& [last_seq, last_view] = sv->second;
+    if (rec.seq <= last_seq) {
       record_violation(where + ": seq " + std::to_string(rec.seq) +
-                       " not above previous " + std::to_string(prev.seq));
+                       " not above previous " + std::to_string(last_seq));
     }
-    if (rec.view < prev.view) {
-      record_violation(where + ": view regressed " + std::to_string(prev.view) +
+    if (rec.view < last_view) {
+      record_violation(where + ": view regressed " + std::to_string(last_view) +
                        " -> " + std::to_string(rec.view));
     }
+    last_seq = rec.seq;
+    last_view = rec.view;
   }
-  // ... and all processes must agree on which message each seq carries —
+
+  // All processes must agree on which message each (group, seq) carries —
   // disagreement here IS a total-order violation, caught at the instant the
   // second process delivers.
   Identity id{rec.origin, rec.app_msg, rec.payload_hash};
-  auto [it, inserted] = seq_identity_.try_emplace(rec.seq, id);
+  auto [it, inserted] = seq_identity_.try_emplace({rec.group, rec.seq}, id);
   if (!inserted && !(it->second == id)) {
-    record_violation(where + ": seq " + std::to_string(rec.seq) +
-                     " already carried " + describe_msg(it->second.origin, it->second.app_msg));
+    record_violation(where + ": seq " + std::to_string(rec.seq) + " already carried " +
+                     describe_msg(it->second.origin, it->second.app_msg));
   }
 
-  // At-most-once per process and per-origin FIFO, online: the origin's
-  // counter must move strictly forward (equal or lower = duplicate or
-  // reordering).
-  auto [last, first_from_origin] = last_app_[rec.node].try_emplace(rec.origin, rec.app_msg);
+  // At-most-once per process and per-origin FIFO, online: within a group the
+  // origin's counter must move strictly forward (equal or lower = duplicate
+  // or reordering). Counters in different groups are unrelated streams.
+  auto [last, first_from_origin] =
+      last_app_[rec.node].try_emplace(std::pair{rec.group, rec.origin}, rec.app_msg);
   if (!first_from_origin) {
     if (rec.app_msg <= last->second) {
       record_violation(where + ": origin counter went backwards (last was " +
@@ -84,10 +104,19 @@ void InvariantChecker::on_delivery(const DeliveryRecord& rec) {
     last->second = rec.app_msg;
   }
 
-  // Payload integrity against the recorded submission.
-  auto sub = submitted_.find({rec.origin, rec.app_msg});
+  // Payload integrity against the recorded submission — in this group. A
+  // delivery whose identity was only ever submitted in a *different* group
+  // is cross-group sequence aliasing: some layer leaked a message across
+  // ordering domains (e.g. a mux dispatch bug), which per-group bookkeeping
+  // would otherwise mask as a mere unknown broadcast.
+  auto sub = submitted_.find({rec.group, rec.origin, rec.app_msg});
   if (sub == submitted_.end()) {
-    if (cfg_.require_known_broadcasts) {
+    auto aliased = submitted_groups_.find({rec.origin, rec.app_msg});
+    if (aliased != submitted_groups_.end() && !aliased->second.count(rec.group)) {
+      record_violation(where + ": cross-group aliasing — message was submitted in " +
+                       group_tag(*aliased->second.begin()) + ", not " +
+                       group_tag(rec.group));
+    } else if (cfg_.require_known_broadcasts) {
       record_violation(where + ": message was never broadcast");
     }
   } else if (sub->second != rec.payload_hash) {
@@ -118,12 +147,45 @@ std::vector<DeliveryRecord> InvariantChecker::log(NodeId node) const {
   return logs_[node];
 }
 
+std::vector<DeliveryRecord> InvariantChecker::log(NodeId node, GroupId group) const {
+  MutexLock lock(mutex_);
+  std::vector<DeliveryRecord> out;
+  for (const auto& e : logs_[node]) {
+    if (e.group == group) out.push_back(e);
+  }
+  return out;
+}
+
+std::set<GroupId> InvariantChecker::groups_seen() const {
+  MutexLock lock(mutex_);
+  std::set<GroupId> gs;
+  for (const auto& [key, hash] : submitted_) gs.insert(std::get<0>(key));
+  for (const auto& log : logs_) {
+    for (const auto& e : log) gs.insert(e.group);
+  }
+  return gs;
+}
+
 std::string InvariantChecker::online_violation() const {
   MutexLock lock(mutex_);
   return first_violation_;
 }
 
 // --- full-trace passes ---
+//
+// Each pass partitions the logs by group and applies the single-ring
+// property within every partition: the properties quantify over one
+// ordering domain, and any relation the harness observed *across* groups is
+// deliberately unconstrained (that independence is what sharding buys).
+
+std::set<GroupId> InvariantChecker::groups_in_logs_locked() const {
+  std::set<GroupId> gs;
+  for (const auto& log : logs_) {
+    for (const auto& e : log) gs.insert(e.group);
+  }
+  if (gs.empty()) gs.insert(0);
+  return gs;
+}
 
 std::string InvariantChecker::check_total_order() const {
   MutexLock lock(mutex_);
@@ -131,26 +193,30 @@ std::string InvariantChecker::check_total_order() const {
 }
 
 std::string InvariantChecker::check_total_order_locked() const {
-  // Pairwise: the common subsequence of two logs must appear in the same
-  // order in both. Since each (origin, app_msg) appears at most once per log
-  // (checked by integrity), it suffices to compare the restriction of each
-  // log to the other's delivered set.
+  // Pairwise, per group: the common subsequence of two logs must appear in
+  // the same order in both. Since each (group, origin, app_msg) appears at
+  // most once per log (checked by integrity), it suffices to compare the
+  // restriction of each log to the other's delivered set.
   using Key = std::pair<NodeId, std::uint64_t>;
-  for (std::size_t a = 0; a < logs_.size(); ++a) {
-    for (std::size_t b = a + 1; b < logs_.size(); ++b) {
-      std::set<Key> in_a, in_b;
-      for (const auto& e : logs_[a]) in_a.insert({e.origin, e.app_msg});
-      for (const auto& e : logs_[b]) in_b.insert({e.origin, e.app_msg});
-      std::vector<Key> ra, rb;
-      for (const auto& e : logs_[a]) {
-        if (in_b.count({e.origin, e.app_msg})) ra.push_back({e.origin, e.app_msg});
-      }
-      for (const auto& e : logs_[b]) {
-        if (in_a.count({e.origin, e.app_msg})) rb.push_back({e.origin, e.app_msg});
-      }
-      if (ra != rb) {
-        return "total order violated between node " + std::to_string(a) +
-               " and node " + std::to_string(b);
+  for (GroupId g : groups_in_logs_locked()) {
+    for (std::size_t a = 0; a < logs_.size(); ++a) {
+      for (std::size_t b = a + 1; b < logs_.size(); ++b) {
+        auto la = restrict_log(logs_[a], g);
+        auto lb = restrict_log(logs_[b], g);
+        std::set<Key> in_a, in_b;
+        for (const auto* e : la) in_a.insert({e->origin, e->app_msg});
+        for (const auto* e : lb) in_b.insert({e->origin, e->app_msg});
+        std::vector<Key> ra, rb;
+        for (const auto* e : la) {
+          if (in_b.count({e->origin, e->app_msg})) ra.push_back({e->origin, e->app_msg});
+        }
+        for (const auto* e : lb) {
+          if (in_a.count({e->origin, e->app_msg})) rb.push_back({e->origin, e->app_msg});
+        }
+        if (ra != rb) {
+          return "total order violated in " + group_tag(g) + " between node " +
+                 std::to_string(a) + " and node " + std::to_string(b);
+        }
       }
     }
   }
@@ -163,26 +229,31 @@ std::string InvariantChecker::check_agreement(const std::set<NodeId>& correct) c
 }
 
 std::string InvariantChecker::check_agreement_locked(const std::set<NodeId>& correct) const {
-  const std::vector<DeliveryRecord>* ref = nullptr;
-  NodeId ref_id = kNoNode;
-  for (NodeId n : correct) {
-    const auto& log = logs_[n];
-    if (!ref) {
-      ref = &log;
-      ref_id = n;
-      continue;
-    }
-    if (log.size() != ref->size()) {
-      return "agreement violated: node " + std::to_string(n) + " delivered " +
-             std::to_string(log.size()) + " messages, node " + std::to_string(ref_id) +
-             " delivered " + std::to_string(ref->size());
-    }
-    for (std::size_t i = 0; i < log.size(); ++i) {
-      if (log[i].origin != (*ref)[i].origin || log[i].app_msg != (*ref)[i].app_msg ||
-          log[i].payload_hash != (*ref)[i].payload_hash) {
-        return "agreement violated at index " + std::to_string(i) + ": node " +
-               std::to_string(n) + " delivered " + describe(log[i]) + ", node " +
-               std::to_string(ref_id) + " delivered " + describe((*ref)[i]);
+  for (GroupId g : groups_in_logs_locked()) {
+    std::vector<const DeliveryRecord*> ref;
+    bool have_ref = false;
+    NodeId ref_id = kNoNode;
+    for (NodeId n : correct) {
+      auto log = restrict_log(logs_[n], g);
+      if (!have_ref) {
+        ref = std::move(log);
+        have_ref = true;
+        ref_id = n;
+        continue;
+      }
+      if (log.size() != ref.size()) {
+        return "agreement violated in " + group_tag(g) + ": node " + std::to_string(n) +
+               " delivered " + std::to_string(log.size()) + " messages, node " +
+               std::to_string(ref_id) + " delivered " + std::to_string(ref.size());
+      }
+      for (std::size_t i = 0; i < log.size(); ++i) {
+        if (log[i]->origin != ref[i]->origin || log[i]->app_msg != ref[i]->app_msg ||
+            log[i]->payload_hash != ref[i]->payload_hash) {
+          return "agreement violated in " + group_tag(g) + " at index " +
+                 std::to_string(i) + ": node " + std::to_string(n) + " delivered " +
+                 describe(*log[i]) + ", node " + std::to_string(ref_id) +
+                 " delivered " + describe(*ref[i]);
+        }
       }
     }
   }
@@ -196,14 +267,21 @@ std::string InvariantChecker::check_integrity() const {
 
 std::string InvariantChecker::check_integrity_locked() const {
   for (std::size_t n = 0; n < logs_.size(); ++n) {
-    std::set<std::pair<NodeId, std::uint64_t>> seen;
+    std::set<MsgKey> seen;
     for (const auto& e : logs_[n]) {
-      auto key = std::make_pair(e.origin, e.app_msg);
+      MsgKey key{e.group, e.origin, e.app_msg};
       if (!seen.insert(key).second) {
-        return "node " + std::to_string(n) + " delivered " + describe(e) + " twice";
+        return "node " + std::to_string(n) + " delivered " + group_tag(e.group) + " " +
+               describe(e) + " twice";
       }
       auto it = submitted_.find(key);
       if (it == submitted_.end()) {
+        auto aliased = submitted_groups_.find({e.origin, e.app_msg});
+        if (aliased != submitted_groups_.end() && !aliased->second.count(e.group)) {
+          return "node " + std::to_string(n) + " delivered " + describe(e) + " in " +
+                 group_tag(e.group) + " but it was submitted in " +
+                 group_tag(*aliased->second.begin()) + " (cross-group aliasing)";
+        }
         if (cfg_.require_known_broadcasts) {
           return "node " + std::to_string(n) + " delivered never-broadcast " +
                  describe(e);
@@ -225,20 +303,23 @@ std::string InvariantChecker::check_uniformity(const std::set<NodeId>& crashed,
 
 std::string InvariantChecker::check_uniformity_locked(
     const std::set<NodeId>& crashed, const std::set<NodeId>& correct) const {
-  for (NodeId c : crashed) {
-    const auto& clog = logs_[c];
-    for (NodeId s : correct) {
-      const auto& slog = logs_[s];
-      if (clog.size() > slog.size()) {
-        return "uniformity violated: crashed node " + std::to_string(c) +
-               " delivered more than correct node " + std::to_string(s);
-      }
-      for (std::size_t i = 0; i < clog.size(); ++i) {
-        if (clog[i].origin != slog[i].origin || clog[i].app_msg != slog[i].app_msg) {
-          return "uniformity violated: crashed node " + std::to_string(c) +
-                 " delivered " + describe(clog[i]) + " at index " + std::to_string(i) +
-                 " but correct node " + std::to_string(s) + " delivered " +
-                 describe(slog[i]);
+  for (GroupId g : groups_in_logs_locked()) {
+    for (NodeId c : crashed) {
+      auto clog = restrict_log(logs_[c], g);
+      for (NodeId s : correct) {
+        auto slog = restrict_log(logs_[s], g);
+        if (clog.size() > slog.size()) {
+          return "uniformity violated in " + group_tag(g) + ": crashed node " +
+                 std::to_string(c) + " delivered more than correct node " +
+                 std::to_string(s);
+        }
+        for (std::size_t i = 0; i < clog.size(); ++i) {
+          if (clog[i]->origin != slog[i]->origin || clog[i]->app_msg != slog[i]->app_msg) {
+            return "uniformity violated in " + group_tag(g) + ": crashed node " +
+                   std::to_string(c) + " delivered " + describe(*clog[i]) +
+                   " at index " + std::to_string(i) + " but correct node " +
+                   std::to_string(s) + " delivered " + describe(*slog[i]);
+          }
         }
       }
     }
@@ -253,21 +334,23 @@ std::string InvariantChecker::check_fifo() const {
 
 std::string InvariantChecker::check_fifo_locked(bool require_gap_free) const {
   // Channels are FIFO and rebroadcast-after-view-change preserves submission
-  // order, so each node sees every origin's counter strictly increasing; a
-  // *gap* means a message was lost while a later one from the same origin
-  // survived — impossible without an ordering bug.
+  // order, so each node sees every origin's counter strictly increasing
+  // within a group; a *gap* means a message was lost while a later one from
+  // the same (group, origin) stream survived — impossible without an
+  // ordering bug.
   for (std::size_t n = 0; n < logs_.size(); ++n) {
-    std::map<NodeId, std::uint64_t> last;
+    std::map<std::pair<GroupId, NodeId>, std::uint64_t> last;
     for (const auto& e : logs_[n]) {
-      auto [it, first] = last.try_emplace(e.origin, e.app_msg);
+      auto [it, first] = last.try_emplace(std::pair{e.group, e.origin}, e.app_msg);
       if (!first) {
         if (e.app_msg <= it->second) {
-          return "node " + std::to_string(n) + " delivered " + describe(e) +
-                 " after " + describe_msg(e.origin, it->second) + " (FIFO violation)";
+          return "node " + std::to_string(n) + " delivered " + group_tag(e.group) +
+                 " " + describe(e) + " after " + describe_msg(e.origin, it->second) +
+                 " (FIFO violation)";
         }
         if (require_gap_free && e.app_msg != it->second + 1) {
-          return "node " + std::to_string(n) + " delivered " + describe(e) +
-                 " after " + describe_msg(e.origin, it->second) +
+          return "node " + std::to_string(n) + " delivered " + group_tag(e.group) +
+                 " " + describe(e) + " after " + describe_msg(e.origin, it->second) +
                  " (gap: " + std::to_string(e.app_msg - it->second - 1) +
                  " message(s) lost)";
         }

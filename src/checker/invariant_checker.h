@@ -4,17 +4,20 @@
 // checker validates online — at the moment of the event — what can be
 // validated incrementally, and offers full-trace passes for the rest:
 //
-//   online   per-node global-sequence monotonicity (no regressions, no
-//            duplicate seqs), per-node view monotonicity, at-most-once
-//            delivery of each (origin, app_msg), cross-node agreement on
-//            what identity each global seq carries (two nodes delivering
-//            different messages under one seq is an order violation the
-//            instant the second delivery happens), and payload-hash
-//            integrity against the recorded submission.
+//   online   per-(node, group) global-sequence monotonicity (no regressions,
+//            no duplicate seqs), per-(node, group) view monotonicity,
+//            at-most-once delivery of each (group, origin, app_msg),
+//            cross-node agreement on what identity each (group, seq)
+//            carries (two nodes delivering different messages under one seq
+//            is an order violation the instant the second delivery
+//            happens), payload-hash integrity against the recorded
+//            submission, and cross-group sequence aliasing (a delivery in a
+//            group its message was never submitted to).
 //   offline  pairwise total order over common subsequences, agreement
 //            (identical logs among correct processes), uniformity (every
 //            crashed process's log is a prefix of every correct one's),
-//            and per-origin FIFO/no-gap delivery.
+//            and per-origin FIFO/no-gap delivery — each applied per group;
+//            ordering across groups is deliberately unconstrained.
 //
 // All feed methods are thread-safe: the TCP harness calls them from n
 // I/O threads concurrently. Violations are sticky — once a run trips any
@@ -27,6 +30,8 @@
 #include <map>
 #include <set>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/sync.h"
@@ -37,6 +42,7 @@ namespace fsr {
 /// One TO-delivery as observed at a process.
 struct DeliveryRecord {
   NodeId node = kNoNode;    // delivering process
+  GroupId group = 0;        // ordering domain the seq belongs to
   NodeId origin = kNoNode;  // broadcaster
   std::uint64_t app_msg = 0;
   GlobalSeq seq = 0;
@@ -63,9 +69,13 @@ class InvariantChecker {
 
   // --- event feed (thread-safe) ---
 
-  /// Record a submission; later deliveries of (origin, app_msg) must carry
-  /// this payload hash.
-  void on_broadcast(NodeId origin, std::uint64_t app_msg, std::uint64_t payload_hash);
+  /// Record a submission; later deliveries of (group, origin, app_msg) must
+  /// carry this payload hash. The 3-arg overload records against group 0.
+  void on_broadcast(GroupId group, NodeId origin, std::uint64_t app_msg,
+                    std::uint64_t payload_hash);
+  void on_broadcast(NodeId origin, std::uint64_t app_msg, std::uint64_t payload_hash) {
+    on_broadcast(GroupId{0}, origin, app_msg, payload_hash);
+  }
 
   /// Record a delivery and run every online check against it.
   void on_delivery(const DeliveryRecord& rec);
@@ -88,6 +98,10 @@ class InvariantChecker {
   std::uint64_t deliveries() const;
   std::set<NodeId> crashed() const;
   std::vector<DeliveryRecord> log(NodeId node) const;
+  /// A node's deliveries restricted to one ordering domain.
+  std::vector<DeliveryRecord> log(NodeId node, GroupId group) const;
+  /// Every group that appeared in any submission or delivery so far.
+  std::set<GroupId> groups_seen() const;
 
   /// First violation any online check detected, or "" if none so far.
   std::string online_violation() const;
@@ -125,6 +139,11 @@ class InvariantChecker {
     friend bool operator==(const Identity&, const Identity&) = default;
   };
 
+  /// (group, origin, app_msg): the unit of message identity. Sequence spaces
+  /// and submission counters are independent per group, so every check keys
+  /// on the group first.
+  using MsgKey = std::tuple<GroupId, NodeId, std::uint64_t>;
+
   void record_violation(std::string what) FSR_REQUIRES(mutex_);
   std::string check_total_order_locked() const FSR_REQUIRES(mutex_);
   std::string check_agreement_locked(const std::set<NodeId>& correct) const FSR_REQUIRES(mutex_);
@@ -133,18 +152,23 @@ class InvariantChecker {
                                       const std::set<NodeId>& correct) const
       FSR_REQUIRES(mutex_);
   std::string check_fifo_locked(bool require_gap_free) const FSR_REQUIRES(mutex_);
+  std::set<GroupId> groups_in_logs_locked() const FSR_REQUIRES(mutex_);
 
   std::size_t n_;
   CheckerConfig cfg_;
 
   mutable Mutex mutex_;
   std::vector<std::vector<DeliveryRecord>> logs_ FSR_GUARDED_BY(mutex_);
-  std::vector<std::map<NodeId, std::uint64_t>> last_app_
-      FSR_GUARDED_BY(mutex_);  // per node: origin -> app_msg
-  std::map<std::pair<NodeId, std::uint64_t>, std::uint64_t> submitted_
+  std::vector<std::map<std::pair<GroupId, NodeId>, std::uint64_t>> last_app_
+      FSR_GUARDED_BY(mutex_);  // per node: (group, origin) -> app_msg
+  std::vector<std::map<GroupId, std::pair<GlobalSeq, ViewId>>> last_seq_view_
+      FSR_GUARDED_BY(mutex_);  // per node: group -> (seq, view) watermark
+  std::map<MsgKey, std::uint64_t> submitted_
       FSR_GUARDED_BY(mutex_);  // -> hash
-  std::map<GlobalSeq, Identity> seq_identity_
-      FSR_GUARDED_BY(mutex_);  // global seq -> message
+  std::map<std::pair<NodeId, std::uint64_t>, std::set<GroupId>> submitted_groups_
+      FSR_GUARDED_BY(mutex_);  // which group(s) an identity was submitted in
+  std::map<std::pair<GroupId, GlobalSeq>, Identity> seq_identity_
+      FSR_GUARDED_BY(mutex_);  // per-group global seq -> message
   std::set<NodeId> crashed_ FSR_GUARDED_BY(mutex_);
   std::uint64_t deliveries_ FSR_GUARDED_BY(mutex_) = 0;
   std::string first_violation_ FSR_GUARDED_BY(mutex_);

@@ -18,6 +18,11 @@ using Position = std::uint32_t;
 /// Monotonically increasing view identifier (VSC layer).
 using ViewId = std::uint64_t;
 
+/// Independent ordering domain ("shard"). Each group runs its own FSR ring
+/// and sequence space over the shared transport; group 0 is the default for
+/// single-ring deployments.
+using GroupId = std::uint32_t;
+
 /// Global sequence number assigned by the leader (total order).
 using GlobalSeq = std::uint64_t;
 

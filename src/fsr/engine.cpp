@@ -342,6 +342,7 @@ void Engine::deliver_segment(const MsgId& id, const FragInfo& frag,
   if (frag.count == 1) {
     reasm_.erase(origin);  // drop any stale partial (mid-message join)
     Delivery d;
+    d.group = cfg_.group;
     d.origin = origin;
     d.app_msg = frag.app_msg;
     d.seq = seq;
@@ -383,6 +384,7 @@ void Engine::deliver_segment(const MsgId& id, const FragInfo& frag,
     counters_.reassembly_copies += r.parts.size();
     counters_.reassembly_bytes += r.bytes;
     Delivery d;
+    d.group = cfg_.group;
     d.origin = origin;
     d.app_msg = frag.app_msg;
     d.seq = seq;

@@ -40,6 +40,11 @@
 namespace fsr {
 
 struct EngineConfig {
+  /// The ordering domain this engine belongs to. Deliveries are stamped with
+  /// it and, under a GroupMux, outgoing frames inherit it from the engine's
+  /// transport channel. Single-ring deployments leave 0.
+  GroupId group = 0;
+
   /// Number of backup processes / tolerated failures (clamped to view size
   /// minus one per view).
   std::uint32_t t = 1;
@@ -130,6 +135,7 @@ struct EngineCounters {
 /// A fully reassembled application message handed to the delivery callback.
 /// Deliveries happen in the same order at every process (total order).
 struct Delivery {
+  GroupId group = 0;          // ordering domain the sequence belongs to
   NodeId origin = kNoNode;
   std::uint64_t app_msg = 0;  // per-origin application message counter
   GlobalSeq seq = 0;          // global sequence of the final segment
@@ -229,6 +235,9 @@ class Engine {
   std::size_t tracked_origins() const { return delivered_lsn_.size(); }
 
   const EngineCounters& counters() const { return counters_; }
+
+  /// Ordering domain this engine serves (EngineConfig::group).
+  GroupId group() const { return cfg_.group; }
 
   struct Stats {
     std::uint64_t segments_sent = 0;

@@ -33,7 +33,7 @@ const Gateway::CachedReply* Gateway::cached(const SessionState& sess,
 }
 
 void Gateway::on_hello(const ClientHello& hello, SendReplyFn send,
-                       std::uint64_t conn_serial) {
+                       std::uint64_t conn_serial, bool send_ack) {
   auto& own = owned_[hello.client_id];
   own.send = std::move(send);
   own.conn_serial = conn_serial;
@@ -42,6 +42,7 @@ void Gateway::on_hello(const ClientHello& hello, SendReplyFn send,
     own.highest_admitted = sess.last_executed;
   }
   if (own.last_replied < sess.last_executed) own.last_replied = sess.last_executed;
+  if (!send_ack) return;
   // Ack the hello so the client learns its replicated session position and
   // can resume after failover without resending executed commands.
   ClientReply ack;
@@ -136,6 +137,14 @@ void Gateway::on_request(const ClientRequest& req, SendReplyFn send,
     return reject(ClientStatus::kBadRequest, counters_.rejected_malformed);
   }
 
+  if (cfg_.sparse_sessions && own.rejected_tail != 0 &&
+      req.session_seq <= own.rejected_tail) {
+    // The backpressured tail is being resent from its head (drivers resend
+    // the whole tail in order): re-open the gate and let the checks below
+    // re-decide. A fresh rejection re-arms it.
+    own.rejected_tail = 0;
+  }
+
   if (req.session_seq <= sess.last_executed) {
     // Retry of an executed command: answer from the replicated reply cache.
     // An aged-out entry still gets an explicit (empty) duplicate ack — the
@@ -165,7 +174,19 @@ void Gateway::on_request(const ClientRequest& req, SendReplyFn send,
 
   const std::uint64_t expected =
       std::max(sess.last_executed, own.highest_admitted) + 1;
-  if (req.session_seq != expected) {
+  if (cfg_.sparse_sessions) {
+    // One shard of a routed session sees a gappy subsequence of the seq
+    // stream, so contiguity cannot hold; what exactly-once needs is
+    // in-order admission per shard, and the rejected-tail gate preserves
+    // it: once any seq bounced, every higher seq bounces too until the
+    // client resends the rejected one (re-opened above).
+    if (own.rejected_tail != 0 && req.session_seq > own.rejected_tail) {
+      std::uint64_t& counter = own.rejected_status == ClientStatus::kRejectedBytes
+                                   ? counters_.rejected_bytes
+                                   : counters_.rejected_window;
+      return backpressure(own.rejected_status, counter);
+    }
+  } else if (req.session_seq != expected) {
     // A burst that keeps pipelining above a just-rejected seq is the same
     // backpressure event; anything else is a client fabricating seqs.
     if (own.rejected_tail >= expected && req.session_seq > own.rejected_tail) {
@@ -407,7 +428,14 @@ void Gateway::deliver_command(const GatewayCommand& envelope_cmd, const Delivery
   bool duplicate = false;
   Payload result;
 
-  if (cmd->session_seq == sess.last_executed + 1) {
+  // Sparse (sharded) sessions execute any seq above the horizon — the gaps
+  // belong to sibling shards and in-order-per-shard admission guarantees
+  // this shard's subsequence still arrives ascending. Strict mode keeps the
+  // contiguity invariant.
+  const bool next_in_session = cfg_.sparse_sessions
+                                   ? cmd->session_seq > sess.last_executed
+                                   : cmd->session_seq == sess.last_executed + 1;
+  if (next_in_session) {
     result = make_payload(machine_.apply_with_reply(d.origin, cmd->command.span()));
     sess.last_executed = cmd->session_seq;
     sess.cache.push_back(CachedReply{cmd->session_seq, result});

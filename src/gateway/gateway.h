@@ -88,6 +88,20 @@ struct GatewayConfig {
   std::size_t coalesce_max_bytes = 7 << 10;
   Time coalesce_flush_delay = 200 * kMicrosecond;
 
+  /// Sharded deployments: this gateway is one shard behind a ShardRouter
+  /// and sees only the subsequence of each session's seqs whose keys hash
+  /// here. Admission accepts any seq above the session's horizon instead of
+  /// requiring contiguity, and delivery executes any seq above
+  /// last_executed. In-order-per-shard is preserved by the rejected-tail
+  /// gate: after any backpressure rejection, every higher seq bounces too
+  /// until the client resends the rejected seq (drivers resend the whole
+  /// tail in order), so an admitted seq is never overtaken by a lower
+  /// unadmitted one. Strict (default) mode additionally rejects fabricated
+  /// far-ahead seqs; sparse mode cannot tell those from legitimate shard
+  /// gaps and admits them — they execute as ordinary commands, burning only
+  /// the client's own seq space.
+  bool sparse_sessions = false;
+
   GatewayReadMode read_mode = GatewayReadMode::kLocal;
   /// Lease lifetime from grant *delivery*. Safety rule: must stay below the
   /// group's failure-detection + flush window, so any lease granted in an
@@ -177,9 +191,12 @@ class Gateway {
 
   /// Bind (or re-bind after reconnect) a client's reply channel.
   /// `conn_serial` identifies the connection so a stale disconnect cannot
-  /// tear down a newer binding.
+  /// tear down a newer binding. With `send_ack` false the binding happens
+  /// but no hello ack goes out — the ShardRouter binds every shard that
+  /// way and sends one merged ack itself.
   void on_hello(const ClientHello& hello, SendReplyFn send,
-                std::uint64_t conn_serial = 0) FSR_REQUIRES(role_);
+                std::uint64_t conn_serial = 0, bool send_ack = true)
+      FSR_REQUIRES(role_);
 
   /// One replicated command. `send` refreshes the session's reply channel.
   void on_request(const ClientRequest& req, SendReplyFn send,

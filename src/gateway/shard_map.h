@@ -1,0 +1,68 @@
+// Consistent-hash shard map: a pure, deterministic function from a state
+// machine key to the GroupId (shard) whose ring orders commands on that key.
+// Every replica constructs the same map from the shard count alone, so the
+// routing decision needs no coordination — a client request for key K lands
+// in the same shard no matter which replica's router handles it.
+//
+// The ring carries `points_per_shard` pseudo-random points per shard; a key
+// hashes to a point on the ring and is owned by the next shard point
+// clockwise. With a fixed shard count this is just a well-spread hash; the
+// consistent-hash structure keeps the door open for shard counts that change
+// between deployments without remapping the whole keyspace.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fsr {
+
+class ShardMap {
+ public:
+  explicit ShardMap(GroupId shards, std::uint32_t points_per_shard = 32)
+      : shards_(shards == 0 ? 1 : shards) {
+    ring_.reserve(static_cast<std::size_t>(shards_) * points_per_shard);
+    for (GroupId g = 0; g < shards_; ++g) {
+      for (std::uint32_t p = 0; p < points_per_shard; ++p) {
+        ring_.emplace_back(mix((std::uint64_t{g} << 32) | p), g);
+      }
+    }
+    std::sort(ring_.begin(), ring_.end());
+  }
+
+  GroupId shards() const { return shards_; }
+
+  /// The shard owning `key`. Pure function of (shard count, key bytes).
+  GroupId shard_for_key(std::span<const std::uint8_t> key) const {
+    if (shards_ == 1) return 0;
+    auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                               std::make_pair(hash_key(key), GroupId{0}));
+    if (it == ring_.end()) it = ring_.begin();  // clockwise wraparound
+    return it->second;
+  }
+
+ private:
+  /// splitmix64 finalizer: cheap, well-distributed, and fully specified —
+  /// identical on every replica by construction.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  static std::uint64_t hash_key(std::span<const std::uint8_t> key) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint8_t b : key) h = (h ^ b) * 0x100000001b3ULL;
+    return mix(h);
+  }
+
+  GroupId shards_;
+  std::vector<std::pair<std::uint64_t, GroupId>> ring_;  ///< sorted points
+};
+
+}  // namespace fsr

@@ -1,0 +1,144 @@
+#include "gateway/shard_router.h"
+
+#include <limits>
+
+#include "common/bytes.h"
+
+namespace fsr {
+
+ShardRouter::ShardRouter(std::vector<Gateway*> shards, ShardMap map)
+    : shards_(std::move(shards)), map_(std::move(map)) {
+  routed_per_shard_.assign(shards_.size(), 0);
+}
+
+std::span<const std::uint8_t> ShardRouter::command_key(
+    std::span<const std::uint8_t> command) {
+  try {
+    ByteReader r(command);
+    r.u8();  // opcode
+    return r.bytes_view();
+  } catch (const CodecError&) {
+    return {};
+  }
+}
+
+std::span<const std::uint8_t> ShardRouter::query_key(
+    std::span<const std::uint8_t> query) {
+  try {
+    ByteReader r(query);
+    return r.bytes_view();
+  } catch (const CodecError&) {
+    return {};
+  }
+}
+
+GroupId ShardRouter::route(std::span<const std::uint8_t> key) {
+  if (key.empty()) {
+    // Unparseable command: still route it deterministically (shard 0) so it
+    // earns its kBadRequest/ERR reply through the normal ordered path.
+    ++counters_.malformed_keys;
+    return 0;
+  }
+  return map_.shard_for_key(key);
+}
+
+void ShardRouter::on_hello(const ClientHello& hello, SendReplyFn send,
+                           std::uint64_t conn_serial) {
+  ++counters_.hellos;
+  std::uint64_t resume = std::numeric_limits<std::uint64_t>::max();
+  for (Gateway* gw : shards_) {
+    ThreadRoleRegion region(gw->role());
+    gw->on_hello(hello, send, conn_serial, /*send_ack=*/false);
+    resume = std::min(resume, gw->last_executed(hello.client_id));
+  }
+  // One merged ack. Resuming from the *minimum* last_executed is safe:
+  // every seq at or below some shard's horizon is answered as a duplicate
+  // (reply cache or suppression) when the client replays it.
+  ClientReply ack;
+  ack.client_id = hello.client_id;
+  ack.session_seq = resume;
+  ack.status = ClientStatus::kOk;
+  if (send) send(ack);
+}
+
+void ShardRouter::on_request(const ClientRequest& req, SendReplyFn send,
+                             std::uint64_t conn_serial) {
+  ++counters_.requests_routed;
+  GroupId g = route(command_key(req.command.span()));
+  ++routed_per_shard_[g];
+  ThreadRoleRegion region(shards_[g]->role());
+  shards_[g]->on_request(req, std::move(send), conn_serial);
+}
+
+void ShardRouter::on_read(const ClientRead& read, const SendReplyFn& send) {
+  ++counters_.reads_routed;
+  GroupId g = route(query_key(read.query.span()));
+  ++routed_per_shard_[g];
+  ThreadRoleRegion region(shards_[g]->role());
+  shards_[g]->on_read(read, send);
+}
+
+void ShardRouter::flush_coalesced() {
+  for (Gateway* gw : shards_) {
+    ThreadRoleRegion region(gw->role());
+    gw->flush_coalesced();
+  }
+}
+
+void ShardRouter::begin_drain() {
+  for (Gateway* gw : shards_) {
+    ThreadRoleRegion region(gw->role());
+    gw->begin_drain();
+  }
+}
+
+void ShardRouter::end_drain() {
+  // Each shard flushes its own coalescing batch here — a client burst that
+  // spanned shards leaves as one 0xC6 sub-batch per touched shard.
+  for (Gateway* gw : shards_) {
+    ThreadRoleRegion region(gw->role());
+    gw->end_drain();
+  }
+}
+
+void ShardRouter::on_client_disconnect(std::uint64_t client_id,
+                                       std::uint64_t conn_serial) {
+  for (Gateway* gw : shards_) {
+    ThreadRoleRegion region(gw->role());
+    gw->on_client_disconnect(client_id, conn_serial);
+  }
+}
+
+GatewayCounters ShardRouter::counters() const {
+  GatewayCounters total;
+  for (Gateway* gw : shards_) {
+    ThreadRoleRegion region(gw->role());
+    total += gw->counters();
+  }
+  return total;
+}
+
+GatewayCounters ShardRouter::shard_counters(GroupId g) const {
+  ThreadRoleRegion region(shards_[g]->role());
+  return shards_[g]->counters();
+}
+
+std::uint64_t ShardRouter::last_executed(std::uint64_t client_id) const {
+  std::uint64_t resume = std::numeric_limits<std::uint64_t>::max();
+  for (Gateway* gw : shards_) {
+    ThreadRoleRegion region(gw->role());
+    resume = std::min(resume, gw->last_executed(client_id));
+  }
+  return resume;
+}
+
+std::size_t ShardRouter::admitted_bytes() const {
+  std::size_t total = 0;
+  for (Gateway* gw : shards_) {
+    ThreadRoleRegion region(gw->role());
+    total += gw->admitted_bytes();
+  }
+  return total;
+}
+
+}  // namespace fsr

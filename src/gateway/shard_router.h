@@ -1,0 +1,127 @@
+// The shard router: one front door over S independent ordering domains
+// (shards). Each shard is a full Gateway + GroupMember + FSR ring of its
+// own; the router partitions the state-machine keyspace across them with a
+// consistent hash (ShardMap) and presents the same front-end surface as a
+// single Gateway, so GatewayServer and the sim harness drive either
+// interchangeably.
+//
+// Routing rules:
+//   * A command routes by its state-machine key (first length-prefixed
+//     field after the opcode); a read routes by its query key. Unparseable
+//     keys fall back to shard 0 — deterministically, so every replica's
+//     router agrees.
+//   * on_hello binds the client's reply channel in *every* shard (ack
+//     suppressed) and sends one merged ack whose resume point is the
+//     minimum last_executed across shards: seqs at or below any shard's
+//     horizon replay as duplicates, so resuming from the minimum is always
+//     safe.
+//   * Drain scopes, coalesce flushes and disconnects fan out to all shards;
+//     each shard keeps its own coalescing batch, which is what splits a
+//     client burst into per-shard 0xC6 sub-batches transparently.
+//
+// Exactly-once across shards: shard gateways run sparse_sessions mode (each
+// sees only the gappy subsequence of a session's seqs whose keys hash to
+// it). Per-shard in-order admission + the per-session rejected-tail gate
+// preserve the execute-once-at-delivery argument within each shard, and
+// shards share no session seq, so a shard-spanning batch executes each
+// sub-command exactly once in exactly one shard.
+//
+// Threading: the router and all S shard gateways of a replica live on that
+// replica's single event thread. The router owns its own ThreadRole; its
+// per-loop state (routing counters) is FSR_GUARDED_BY it, and calls into a
+// shard gateway adopt that gateway's role in a nested ThreadRoleRegion —
+// distinct roles nest on one thread by design.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/sync.h"
+#include "gateway/gateway.h"
+#include "gateway/shard_map.h"
+
+namespace fsr {
+
+/// Router-level health counters, alongside the per-shard GatewayCounters.
+struct ShardRouterCounters {
+  std::uint64_t hellos = 0;           ///< merged hello acks sent
+  std::uint64_t requests_routed = 0;  ///< commands routed to a shard
+  std::uint64_t reads_routed = 0;     ///< reads routed to a shard
+  std::uint64_t malformed_keys = 0;   ///< unparseable keys (shard-0 fallback)
+};
+
+class ShardRouter {
+ public:
+  using SendReplyFn = Gateway::SendReplyFn;
+
+  /// `shards[g]` must be the gateway of ordering domain g on this replica;
+  /// all of them (and the router) live on the calling event thread. With
+  /// more than one shard every gateway must run sparse_sessions mode.
+  ShardRouter(std::vector<Gateway*> shards, ShardMap map);
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// The capability standing for "this replica's event thread", distinct
+  /// from (and nesting with) each shard gateway's role.
+  ThreadRole& role() FSR_RETURN_CAPABILITY(role_) { return role_; }
+
+  GroupId shards() const { return map_.shards(); }
+  const ShardMap& map() const { return map_; }
+  Gateway& shard(GroupId g) { return *shards_[g]; }
+
+  // --- key extraction (pure; exposed for tests) ---
+
+  /// The routing key of a state-machine command ([u8 op][varint len][key]
+  /// ...) or an empty span when unparseable.
+  static std::span<const std::uint8_t> command_key(
+      std::span<const std::uint8_t> command);
+  /// The routing key of a read query ([varint len][key]), empty when
+  /// unparseable.
+  static std::span<const std::uint8_t> query_key(
+      std::span<const std::uint8_t> query);
+
+  // --- Gateway-shaped front-end surface ---
+
+  void on_hello(const ClientHello& hello, SendReplyFn send,
+                std::uint64_t conn_serial = 0) FSR_REQUIRES(role_);
+  void on_request(const ClientRequest& req, SendReplyFn send,
+                  std::uint64_t conn_serial = 0) FSR_REQUIRES(role_);
+  void on_read(const ClientRead& read, const SendReplyFn& send)
+      FSR_REQUIRES(role_);
+  void flush_coalesced() FSR_REQUIRES(role_);
+  void begin_drain() FSR_REQUIRES(role_);
+  void end_drain() FSR_REQUIRES(role_);
+  void on_client_disconnect(std::uint64_t client_id,
+                            std::uint64_t conn_serial = 0) FSR_REQUIRES(role_);
+
+  // --- introspection (event-thread contract, like the gateway's) ---
+
+  const ShardRouterCounters& router_counters() const FSR_REQUIRES(role_) {
+    return counters_;
+  }
+  std::uint64_t routed_to(GroupId g) const FSR_REQUIRES(role_) {
+    return routed_per_shard_[g];
+  }
+  /// Aggregate GatewayCounters across all shards of this replica.
+  GatewayCounters counters() const FSR_REQUIRES(role_);
+  /// One shard's GatewayCounters.
+  GatewayCounters shard_counters(GroupId g) const FSR_REQUIRES(role_);
+  /// The merged session resume point: min over shards of last_executed
+  /// (0 = unknown client). This is what the merged hello ack reports.
+  std::uint64_t last_executed(std::uint64_t client_id) const FSR_REQUIRES(role_);
+  std::size_t admitted_bytes() const FSR_REQUIRES(role_);
+
+ private:
+  GroupId route(std::span<const std::uint8_t> key) FSR_REQUIRES(role_);
+
+  std::vector<Gateway*> shards_;
+  ShardMap map_;
+
+  ThreadRole role_{"ShardRouter::event"};
+  ShardRouterCounters counters_ FSR_GUARDED_BY(role_);
+  std::vector<std::uint64_t> routed_per_shard_ FSR_GUARDED_BY(role_);
+};
+
+}  // namespace fsr

@@ -4,22 +4,44 @@
 
 namespace fsr {
 
+namespace {
+ClusterConfig with_groups(ClusterConfig c, GroupId shards) {
+  c.groups = shards == 0 ? 1 : shards;
+  return c;
+}
+}  // namespace
+
 SimGatewayCluster::SimGatewayCluster(SimGatewayConfig config)
-    : cluster_(config.cluster) {
+    : cluster_(with_groups(config.cluster, config.shards)),
+      shards_(config.shards == 0 ? 1 : config.shards) {
   const std::size_t n = cluster_.size();
+  GatewayConfig gw_cfg = config.gateway;
+  // Routed shards see gappy per-session seq subsequences.
+  gw_cfg.sparse_sessions = shards_ > 1;
   stores_.reserve(n);
-  gateways_.reserve(n);
+  gateways_.resize(n);
+  routers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     auto id = static_cast<NodeId>(i);
+    // One KvStore per node shared by all its shard gateways: the keyspace
+    // partition is disjoint, so each key's commands arrive from exactly one
+    // shard's delivery stream and replicas converge key by key.
     stores_.push_back(std::make_unique<KvStore>());
-    gateways_.push_back(std::make_unique<Gateway>(
-        cluster_.node(id), *stores_.back(), config.gateway,
-        [this, id](Payload p) { cluster_.broadcast(id, std::move(p)); }));
+    std::vector<Gateway*> raw;
+    for (GroupId g = 0; g < shards_; ++g) {
+      gateways_[i].push_back(std::make_unique<Gateway>(
+          cluster_.member(id, g), *stores_.back(), gw_cfg,
+          [this, id, g](Payload p) { cluster_.broadcast(id, g, std::move(p)); }));
+      raw.push_back(gateways_[i].back().get());
+    }
+    routers_.push_back(
+        std::make_unique<ShardRouter>(std::move(raw), ShardMap(shards_)));
   }
-  // All deliveries flow through the gateways: envelopes execute with
-  // exactly-once session semantics, plain broadcasts apply directly.
+  // All deliveries flow through the delivering group's gateway: envelopes
+  // execute with exactly-once session semantics, plain broadcasts apply
+  // directly.
   cluster_.set_delivery_tap([this](NodeId id, const Delivery& d) {
-    Gateway& gw = *gateways_[id];
+    Gateway& gw = *gateways_[id][d.group];
     ThreadRoleRegion role(gw.role());
     gw.on_delivery(d);
   });
@@ -55,8 +77,20 @@ std::string SimGatewayCluster::check_replicas_converged() const {
 
 GatewayCounters SimGatewayCluster::gateway_counters() const {
   GatewayCounters total;
-  for (const auto& g : gateways_) {
-    Gateway& gw = *g;
+  for (const auto& node : gateways_) {
+    for (const auto& g : node) {
+      Gateway& gw = *g;
+      ThreadRoleRegion role(gw.role());
+      total += gw.counters();
+    }
+  }
+  return total;
+}
+
+GatewayCounters SimGatewayCluster::gateway_counters(GroupId shard) const {
+  GatewayCounters total;
+  for (const auto& node : gateways_) {
+    Gateway& gw = *node.at(shard);
     ThreadRoleRegion role(gw.role());
     total += gw.counters();
   }
@@ -72,9 +106,9 @@ SimClient::~SimClient() {
   // Real clients close their connection; tear down any binding still
   // pointing at this object so a late delivery can't call into freed memory.
   for (std::size_t i = 0; i < gc_.size(); ++i) {
-    Gateway& gw = gc_.gateway(static_cast<NodeId>(i));
-    ThreadRoleRegion role(gw.role());
-    gw.on_client_disconnect(opt_.client_id, 0);
+    ShardRouter& rt = gc_.router(static_cast<NodeId>(i));
+    ThreadRoleRegion role(rt.role());
+    rt.on_client_disconnect(opt_.client_id, 0);
   }
   gc_.sim().cancel(retry_timer_);
 }
@@ -90,9 +124,9 @@ void SimClient::connect(NodeId replica) {
   replica_ = replica;
   ++conn_epoch_;
   if (old != replica && old != kNoNode) {
-    Gateway& gw = gc_.gateway(old);
-    ThreadRoleRegion role(gw.role());
-    gw.on_client_disconnect(opt_.client_id, old_epoch);
+    ShardRouter& rt = gc_.router(old);
+    ThreadRoleRegion role(rt.role());
+    rt.on_client_disconnect(opt_.client_id, old_epoch);
   }
 }
 
@@ -117,10 +151,12 @@ void SimClient::send_attempt() {
   req.command = parse_envelope(req.envelope)->command;
   std::uint64_t epoch = conn_epoch_;
   // Replies arrive from inside Gateway::on_delivery; bounce them through the
-  // event queue so the client never re-enters the gateway mid-delivery.
-  Gateway& gw = gc_.gateway(replica_);
-  ThreadRoleRegion role(gw.role());
-  gw.on_request(
+  // event queue so the client never re-enters the gateway mid-delivery. All
+  // requests go through the replica's ShardRouter (with one shard it simply
+  // forwards to shard 0's gateway).
+  ShardRouter& rt = gc_.router(replica_);
+  ThreadRoleRegion role(rt.role());
+  rt.on_request(
       req,
       [this, epoch](const ClientReply& r) {
         if (epoch != conn_epoch_) return;  // stale connection

@@ -10,6 +10,7 @@
 
 #include "app/kv_store.h"
 #include "gateway/gateway.h"
+#include "gateway/shard_router.h"
 #include "harness/sim_cluster.h"
 
 namespace fsr {
@@ -17,6 +18,10 @@ namespace fsr {
 struct SimGatewayConfig {
   ClusterConfig cluster;
   GatewayConfig gateway;
+  /// Independent ordering domains (shards) per node, each a full
+  /// Gateway + ring of its own behind one ShardRouter. Overrides
+  /// cluster.groups; with more than one, gateways run sparse_sessions mode.
+  GroupId shards = 1;
 };
 
 class SimGatewayCluster {
@@ -27,7 +32,10 @@ class SimGatewayCluster {
   Simulator& sim() { return cluster_.sim(); }
   std::size_t size() const { return cluster_.size(); }
 
-  Gateway& gateway(NodeId id) { return *gateways_[id]; }
+  GroupId shards() const { return shards_; }
+  Gateway& gateway(NodeId id) { return *gateways_[id][0]; }
+  Gateway& gateway(NodeId id, GroupId shard) { return *gateways_[id][shard]; }
+  ShardRouter& router(NodeId id) { return *routers_[id]; }
   KvStore& store(NodeId id) { return *stores_[id]; }
 
   void crash(NodeId node) { cluster_.crash(node); }
@@ -39,12 +47,17 @@ class SimGatewayCluster {
   /// description of the divergence.
   std::string check_replicas_converged() const;
 
+  /// Aggregate gateway counters: across every node and shard, or one
+  /// shard's slice across nodes.
   GatewayCounters gateway_counters() const;
+  GatewayCounters gateway_counters(GroupId shard) const;
 
  private:
   SimCluster cluster_;
+  GroupId shards_ = 1;
   std::vector<std::unique_ptr<KvStore>> stores_;
-  std::vector<std::unique_ptr<Gateway>> gateways_;
+  std::vector<std::vector<std::unique_ptr<Gateway>>> gateways_;  ///< [node][shard]
+  std::vector<std::unique_ptr<ShardRouter>> routers_;            ///< [node]
 };
 
 /// A closed-loop session client living inside the simulation: submits

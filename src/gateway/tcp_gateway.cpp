@@ -305,8 +305,8 @@ void GatewayServer::EventLoop::close_conn(Conn& c, bool notify_gateway) {
   if (notify_gateway) {
     for (std::uint64_t id : c.clients_seen) {
       server_.io_.post([srv = &server_, id, serial = c.serial] {
-        ThreadRoleRegion role(srv->gateway_.role());
-        srv->gateway_.on_client_disconnect(id, serial);
+        ThreadRoleRegion role(srv->router_.role());
+        srv->router_.on_client_disconnect(id, serial);
       });
     }
   }
@@ -375,20 +375,20 @@ bool GatewayServer::EventLoop::parse_frames(Conn& c) {
   };
   server_.io_.post([srv = &server_, msgs = std::move(batch), send,
                     serial = c.serial]() mutable {
-    Gateway& gw = srv->gateway_;
-    ThreadRoleRegion role(gw.role());
-    gw.begin_drain();
+    ShardRouter& rt = srv->router_;
+    ThreadRoleRegion role(rt.role());
+    rt.begin_drain();
     for (auto& msg : msgs) {
       if (const auto* hello = std::get_if<ClientHello>(&msg)) {
-        gw.on_hello(*hello, send, serial);
+        rt.on_hello(*hello, send, serial);
       } else if (auto* req = std::get_if<ClientRequest>(&msg)) {
-        gw.on_request(*req, send, serial);
+        rt.on_request(*req, send, serial);
       } else if (const auto* read = std::get_if<ClientRead>(&msg)) {
-        gw.on_read(*read, send);
+        rt.on_read(*read, send);
       }
       // Client-to-server replies are not a thing; ignore them.
     }
-    gw.end_drain();
+    rt.end_drain();
   });
   return true;
 }
@@ -458,9 +458,9 @@ void GatewayServer::EventLoop::flush_replies(
 
 // --- GatewayServer ---
 
-GatewayServer::GatewayServer(TcpTransport& io, Gateway& gateway,
+GatewayServer::GatewayServer(TcpTransport& io, ShardRouter& router,
                              GatewayServerConfig cfg)
-    : io_(io), gateway_(gateway), cfg_(cfg) {
+    : io_(io), router_(router), cfg_(cfg) {
   if (cfg_.event_loops == 0) cfg_.event_loops = 1;
 }
 
@@ -514,32 +514,48 @@ std::size_t GatewayServer::open_connections() const {
 
 // --- TcpGatewayCluster ---
 
-TcpGatewayCluster::TcpGatewayCluster(TcpGatewayClusterConfig config) {
+TcpGatewayCluster::TcpGatewayCluster(TcpGatewayClusterConfig config)
+    : shards_(config.shards == 0 ? 1 : config.shards) {
   const std::size_t n = config.n;
   // Deferred start: the delivery tap dereferences gateways_, so every
   // gateway must exist before any I/O thread runs.
   cluster_ = std::make_unique<TcpCluster>(
       n, config.group,
       [this](NodeId id, const Delivery& d) {
-        Gateway& gw = *gateways_[id];
+        Gateway& gw = *gateways_[id][d.group];
         ThreadRoleRegion role(gw.role());
         gw.on_delivery(d);
       },
-      /*autostart=*/false);
+      /*autostart=*/false, shards_);
+  GatewayConfig gw_cfg = config.gateway;
+  // Routed shards see gappy per-session seq subsequences.
+  gw_cfg.sparse_sessions = shards_ > 1;
   stores_.reserve(n);
-  gateways_.reserve(n);
+  gateways_.resize(n);
+  routers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     auto id = static_cast<NodeId>(i);
+    // One KvStore per node shared by its shard gateways: the keyspace
+    // partition is disjoint, so each key's commands arrive from exactly one
+    // shard's delivery stream and replicas converge key by key.
     stores_.push_back(std::make_unique<KvStore>());
-    gateways_.push_back(std::make_unique<Gateway>(
-        cluster_->member(id), *stores_.back(), config.gateway,
-        [this, id](Payload p) { cluster_->submit_from_io(id, std::move(p)); }));
+    std::vector<Gateway*> raw;
+    for (GroupId g = 0; g < shards_; ++g) {
+      gateways_[i].push_back(std::make_unique<Gateway>(
+          cluster_->member(id, g), *stores_.back(), gw_cfg,
+          [this, id, g](Payload p) {
+            cluster_->submit_from_io(id, g, std::move(p));
+          }));
+      raw.push_back(gateways_[i].back().get());
+    }
+    routers_.push_back(
+        std::make_unique<ShardRouter>(std::move(raw), ShardMap(shards_)));
   }
   cluster_->start_all();
   servers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     servers_.push_back(std::make_unique<GatewayServer>(
-        cluster_->transport(static_cast<NodeId>(i)), *gateways_[i],
+        cluster_->transport(static_cast<NodeId>(i)), *routers_[i],
         config.server));
     servers_.back()->start(0);
   }
@@ -571,9 +587,25 @@ GatewayCounters TcpGatewayCluster::gateway_counters() const {
     if (!cluster_->alive(id)) continue;
     GatewayCounters c;
     cluster_->transport(id).post_wait([&] {
-      Gateway& gw = *gateways_[i];
-      ThreadRoleRegion role(gw.role());
-      c = gw.counters();
+      ShardRouter& rt = *routers_[i];
+      ThreadRoleRegion role(rt.role());
+      c = rt.counters();
+    });
+    total += c;
+  }
+  return total;
+}
+
+GatewayCounters TcpGatewayCluster::gateway_counters(GroupId shard) const {
+  GatewayCounters total;
+  for (std::size_t i = 0; i < gateways_.size(); ++i) {
+    auto id = static_cast<NodeId>(i);
+    if (!cluster_->alive(id)) continue;
+    GatewayCounters c;
+    cluster_->transport(id).post_wait([&] {
+      ShardRouter& rt = *routers_[i];
+      ThreadRoleRegion role(rt.role());
+      c = rt.shard_counters(shard);
     });
     total += c;
   }
@@ -587,9 +619,9 @@ std::uint64_t TcpGatewayCluster::total_admitted_bytes() const {
     if (!cluster_->alive(id)) continue;
     std::uint64_t v = 0;
     cluster_->transport(id).post_wait([&] {
-      Gateway& gw = *gateways_[i];
-      ThreadRoleRegion role(gw.role());
-      v = gw.admitted_bytes();
+      ShardRouter& rt = *routers_[i];
+      ThreadRoleRegion role(rt.role());
+      v = rt.admitted_bytes();
     });
     total += v;
   }
@@ -603,7 +635,9 @@ std::uint64_t TcpGatewayCluster::total_owned_sessions() const {
     if (!cluster_->alive(id)) continue;
     std::uint64_t v = 0;
     cluster_->transport(id).post_wait([&] {
-      Gateway& gw = *gateways_[i];
+      // A session binds in every shard; count distinct sessions once via
+      // shard 0 (hello binds all shards together).
+      Gateway& gw = *gateways_[i][0];
       ThreadRoleRegion role(gw.role());
       v = gw.owned_sessions();
     });

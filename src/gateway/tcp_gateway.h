@@ -31,6 +31,7 @@
 #include "app/kv_store.h"
 #include "common/sync.h"
 #include "gateway/gateway.h"
+#include "gateway/shard_router.h"
 #include "harness/tcp_cluster.h"
 
 namespace fsr {
@@ -62,9 +63,10 @@ struct GatewayServerConfig {
 
 class GatewayServer {
  public:
-  /// `io` is the replica's transport (its I/O thread runs the gateway);
-  /// `gateway` must outlive the server.
-  GatewayServer(TcpTransport& io, Gateway& gateway, GatewayServerConfig cfg = {});
+  /// `io` is the replica's transport (its I/O thread runs the router and
+  /// every shard gateway); `router` must outlive the server. Single-shard
+  /// deployments front their one Gateway with a one-entry ShardRouter.
+  GatewayServer(TcpTransport& io, ShardRouter& router, GatewayServerConfig cfg = {});
   ~GatewayServer();
 
   GatewayServer(const GatewayServer&) = delete;
@@ -147,7 +149,7 @@ class GatewayServer {
   friend class EventLoop;
 
   TcpTransport& io_;
-  Gateway& gateway_;
+  ShardRouter& router_;
   GatewayServerConfig cfg_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
@@ -170,6 +172,10 @@ struct TcpGatewayClusterConfig {
   GroupConfig group;
   GatewayConfig gateway;
   GatewayServerConfig server;
+  /// Independent ordering domains (shards) per node, each a full
+  /// Gateway + ring behind the node's ShardRouter; with more than one,
+  /// gateways run sparse_sessions mode.
+  GroupId shards = 1;
 };
 
 /// The full replicated KV service over real TCP: n replicas, each serving
@@ -191,8 +197,12 @@ class TcpGatewayCluster {
   void crash(NodeId node);
   bool alive(NodeId node) const { return cluster_->alive(node); }
 
-  /// Snapshots taken on each live node's I/O thread.
+  GroupId shards() const { return shards_; }
+
+  /// Snapshots taken on each live node's I/O thread: across every shard, or
+  /// one shard's slice across nodes.
   GatewayCounters gateway_counters() const;
+  GatewayCounters gateway_counters(GroupId shard) const;
   /// Live admission gauge (in-flight + queued envelope bytes) summed over
   /// the live nodes; the reconnect-storm test probes this mid-run.
   std::uint64_t total_admitted_bytes() const;
@@ -204,15 +214,19 @@ class TcpGatewayCluster {
 
   /// Raw per-node access for post-quiesce assertions in tests.
   KvStore& store(NodeId node) { return *stores_[node]; }
-  Gateway& gateway(NodeId node) { return *gateways_[node]; }
+  Gateway& gateway(NodeId node) { return *gateways_[node][0]; }
+  Gateway& gateway(NodeId node, GroupId shard) { return *gateways_[node][shard]; }
+  ShardRouter& router(NodeId node) { return *routers_[node]; }
   GatewayServer& server(NodeId node) { return *servers_[node]; }
 
   std::string check_invariants() const { return cluster_->check_invariants(); }
 
  private:
   std::unique_ptr<TcpCluster> cluster_;
+  GroupId shards_ = 1;
   std::vector<std::unique_ptr<KvStore>> stores_;
-  std::vector<std::unique_ptr<Gateway>> gateways_;
+  std::vector<std::vector<std::unique_ptr<Gateway>>> gateways_;  ///< [node][shard]
+  std::vector<std::unique_ptr<ShardRouter>> routers_;            ///< [node]
   std::vector<std::unique_ptr<GatewayServer>> servers_;
 };
 

@@ -42,46 +42,57 @@ SimCluster::SimCluster(ClusterConfig config)
       world_(config.net, config.n, config.fd_delay),
       checker_(config.n),
       logs_(config.n) {
-  View initial;
-  initial.id = 1;
   std::size_t members_n =
       config.initial_members == 0 ? config.n : config.initial_members;
-  for (std::size_t i = 0; i < members_n; ++i) {
-    initial.members.push_back(static_cast<NodeId>(i));
-  }
-  members_.reserve(config.n);
+  // Each group's initial ring is the same member set rotated by the group
+  // id, so sequencer duty (position 0) spreads across nodes instead of
+  // stacking every group's leader on node 0.
+  muxes_.reserve(config.n);
+  members_.resize(config.n);
   for (std::size_t i = 0; i < config.n; ++i) {
     auto id = static_cast<NodeId>(i);
-    members_.push_back(std::make_unique<GroupMember>(
-        world_.transport(id), config.group, initial,
-        [this, id](const Delivery& d) {
-          std::uint64_t hash = hash_bytes(d.payload);
-          Time at = world_.sim().now();
-          logs_[id].push_back(
-              LogEntry{d.origin, d.app_msg, d.seq, d.view, d.payload.size(), at, hash});
-          checker_.on_delivery(DeliveryRecord{id, d.origin, d.app_msg, d.seq, d.view,
-                                              hash, d.payload.size(), at});
-          if (tap_) tap_(id, d);
-        },
-        [this, id](const View& v) {
-          if (view_tap_) view_tap_(id, v);
-        }));
+    muxes_.push_back(std::make_unique<GroupMux>(world_.transport(id), config.groups));
+    members_[i].reserve(config.groups);
+    for (GroupId g = 0; g < config.groups; ++g) {
+      View initial;
+      initial.id = 1;
+      for (std::size_t k = 0; k < members_n; ++k) {
+        initial.members.push_back(static_cast<NodeId>((g + k) % members_n));
+      }
+      GroupConfig gc = config.group;
+      gc.engine.group = g;
+      members_[i].push_back(std::make_unique<GroupMember>(
+          muxes_[i]->channel(g), gc, initial,
+          [this, id](const Delivery& d) {
+            std::uint64_t hash = hash_bytes(d.payload);
+            Time at = world_.sim().now();
+            logs_[id].push_back(LogEntry{d.group, d.origin, d.app_msg, d.seq, d.view,
+                                         d.payload.size(), at, hash});
+            checker_.on_delivery(DeliveryRecord{id, d.group, d.origin, d.app_msg,
+                                                d.seq, d.view, hash,
+                                                d.payload.size(), at});
+            if (tap_) tap_(id, d);
+          },
+          [this, id](const View& v) {
+            if (view_tap_) view_tap_(id, v);
+          }));
+    }
   }
 }
 
-void SimCluster::broadcast(NodeId from, Bytes payload) {
-  // The engine numbers own app messages 1, 2, ...; mirror that here.
-  std::uint64_t app_msg = ++next_app_counter_[from];
-  submit_times_[{from, app_msg}] = world_.sim().now();
-  checker_.on_broadcast(from, app_msg, hash_bytes(payload));
-  members_[from]->broadcast(std::move(payload));
+void SimCluster::broadcast(NodeId from, GroupId group, Bytes payload) {
+  // The engine numbers own app messages 1, 2, ... per group; mirror that.
+  std::uint64_t app_msg = ++next_app_counter_[{from, group}];
+  submit_times_[{group, from, app_msg}] = world_.sim().now();
+  checker_.on_broadcast(group, from, app_msg, hash_bytes(payload));
+  members_[from].at(group)->broadcast(std::move(payload));
 }
 
-void SimCluster::broadcast(NodeId from, Payload payload) {
-  std::uint64_t app_msg = ++next_app_counter_[from];
-  submit_times_[{from, app_msg}] = world_.sim().now();
-  checker_.on_broadcast(from, app_msg, hash_bytes(payload.span()));
-  members_[from]->broadcast(std::move(payload));
+void SimCluster::broadcast(NodeId from, GroupId group, Payload payload) {
+  std::uint64_t app_msg = ++next_app_counter_[{from, group}];
+  submit_times_[{group, from, app_msg}] = world_.sim().now();
+  checker_.on_broadcast(group, from, app_msg, hash_bytes(payload.span()));
+  members_[from].at(group)->broadcast(std::move(payload));
 }
 
 void SimCluster::crash(NodeId node, Time fd_delay) {
@@ -96,18 +107,19 @@ void SimCluster::crash_silent(NodeId node) {
   world_.crash_silent(node);
 }
 
-Time SimCluster::submit_time(NodeId origin, std::uint64_t app_msg) const {
-  auto it = submit_times_.find({origin, app_msg});
+Time SimCluster::submit_time(NodeId origin, std::uint64_t app_msg, GroupId group) const {
+  auto it = submit_times_.find({group, origin, app_msg});
   return it == submit_times_.end() ? -1 : it->second;
 }
 
-Time SimCluster::completion_time(NodeId origin, std::uint64_t app_msg) const {
+Time SimCluster::completion_time(NodeId origin, std::uint64_t app_msg,
+                                 GroupId group) const {
   Time worst = -1;
   for (std::size_t i = 0; i < logs_.size(); ++i) {
     if (crashed_.count(static_cast<NodeId>(i))) continue;
     const auto& log = logs_[i];
     auto it = std::find_if(log.begin(), log.end(), [&](const LogEntry& e) {
-      return e.origin == origin && e.app_msg == app_msg;
+      return e.group == group && e.origin == origin && e.app_msg == app_msg;
     });
     if (it == log.end()) return -1;
     worst = std::max(worst, it->at);

@@ -7,12 +7,14 @@
 
 #include <map>
 #include <memory>
+#include <tuple>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "checker/invariant_checker.h"
 #include "net/cluster_net.h"
+#include "transport/group_mux.h"
 #include "transport/sim_transport.h"
 #include "vsc/group.h"
 
@@ -24,6 +26,12 @@ struct ClusterConfig {
   GroupConfig group;
   Time fd_delay = 2 * kMillisecond;
 
+  /// Independent ordering domains hosted by every node. Each group runs its
+  /// own ring/engine over the shared per-node transport (via GroupMux), with
+  /// its initial ring order rotated by the group id so leaders spread across
+  /// nodes (group g's sequencer starts at node g mod members).
+  GroupId groups = 1;
+
   /// If nonzero, only the first `initial_members` nodes form the initial
   /// view; the rest start outside the group and may request_join() later.
   std::size_t initial_members = 0;
@@ -32,6 +40,7 @@ struct ClusterConfig {
 class SimCluster {
  public:
   struct LogEntry {
+    GroupId group = 0;
     NodeId origin = kNoNode;
     std::uint64_t app_msg = 0;
     GlobalSeq seq = 0;
@@ -46,15 +55,25 @@ class SimCluster {
   Simulator& sim() { return world_.sim(); }
   SimWorld& world() { return world_; }
   std::size_t size() const { return members_.size(); }
-  GroupMember& node(NodeId id) { return *members_[id]; }
+  GroupId groups() const { return cfg_.groups; }
+  /// The node's group-0 member (the only one in single-group clusters).
+  GroupMember& node(NodeId id) { return *members_[id][0]; }
+  /// The node's member in a specific ordering domain.
+  GroupMember& member(NodeId id, GroupId g) { return *members_[id].at(g); }
   const ClusterConfig& config() const { return cfg_; }
 
   /// TO-broadcast from a node; records the submit time for latency queries.
-  void broadcast(NodeId from, Bytes payload);
+  void broadcast(NodeId from, Bytes payload) {
+    broadcast(from, GroupId{0}, std::move(payload));
+  }
+  void broadcast(NodeId from, GroupId group, Bytes payload);
 
   /// Zero-copy variant: registers with the checker, then hands the Payload
   /// through un-copied (the gateway's submit path).
-  void broadcast(NodeId from, Payload payload);
+  void broadcast(NodeId from, Payload payload) {
+    broadcast(from, GroupId{0}, std::move(payload));
+  }
+  void broadcast(NodeId from, GroupId group, Payload payload);
 
   /// Observe every delivery (in addition to the internal log) — e.g. to
   /// feed replicated state machines in application tests.
@@ -68,13 +87,15 @@ class SimCluster {
     view_tap_ = std::move(tap);
   }
 
-  /// Install per-node application snapshot hooks (joiner state transfer).
+  /// Install per-node application snapshot hooks (joiner state transfer)
+  /// for the group-0 members (state transfer is a per-ring mechanism; tests
+  /// that exercise it run single-group clusters).
   void set_snapshot_hooks(std::function<Bytes(NodeId)> take,
                           std::function<void(NodeId, const Bytes&)> install) {
     for (std::size_t i = 0; i < members_.size(); ++i) {
       auto id = static_cast<NodeId>(i);
-      members_[i]->set_snapshot_hooks([take, id] { return take(id); },
-                                      [install, id](const Bytes& b) { install(id, b); });
+      members_[i][0]->set_snapshot_hooks([take, id] { return take(id); },
+                                         [install, id](const Bytes& b) { install(id, b); });
     }
   }
 
@@ -90,19 +111,28 @@ class SimCluster {
 
   const std::vector<LogEntry>& log(NodeId node) const { return logs_[node]; }
 
-  /// Submit time of (origin, app_msg), or -1 if unknown.
-  Time submit_time(NodeId origin, std::uint64_t app_msg) const;
+  /// Submit time of (origin, app_msg) in a group, or -1 if unknown.
+  Time submit_time(NodeId origin, std::uint64_t app_msg, GroupId group = 0) const;
 
-  /// Time at which every live node delivered (origin, app_msg); -1 if some
-  /// live node has not.
-  Time completion_time(NodeId origin, std::uint64_t app_msg) const;
+  /// Time at which every live node delivered (origin, app_msg) in a group;
+  /// -1 if some live node has not.
+  Time completion_time(NodeId origin, std::uint64_t app_msg, GroupId group = 0) const;
 
-  /// Sum of every node's engine counters (window pooling, piggybacking,
-  /// copy discipline) — includes crashed nodes: the simulator is single-
-  /// threaded, so their frozen counters are still readable.
+  /// Sum of every node's engine counters across all groups (window pooling,
+  /// piggybacking, copy discipline) — includes crashed nodes: the simulator
+  /// is single-threaded, so their frozen counters are still readable.
   EngineCounters engine_counters() const {
     EngineCounters total;
-    for (const auto& m : members_) total += m->engine().counters();
+    for (const auto& node : members_) {
+      for (const auto& m : node) total += m->engine().counters();
+    }
+    return total;
+  }
+
+  /// One group's slice of the same rollup.
+  EngineCounters engine_counters(GroupId g) const {
+    EngineCounters total;
+    for (const auto& node : members_) total += node.at(g)->engine().counters();
     return total;
   }
 
@@ -137,10 +167,12 @@ class SimCluster {
   ClusterConfig cfg_;
   SimWorld world_;
   InvariantChecker checker_;
-  std::vector<std::unique_ptr<GroupMember>> members_;
+  /// One mux per node fans the shared transport out to the node's members.
+  std::vector<std::unique_ptr<GroupMux>> muxes_;
+  std::vector<std::vector<std::unique_ptr<GroupMember>>> members_;  // [node][group]
   std::vector<std::vector<LogEntry>> logs_;
-  std::map<NodeId, std::uint64_t> next_app_counter_;
-  std::map<std::pair<NodeId, std::uint64_t>, Time> submit_times_;
+  std::map<std::pair<NodeId, GroupId>, std::uint64_t> next_app_counter_;
+  std::map<std::tuple<GroupId, NodeId, std::uint64_t>, Time> submit_times_;
   std::set<NodeId> crashed_;
   std::function<void(NodeId, const Delivery&)> tap_;
   std::function<void(NodeId, const View&)> view_tap_;

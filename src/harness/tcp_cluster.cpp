@@ -19,8 +19,8 @@ Time wall_now() {
 }  // namespace
 
 TcpCluster::TcpCluster(std::size_t n, GroupConfig group, DeliveryTap tap,
-                       bool autostart)
-    : checker_(n), tap_(std::move(tap)) {
+                       bool autostart, GroupId groups)
+    : checker_(n), groups_(groups), tap_(std::move(tap)) {
   // Construction is single-threaded; no I/O thread exists yet and nothing
   // else reads the environment.
   // NOLINTNEXTLINE(concurrency-mt-unsafe)
@@ -50,25 +50,37 @@ TcpCluster::TcpCluster(std::size_t n, GroupConfig group, DeliveryTap tap,
                                           nodes_[j]->transport->bound_port());
     }
   }
-  // Phase 3: members + I/O threads.
-  View initial;
-  initial.id = 1;
-  for (std::size_t i = 0; i < n; ++i) initial.members.push_back(static_cast<NodeId>(i));
+  // Phase 3: per-group members over each node's mux + I/O threads. Each
+  // group's initial ring is the member set rotated by the group id, so
+  // sequencer duty (position 0) spreads across nodes.
   for (std::size_t i = 0; i < n; ++i) {
     Node* node = nodes_[i].get();
     auto id = static_cast<NodeId>(i);
-    node->member = std::make_unique<GroupMember>(
-        *node->transport, group, initial, [this, node, id](const Delivery& d) {
-          std::uint64_t hash = hash_bytes(d.payload);
-          {
-            MutexLock lock(node->mutex);
-            node->log.push_back(
-                LogEntry{d.origin, d.app_msg, d.seq, d.payload.size(), hash});
-          }
-          checker_.on_delivery(DeliveryRecord{id, d.origin, d.app_msg, d.seq, d.view,
-                                              hash, d.payload.size(), wall_now()});
-          if (tap_) tap_(id, d);
-        });
+    node->mux = std::make_unique<GroupMux>(*node->transport, groups);
+    node->app_counters.assign(groups, 0);
+    node->members.reserve(groups);
+    for (GroupId g = 0; g < groups; ++g) {
+      View initial;
+      initial.id = 1;
+      for (std::size_t k = 0; k < n; ++k) {
+        initial.members.push_back(static_cast<NodeId>((g + k) % n));
+      }
+      GroupConfig gc = group;
+      gc.engine.group = g;
+      node->members.push_back(std::make_unique<GroupMember>(
+          node->mux->channel(g), gc, initial, [this, node, id](const Delivery& d) {
+            std::uint64_t hash = hash_bytes(d.payload);
+            {
+              MutexLock lock(node->mutex);
+              node->log.push_back(LogEntry{d.group, d.origin, d.app_msg, d.seq,
+                                           d.payload.size(), hash});
+            }
+            checker_.on_delivery(DeliveryRecord{id, d.group, d.origin, d.app_msg,
+                                                d.seq, d.view, hash,
+                                                d.payload.size(), wall_now()});
+            if (tap_) tap_(id, d);
+          }));
+    }
   }
   if (autostart) start_all();
 }
@@ -83,27 +95,29 @@ TcpCluster::~TcpCluster() {
   for (auto& node : nodes_) node->transport->stop();
 }
 
-void TcpCluster::broadcast(NodeId from, Bytes payload) {
+void TcpCluster::broadcast(NodeId from, GroupId group, Bytes payload) {
   Node* node = nodes_[from].get();
   if (node->crashed.load()) return;
   // The submission is registered on the I/O thread so the mirrored app_msg
   // counter agrees with the engine's numbering even when several
   // application threads broadcast through one node concurrently.
   std::uint64_t hash = hash_bytes(payload);
-  node->transport->post([this, from, node, hash, payload = std::move(payload)]() mutable {
-    checker_.on_broadcast(from, ++node->app_counter, hash);
-    node->member->broadcast(std::move(payload));
-  });
+  node->transport->post(
+      [this, from, group, node, hash, payload = std::move(payload)]() mutable {
+        checker_.on_broadcast(group, from, ++node->app_counters[group], hash);
+        node->members[group]->broadcast(std::move(payload));
+      });
 }
 
-void TcpCluster::submit_from_io(NodeId from, Payload payload) {
+void TcpCluster::submit_from_io(NodeId from, GroupId group, Payload payload) {
   Node* node = nodes_[from].get();
   // "Runs on `from`'s I/O thread" is not expressible statically from here
   // (the role belongs to nodes_[from]->transport); enforce it at runtime.
   node->transport->io_role().assert_held();
   if (node->crashed.load()) return;
-  checker_.on_broadcast(from, ++node->app_counter, hash_bytes(payload.span()));
-  node->member->broadcast(std::move(payload));
+  checker_.on_broadcast(group, from, ++node->app_counters[group],
+                        hash_bytes(payload.span()));
+  node->members[group]->broadcast(std::move(payload));
 }
 
 void TcpCluster::crash(NodeId node) {
@@ -142,9 +156,14 @@ bool TcpCluster::wait_view_size(std::uint32_t members, Time timeout) {
       bool flushing = true;
       bool in_group = true;
       node->transport->post_wait([&] {
-        got = node->member->view().size();
-        flushing = node->member->flushing();
-        in_group = node->member->in_group();
+        // Every group of the node must have settled into the target view.
+        got = node->members[0]->view().size();
+        flushing = false;
+        in_group = node->members[0]->in_group();
+        for (const auto& m : node->members) {
+          if (m->view().size() != got) flushing = true;  // not settled yet
+          if (m->flushing()) flushing = true;
+        }
       });
       if (!in_group) continue;  // left the group; not part of the view
       if (got != members || flushing) ok = false;
@@ -171,7 +190,20 @@ EngineCounters TcpCluster::engine_counters() const {
   for (const auto& node : nodes_) {
     if (node->crashed.load()) continue;
     EngineCounters c;
-    node->transport->post_wait([&] { c = node->member->engine().counters(); });
+    node->transport->post_wait([&] {
+      for (const auto& m : node->members) c += m->engine().counters();
+    });
+    total += c;
+  }
+  return total;
+}
+
+EngineCounters TcpCluster::engine_counters(GroupId g) const {
+  EngineCounters total;
+  for (const auto& node : nodes_) {
+    if (node->crashed.load()) continue;
+    EngineCounters c;
+    node->transport->post_wait([&] { c = node->members.at(g)->engine().counters(); });
     total += c;
   }
   return total;
@@ -179,7 +211,7 @@ EngineCounters TcpCluster::engine_counters() const {
 
 void TcpCluster::with_member(NodeId node, const std::function<void(GroupMember&)>& fn) {
   Node* n = nodes_[node].get();
-  n->transport->post_wait([&] { fn(*n->member); });
+  n->transport->post_wait([&] { fn(*n->members[0]); });
 }
 
 }  // namespace fsr

@@ -11,6 +11,7 @@
 
 #include "checker/invariant_checker.h"
 #include "common/sync.h"
+#include "transport/group_mux.h"
 #include "transport/tcp_transport.h"
 #include "vsc/group.h"
 
@@ -19,6 +20,7 @@ namespace fsr {
 class TcpCluster {
  public:
   struct LogEntry {
+    GroupId group = 0;
     NodeId origin = kNoNode;
     std::uint64_t app_msg = 0;
     GlobalSeq seq = 0;
@@ -34,8 +36,11 @@ class TcpCluster {
   /// With `autostart` false the I/O threads are not started; finish wiring
   /// (e.g. construct per-node gateways the tap points at) and call
   /// start_all(). Nothing flows before start_all().
+  /// `groups` > 1 hosts that many independent ordering domains per node
+  /// over the shared transport (each group's initial ring rotated by the
+  /// group id so sequencer duty spreads across nodes).
   TcpCluster(std::size_t n, GroupConfig group, DeliveryTap tap = {},
-             bool autostart = true);
+             bool autostart = true, GroupId groups = 1);
   ~TcpCluster();
 
   TcpCluster(const TcpCluster&) = delete;
@@ -45,14 +50,19 @@ class TcpCluster {
   void start_all();
 
   std::size_t size() const { return nodes_.size(); }
+  GroupId groups() const { return groups_; }
 
   /// TO-broadcast from `from` (thread-safe; posts to the node's I/O thread).
-  void broadcast(NodeId from, Bytes payload);
+  void broadcast(NodeId from, Bytes payload) { broadcast(from, GroupId{0}, std::move(payload)); }
+  void broadcast(NodeId from, GroupId group, Bytes payload);
 
   /// TO-broadcast from code already running on `from`'s I/O thread (the
   /// gateway's submit path): registers with the checker and hands the
   /// Payload through without copying or re-posting.
-  void submit_from_io(NodeId from, Payload payload);
+  void submit_from_io(NodeId from, Payload payload) {
+    submit_from_io(from, GroupId{0}, std::move(payload));
+  }
+  void submit_from_io(NodeId from, GroupId group, Payload payload);
 
   /// Hard-stop a node (sockets die; peers detect the crash).
   void crash(NodeId node);
@@ -74,15 +84,20 @@ class TcpCluster {
   /// The node's transport (for post()/post_wait() marshalling) and member.
   /// The member reference is stable; touch it only from its I/O thread.
   TcpTransport& transport(NodeId node) { return *nodes_[node]->transport; }
-  GroupMember& member(NodeId node) { return *nodes_[node]->member; }
+  GroupMember& member(NodeId node) { return *nodes_[node]->members[0]; }
+  GroupMember& member(NodeId node, GroupId g) { return *nodes_[node]->members.at(g); }
 
   /// Sum of every live node's transport counters (each snapshot taken on
   /// its I/O thread, per the TransportCounters threading contract).
   TransportCounters counters() const;
 
-  /// Sum of every live node's engine counters (same threading contract:
-  /// each engine's counters are snapshotted on its own I/O thread).
+  /// Sum of every live node's engine counters across all groups (same
+  /// threading contract: each engine's counters are snapshotted on its own
+  /// I/O thread).
   EngineCounters engine_counters() const;
+
+  /// One group's slice of the same rollup.
+  EngineCounters engine_counters(GroupId g) const;
 
   /// The protocol-invariant checker fed by every node's delivery stream
   /// (concurrently, from the n I/O threads). Online findings surface here
@@ -98,17 +113,20 @@ class TcpCluster {
  private:
   struct Node {
     std::unique_ptr<TcpTransport> transport;
-    std::unique_ptr<GroupMember> member;
+    /// Fans the transport out to the node's per-group members.
+    std::unique_ptr<GroupMux> mux;
+    std::vector<std::unique_ptr<GroupMember>> members;  // [group]
     mutable Mutex mutex;
     std::vector<LogEntry> log FSR_GUARDED_BY(mutex);
     std::atomic<bool> crashed{false};
     // Touched only on the node's I/O thread (mirrors the engine numbering);
     // guarded by the transport's role capability, asserted at runtime in
     // submit_from_io because the role lives behind the Transport interface.
-    std::uint64_t app_counter = 0;
+    std::vector<std::uint64_t> app_counters;  // [group]
   };
 
   InvariantChecker checker_;
+  GroupId groups_ = 1;
   std::vector<std::unique_ptr<Node>> nodes_;
   DeliveryTap tap_;  // fixed at construction; read from I/O threads
   bool started_ = false;

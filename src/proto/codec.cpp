@@ -218,6 +218,7 @@ Frame decode_frame_ctx(std::span<const std::uint8_t> data, const DecodeCtx& ctx)
   Frame f;
   f.from = r.u32();
   f.to = r.u32();
+  f.group = static_cast<GroupId>(r.var());
   std::uint64_t n = r.var();
   if (n > r.remaining()) throw CodecError("message count too long");
   f.msgs.reserve(static_cast<std::size_t>(n));

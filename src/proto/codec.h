@@ -192,6 +192,7 @@ template <typename Sink>
 void encode_frame(Sink& w, const Frame& frame) {
   w.u32(frame.from);
   w.u32(frame.to);
+  w.var(frame.group);
   w.var(frame.msgs.size());
   for (const auto& m : frame.msgs) encode_msg(w, m);
 }

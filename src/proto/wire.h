@@ -233,10 +233,14 @@ using WireMsg = std::variant<DataMsg, SeqMsg, AckMsg, GcMsg, TokenMsg, Heartbeat
                              FlushState, ViewInstall, InstallAck, CommitView, JoinReq,
                              LeaveReq, CrashReport>;
 
-/// Unit of transmission between two directly connected processes.
+/// Unit of transmission between two directly connected processes. `group`
+/// names the ordering domain the messages belong to; multiplexed deployments
+/// (sharded rings) dispatch inbound frames to the owning protocol instance
+/// by this field, single-ring deployments leave it 0.
 struct Frame {
   NodeId from = kNoNode;
   NodeId to = kNoNode;
+  GroupId group = 0;
   std::vector<WireMsg> msgs;
 };
 

@@ -1,0 +1,58 @@
+#include "transport/group_mux.h"
+
+#include <cassert>
+#include <utility>
+
+namespace fsr {
+
+GroupMux::GroupMux(Transport& base, GroupId groups) : base_(base) {
+  assert(groups >= 1);
+  channels_.reserve(groups);
+  for (GroupId g = 0; g < groups; ++g) {
+    channels_.push_back(std::make_unique<Channel>(base, g));
+  }
+  TransportHandlers h;
+  h.on_frame = [this](const Frame& f) { dispatch_frame(f); };
+  h.on_tx_ready = [this] { fan_out_tx_ready(); };
+  h.on_peer_down = [this](NodeId node) { fan_out_peer_down(node); };
+  base_.set_handlers(std::move(h));
+}
+
+void GroupMux::Channel::send(Frame frame) {
+  frame.group = group_;
+  ++counters_.tx_frames;
+  base_.send(std::move(frame));
+}
+
+void GroupMux::dispatch_frame(const Frame& frame) {
+  if (frame.group >= channels_.size()) {
+    ++dropped_unknown_group_;
+    return;
+  }
+  Channel& ch = *channels_[frame.group];
+  ++ch.counters_.rx_frames;
+  if (ch.handlers_.on_frame) ch.handlers_.on_frame(frame);
+}
+
+void GroupMux::fan_out_tx_ready() {
+  // Rotate the starting group: a tx-ready edge is consumed by whichever
+  // group grabs the link first, so fairness across groups matters.
+  const std::size_t n = channels_.size();
+  const std::size_t start = tx_ready_start_;
+  tx_ready_start_ = (tx_ready_start_ + 1) % n;
+  for (std::size_t i = 0; i < n; ++i) {
+    Channel& ch = *channels_[(start + i) % n];
+    if (ch.handlers_.on_tx_ready) ch.handlers_.on_tx_ready();
+    // The link may have gone busy again; later groups see a busy link and
+    // simply defer to their next tx-ready edge.
+    if (!base_.tx_idle()) break;
+  }
+}
+
+void GroupMux::fan_out_peer_down(NodeId node) {
+  for (auto& ch : channels_) {
+    if (ch->handlers_.on_peer_down) ch->handlers_.on_peer_down(node);
+  }
+}
+
+}  // namespace fsr

@@ -1,0 +1,81 @@
+// Multiplexes several independent ordering domains ("groups") over one
+// physical transport. Each group gets a Transport facade: send() stamps the
+// group id onto outgoing frames, and the mux dispatches inbound frames to
+// the owning facade by Frame::group. Peer-down and tx-ready events fan out
+// to every group — the underlying link, failure detector, and NIC are
+// shared, only the protocol state machines above are per-group.
+//
+// Everything runs on the base transport's event thread: the mux installs
+// itself as the base's handler set, and all facade calls (engine sends,
+// timers) already happen on that thread, exactly as with a bare transport.
+//
+// The tx-ready fan-out rotates its starting group so that when several
+// engines are waiting to piggyback onto an idle link, no fixed group gets
+// first claim on the outbound path every time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "transport/transport.h"
+
+namespace fsr {
+
+class GroupMux {
+ public:
+  /// `base` must outlive the mux; `groups` >= 1. The mux takes over base's
+  /// handlers — nothing else may call base.set_handlers afterwards.
+  GroupMux(Transport& base, GroupId groups);
+
+  GroupMux(const GroupMux&) = delete;
+  GroupMux& operator=(const GroupMux&) = delete;
+
+  GroupId groups() const { return static_cast<GroupId>(channels_.size()); }
+
+  /// The per-group transport facade. Stable for the mux's lifetime.
+  Transport& channel(GroupId g) { return *channels_.at(g); }
+
+  /// Frames whose group id named no channel (peer misconfiguration or
+  /// corruption) — dropped, never delivered to any group.
+  std::uint64_t dropped_unknown_group() const { return dropped_unknown_group_; }
+
+  /// Per-group data-path slice (frames only; bytes stay with the base).
+  const TransportCounters& group_counters(GroupId g) const {
+    return channels_.at(g)->counters();
+  }
+
+ private:
+  /// Transport facade for one group. Forwards everything to the base except
+  /// that outgoing frames are stamped with the group id and inbound
+  /// dispatch / event fan-out is done by the owning mux.
+  class Channel : public Transport {
+   public:
+    Channel(Transport& base, GroupId group) : base_(base), group_(group) {}
+
+    NodeId self() const override { return base_.self(); }
+    Time now() const override { return base_.now(); }
+    void send(Frame frame) override;
+    bool tx_idle() const override { return base_.tx_idle(); }
+    TimerId set_timer(Time delay, std::function<void()> fn) override {
+      return base_.set_timer(delay, std::move(fn));
+    }
+    void cancel_timer(TimerId id) override { base_.cancel_timer(id); }
+
+   private:
+    friend class GroupMux;
+    Transport& base_;
+    const GroupId group_;
+  };
+
+  void dispatch_frame(const Frame& frame);
+  void fan_out_tx_ready();
+  void fan_out_peer_down(NodeId node);
+
+  Transport& base_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::uint64_t dropped_unknown_group_ = 0;
+  std::size_t tx_ready_start_ = 0;
+};
+
+}  // namespace fsr

@@ -96,6 +96,7 @@ class GroupMember {
   bool in_group() const { return !left_ && view().id != 0 && view().contains(self()); }
   Engine& engine() { return engine_; }
   const Engine& engine() const { return engine_; }
+  GroupId group() const { return engine_.group(); }
   NodeId self() const { return transport_.self(); }
   bool flushing() const { return engine_.frozen(); }
 

@@ -1,0 +1,44 @@
+// Negative-compilation case: the shard router's per-loop state. The router
+// lives on its replica's single event thread and its routing counters are a
+// compile-time capability of the router's ThreadRole — calls into a shard
+// gateway adopt that gateway's role in a nested ThreadRoleRegion, but the
+// router's own state may only be touched with the router role held. An
+// entry point that bumps the routing counters without requiring the role
+// must be rejected by -Werror=thread-safety.
+#include <cstdint>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace {
+
+struct RouterCounters {
+  std::uint64_t requests_routed = 0;
+};
+
+class ShardRouterModel {
+ public:
+  void on_request_routed(std::uint32_t shard) FSR_REQUIRES(role_) {
+    ++counters_.requests_routed;
+    ++routed_per_shard_[shard];
+  }
+
+  // A monitoring thread peeking at routing stats without the role — the
+  // correct implementation marshals onto the event thread first.
+  std::uint64_t routed_total() const {
+    return counters_.requests_routed;  // expected error: requires role 'role_'
+  }
+
+ private:
+  fsr::ThreadRole role_{"ShardRouter::event"};
+  RouterCounters counters_ FSR_GUARDED_BY(role_);
+  std::vector<std::uint64_t> routed_per_shard_ FSR_GUARDED_BY(role_) =
+      std::vector<std::uint64_t>(4, 0);
+};
+
+void use() {
+  ShardRouterModel router;
+  (void)router.routed_total();
+}
+
+}  // namespace

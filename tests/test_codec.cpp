@@ -61,7 +61,7 @@ TEST(Codec, DataMsgRoundtrip) {
   m.view = 3;
   m.frag = FragInfo{9, 2, 13};
   m.payload = make_payload(Bytes{1, 2, 3, 4, 5});
-  Frame f{1, 2, {m}};
+  Frame f{1, 2, 0, {m}};
   Frame g = roundtrip(f);
   ASSERT_EQ(g.msgs.size(), 1u);
   const auto& d = std::get<DataMsg>(g.msgs[0]);
@@ -81,7 +81,7 @@ TEST(Codec, SeqMsgRoundtrip) {
   m.view = 2;
   m.frag = FragInfo{1, 0, 1};
   m.payload = make_payload(Bytes(1000, 0x5a));
-  Frame g = roundtrip(Frame{0, 1, {m}});
+  Frame g = roundtrip(Frame{0, 1, 0, {m}});
   const auto& s = std::get<SeqMsg>(g.msgs[0]);
   EXPECT_EQ(s.seq, 1234567u);
   EXPECT_EQ(s.payload.size(), 1000u);
@@ -90,7 +90,7 @@ TEST(Codec, SeqMsgRoundtrip) {
 TEST(Codec, AckAndGcRoundtrip) {
   AckMsg a{MsgId{1, 2}, 77, 5, false};
   GcMsg g{1000, 5, 7};
-  Frame f{4, 0, {a, g}};
+  Frame f{4, 0, 0, {a, g}};
   Frame out = roundtrip(f);
   EXPECT_EQ(std::get<AckMsg>(out.msgs[0]), a);
   EXPECT_EQ(std::get<GcMsg>(out.msgs[1]), g);
@@ -100,7 +100,7 @@ TEST(Codec, EmptyPayloadDecodesToNull) {
   DataMsg m;
   m.id = MsgId{1, 1};
   m.payload = nullptr;
-  Frame out = roundtrip(Frame{0, 1, {m}});
+  Frame out = roundtrip(Frame{0, 1, 0, {m}});
   EXPECT_FALSE(std::get<DataMsg>(out.msgs[0]).payload);
 }
 
@@ -111,7 +111,7 @@ TEST(Codec, MembershipMessagesRoundtrip) {
   JoinReq jr{5};
   LeaveReq lr{6};
   Heartbeat hb{4};
-  Frame out = roundtrip(Frame{0, 1, {fr, fs, vi, jr, lr, hb}});
+  Frame out = roundtrip(Frame{0, 1, 0, {fr, fs, vi, jr, lr, hb}});
   EXPECT_EQ(std::get<FlushReq>(out.msgs[0]).members, (std::vector<NodeId>{1, 2, 3}));
   EXPECT_EQ(std::get<FlushState>(out.msgs[1]).state, (Bytes{10, 20, 30}));
   const auto& v = std::get<ViewInstall>(out.msgs[2]);
@@ -185,7 +185,7 @@ TEST(Codec, FuzzMutatedValidFramesNeverCrash) {
   m.id = MsgId{3, 12};
   m.frag = FragInfo{1, 0, 4};
   m.payload = make_payload(Bytes(100, 0x77));
-  Bytes valid = encode_frame(Frame{0, 1, {m, AckMsg{MsgId{1, 1}, 5, 1, true}}});
+  Bytes valid = encode_frame(Frame{0, 1, 0, {m, AckMsg{MsgId{1, 1}, 5, 1, true}}});
   for (int iter = 0; iter < 2000; ++iter) {
     Bytes mutated = valid;
     std::size_t flips = rng.below(4) + 1;
@@ -200,7 +200,7 @@ TEST(Codec, FuzzMutatedValidFramesNeverCrash) {
 }
 
 TEST(Codec, TrailingBytesRejected) {
-  Bytes valid = encode_frame(Frame{0, 1, {AckMsg{MsgId{1, 1}, 5, 1, true}}});
+  Bytes valid = encode_frame(Frame{0, 1, 0, {AckMsg{MsgId{1, 1}, 5, 1, true}}});
   valid.push_back(0);
   EXPECT_THROW(decode_frame(valid), CodecError);
 }

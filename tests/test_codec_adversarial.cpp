@@ -180,6 +180,7 @@ TEST(CodecAdversarial, HugeClaimedListsAreRejected) {
   ByteWriter w;
   w.u32(0);
   w.u32(1);
+  w.var(0);  // group
   w.var(1);  // one message
   w.u8(12);  // Tag::kToken
   w.var(1);  // next_seq
@@ -194,6 +195,7 @@ TEST(CodecAdversarial, BadFragmentHeadersAreRejected) {
     ByteWriter w;
     w.u32(0);
     w.u32(1);
+    w.var(0);   // group
     w.var(1);   // one message
     w.u8(1);    // Tag::kData
     w.u32(3);   // id.origin

@@ -19,7 +19,7 @@ Frame data_frame(NodeId from, NodeId to, std::uint64_t app, std::size_t bytes,
   DataMsg m;
   m.id = MsgId{origin == kNoNode ? from : origin, app};
   m.payload = make_payload(Bytes(bytes, 0x42));
-  return Frame{from, to, {m}};
+  return Frame{from, to, 0, {m}};
 }
 
 std::uint64_t app_of(const Frame& f) { return std::get<DataMsg>(f.msgs[0]).id.lsn; }
@@ -347,7 +347,7 @@ TEST(FaultInjection, CheckerViolationCarriesFaultProvenance) {
 
   c.sim().schedule_at(2 * kMillisecond, [&c] {
     // A delivery of a message nobody broadcast: integrity violation.
-    c.checker().on_delivery(DeliveryRecord{0, 1, 77, 1, 1, 0, 10, c.sim().now()});
+    c.checker().on_delivery(DeliveryRecord{0, 0, 1, 77, 1, 1, 0, 10, c.sim().now()});
   });
   c.sim().run();
 

@@ -11,7 +11,7 @@ Frame make_frame(NodeId from, NodeId to, std::size_t payload_bytes) {
   DataMsg m;
   m.id = MsgId{from, 1};
   m.payload = make_payload(Bytes(payload_bytes, 0x42));
-  return Frame{from, to, {m}};
+  return Frame{from, to, 0, {m}};
 }
 
 TEST(ClusterNet, WireTimeMatchesBandwidthAndOverhead) {
@@ -59,7 +59,7 @@ TEST(ClusterNet, ForwardedFrameSkipsMarshalCpu) {
   DataMsg m;
   m.id = MsgId{2, 1};  // origin 2, but node 0 sends it (forwarding)
   m.payload = make_payload(Bytes(1000, 0x42));
-  Frame f{0, 1, {m}};
+  Frame f{0, 1, 0, {m}};
   std::size_t bytes = wire_size(f);
   net.send(std::move(f));
   sim.run();
@@ -304,7 +304,7 @@ TEST(NetProfile, JitterNeverViolatesPerLinkFifo) {
     DataMsg m;
     m.id = MsgId{0, static_cast<LocalSeq>(i + 1)};
     m.payload = make_payload(Bytes(64, 0x42));
-    net.send(Frame{0, 1, {m}});
+    net.send(Frame{0, 1, 0, {m}});
   }
   sim.run();
   ASSERT_EQ(order.size(), static_cast<std::size_t>(kFrames));

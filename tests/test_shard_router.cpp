@@ -1,0 +1,417 @@
+// Sharded multi-ring scale-out: the consistent-hash shard map, the router's
+// key extraction and fan-out rules, cross-shard batch splitting with
+// exactly-once execution per shard (including a shard sequencer crashing
+// mid-batch), and the same properties end to end over real TCP.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "common/sync.h"
+#include "gateway/client_driver.h"
+#include "gateway/shard_map.h"
+#include "gateway/shard_router.h"
+#include "gateway/sim_gateway.h"
+#include "gateway/tcp_gateway.h"
+#include "proto/client_codec.h"
+
+namespace fsr {
+namespace {
+
+std::string str_of(const Bytes& b) { return std::string(b.begin(), b.end()); }
+
+std::span<const std::uint8_t> key_span(const std::string& k) {
+  return {reinterpret_cast<const std::uint8_t*>(k.data()), k.size()};
+}
+
+ClientRequest make_request(std::uint64_t client, std::uint64_t seq,
+                           const Bytes& command) {
+  ClientRequest req;
+  req.client_id = client;
+  req.session_seq = seq;
+  req.envelope = make_payload(encode_envelope(client, seq, command));
+  req.command = parse_envelope(req.envelope)->command;
+  return req;
+}
+
+/// A key that ShardMap(shards) places in `want`, by brute force over a
+/// deterministic candidate sequence.
+std::string key_in_shard(const ShardMap& map, GroupId want,
+                         const std::string& prefix = "k") {
+  for (int i = 0; i < 4096; ++i) {
+    std::string cand = prefix + std::to_string(i);
+    if (map.shard_for_key(key_span(cand)) == want) return cand;
+  }
+  ADD_FAILURE() << "no key found for shard " << want;
+  return prefix;
+}
+
+// ------------------------------------------------------------- shard map ---
+
+TEST(ShardMap, DeterministicAcrossInstancesAndCoversAllShards) {
+  // Routing must be a pure function of (shard count, key): two independently
+  // constructed maps — one per replica in real deployments — agree on every
+  // key, and with enough keys every shard owns some of the keyspace.
+  ShardMap a(4), b(4);
+  std::set<GroupId> seen;
+  for (int i = 0; i < 2000; ++i) {
+    std::string k = "key-" + std::to_string(i);
+    GroupId g = a.shard_for_key(key_span(k));
+    EXPECT_EQ(g, b.shard_for_key(key_span(k))) << k;
+    EXPECT_LT(g, 4u);
+    seen.insert(g);
+  }
+  EXPECT_EQ(seen.size(), 4u) << "some shard owns none of 2000 keys";
+}
+
+TEST(ShardMap, SingleShardMapsEverythingToZero) {
+  ShardMap m(1);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(m.shard_for_key(key_span("x" + std::to_string(i))), 0u);
+  }
+  EXPECT_EQ(m.shard_for_key({}), 0u);
+}
+
+TEST(ShardMap, DistributionIsRoughlyBalanced) {
+  ShardMap m(4);
+  std::array<std::size_t, 4> counts{};
+  constexpr int kKeys = 8000;
+  for (int i = 0; i < kKeys; ++i) {
+    ++counts[m.shard_for_key(key_span("sess" + std::to_string(i)))];
+  }
+  for (std::size_t c : counts) {
+    // Consistent hashing with 32 points per shard: expect each shard within
+    // a loose factor of fair share (kKeys/4 = 2000).
+    EXPECT_GT(c, kKeys / 16) << "severely underloaded shard";
+    EXPECT_LT(c, kKeys / 2) << "severely overloaded shard";
+  }
+}
+
+TEST(ShardRouter, KeyExtraction) {
+  // Commands route by the first length-prefixed field after the opcode;
+  // queries by their leading key. Malformed bytes yield an empty span.
+  Bytes put = KvStore::encode_put("alpha", "v");
+  Bytes cas = KvStore::encode_cas("beta", "x", "y");
+  Bytes get = KvStore::encode_get("gamma");
+  auto as_str = [](std::span<const std::uint8_t> s) {
+    return std::string(s.begin(), s.end());
+  };
+  EXPECT_EQ(as_str(ShardRouter::command_key(put)), "alpha");
+  EXPECT_EQ(as_str(ShardRouter::command_key(cas)), "beta");
+  EXPECT_EQ(as_str(ShardRouter::query_key(get)), "gamma");
+  EXPECT_TRUE(ShardRouter::command_key({}).empty());
+  Bytes truncated = {0x01, 0x20};  // claims a 32-byte key, has none
+  EXPECT_TRUE(ShardRouter::command_key(truncated).empty());
+  EXPECT_TRUE(ShardRouter::query_key(truncated.data() == nullptr
+                                         ? std::span<const std::uint8_t>{}
+                                         : std::span<const std::uint8_t>(
+                                               truncated.data(), 1))
+                  .empty());
+}
+
+// ------------------------------------------------- sim: routing & batches ---
+
+struct ShardedFixture {
+  explicit ShardedFixture(GroupId shards, std::size_t n = 3,
+                          GatewayConfig gw = {}) {
+    SimGatewayConfig cfg;
+    cfg.cluster.n = n;
+    cfg.gateway = gw;
+    cfg.shards = shards;
+    gc = std::make_unique<SimGatewayCluster>(cfg);
+  }
+  std::unique_ptr<SimGatewayCluster> gc;
+};
+
+// One drain scope spanning shards: the router must split the burst into one
+// coalesced sub-batch per touched shard, and every command must execute
+// exactly once in exactly one shard.
+TEST(ShardRouterSim, CrossShardDrainSplitsIntoPerShardBatches) {
+  ShardedFixture f(4);
+  ShardRouter& rt = f.gc->router(0);
+  ThreadRoleRegion role(rt.role());
+
+  std::vector<ClientReply> replies;
+  auto send = [&](const ClientReply& r) { replies.push_back(r); };
+
+  // One key per shard, three commands each, all in one drain scope.
+  std::vector<std::string> keys;
+  for (GroupId g = 0; g < 4; ++g) keys.push_back(key_in_shard(rt.map(), g));
+  rt.begin_drain();
+  std::uint64_t seq = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& k : keys) {
+      rt.on_request(
+          make_request(9, ++seq, KvStore::encode_put(k, std::to_string(round))),
+          send);
+    }
+  }
+  rt.end_drain();
+  f.gc->sim().run();
+
+  ASSERT_EQ(replies.size(), 12u);
+  for (const auto& r : replies) {
+    EXPECT_EQ(r.status, ClientStatus::kOk);
+    EXPECT_EQ(str_of(Bytes(r.reply.begin(), r.reply.end())), "OK");
+  }
+  // Every shard got its slice of the burst, split into its own batch.
+  for (GroupId g = 0; g < 4; ++g) {
+    EXPECT_EQ(rt.routed_to(g), 3u) << "shard " << g;
+    Gateway& gw = f.gc->gateway(0, g);
+    ThreadRoleRegion gw_role(gw.role());
+    EXPECT_GE(gw.counters().coalesce_flushes, 1u) << "shard " << g;
+    EXPECT_EQ(gw.counters().admitted, 3u) << "shard " << g;
+    EXPECT_LT(gw.counters().coalesce_flushes, 3u)
+        << "shard " << g << ": drain burst never shared a batch";
+  }
+  EXPECT_EQ(rt.router_counters().requests_routed, 12u);
+  EXPECT_EQ(rt.router_counters().malformed_keys, 0u);
+  // Exactly-once per shard, replicated everywhere: 12 commands x 3 nodes.
+  GatewayCounters total = f.gc->gateway_counters();
+  EXPECT_EQ(total.commands_applied, 36u);
+  EXPECT_EQ(total.duplicate_applies_suppressed, 0u);
+  EXPECT_EQ(f.gc->check_replicas_converged(), "");
+  EXPECT_EQ(f.gc->cluster().check_all(), "");
+}
+
+TEST(ShardRouterSim, MergedHelloAckReportsMinAcrossShards) {
+  ShardedFixture f(2);
+  ShardRouter& rt = f.gc->router(0);
+  ThreadRoleRegion role(rt.role());
+  std::vector<ClientReply> replies;
+  auto send = [&](const ClientReply& r) { replies.push_back(r); };
+
+  // Seqs 1..3 land in shard A, seq 4 in shard B: the shards' last_executed
+  // horizons diverge (3 vs 4 is impossible — B executes only seq 4, so its
+  // horizon is 4, A's is 3; the min is what a resuming client may rely on).
+  std::string ka = key_in_shard(rt.map(), 0, "a");
+  std::string kb = key_in_shard(rt.map(), 1, "b");
+  rt.begin_drain();
+  rt.on_request(make_request(7, 1, KvStore::encode_put(ka, "1")), send);
+  rt.on_request(make_request(7, 2, KvStore::encode_put(ka, "2")), send);
+  rt.on_request(make_request(7, 3, KvStore::encode_put(ka, "3")), send);
+  rt.on_request(make_request(7, 4, KvStore::encode_put(kb, "4")), send);
+  rt.end_drain();
+  f.gc->sim().run();
+  ASSERT_EQ(replies.size(), 4u);
+  replies.clear();
+
+  {
+    Gateway& ga = f.gc->gateway(0, 0);
+    ThreadRoleRegion ra(ga.role());
+    EXPECT_EQ(ga.last_executed(7), 3u);
+  }
+  {
+    Gateway& gb = f.gc->gateway(0, 1);
+    ThreadRoleRegion rb(gb.role());
+    EXPECT_EQ(gb.last_executed(7), 4u);
+  }
+  ClientHello hello;
+  hello.client_id = 7;
+  rt.on_hello(hello, send);
+  ASSERT_EQ(replies.size(), 1u) << "exactly one merged ack";
+  EXPECT_EQ(replies[0].status, ClientStatus::kOk);
+  EXPECT_EQ(replies[0].session_seq, 3u) << "min over shards, not max";
+  EXPECT_EQ(rt.last_executed(7), 3u);
+
+  // Replaying from min+1 is safe: seq 4 answers as a duplicate from shard
+  // B's reply cache instead of executing twice.
+  rt.on_request(make_request(7, 4, KvStore::encode_put(kb, "4")), send);
+  f.gc->sim().run();
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[1].status, ClientStatus::kOk);
+  EXPECT_TRUE(replies[1].duplicate);
+  EXPECT_EQ(f.gc->gateway_counters().duplicate_applies_suppressed, 0u);
+  EXPECT_EQ(f.gc->check_replicas_converged(), "");
+}
+
+// A closed-loop client whose chained-CAS traffic spans both shards: any
+// double or dropped execution surfaces as failed_cas or a broken chain.
+TEST(ShardRouterSim, ClosedLoopClientAcrossShardsExactlyOnce) {
+  ShardedFixture f(2);
+  const ShardMap map(2);
+  std::string ka = key_in_shard(map, 0, "a");
+  std::string kb = key_in_shard(map, 1, "b");
+
+  SimClient::Options opt;
+  opt.client_id = 5;
+  opt.replica = 1;
+  SimClient client(*f.gc, opt);
+  client.submit(KvStore::encode_put(ka, "0"));
+  client.submit(KvStore::encode_put(kb, "0"));
+  for (int i = 0; i < 6; ++i) {
+    client.submit(
+        KvStore::encode_cas(ka, std::to_string(i), std::to_string(i + 1)));
+    client.submit(
+        KvStore::encode_cas(kb, std::to_string(i), std::to_string(i + 1)));
+  }
+  f.gc->sim().run();
+
+  ASSERT_TRUE(client.idle());
+  ASSERT_EQ(client.completed().size(), 14u);
+  for (const auto& d : client.completed()) {
+    EXPECT_EQ(d.status, ClientStatus::kOk);
+    EXPECT_EQ(str_of(d.reply), "OK") << "seq " << d.seq;
+  }
+  for (std::size_t i = 0; i < f.gc->size(); ++i) {
+    auto id = static_cast<NodeId>(i);
+    EXPECT_EQ(f.gc->store(id).get(ka), "6");
+    EXPECT_EQ(f.gc->store(id).get(kb), "6");
+    EXPECT_EQ(f.gc->store(id).failed_cas(), 0u);
+  }
+  // Both shards carried traffic and each executed its slice exactly once.
+  EXPECT_GT(f.gc->gateway_counters(0).commands_applied, 0u);
+  EXPECT_GT(f.gc->gateway_counters(1).commands_applied, 0u);
+  EXPECT_EQ(f.gc->gateway_counters().commands_applied, 14u * 3);
+  EXPECT_EQ(f.gc->check_replicas_converged(), "");
+  EXPECT_EQ(f.gc->cluster().check_all(), "");
+}
+
+// Coalesced cross-shard traffic in flight when ONE shard's sequencer dies
+// (rotated initial rings put shard 0's sequencer on node 0, shard 1's on
+// node 1). The batch or its retries must execute every command exactly once
+// per shard, on every survivor.
+TEST(ShardRouterSim, ShardSequencerCrashMidBatchExactlyOnce) {
+  ShardedFixture f(2, /*n=*/4);
+  const ShardMap map(2);
+  std::vector<std::unique_ptr<SimClient>> clients;
+  for (int c = 0; c < 6; ++c) {
+    SimClient::Options opt;
+    opt.client_id = 300 + c;
+    opt.replica = 2;  // the gateway node survives; only shard 0's sequencer dies
+    opt.retry_timeout = 300 * kMillisecond;
+    clients.push_back(std::make_unique<SimClient>(*f.gc, opt));
+    // Even clients chain in shard 0, odd in shard 1 — both rings carry load.
+    const std::string key =
+        key_in_shard(map, c % 2, "c" + std::to_string(c) + "-");
+    clients.back()->submit(KvStore::encode_put(key, "0"));
+    for (int i = 0; i < 7; ++i) {
+      clients.back()->submit(
+          KvStore::encode_cas(key, std::to_string(i), std::to_string(i + 1)));
+    }
+  }
+  std::size_t done = 0;
+  while (done < 6 && !f.gc->sim().empty()) {
+    f.gc->sim().run_steps(40);
+    done = 0;
+    for (auto& cl : clients) done += cl->completed().size();
+  }
+  ASSERT_LT(done, 48u) << "crash must land mid-run; slow the warmup loop";
+  f.gc->crash(0);  // shard 0's sequencer (and a shard-1 follower)
+  f.gc->sim().run();
+
+  for (auto& cl : clients) {
+    ASSERT_TRUE(cl->idle());
+    ASSERT_EQ(cl->completed().size(), 8u);
+    for (const auto& d : cl->completed()) {
+      EXPECT_EQ(d.status, ClientStatus::kOk);
+    }
+  }
+  for (NodeId id = 1; id < 4; ++id) {
+    EXPECT_EQ(f.gc->store(id).failed_cas(), 0u) << "node " << int(id);
+  }
+  EXPECT_EQ(f.gc->check_replicas_converged(), "");
+  EXPECT_EQ(f.gc->cluster().check_all(), "");
+}
+
+// -------------------------------------------------------------- real TCP ---
+
+bool sharded_fingerprints_converge(TcpGatewayCluster& gc, Time timeout) {
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout);
+  for (;;) {
+    auto fps = gc.fingerprints();
+    bool equal = !fps.empty();
+    for (std::uint64_t fp : fps) equal = equal && fp == fps[0];
+    if (equal) return true;
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+// The multiplexed pipelined driver against a 2-shard cluster: the driver's
+// keyspace spans shards, so coalesced client frames split into per-shard
+// sub-batches on every replica; every request completes exactly once.
+TEST(ShardRouterTcp, ShardedClusterEndToEndExactlyOnce) {
+  TcpGatewayClusterConfig cfg;
+  cfg.shards = 2;
+  TcpGatewayCluster gc(cfg);
+  DriverOptions opt;
+  opt.endpoints = gc.endpoints();
+  opt.clients = 32;
+  opt.requests_per_client = 20;
+  opt.connections = 4;
+  opt.pipeline = 4;
+  opt.value_bytes = 32;
+
+  DriverReport r = run_client_driver(opt);
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_EQ(r.requests, 32u * 20u);
+
+  ASSERT_TRUE(sharded_fingerprints_converge(gc, 10 * kSecond));
+  auto total = gc.gateway_counters();
+  EXPECT_EQ(total.commands_applied, 32u * 20u * 3);
+  // Both ordering domains demonstrably carried traffic.
+  EXPECT_GT(gc.gateway_counters(0).commands_applied, 0u);
+  EXPECT_GT(gc.gateway_counters(1).commands_applied, 0u);
+  EXPECT_GE(total.coalesced_envelopes, 32u * 20u);
+  EXPECT_EQ(gc.check_invariants(), "");
+}
+
+// One session's chained CAS across both shards over sockets while shard 0's
+// sequencer (also the session's replica) crashes mid-stream: the client
+// fails over, resumes from the merged hello ack, and the chains stay
+// unbroken on the survivors.
+TEST(ShardRouterTcp, ShardSequencerCrashMidStreamExactlyOnce) {
+  TcpGatewayClusterConfig cfg;
+  cfg.n = 3;
+  cfg.shards = 2;
+  TcpGatewayCluster gc(cfg);
+  const ShardMap map(2);
+  const std::string ka = key_in_shard(map, 0, "a");
+  const std::string kb = key_in_shard(map, 1, "b");
+
+  GatewayClient::Options opt;
+  opt.client_id = 41;
+  opt.endpoints = gc.endpoints();
+  opt.start_index = 0;  // owned by the replica we will crash
+  opt.recv_timeout = 500 * kMillisecond;
+  GatewayClient client(opt);
+  ASSERT_TRUE(client.call(KvStore::encode_put(ka, "0")).ok);
+  ASSERT_TRUE(client.call(KvStore::encode_put(kb, "0")).ok);
+
+  const int kSteps = 120;  // per key
+  std::atomic<int> progress{0};
+  Thread chain([&] {
+    for (int i = 0; i < kSteps; ++i) {
+      for (const std::string& k : {ka, kb}) {
+        auto r = client.call(
+            KvStore::encode_cas(k, std::to_string(i), std::to_string(i + 1)));
+        ASSERT_TRUE(r.ok) << k << " cas " << i;
+        ASSERT_EQ(str_of(r.reply), "OK") << k << " cas " << i;
+      }
+      progress.store(i + 1);
+    }
+  });
+  while (progress.load() < kSteps / 4) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  gc.crash(0);
+  chain.join();
+
+  EXPECT_GE(client.reconnects(), 1u) << "client must have failed over";
+  ASSERT_TRUE(sharded_fingerprints_converge(gc, 10 * kSecond));
+  EXPECT_EQ(gc.total_failed_cas(), 0u);
+  for (NodeId id = 1; id < 3; ++id) {
+    EXPECT_EQ(gc.store(id).get(ka), std::to_string(kSteps)) << "node " << int(id);
+    EXPECT_EQ(gc.store(id).get(kb), std::to_string(kSteps)) << "node " << int(id);
+  }
+  EXPECT_EQ(gc.check_invariants(), "");
+}
+
+}  // namespace
+}  // namespace fsr

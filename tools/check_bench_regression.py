@@ -35,9 +35,11 @@ LATENCY_METRICS = ("p99_ms", "p999_ms")
 LATENCY_THRESHOLD_SCALE = 2.0
 
 # Keys that identify a row within a report (whatever subset is present).
+# `shards` and `group` scope the sharded-gateway sweep: one aggregate row
+# per (shards, clients) point plus a rollup row per ordering domain.
 IDENTITY = ("nodes", "msg_size", "msgs_per_sender", "senders", "message_size",
             "rate_per_sender", "clients", "requests_per_client", "tier",
-            "variant")
+            "variant", "shards", "group")
 
 
 def load_report(path: Path):
